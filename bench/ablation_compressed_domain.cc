@@ -1,0 +1,55 @@
+// Ablation: pixel-domain vs compressed-domain (DC image) shot detection —
+// the design choice behind the paper's "works on MPEG compressed videos"
+// claim. Sweeps codec quality and reports detection quality and wall time
+// of each path.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "shot/detector.h"
+
+int main() {
+  using namespace classminer;
+  std::printf("=== Ablation: pixel vs compressed-domain shot detection "
+              "===\n");
+  const std::vector<synth::VideoScript> scripts =
+      synth::MedicalCorpusScripts();
+  const synth::GeneratedVideo g = synth::GenerateVideo(scripts[2]);
+  const std::vector<int> truth = g.truth.CutPositions();
+
+  // Reference: pixel domain on decoded frames.
+  bench::WallTimer pixel_timer;
+  shot::ShotDetectionTrace trace;
+  shot::DetectShots(g.video, {}, &trace);
+  const double pixel_sec = pixel_timer.Seconds();
+  const core::CutScore pixel_score = core::ScoreCuts(trace.cuts, truth);
+  std::printf("\n%-26s %10s %10s %10s %10s\n", "path", "precision",
+              "recall", "seconds", "kB");
+  std::printf("%-26s %10.3f %10.3f %10.2f %10s\n", "pixel (decoded frames)",
+              pixel_score.precision, pixel_score.recall, pixel_sec, "-");
+
+  for (int quality : {4, 8, 16, 24}) {
+    codec::EncoderOptions eopts;
+    eopts.quality = quality;
+    eopts.gop_size = 12;
+    const codec::CmvFile file = codec::EncodeVideo(g.video, eopts);
+
+    bench::WallTimer dc_timer;
+    const auto dc = codec::DecodeDcImages(file);
+    shot::ShotDetectionTrace dc_trace;
+    shot::DetectShotsFromDc(*dc, {}, &dc_trace);
+    const double dc_sec = dc_timer.Seconds();
+    const core::CutScore score = core::ScoreCuts(dc_trace.cuts, truth);
+
+    char label[64];
+    std::snprintf(label, sizeof(label), "DC images (quality %d)", quality);
+    std::printf("%-26s %10.3f %10.3f %10.2f %10zu\n", label, score.precision,
+                score.recall, dc_sec, file.VideoPayloadBytes() / 1024);
+  }
+  std::printf("\nexpected: DC-domain detection stays close to pixel-domain "
+              "quality while running much faster, degrading gracefully at "
+              "very coarse quantisation.\n");
+  return 0;
+}

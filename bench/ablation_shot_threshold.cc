@@ -1,0 +1,115 @@
+// Ablation: shot-detection thresholding strategies across heterogeneous
+// material. A fixed global threshold can always be tuned to one video; the
+// point of the paper's window-adaptive threshold is that one configuration
+// must survive both noisy/dissolve-heavy footage (where low thresholds
+// over-cut) and dim low-contrast footage (where high thresholds miss
+// cuts). Reports per-condition precision/recall and the combined F1.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "features/frame_diff.h"
+#include "shot/detector.h"
+
+namespace {
+
+using namespace classminer;
+
+struct Condition {
+  std::string name;
+  std::vector<double> diffs;
+  std::vector<int> truth;
+  int tolerance = 2;
+};
+
+Condition MakeCondition(const char* name, synth::VideoScript script) {
+  const synth::GeneratedVideo g = synth::GenerateVideo(script);
+  Condition c;
+  c.name = name;
+  c.diffs = features::FrameDifferenceSeries(g.video);
+  c.truth = g.truth.CutPositions();
+  c.tolerance = script.dissolve_prob > 0.0 ? script.dissolve_frames : 2;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: shot detection thresholds ===\n");
+
+  const std::vector<synth::VideoScript> scripts =
+      synth::MedicalCorpusScripts();
+  std::vector<Condition> conditions;
+  {
+    synth::VideoScript hard = scripts[0];
+    hard.dissolve_prob = 0.5;
+    hard.flicker = 0.04;
+    conditions.push_back(MakeCondition("dissolves+flicker", hard));
+  }
+  {
+    synth::VideoScript dim = scripts[2];
+    dim.exposure = 0.45;
+    dim.camera_noise = 3;
+    conditions.push_back(MakeCondition("dim low-contrast", dim));
+  }
+  for (const Condition& c : conditions) {
+    std::printf("condition '%s': %zu samples, %zu true cuts\n",
+                c.name.c_str(), c.diffs.size(), c.truth.size());
+  }
+
+  struct Config {
+    std::string name;
+    shot::ShotDetectorOptions options;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"adaptive (paper)", {}});
+  {
+    Config c{"entropy only", {}};
+    c.options.threshold.activity_sigma = 0.0;
+    configs.push_back(c);
+  }
+  {
+    Config c{"activity only", {}};
+    c.options.threshold.use_entropy = false;
+    configs.push_back(c);
+  }
+  for (double t : {0.10, 0.20, 0.40}) {
+    Config c{"fixed " + std::to_string(t).substr(0, 4), {}};
+    c.options.threshold.use_entropy = false;
+    c.options.threshold.activity_sigma = 0.0;
+    c.options.threshold.min_threshold = t;
+    configs.push_back(c);
+  }
+
+  std::printf("\n%-18s", "strategy");
+  for (const Condition& c : conditions) {
+    std::printf("  %16s", c.name.substr(0, 16).c_str());
+  }
+  std::printf("  %11s\n", "combined F1");
+  for (const Config& cfg : configs) {
+    std::printf("%-18s", cfg.name.c_str());
+    int matched = 0, detected = 0, truth_total = 0;
+    for (const Condition& cond : conditions) {
+      const std::vector<int> cuts =
+          shot::DetectCuts(cond.diffs, cfg.options);
+      const core::CutScore score =
+          core::ScoreCuts(cuts, cond.truth, cond.tolerance);
+      std::printf("     %5.2f/%-5.2f", score.precision, score.recall);
+      matched += score.matched;
+      detected += score.detected_cuts;
+      truth_total += score.truth_cuts;
+    }
+    const double p =
+        detected > 0 ? static_cast<double>(matched) / detected : 0.0;
+    const double r =
+        truth_total > 0 ? static_cast<double>(matched) / truth_total : 0.0;
+    const double f1 = (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+    std::printf("  %11.3f\n", f1);
+  }
+  std::printf("\nexpected: each fixed threshold wins at most one condition; "
+              "the adaptive threshold is the best single configuration "
+              "across both.\n");
+  return 0;
+}

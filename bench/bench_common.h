@@ -1,0 +1,68 @@
+#ifndef CLASSMINER_BENCH_BENCH_COMMON_H_
+#define CLASSMINER_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the paper-reproduction benches: mine the five-title
+// synthetic medical corpus once and expose the per-video results.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/classminer.h"
+#include "core/metrics.h"
+#include "synth/corpus.h"
+
+namespace classminer::bench {
+
+struct MinedVideo {
+  synth::GeneratedVideo input;
+  core::MiningResult result;
+};
+
+inline std::vector<MinedVideo> MineCorpus(double scale = 1.0,
+                                          uint64_t seed = 7,
+                                          bool degraded = false) {
+  synth::CorpusOptions opts;
+  opts.scale = scale;
+  opts.seed = seed;
+  opts.degraded = degraded;
+  std::vector<synth::GeneratedVideo> generated =
+      synth::GenerateMedicalCorpus(opts);
+  std::vector<core::MiningInput> inputs;
+  inputs.reserve(generated.size());
+  for (const synth::GeneratedVideo& g : generated) {
+    inputs.push_back({&g.video, &g.audio});
+  }
+  std::vector<core::MiningResult> results =
+      core::MineVideosParallel(inputs, core::MiningOptions());
+
+  std::vector<MinedVideo> mined;
+  for (size_t i = 0; i < generated.size(); ++i) {
+    MinedVideo mv;
+    mv.result = std::move(results[i]);
+    mv.input = std::move(generated[i]);
+    std::printf("  mined '%s': %zu shots, %d scenes\n",
+                mv.input.video.name().c_str(),
+                mv.result.structure.shots.size(),
+                mv.result.structure.ActiveSceneCount());
+    mined.push_back(std::move(mv));
+  }
+  return mined;
+}
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace classminer::bench
+
+#endif  // CLASSMINER_BENCH_BENCH_COMMON_H_

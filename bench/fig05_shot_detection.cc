@@ -1,0 +1,86 @@
+// Reproduces Fig. 5: shot detection on a medical-education video with
+// per-window adaptive thresholds. Prints (a) detection quality against the
+// scripted boundaries and (b) the frame-difference / threshold series
+// around a sample of cuts, i.e. the data behind Fig. 5(b). Also runs the
+// compressed-domain (DC image) detector for comparison.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "shot/detector.h"
+
+int main() {
+  using namespace classminer;
+  std::printf("=== Fig. 5 reproduction: adaptive-threshold shot detection "
+              "===\n");
+
+  synth::CorpusOptions copts;
+  const std::vector<synth::VideoScript> scripts =
+      synth::MedicalCorpusScripts(copts);
+  const synth::GeneratedVideo g = synth::GenerateVideo(scripts[0]);
+  std::printf("video '%s': %d frames, %zu scripted shots\n\n",
+              g.video.name().c_str(), g.video.frame_count(),
+              g.truth.shots.size());
+
+  // Pixel-domain detection.
+  bench::WallTimer pixel_timer;
+  shot::ShotDetectionTrace trace;
+  const std::vector<shot::Shot> shots =
+      shot::DetectShots(g.video, {}, &trace);
+  const double pixel_sec = pixel_timer.Seconds();
+  const core::CutScore score =
+      core::ScoreCuts(trace.cuts, g.truth.CutPositions());
+  std::printf("pixel domain:      %zu cuts detected, precision %.3f, "
+              "recall %.3f (%.2f s)\n",
+              trace.cuts.size(), score.precision, score.recall, pixel_sec);
+
+  // Compressed-domain detection (DC images, Yeo-Liu style).
+  codec::EncoderOptions eopts;
+  eopts.gop_size = 12;
+  const codec::CmvFile file = codec::EncodeVideo(g.video, eopts);
+  bench::WallTimer dc_timer;
+  const auto dc = codec::DecodeDcImages(file);
+  shot::ShotDetectionTrace dc_trace;
+  shot::DetectShotsFromDc(*dc, {}, &dc_trace);
+  const double dc_sec = dc_timer.Seconds();
+  const core::CutScore dc_score =
+      core::ScoreCuts(dc_trace.cuts, g.truth.CutPositions());
+  std::printf("compressed domain: %zu cuts detected, precision %.3f, "
+              "recall %.3f (%.2f s incl. DC extraction)\n\n",
+              dc_trace.cuts.size(), dc_score.precision, dc_score.recall,
+              dc_sec);
+
+  // Fig. 5(b): the difference series and local threshold around the first
+  // few true boundaries.
+  std::printf("frame difference vs adaptive threshold near boundaries:\n");
+  std::printf("%8s %12s %12s %s\n", "frame", "difference", "threshold",
+              "cut?");
+  const std::vector<int> truth_cuts = g.truth.CutPositions();
+  for (size_t c = 0; c < std::min<size_t>(4, truth_cuts.size()); ++c) {
+    const int cut = truth_cuts[c];
+    for (int i = std::max(0, cut - 2);
+         i <= std::min<int>(static_cast<int>(trace.differences.size()) - 1,
+                            cut + 2);
+         ++i) {
+      const bool is_cut =
+          std::find(trace.cuts.begin(), trace.cuts.end(), i) !=
+          trace.cuts.end();
+      std::printf("%8d %12.4f %12.4f %s\n", i,
+                  trace.differences[static_cast<size_t>(i)],
+                  trace.thresholds[static_cast<size_t>(i)],
+                  is_cut ? "CUT" : "");
+    }
+    std::printf("     ----\n");
+  }
+
+  std::printf("\npaper shape: differences spike above the locally adapted "
+              "threshold exactly at shot boundaries;\nthe threshold tracks "
+              "local activity so quiet eye-surgery shots keep low "
+              "thresholds.\n");
+  std::printf("detected %zu shots (truth %zu)\n", shots.size(),
+              g.truth.shots.size());
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces Fig. 8 (qualitative): typical detected video scenes. Prints
+// each active scene of the corpus with its mined event label, its
+// representative group/shots, and the dominant scripted scene kind — the
+// textual counterpart of the paper's scene strips ("Presentation",
+// "Dialog", "surgery", "Diagnosis", ...).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace classminer;
+  std::printf("=== Fig. 8 reproduction: detected scene examples ===\n");
+  const std::vector<bench::MinedVideo> corpus = bench::MineCorpus(0.5);
+
+  for (const bench::MinedVideo& mv : corpus) {
+    std::printf("\n--- %s ---\n", mv.input.video.name().c_str());
+    const structure::ContentStructure& cs = mv.result.structure;
+    for (const events::EventRecord& rec : mv.result.events) {
+      const structure::Scene& scene =
+          cs.scenes[static_cast<size_t>(rec.scene_index)];
+      const synth::SceneKind truth_kind =
+          core::DominantTruthKind(cs, scene, mv.input.truth);
+      const structure::Group& rep =
+          cs.groups[static_cast<size_t>(scene.rep_group)];
+      std::printf("scene %2d: mined=%-18s truth=%-18s shots=%2d "
+                  "rep-shots=[",
+                  scene.index, events::EventTypeName(rec.type),
+                  synth::SceneKindName(truth_kind),
+                  cs.ShotCountOfScene(scene));
+      for (size_t i = 0; i < rep.rep_shots.size(); ++i) {
+        std::printf("%s%d", i > 0 ? " " : "", rep.rep_shots[i]);
+      }
+      std::printf("]\n");
+    }
+  }
+  std::printf("\npaper shape: presentations, dialogs and clinical scenes "
+              "are each recovered as coherent shot runs.\n");
+  return 0;
+}

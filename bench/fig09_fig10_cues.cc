@@ -1,0 +1,73 @@
+// Reproduces Figs. 9-10 (qualitative): visual cue extraction over the
+// corpus representative frames. Prints per-cue detection counts against
+// the scripted truth — special frames (black/slide/clip-art/sketch,
+// Fig. 9) and face / blood-red / skin regions (Fig. 10).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace classminer;
+  std::printf("=== Figs. 9-10 reproduction: visual cue detection ===\n");
+  const std::vector<bench::MinedVideo> corpus = bench::MineCorpus(1.0);
+
+  int slide_truth = 0, slide_hit = 0, slide_false = 0;
+  int face_truth = 0, face_hit = 0, face_false = 0;
+  int skin_truth = 0, skin_hit = 0;
+  int blood_truth = 0, blood_hit = 0;
+  int shots_total = 0;
+
+  for (const bench::MinedVideo& mv : corpus) {
+    const auto& shots = mv.result.structure.shots;
+    for (size_t i = 0; i < shots.size(); ++i) {
+      ++shots_total;
+      const cues::FrameCues& c = mv.result.shot_cues[i];
+      // Bridge the detected shot to the scripted one via its rep frame.
+      const synth::ShotTruth* t = nullptr;
+      for (const synth::ShotTruth& st : mv.input.truth.shots) {
+        if (shots[i].rep_frame >= st.start_frame &&
+            shots[i].rep_frame <= st.end_frame) {
+          t = &st;
+          break;
+        }
+      }
+      if (t == nullptr) continue;
+      if (t->is_slide) {
+        ++slide_truth;
+        if (c.IsSlideOrClipArt()) ++slide_hit;
+      } else if (c.IsSlideOrClipArt()) {
+        ++slide_false;
+      }
+      if (t->has_face) {
+        ++face_truth;
+        if (c.has_face) ++face_hit;
+      } else if (c.has_face) {
+        ++face_false;
+      }
+      if (t->has_skin_closeup) {
+        ++skin_truth;
+        if (c.skin_closeup) ++skin_hit;
+      }
+      if (t->has_blood) {
+        ++blood_truth;
+        if (c.has_blood) ++blood_hit;
+      }
+    }
+  }
+
+  std::printf("\n%-22s %8s %8s %8s %10s\n", "cue", "truth", "hits",
+              "false+", "recall");
+  auto row = [](const char* name, int truth, int hit, int falsep) {
+    std::printf("%-22s %8d %8d %8d %10.3f\n", name, truth, hit, falsep,
+                truth > 0 ? static_cast<double>(hit) / truth : 0.0);
+  };
+  row("slide / clip-art", slide_truth, slide_hit, slide_false);
+  row("face", face_truth, face_hit, face_false);
+  row("skin close-up", skin_truth, skin_hit, 0);
+  row("blood-red region", blood_truth, blood_hit, 0);
+  std::printf("(over %d detected shots)\n", shots_total);
+  std::printf("\npaper shape: man-made frames and face/skin/blood regions "
+              "are reliably separable from natural footage.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Micro-benchmarks for the CMV codec substrate: DCT, quantised block
+// coding, motion estimation, full encode/decode and DC-image extraction.
+
+#include <benchmark/benchmark.h>
+
+#include "codec/decoder.h"
+#include "codec/dct.h"
+#include "codec/encoder.h"
+#include "codec/motion.h"
+#include "codec/quant.h"
+#include "media/draw.h"
+#include "util/rng.h"
+
+namespace classminer {
+namespace {
+
+media::Video BenchVideo(int frames, int w, int h) {
+  util::Rng rng(99);
+  media::Video video("bench", 12.0);
+  media::Image base(w, h);
+  media::FillGradient(&base, media::Rgb{60, 90, 140}, media::Rgb{20, 30, 50});
+  media::FillEllipse(&base, w / 2, h / 2, w / 4, h / 4,
+                     media::Rgb{205, 150, 120});
+  for (int i = 0; i < frames; ++i) {
+    media::Image f = media::Translated(base, i, i / 2);
+    media::AddNoise(&f, 3, &rng);
+    video.AppendFrame(std::move(f));
+  }
+  return video;
+}
+
+void BM_ForwardDct(benchmark::State& state) {
+  util::Rng rng(1);
+  codec::Block block{};
+  for (double& v : block) v = rng.Uniform(-128.0, 128.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec::ForwardDct(block));
+  }
+}
+BENCHMARK(BM_ForwardDct);
+
+void BM_BlockCodeRoundTrip(benchmark::State& state) {
+  util::Rng rng(2);
+  codec::Block freq{};
+  for (double& v : freq) v = rng.Uniform(-60.0, 60.0);
+  const codec::QuantizedBlock q = codec::Quantize(freq, 8, false);
+  for (auto _ : state) {
+    codec::BitWriter w;
+    codec::EncodeBlock(&w, q, 0);
+    const std::vector<uint8_t> bytes = w.Finish();
+    codec::BitReader r(bytes);
+    codec::QuantizedBlock back{};
+    benchmark::DoNotOptimize(codec::DecodeBlock(&r, &back, 0));
+  }
+}
+BENCHMARK(BM_BlockCodeRoundTrip);
+
+void BM_MotionEstimation(benchmark::State& state) {
+  util::Rng rng(3);
+  codec::Plane ref = codec::Plane::Make(96, 72);
+  for (int16_t& s : ref.samples) {
+    s = static_cast<int16_t>(rng.UniformInt(0, 255));
+  }
+  const codec::Plane cur = ref;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        codec::EstimateMotion(cur, ref, 32, 32, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_MotionEstimation)->Arg(3)->Arg(7);
+
+void BM_EncodeVideo(benchmark::State& state) {
+  const media::Video video = BenchVideo(static_cast<int>(state.range(0)), 96, 72);
+  codec::EncoderOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec::EncodeVideo(video, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeVideo)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_DecodeVideo(benchmark::State& state) {
+  const media::Video video = BenchVideo(12, 96, 72);
+  const codec::CmvFile file = codec::EncodeVideo(video, codec::EncoderOptions());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec::DecodeVideo(file));
+  }
+  state.SetItemsProcessed(state.iterations() * 12);
+}
+BENCHMARK(BM_DecodeVideo)->Unit(benchmark::kMillisecond);
+
+void BM_DcImageExtraction(benchmark::State& state) {
+  const media::Video video = BenchVideo(12, 96, 72);
+  const codec::CmvFile file = codec::EncodeVideo(video, codec::EncoderOptions());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec::DecodeDcImages(file));
+  }
+  state.SetItemsProcessed(state.iterations() * 12);
+}
+BENCHMARK(BM_DcImageExtraction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace classminer
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Micro-benchmarks for the visual feature substrate: histogram, Tamura
+// coarseness, StSim and frame differencing.
+
+#include <benchmark/benchmark.h>
+
+#include "features/frame_diff.h"
+#include "features/histogram.h"
+#include "features/similarity.h"
+#include "features/tamura.h"
+#include "media/draw.h"
+#include "util/rng.h"
+
+namespace classminer {
+namespace {
+
+media::Image BenchFrame(int w, int h, uint64_t seed) {
+  util::Rng rng(seed);
+  media::Image img(w, h);
+  media::FillGradient(&img, media::Rgb{80, 100, 140}, media::Rgb{30, 40, 60});
+  media::FillEllipse(&img, w / 2, h / 2, w / 4, h / 4,
+                     media::Rgb{205, 150, 120});
+  media::AddNoise(&img, 5, &rng);
+  return img;
+}
+
+void BM_ColorHistogram(benchmark::State& state) {
+  const media::Image img = BenchFrame(static_cast<int>(state.range(0)),
+                                      static_cast<int>(state.range(0)) * 3 / 4,
+                                      1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::ComputeColorHistogram(img));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(img.pixel_count()));
+}
+BENCHMARK(BM_ColorHistogram)->Arg(96)->Arg(192)->Arg(384);
+
+void BM_TamuraCoarseness(benchmark::State& state) {
+  const media::Image img = BenchFrame(static_cast<int>(state.range(0)),
+                                      static_cast<int>(state.range(0)) * 3 / 4,
+                                      2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::ComputeTamuraCoarseness(img));
+  }
+}
+BENCHMARK(BM_TamuraCoarseness)->Arg(96)->Arg(192)->Arg(384);
+
+void BM_StSim(benchmark::State& state) {
+  const features::ShotFeatures a =
+      features::ExtractShotFeatures(BenchFrame(96, 72, 3));
+  const features::ShotFeatures b =
+      features::ExtractShotFeatures(BenchFrame(96, 72, 4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::StSim(a, b));
+  }
+}
+BENCHMARK(BM_StSim);
+
+void BM_FrameDifference(benchmark::State& state) {
+  const media::Image a = BenchFrame(96, 72, 5);
+  const media::Image b = BenchFrame(96, 72, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::FrameDifference(a, b));
+  }
+}
+BENCHMARK(BM_FrameDifference);
+
+}  // namespace
+}  // namespace classminer
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Micro-benchmarks for the structure-mining stages: group detection,
+// classification, scene detection and PCS scene clustering.
+
+#include <benchmark/benchmark.h>
+
+#include "media/color.h"
+#include "media/draw.h"
+#include "structure/content_structure.h"
+#include "util/rng.h"
+
+namespace classminer {
+namespace {
+
+std::vector<shot::Shot> MakeShots(int count, int hues) {
+  std::vector<shot::Shot> shots;
+  util::Rng rng(5);
+  for (int i = 0; i < count; ++i) {
+    const double hue = (i / 6 % hues) * (360.0 / hues);
+    media::Image img(48, 36, media::HsvToRgb({hue, 0.7, 0.8}));
+    media::AddNoise(&img, 4, &rng);
+    shot::Shot s;
+    s.index = i;
+    s.start_frame = i * 30;
+    s.end_frame = (i + 1) * 30 - 1;
+    s.rep_frame = s.start_frame + 9;
+    s.features = features::ExtractShotFeatures(img);
+    shots.push_back(std::move(s));
+  }
+  return shots;
+}
+
+void BM_DetectGroups(benchmark::State& state) {
+  const auto shots = MakeShots(static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(structure::DetectGroups(shots));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DetectGroups)->Arg(60)->Arg(240)->Unit(benchmark::kMillisecond);
+
+void BM_FullStructureMining(benchmark::State& state) {
+  const auto shots = MakeShots(static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    auto copy = shots;
+    benchmark::DoNotOptimize(structure::MineVideoStructure(std::move(copy)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullStructureMining)
+    ->Arg(60)
+    ->Arg(240)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SceneClustering(benchmark::State& state) {
+  const auto shots = MakeShots(static_cast<int>(state.range(0)), 6);
+  std::vector<structure::Group> groups = structure::DetectGroups(shots);
+  structure::ClassifyGroups(shots, &groups);
+  const std::vector<structure::Scene> scenes =
+      structure::DetectScenes(shots, groups);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        structure::ClusterScenes(shots, groups, scenes));
+  }
+}
+BENCHMARK(BM_SceneClustering)->Arg(120)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace classminer
+
+BENCHMARK_MAIN();

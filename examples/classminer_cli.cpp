@@ -1,0 +1,286 @@
+// classminer — command-line front end over the library. Covers the full
+// archive workflow on CMV containers:
+//
+//   classminer generate <out.cmv> [--title NAME] [--seed N] [--degraded]
+//   classminer mine <in.cmv>
+//   classminer search <in.cmv> <presentation|dialog|clinical_operation>
+//   classminer skim <in.cmv> [--level N] [--html out.html]
+//                            [--storyboard out.ppm]
+//   classminer browse [--clearance N] <in.cmv> [more.cmv ...]
+//
+// `generate` synthesises one of the five corpus titles (or the quickstart
+// clip when no title is given) and encodes it; every other command decodes
+// and mines a container on the fly.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "codec/decoder.h"
+#include "core/cmv_pipeline.h"
+#include "index/browser.h"
+#include "skim/playback.h"
+#include "skim/storyboard.h"
+#include "skim/summary.h"
+#include "synth/corpus.h"
+
+namespace {
+
+using namespace classminer;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  classminer generate <out.cmv> [--title NAME] [--seed N] "
+      "[--degraded]\n"
+      "  classminer mine <in.cmv>\n"
+      "  classminer search <in.cmv> "
+      "<presentation|dialog|clinical_operation>\n"
+      "  classminer skim <in.cmv> [--level N] [--html out.html] "
+      "[--storyboard out.ppm]\n"
+      "  classminer browse [--clearance N] <in.cmv> [more.cmv ...]\n");
+  return 2;
+}
+
+bool LoadAndMine(const std::string& path, codec::CmvFile* file,
+                 core::MiningResult* result) {
+  util::StatusOr<codec::CmvFile> loaded = codec::CmvFile::LoadFromFile(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 loaded.status().ToString().c_str());
+    return false;
+  }
+  util::StatusOr<core::MiningResult> mined = core::MineCmvFile(*loaded);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "%s: mining failed: %s\n", path.c_str(),
+                 mined.status().ToString().c_str());
+    return false;
+  }
+  *file = std::move(*loaded);
+  *result = std::move(*mined);
+  return true;
+}
+
+int CmdGenerate(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  const std::string out = args[0];
+  std::string title;
+  uint64_t seed = 11;
+  bool degraded = false;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--title" && i + 1 < args.size()) {
+      title = args[++i];
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      seed = std::stoull(args[++i]);
+    } else if (args[i] == "--degraded") {
+      degraded = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  synth::VideoScript script;
+  if (title.empty()) {
+    script = synth::QuickScript(seed);
+  } else {
+    synth::CorpusOptions copts;
+    copts.seed = seed;
+    copts.degraded = degraded;
+    bool found = false;
+    for (synth::VideoScript& s : synth::MedicalCorpusScripts(copts)) {
+      if (s.name == title) {
+        script = std::move(s);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown title '%s'; corpus titles:\n",
+                   title.c_str());
+      for (const synth::VideoScript& s : synth::MedicalCorpusScripts()) {
+        std::fprintf(stderr, "  %s\n", s.name.c_str());
+      }
+      return 1;
+    }
+  }
+
+  const synth::GeneratedVideo g = synth::GenerateVideo(script);
+  const codec::CmvFile file = core::PackGeneratedVideo(g);
+  const util::Status status = file.SaveToFile(out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %d frames @ %.1f fps, %zu kB video payload, "
+              "%.1f s audio\n",
+              out.c_str(), file.frame_count(), file.fps,
+              file.VideoPayloadBytes() / 1024,
+              g.audio.DurationSeconds());
+  return 0;
+}
+
+int CmdMine(const std::vector<std::string>& args) {
+  if (args.size() != 1) return Usage();
+  codec::CmvFile file;
+  core::MiningResult result;
+  if (!LoadAndMine(args[0], &file, &result)) return 1;
+
+  const structure::ContentStructure& cs = result.structure;
+  std::printf("%s: %zu shots, %zu groups, %d scenes, %zu clustered scenes "
+              "(CRF %.3f)\n",
+              file.name.c_str(), cs.shots.size(), cs.groups.size(),
+              cs.ActiveSceneCount(), cs.clustered_scenes.size(),
+              cs.CompressionRateFactor());
+  for (const events::EventRecord& rec : result.events) {
+    const structure::Scene& scene =
+        cs.scenes[static_cast<size_t>(rec.scene_index)];
+    std::printf("  scene %2d: %-18s %2d shots (groups %d..%d)\n",
+                scene.index, events::EventTypeName(rec.type),
+                cs.ShotCountOfScene(scene), scene.start_group,
+                scene.end_group);
+  }
+  return 0;
+}
+
+int CmdSearch(const std::vector<std::string>& args) {
+  if (args.size() != 2) return Usage();
+  events::EventType wanted;
+  if (args[1] == "presentation") {
+    wanted = events::EventType::kPresentation;
+  } else if (args[1] == "dialog") {
+    wanted = events::EventType::kDialog;
+  } else if (args[1] == "clinical_operation") {
+    wanted = events::EventType::kClinicalOperation;
+  } else {
+    return Usage();
+  }
+
+  codec::CmvFile file;
+  core::MiningResult result;
+  if (!LoadAndMine(args[0], &file, &result)) return 1;
+
+  int hits = 0;
+  for (const events::EventRecord& rec : result.events) {
+    if (rec.type != wanted) continue;
+    const structure::Scene& scene =
+        result.structure.scenes[static_cast<size_t>(rec.scene_index)];
+    const std::vector<int> shots =
+        result.structure.ShotIndicesOfScene(scene);
+    const shot::Shot& first =
+        result.structure.shots[static_cast<size_t>(shots.front())];
+    const shot::Shot& last =
+        result.structure.shots[static_cast<size_t>(shots.back())];
+    std::printf("scene %d: %.1fs - %.1fs (%zu shots)\n", scene.index,
+                first.StartSeconds(file.fps), last.EndSeconds(file.fps),
+                shots.size());
+    ++hits;
+  }
+  std::printf("%d %s scene(s)\n", hits, events::EventTypeName(wanted));
+  return 0;
+}
+
+int CmdSkim(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  int level = 3;
+  std::string html_path, storyboard_path;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--level" && i + 1 < args.size()) {
+      level = std::stoi(args[++i]);
+    } else if (args[i] == "--html" && i + 1 < args.size()) {
+      html_path = args[++i];
+    } else if (args[i] == "--storyboard" && i + 1 < args.size()) {
+      storyboard_path = args[++i];
+    } else {
+      return Usage();
+    }
+  }
+  if (level < 1 || level > skim::kSkimLevels) return Usage();
+
+  codec::CmvFile file;
+  core::MiningResult result;
+  if (!LoadAndMine(args[0], &file, &result)) return 1;
+  const skim::ScalableSkim sk(&result.structure);
+
+  std::printf("%-6s %-12s %-10s %s\n", "level", "skim shots", "frames",
+              "FCR");
+  for (int lvl = skim::kSkimLevels; lvl >= 1; --lvl) {
+    const skim::SkimTrack& t = sk.track(lvl);
+    std::printf("%-6d %-12zu %-10ld %.3f%s\n", lvl, t.shot_indices.size(),
+                t.frame_count, sk.Fcr(lvl), lvl == level ? "  <-" : "");
+  }
+  const auto plan = skim::BuildPlaybackPlan(sk, level, file.fps);
+  std::printf("level %d plays %.1f s of %.1f s\n", level,
+              skim::PlanDurationSeconds(plan),
+              file.frame_count() / file.fps);
+
+  if (!html_path.empty()) {
+    const util::Status status = skim::ExportHtmlSummary(
+        result.structure, result.events, sk, file.name, html_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", html_path.c_str());
+  }
+  if (!storyboard_path.empty()) {
+    util::StatusOr<media::Video> video = codec::DecodeVideo(file);
+    if (!video.ok()) return 1;
+    const util::Status status = skim::ExportStoryboard(
+        sk, level, *video, result.events, storyboard_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", storyboard_path.c_str());
+  }
+  return 0;
+}
+
+int CmdBrowse(const std::vector<std::string>& args) {
+  int clearance = 3;
+  std::vector<std::string> paths;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--clearance" && i + 1 < args.size()) {
+      clearance = std::stoi(args[++i]);
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  if (paths.empty()) return Usage();
+
+  index::VideoDatabase db;
+  for (const std::string& path : paths) {
+    codec::CmvFile file;
+    core::MiningResult result;
+    if (!LoadAndMine(path, &file, &result)) return 1;
+    db.AddVideo(file.name, std::move(result.structure),
+                std::move(result.events));
+  }
+  const index::ConceptHierarchy concepts =
+      index::ConceptHierarchy::MedicalDefault();
+  const index::AccessController access(&concepts);
+  index::UserCredential user;
+  user.name = "cli";
+  user.clearance = clearance;
+  const auto tree = index::BuildBrowseTree(db, concepts, access, user);
+  std::printf("%s", index::RenderBrowseTree(tree).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "mine") return CmdMine(args);
+  if (cmd == "search") return CmdSearch(args);
+  if (cmd == "skim") return CmdSkim(args);
+  if (cmd == "browse") return CmdBrowse(args);
+  return Usage();
+}

@@ -1,0 +1,50 @@
+// Quickstart: generate a small medical-education video, run the full
+// ClassMiner pipeline, and print the mined content structure and events.
+//
+//   ./example_quickstart
+
+#include <cstdio>
+
+#include "core/classminer.h"
+#include "events/event_miner.h"
+#include "synth/corpus.h"
+
+int main() {
+  using namespace classminer;
+
+  // 1. A scripted stand-in for a real medical video (see synth/).
+  const synth::GeneratedVideo input =
+      synth::GenerateVideo(synth::QuickScript());
+  std::printf("video '%s': %d frames @ %.1f fps (%.1f s), audio %.1f s\n",
+              input.video.name().c_str(), input.video.frame_count(),
+              input.video.fps(), input.video.DurationSeconds(),
+              input.audio.DurationSeconds());
+
+  // 2. The full pipeline: shots -> groups -> scenes -> clustered scenes,
+  //    visual/audio cues, event mining.
+  const core::MiningResult result =
+      core::MineVideo(input.video, input.audio);
+
+  const structure::ContentStructure& cs = result.structure;
+  std::printf("\nmined structure: %zu shots, %zu groups, %d scenes, "
+              "%zu clustered scenes (CRF %.3f)\n",
+              cs.shots.size(), cs.groups.size(), cs.ActiveSceneCount(),
+              cs.clustered_scenes.size(), cs.CompressionRateFactor());
+
+  // 3. Scenes with their mined events.
+  std::printf("\n%-6s %-8s %-8s %s\n", "scene", "groups", "shots", "event");
+  for (const events::EventRecord& rec : result.events) {
+    const structure::Scene& scene =
+        cs.scenes[static_cast<size_t>(rec.scene_index)];
+    std::printf("%-6d %-8d %-8d %s\n", scene.index, scene.group_count(),
+                cs.ShotCountOfScene(scene), events::EventTypeName(rec.type));
+  }
+
+  // 4. Scripted truth for comparison.
+  std::printf("\nscripted scenes (ground truth):\n");
+  for (const synth::SceneTruth& s : input.truth.scenes) {
+    std::printf("  scene %d: %s (shots %d..%d)\n", s.index,
+                synth::SceneKindName(s.kind), s.start_shot, s.end_shot);
+  }
+  return 0;
+}

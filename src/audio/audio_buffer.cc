@@ -1,0 +1,24 @@
+#include "audio/audio_buffer.h"
+
+#include <algorithm>
+
+namespace classminer::audio {
+
+size_t AudioBuffer::SampleAt(double sec) const {
+  if (sec <= 0.0 || samples_.empty()) return 0;
+  const size_t idx = static_cast<size_t>(sec * sample_rate_);
+  return std::min(idx, samples_.size());
+}
+
+AudioBuffer AudioBuffer::Slice(double start_sec, double dur_sec) const {
+  const size_t begin = SampleAt(start_sec);
+  const size_t end = SampleAt(start_sec + std::max(0.0, dur_sec));
+  AudioBuffer out(sample_rate_);
+  if (begin < end) {
+    out.samples_.assign(samples_.begin() + static_cast<ptrdiff_t>(begin),
+                        samples_.begin() + static_cast<ptrdiff_t>(end));
+  }
+  return out;
+}
+
+}  // namespace classminer::audio

@@ -1,0 +1,50 @@
+#ifndef CLASSMINER_AUDIO_AUDIO_BUFFER_H_
+#define CLASSMINER_AUDIO_AUDIO_BUFFER_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace classminer::audio {
+
+// Mono PCM audio in [-1, 1] at a fixed sample rate. The audio track of a
+// video is one AudioBuffer aligned with frame timestamps.
+class AudioBuffer {
+ public:
+  AudioBuffer() : sample_rate_(16000) {}
+  explicit AudioBuffer(int sample_rate) : sample_rate_(sample_rate) {}
+  AudioBuffer(int sample_rate, std::vector<float> samples)
+      : sample_rate_(sample_rate), samples_(std::move(samples)) {}
+
+  int sample_rate() const { return sample_rate_; }
+  size_t sample_count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double DurationSeconds() const {
+    return sample_rate_ > 0
+               ? static_cast<double>(samples_.size()) / sample_rate_
+               : 0.0;
+  }
+
+  float at(size_t i) const { return samples_[i]; }
+  const std::vector<float>& samples() const { return samples_; }
+  std::vector<float>& samples() { return samples_; }
+
+  void Append(std::span<const float> chunk) {
+    samples_.insert(samples_.end(), chunk.begin(), chunk.end());
+  }
+
+  // Returns the sample range covering [start_sec, start_sec + dur_sec),
+  // clamped to the buffer. May be empty.
+  AudioBuffer Slice(double start_sec, double dur_sec) const;
+
+  // Index of the sample at time `sec` (clamped).
+  size_t SampleAt(double sec) const;
+
+ private:
+  int sample_rate_;
+  std::vector<float> samples_;
+};
+
+}  // namespace classminer::audio
+
+#endif  // CLASSMINER_AUDIO_AUDIO_BUFFER_H_

@@ -1,0 +1,43 @@
+#include "audio/bic.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace classminer::audio {
+
+BicResult BicSpeakerChangeTest(const util::Matrix& xi, const util::Matrix& xj,
+                               double penalty_factor) {
+  BicResult result;
+  const size_t ni = xi.rows();
+  const size_t nj = xj.rows();
+  const size_t p = xi.cols();
+  if (ni == 0 || nj == 0) return result;  // vacuous: no change claimed
+  CM_CHECK(xj.cols() == p) << "BIC inputs must share dimensionality";
+
+  // Pooled sample matrix.
+  util::Matrix pooled(ni + nj, p);
+  for (size_t r = 0; r < ni; ++r) {
+    for (size_t c = 0; c < p; ++c) pooled.at(r, c) = xi.at(r, c);
+  }
+  for (size_t r = 0; r < nj; ++r) {
+    for (size_t c = 0; c < p; ++c) pooled.at(ni + r, c) = xj.at(r, c);
+  }
+
+  const double n = static_cast<double>(ni + nj);
+  const double logdet_all = util::LogDetPsd(util::Covariance(pooled));
+  const double logdet_i = util::LogDetPsd(util::Covariance(xi));
+  const double logdet_j = util::LogDetPsd(util::Covariance(xj));
+
+  result.lambda_r = 0.5 * (n * logdet_all -
+                           static_cast<double>(ni) * logdet_i -
+                           static_cast<double>(nj) * logdet_j);
+  const double pd = static_cast<double>(p);
+  result.penalty = penalty_factor * 0.5 *
+                   (pd + 0.5 * pd * (pd + 1.0)) * std::log(n);
+  result.delta_bic = -result.lambda_r + result.penalty;
+  result.speaker_change = result.delta_bic < 0.0;
+  return result;
+}
+
+}  // namespace classminer::audio

@@ -1,0 +1,32 @@
+#ifndef CLASSMINER_AUDIO_BIC_H_
+#define CLASSMINER_AUDIO_BIC_H_
+
+#include "util/matrix.h"
+
+namespace classminer::audio {
+
+// Bayesian Information Criterion speaker-change test (paper Eqs. 17-19,
+// after Delacourt & Wellekens DISTBIC [23]).
+//
+// Given MFCC sequences X_i (n_i x p) and X_j (n_j x p), tests
+//   H0: both drawn from one Gaussian N(mu, Sigma)
+//   H1: drawn from two Gaussians N(mu_i, Sigma_i), N(mu_j, Sigma_j)
+// via the penalised likelihood ratio
+//   Lambda(R) = (N/2) log|Sigma| - (N_i/2) log|Sigma_i| - (N_j/2) log|Sigma_j|
+//   DeltaBIC  = -Lambda(R) + lambda * P,
+//   P = (1/2)(p + p(p+1)/2) log N.
+// DeltaBIC < 0  =>  speaker change between the two clips.
+struct BicResult {
+  double lambda_r = 0.0;   // likelihood ratio statistic
+  double penalty = 0.0;    // lambda * P
+  double delta_bic = 0.0;  // -lambda_r + penalty
+  bool speaker_change = false;
+};
+
+// `penalty_factor` is the lambda of Eq. 19 (1.0 in the reference setting).
+BicResult BicSpeakerChangeTest(const util::Matrix& xi, const util::Matrix& xj,
+                               double penalty_factor = 1.0);
+
+}  // namespace classminer::audio
+
+#endif  // CLASSMINER_AUDIO_BIC_H_

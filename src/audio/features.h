@@ -1,0 +1,40 @@
+#ifndef CLASSMINER_AUDIO_FEATURES_H_
+#define CLASSMINER_AUDIO_FEATURES_H_
+
+#include <array>
+#include <vector>
+
+#include "audio/audio_buffer.h"
+
+namespace classminer::audio {
+
+// 14 clip-level audio features (paper Sec. 4.2, after Liu & Huang [22]),
+// computed over ~2 s clips from 30 ms analysis frames with 10 ms hop:
+//   0 volume mean (RMS)          7 pitch std (Hz / 1000)
+//   1 volume std                 8 spectral centroid mean (norm.)
+//   2 volume dynamic range       9 spectral bandwidth mean (norm.)
+//   3 silence ratio             10 subband energy ratio 0-630 Hz
+//   4 ZCR mean                  11 subband ratio 630-1720 Hz
+//   5 ZCR std                   12 subband ratio 1720-4400 Hz
+//   6 pitch mean (Hz / 1000)    13 subband ratio 4400 Hz-Nyquist
+inline constexpr int kClipFeatureDims = 14;
+
+using ClipFeatures = std::array<double, kClipFeatureDims>;
+
+struct ClipFeatureOptions {
+  double frame_seconds = 0.030;
+  double hop_seconds = 0.010;
+};
+
+// Computes clip features; an empty clip yields all zeros.
+ClipFeatures ComputeClipFeatures(const AudioBuffer& clip,
+                                 const ClipFeatureOptions& options = {});
+
+// Splits `audio` into adjacent clips of `clip_seconds`; the trailing
+// remainder shorter than half a clip is dropped.
+std::vector<AudioBuffer> SplitIntoClips(const AudioBuffer& audio,
+                                        double clip_seconds = 2.0);
+
+}  // namespace classminer::audio
+
+#endif  // CLASSMINER_AUDIO_FEATURES_H_

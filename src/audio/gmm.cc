@@ -1,0 +1,167 @@
+#include "audio/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace classminer::audio {
+namespace {
+
+double LogGaussianDiag(std::span<const double> x,
+                       const std::vector<double>& mean,
+                       const std::vector<double>& variance) {
+  double acc = 0.0;
+  for (size_t d = 0; d < mean.size(); ++d) {
+    const double diff = x[d] - mean[d];
+    acc += -0.5 * (std::log(2.0 * std::numbers::pi * variance[d]) +
+                   diff * diff / variance[d]);
+  }
+  return acc;
+}
+
+double LogSumExp(const std::vector<double>& v) {
+  double mx = -std::numeric_limits<double>::infinity();
+  for (double x : v) mx = std::max(mx, x);
+  if (!std::isfinite(mx)) return mx;
+  double acc = 0.0;
+  for (double x : v) acc += std::exp(x - mx);
+  return mx + std::log(acc);
+}
+
+}  // namespace
+
+util::StatusOr<Gmm> Gmm::Train(const util::Matrix& samples,
+                               const TrainOptions& options) {
+  const size_t n = samples.rows();
+  const size_t d = samples.cols();
+  const size_t k = static_cast<size_t>(std::max(1, options.components));
+  if (n < k) {
+    return util::Status::InvalidArgument(
+        "GMM training requires at least as many samples as components");
+  }
+
+  // Global variance for initialisation floors.
+  std::vector<double> global_mean(d, 0.0), global_var(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) global_mean[j] += samples.at(i, j);
+  }
+  for (double& m : global_mean) m /= static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      const double diff = samples.at(i, j) - global_mean[j];
+      global_var[j] += diff * diff;
+    }
+  }
+  for (double& v : global_var) {
+    v = std::max(v / static_cast<double>(n), options.min_variance);
+  }
+
+  // Init: random distinct samples as means, global variance, equal weights.
+  util::Rng rng(options.seed);
+  Gmm gmm;
+  gmm.components_.resize(k);
+  std::vector<size_t> picks;
+  while (picks.size() < k) {
+    const size_t cand = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int>(n) - 1));
+    if (std::find(picks.begin(), picks.end(), cand) == picks.end()) {
+      picks.push_back(cand);
+    }
+  }
+  for (size_t c = 0; c < k; ++c) {
+    Component& comp = gmm.components_[c];
+    comp.weight = 1.0 / static_cast<double>(k);
+    comp.mean.assign(d, 0.0);
+    for (size_t j = 0; j < d; ++j) comp.mean[j] = samples.at(picks[c], j);
+    comp.variance = global_var;
+  }
+
+  std::vector<std::vector<double>> resp(
+      n, std::vector<double>(k, 0.0));  // responsibilities
+  double prev_ll = -std::numeric_limits<double>::infinity();
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // E-step.
+    double total_ll = 0.0;
+    std::vector<double> logp(k);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t c = 0; c < k; ++c) {
+        const Component& comp = gmm.components_[c];
+        logp[c] = std::log(std::max(comp.weight, 1e-12)) +
+                  LogGaussianDiag(samples.row(i), comp.mean, comp.variance);
+      }
+      const double lse = LogSumExp(logp);
+      total_ll += lse;
+      for (size_t c = 0; c < k; ++c) resp[i][c] = std::exp(logp[c] - lse);
+    }
+
+    // M-step.
+    for (size_t c = 0; c < k; ++c) {
+      Component& comp = gmm.components_[c];
+      double nk = 0.0;
+      for (size_t i = 0; i < n; ++i) nk += resp[i][c];
+      if (nk < 1e-8) {
+        // Dead component: re-seed on a random sample.
+        const size_t pick = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int>(n) - 1));
+        for (size_t j = 0; j < d; ++j) comp.mean[j] = samples.at(pick, j);
+        comp.variance = global_var;
+        comp.weight = 1.0 / static_cast<double>(n);
+        continue;
+      }
+      comp.weight = nk / static_cast<double>(n);
+      for (size_t j = 0; j < d; ++j) {
+        double m = 0.0;
+        for (size_t i = 0; i < n; ++i) m += resp[i][c] * samples.at(i, j);
+        comp.mean[j] = m / nk;
+      }
+      for (size_t j = 0; j < d; ++j) {
+        double v = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          const double diff = samples.at(i, j) - comp.mean[j];
+          v += resp[i][c] * diff * diff;
+        }
+        comp.variance[j] = std::max(v / nk, options.min_variance);
+      }
+    }
+
+    if (iter > 0 &&
+        std::fabs(total_ll - prev_ll) <
+            options.tolerance * (std::fabs(prev_ll) + 1.0)) {
+      break;
+    }
+    prev_ll = total_ll;
+  }
+  return gmm;
+}
+
+double Gmm::LogLikelihood(std::span<const double> x) const {
+  std::vector<double> logp(components_.size());
+  for (size_t c = 0; c < components_.size(); ++c) {
+    const Component& comp = components_[c];
+    logp[c] = std::log(std::max(comp.weight, 1e-12)) +
+              LogGaussianDiag(x, comp.mean, comp.variance);
+  }
+  return LogSumExp(logp);
+}
+
+double Gmm::AverageLogLikelihood(const util::Matrix& samples) const {
+  if (samples.rows() == 0) return -std::numeric_limits<double>::infinity();
+  double acc = 0.0;
+  for (size_t i = 0; i < samples.rows(); ++i) {
+    acc += LogLikelihood(samples.row(i));
+  }
+  return acc / static_cast<double>(samples.rows());
+}
+
+int GmmClassifier::Classify(const util::Matrix& samples) const {
+  return Margin(samples) > 0.0 ? 1 : 0;
+}
+
+double GmmClassifier::Margin(const util::Matrix& samples) const {
+  return models_[1].AverageLogLikelihood(samples) -
+         models_[0].AverageLogLikelihood(samples);
+}
+
+}  // namespace classminer::audio

@@ -1,0 +1,73 @@
+#ifndef CLASSMINER_AUDIO_GMM_H_
+#define CLASSMINER_AUDIO_GMM_H_
+
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace classminer::audio {
+
+// Diagonal-covariance Gaussian mixture model trained with EM. Used for the
+// clean-speech vs non-speech clip classifier (paper Sec. 4.2).
+class Gmm {
+ public:
+  struct Component {
+    double weight = 0.0;
+    std::vector<double> mean;
+    std::vector<double> variance;  // diagonal
+  };
+
+  struct TrainOptions {
+    int components = 4;
+    int max_iterations = 50;
+    double min_variance = 1e-4;
+    double tolerance = 1e-4;  // relative log-likelihood improvement
+    uint64_t seed = 17;
+  };
+
+  // Fits a GMM to the rows of `samples` (n x d). Requires n >= components.
+  static util::StatusOr<Gmm> Train(const util::Matrix& samples,
+                                   const TrainOptions& options);
+  static util::StatusOr<Gmm> Train(const util::Matrix& samples) {
+    return Train(samples, TrainOptions());
+  }
+
+  int dimensions() const {
+    return components_.empty()
+               ? 0
+               : static_cast<int>(components_.front().mean.size());
+  }
+  int component_count() const { return static_cast<int>(components_.size()); }
+  const std::vector<Component>& components() const { return components_; }
+
+  // Log density of one vector under the mixture.
+  double LogLikelihood(std::span<const double> x) const;
+
+  // Mean log density of all rows.
+  double AverageLogLikelihood(const util::Matrix& samples) const;
+
+ private:
+  std::vector<Component> components_;
+};
+
+// Two-class maximum-likelihood classifier over GMMs (e.g. speech vs
+// non-speech). Returns the index of the model with the higher average
+// log-likelihood on the sample rows.
+class GmmClassifier {
+ public:
+  GmmClassifier(Gmm class0, Gmm class1)
+      : models_{std::move(class0), std::move(class1)} {}
+
+  int Classify(const util::Matrix& samples) const;
+  // Margin = avg-loglik(class1) - avg-loglik(class0); > 0 means class 1.
+  double Margin(const util::Matrix& samples) const;
+
+ private:
+  Gmm models_[2];
+};
+
+}  // namespace classminer::audio
+
+#endif  // CLASSMINER_AUDIO_GMM_H_

@@ -1,0 +1,135 @@
+#include "audio/speaker_segmenter.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+namespace classminer::audio {
+
+util::StatusOr<GmmClassifier> TrainSpeechClassifier(
+    const util::Matrix& nonspeech, const util::Matrix& speech, int components,
+    uint64_t seed) {
+  Gmm::TrainOptions opts;
+  opts.components = components;
+  opts.seed = seed;
+  util::StatusOr<Gmm> m0 = Gmm::Train(nonspeech, opts);
+  if (!m0.ok()) return m0.status();
+  opts.seed = seed + 1;
+  util::StatusOr<Gmm> m1 = Gmm::Train(speech, opts);
+  if (!m1.ok()) return m1.status();
+  return GmmClassifier(std::move(*m0), std::move(*m1));
+}
+
+bool SpeakerSegmenter::HeuristicIsSpeech(const ClipFeatures& f) {
+  return HeuristicMargin(f) > 0.0;
+}
+
+double SpeakerSegmenter::HeuristicMargin(const ClipFeatures& f) {
+  // Speech: voiced pitch in the 60-400 Hz band, audible volume, energy
+  // concentrated below ~1.7 kHz, and some (but not total) silence.
+  double score = 0.0;
+  const double pitch_hz = f[6] * 1000.0;
+  score += (pitch_hz >= 60.0 && pitch_hz <= 400.0) ? 1.0 : -1.0;
+  score += (f[0] > 0.01) ? 0.5 : -1.0;                  // volume mean
+  score += (f[10] + f[11] > 0.5) ? 0.5 : -0.5;          // low-band energy
+  score += (f[3] < 0.9) ? 0.25 : -0.5;                  // not all silence
+  return score;
+}
+
+ShotAudioAnalysis SpeakerSegmenter::AnalyzeShot(const AudioBuffer& audio,
+                                                double start_sec,
+                                                double end_sec,
+                                                int shot_index) const {
+  ShotAudioAnalysis out;
+  out.shot_index = shot_index;
+  const double duration = end_sec - start_sec;
+  if (duration < options_.min_shot_seconds) return out;
+
+  const AudioBuffer span = audio.Slice(start_sec, duration);
+  const std::vector<AudioBuffer> clips =
+      SplitIntoClips(span, options_.clip_seconds);
+  if (clips.empty()) return out;
+  out.analyzable = true;
+
+  // Pick the clip most like clean speech.
+  double best_margin = -1e18;
+  size_t best_clip = 0;
+  std::vector<ClipFeatures> features(clips.size());
+  for (size_t i = 0; i < clips.size(); ++i) {
+    features[i] = ComputeClipFeatures(clips[i]);
+    double margin;
+    if (classifier_.has_value()) {
+      util::Matrix row(1, kClipFeatureDims);
+      for (int d = 0; d < kClipFeatureDims; ++d) {
+        row.at(0, static_cast<size_t>(d)) = features[i][static_cast<size_t>(d)];
+      }
+      margin = classifier_->Margin(row);
+    } else {
+      margin = HeuristicMargin(features[i]);
+    }
+    if (margin > best_margin) {
+      best_margin = margin;
+      best_clip = i;
+    }
+  }
+  out.speech_margin = best_margin;
+  out.has_speech = best_margin > 0.0;
+  out.rep_features = features[best_clip];
+  out.mfcc = ComputeMfcc(clips[best_clip]);
+  return out;
+}
+
+BicResult SpeakerSegmenter::SpeakerChangeDetail(
+    const ShotAudioAnalysis& a, const ShotAudioAnalysis& b) const {
+  return BicSpeakerChangeTest(a.mfcc, b.mfcc, options_.bic_penalty);
+}
+
+bool SpeakerSegmenter::SpeakerChange(const ShotAudioAnalysis& a,
+                                     const ShotAudioAnalysis& b) const {
+  if (!a.has_speech || !b.has_speech) return false;
+  if (a.mfcc.rows() < 8 || b.mfcc.rows() < 8) return false;
+  return SpeakerChangeDetail(a, b).speaker_change;
+}
+
+std::vector<int> SpeakerSegmenter::DiarizeShots(
+    const std::vector<ShotAudioAnalysis>& analyses) const {
+  const size_t n = analyses.size();
+  // Union-find over speech shots; a BIC "no change" verdict links a pair.
+  std::vector<size_t> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = i;
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto usable = [&](size_t i) {
+    return analyses[i].has_speech && analyses[i].mfcc.rows() >= 8;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    if (!usable(i)) continue;
+    for (size_t j = i + 1; j < n; ++j) {
+      if (!usable(j)) continue;
+      if (!SpeakerChangeDetail(analyses[i], analyses[j]).speaker_change) {
+        parent[find(i)] = find(j);
+      }
+    }
+  }
+  std::vector<int> labels(n, -1);
+  std::map<size_t, int> label_of_root;
+  for (size_t i = 0; i < n; ++i) {
+    if (!usable(i)) continue;
+    const size_t root = find(i);
+    auto it = label_of_root.find(root);
+    if (it == label_of_root.end()) {
+      it = label_of_root.emplace(root,
+                                 static_cast<int>(label_of_root.size()))
+               .first;
+    }
+    labels[i] = it->second;
+  }
+  return labels;
+}
+
+}  // namespace classminer::audio

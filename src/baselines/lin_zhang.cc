@@ -1,0 +1,42 @@
+#include "baselines/lin_zhang.h"
+
+#include <algorithm>
+
+namespace classminer::baselines {
+
+std::vector<std::vector<int>> LinZhangScenes(
+    const std::vector<shot::Shot>& shots, const LinZhangOptions& options) {
+  std::vector<std::vector<int>> scenes;
+  const int n = static_cast<int>(shots.size());
+  if (n == 0) return scenes;
+
+  std::vector<int> current{0};
+  for (int b = 1; b < n; ++b) {
+    // Cross-correlation between the shots before and after boundary b.
+    double best = 0.0;
+    const int lo = std::max(0, b - options.window);
+    const int hi = std::min(n - 1, b + options.window - 1);
+    for (int i = lo; i < b; ++i) {
+      for (int j = b; j <= hi; ++j) {
+        best = std::max(best, features::StSim(
+                                  shots[static_cast<size_t>(i)].features,
+                                  shots[static_cast<size_t>(j)].features,
+                                  options.weights));
+      }
+    }
+    if (best < options.split_threshold) {
+      scenes.push_back(current);
+      current.clear();
+    }
+    current.push_back(b);
+  }
+  if (!current.empty()) scenes.push_back(current);
+  return scenes;
+}
+
+std::vector<std::vector<int>> LinZhangScenes(
+    const std::vector<shot::Shot>& shots) {
+  return LinZhangScenes(shots, LinZhangOptions());
+}
+
+}  // namespace classminer::baselines

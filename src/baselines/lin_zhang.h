@@ -1,0 +1,32 @@
+#ifndef CLASSMINER_BASELINES_LIN_ZHANG_H_
+#define CLASSMINER_BASELINES_LIN_ZHANG_H_
+
+#include <vector>
+
+#include "features/similarity.h"
+#include "shot/shot.h"
+
+namespace classminer::baselines {
+
+// Method C of the paper's comparison (Figs. 12-13): Lin & Zhang, "Automatic
+// video scene extraction by shot grouping" (ICPR 2000). A sliding window of
+// shots straddles each candidate boundary; the boundary is declared when
+// the best cross-window correlation falls below a threshold. Aggressive
+// merging gives the highest compression at the cost of precision.
+struct LinZhangOptions {
+  int window = 5;               // shots on each side of the boundary
+  // Fixed global threshold, as in the original method. Tuned for average
+  // content, it under-splits heterogeneous medical video — the behaviour
+  // behind Method C's high compression / low precision in Figs. 12-13.
+  double split_threshold = 0.35;
+  features::StSimWeights weights{};
+};
+
+std::vector<std::vector<int>> LinZhangScenes(
+    const std::vector<shot::Shot>& shots, const LinZhangOptions& options);
+std::vector<std::vector<int>> LinZhangScenes(
+    const std::vector<shot::Shot>& shots);
+
+}  // namespace classminer::baselines
+
+#endif  // CLASSMINER_BASELINES_LIN_ZHANG_H_

@@ -1,0 +1,95 @@
+#include "baselines/rui_toc.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace classminer::baselines {
+namespace {
+
+struct TocGroup {
+  std::vector<int> shots;
+  int last_shot = -1;
+};
+
+}  // namespace
+
+std::vector<std::vector<int>> RuiTocScenes(const std::vector<shot::Shot>& shots,
+                                           const RuiTocOptions& options) {
+  std::vector<std::vector<int>> scenes;
+  const int n = static_cast<int>(shots.size());
+  if (n == 0) return scenes;
+
+  // Phase 1: time-adaptive grouping.
+  std::vector<TocGroup> groups;
+  std::vector<int> group_of_shot(static_cast<size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    int best_group = -1;
+    double best_sim = options.group_threshold;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      const TocGroup& grp = groups[g];
+      const double gap = static_cast<double>(i - grp.last_shot);
+      const double atten = std::exp(-gap / options.attenuation_shots);
+      const double sim =
+          atten * features::StSim(
+                      shots[static_cast<size_t>(i)].features,
+                      shots[static_cast<size_t>(grp.last_shot)].features,
+                      options.weights);
+      if (sim > best_sim) {
+        best_sim = sim;
+        best_group = static_cast<int>(g);
+      }
+    }
+    if (best_group < 0) {
+      TocGroup grp;
+      grp.shots.push_back(i);
+      grp.last_shot = i;
+      groups.push_back(std::move(grp));
+      best_group = static_cast<int>(groups.size()) - 1;
+    } else {
+      groups[static_cast<size_t>(best_group)].shots.push_back(i);
+      groups[static_cast<size_t>(best_group)].last_shot = i;
+    }
+    group_of_shot[static_cast<size_t>(i)] = best_group;
+  }
+
+  // Phase 2: scene construction from the groups' temporal spans (the ToC
+  // paper merges temporally interleaved groups into one scene). A scene
+  // boundary falls between shots i-1 and i when no group has members on
+  // both sides within the look-around window, and the direct similarity
+  // across the boundary is low.
+  const int window = std::max(1, static_cast<int>(options.attenuation_shots));
+  std::vector<int> current{0};
+  for (int i = 1; i < n; ++i) {
+    bool spanned = false;
+    for (int j = std::max(0, i - window); j < i && !spanned; ++j) {
+      for (int k = i; k < std::min(n, i + window) && !spanned; ++k) {
+        if (group_of_shot[static_cast<size_t>(j)] ==
+            group_of_shot[static_cast<size_t>(k)]) {
+          spanned = true;
+        }
+      }
+    }
+    double cross_sim = 0.0;
+    for (int j = std::max(0, i - 2); j < i; ++j) {
+      cross_sim = std::max(
+          cross_sim,
+          features::StSim(shots[static_cast<size_t>(i)].features,
+                          shots[static_cast<size_t>(j)].features,
+                          options.weights));
+    }
+    if (!spanned && cross_sim < options.scene_threshold) {
+      scenes.push_back(current);
+      current.clear();
+    }
+    current.push_back(i);
+  }
+  if (!current.empty()) scenes.push_back(current);
+  return scenes;
+}
+
+std::vector<std::vector<int>> RuiTocScenes(
+    const std::vector<shot::Shot>& shots) {
+  return RuiTocScenes(shots, RuiTocOptions());
+}
+
+}  // namespace classminer::baselines

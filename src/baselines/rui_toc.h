@@ -1,0 +1,34 @@
+#ifndef CLASSMINER_BASELINES_RUI_TOC_H_
+#define CLASSMINER_BASELINES_RUI_TOC_H_
+
+#include <vector>
+
+#include "features/similarity.h"
+#include "shot/shot.h"
+
+namespace classminer::baselines {
+
+// Method B of the paper's comparison (Figs. 12-13): Rui, Huang & Mehrotra,
+// "Constructing table-of-content for videos" (1999). Shots join existing
+// groups by time-attenuated visual similarity; groups then merge into
+// scenes by inter-group similarity.
+struct RuiTocOptions {
+  // Similarity gate for joining an existing group.
+  double group_threshold = 0.55;
+  // Direct-similarity gate across a candidate scene boundary.
+  double scene_threshold = 0.36;
+  // Temporal attenuation half-life in shots (also the look-around window
+  // for group-span scene construction).
+  double attenuation_shots = 6.0;
+  features::StSimWeights weights{};
+};
+
+// Returns scenes as sets of shot indices (each shot appears exactly once).
+std::vector<std::vector<int>> RuiTocScenes(
+    const std::vector<shot::Shot>& shots, const RuiTocOptions& options);
+std::vector<std::vector<int>> RuiTocScenes(
+    const std::vector<shot::Shot>& shots);
+
+}  // namespace classminer::baselines
+
+#endif  // CLASSMINER_BASELINES_RUI_TOC_H_

@@ -1,0 +1,63 @@
+#include "baselines/yeung_stg.h"
+
+#include <algorithm>
+
+namespace classminer::baselines {
+
+std::vector<std::vector<int>> YeungStgScenes(
+    const std::vector<shot::Shot>& shots, const YeungStgOptions& options) {
+  std::vector<std::vector<int>> scenes;
+  const int n = static_cast<int>(shots.size());
+  if (n == 0) return scenes;
+
+  // Time-constrained greedy clustering: each shot joins the cluster of the
+  // most similar prior shot within the window, if above threshold.
+  std::vector<int> cluster_of(static_cast<size_t>(n), -1);
+  int next_cluster = 0;
+  for (int i = 0; i < n; ++i) {
+    int best = -1;
+    double best_sim = options.cluster_threshold;
+    for (int j = std::max(0, i - options.time_window_shots); j < i; ++j) {
+      const double sim =
+          features::StSim(shots[static_cast<size_t>(i)].features,
+                          shots[static_cast<size_t>(j)].features,
+                          options.weights);
+      if (sim > best_sim) {
+        best_sim = sim;
+        best = cluster_of[static_cast<size_t>(j)];
+      }
+    }
+    cluster_of[static_cast<size_t>(i)] = best >= 0 ? best : next_cluster++;
+  }
+
+  // Story-unit boundaries: after shot i when no cluster spans the boundary
+  // within the time window.
+  std::vector<int> current{0};
+  for (int i = 1; i < n; ++i) {
+    bool spans = false;
+    for (int j = std::max(0, i - options.time_window_shots); j < i && !spans;
+         ++j) {
+      for (int k = i;
+           k < std::min(n, i + options.time_window_shots) && !spans; ++k) {
+        if (cluster_of[static_cast<size_t>(j)] ==
+            cluster_of[static_cast<size_t>(k)]) {
+          spans = true;
+        }
+      }
+    }
+    if (!spans) {
+      scenes.push_back(current);
+      current.clear();
+    }
+    current.push_back(i);
+  }
+  if (!current.empty()) scenes.push_back(current);
+  return scenes;
+}
+
+std::vector<std::vector<int>> YeungStgScenes(
+    const std::vector<shot::Shot>& shots) {
+  return YeungStgScenes(shots, YeungStgOptions());
+}
+
+}  // namespace classminer::baselines

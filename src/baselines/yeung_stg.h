@@ -1,0 +1,29 @@
+#ifndef CLASSMINER_BASELINES_YEUNG_STG_H_
+#define CLASSMINER_BASELINES_YEUNG_STG_H_
+
+#include <vector>
+
+#include "features/similarity.h"
+#include "shot/shot.h"
+
+namespace classminer::baselines {
+
+// Extension baseline: Yeung & Yeo's time-constrained clustering with a
+// Scene Transition Graph [15]. Shots cluster when visually similar *and*
+// temporally close; a story-unit boundary falls after shot i when no
+// cluster has members on both sides of the boundary within the time window
+// (i.e. every STG edge crossing the boundary is a forward "cut edge").
+struct YeungStgOptions {
+  double cluster_threshold = 0.75;  // StSim gate
+  int time_window_shots = 10;       // max temporal distance inside a cluster
+  features::StSimWeights weights{};
+};
+
+std::vector<std::vector<int>> YeungStgScenes(
+    const std::vector<shot::Shot>& shots, const YeungStgOptions& options);
+std::vector<std::vector<int>> YeungStgScenes(
+    const std::vector<shot::Shot>& shots);
+
+}  // namespace classminer::baselines
+
+#endif  // CLASSMINER_BASELINES_YEUNG_STG_H_

@@ -1,0 +1,80 @@
+#include "codec/bitstream.h"
+
+namespace classminer::codec {
+
+void BitWriter::PutBit(int bit) {
+  current_ = static_cast<uint8_t>((current_ << 1) | (bit & 1));
+  if (++bit_pos_ == 8) {
+    bytes_.push_back(current_);
+    current_ = 0;
+    bit_pos_ = 0;
+  }
+}
+
+void BitWriter::PutBits(uint32_t value, int count) {
+  for (int i = count - 1; i >= 0; --i) PutBit(static_cast<int>((value >> i) & 1));
+}
+
+void BitWriter::PutUE(uint32_t v) {
+  // Code number v+1 with leading-zero prefix.
+  const uint32_t code = v + 1;
+  int len = 0;
+  for (uint32_t t = code; t > 1; t >>= 1) ++len;
+  for (int i = 0; i < len; ++i) PutBit(0);
+  PutBits(code, len + 1);
+}
+
+void BitWriter::PutSE(int32_t v) {
+  const uint32_t mapped =
+      v > 0 ? static_cast<uint32_t>(2 * v - 1) : static_cast<uint32_t>(-2 * v);
+  PutUE(mapped);
+}
+
+std::vector<uint8_t> BitWriter::Finish() {
+  while (bit_pos_ != 0) PutBit(0);
+  return std::move(bytes_);
+}
+
+util::StatusOr<int> BitReader::GetBit() {
+  if (byte_pos_ >= size_) return util::Status::DataLoss("bitstream exhausted");
+  const int bit = (data_[byte_pos_] >> (7 - bit_pos_)) & 1;
+  if (++bit_pos_ == 8) {
+    bit_pos_ = 0;
+    ++byte_pos_;
+  }
+  return bit;
+}
+
+util::StatusOr<uint32_t> BitReader::GetBits(int count) {
+  uint32_t v = 0;
+  for (int i = 0; i < count; ++i) {
+    util::StatusOr<int> bit = GetBit();
+    if (!bit.ok()) return bit.status();
+    v = (v << 1) | static_cast<uint32_t>(*bit);
+  }
+  return v;
+}
+
+util::StatusOr<uint32_t> BitReader::GetUE() {
+  int zeros = 0;
+  while (true) {
+    util::StatusOr<int> bit = GetBit();
+    if (!bit.ok()) return bit.status();
+    if (*bit == 1) break;
+    if (++zeros > 31) return util::Status::DataLoss("malformed exp-Golomb code");
+  }
+  util::StatusOr<uint32_t> rest = GetBits(zeros);
+  if (!rest.ok()) return rest.status();
+  const uint32_t code = (1u << zeros) | *rest;
+  return code - 1;
+}
+
+util::StatusOr<int32_t> BitReader::GetSE() {
+  util::StatusOr<uint32_t> ue = GetUE();
+  if (!ue.ok()) return ue.status();
+  const uint32_t v = *ue;
+  if (v % 2 == 1) return static_cast<int32_t>((v + 1) / 2);
+  return -static_cast<int32_t>(v / 2);
+}
+
+}  // namespace classminer::codec

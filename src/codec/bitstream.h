@@ -1,0 +1,57 @@
+#ifndef CLASSMINER_CODEC_BITSTREAM_H_
+#define CLASSMINER_CODEC_BITSTREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace classminer::codec {
+
+// MSB-first bit writer used by the entropy coder.
+class BitWriter {
+ public:
+  void PutBit(int bit);
+  void PutBits(uint32_t value, int count);  // writes `count` low bits, MSB first
+
+  // Unsigned exp-Golomb code (H.264-style): v >= 0.
+  void PutUE(uint32_t v);
+  // Signed exp-Golomb: 0, 1, -1, 2, -2, ...
+  void PutSE(int32_t v);
+
+  // Pads with zero bits to a byte boundary and returns the buffer.
+  std::vector<uint8_t> Finish();
+
+  size_t bit_count() const { return bytes_.size() * 8 + bit_pos_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint8_t current_ = 0;
+  int bit_pos_ = 0;  // bits already used in `current_`
+};
+
+// MSB-first bit reader; out-of-data reads return DATA_LOSS.
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit BitReader(const std::vector<uint8_t>& bytes)
+      : BitReader(bytes.data(), bytes.size()) {}
+
+  util::StatusOr<int> GetBit();
+  util::StatusOr<uint32_t> GetBits(int count);
+  util::StatusOr<uint32_t> GetUE();
+  util::StatusOr<int32_t> GetSE();
+
+  size_t bits_consumed() const { return byte_pos_ * 8 + bit_pos_; }
+  bool exhausted() const { return byte_pos_ >= size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t byte_pos_ = 0;
+  int bit_pos_ = 0;
+};
+
+}  // namespace classminer::codec
+
+#endif  // CLASSMINER_CODEC_BITSTREAM_H_

@@ -1,0 +1,121 @@
+#include "codec/container.h"
+
+#include <cstring>
+
+#include "util/serial.h"
+
+namespace classminer::codec {
+
+size_t CmvFile::VideoPayloadBytes() const {
+  size_t total = 0;
+  for (const FrameRecord& f : frames) total += f.payload.size();
+  return total;
+}
+
+std::vector<uint8_t> CmvFile::Serialize() const {
+  util::ByteWriter w;
+  w.PutU32(kMagic);
+  w.PutString(name);
+  w.PutI32(width);
+  w.PutI32(height);
+  w.PutF64(fps);
+  w.PutI32(quality);
+  w.PutI32(gop_size);
+
+  w.PutU32(static_cast<uint32_t>(frames.size()));
+  for (const FrameRecord& f : frames) {
+    w.PutU8(static_cast<uint8_t>(f.type));
+    w.PutU32(static_cast<uint32_t>(f.payload.size()));
+    w.PutBytes(f.payload.data(), f.payload.size());
+  }
+
+  w.PutI32(audio_sample_rate);
+  w.PutU32(static_cast<uint32_t>(audio_pcm.size()));
+  for (float s : audio_pcm) {
+    uint32_t bits;
+    std::memcpy(&bits, &s, sizeof(bits));
+    w.PutU32(bits);
+  }
+  return w.Release();
+}
+
+util::StatusOr<CmvFile> CmvFile::Parse(const std::vector<uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  util::StatusOr<uint32_t> magic = r.GetU32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kMagic) return util::Status::DataLoss("bad CMV magic");
+
+  CmvFile file;
+  util::StatusOr<std::string> name = r.GetString();
+  if (!name.ok()) return name.status();
+  file.name = *name;
+
+  auto get_i32 = [&r](int* out) -> util::Status {
+    util::StatusOr<int32_t> v = r.GetI32();
+    if (!v.ok()) return v.status();
+    *out = *v;
+    return util::Status::Ok();
+  };
+  CLASSMINER_RETURN_IF_ERROR(get_i32(&file.width));
+  CLASSMINER_RETURN_IF_ERROR(get_i32(&file.height));
+  if (file.width < 0 || file.height < 0 || file.width > 16384 ||
+      file.height > 16384) {
+    return util::Status::DataLoss("implausible CMV dimensions");
+  }
+  util::StatusOr<double> fps = r.GetF64();
+  if (!fps.ok()) return fps.status();
+  file.fps = *fps;
+  CLASSMINER_RETURN_IF_ERROR(get_i32(&file.quality));
+  CLASSMINER_RETURN_IF_ERROR(get_i32(&file.gop_size));
+
+  util::StatusOr<uint32_t> frame_count = r.GetU32();
+  if (!frame_count.ok()) return frame_count.status();
+  // Each frame record occupies at least 5 bytes; a larger claim cannot be
+  // satisfied by the remaining buffer (guards hostile reserve sizes).
+  if (*frame_count > r.remaining() / 5) {
+    return util::Status::DataLoss("frame count exceeds container size");
+  }
+  file.frames.reserve(*frame_count);
+  for (uint32_t i = 0; i < *frame_count; ++i) {
+    FrameRecord rec;
+    util::StatusOr<uint8_t> type = r.GetU8();
+    if (!type.ok()) return type.status();
+    if (*type > 1) return util::Status::DataLoss("unknown frame type");
+    rec.type = static_cast<FrameType>(*type);
+    util::StatusOr<uint32_t> size = r.GetU32();
+    if (!size.ok()) return size.status();
+    if (*size > r.remaining()) {
+      return util::Status::DataLoss("frame payload exceeds container");
+    }
+    rec.payload.resize(*size);
+    CLASSMINER_RETURN_IF_ERROR(r.GetBytes(rec.payload.data(), *size));
+    file.frames.push_back(std::move(rec));
+  }
+
+  CLASSMINER_RETURN_IF_ERROR(get_i32(&file.audio_sample_rate));
+  util::StatusOr<uint32_t> sample_count = r.GetU32();
+  if (!sample_count.ok()) return sample_count.status();
+  if (*sample_count > r.remaining() / 4) {
+    return util::Status::DataLoss("audio sample count exceeds container");
+  }
+  file.audio_pcm.resize(*sample_count);
+  for (uint32_t i = 0; i < *sample_count; ++i) {
+    util::StatusOr<uint32_t> bits = r.GetU32();
+    if (!bits.ok()) return bits.status();
+    uint32_t b = *bits;
+    std::memcpy(&file.audio_pcm[i], &b, sizeof(float));
+  }
+  return file;
+}
+
+util::Status CmvFile::SaveToFile(const std::string& path) const {
+  return util::WriteFile(path, Serialize());
+}
+
+util::StatusOr<CmvFile> CmvFile::LoadFromFile(const std::string& path) {
+  util::StatusOr<std::vector<uint8_t>> bytes = util::ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  return Parse(*bytes);
+}
+
+}  // namespace classminer::codec

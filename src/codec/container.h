@@ -1,0 +1,52 @@
+#ifndef CLASSMINER_CODEC_CONTAINER_H_
+#define CLASSMINER_CODEC_CONTAINER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace classminer::codec {
+
+enum class FrameType : uint8_t { kIntra = 0, kPredicted = 1 };
+
+// One encoded frame: type + entropy-coded payload.
+struct FrameRecord {
+  FrameType type = FrameType::kIntra;
+  std::vector<uint8_t> payload;
+};
+
+// The "CMV" container: sequence header, GOP-structured frame records and an
+// optional mono PCM audio track. This is the at-rest representation of a
+// video in the database (the stand-in for the paper's MPEG-I files).
+struct CmvFile {
+  static constexpr uint32_t kMagic = 0x31564d43;  // "CMV1"
+
+  std::string name;
+  int width = 0;
+  int height = 0;
+  double fps = 25.0;
+  int quality = 8;    // quantiser scale used at encode time
+  int gop_size = 12;  // I-frame period
+
+  std::vector<FrameRecord> frames;
+
+  int audio_sample_rate = 0;       // 0 = no audio track
+  std::vector<float> audio_pcm;    // mono samples in [-1, 1]
+
+  int frame_count() const { return static_cast<int>(frames.size()); }
+
+  // Total encoded video payload size in bytes (excludes header/audio).
+  size_t VideoPayloadBytes() const;
+
+  std::vector<uint8_t> Serialize() const;
+  static util::StatusOr<CmvFile> Parse(const std::vector<uint8_t>& bytes);
+
+  util::Status SaveToFile(const std::string& path) const;
+  static util::StatusOr<CmvFile> LoadFromFile(const std::string& path);
+};
+
+}  // namespace classminer::codec
+
+#endif  // CLASSMINER_CODEC_CONTAINER_H_

@@ -1,0 +1,185 @@
+#include "codec/dct.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace classminer::codec {
+namespace {
+
+// Precomputed cosine basis: kCos[u][x] = c(u) * cos((2x+1) u pi / 16).
+struct DctTables {
+  double basis[kBlockSize][kBlockSize];
+  DctTables() {
+    for (int u = 0; u < kBlockSize; ++u) {
+      const double cu = (u == 0) ? std::sqrt(1.0 / kBlockSize)
+                                 : std::sqrt(2.0 / kBlockSize);
+      for (int x = 0; x < kBlockSize; ++x) {
+        basis[u][x] = cu * std::cos((2.0 * x + 1.0) * u * std::numbers::pi /
+                                    (2.0 * kBlockSize));
+      }
+    }
+  }
+};
+
+const DctTables& Tables() {
+  static const DctTables tables;
+  return tables;
+}
+
+}  // namespace
+
+Block ForwardDct(const Block& spatial) {
+  const auto& t = Tables().basis;
+  // Separable: rows then columns.
+  Block tmp{};
+  for (int y = 0; y < kBlockSize; ++y) {
+    for (int u = 0; u < kBlockSize; ++u) {
+      double acc = 0.0;
+      for (int x = 0; x < kBlockSize; ++x) {
+        acc += spatial[static_cast<size_t>(y) * kBlockSize + x] * t[u][x];
+      }
+      tmp[static_cast<size_t>(y) * kBlockSize + u] = acc;
+    }
+  }
+  Block out{};
+  for (int u = 0; u < kBlockSize; ++u) {
+    for (int v = 0; v < kBlockSize; ++v) {
+      double acc = 0.0;
+      for (int y = 0; y < kBlockSize; ++y) {
+        acc += tmp[static_cast<size_t>(y) * kBlockSize + u] * t[v][y];
+      }
+      out[static_cast<size_t>(v) * kBlockSize + u] = acc;
+    }
+  }
+  return out;
+}
+
+Block InverseDct(const Block& freq) {
+  const auto& t = Tables().basis;
+  Block tmp{};
+  for (int u = 0; u < kBlockSize; ++u) {
+    for (int y = 0; y < kBlockSize; ++y) {
+      double acc = 0.0;
+      for (int v = 0; v < kBlockSize; ++v) {
+        acc += freq[static_cast<size_t>(v) * kBlockSize + u] * t[v][y];
+      }
+      tmp[static_cast<size_t>(y) * kBlockSize + u] = acc;
+    }
+  }
+  Block out{};
+  for (int y = 0; y < kBlockSize; ++y) {
+    for (int x = 0; x < kBlockSize; ++x) {
+      double acc = 0.0;
+      for (int u = 0; u < kBlockSize; ++u) {
+        acc += tmp[static_cast<size_t>(y) * kBlockSize + u] * t[u][x];
+      }
+      out[static_cast<size_t>(y) * kBlockSize + x] = acc;
+    }
+  }
+  return out;
+}
+
+Picture FromImage(const media::Image& image) {
+  const int w = image.width();
+  const int h = image.height();
+  const int cw = (w + 1) / 2;
+  const int ch = (h + 1) / 2;
+
+  Picture pic;
+  pic.y = Plane::Make(w, h);
+  pic.cb = Plane::Make(cw, ch);
+  pic.cr = Plane::Make(cw, ch);
+
+  // Full-resolution YCbCr, then average 2x2 for chroma.
+  std::vector<double> cb_full(static_cast<size_t>(w) * h);
+  std::vector<double> cr_full(static_cast<size_t>(w) * h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const media::Rgb p = image.at(x, y);
+      const double yy = 0.299 * p.r + 0.587 * p.g + 0.114 * p.b;
+      const double cb = 128.0 - 0.168736 * p.r - 0.331264 * p.g + 0.5 * p.b;
+      const double cr = 128.0 + 0.5 * p.r - 0.418688 * p.g - 0.081312 * p.b;
+      pic.y.set(x, y, static_cast<int16_t>(std::lround(
+                          std::clamp(yy, 0.0, 255.0))));
+      cb_full[static_cast<size_t>(y) * w + x] = cb;
+      cr_full[static_cast<size_t>(y) * w + x] = cr;
+    }
+  }
+  for (int y = 0; y < ch; ++y) {
+    for (int x = 0; x < cw; ++x) {
+      double sum_cb = 0.0, sum_cr = 0.0;
+      int n = 0;
+      for (int dy = 0; dy < 2; ++dy) {
+        for (int dx = 0; dx < 2; ++dx) {
+          const int sx = 2 * x + dx;
+          const int sy = 2 * y + dy;
+          if (sx < w && sy < h) {
+            sum_cb += cb_full[static_cast<size_t>(sy) * w + sx];
+            sum_cr += cr_full[static_cast<size_t>(sy) * w + sx];
+            ++n;
+          }
+        }
+      }
+      pic.cb.set(x, y, static_cast<int16_t>(std::lround(
+                           std::clamp(sum_cb / n, 0.0, 255.0))));
+      pic.cr.set(x, y, static_cast<int16_t>(std::lround(
+                           std::clamp(sum_cr / n, 0.0, 255.0))));
+    }
+  }
+  return pic;
+}
+
+media::Image ToImage(const Picture& picture, int width, int height) {
+  media::Image out(width, height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const double yy = picture.y.at(std::min(x, picture.y.width - 1),
+                                     std::min(y, picture.y.height - 1));
+      const int cx = std::min(x / 2, picture.cb.width - 1);
+      const int cy = std::min(y / 2, picture.cb.height - 1);
+      const double cb = picture.cb.at(cx, cy) - 128.0;
+      const double cr = picture.cr.at(cx, cy) - 128.0;
+      auto to8 = [](double v) {
+        return static_cast<uint8_t>(std::lround(std::clamp(v, 0.0, 255.0)));
+      };
+      out.set(x, y,
+              media::Rgb{to8(yy + 1.402 * cr),
+                         to8(yy - 0.344136 * cb - 0.714136 * cr),
+                         to8(yy + 1.772 * cb)});
+    }
+  }
+  return out;
+}
+
+Block GetBlock(const Plane& plane, int bx, int by, bool center) {
+  Block block{};
+  const double offset = center ? 128.0 : 0.0;
+  for (int y = 0; y < kBlockSize; ++y) {
+    const int sy = std::min(by * kBlockSize + y, plane.height - 1);
+    for (int x = 0; x < kBlockSize; ++x) {
+      const int sx = std::min(bx * kBlockSize + x, plane.width - 1);
+      block[static_cast<size_t>(y) * kBlockSize + x] =
+          plane.at(sx, sy) - offset;
+    }
+  }
+  return block;
+}
+
+void PutBlock(Plane* plane, int bx, int by, const Block& block, bool center) {
+  const double offset = center ? 128.0 : 0.0;
+  for (int y = 0; y < kBlockSize; ++y) {
+    const int dy = by * kBlockSize + y;
+    if (dy >= plane->height) break;
+    for (int x = 0; x < kBlockSize; ++x) {
+      const int dx = bx * kBlockSize + x;
+      if (dx >= plane->width) break;
+      const double v =
+          block[static_cast<size_t>(y) * kBlockSize + x] + offset;
+      plane->set(dx, dy, static_cast<int16_t>(
+                             std::lround(std::clamp(v, 0.0, 255.0))));
+    }
+  }
+}
+
+}  // namespace classminer::codec

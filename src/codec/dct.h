@@ -1,0 +1,68 @@
+#ifndef CLASSMINER_CODEC_DCT_H_
+#define CLASSMINER_CODEC_DCT_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "media/image.h"
+
+namespace classminer::codec {
+
+inline constexpr int kBlockSize = 8;
+inline constexpr int kBlockPixels = kBlockSize * kBlockSize;
+
+using Block = std::array<double, kBlockPixels>;
+
+// Type-II 2-D DCT of an 8x8 block (orthonormal scaling).
+Block ForwardDct(const Block& spatial);
+
+// Inverse (type-III) 2-D DCT.
+Block InverseDct(const Block& freq);
+
+// A planar 8-bit single-channel image with row-major storage, padded as the
+// caller wishes. Thin alias over GrayImage-like storage but with int16
+// headroom for residuals.
+struct Plane {
+  int width = 0;
+  int height = 0;
+  std::vector<int16_t> samples;  // typically in [0, 255] or residual range
+
+  int16_t at(int x, int y) const {
+    return samples[static_cast<size_t>(y) * width + x];
+  }
+  void set(int x, int y, int16_t v) {
+    samples[static_cast<size_t>(y) * width + x] = v;
+  }
+  static Plane Make(int w, int h, int16_t fill = 0) {
+    Plane p;
+    p.width = w;
+    p.height = h;
+    p.samples.assign(static_cast<size_t>(w) * h, fill);
+    return p;
+  }
+};
+
+// YCbCr 4:2:0 picture: full-resolution luma, half-resolution chroma.
+struct Picture {
+  Plane y;
+  Plane cb;
+  Plane cr;
+};
+
+// BT.601 RGB <-> YCbCr 4:2:0 conversion. Dimensions are rounded up to even
+// for chroma subsampling; ToImage crops back to (width, height).
+Picture FromImage(const media::Image& image);
+media::Image ToImage(const Picture& picture, int width, int height);
+
+// Extracts an 8x8 block at (bx*8, by*8) from `plane`, replicating edge
+// samples beyond bounds; returns samples centred by -128 for luma-style
+// planes when `center` is true.
+Block GetBlock(const Plane& plane, int bx, int by, bool center);
+
+// Writes the block back, clamping to [0, 255] (after +128 when `center`).
+void PutBlock(Plane* plane, int bx, int by, const Block& block, bool center);
+
+}  // namespace classminer::codec
+
+#endif  // CLASSMINER_CODEC_DCT_H_

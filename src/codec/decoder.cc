@@ -1,0 +1,276 @@
+#include "codec/decoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "codec/bitstream.h"
+#include "codec/motion.h"
+#include "codec/quant.h"
+
+namespace classminer::codec {
+namespace {
+
+int BlocksAcross(int extent) { return (extent + kBlockSize - 1) / kBlockSize; }
+
+// Decodes an intra plane. When `dc_only` is set, AC coefficients are parsed
+// but not inverse-transformed, and only the per-block mean (DC/8 + 128) is
+// stored into `dc_out`.
+util::Status DecodeIntraPlane(BitReader* reader, int quality, bool chroma,
+                              Plane* plane, bool dc_only,
+                              std::vector<double>* dc_out) {
+  const int bw = BlocksAcross(plane->width);
+  const int bh = BlocksAcross(plane->height);
+  int32_t dc_pred = 0;
+  QuantizedBlock q;
+  for (int by = 0; by < bh; ++by) {
+    for (int bx = 0; bx < bw; ++bx) {
+      util::StatusOr<int32_t> dc = DecodeBlock(reader, &q, dc_pred);
+      if (!dc.ok()) return dc.status();
+      dc_pred = *dc;
+      if (dc_only) {
+        if (dc_out != nullptr) {
+          const Block deq = Dequantize(q, quality, chroma);
+          dc_out->push_back(deq[0] / kBlockSize + 128.0);
+        }
+        continue;
+      }
+      const Block deq = Dequantize(q, quality, chroma);
+      PutBlock(plane, bx, by, InverseDct(deq), /*center=*/true);
+    }
+  }
+  return util::Status::Ok();
+}
+
+struct PFrameSink {
+  // Full decode targets (null in DC-only mode).
+  Picture* recon = nullptr;
+  const Picture* ref = nullptr;
+  // DC-only targets.
+  media::GrayImage* dc_image = nullptr;
+  const media::GrayImage* prev_dc = nullptr;
+};
+
+// Walks a P-frame payload. In full mode reconstructs the picture; in DC
+// mode updates the DC thumbnail with motion-shifted previous DC + residual
+// DC means. Layout must mirror EncodePredicted.
+util::Status DecodePredictedFrame(BitReader* reader, int width, int height,
+                                  int quality, PFrameSink* sink) {
+  const int mbw = (width + kMacroblockSize - 1) / kMacroblockSize;
+  const int mbh = (height + kMacroblockSize - 1) / kMacroblockSize;
+  const int cbw = ((width + 1) / 2);
+  const int cbh = ((height + 1) / 2);
+
+  const bool full = sink->recon != nullptr;
+  Plane pred_y, pred_cb, pred_cr;
+  if (full) {
+    pred_y = Plane::Make(width, height);
+    pred_cb = Plane::Make(cbw, cbh);
+    pred_cr = Plane::Make(cbw, cbh);
+  }
+
+  QuantizedBlock q;
+  for (int my = 0; my < mbh; ++my) {
+    for (int mx = 0; mx < mbw; ++mx) {
+      util::StatusOr<int32_t> dx = reader->GetSE();
+      if (!dx.ok()) return dx.status();
+      util::StatusOr<int32_t> dy = reader->GetSE();
+      if (!dy.ok()) return dy.status();
+      const MotionVector mv{*dx, *dy};
+
+      const int px = mx * kMacroblockSize;
+      const int py = my * kMacroblockSize;
+      if (full) {
+        MotionCompensate(sink->ref->y, &pred_y, px, py, mv, kMacroblockSize);
+        const MotionVector cmv{mv.dx / 2, mv.dy / 2};
+        MotionCompensate(sink->ref->cb, &pred_cb, px / 2, py / 2, cmv,
+                         kBlockSize);
+        MotionCompensate(sink->ref->cr, &pred_cr, px / 2, py / 2, cmv,
+                         kBlockSize);
+      }
+
+      for (int sub = 0; sub < 4; ++sub) {
+        const int bx = 2 * mx + (sub % 2);
+        const int by = 2 * my + (sub / 2);
+        if (bx * kBlockSize >= width || by * kBlockSize >= height) continue;
+        util::StatusOr<int32_t> dc = DecodeBlock(reader, &q, 0);
+        if (!dc.ok()) return dc.status();
+        const Block deq = Dequantize(q, quality, /*chroma=*/false);
+        if (full) {
+          const Block residual = InverseDct(deq);
+          for (int y = 0; y < kBlockSize; ++y) {
+            const int yy = by * kBlockSize + y;
+            if (yy >= height) break;
+            for (int x = 0; x < kBlockSize; ++x) {
+              const int xx = bx * kBlockSize + x;
+              if (xx >= width) break;
+              const double v =
+                  pred_y.at(xx, yy) +
+                  residual[static_cast<size_t>(y) * kBlockSize + x];
+              sink->recon->y.set(
+                  xx, yy,
+                  static_cast<int16_t>(std::lround(std::clamp(v, 0.0, 255.0))));
+            }
+          }
+        } else if (sink->dc_image != nullptr) {
+          // DC-resolution motion compensation: sample the previous DC image
+          // at the vector-shifted position (rounded to DC grid).
+          const media::GrayImage& prev = *sink->prev_dc;
+          const int sx = std::clamp(
+              bx + static_cast<int>(std::lround(mv.dx / 8.0)), 0,
+              prev.width() - 1);
+          const int sy = std::clamp(
+              by + static_cast<int>(std::lround(mv.dy / 8.0)), 0,
+              prev.height() - 1);
+          const double base = prev.at(sx, sy);
+          const double mean = base + deq[0] / kBlockSize;
+          if (bx < sink->dc_image->width() && by < sink->dc_image->height()) {
+            sink->dc_image->set(
+                bx, by,
+                static_cast<uint8_t>(std::lround(std::clamp(mean, 0.0, 255.0))));
+          }
+        }
+      }
+      if (mx * kBlockSize < cbw && my * kBlockSize < cbh) {
+        for (int c = 0; c < 2; ++c) {
+          util::StatusOr<int32_t> dc = DecodeBlock(reader, &q, 0);
+          if (!dc.ok()) return dc.status();
+          if (full) {
+            const Block deq = Dequantize(q, quality, /*chroma=*/true);
+            const Block residual = InverseDct(deq);
+            Plane& out = (c == 0) ? sink->recon->cb : sink->recon->cr;
+            const Plane& pred = (c == 0) ? pred_cb : pred_cr;
+            for (int y = 0; y < kBlockSize; ++y) {
+              const int yy = my * kBlockSize + y;
+              if (yy >= out.height) break;
+              for (int x = 0; x < kBlockSize; ++x) {
+                const int xx = mx * kBlockSize + x;
+                if (xx >= out.width) break;
+                const double v =
+                    pred.at(xx, yy) +
+                    residual[static_cast<size_t>(y) * kBlockSize + x];
+                out.set(xx, yy,
+                        static_cast<int16_t>(
+                            std::lround(std::clamp(v, 0.0, 255.0))));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::StatusOr<media::Video> DecodeVideo(const CmvFile& file) {
+  if (file.width <= 0 || file.height <= 0) {
+    return util::Status::InvalidArgument("CMV file has empty dimensions");
+  }
+  media::Video video(file.name, file.fps);
+  video.Reserve(file.frames.size());
+
+  Picture recon;
+  const int cw = (file.width + 1) / 2;
+  const int ch = (file.height + 1) / 2;
+  for (size_t i = 0; i < file.frames.size(); ++i) {
+    const FrameRecord& rec = file.frames[i];
+    BitReader reader(rec.payload);
+    if (rec.type == FrameType::kIntra) {
+      recon.y = Plane::Make(file.width, file.height);
+      recon.cb = Plane::Make(cw, ch);
+      recon.cr = Plane::Make(cw, ch);
+      CLASSMINER_RETURN_IF_ERROR(DecodeIntraPlane(
+          &reader, file.quality, false, &recon.y, false, nullptr));
+      CLASSMINER_RETURN_IF_ERROR(DecodeIntraPlane(
+          &reader, file.quality, true, &recon.cb, false, nullptr));
+      CLASSMINER_RETURN_IF_ERROR(DecodeIntraPlane(
+          &reader, file.quality, true, &recon.cr, false, nullptr));
+    } else {
+      if (i == 0) return util::Status::DataLoss("stream starts with P-frame");
+      Picture next;
+      next.y = Plane::Make(file.width, file.height);
+      next.cb = Plane::Make(cw, ch);
+      next.cr = Plane::Make(cw, ch);
+      PFrameSink sink;
+      sink.recon = &next;
+      sink.ref = &recon;
+      CLASSMINER_RETURN_IF_ERROR(DecodePredictedFrame(
+          &reader, file.width, file.height, file.quality, &sink));
+      recon = std::move(next);
+    }
+    video.AppendFrame(ToImage(recon, file.width, file.height));
+  }
+  return video;
+}
+
+util::StatusOr<std::vector<media::GrayImage>> DecodeDcImages(
+    const CmvFile& file) {
+  if (file.width <= 0 || file.height <= 0) {
+    return util::Status::InvalidArgument("CMV file has empty dimensions");
+  }
+  const int dcw = BlocksAcross(file.width);
+  const int dch = BlocksAcross(file.height);
+  const int cw = (file.width + 1) / 2;
+  const int ch = (file.height + 1) / 2;
+
+  std::vector<media::GrayImage> out;
+  out.reserve(file.frames.size());
+  media::GrayImage prev;
+  for (size_t i = 0; i < file.frames.size(); ++i) {
+    const FrameRecord& rec = file.frames[i];
+    BitReader reader(rec.payload);
+    media::GrayImage dc(dcw, dch);
+    if (rec.type == FrameType::kIntra) {
+      Plane y_dims = Plane::Make(file.width, file.height);
+      std::vector<double> dcs;
+      dcs.reserve(static_cast<size_t>(dcw) * dch);
+      CLASSMINER_RETURN_IF_ERROR(DecodeIntraPlane(
+          &reader, file.quality, false, &y_dims, /*dc_only=*/true, &dcs));
+      for (int by = 0; by < dch; ++by) {
+        for (int bx = 0; bx < dcw; ++bx) {
+          const double v = dcs[static_cast<size_t>(by) * dcw + bx];
+          dc.set(bx, by,
+                 static_cast<uint8_t>(std::lround(std::clamp(v, 0.0, 255.0))));
+        }
+      }
+      // Chroma planes still occupy the bitstream; no need to parse them for
+      // the luma-only DC series (payloads are length-delimited per frame).
+    } else {
+      if (i == 0) return util::Status::DataLoss("stream starts with P-frame");
+      PFrameSink sink;
+      sink.dc_image = &dc;
+      sink.prev_dc = &prev;
+      CLASSMINER_RETURN_IF_ERROR(DecodePredictedFrame(
+          &reader, file.width, file.height, file.quality, &sink));
+      (void)cw;
+      (void)ch;
+    }
+    prev = dc;
+    out.push_back(std::move(dc));
+  }
+  return out;
+}
+
+double Psnr(const media::Image& a, const media::Image& b) {
+  const int w = std::min(a.width(), b.width());
+  const int h = std::min(a.height(), b.height());
+  if (w == 0 || h == 0) return 0.0;
+  double mse = 0.0;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const media::Rgb pa = a.at(x, y);
+      const media::Rgb pb = b.at(x, y);
+      const double dr = static_cast<double>(pa.r) - pb.r;
+      const double dg = static_cast<double>(pa.g) - pb.g;
+      const double db = static_cast<double>(pa.b) - pb.b;
+      mse += (dr * dr + dg * dg + db * db) / 3.0;
+    }
+  }
+  mse /= static_cast<double>(w) * h;
+  if (mse <= 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace classminer::codec

@@ -1,0 +1,31 @@
+#ifndef CLASSMINER_CODEC_DECODER_H_
+#define CLASSMINER_CODEC_DECODER_H_
+
+#include <vector>
+
+#include "codec/container.h"
+#include "codec/dct.h"
+#include "media/image.h"
+#include "media/video.h"
+#include "util/status.h"
+
+namespace classminer::codec {
+
+// Fully decodes a CMV file back into an in-memory video.
+util::StatusOr<media::Video> DecodeVideo(const CmvFile& file);
+
+// Compressed-domain fast path: reconstructs the sequence of DC images (one
+// luma mean per 8x8 block, i.e. a width/8 x height/8 thumbnail per frame)
+// without inverse-transforming AC coefficients. I-frames use their coded DC
+// terms directly; P-frames apply motion-vector shifts to the previous DC
+// image plus the residual DC (Yeo & Liu-style DC sequence extraction). This
+// is what the MPEG-domain shot detector consumes.
+util::StatusOr<std::vector<media::GrayImage>> DecodeDcImages(
+    const CmvFile& file);
+
+// PSNR (dB) between two equally-sized images; +inf for identical content.
+double Psnr(const media::Image& a, const media::Image& b);
+
+}  // namespace classminer::codec
+
+#endif  // CLASSMINER_CODEC_DECODER_H_

@@ -1,0 +1,36 @@
+#ifndef CLASSMINER_CODEC_ENCODER_H_
+#define CLASSMINER_CODEC_ENCODER_H_
+
+#include "codec/container.h"
+#include "codec/dct.h"
+#include "media/video.h"
+
+namespace classminer::codec {
+
+struct EncoderOptions {
+  int quality = 8;       // quantiser scale, 1 (fine) .. 31 (coarse)
+  int gop_size = 12;     // I-frame every `gop_size` frames
+  int search_range = 7;  // motion search range in pixels
+};
+
+// Encodes a decoded video into a CMV container (video track only; callers
+// attach audio to the returned file). Deterministic.
+CmvFile EncodeVideo(const media::Video& video, const EncoderOptions& options);
+
+namespace internal {
+
+// Encodes one picture as an intra frame. Reconstructs into `recon` (the
+// encoder's decode loop) so P-frames predict from what the decoder will see.
+std::vector<uint8_t> EncodeIntra(const Picture& pic, int quality,
+                                 Picture* recon);
+
+// Encodes one picture as a predicted frame against `ref` (previous
+// reconstruction), writing the new reconstruction into `recon`.
+std::vector<uint8_t> EncodePredicted(const Picture& pic, const Picture& ref,
+                                     int quality, int search_range,
+                                     Picture* recon);
+
+}  // namespace internal
+}  // namespace classminer::codec
+
+#endif  // CLASSMINER_CODEC_ENCODER_H_

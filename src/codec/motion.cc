@@ -1,0 +1,66 @@
+#include "codec/motion.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace classminer::codec {
+namespace {
+
+int16_t SampleClamped(const Plane& p, int x, int y) {
+  x = std::clamp(x, 0, p.width - 1);
+  y = std::clamp(y, 0, p.height - 1);
+  return p.at(x, y);
+}
+
+}  // namespace
+
+int64_t MacroblockSad(const Plane& cur, const Plane& ref, int mx, int my,
+                      int dx, int dy) {
+  int64_t sad = 0;
+  for (int y = 0; y < kMacroblockSize; ++y) {
+    const int cy = my + y;
+    if (cy >= cur.height) break;
+    for (int x = 0; x < kMacroblockSize; ++x) {
+      const int cx = mx + x;
+      if (cx >= cur.width) break;
+      sad += std::abs(static_cast<int>(cur.at(cx, cy)) -
+                      SampleClamped(ref, cx + dx, cy + dy));
+    }
+  }
+  return sad;
+}
+
+MotionVector EstimateMotion(const Plane& cur, const Plane& ref, int mx,
+                            int my, int range) {
+  MotionVector best{0, 0};
+  int64_t best_sad = MacroblockSad(cur, ref, mx, my, 0, 0);
+  if (best_sad == 0) return best;
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const int64_t sad = MacroblockSad(cur, ref, mx, my, dx, dy);
+      // Slight zero bias: prefer shorter vectors on ties.
+      const int64_t penalty = std::abs(dx) + std::abs(dy);
+      if (sad + penalty < best_sad) {
+        best_sad = sad + penalty;
+        best = MotionVector{dx, dy};
+      }
+    }
+  }
+  return best;
+}
+
+void MotionCompensate(const Plane& ref, Plane* pred, int mx, int my,
+                      MotionVector mv, int block_size) {
+  for (int y = 0; y < block_size; ++y) {
+    const int py = my + y;
+    if (py >= pred->height) break;
+    for (int x = 0; x < block_size; ++x) {
+      const int px = mx + x;
+      if (px >= pred->width) break;
+      pred->set(px, py, SampleClamped(ref, px + mv.dx, py + mv.dy));
+    }
+  }
+}
+
+}  // namespace classminer::codec

@@ -1,0 +1,37 @@
+#ifndef CLASSMINER_CODEC_MOTION_H_
+#define CLASSMINER_CODEC_MOTION_H_
+
+#include <cstdint>
+
+#include "codec/dct.h"
+
+namespace classminer::codec {
+
+inline constexpr int kMacroblockSize = 16;
+
+struct MotionVector {
+  int dx = 0;
+  int dy = 0;
+
+  friend bool operator==(const MotionVector&, const MotionVector&) = default;
+};
+
+// Sum of absolute differences between the 16x16 macroblock at (mx, my) in
+// `cur` and the block displaced by (dx, dy) in `ref` (edge-clamped).
+int64_t MacroblockSad(const Plane& cur, const Plane& ref, int mx, int my,
+                      int dx, int dy);
+
+// Full-search motion estimation over [-range, range]^2 with an early-exit
+// centre bias; returns the vector minimising SAD.
+MotionVector EstimateMotion(const Plane& cur, const Plane& ref, int mx,
+                            int my, int range);
+
+// Copies the (possibly displaced, edge-clamped) macroblock of `ref` into
+// the prediction plane `pred` at (mx, my). `block_size` lets chroma reuse
+// this with 8x8 blocks and halved vectors.
+void MotionCompensate(const Plane& ref, Plane* pred, int mx, int my,
+                      MotionVector mv, int block_size);
+
+}  // namespace classminer::codec
+
+#endif  // CLASSMINER_CODEC_MOTION_H_

@@ -1,0 +1,122 @@
+#include "codec/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace classminer::codec {
+namespace {
+
+// JPEG Annex K luminance matrix.
+constexpr int kBaseMatrix[kBlockPixels] = {
+    16, 11, 10, 16, 24,  40,  51,  61,   //
+    12, 12, 14, 19, 26,  58,  60,  55,   //
+    14, 13, 16, 24, 40,  57,  69,  56,   //
+    14, 17, 22, 29, 51,  87,  80,  62,   //
+    18, 22, 37, 56, 68,  109, 103, 77,   //
+    24, 35, 55, 64, 81,  104, 113, 92,   //
+    49, 64, 78, 87, 103, 121, 120, 101,  //
+    72, 92, 95, 98, 112, 100, 103, 99};
+
+double StepSize(int index, int quality, bool chroma) {
+  const double scale = std::max(1, quality) / 8.0;
+  const double chroma_boost = chroma ? 1.4 : 1.0;
+  return std::max(1.0, kBaseMatrix[index] * scale * chroma_boost);
+}
+
+std::array<int, kBlockPixels> BuildZigzag() {
+  std::array<int, kBlockPixels> order{};
+  int idx = 0;
+  for (int s = 0; s < 2 * kBlockSize - 1; ++s) {
+    if (s % 2 == 0) {
+      // Walk up-right.
+      for (int y = std::min(s, kBlockSize - 1); y >= 0 && s - y < kBlockSize;
+           --y) {
+        order[static_cast<size_t>(idx++)] = y * kBlockSize + (s - y);
+      }
+    } else {
+      for (int x = std::min(s, kBlockSize - 1); x >= 0 && s - x < kBlockSize;
+           --x) {
+        order[static_cast<size_t>(idx++)] = (s - x) * kBlockSize + x;
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+const std::array<int, kBlockPixels>& ZigzagOrder() {
+  static const std::array<int, kBlockPixels> order = BuildZigzag();
+  return order;
+}
+
+QuantizedBlock Quantize(const Block& freq, int quality, bool chroma) {
+  QuantizedBlock q{};
+  for (int i = 0; i < kBlockPixels; ++i) {
+    q[static_cast<size_t>(i)] = static_cast<int32_t>(
+        std::lround(freq[static_cast<size_t>(i)] / StepSize(i, quality, chroma)));
+  }
+  return q;
+}
+
+Block Dequantize(const QuantizedBlock& q, int quality, bool chroma) {
+  Block freq{};
+  for (int i = 0; i < kBlockPixels; ++i) {
+    freq[static_cast<size_t>(i)] =
+        q[static_cast<size_t>(i)] * StepSize(i, quality, chroma);
+  }
+  return freq;
+}
+
+int32_t EncodeBlock(BitWriter* writer, const QuantizedBlock& q,
+                    int32_t dc_predictor) {
+  const auto& zz = ZigzagOrder();
+  const int32_t dc = q[0];
+  writer->PutSE(dc - dc_predictor);
+
+  int run = 0;
+  for (int i = 1; i < kBlockPixels; ++i) {
+    const int32_t level = q[static_cast<size_t>(zz[static_cast<size_t>(i)])];
+    if (level == 0) {
+      ++run;
+      continue;
+    }
+    writer->PutBit(1);  // coefficient flag
+    writer->PutUE(static_cast<uint32_t>(run));
+    writer->PutSE(level);
+    run = 0;
+  }
+  writer->PutBit(0);  // EOB
+  return dc;
+}
+
+util::StatusOr<int32_t> DecodeBlock(BitReader* reader, QuantizedBlock* q,
+                                    int32_t dc_predictor) {
+  q->fill(0);
+  const auto& zz = ZigzagOrder();
+
+  util::StatusOr<int32_t> dc_delta = reader->GetSE();
+  if (!dc_delta.ok()) return dc_delta.status();
+  const int32_t dc = dc_predictor + *dc_delta;
+  (*q)[0] = dc;
+
+  int pos = 1;
+  while (true) {
+    util::StatusOr<int> flag = reader->GetBit();
+    if (!flag.ok()) return flag.status();
+    if (*flag == 0) break;  // EOB
+    util::StatusOr<uint32_t> run = reader->GetUE();
+    if (!run.ok()) return run.status();
+    util::StatusOr<int32_t> level = reader->GetSE();
+    if (!level.ok()) return level.status();
+    pos += static_cast<int>(*run);
+    if (pos >= kBlockPixels) {
+      return util::Status::DataLoss("AC run exceeds block size");
+    }
+    (*q)[static_cast<size_t>(zz[static_cast<size_t>(pos)])] = *level;
+    ++pos;
+  }
+  return dc;
+}
+
+}  // namespace classminer::codec

@@ -1,0 +1,59 @@
+#include "core/classminer.h"
+
+#include "util/threadpool.h"
+
+namespace classminer::core {
+
+MiningResult MineVideo(const media::Video& video,
+                       const audio::AudioBuffer& audio,
+                       const MiningOptions& options) {
+  MiningResult result;
+
+  // 1. Shot detection + representative frames.
+  std::vector<shot::Shot> shots =
+      shot::DetectShots(video, options.shot, &result.shot_trace);
+
+  // 2. Per-shot audio analysis (representative clip + MFCC).
+  const audio::SpeakerSegmenter segmenter(options.events.segmenter);
+  result.shot_audio.reserve(shots.size());
+  for (const shot::Shot& s : shots) {
+    result.shot_audio.push_back(segmenter.AnalyzeShot(
+        audio, s.StartSeconds(video.fps()), s.EndSeconds(video.fps()),
+        s.index));
+  }
+
+  // 3. Content-structure mining: groups -> scenes -> clustered scenes.
+  result.structure =
+      structure::MineVideoStructure(std::move(shots), options.structure);
+
+  // 4. Visual cues on representative frames.
+  result.shot_cues =
+      cues::ExtractShotCues(video, result.structure.shots, options.cues);
+
+  // 5. Event mining over active scenes.
+  const events::EventMiner miner(&result.structure, &result.shot_cues,
+                                 &result.shot_audio, options.events);
+  result.events = miner.MineAllScenes();
+  return result;
+}
+
+MiningResult MineVideo(const media::Video& video,
+                       const audio::AudioBuffer& audio) {
+  return MineVideo(video, audio, MiningOptions());
+}
+
+std::vector<MiningResult> MineVideosParallel(
+    const std::vector<MiningInput>& inputs, const MiningOptions& options,
+    int threads) {
+  std::vector<MiningResult> results(inputs.size());
+  util::ThreadPool pool(threads > 0 ? threads
+                                    : util::ThreadPool::DefaultThreads());
+  util::ParallelFor(&pool, static_cast<int>(inputs.size()), [&](int i) {
+    results[static_cast<size_t>(i)] =
+        MineVideo(*inputs[static_cast<size_t>(i)].video,
+                  *inputs[static_cast<size_t>(i)].audio, options);
+  });
+  return results;
+}
+
+}  // namespace classminer::core

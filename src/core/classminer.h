@@ -1,0 +1,57 @@
+#ifndef CLASSMINER_CORE_CLASSMINER_H_
+#define CLASSMINER_CORE_CLASSMINER_H_
+
+#include <vector>
+
+#include "audio/audio_buffer.h"
+#include "audio/speaker_segmenter.h"
+#include "cues/cue_extractor.h"
+#include "events/event_miner.h"
+#include "media/video.h"
+#include "shot/detector.h"
+#include "structure/content_structure.h"
+
+namespace classminer::core {
+
+// Options for the full ClassMiner pipeline (paper Fig. 3).
+struct MiningOptions {
+  shot::ShotDetectorOptions shot{};
+  structure::StructureOptions structure{};
+  cues::CueExtractorOptions cues{};
+  events::EventMinerOptions events{};
+};
+
+// Everything the pipeline mines from one video.
+struct MiningResult {
+  structure::ContentStructure structure;
+  std::vector<cues::FrameCues> shot_cues;             // per shot
+  std::vector<audio::ShotAudioAnalysis> shot_audio;   // per shot
+  std::vector<events::EventRecord> events;            // per active scene
+  shot::ShotDetectionTrace shot_trace;                // Fig. 5 diagnostics
+};
+
+// Runs shot detection, content-structure mining, visual/audio cue
+// extraction and event mining end to end. `audio` may be empty (event rules
+// then see every shot as speech-free).
+MiningResult MineVideo(const media::Video& video,
+                       const audio::AudioBuffer& audio,
+                       const MiningOptions& options);
+MiningResult MineVideo(const media::Video& video,
+                       const audio::AudioBuffer& audio);
+
+// A (video, audio) pair for batch ingest.
+struct MiningInput {
+  const media::Video* video = nullptr;
+  const audio::AudioBuffer* audio = nullptr;
+};
+
+// Mines several videos concurrently. Each pipeline run is independent and
+// deterministic, so results are identical to serial mining and aligned
+// with `inputs`. `threads <= 0` uses the hardware concurrency.
+std::vector<MiningResult> MineVideosParallel(
+    const std::vector<MiningInput>& inputs, const MiningOptions& options,
+    int threads = 0);
+
+}  // namespace classminer::core
+
+#endif  // CLASSMINER_CORE_CLASSMINER_H_

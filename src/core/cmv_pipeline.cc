@@ -1,0 +1,78 @@
+#include "core/cmv_pipeline.h"
+
+#include <algorithm>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "shot/rep_frame.h"
+
+namespace classminer::core {
+namespace {
+
+audio::AudioBuffer AudioFromFile(const codec::CmvFile& file) {
+  if (file.audio_sample_rate <= 0) return audio::AudioBuffer();
+  return audio::AudioBuffer(file.audio_sample_rate, file.audio_pcm);
+}
+
+}  // namespace
+
+codec::CmvFile PackGeneratedVideo(const synth::GeneratedVideo& generated,
+                                  const codec::EncoderOptions& options) {
+  codec::CmvFile file = codec::EncodeVideo(generated.video, options);
+  file.audio_sample_rate = generated.audio.sample_rate();
+  file.audio_pcm = generated.audio.samples();
+  return file;
+}
+
+codec::CmvFile PackGeneratedVideo(const synth::GeneratedVideo& generated) {
+  return PackGeneratedVideo(generated, codec::EncoderOptions());
+}
+
+util::StatusOr<MiningResult> MineCmvFile(const codec::CmvFile& file,
+                                         const MiningOptions& options) {
+  util::StatusOr<media::Video> video = codec::DecodeVideo(file);
+  if (!video.ok()) return video.status();
+  return MineVideo(*video, AudioFromFile(file), options);
+}
+
+util::StatusOr<MiningResult> MineCmvFile(const codec::CmvFile& file) {
+  return MineCmvFile(file, MiningOptions());
+}
+
+util::StatusOr<MiningResult> MineCmvFileFast(const codec::CmvFile& file,
+                                             const MiningOptions& options) {
+  // 1. Shot spans from the compressed domain (DC images only).
+  util::StatusOr<std::vector<media::GrayImage>> dc =
+      codec::DecodeDcImages(file);
+  if (!dc.ok()) return dc.status();
+
+  MiningResult result;
+  std::vector<shot::Shot> shots =
+      shot::DetectShotsFromDc(*dc, options.shot, &result.shot_trace);
+
+  // 2. Full decode for representative-frame features and cues. (A future
+  // refinement could decode only the rep frames' GOPs.)
+  util::StatusOr<media::Video> video = codec::DecodeVideo(file);
+  if (!video.ok()) return video.status();
+  shot::PopulateRepresentativeFrames(*video, &shots);
+
+  const audio::AudioBuffer track = AudioFromFile(file);
+  const audio::SpeakerSegmenter segmenter(options.events.segmenter);
+  result.shot_audio.reserve(shots.size());
+  for (const shot::Shot& s : shots) {
+    result.shot_audio.push_back(segmenter.AnalyzeShot(
+        track, s.StartSeconds(video->fps()), s.EndSeconds(video->fps()),
+        s.index));
+  }
+
+  result.structure =
+      structure::MineVideoStructure(std::move(shots), options.structure);
+  result.shot_cues =
+      cues::ExtractShotCues(*video, result.structure.shots, options.cues);
+  const events::EventMiner miner(&result.structure, &result.shot_cues,
+                                 &result.shot_audio, options.events);
+  result.events = miner.MineAllScenes();
+  return result;
+}
+
+}  // namespace classminer::core

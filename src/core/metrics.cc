@@ -1,0 +1,205 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <map>
+
+namespace classminer::core {
+
+int TruthSceneOfShot(const shot::Shot& detected,
+                     const synth::GroundTruth& truth) {
+  // Locate the scripted shot containing the detected shot's representative
+  // frame, then its scene.
+  for (const synth::ShotTruth& s : truth.shots) {
+    if (detected.rep_frame >= s.start_frame &&
+        detected.rep_frame <= s.end_frame) {
+      return s.scene_index;
+    }
+  }
+  return -1;
+}
+
+SceneDetectionScore ScoreSceneDetection(
+    const std::vector<shot::Shot>& shots,
+    const std::vector<std::vector<int>>& detected_scenes,
+    const synth::GroundTruth& truth) {
+  SceneDetectionScore score;
+  score.total_shots = static_cast<int>(shots.size());
+  score.detected_scenes = static_cast<int>(detected_scenes.size());
+  for (const std::vector<int>& scene : detected_scenes) {
+    if (scene.empty()) continue;
+    int first = -2;
+    bool pure = true;
+    for (int s : scene) {
+      const int unit = TruthSceneOfShot(shots[static_cast<size_t>(s)], truth);
+      if (first == -2) {
+        first = unit;
+      } else if (unit != first) {
+        pure = false;
+        break;
+      }
+    }
+    if (pure && first >= 0) ++score.correct_scenes;
+  }
+  if (score.detected_scenes > 0) {
+    score.precision = static_cast<double>(score.correct_scenes) /
+                      static_cast<double>(score.detected_scenes);
+  }
+  if (score.total_shots > 0) {
+    score.crf = static_cast<double>(score.detected_scenes) /
+                static_cast<double>(score.total_shots);
+  }
+  return score;
+}
+
+std::vector<std::vector<int>> ScenesAsShotSets(
+    const structure::ContentStructure& structure) {
+  std::vector<std::vector<int>> out;
+  for (const structure::Scene& scene : structure.scenes) {
+    if (scene.eliminated) continue;
+    out.push_back(structure.ShotIndicesOfScene(scene));
+  }
+  return out;
+}
+
+synth::SceneKind DominantTruthKind(const structure::ContentStructure& cs,
+                                   const structure::Scene& scene,
+                                   const synth::GroundTruth& truth) {
+  std::map<int, int> votes;  // truth scene -> shots
+  for (int s : cs.ShotIndicesOfScene(scene)) {
+    const int unit = TruthSceneOfShot(cs.shots[static_cast<size_t>(s)], truth);
+    if (unit >= 0) ++votes[unit];
+  }
+  int best_scene = -1;
+  int best_votes = 0;
+  for (const auto& [unit, v] : votes) {
+    if (v > best_votes) {
+      best_votes = v;
+      best_scene = unit;
+    }
+  }
+  if (best_scene < 0) return synth::SceneKind::kOther;
+  return truth.scenes[static_cast<size_t>(best_scene)].kind;
+}
+
+events::EventType EventTypeOfKind(synth::SceneKind kind) {
+  switch (kind) {
+    case synth::SceneKind::kPresentation:
+      return events::EventType::kPresentation;
+    case synth::SceneKind::kDialog:
+      return events::EventType::kDialog;
+    case synth::SceneKind::kClinicalOperation:
+      return events::EventType::kClinicalOperation;
+    case synth::SceneKind::kOther:
+      return events::EventType::kUndetermined;
+  }
+  return events::EventType::kUndetermined;
+}
+
+EventScore EventScoreTable::Average() const {
+  EventScore avg;
+  avg.selected = presentation.selected + dialog.selected + clinical.selected;
+  avg.detected = presentation.detected + dialog.detected + clinical.detected;
+  avg.correct = presentation.correct + dialog.correct + clinical.correct;
+  if (avg.detected > 0) {
+    avg.precision =
+        static_cast<double>(avg.correct) / static_cast<double>(avg.detected);
+  }
+  if (avg.selected > 0) {
+    avg.recall =
+        static_cast<double>(avg.correct) / static_cast<double>(avg.selected);
+  }
+  return avg;
+}
+
+void AccumulateEventScores(const structure::ContentStructure& cs,
+                           const std::vector<events::EventRecord>& mined,
+                           const synth::GroundTruth& truth,
+                           EventScoreTable* table) {
+  auto row_for = [table](synth::SceneKind kind) -> EventScore* {
+    switch (kind) {
+      case synth::SceneKind::kPresentation:
+        return &table->presentation;
+      case synth::SceneKind::kDialog:
+        return &table->dialog;
+      case synth::SceneKind::kClinicalOperation:
+        return &table->clinical;
+      case synth::SceneKind::kOther:
+        return nullptr;
+    }
+    return nullptr;
+  };
+  auto row_for_event = [table](events::EventType type) -> EventScore* {
+    switch (type) {
+      case events::EventType::kPresentation:
+        return &table->presentation;
+      case events::EventType::kDialog:
+        return &table->dialog;
+      case events::EventType::kClinicalOperation:
+        return &table->clinical;
+      case events::EventType::kUndetermined:
+        return nullptr;
+    }
+    return nullptr;
+  };
+
+  for (const events::EventRecord& rec : mined) {
+    const structure::Scene& scene =
+        cs.scenes[static_cast<size_t>(rec.scene_index)];
+    const synth::SceneKind truth_kind = DominantTruthKind(cs, scene, truth);
+
+    // SN: benchmark scenes (whose dominant truth is one of the three
+    // categories).
+    if (EventScore* row = row_for(truth_kind)) ++row->selected;
+    // DN: scenes the miner assigned to a category.
+    if (EventScore* row = row_for_event(rec.type)) ++row->detected;
+    // TN: correct assignments.
+    if (rec.type == EventTypeOfKind(truth_kind)) {
+      if (EventScore* row = row_for(truth_kind)) ++row->correct;
+    }
+  }
+  table->presentation.kind = synth::SceneKind::kPresentation;
+  table->dialog.kind = synth::SceneKind::kDialog;
+  table->clinical.kind = synth::SceneKind::kClinicalOperation;
+}
+
+void FinalizeEventScores(EventScoreTable* table) {
+  for (EventScore* row :
+       {&table->presentation, &table->dialog, &table->clinical}) {
+    if (row->detected > 0) {
+      row->precision = static_cast<double>(row->correct) /
+                       static_cast<double>(row->detected);
+    }
+    if (row->selected > 0) {
+      row->recall = static_cast<double>(row->correct) /
+                    static_cast<double>(row->selected);
+    }
+  }
+}
+
+CutScore ScoreCuts(const std::vector<int>& detected,
+                   const std::vector<int>& truth, int tolerance) {
+  CutScore score;
+  score.truth_cuts = static_cast<int>(truth.size());
+  score.detected_cuts = static_cast<int>(detected.size());
+  std::vector<bool> used(truth.size(), false);
+  for (int d : detected) {
+    for (size_t t = 0; t < truth.size(); ++t) {
+      if (!used[t] && std::abs(truth[t] - d) <= tolerance) {
+        used[t] = true;
+        ++score.matched;
+        break;
+      }
+    }
+  }
+  if (score.detected_cuts > 0) {
+    score.precision = static_cast<double>(score.matched) /
+                      static_cast<double>(score.detected_cuts);
+  }
+  if (score.truth_cuts > 0) {
+    score.recall = static_cast<double>(score.matched) /
+                   static_cast<double>(score.truth_cuts);
+  }
+  return score;
+}
+
+}  // namespace classminer::core

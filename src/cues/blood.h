@@ -1,0 +1,21 @@
+#ifndef CLASSMINER_CUES_BLOOD_H_
+#define CLASSMINER_CUES_BLOOD_H_
+
+#include "cues/skin.h"
+
+namespace classminer::cues {
+
+// Blood-red chroma model: deeply saturated reds (r-fraction well above the
+// skin cluster), used for surgical-footage detection (paper Sec. 4.1).
+ChromaGaussian DefaultBloodModel();
+
+// Blood segmentation reuses the skin pipeline with the blood model and a
+// looser texture filter (wet tissue is specular and noisy).
+SkinDetection DetectBlood(const media::Image& image,
+                          const ChromaGaussian& model,
+                          const SkinDetectorOptions& options);
+SkinDetection DetectBlood(const media::Image& image);
+
+}  // namespace classminer::cues
+
+#endif  // CLASSMINER_CUES_BLOOD_H_

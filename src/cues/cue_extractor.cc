@@ -1,0 +1,54 @@
+#include "cues/cue_extractor.h"
+
+namespace classminer::cues {
+
+FrameCues ExtractFrameCues(const media::Image& frame,
+                           const CueExtractorOptions& options) {
+  FrameCues cues;
+  cues.special = ClassifySpecialFrame(frame, options.special);
+
+  // Man-made frames carry no people/tissue; skip the region detectors.
+  if (cues.special != SpecialFrameType::kNone) return cues;
+
+  const FaceDetection faces = DetectFaces(frame, options.face);
+  cues.has_face = faces.has_face;
+  cues.face_closeup = faces.has_closeup;
+  cues.max_face_fraction = faces.max_face_fraction;
+
+  const SkinDetection skin = DetectSkin(frame);
+  cues.has_skin_region = !skin.regions.empty();
+  cues.max_skin_fraction = skin.max_region_fraction;
+  cues.skin_closeup =
+      skin.max_region_fraction >= options.skin_closeup_fraction;
+
+  const SkinDetection blood = DetectBlood(frame);
+  cues.has_blood = !blood.regions.empty();
+  cues.max_blood_fraction = blood.max_region_fraction;
+  return cues;
+}
+
+FrameCues ExtractFrameCues(const media::Image& frame) {
+  return ExtractFrameCues(frame, CueExtractorOptions());
+}
+
+std::vector<FrameCues> ExtractShotCues(const media::Video& video,
+                                       const std::vector<shot::Shot>& shots,
+                                       const CueExtractorOptions& options) {
+  std::vector<FrameCues> out;
+  out.reserve(shots.size());
+  for (const shot::Shot& s : shots) {
+    if (s.rep_frame >= 0 && s.rep_frame < video.frame_count()) {
+      out.push_back(ExtractFrameCues(video.frame(s.rep_frame), options));
+    } else {
+      out.emplace_back();
+    }
+  }
+  return out;
+}
+
+std::vector<FrameCues> ExtractShotCues(const media::Video& video,
+                                       const std::vector<shot::Shot>& shots) {
+  return ExtractShotCues(video, shots, CueExtractorOptions());
+}
+
+}  // namespace classminer::cues

@@ -1,0 +1,55 @@
+#ifndef CLASSMINER_CUES_CUE_EXTRACTOR_H_
+#define CLASSMINER_CUES_CUE_EXTRACTOR_H_
+
+#include <vector>
+
+#include "cues/blood.h"
+#include "cues/face.h"
+#include "cues/skin.h"
+#include "cues/special_frames.h"
+#include "media/video.h"
+#include "shot/shot.h"
+
+namespace classminer::cues {
+
+// All visual cues of one representative frame (paper Sec. 4.1): special
+// frame class, faces, skin and blood-red regions, with the close-up
+// predicates used by the event rules (Sec. 4.3).
+struct FrameCues {
+  SpecialFrameType special = SpecialFrameType::kNone;
+  bool has_face = false;
+  bool face_closeup = false;        // face >= 10 % of the frame
+  double max_face_fraction = 0.0;
+  bool has_skin_region = false;
+  bool skin_closeup = false;        // skin region >= 20 % of the frame
+  double max_skin_fraction = 0.0;
+  bool has_blood = false;
+  double max_blood_fraction = 0.0;
+
+  bool IsSlideOrClipArt() const {
+    return special == SpecialFrameType::kSlide ||
+           special == SpecialFrameType::kClipArt;
+  }
+};
+
+struct CueExtractorOptions {
+  SpecialFrameOptions special{};
+  FaceDetectorOptions face{};
+  double skin_closeup_fraction = 0.20;  // paper: skin region > 20 %
+};
+
+// Extracts every cue family from one frame.
+FrameCues ExtractFrameCues(const media::Image& frame,
+                           const CueExtractorOptions& options);
+FrameCues ExtractFrameCues(const media::Image& frame);
+
+// Extracts cues for each shot's representative frame.
+std::vector<FrameCues> ExtractShotCues(const media::Video& video,
+                                       const std::vector<shot::Shot>& shots,
+                                       const CueExtractorOptions& options);
+std::vector<FrameCues> ExtractShotCues(const media::Video& video,
+                                       const std::vector<shot::Shot>& shots);
+
+}  // namespace classminer::cues
+
+#endif  // CLASSMINER_CUES_CUE_EXTRACTOR_H_

@@ -1,0 +1,145 @@
+#include "events/event_miner.h"
+
+#include <algorithm>
+
+namespace classminer::events {
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kUndetermined:
+      return "undetermined";
+    case EventType::kPresentation:
+      return "presentation";
+    case EventType::kDialog:
+      return "dialog";
+    case EventType::kClinicalOperation:
+      return "clinical_operation";
+  }
+  return "unknown";
+}
+
+EventMiner::EventMiner(const structure::ContentStructure* structure,
+                       const std::vector<cues::FrameCues>* shot_cues,
+                       const std::vector<audio::ShotAudioAnalysis>* shot_audio,
+                       const EventMinerOptions& options)
+    : structure_(structure),
+      shot_cues_(shot_cues),
+      shot_audio_(shot_audio),
+      segmenter_(options.segmenter) {}
+
+EventMiner::EventMiner(const structure::ContentStructure* structure,
+                       const std::vector<cues::FrameCues>* shot_cues,
+                       const std::vector<audio::ShotAudioAnalysis>* shot_audio)
+    : EventMiner(structure, shot_cues, shot_audio, EventMinerOptions()) {}
+
+bool EventMiner::SpeakerChangeBetween(int shot_a, int shot_b) const {
+  return segmenter_.SpeakerChange((*shot_audio_)[static_cast<size_t>(shot_a)],
+                                  (*shot_audio_)[static_cast<size_t>(shot_b)]);
+}
+
+EventRecord EventMiner::ClassifyScene(const structure::Scene& scene) const {
+  EventRecord rec;
+  rec.scene_index = scene.index;
+
+  const std::vector<int> shots = structure_->ShotIndicesOfScene(scene);
+  rec.shot_count = static_cast<int>(shots.size());
+  if (shots.empty()) return rec;
+
+  // Gather the evidence used across the rules.
+  for (int g = scene.start_group; g <= scene.end_group; ++g) {
+    if (structure_->groups[static_cast<size_t>(g)].temporally_related) {
+      rec.has_temporal_group = true;
+    }
+  }
+  for (int s : shots) {
+    const cues::FrameCues& c = (*shot_cues_)[static_cast<size_t>(s)];
+    rec.has_slide |= c.IsSlideOrClipArt();
+    rec.has_face_closeup |= c.face_closeup;
+    rec.has_skin_closeup |= c.skin_closeup;
+    rec.has_blood |= c.has_blood;
+    if (c.has_skin_region) ++rec.skin_shot_count;
+  }
+  for (size_t i = 0; i + 1 < shots.size(); ++i) {
+    if (SpeakerChangeBetween(shots[i], shots[i + 1])) {
+      rec.any_speaker_change = true;
+      break;
+    }
+  }
+
+  // Step 2 -- Presentation: slide/clip-art present, face close-up present,
+  // not all groups spatially related, and no speaker change between
+  // adjacent shots.
+  if (rec.has_slide && rec.has_face_closeup && rec.has_temporal_group &&
+      !rec.any_speaker_change) {
+    rec.type = EventType::kPresentation;
+    return rec;
+  }
+
+  // Step 3 -- Dialog: adjacent face-bearing shots with a speaker change,
+  // and at least one speaker duplicated across the exchange.
+  {
+    auto has_face = [this](int s) {
+      return (*shot_cues_)[static_cast<size_t>(s)].has_face;
+    };
+    bool adjacent_faces = false;
+    bool change_at_faces = false;
+    std::vector<int> exchange_shots;  // shots participating in face+change pairs
+    for (size_t i = 0; i + 1 < shots.size(); ++i) {
+      if (!has_face(shots[i]) || !has_face(shots[i + 1])) continue;
+      adjacent_faces = true;
+      if (SpeakerChangeBetween(shots[i], shots[i + 1])) {
+        change_at_faces = true;
+        if (exchange_shots.empty() || exchange_shots.back() != shots[i]) {
+          exchange_shots.push_back(shots[i]);
+        }
+        exchange_shots.push_back(shots[i + 1]);
+      }
+    }
+    if (adjacent_faces && rec.has_temporal_group && change_at_faces) {
+      // Speaker duplication: some speaker must appear in two or more of the
+      // exchange shots (the A-B-A alternation of a dialog). Two shots share
+      // a speaker when the BIC test reports no change.
+      bool duplicated = false;
+      for (size_t i = 0; i < exchange_shots.size() && !duplicated; ++i) {
+        for (size_t j = i + 1; j < exchange_shots.size(); ++j) {
+          const auto& a = (*shot_audio_)[static_cast<size_t>(exchange_shots[i])];
+          const auto& b = (*shot_audio_)[static_cast<size_t>(exchange_shots[j])];
+          if (a.has_speech && b.has_speech &&
+              !segmenter_.SpeakerChange(a, b)) {
+            duplicated = true;
+            break;
+          }
+        }
+      }
+      rec.dialog_speaker_duplicated = duplicated;
+      if (duplicated) {
+        rec.type = EventType::kDialog;
+        return rec;
+      }
+    }
+  }
+
+  // Step 4 -- Clinical operation: no speaker change anywhere, and a skin
+  // close-up / blood region, or skin in more than half of the shots.
+  if (!rec.any_speaker_change) {
+    if (rec.has_skin_closeup || rec.has_blood ||
+        2 * rec.skin_shot_count > rec.shot_count) {
+      rec.type = EventType::kClinicalOperation;
+      return rec;
+    }
+  }
+
+  rec.type = EventType::kUndetermined;
+  return rec;
+}
+
+std::vector<EventRecord> EventMiner::MineAllScenes() const {
+  std::vector<EventRecord> out;
+  for (const structure::Scene& scene : structure_->scenes) {
+    if (scene.eliminated) continue;
+    out.push_back(ClassifyScene(scene));
+  }
+  return out;
+}
+
+}  // namespace classminer::events

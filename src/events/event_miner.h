@@ -1,0 +1,72 @@
+#ifndef CLASSMINER_EVENTS_EVENT_MINER_H_
+#define CLASSMINER_EVENTS_EVENT_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "audio/speaker_segmenter.h"
+#include "cues/cue_extractor.h"
+#include "structure/types.h"
+
+namespace classminer::events {
+
+// The three mined event categories (paper Sec. 4).
+enum class EventType {
+  kUndetermined = 0,
+  kPresentation,
+  kDialog,
+  kClinicalOperation,
+};
+
+const char* EventTypeName(EventType type);
+
+// Classification outcome for one scene with the evidence that fired.
+struct EventRecord {
+  int scene_index = -1;
+  EventType type = EventType::kUndetermined;
+  // Evidence summary (diagnostics / colour-bar tooltips).
+  bool has_slide = false;
+  bool has_face_closeup = false;
+  bool has_temporal_group = false;
+  bool any_speaker_change = false;
+  bool dialog_speaker_duplicated = false;
+  bool has_skin_closeup = false;
+  bool has_blood = false;
+  int skin_shot_count = 0;
+  int shot_count = 0;
+};
+
+struct EventMinerOptions {
+  audio::SpeakerSegmenter::Options segmenter{};
+};
+
+// Rule engine of Sec. 4.3. Construction binds the per-shot visual cues and
+// audio analyses (parallel to the structure's shot vector).
+class EventMiner {
+ public:
+  EventMiner(const structure::ContentStructure* structure,
+             const std::vector<cues::FrameCues>* shot_cues,
+             const std::vector<audio::ShotAudioAnalysis>* shot_audio,
+             const EventMinerOptions& options);
+  EventMiner(const structure::ContentStructure* structure,
+             const std::vector<cues::FrameCues>* shot_cues,
+             const std::vector<audio::ShotAudioAnalysis>* shot_audio);
+
+  // Classifies one (non-eliminated) scene.
+  EventRecord ClassifyScene(const structure::Scene& scene) const;
+
+  // Classifies every active scene.
+  std::vector<EventRecord> MineAllScenes() const;
+
+ private:
+  bool SpeakerChangeBetween(int shot_a, int shot_b) const;
+
+  const structure::ContentStructure* structure_;
+  const std::vector<cues::FrameCues>* shot_cues_;
+  const std::vector<audio::ShotAudioAnalysis>* shot_audio_;
+  audio::SpeakerSegmenter segmenter_;
+};
+
+}  // namespace classminer::events
+
+#endif  // CLASSMINER_EVENTS_EVENT_MINER_H_

@@ -1,0 +1,45 @@
+#include "features/frame_diff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "features/histogram.h"
+
+namespace classminer::features {
+
+double FrameDifference(const media::Image& a, const media::Image& b) {
+  const ColorHistogram ha = ComputeColorHistogram(a);
+  const ColorHistogram hb = ComputeColorHistogram(b);
+  return 1.0 - HistogramIntersection(ha, hb);
+}
+
+std::vector<double> FrameDifferenceSeries(const media::Video& video) {
+  std::vector<double> diffs;
+  if (video.frame_count() < 2) return diffs;
+  diffs.reserve(static_cast<size_t>(video.frame_count()) - 1);
+  ColorHistogram prev = ComputeColorHistogram(video.frame(0));
+  for (int i = 1; i < video.frame_count(); ++i) {
+    const ColorHistogram cur = ComputeColorHistogram(video.frame(i));
+    diffs.push_back(1.0 - HistogramIntersection(prev, cur));
+    prev = cur;
+  }
+  return diffs;
+}
+
+double BlockLumaDifference(const media::GrayImage& a,
+                           const media::GrayImage& b) {
+  const int w = std::min(a.width(), b.width());
+  const int h = std::min(a.height(), b.height());
+  if (w == 0 || h == 0) return 0.0;
+  double acc = 0.0;
+  int count = 0;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      acc += std::fabs(static_cast<double>(a.at(x, y)) - b.at(x, y));
+      ++count;
+    }
+  }
+  return acc / (255.0 * count);
+}
+
+}  // namespace classminer::features

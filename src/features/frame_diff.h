@@ -1,0 +1,29 @@
+#ifndef CLASSMINER_FEATURES_FRAME_DIFF_H_
+#define CLASSMINER_FEATURES_FRAME_DIFF_H_
+
+#include <vector>
+
+#include "media/image.h"
+#include "media/video.h"
+
+namespace classminer::features {
+
+// Frame-to-frame dissimilarity used by the shot detector (paper Fig. 5):
+// one minus the HSV-histogram intersection of consecutive frames, in [0, 1].
+// Histogram-based differences are robust to small object motion while
+// spiking at cuts.
+double FrameDifference(const media::Image& a, const media::Image& b);
+
+// Difference series d[i] = FrameDifference(frame[i], frame[i+1]) for a whole
+// video; size is frame_count - 1 (empty for videos with < 2 frames).
+std::vector<double> FrameDifferenceSeries(const media::Video& video);
+
+// Block-luma difference: mean absolute difference of 8x8 block means,
+// normalised to [0, 1]. This is the compressed-domain variant driven by
+// DC images (codec module) — same metric the MPEG-domain detector uses.
+double BlockLumaDifference(const media::GrayImage& a,
+                           const media::GrayImage& b);
+
+}  // namespace classminer::features
+
+#endif  // CLASSMINER_FEATURES_FRAME_DIFF_H_

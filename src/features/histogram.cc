@@ -1,0 +1,48 @@
+#include "features/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "media/color.h"
+
+namespace classminer::features {
+
+int HistogramBin(media::Rgb pixel) {
+  const media::Hsv hsv = media::RgbToHsv(pixel);
+  int h = static_cast<int>(hsv.h / 360.0 * kHueBins);
+  int s = static_cast<int>(hsv.s * kSatBins);
+  int v = static_cast<int>(hsv.v * kValBins);
+  h = std::min(h, kHueBins - 1);
+  s = std::min(s, kSatBins - 1);
+  v = std::min(v, kValBins - 1);
+  return (h * kSatBins + s) * kValBins + v;
+}
+
+ColorHistogram ComputeColorHistogram(const media::Image& image) {
+  ColorHistogram hist{};
+  if (image.empty()) return hist;
+  for (const media::Rgb& p : image.pixels()) {
+    hist[static_cast<size_t>(HistogramBin(p))] += 1.0;
+  }
+  const double total = static_cast<double>(image.pixel_count());
+  for (double& v : hist) v /= total;
+  return hist;
+}
+
+double HistogramIntersection(std::span<const double> a,
+                             std::span<const double> b) {
+  const size_t n = std::min(a.size(), b.size());
+  double sim = 0.0;
+  for (size_t i = 0; i < n; ++i) sim += std::min(a[i], b[i]);
+  return sim;
+}
+
+double HistogramL1Distance(std::span<const double> a,
+                           std::span<const double> b) {
+  const size_t n = std::min(a.size(), b.size());
+  double d = 0.0;
+  for (size_t i = 0; i < n; ++i) d += std::fabs(a[i] - b[i]);
+  return d;
+}
+
+}  // namespace classminer::features

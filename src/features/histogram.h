@@ -1,0 +1,38 @@
+#ifndef CLASSMINER_FEATURES_HISTOGRAM_H_
+#define CLASSMINER_FEATURES_HISTOGRAM_H_
+
+#include <array>
+#include <span>
+
+#include "media/image.h"
+
+namespace classminer::features {
+
+// 256-dimensional HSV colour histogram (paper Sec. 3.1): hue quantised to
+// 16 levels, saturation to 4, value to 4 (16 * 4 * 4 = 256), L1-normalised.
+inline constexpr int kHueBins = 16;
+inline constexpr int kSatBins = 4;
+inline constexpr int kValBins = 4;
+inline constexpr int kHistogramDims = kHueBins * kSatBins * kValBins;
+
+using ColorHistogram = std::array<double, kHistogramDims>;
+
+// Computes the normalised HSV histogram of `image`. An empty image yields
+// an all-zero histogram.
+ColorHistogram ComputeColorHistogram(const media::Image& image);
+
+// Bin index for a single pixel (exposed for tests).
+int HistogramBin(media::Rgb pixel);
+
+// Histogram intersection similarity: sum_k min(a_k, b_k), in [0, 1] for
+// L1-normalised inputs (Eq. 1, colour term).
+double HistogramIntersection(std::span<const double> a,
+                             std::span<const double> b);
+
+// L1 distance between histograms.
+double HistogramL1Distance(std::span<const double> a,
+                           std::span<const double> b);
+
+}  // namespace classminer::features
+
+#endif  // CLASSMINER_FEATURES_HISTOGRAM_H_

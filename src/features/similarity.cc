@@ -1,0 +1,34 @@
+#include "features/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace classminer::features {
+
+ShotFeatures ExtractShotFeatures(const media::Image& frame) {
+  ShotFeatures f;
+  f.histogram = ComputeColorHistogram(frame);
+  f.tamura = ComputeTamuraCoarseness(frame);
+  return f;
+}
+
+double ColorSimilarity(const ColorHistogram& a, const ColorHistogram& b) {
+  return HistogramIntersection(a, b);
+}
+
+double TextureSimilarity(const TamuraVector& a, const TamuraVector& b) {
+  double sq = 0.0;
+  for (size_t k = 0; k < a.size(); ++k) {
+    const double d = a[k] - b[k];
+    sq += d * d;
+  }
+  return std::max(0.0, 1.0 - std::sqrt(sq));
+}
+
+double StSim(const ShotFeatures& a, const ShotFeatures& b,
+             const StSimWeights& weights) {
+  return weights.color * ColorSimilarity(a.histogram, b.histogram) +
+         weights.texture * TextureSimilarity(a.tamura, b.tamura);
+}
+
+}  // namespace classminer::features

@@ -1,0 +1,39 @@
+#ifndef CLASSMINER_FEATURES_SIMILARITY_H_
+#define CLASSMINER_FEATURES_SIMILARITY_H_
+
+#include "features/histogram.h"
+#include "features/tamura.h"
+#include "media/image.h"
+
+namespace classminer::features {
+
+// The visual feature vector attached to a shot's representative frame
+// (paper Sec. 3.1): 256-d HSV histogram + 10-d Tamura coarseness.
+struct ShotFeatures {
+  ColorHistogram histogram{};
+  TamuraVector tamura{};
+};
+
+// Extracts both feature families from a representative frame.
+ShotFeatures ExtractShotFeatures(const media::Image& frame);
+
+// Weights of Eq. (1); the paper uses Wc = 0.7, Wt = 0.3.
+struct StSimWeights {
+  double color = 0.7;
+  double texture = 0.3;
+};
+
+// Shot similarity StSim (Eq. 1):
+//   Wc * sum_k min(Hi_k, Hj_k) + Wt * (1 - sqrt(sum_k (Ti_k - Tj_k)^2)).
+// Result lies in [0, Wc + Wt] = [0, 1] for normalised inputs (the texture
+// term is clamped at 0 for pathological descriptors).
+double StSim(const ShotFeatures& a, const ShotFeatures& b,
+             const StSimWeights& weights = {});
+
+// Individual terms, exposed for tests and diagnostics.
+double ColorSimilarity(const ColorHistogram& a, const ColorHistogram& b);
+double TextureSimilarity(const TamuraVector& a, const TamuraVector& b);
+
+}  // namespace classminer::features
+
+#endif  // CLASSMINER_FEATURES_SIMILARITY_H_

@@ -1,0 +1,116 @@
+#include "features/tamura.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "media/color.h"
+
+namespace classminer::features {
+namespace {
+
+// Summed-area table with 1-pixel zero border: sums[y+1][x+1].
+std::vector<double> IntegralImage(const media::GrayImage& gray) {
+  const int w = gray.width();
+  const int h = gray.height();
+  std::vector<double> integral(static_cast<size_t>(w + 1) * (h + 1), 0.0);
+  auto at = [&](int x, int y) -> double& {
+    return integral[static_cast<size_t>(y) * (w + 1) + x];
+  };
+  for (int y = 1; y <= h; ++y) {
+    double row = 0.0;
+    for (int x = 1; x <= w; ++x) {
+      row += gray.at(x - 1, y - 1);
+      at(x, y) = at(x, y - 1) + row;
+    }
+  }
+  return integral;
+}
+
+// Mean over the window [x0, x1) x [y0, y1), clamped to the image.
+double WindowMean(const std::vector<double>& integral, int w, int h, int x0,
+                  int y0, int x1, int y1) {
+  x0 = std::clamp(x0, 0, w);
+  y0 = std::clamp(y0, 0, h);
+  x1 = std::clamp(x1, 0, w);
+  y1 = std::clamp(y1, 0, h);
+  const int area = (x1 - x0) * (y1 - y0);
+  if (area <= 0) return 0.0;
+  auto at = [&](int x, int y) {
+    return integral[static_cast<size_t>(y) * (w + 1) + x];
+  };
+  const double sum = at(x1, y1) - at(x0, y1) - at(x1, y0) + at(x0, y0);
+  return sum / area;
+}
+
+}  // namespace
+
+TamuraVector ComputeTamuraCoarseness(const media::Image& image) {
+  return ComputeTamuraCoarseness(media::ToGray(image));
+}
+
+TamuraVector ComputeTamuraCoarseness(const media::GrayImage& input) {
+  TamuraVector out{};
+  if (input.empty()) return out;
+
+  // Keep cost bounded: evaluate on a grid of at most ~64x64 sample points.
+  const media::GrayImage& gray = input;
+  const int w = gray.width();
+  const int h = gray.height();
+  const int step_x = std::max(1, w / 64);
+  const int step_y = std::max(1, h / 64);
+
+  const std::vector<double> integral = IntegralImage(gray);
+
+  std::array<double, kCoarsenessScales> scale_hist{};
+  double sum_best = 0.0;
+  double sum_best_sq = 0.0;
+  int samples = 0;
+
+  for (int y = 0; y < h; y += step_y) {
+    for (int x = 0; x < w; x += step_x) {
+      int best_k = 0;
+      double best_e = -1.0;
+      for (int k = 0; k < kCoarsenessScales; ++k) {
+        const int half = 1 << k;  // window side 2^(k+1), half-extent 2^k
+        // Horizontal difference of neighbouring windows centred at (x, y).
+        const double left = WindowMean(integral, w, h, x - 2 * half, y - half,
+                                       x, y + half);
+        const double right = WindowMean(integral, w, h, x, y - half,
+                                        x + 2 * half, y + half);
+        const double up = WindowMean(integral, w, h, x - half, y - 2 * half,
+                                     x + half, y);
+        const double down = WindowMean(integral, w, h, x - half, y,
+                                       x + half, y + 2 * half);
+        const double e =
+            std::max(std::fabs(left - right), std::fabs(up - down));
+        if (e > best_e) {
+          best_e = e;
+          best_k = k;
+        }
+      }
+      scale_hist[static_cast<size_t>(best_k)] += 1.0;
+      sum_best += best_k;
+      sum_best_sq += static_cast<double>(best_k) * best_k;
+      ++samples;
+    }
+  }
+  if (samples == 0) return out;
+
+  for (int k = 0; k < kCoarsenessScales; ++k) {
+    out[static_cast<size_t>(k)] = scale_hist[static_cast<size_t>(k)] / samples;
+  }
+  const double mean = sum_best / samples;
+  const double var = sum_best_sq / samples - mean * mean;
+  out[6] = mean / (kCoarsenessScales - 1);  // normalised mean scale
+  out[7] = std::clamp(var / (kCoarsenessScales * kCoarsenessScales), 0.0, 1.0);
+
+  // Fractions of the two dominant scales (texture uniformity cues).
+  std::array<double, kCoarsenessScales> sorted = scale_hist;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  out[8] = sorted[0] / samples;
+  out[9] = (sorted[0] + sorted[1]) / samples;
+  return out;
+}
+
+}  // namespace classminer::features

@@ -1,0 +1,31 @@
+#ifndef CLASSMINER_FEATURES_TAMURA_H_
+#define CLASSMINER_FEATURES_TAMURA_H_
+
+#include <array>
+
+#include "media/image.h"
+
+namespace classminer::features {
+
+// 10-dimensional Tamura coarseness texture descriptor (paper Sec. 3.1).
+//
+// Classic Tamura coarseness computes, per pixel, the window size 2^k that
+// maximises the difference between averages of non-overlapping neighbouring
+// windows (k in [0, kCoarsenessScales)). We summarise the per-pixel best
+// scales S_best as a descriptor: the normalised histogram over the scales
+// (kCoarsenessScales values) padded with the distribution's mean, variance,
+// and the two dominant-scale fractions, giving 10 dimensions total that sum
+// to a bounded range compatible with Eq. (1)'s L2 term.
+inline constexpr int kCoarsenessScales = 6;
+inline constexpr int kTamuraDims = 10;
+
+using TamuraVector = std::array<double, kTamuraDims>;
+
+// Computes the descriptor on the grey version of `image`. Downsamples very
+// large frames internally for speed. Empty image -> all zeros.
+TamuraVector ComputeTamuraCoarseness(const media::Image& image);
+TamuraVector ComputeTamuraCoarseness(const media::GrayImage& gray);
+
+}  // namespace classminer::features
+
+#endif  // CLASSMINER_FEATURES_TAMURA_H_

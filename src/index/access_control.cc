@@ -1,0 +1,46 @@
+#include "index/access_control.h"
+
+#include <algorithm>
+
+namespace classminer::index {
+
+bool AccessController::CanAccessNode(const UserCredential& user,
+                                     int node_id) const {
+  if (node_id < 0 || node_id >= concepts_->node_count()) return false;
+  // Walk to the root: every ancestor must be clear of explicit denials, and
+  // the clearance must cover the maximum security level on the path.
+  int cur = node_id;
+  while (cur >= 0) {
+    if (user.denied_nodes.count(cur) > 0) return false;
+    if (concepts_->node(cur).security_level > user.clearance) return false;
+    cur = concepts_->node(cur).parent;
+  }
+  return true;
+}
+
+bool AccessController::CanAccessShot(const UserCredential& user,
+                                     const VideoDatabase& db,
+                                     const ShotRef& ref) const {
+  const events::EventType event =
+      db.video(ref.video_id).EventOfShot(ref.shot_index);
+  const int node = concepts_->SceneNodeForEvent(event);
+  if (node < 0) {
+    // Unmapped content is visible only to clearance >= 1 users (closed
+    // default keeps unclassified material away from anonymous accounts).
+    return user.clearance >= 1;
+  }
+  return CanAccessNode(user, node);
+}
+
+std::vector<QueryMatch> AccessController::FilterMatches(
+    const UserCredential& user, const VideoDatabase& db,
+    std::vector<QueryMatch> matches) const {
+  matches.erase(std::remove_if(matches.begin(), matches.end(),
+                               [&](const QueryMatch& m) {
+                                 return !CanAccessShot(user, db, m.ref);
+                               }),
+                matches.end());
+  return matches;
+}
+
+}  // namespace classminer::index

@@ -1,0 +1,48 @@
+#ifndef CLASSMINER_INDEX_ACCESS_CONTROL_H_
+#define CLASSMINER_INDEX_ACCESS_CONTROL_H_
+
+#include <set>
+#include <vector>
+
+#include "index/concept.h"
+#include "index/query.h"
+
+namespace classminer::index {
+
+// A database user with a clearance level and optional per-node deny rules.
+struct UserCredential {
+  std::string name;
+  int clearance = 0;
+  // Concept node ids explicitly denied (applies to their whole subtrees);
+  // supports rules like "this account may not view clinical operations".
+  std::set<int> denied_nodes;
+};
+
+// Hierarchical access control (paper Sec. 2): the concept tree provides the
+// protection granularity; a node is accessible when the user's clearance
+// covers the node's security level and no ancestor (or the node itself) is
+// explicitly denied.
+class AccessController {
+ public:
+  explicit AccessController(const ConceptHierarchy* concepts)
+      : concepts_(concepts) {}
+
+  bool CanAccessNode(const UserCredential& user, int node_id) const;
+
+  // Whether the user may see a shot, based on the scene-level concept of
+  // its mined event type.
+  bool CanAccessShot(const UserCredential& user, const VideoDatabase& db,
+                     const ShotRef& ref) const;
+
+  // Drops matches the user may not see (post-filtering of query results).
+  std::vector<QueryMatch> FilterMatches(const UserCredential& user,
+                                        const VideoDatabase& db,
+                                        std::vector<QueryMatch> matches) const;
+
+ private:
+  const ConceptHierarchy* concepts_;
+};
+
+}  // namespace classminer::index
+
+#endif  // CLASSMINER_INDEX_ACCESS_CONTROL_H_

@@ -1,0 +1,81 @@
+#include "index/browser.h"
+
+#include <map>
+#include <sstream>
+
+namespace classminer::index {
+
+std::vector<BrowseCluster> BuildBrowseTree(const VideoDatabase& db,
+                                           const ConceptHierarchy& concepts,
+                                           const AccessController& access,
+                                           const UserCredential& user) {
+  const SemanticClassifier classifier(&concepts);
+  std::map<int, BrowseCluster> by_cluster;
+
+  for (int v = 0; v < db.video_count(); ++v) {
+    const VideoEntry& entry = db.video(v);
+    const VideoAssignment assignment = classifier.ClassifyVideo(entry);
+
+    BrowseVideo video;
+    video.video_id = v;
+    video.name = entry.name;
+    for (const SceneAssignment& sa : assignment.scenes) {
+      // Scene visibility follows its scene-level concept node.
+      const int node = sa.concept_node;
+      if (node >= 0 && !access.CanAccessNode(user, node)) continue;
+      if (node < 0 && user.clearance < 1) continue;
+
+      BrowseScene scene;
+      scene.scene_index = sa.scene_index;
+      scene.event = sa.event;
+      const structure::Scene& s =
+          entry.structure.scenes[static_cast<size_t>(sa.scene_index)];
+      for (int shot_index : entry.structure.ShotIndicesOfScene(s)) {
+        const shot::Shot& shot =
+            entry.structure.shots[static_cast<size_t>(shot_index)];
+        scene.shots.push_back(
+            BrowseShot{shot_index, shot.start_frame, shot.end_frame});
+      }
+      video.scenes.push_back(std::move(scene));
+    }
+    if (video.scenes.empty()) continue;  // nothing visible to this user
+
+    BrowseCluster& cluster = by_cluster[assignment.cluster_node];
+    if (cluster.videos.empty()) {
+      cluster.concept_node = assignment.cluster_node;
+      cluster.concept_path = assignment.cluster_node > 0
+                                 ? concepts.PathOf(assignment.cluster_node)
+                                 : "(unclassified)";
+    }
+    cluster.videos.push_back(std::move(video));
+  }
+
+  std::vector<BrowseCluster> tree;
+  tree.reserve(by_cluster.size());
+  for (auto& [node, cluster] : by_cluster) tree.push_back(std::move(cluster));
+  return tree;
+}
+
+std::string RenderBrowseTree(const std::vector<BrowseCluster>& tree) {
+  std::ostringstream out;
+  for (const BrowseCluster& cluster : tree) {
+    out << cluster.concept_path << "\n";
+    for (const BrowseVideo& video : cluster.videos) {
+      out << "  " << video.name << " (" << video.scenes.size()
+          << " scenes)\n";
+      for (const BrowseScene& scene : video.scenes) {
+        out << "    scene " << scene.scene_index << " ["
+            << events::EventTypeName(scene.event) << "] "
+            << scene.shots.size() << " shots";
+        if (!scene.shots.empty()) {
+          out << " (frames " << scene.shots.front().start_frame << ".."
+              << scene.shots.back().end_frame << ")";
+        }
+        out << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace classminer::index

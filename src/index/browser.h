@@ -1,0 +1,53 @@
+#ifndef CLASSMINER_INDEX_BROWSER_H_
+#define CLASSMINER_INDEX_BROWSER_H_
+
+#include <string>
+#include <vector>
+
+#include "index/access_control.h"
+#include "index/classifier.h"
+#include "index/database.h"
+
+namespace classminer::index {
+
+// Hierarchical video browsing (paper Sec. 5): the database presented along
+// the concept hierarchy — semantic cluster -> video -> scene (with event
+// label) -> shots — filtered by the requesting user's access rights.
+struct BrowseShot {
+  int shot_index = -1;
+  int start_frame = 0;
+  int end_frame = 0;
+};
+
+struct BrowseScene {
+  int scene_index = -1;
+  events::EventType event = events::EventType::kUndetermined;
+  std::vector<BrowseShot> shots;
+};
+
+struct BrowseVideo {
+  int video_id = -1;
+  std::string name;
+  std::vector<BrowseScene> scenes;
+};
+
+struct BrowseCluster {
+  int concept_node = -1;
+  std::string concept_path;
+  std::vector<BrowseVideo> videos;
+};
+
+// Builds the browse tree for `user`: videos land under their classified
+// semantic cluster; scenes (and whole videos) the user may not access are
+// omitted.
+std::vector<BrowseCluster> BuildBrowseTree(const VideoDatabase& db,
+                                           const ConceptHierarchy& concepts,
+                                           const AccessController& access,
+                                           const UserCredential& user);
+
+// Renders the tree as an indented text listing.
+std::string RenderBrowseTree(const std::vector<BrowseCluster>& tree);
+
+}  // namespace classminer::index
+
+#endif  // CLASSMINER_INDEX_BROWSER_H_

@@ -1,0 +1,65 @@
+#include "index/classifier.h"
+
+namespace classminer::index {
+
+SemanticClassifier::SemanticClassifier(const ConceptHierarchy* concepts)
+    : concepts_(concepts) {
+  education_node_ = concepts->FindByName("medical_education");
+  health_care_node_ = concepts->FindByName("health_care");
+  report_node_ = concepts->FindByName("medical_report");
+}
+
+VideoAssignment SemanticClassifier::ClassifyVideo(
+    const VideoEntry& video) const {
+  VideoAssignment out;
+  out.video_id = video.id;
+  for (const events::EventRecord& rec : video.events) {
+    SceneAssignment scene;
+    scene.scene_index = rec.scene_index;
+    scene.event = rec.type;
+    scene.concept_node = concepts_->SceneNodeForEvent(rec.type);
+    out.scenes.push_back(scene);
+    switch (rec.type) {
+      case events::EventType::kPresentation:
+        ++out.presentation_scenes;
+        break;
+      case events::EventType::kDialog:
+        ++out.dialog_scenes;
+        break;
+      case events::EventType::kClinicalOperation:
+        ++out.clinical_scenes;
+        break;
+      case events::EventType::kUndetermined:
+        ++out.undetermined_scenes;
+        break;
+    }
+  }
+
+  // Dominant-mix rule; ties resolve in priority order clinical >
+  // presentation > dialog (procedure footage is the most specific signal).
+  out.cluster_node = concepts_->root();
+  const int c = out.clinical_scenes;
+  const int p = out.presentation_scenes;
+  const int d = out.dialog_scenes;
+  if (c == 0 && p == 0 && d == 0) return out;
+  if (c >= p && c >= d && health_care_node_ >= 0) {
+    out.cluster_node = health_care_node_;
+  } else if (p >= d && education_node_ >= 0) {
+    out.cluster_node = education_node_;
+  } else if (report_node_ >= 0) {
+    out.cluster_node = report_node_;
+  }
+  return out;
+}
+
+std::vector<VideoAssignment> SemanticClassifier::ClassifyDatabase(
+    const VideoDatabase& db) const {
+  std::vector<VideoAssignment> out;
+  out.reserve(static_cast<size_t>(db.video_count()));
+  for (int v = 0; v < db.video_count(); ++v) {
+    out.push_back(ClassifyVideo(db.video(v)));
+  }
+  return out;
+}
+
+}  // namespace classminer::index

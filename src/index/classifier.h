@@ -1,0 +1,56 @@
+#ifndef CLASSMINER_INDEX_CLASSIFIER_H_
+#define CLASSMINER_INDEX_CLASSIFIER_H_
+
+#include <vector>
+
+#include "index/concept.h"
+#include "index/database.h"
+
+namespace classminer::index {
+
+// The semantic-sensitive video classifier of Sec. 2: every node of the
+// concept hierarchy is a semantic concept, and mined content maps onto it.
+// Scene-level assignment follows the mined event category; video-level
+// (cluster) assignment follows the dominant content mix:
+//   presentation-dominated  -> medical_education (lecture material)
+//   clinical-dominated      -> health_care (procedure footage)
+//   dialog-dominated        -> medical_report (interview/consult material)
+struct SceneAssignment {
+  int scene_index = -1;
+  events::EventType event = events::EventType::kUndetermined;
+  int concept_node = -1;  // scene-level node
+};
+
+struct VideoAssignment {
+  int video_id = -1;
+  int cluster_node = -1;  // top-level semantic cluster
+  std::vector<SceneAssignment> scenes;
+
+  // Event-category counts backing the decision (diagnostics).
+  int presentation_scenes = 0;
+  int dialog_scenes = 0;
+  int clinical_scenes = 0;
+  int undetermined_scenes = 0;
+};
+
+class SemanticClassifier {
+ public:
+  explicit SemanticClassifier(const ConceptHierarchy* concepts);
+
+  // Classifies a mined video into the hierarchy. Never fails: unmatched
+  // content maps to the root (node 0).
+  VideoAssignment ClassifyVideo(const VideoEntry& video) const;
+
+  // Classifies every video of a database.
+  std::vector<VideoAssignment> ClassifyDatabase(const VideoDatabase& db) const;
+
+ private:
+  const ConceptHierarchy* concepts_;
+  int education_node_ = -1;
+  int health_care_node_ = -1;
+  int report_node_ = -1;
+};
+
+}  // namespace classminer::index
+
+#endif  // CLASSMINER_INDEX_CLASSIFIER_H_

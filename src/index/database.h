@@ -1,0 +1,62 @@
+#ifndef CLASSMINER_INDEX_DATABASE_H_
+#define CLASSMINER_INDEX_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "events/event_miner.h"
+#include "structure/types.h"
+#include "util/status.h"
+
+namespace classminer::index {
+
+// Identifies one shot in the database.
+struct ShotRef {
+  int video_id = -1;
+  int shot_index = -1;
+
+  friend bool operator==(const ShotRef&, const ShotRef&) = default;
+};
+
+// One ingested video: its mined structure and events. Raw media stays in
+// codec containers on disk; the database holds features and structure only.
+struct VideoEntry {
+  int id = -1;
+  std::string name;
+  structure::ContentStructure structure;
+  std::vector<events::EventRecord> events;  // per active scene
+
+  // Event type of the (active) scene owning a shot; kUndetermined when the
+  // shot belongs to an eliminated scene.
+  events::EventType EventOfShot(int shot_index) const;
+  // Index of the scene (in structure.scenes) containing the shot; -1 if none.
+  int SceneOfShot(int shot_index) const;
+};
+
+// The video database: a collection of mined videos addressable by shot.
+class VideoDatabase {
+ public:
+  // Adds a mined video; returns its id.
+  int AddVideo(std::string name, structure::ContentStructure structure,
+               std::vector<events::EventRecord> events);
+
+  int video_count() const { return static_cast<int>(videos_.size()); }
+  const VideoEntry& video(int id) const {
+    return videos_[static_cast<size_t>(id)];
+  }
+
+  size_t TotalShotCount() const;
+
+  // All shot refs in insertion order.
+  std::vector<ShotRef> AllShots() const;
+
+  const features::ShotFeatures& Features(const ShotRef& ref) const;
+  const shot::Shot& GetShot(const ShotRef& ref) const;
+
+ private:
+  std::vector<VideoEntry> videos_;
+};
+
+}  // namespace classminer::index
+
+#endif  // CLASSMINER_INDEX_DATABASE_H_

@@ -1,0 +1,251 @@
+#include "index/hier_index.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+namespace classminer::index {
+namespace {
+
+constexpr events::EventType kEventOrder[] = {
+    events::EventType::kPresentation, events::EventType::kDialog,
+    events::EventType::kClinicalOperation, events::EventType::kUndetermined};
+
+}  // namespace
+
+HierarchicalIndex::HierarchicalIndex(const VideoDatabase* db,
+                                     const ConceptHierarchy* concepts,
+                                     const Options& options)
+    : db_(db), concepts_(concepts), options_(options) {
+  Build();
+}
+
+HierarchicalIndex::HierarchicalIndex(const VideoDatabase* db,
+                                     const ConceptHierarchy* concepts)
+    : HierarchicalIndex(db, concepts, Options()) {}
+
+int HierarchicalIndex::BucketKey(const features::ShotFeatures& f) {
+  int best = 0;
+  double best_v = -1.0;
+  for (int i = 0; i < features::kHistogramDims; ++i) {
+    if (f.histogram[static_cast<size_t>(i)] > best_v) {
+      best_v = f.histogram[static_cast<size_t>(i)];
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<const features::ShotFeatures*> HierarchicalIndex::PickCenters(
+    const std::vector<ShotRef>& members) const {
+  std::vector<const features::ShotFeatures*> centers;
+  if (members.empty()) return centers;
+  const int want =
+      std::min<int>(options_.centers_per_node, static_cast<int>(members.size()));
+
+  // First centre: the medoid (largest average similarity to the others);
+  // further centres by farthest-point traversal so multi-modal content gets
+  // one centre per mode.
+  size_t medoid = 0;
+  double best_avg = -1.0;
+  for (size_t i = 0; i < members.size(); ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j < members.size(); ++j) {
+      if (i == j) continue;
+      acc += features::StSim(db_->Features(members[i]),
+                             db_->Features(members[j]));
+    }
+    const double avg =
+        members.size() > 1 ? acc / (static_cast<double>(members.size()) - 1.0)
+                           : 1.0;
+    if (avg > best_avg) {
+      best_avg = avg;
+      medoid = i;
+    }
+  }
+  std::vector<size_t> chosen{medoid};
+  while (static_cast<int>(chosen.size()) < want) {
+    size_t farthest = chosen.front();
+    double farthest_sim = 2.0;
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (std::find(chosen.begin(), chosen.end(), i) != chosen.end()) continue;
+      double nearest = 0.0;
+      for (size_t c : chosen) {
+        nearest = std::max(nearest,
+                           features::StSim(db_->Features(members[i]),
+                                           db_->Features(members[c])));
+      }
+      if (nearest < farthest_sim) {
+        farthest_sim = nearest;
+        farthest = i;
+      }
+    }
+    if (std::find(chosen.begin(), chosen.end(), farthest) != chosen.end()) {
+      break;
+    }
+    chosen.push_back(farthest);
+  }
+  for (size_t c : chosen) centers.push_back(&db_->Features(members[c]));
+  return centers;
+}
+
+void HierarchicalIndex::Build() {
+  // Partition every shot by (event category, video, scene).
+  struct SceneKey {
+    int video;
+    int scene;
+    bool operator<(const SceneKey& o) const {
+      return video != o.video ? video < o.video : scene < o.scene;
+    }
+  };
+  std::map<events::EventType, std::map<SceneKey, std::vector<ShotRef>>>
+      partitions;
+  for (int v = 0; v < db_->video_count(); ++v) {
+    const VideoEntry& entry = db_->video(v);
+    for (size_t s = 0; s < entry.structure.shots.size(); ++s) {
+      const int shot = static_cast<int>(s);
+      const int scene = entry.SceneOfShot(shot);
+      const events::EventType event = entry.EventOfShot(shot);
+      partitions[event][SceneKey{v, scene}].push_back(ShotRef{v, shot});
+    }
+  }
+
+  for (events::EventType event : kEventOrder) {
+    auto it = partitions.find(event);
+    if (it == partitions.end()) continue;
+    ClusterNode cluster;
+    cluster.event = event;
+    cluster.concept_node = concepts_->SceneNodeForEvent(event);
+
+    // Subclusters: one per video within the category.
+    std::map<int, SubclusterNode> subs;
+    std::vector<ShotRef> cluster_members;
+    for (const auto& [key, shots] : it->second) {
+      SubclusterNode& sub = subs[key.video];
+      sub.video_id = key.video;
+      SceneNode scene;
+      scene.shots = shots;
+      for (const ShotRef& ref : shots) {
+        scene.buckets[BucketKey(db_->Features(ref))].push_back(ref);
+      }
+      scene.centers = PickCenters(shots);
+      sub.scenes.push_back(std::move(scene));
+      cluster_members.insert(cluster_members.end(), shots.begin(),
+                             shots.end());
+    }
+    for (auto& [video, sub] : subs) {
+      std::vector<ShotRef> sub_members;
+      for (const SceneNode& scene : sub.scenes) {
+        sub_members.insert(sub_members.end(), scene.shots.begin(),
+                           scene.shots.end());
+      }
+      sub.centers = PickCenters(sub_members);
+      cluster.subclusters.push_back(std::move(sub));
+    }
+    cluster.centers = PickCenters(cluster_members);
+    clusters_.push_back(std::move(cluster));
+  }
+}
+
+double HierarchicalIndex::CenterSimilarity(
+    const features::ShotFeatures& query,
+    const std::vector<const features::ShotFeatures*>& centers,
+    size_t* comparisons) const {
+  double best = 0.0;
+  for (const features::ShotFeatures* c : centers) {
+    best = std::max(best, features::StSim(query, *c));
+    ++*comparisons;
+  }
+  return best;
+}
+
+std::vector<QueryMatch> HierarchicalIndex::Search(
+    const features::ShotFeatures& query, int k, QueryStats* stats) const {
+  const auto start = std::chrono::steady_clock::now();
+  QueryStats local;
+
+  // Level 1: rank clusters by centre similarity, keep the best `beam`.
+  std::vector<std::pair<double, const ClusterNode*>> cluster_rank;
+  for (const ClusterNode& c : clusters_) {
+    cluster_rank.emplace_back(
+        CenterSimilarity(query, c.centers, &local.cluster_comparisons), &c);
+  }
+  std::sort(cluster_rank.begin(), cluster_rank.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  const size_t beam = static_cast<size_t>(std::max(1, options_.beam_width));
+
+  // Level 2: subclusters within surviving clusters.
+  std::vector<std::pair<double, const SubclusterNode*>> sub_rank;
+  for (size_t i = 0; i < std::min(beam, cluster_rank.size()); ++i) {
+    for (const SubclusterNode& sub : cluster_rank[i].second->subclusters) {
+      sub_rank.emplace_back(
+          CenterSimilarity(query, sub.centers, &local.subcluster_comparisons),
+          &sub);
+    }
+  }
+  std::sort(sub_rank.begin(), sub_rank.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  // Level 3: scene nodes within surviving subclusters.
+  std::vector<std::pair<double, const SceneNode*>> scene_rank;
+  for (size_t i = 0; i < std::min(beam, sub_rank.size()); ++i) {
+    for (const SceneNode& scene : sub_rank[i].second->scenes) {
+      scene_rank.emplace_back(
+          CenterSimilarity(query, scene.centers, &local.scene_comparisons),
+          &scene);
+    }
+  }
+  std::sort(scene_rank.begin(), scene_rank.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  // Level 4: shots of the surviving scene nodes. Probe the hash bucket
+  // first; when it cannot satisfy k, fall back to the node's full shot list.
+  std::vector<QueryMatch> matches;
+  const int bucket = BucketKey(query);
+  for (size_t i = 0; i < std::min(beam, scene_rank.size()); ++i) {
+    const SceneNode* scene = scene_rank[i].second;
+    const std::vector<ShotRef>* candidates = &scene->shots;
+    auto bit = scene->buckets.find(bucket);
+    if (bit != scene->buckets.end() &&
+        bit->second.size() >= static_cast<size_t>(std::max(k, 1))) {
+      candidates = &bit->second;
+    }
+    for (const ShotRef& ref : *candidates) {
+      matches.push_back({ref, features::StSim(query, db_->Features(ref))});
+      ++local.shot_comparisons;
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const QueryMatch& a, const QueryMatch& b) {
+              return a.similarity > b.similarity;
+            });
+  local.ranked = matches.size();
+  if (k >= 0 && matches.size() > static_cast<size_t>(k)) {
+    matches.resize(static_cast<size_t>(k));
+  }
+  local.elapsed_us = std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  if (stats != nullptr) *stats = local;
+  return matches;
+}
+
+size_t HierarchicalIndex::TotalSceneNodes() const {
+  size_t n = 0;
+  for (const ClusterNode& c : clusters_) {
+    for (const SubclusterNode& s : c.subclusters) n += s.scenes.size();
+  }
+  return n;
+}
+
+size_t HierarchicalIndex::TotalIndexedShots() const {
+  size_t n = 0;
+  for (const ClusterNode& c : clusters_) {
+    for (const SubclusterNode& s : c.subclusters) {
+      for (const SceneNode& scene : s.scenes) n += scene.shots.size();
+    }
+  }
+  return n;
+}
+
+}  // namespace classminer::index

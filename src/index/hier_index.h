@@ -1,0 +1,80 @@
+#ifndef CLASSMINER_INDEX_HIER_INDEX_H_
+#define CLASSMINER_INDEX_HIER_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "index/concept.h"
+#include "index/query.h"
+
+namespace classminer::index {
+
+// Cluster-based multi-level index (paper Sec. 2 and Sec. 6.2, Eq. 25).
+//
+// The tree mirrors the semantic hierarchy: root -> semantic clusters (the
+// mined event categories) -> subclusters (per-video topic units) -> scene
+// nodes -> shots. Non-leaf nodes carry *multiple centres* (medoid shot
+// features) because their content is multi-modal and a single Gaussian
+// cannot model it; leaf (scene) nodes index member shots with a hash table
+// keyed on the dominant colour bin.
+class HierarchicalIndex : public ShotIndex {
+ public:
+  struct Options {
+    int centers_per_node = 4;
+    // How many best-matching branches to descend at each level; 1 is the
+    // paper's most-relevant-unit search, larger trades speed for recall.
+    int beam_width = 1;
+  };
+
+  HierarchicalIndex(const VideoDatabase* db, const ConceptHierarchy* concepts,
+                    const Options& options);
+  HierarchicalIndex(const VideoDatabase* db, const ConceptHierarchy* concepts);
+
+  std::vector<QueryMatch> Search(const features::ShotFeatures& query, int k,
+                                 QueryStats* stats = nullptr) const override;
+
+  // Introspection for tests / diagnostics.
+  size_t cluster_count() const { return clusters_.size(); }
+  size_t TotalSceneNodes() const;
+  size_t TotalIndexedShots() const;
+
+ private:
+  struct SceneNode {
+    std::vector<ShotRef> shots;
+    // Hash table: dominant-histogram-bin -> member shots in that bucket.
+    std::unordered_map<int, std::vector<ShotRef>> buckets;
+    std::vector<const features::ShotFeatures*> centers;
+  };
+  struct SubclusterNode {
+    int video_id = -1;
+    std::vector<SceneNode> scenes;
+    std::vector<const features::ShotFeatures*> centers;
+  };
+  struct ClusterNode {
+    events::EventType event = events::EventType::kUndetermined;
+    int concept_node = -1;  // scene-level concept id in the hierarchy
+    std::vector<SubclusterNode> subclusters;
+    std::vector<const features::ShotFeatures*> centers;
+  };
+
+  void Build();
+  std::vector<const features::ShotFeatures*> PickCenters(
+      const std::vector<ShotRef>& members) const;
+  double CenterSimilarity(
+      const features::ShotFeatures& query,
+      const std::vector<const features::ShotFeatures*>& centers,
+      size_t* comparisons) const;
+
+  static int BucketKey(const features::ShotFeatures& f);
+
+  const VideoDatabase* db_;
+  const ConceptHierarchy* concepts_;
+  Options options_;
+  std::vector<ClusterNode> clusters_;
+
+  friend class HierarchicalIndexPeer;  // test access
+};
+
+}  // namespace classminer::index
+
+#endif  // CLASSMINER_INDEX_HIER_INDEX_H_

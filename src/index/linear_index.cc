@@ -1,0 +1,37 @@
+#include "index/linear_index.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace classminer::index {
+
+LinearIndex::LinearIndex(const VideoDatabase* db)
+    : db_(db), shots_(db->AllShots()) {}
+
+std::vector<QueryMatch> LinearIndex::Search(
+    const features::ShotFeatures& query, int k, QueryStats* stats) const {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<QueryMatch> matches;
+  matches.reserve(shots_.size());
+  for (const ShotRef& ref : shots_) {
+    matches.push_back({ref, features::StSim(query, db_->Features(ref))});
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const QueryMatch& a, const QueryMatch& b) {
+              return a.similarity > b.similarity;
+            });
+  if (k >= 0 && matches.size() > static_cast<size_t>(k)) {
+    matches.resize(static_cast<size_t>(k));
+  }
+  if (stats != nullptr) {
+    stats->shot_comparisons = shots_.size();
+    stats->ranked = shots_.size();
+    stats->elapsed_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+  }
+  return matches;
+}
+
+}  // namespace classminer::index

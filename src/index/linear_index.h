@@ -1,0 +1,26 @@
+#ifndef CLASSMINER_INDEX_LINEAR_INDEX_H_
+#define CLASSMINER_INDEX_LINEAR_INDEX_H_
+
+#include <vector>
+
+#include "index/query.h"
+
+namespace classminer::index {
+
+// Flat-scan baseline (Sec. 6.2, Eq. 24): every query compares against all
+// NT shots and ranks them. The database must outlive the index.
+class LinearIndex : public ShotIndex {
+ public:
+  explicit LinearIndex(const VideoDatabase* db);
+
+  std::vector<QueryMatch> Search(const features::ShotFeatures& query, int k,
+                                 QueryStats* stats = nullptr) const override;
+
+ private:
+  const VideoDatabase* db_;
+  std::vector<ShotRef> shots_;
+};
+
+}  // namespace classminer::index
+
+#endif  // CLASSMINER_INDEX_LINEAR_INDEX_H_

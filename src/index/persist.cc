@@ -1,0 +1,248 @@
+#include "index/persist.h"
+
+#include "util/serial.h"
+
+namespace classminer::index {
+namespace {
+
+constexpr uint32_t kMagic = 0x42444d43;  // "CMDB"
+constexpr uint32_t kVersion = 1;
+
+void PutFeatures(util::ByteWriter* w, const features::ShotFeatures& f) {
+  for (double v : f.histogram) w->PutF64(v);
+  for (double v : f.tamura) w->PutF64(v);
+}
+
+util::Status GetFeatures(util::ByteReader* r, features::ShotFeatures* f) {
+  for (double& v : f->histogram) {
+    util::StatusOr<double> x = r->GetF64();
+    if (!x.ok()) return x.status();
+    v = *x;
+  }
+  for (double& v : f->tamura) {
+    util::StatusOr<double> x = r->GetF64();
+    if (!x.ok()) return x.status();
+    v = *x;
+  }
+  return util::Status::Ok();
+}
+
+void PutIntVector(util::ByteWriter* w, const std::vector<int>& v) {
+  w->PutU32(static_cast<uint32_t>(v.size()));
+  for (int x : v) w->PutI32(x);
+}
+
+util::Status GetIntVector(util::ByteReader* r, std::vector<int>* v) {
+  util::StatusOr<uint32_t> n = r->GetU32();
+  if (!n.ok()) return n.status();
+  v->resize(*n);
+  for (int& x : *v) {
+    util::StatusOr<int32_t> i = r->GetI32();
+    if (!i.ok()) return i.status();
+    x = *i;
+  }
+  return util::Status::Ok();
+}
+
+void PutVideo(util::ByteWriter* w, const VideoEntry& v) {
+  w->PutString(v.name);
+
+  const structure::ContentStructure& cs = v.structure;
+  w->PutU32(static_cast<uint32_t>(cs.shots.size()));
+  for (const shot::Shot& s : cs.shots) {
+    w->PutI32(s.index);
+    w->PutI32(s.start_frame);
+    w->PutI32(s.end_frame);
+    w->PutI32(s.rep_frame);
+    PutFeatures(w, s.features);
+  }
+
+  w->PutU32(static_cast<uint32_t>(cs.groups.size()));
+  for (const structure::Group& g : cs.groups) {
+    w->PutI32(g.index);
+    w->PutI32(g.start_shot);
+    w->PutI32(g.end_shot);
+    w->PutU8(g.temporally_related ? 1 : 0);
+    w->PutU32(static_cast<uint32_t>(g.clusters.size()));
+    for (const structure::ShotCluster& c : g.clusters) {
+      PutIntVector(w, c.shot_indices);
+      w->PutI32(c.rep_shot);
+    }
+    PutIntVector(w, g.rep_shots);
+  }
+
+  w->PutU32(static_cast<uint32_t>(cs.scenes.size()));
+  for (const structure::Scene& s : cs.scenes) {
+    w->PutI32(s.index);
+    w->PutI32(s.start_group);
+    w->PutI32(s.end_group);
+    w->PutI32(s.rep_group);
+    w->PutU8(s.eliminated ? 1 : 0);
+  }
+
+  w->PutU32(static_cast<uint32_t>(cs.clustered_scenes.size()));
+  for (const structure::SceneCluster& c : cs.clustered_scenes) {
+    PutIntVector(w, c.scene_indices);
+    w->PutI32(c.rep_group);
+  }
+
+  w->PutU32(static_cast<uint32_t>(v.events.size()));
+  for (const events::EventRecord& e : v.events) {
+    w->PutI32(e.scene_index);
+    w->PutI32(static_cast<int32_t>(e.type));
+    w->PutU8(e.has_slide ? 1 : 0);
+    w->PutU8(e.has_face_closeup ? 1 : 0);
+    w->PutU8(e.has_temporal_group ? 1 : 0);
+    w->PutU8(e.any_speaker_change ? 1 : 0);
+    w->PutU8(e.dialog_speaker_duplicated ? 1 : 0);
+    w->PutU8(e.has_skin_closeup ? 1 : 0);
+    w->PutU8(e.has_blood ? 1 : 0);
+    w->PutI32(e.skin_shot_count);
+    w->PutI32(e.shot_count);
+  }
+}
+
+util::Status GetVideo(util::ByteReader* r, VideoEntry* out) {
+  util::StatusOr<std::string> name = r->GetString();
+  if (!name.ok()) return name.status();
+  out->name = *name;
+
+  auto get_i32 = [r](int* v) -> util::Status {
+    util::StatusOr<int32_t> x = r->GetI32();
+    if (!x.ok()) return x.status();
+    *v = *x;
+    return util::Status::Ok();
+  };
+  auto get_u8 = [r](bool* v) -> util::Status {
+    util::StatusOr<uint8_t> x = r->GetU8();
+    if (!x.ok()) return x.status();
+    *v = *x != 0;
+    return util::Status::Ok();
+  };
+
+  structure::ContentStructure& cs = out->structure;
+  util::StatusOr<uint32_t> shot_count = r->GetU32();
+  if (!shot_count.ok()) return shot_count.status();
+  // Every serialised shot carries 4 ints + 266 doubles; reject counts the
+  // remaining buffer cannot hold (guards hostile resize sizes).
+  if (*shot_count > r->remaining() / (16 + 266 * 8)) {
+    return util::Status::DataLoss("shot count exceeds database size");
+  }
+  cs.shots.resize(*shot_count);
+  for (shot::Shot& s : cs.shots) {
+    CLASSMINER_RETURN_IF_ERROR(get_i32(&s.index));
+    CLASSMINER_RETURN_IF_ERROR(get_i32(&s.start_frame));
+    CLASSMINER_RETURN_IF_ERROR(get_i32(&s.end_frame));
+    CLASSMINER_RETURN_IF_ERROR(get_i32(&s.rep_frame));
+    CLASSMINER_RETURN_IF_ERROR(GetFeatures(r, &s.features));
+  }
+
+  util::StatusOr<uint32_t> group_count = r->GetU32();
+  if (!group_count.ok()) return group_count.status();
+  cs.groups.resize(*group_count);
+  for (structure::Group& g : cs.groups) {
+    CLASSMINER_RETURN_IF_ERROR(get_i32(&g.index));
+    CLASSMINER_RETURN_IF_ERROR(get_i32(&g.start_shot));
+    CLASSMINER_RETURN_IF_ERROR(get_i32(&g.end_shot));
+    CLASSMINER_RETURN_IF_ERROR(get_u8(&g.temporally_related));
+    util::StatusOr<uint32_t> clusters = r->GetU32();
+    if (!clusters.ok()) return clusters.status();
+    g.clusters.resize(*clusters);
+    for (structure::ShotCluster& c : g.clusters) {
+      CLASSMINER_RETURN_IF_ERROR(GetIntVector(r, &c.shot_indices));
+      CLASSMINER_RETURN_IF_ERROR(get_i32(&c.rep_shot));
+    }
+    CLASSMINER_RETURN_IF_ERROR(GetIntVector(r, &g.rep_shots));
+  }
+
+  util::StatusOr<uint32_t> scene_count = r->GetU32();
+  if (!scene_count.ok()) return scene_count.status();
+  cs.scenes.resize(*scene_count);
+  for (structure::Scene& s : cs.scenes) {
+    CLASSMINER_RETURN_IF_ERROR(get_i32(&s.index));
+    CLASSMINER_RETURN_IF_ERROR(get_i32(&s.start_group));
+    CLASSMINER_RETURN_IF_ERROR(get_i32(&s.end_group));
+    CLASSMINER_RETURN_IF_ERROR(get_i32(&s.rep_group));
+    CLASSMINER_RETURN_IF_ERROR(get_u8(&s.eliminated));
+  }
+
+  util::StatusOr<uint32_t> cluster_count = r->GetU32();
+  if (!cluster_count.ok()) return cluster_count.status();
+  cs.clustered_scenes.resize(*cluster_count);
+  for (structure::SceneCluster& c : cs.clustered_scenes) {
+    CLASSMINER_RETURN_IF_ERROR(GetIntVector(r, &c.scene_indices));
+    CLASSMINER_RETURN_IF_ERROR(get_i32(&c.rep_group));
+  }
+
+  util::StatusOr<uint32_t> event_count = r->GetU32();
+  if (!event_count.ok()) return event_count.status();
+  out->events.resize(*event_count);
+  for (events::EventRecord& e : out->events) {
+    CLASSMINER_RETURN_IF_ERROR(get_i32(&e.scene_index));
+    int type = 0;
+    CLASSMINER_RETURN_IF_ERROR(get_i32(&type));
+    if (type < 0 || type > 3) {
+      return util::Status::DataLoss("invalid event type in database");
+    }
+    e.type = static_cast<events::EventType>(type);
+    CLASSMINER_RETURN_IF_ERROR(get_u8(&e.has_slide));
+    CLASSMINER_RETURN_IF_ERROR(get_u8(&e.has_face_closeup));
+    CLASSMINER_RETURN_IF_ERROR(get_u8(&e.has_temporal_group));
+    CLASSMINER_RETURN_IF_ERROR(get_u8(&e.any_speaker_change));
+    CLASSMINER_RETURN_IF_ERROR(get_u8(&e.dialog_speaker_duplicated));
+    CLASSMINER_RETURN_IF_ERROR(get_u8(&e.has_skin_closeup));
+    CLASSMINER_RETURN_IF_ERROR(get_u8(&e.has_blood));
+    CLASSMINER_RETURN_IF_ERROR(get_i32(&e.skin_shot_count));
+    CLASSMINER_RETURN_IF_ERROR(get_i32(&e.shot_count));
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeDatabase(const VideoDatabase& db) {
+  util::ByteWriter w;
+  w.PutU32(kMagic);
+  w.PutU32(kVersion);
+  w.PutU32(static_cast<uint32_t>(db.video_count()));
+  for (int v = 0; v < db.video_count(); ++v) {
+    PutVideo(&w, db.video(v));
+  }
+  return w.Release();
+}
+
+util::StatusOr<VideoDatabase> ParseDatabase(
+    const std::vector<uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  util::StatusOr<uint32_t> magic = r.GetU32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kMagic) return util::Status::DataLoss("bad CMDB magic");
+  util::StatusOr<uint32_t> version = r.GetU32();
+  if (!version.ok()) return version.status();
+  if (*version != kVersion) {
+    return util::Status::DataLoss("unsupported CMDB version");
+  }
+  util::StatusOr<uint32_t> videos = r.GetU32();
+  if (!videos.ok()) return videos.status();
+
+  VideoDatabase db;
+  for (uint32_t i = 0; i < *videos; ++i) {
+    VideoEntry entry;
+    CLASSMINER_RETURN_IF_ERROR(GetVideo(&r, &entry));
+    db.AddVideo(std::move(entry.name), std::move(entry.structure),
+                std::move(entry.events));
+  }
+  return db;
+}
+
+util::Status SaveDatabase(const VideoDatabase& db, const std::string& path) {
+  return util::WriteFile(path, SerializeDatabase(db));
+}
+
+util::StatusOr<VideoDatabase> LoadDatabase(const std::string& path) {
+  util::StatusOr<std::vector<uint8_t>> bytes = util::ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  return ParseDatabase(*bytes);
+}
+
+}  // namespace classminer::index

@@ -1,0 +1,23 @@
+#ifndef CLASSMINER_INDEX_PERSIST_H_
+#define CLASSMINER_INDEX_PERSIST_H_
+
+#include <string>
+#include <vector>
+
+#include "index/database.h"
+#include "util/status.h"
+
+namespace classminer::index {
+
+// Binary persistence of the mined database (features + structure + events;
+// raw media stays in CMV containers). Format "CMDB" version 1.
+
+std::vector<uint8_t> SerializeDatabase(const VideoDatabase& db);
+util::StatusOr<VideoDatabase> ParseDatabase(const std::vector<uint8_t>& bytes);
+
+util::Status SaveDatabase(const VideoDatabase& db, const std::string& path);
+util::StatusOr<VideoDatabase> LoadDatabase(const std::string& path);
+
+}  // namespace classminer::index
+
+#endif  // CLASSMINER_INDEX_PERSIST_H_

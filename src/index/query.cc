@@ -1,0 +1,4 @@
+#include "index/query.h"
+
+// Query types are header-only; this translation unit anchors the interface
+// in the cm_index library.

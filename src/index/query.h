@@ -1,0 +1,47 @@
+#ifndef CLASSMINER_INDEX_QUERY_H_
+#define CLASSMINER_INDEX_QUERY_H_
+
+#include <vector>
+
+#include "features/similarity.h"
+#include "index/database.h"
+
+namespace classminer::index {
+
+// One ranked k-NN match.
+struct QueryMatch {
+  ShotRef ref;
+  double similarity = 0.0;
+};
+
+// Cost decomposition matching Sec. 6.2: how many similarity computations
+// each level of the search performed, plus wall time.
+struct QueryStats {
+  size_t cluster_comparisons = 0;     // Mc (Eq. 25)
+  size_t subcluster_comparisons = 0;  // Msc
+  size_t scene_comparisons = 0;       // Ms
+  size_t shot_comparisons = 0;        // Mo
+  size_t ranked = 0;
+  double elapsed_us = 0.0;
+
+  size_t TotalComparisons() const {
+    return cluster_comparisons + subcluster_comparisons + scene_comparisons +
+           shot_comparisons;
+  }
+};
+
+// Common interface of the linear-scan baseline (Eq. 24) and the
+// cluster-based hierarchical index (Eq. 25).
+class ShotIndex {
+ public:
+  virtual ~ShotIndex() = default;
+
+  // Returns the k most similar shots to `query`, most similar first.
+  virtual std::vector<QueryMatch> Search(const features::ShotFeatures& query,
+                                         int k,
+                                         QueryStats* stats = nullptr) const = 0;
+};
+
+}  // namespace classminer::index
+
+#endif  // CLASSMINER_INDEX_QUERY_H_

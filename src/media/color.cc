@@ -1,0 +1,80 @@
+#include "media/color.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace classminer::media {
+
+Hsv RgbToHsv(Rgb c) {
+  const double r = c.r / 255.0;
+  const double g = c.g / 255.0;
+  const double b = c.b / 255.0;
+  const double mx = std::max({r, g, b});
+  const double mn = std::min({r, g, b});
+  const double delta = mx - mn;
+
+  Hsv out;
+  out.v = mx;
+  out.s = (mx > 0.0) ? delta / mx : 0.0;
+  if (delta <= 1e-12) {
+    out.h = 0.0;
+  } else if (mx == r) {
+    out.h = 60.0 * std::fmod((g - b) / delta, 6.0);
+  } else if (mx == g) {
+    out.h = 60.0 * ((b - r) / delta + 2.0);
+  } else {
+    out.h = 60.0 * ((r - g) / delta + 4.0);
+  }
+  if (out.h < 0.0) out.h += 360.0;
+  return out;
+}
+
+Rgb HsvToRgb(const Hsv& c) {
+  const double h = std::fmod(std::fmod(c.h, 360.0) + 360.0, 360.0);
+  const double s = std::clamp(c.s, 0.0, 1.0);
+  const double v = std::clamp(c.v, 0.0, 1.0);
+  const double cc = v * s;
+  const double x = cc * (1.0 - std::fabs(std::fmod(h / 60.0, 2.0) - 1.0));
+  const double m = v - cc;
+  double r = 0.0, g = 0.0, b = 0.0;
+  if (h < 60.0) {
+    r = cc, g = x;
+  } else if (h < 120.0) {
+    r = x, g = cc;
+  } else if (h < 180.0) {
+    g = cc, b = x;
+  } else if (h < 240.0) {
+    g = x, b = cc;
+  } else if (h < 300.0) {
+    r = x, b = cc;
+  } else {
+    r = cc, b = x;
+  }
+  auto to8 = [m](double u) {
+    return static_cast<uint8_t>(std::lround(std::clamp(u + m, 0.0, 1.0) * 255.0));
+  };
+  return Rgb{to8(r), to8(g), to8(b)};
+}
+
+uint8_t Luma(Rgb c) {
+  const double y = 0.299 * c.r + 0.587 * c.g + 0.114 * c.b;
+  return static_cast<uint8_t>(std::lround(std::clamp(y, 0.0, 255.0)));
+}
+
+GrayImage ToGray(const Image& image) {
+  GrayImage out(image.width(), image.height());
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      out.set(x, y, Luma(image.at(x, y)));
+    }
+  }
+  return out;
+}
+
+bool IsGrayish(Rgb c, int tolerance) {
+  const int mx = std::max({c.r, c.g, c.b});
+  const int mn = std::min({c.r, c.g, c.b});
+  return mx - mn <= tolerance;
+}
+
+}  // namespace classminer::media

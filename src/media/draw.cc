@@ -1,0 +1,120 @@
+#include "media/draw.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace classminer::media {
+
+void FillRect(Image* image, int x0, int y0, int w, int h, Rgb color) {
+  const int x1 = std::min(image->width(), x0 + w);
+  const int y1 = std::min(image->height(), y0 + h);
+  for (int y = std::max(0, y0); y < y1; ++y) {
+    for (int x = std::max(0, x0); x < x1; ++x) image->set(x, y, color);
+  }
+}
+
+void FillEllipse(Image* image, int cx, int cy, int rx, int ry, Rgb color) {
+  if (rx <= 0 || ry <= 0) return;
+  const int y0 = std::max(0, cy - ry);
+  const int y1 = std::min(image->height() - 1, cy + ry);
+  for (int y = y0; y <= y1; ++y) {
+    const double dy = static_cast<double>(y - cy) / ry;
+    const double span = 1.0 - dy * dy;
+    if (span < 0.0) continue;
+    const int half = static_cast<int>(std::floor(rx * std::sqrt(span)));
+    const int x0 = std::max(0, cx - half);
+    const int x1 = std::min(image->width() - 1, cx + half);
+    for (int x = x0; x <= x1; ++x) image->set(x, y, color);
+  }
+}
+
+void FillGradient(Image* image, Rgb top, Rgb bottom) {
+  const int h = image->height();
+  for (int y = 0; y < h; ++y) {
+    const double t = (h > 1) ? static_cast<double>(y) / (h - 1) : 0.0;
+    const Rgb c{
+        static_cast<uint8_t>(top.r + t * (bottom.r - top.r)),
+        static_cast<uint8_t>(top.g + t * (bottom.g - top.g)),
+        static_cast<uint8_t>(top.b + t * (bottom.b - top.b))};
+    for (int x = 0; x < image->width(); ++x) image->set(x, y, c);
+  }
+}
+
+void DrawHLine(Image* image, int x0, int x1, int y, Rgb color) {
+  if (y < 0 || y >= image->height()) return;
+  for (int x = std::max(0, x0); x <= std::min(image->width() - 1, x1); ++x) {
+    image->set(x, y, color);
+  }
+}
+
+void DrawVLine(Image* image, int x, int y0, int y1, Rgb color) {
+  if (x < 0 || x >= image->width()) return;
+  for (int y = std::max(0, y0); y <= std::min(image->height() - 1, y1); ++y) {
+    image->set(x, y, color);
+  }
+}
+
+void DrawTextLine(Image* image, int x, int y, int width, int glyph_h,
+                  Rgb color, util::Rng* rng) {
+  int cx = x;
+  const int x_end = std::min(image->width() - 1, x + width);
+  while (cx < x_end) {
+    const int word = rng->UniformInt(4, 14);
+    FillRect(image, cx, y, std::min(word, x_end - cx), glyph_h, color);
+    cx += word + rng->UniformInt(2, 5);
+  }
+}
+
+void AddNoise(Image* image, int amplitude, util::Rng* rng) {
+  if (amplitude <= 0) return;
+  for (Rgb& p : image->pixels()) {
+    auto jitter = [&](uint8_t v) {
+      const int n = rng->UniformInt(-amplitude, amplitude);
+      return static_cast<uint8_t>(std::clamp(static_cast<int>(v) + n, 0, 255));
+    };
+    p = Rgb{jitter(p.r), jitter(p.g), jitter(p.b)};
+  }
+}
+
+Image Translated(const Image& image, int dx, int dy) {
+  Image out(image.width(), image.height());
+  for (int y = 0; y < image.height(); ++y) {
+    const int sy = std::clamp(y - dy, 0, image.height() - 1);
+    for (int x = 0; x < image.width(); ++x) {
+      const int sx = std::clamp(x - dx, 0, image.width() - 1);
+      out.set(x, y, image.at(sx, sy));
+    }
+  }
+  return out;
+}
+
+Image Blend(const Image& a, const Image& b, double alpha) {
+  const int w = std::min(a.width(), b.width());
+  const int h = std::min(a.height(), b.height());
+  Image out(w, h);
+  alpha = std::clamp(alpha, 0.0, 1.0);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const Rgb pa = a.at(x, y);
+      const Rgb pb = b.at(x, y);
+      auto mix = [alpha](uint8_t ca, uint8_t cb) {
+        return static_cast<uint8_t>(
+            std::lround(alpha * ca + (1.0 - alpha) * cb));
+      };
+      out.set(x, y, Rgb{mix(pa.r, pb.r), mix(pa.g, pb.g), mix(pa.b, pb.b)});
+    }
+  }
+  return out;
+}
+
+void ScaleBrightness(Image* image, double factor) {
+  for (Rgb& p : image->pixels()) {
+    auto scale = [factor](uint8_t v) {
+      return static_cast<uint8_t>(
+          std::clamp(std::lround(v * factor), 0L, 255L));
+    };
+    p = Rgb{scale(p.r), scale(p.g), scale(p.b)};
+  }
+}
+
+}  // namespace classminer::media

@@ -1,0 +1,44 @@
+#ifndef CLASSMINER_MEDIA_DRAW_H_
+#define CLASSMINER_MEDIA_DRAW_H_
+
+#include "media/image.h"
+#include "util/rng.h"
+
+namespace classminer::media {
+
+// Drawing primitives used by the synthetic video generator. All clip to the
+// image bounds.
+
+void FillRect(Image* image, int x0, int y0, int w, int h, Rgb color);
+
+void FillEllipse(Image* image, int cx, int cy, int rx, int ry, Rgb color);
+
+// Vertical linear gradient from `top` to `bottom` over the whole image.
+void FillGradient(Image* image, Rgb top, Rgb bottom);
+
+// Axis-aligned 1px-thick line segments (used for sketch/clip-art frames).
+void DrawHLine(Image* image, int x0, int x1, int y, Rgb color);
+void DrawVLine(Image* image, int x, int y0, int y1, Rgb color);
+
+// Blocky pseudo-text: rows of short dark dashes, as slide "text lines".
+void DrawTextLine(Image* image, int x, int y, int width, int glyph_h,
+                  Rgb color, util::Rng* rng);
+
+// Adds per-pixel uniform noise in [-amplitude, amplitude] to each channel.
+void AddNoise(Image* image, int amplitude, util::Rng* rng);
+
+// Translates image content by (dx, dy), filling exposed border with edge
+// pixels; simulates small camera motion within a shot.
+Image Translated(const Image& image, int dx, int dy);
+
+// Per-channel scale toward darker/brighter; factor 1.0 = identity.
+void ScaleBrightness(Image* image, double factor);
+
+// Per-pixel blend: alpha * a + (1 - alpha) * b, sizes must match
+// (mismatches blend the overlapping region of the two). Used for dissolve
+// transitions in the synthetic generator.
+Image Blend(const Image& a, const Image& b, double alpha);
+
+}  // namespace classminer::media
+
+#endif  // CLASSMINER_MEDIA_DRAW_H_

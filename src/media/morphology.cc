@@ -1,0 +1,59 @@
+#include "media/morphology.h"
+
+namespace classminer::media {
+namespace {
+
+enum class Op { kErode, kDilate };
+
+GrayImage Apply(const GrayImage& mask, int radius, Op op) {
+  const int w = mask.width();
+  const int h = mask.height();
+  GrayImage out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      bool hit = (op == Op::kErode);
+      for (int dy = -radius; dy <= radius && (op == Op::kErode ? hit : !hit);
+           ++dy) {
+        for (int dx = -radius; dx <= radius; ++dx) {
+          const int nx = x + dx;
+          const int ny = y + dy;
+          const bool fg =
+              mask.Contains(nx, ny) ? mask.at(nx, ny) > 0 : false;
+          if (op == Op::kErode) {
+            if (!fg) {
+              hit = false;
+              break;
+            }
+          } else {
+            if (fg) {
+              hit = true;
+              break;
+            }
+          }
+        }
+      }
+      out.set(x, y, hit ? 255 : 0);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+GrayImage Erode(const GrayImage& mask, int radius) {
+  return Apply(mask, radius, Op::kErode);
+}
+
+GrayImage Dilate(const GrayImage& mask, int radius) {
+  return Apply(mask, radius, Op::kDilate);
+}
+
+GrayImage Open(const GrayImage& mask, int radius) {
+  return Dilate(Erode(mask, radius), radius);
+}
+
+GrayImage Close(const GrayImage& mask, int radius) {
+  return Erode(Dilate(mask, radius), radius);
+}
+
+}  // namespace classminer::media

@@ -1,0 +1,19 @@
+#ifndef CLASSMINER_MEDIA_MORPHOLOGY_H_
+#define CLASSMINER_MEDIA_MORPHOLOGY_H_
+
+#include "media/image.h"
+
+namespace classminer::media {
+
+// Binary morphology on masks (nonzero = foreground) with a square
+// structuring element of side `2*radius + 1`. Used to clean skin/blood
+// segmentation masks (paper Sec. 4.1).
+
+GrayImage Erode(const GrayImage& mask, int radius = 1);
+GrayImage Dilate(const GrayImage& mask, int radius = 1);
+GrayImage Open(const GrayImage& mask, int radius = 1);   // erode then dilate
+GrayImage Close(const GrayImage& mask, int radius = 1);  // dilate then erode
+
+}  // namespace classminer::media
+
+#endif  // CLASSMINER_MEDIA_MORPHOLOGY_H_

@@ -1,0 +1,94 @@
+#include "media/ppm.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "util/serial.h"
+
+namespace classminer::media {
+namespace {
+
+// Reads one whitespace/comment-delimited ASCII integer from the header.
+util::StatusOr<int> ReadHeaderInt(const std::vector<uint8_t>& bytes,
+                                  size_t* pos) {
+  // Skip whitespace and comments.
+  while (*pos < bytes.size()) {
+    const char c = static_cast<char>(bytes[*pos]);
+    if (c == '#') {
+      while (*pos < bytes.size() && bytes[*pos] != '\n') ++*pos;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++*pos;
+    } else {
+      break;
+    }
+  }
+  int value = 0;
+  bool any = false;
+  while (*pos < bytes.size() &&
+         std::isdigit(static_cast<unsigned char>(bytes[*pos]))) {
+    value = value * 10 + (bytes[*pos] - '0');
+    any = true;
+    ++*pos;
+  }
+  if (!any) return util::Status::DataLoss("malformed PPM header");
+  return value;
+}
+
+}  // namespace
+
+util::Status WritePpm(const Image& image, const std::string& path) {
+  char header[64];
+  const int n = std::snprintf(header, sizeof(header), "P6\n%d %d\n255\n",
+                              image.width(), image.height());
+  std::vector<uint8_t> bytes(header, header + n);
+  bytes.reserve(bytes.size() + image.pixel_count() * 3);
+  for (const Rgb& p : image.pixels()) {
+    bytes.push_back(p.r);
+    bytes.push_back(p.g);
+    bytes.push_back(p.b);
+  }
+  return util::WriteFile(path, bytes);
+}
+
+util::Status WritePpm(const GrayImage& image, const std::string& path) {
+  Image rgb(image.width(), image.height());
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      const uint8_t v = image.at(x, y);
+      rgb.set(x, y, Rgb{v, v, v});
+    }
+  }
+  return WritePpm(rgb, path);
+}
+
+util::StatusOr<Image> ReadPpm(const std::string& path) {
+  util::StatusOr<std::vector<uint8_t>> bytes = util::ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  if (bytes->size() < 2 || (*bytes)[0] != 'P' || (*bytes)[1] != '6') {
+    return util::Status::DataLoss("not a binary PPM (P6) file");
+  }
+  size_t pos = 2;
+  util::StatusOr<int> width = ReadHeaderInt(*bytes, &pos);
+  if (!width.ok()) return width.status();
+  util::StatusOr<int> height = ReadHeaderInt(*bytes, &pos);
+  if (!height.ok()) return height.status();
+  util::StatusOr<int> maxval = ReadHeaderInt(*bytes, &pos);
+  if (!maxval.ok()) return maxval.status();
+  if (*maxval != 255) {
+    return util::Status::Unimplemented("only maxval 255 PPM is supported");
+  }
+  ++pos;  // single whitespace after maxval
+  const size_t need = static_cast<size_t>(*width) * static_cast<size_t>(*height) * 3;
+  if (bytes->size() < pos + need) {
+    return util::Status::DataLoss("PPM pixel data truncated");
+  }
+  Image image(*width, *height);
+  size_t i = pos;
+  for (Rgb& p : image.pixels()) {
+    p = Rgb{(*bytes)[i], (*bytes)[i + 1], (*bytes)[i + 2]};
+    i += 3;
+  }
+  return image;
+}
+
+}  // namespace classminer::media

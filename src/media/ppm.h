@@ -1,0 +1,22 @@
+#ifndef CLASSMINER_MEDIA_PPM_H_
+#define CLASSMINER_MEDIA_PPM_H_
+
+#include <string>
+
+#include "media/image.h"
+#include "util/status.h"
+
+namespace classminer::media {
+
+// Binary PPM (P6) image I/O — the portable way to inspect frames,
+// representative shots and cue masks with any image viewer.
+
+util::Status WritePpm(const Image& image, const std::string& path);
+util::StatusOr<Image> ReadPpm(const std::string& path);
+
+// Writes a GrayImage as a P6 file (replicated channels).
+util::Status WritePpm(const GrayImage& image, const std::string& path);
+
+}  // namespace classminer::media
+
+#endif  // CLASSMINER_MEDIA_PPM_H_

@@ -1,0 +1,78 @@
+#include "media/region.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace classminer::media {
+
+std::vector<Region> ConnectedComponents(const GrayImage& mask, int min_area) {
+  std::vector<Region> regions;
+  if (mask.empty()) return regions;
+  const int w = mask.width();
+  const int h = mask.height();
+  std::vector<uint8_t> visited(static_cast<size_t>(w) * h, 0);
+
+  auto idx = [w](int x, int y) {
+    return static_cast<size_t>(y) * static_cast<size_t>(w) +
+           static_cast<size_t>(x);
+  };
+
+  for (int sy = 0; sy < h; ++sy) {
+    for (int sx = 0; sx < w; ++sx) {
+      if (mask.at(sx, sy) == 0 || visited[idx(sx, sy)]) continue;
+      Region region;
+      region.min_x = region.max_x = sx;
+      region.min_y = region.max_y = sy;
+      double sum_x = 0.0, sum_y = 0.0;
+
+      std::queue<std::pair<int, int>> frontier;
+      frontier.push({sx, sy});
+      visited[idx(sx, sy)] = 1;
+      while (!frontier.empty()) {
+        const auto [x, y] = frontier.front();
+        frontier.pop();
+        ++region.area;
+        sum_x += x;
+        sum_y += y;
+        region.min_x = std::min(region.min_x, x);
+        region.max_x = std::max(region.max_x, x);
+        region.min_y = std::min(region.min_y, y);
+        region.max_y = std::max(region.max_y, y);
+
+        constexpr int kDx[] = {1, -1, 0, 0};
+        constexpr int kDy[] = {0, 0, 1, -1};
+        for (int d = 0; d < 4; ++d) {
+          const int nx = x + kDx[d];
+          const int ny = y + kDy[d];
+          if (nx < 0 || ny < 0 || nx >= w || ny >= h) continue;
+          if (mask.at(nx, ny) == 0 || visited[idx(nx, ny)]) continue;
+          visited[idx(nx, ny)] = 1;
+          frontier.push({nx, ny});
+        }
+      }
+      if (region.area >= min_area) {
+        region.centroid_x = sum_x / region.area;
+        region.centroid_y = sum_y / region.area;
+        regions.push_back(region);
+      }
+    }
+  }
+  std::sort(regions.begin(), regions.end(),
+            [](const Region& a, const Region& b) { return a.area > b.area; });
+  return regions;
+}
+
+std::vector<Region> FilterBySize(const std::vector<Region>& regions,
+                                 int frame_w, int frame_h,
+                                 double min_side_frac) {
+  std::vector<Region> out;
+  for (const Region& r : regions) {
+    if (r.width() >= min_side_frac * frame_w &&
+        r.height() >= min_side_frac * frame_h) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace classminer::media

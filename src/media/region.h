@@ -1,0 +1,53 @@
+#ifndef CLASSMINER_MEDIA_REGION_H_
+#define CLASSMINER_MEDIA_REGION_H_
+
+#include <vector>
+
+#include "media/image.h"
+
+namespace classminer::media {
+
+// A connected region extracted from a binary mask, with the shape
+// statistics used by the cue detectors (Sec. 4.1 "general shape analysis").
+struct Region {
+  int min_x = 0;
+  int min_y = 0;
+  int max_x = 0;
+  int max_y = 0;
+  int area = 0;        // pixel count
+  double centroid_x = 0.0;
+  double centroid_y = 0.0;
+
+  int width() const { return max_x - min_x + 1; }
+  int height() const { return max_y - min_y + 1; }
+  // Bounding-box fill ratio in (0, 1]; ~pi/4 for an ellipse.
+  double Solidity() const {
+    const double box = static_cast<double>(width()) * height();
+    return box > 0.0 ? area / box : 0.0;
+  }
+  double AspectRatio() const {
+    return height() > 0 ? static_cast<double>(width()) / height() : 0.0;
+  }
+  // Area relative to a frame of the given size.
+  double AreaFraction(int frame_w, int frame_h) const {
+    const double total = static_cast<double>(frame_w) * frame_h;
+    return total > 0.0 ? area / total : 0.0;
+  }
+};
+
+// 4-connected component labelling of mask pixels > 0. Regions smaller than
+// `min_area` pixels are dropped. Returned regions are ordered by decreasing
+// area.
+std::vector<Region> ConnectedComponents(const GrayImage& mask,
+                                        int min_area = 1);
+
+// Keeps only regions with "considerable width and height" (paper Sec. 4.1):
+// both bounding-box sides at least `min_side_frac` of the corresponding
+// frame side.
+std::vector<Region> FilterBySize(const std::vector<Region>& regions,
+                                 int frame_w, int frame_h,
+                                 double min_side_frac);
+
+}  // namespace classminer::media
+
+#endif  // CLASSMINER_MEDIA_REGION_H_

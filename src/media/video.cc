@@ -1,0 +1,5 @@
+#include "media/video.h"
+
+// Video is header-only today; this translation unit anchors the library and
+// keeps room for out-of-line growth (e.g. frame iterators over compressed
+// sources).

@@ -1,0 +1,53 @@
+#ifndef CLASSMINER_MEDIA_VIDEO_H_
+#define CLASSMINER_MEDIA_VIDEO_H_
+
+#include <string>
+#include <vector>
+
+#include "media/image.h"
+
+namespace classminer::media {
+
+// An in-memory decoded video: a sequence of equally-sized frames at a fixed
+// frame rate. Large corpora are held compressed (codec::CmvFile) and decoded
+// per-window; Video is the working representation inside the pipeline.
+class Video {
+ public:
+  Video() = default;
+  Video(std::string name, double fps) : name_(std::move(name)), fps_(fps) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  double fps() const { return fps_; }
+  void set_fps(double fps) { fps_ = fps; }
+
+  int frame_count() const { return static_cast<int>(frames_.size()); }
+  bool empty() const { return frames_.empty(); }
+
+  int width() const { return frames_.empty() ? 0 : frames_.front().width(); }
+  int height() const {
+    return frames_.empty() ? 0 : frames_.front().height();
+  }
+
+  double DurationSeconds() const {
+    return fps_ > 0.0 ? frame_count() / fps_ : 0.0;
+  }
+
+  const Image& frame(int index) const { return frames_[index]; }
+  Image& frame(int index) { return frames_[index]; }
+
+  void AppendFrame(Image frame) { frames_.push_back(std::move(frame)); }
+  void Reserve(size_t n) { frames_.reserve(n); }
+
+  const std::vector<Image>& frames() const { return frames_; }
+
+ private:
+  std::string name_;
+  double fps_ = 25.0;
+  std::vector<Image> frames_;
+};
+
+}  // namespace classminer::media
+
+#endif  // CLASSMINER_MEDIA_VIDEO_H_

@@ -1,0 +1,22 @@
+#include "shot/rep_frame.h"
+
+#include <algorithm>
+
+namespace classminer::shot {
+
+int RepresentativeFrameIndex(int start_frame, int end_frame) {
+  // The 10th frame of the shot (1-based), i.e. start + 9, clamped.
+  return std::min(start_frame + 9, end_frame);
+}
+
+void PopulateRepresentativeFrames(const media::Video& video,
+                                  std::vector<Shot>* shots) {
+  for (Shot& s : *shots) {
+    s.rep_frame = RepresentativeFrameIndex(s.start_frame, s.end_frame);
+    if (s.rep_frame >= 0 && s.rep_frame < video.frame_count()) {
+      s.features = features::ExtractShotFeatures(video.frame(s.rep_frame));
+    }
+  }
+}
+
+}  // namespace classminer::shot

@@ -1,0 +1,21 @@
+#ifndef CLASSMINER_SHOT_REP_FRAME_H_
+#define CLASSMINER_SHOT_REP_FRAME_H_
+
+#include <vector>
+
+#include "media/video.h"
+#include "shot/shot.h"
+
+namespace classminer::shot {
+
+// Index of the representative frame of a shot span: the shot's 10th frame
+// (paper Sec. 3.1), clamped to the shot for shorter shots.
+int RepresentativeFrameIndex(int start_frame, int end_frame);
+
+// Fills rep_frame and features for every shot from the decoded video.
+void PopulateRepresentativeFrames(const media::Video& video,
+                                  std::vector<Shot>* shots);
+
+}  // namespace classminer::shot
+
+#endif  // CLASSMINER_SHOT_REP_FRAME_H_

@@ -1,0 +1,31 @@
+#ifndef CLASSMINER_SHOT_SHOT_H_
+#define CLASSMINER_SHOT_SHOT_H_
+
+#include "features/similarity.h"
+
+namespace classminer::shot {
+
+// A physical video shot: frames [start_frame, end_frame] inclusive, the
+// single continuous camera run of Definition 2.
+struct Shot {
+  int index = 0;        // position in the shot sequence
+  int start_frame = 0;
+  int end_frame = 0;    // inclusive
+  int rep_frame = 0;    // representative frame (the shot's 10th frame)
+  features::ShotFeatures features{};  // of the representative frame
+
+  int frame_count() const { return end_frame - start_frame + 1; }
+  double StartSeconds(double fps) const {
+    return fps > 0.0 ? start_frame / fps : 0.0;
+  }
+  double EndSeconds(double fps) const {
+    return fps > 0.0 ? (end_frame + 1) / fps : 0.0;
+  }
+  double DurationSeconds(double fps) const {
+    return fps > 0.0 ? frame_count() / fps : 0.0;
+  }
+};
+
+}  // namespace classminer::shot
+
+#endif  // CLASSMINER_SHOT_SHOT_H_

@@ -1,0 +1,32 @@
+#include "shot/threshold.h"
+
+#include <algorithm>
+
+#include "util/mathutil.h"
+
+namespace classminer::shot {
+
+std::vector<double> AdaptiveThresholds(
+    std::span<const double> diffs, const AdaptiveThresholdOptions& options) {
+  const int n = static_cast<int>(diffs.size());
+  std::vector<double> thresholds(static_cast<size_t>(std::max(n, 0)));
+  if (n == 0) return thresholds;
+  const int window = std::max(2, options.window);
+
+  for (int i = 0; i < n; ++i) {
+    const int lo = std::max(0, i - window / 2);
+    const int hi = std::min(n, lo + window);
+    std::span<const double> local =
+        diffs.subspan(static_cast<size_t>(lo), static_cast<size_t>(hi - lo));
+
+    const double entropy_t =
+        options.use_entropy ? util::FastEntropyThreshold(local) : 0.0;
+    const double activity =
+        util::Mean(local) + options.activity_sigma * util::StdDev(local);
+    thresholds[static_cast<size_t>(i)] =
+        std::max({entropy_t, activity, options.min_threshold});
+  }
+  return thresholds;
+}
+
+}  // namespace classminer::shot

@@ -1,0 +1,30 @@
+#ifndef CLASSMINER_SHOT_THRESHOLD_H_
+#define CLASSMINER_SHOT_THRESHOLD_H_
+
+#include <span>
+#include <vector>
+
+namespace classminer::shot {
+
+// Per-position adaptive thresholds over a difference series (paper
+// Sec. 3.1): a sliding window (default 30 frames) is centred on each
+// position; the window's threshold combines the fast-entropy automatic
+// threshold [10] with local activity analysis (mean + k * stddev of the
+// window), so quiet shots get low thresholds and busy shots high ones.
+struct AdaptiveThresholdOptions {
+  int window = 30;
+  double activity_sigma = 3.0;  // k in mean + k * stddev
+  double min_threshold = 0.08;  // absolute floor on [0,1] differences
+  // Ablation switch: disable the fast-entropy term so the threshold is
+  // driven by local activity (or by the floor alone).
+  bool use_entropy = true;
+};
+
+// Returns one threshold per element of `diffs`.
+std::vector<double> AdaptiveThresholds(
+    std::span<const double> diffs,
+    const AdaptiveThresholdOptions& options = {});
+
+}  // namespace classminer::shot
+
+#endif  // CLASSMINER_SHOT_THRESHOLD_H_

@@ -1,0 +1,76 @@
+#include "skim/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace classminer::skim {
+namespace {
+
+// Ground-truth shot index containing the given frame; -1 when outside.
+int TruthShotOfFrame(const synth::GroundTruth& truth, int frame) {
+  for (const synth::ShotTruth& s : truth.shots) {
+    if (frame >= s.start_frame && frame <= s.end_frame) return s.index;
+  }
+  return -1;
+}
+
+}  // namespace
+
+SkimScores EvaluateSkimLevel(const ScalableSkim& skim, int level,
+                             const synth::GroundTruth& truth) {
+  SkimScores scores;
+  const SkimTrack& track = skim.track(level);
+  if (track.shot_indices.empty() || truth.scenes.empty()) return scores;
+  const structure::ContentStructure& cs = *skim.structure();
+
+  // Skim shots are *detected* shots; bridge to the scripted truth through
+  // frame positions (a skim shot covers a truth scene when its
+  // representative frame lies inside that scene).
+  std::set<int> all_topics;
+  for (const synth::SceneTruth& s : truth.scenes) all_topics.insert(s.topic_id);
+
+  std::set<int> covered_scenes;
+  std::set<int> covered_topics;
+  for (int shot_index : track.shot_indices) {
+    const shot::Shot& s = cs.shots[static_cast<size_t>(shot_index)];
+    const int truth_shot = TruthShotOfFrame(truth, s.rep_frame);
+    if (truth_shot < 0) continue;
+    const int scene = truth.SceneOfShot(truth_shot);
+    if (scene < 0) continue;
+    covered_scenes.insert(scene);
+    covered_topics.insert(truth.scenes[static_cast<size_t>(scene)].topic_id);
+  }
+
+  const double topic_cov = static_cast<double>(covered_topics.size()) /
+                           static_cast<double>(all_topics.size());
+  const double scene_cov = static_cast<double>(covered_scenes.size()) /
+                           static_cast<double>(truth.scenes.size());
+  // Conciseness: replaying many shots per represented scene reads as
+  // redundant; sqrt softens the penalty to the paper's 0-5 spread.
+  const double redundancy_base =
+      static_cast<double>(covered_scenes.size()) /
+      static_cast<double>(track.shot_indices.size());
+
+  scores.q1 = 5.0 * topic_cov;
+  scores.q2 = 5.0 * scene_cov;
+  scores.q3 = 5.0 * std::sqrt(std::min(1.0, redundancy_base));
+  return scores;
+}
+
+SkimScores AverageScores(const std::vector<SkimScores>& scores) {
+  SkimScores avg;
+  if (scores.empty()) return avg;
+  for (const SkimScores& s : scores) {
+    avg.q1 += s.q1;
+    avg.q2 += s.q2;
+    avg.q3 += s.q3;
+  }
+  const double n = static_cast<double>(scores.size());
+  avg.q1 /= n;
+  avg.q2 /= n;
+  avg.q3 /= n;
+  return avg;
+}
+
+}  // namespace classminer::skim

@@ -1,0 +1,34 @@
+#ifndef CLASSMINER_SKIM_EVALUATOR_H_
+#define CLASSMINER_SKIM_EVALUATOR_H_
+
+#include "skim/skimmer.h"
+#include "structure/types.h"
+#include "synth/ground_truth.h"
+
+namespace classminer::skim {
+
+// Programmatic stand-in for the paper's five-student study (Fig. 14). The
+// three questionnaire items are operationalised against scripted ground
+// truth, each mapped to the paper's 0-5 scale:
+//   Q1 "addresses the main topic"  -> fraction of distinct ground-truth
+//      topics represented by at least one skim shot, times 5.
+//   Q2 "covers the scenarios"      -> fraction of ground-truth scenes
+//      represented by at least one skim shot, times 5.
+//   Q3 "is the summary concise"    -> anti-redundancy: sqrt(distinct scenes
+//      represented / skim shot count), times 5 (a skim that replays many
+//      shots of the same scene scores low).
+struct SkimScores {
+  double q1 = 0.0;
+  double q2 = 0.0;
+  double q3 = 0.0;
+};
+
+SkimScores EvaluateSkimLevel(const ScalableSkim& skim, int level,
+                             const synth::GroundTruth& truth);
+
+// Average scores over several videos' skims at the same level.
+SkimScores AverageScores(const std::vector<SkimScores>& scores);
+
+}  // namespace classminer::skim
+
+#endif  // CLASSMINER_SKIM_EVALUATOR_H_

@@ -1,0 +1,41 @@
+#include "skim/playback.h"
+
+namespace classminer::skim {
+
+std::vector<PlaybackSegment> BuildPlaybackPlan(const ScalableSkim& skim,
+                                               int level, double fps) {
+  std::vector<PlaybackSegment> plan;
+  if (fps <= 0.0) return plan;
+  const structure::ContentStructure& cs = *skim.structure();
+  const SkimTrack& track = skim.track(level);
+  plan.reserve(track.shot_indices.size());
+  for (size_t i = 0; i < track.shot_indices.size(); ++i) {
+    const shot::Shot& s =
+        cs.shots[static_cast<size_t>(track.shot_indices[i])];
+    PlaybackSegment seg;
+    seg.shot_index = s.index;
+    seg.start_sec = s.StartSeconds(fps);
+    seg.end_sec = s.EndSeconds(fps);
+    seg.scroll_position = skim.ScrollPosition(level, static_cast<int>(i));
+    plan.push_back(seg);
+  }
+  return plan;
+}
+
+double PlanDurationSeconds(const std::vector<PlaybackSegment>& plan) {
+  double total = 0.0;
+  for (const PlaybackSegment& seg : plan) {
+    total += seg.end_sec - seg.start_sec;
+  }
+  return total;
+}
+
+size_t ResumeIndexAfterSwitch(const std::vector<PlaybackSegment>& new_plan,
+                              double original_sec) {
+  for (size_t i = 0; i < new_plan.size(); ++i) {
+    if (new_plan[i].end_sec > original_sec) return i;
+  }
+  return new_plan.empty() ? 0 : new_plan.size() - 1;
+}
+
+}  // namespace classminer::skim

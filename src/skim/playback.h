@@ -1,0 +1,35 @@
+#ifndef CLASSMINER_SKIM_PLAYBACK_H_
+#define CLASSMINER_SKIM_PLAYBACK_H_
+
+#include <vector>
+
+#include "skim/skimmer.h"
+
+namespace classminer::skim {
+
+// One played segment of a skim: the shot's span in the original timeline.
+struct PlaybackSegment {
+  int shot_index = -1;
+  double start_sec = 0.0;  // position in the original video
+  double end_sec = 0.0;
+  double scroll_position = 0.0;  // fast-access bar position in [0, 1]
+};
+
+// The playback model of the Fig. 11 tool: while a skim level plays, only
+// its selected shots are shown and all others are skipped.
+std::vector<PlaybackSegment> BuildPlaybackPlan(const ScalableSkim& skim,
+                                               int level, double fps);
+
+// Total played seconds of a plan.
+double PlanDurationSeconds(const std::vector<PlaybackSegment>& plan);
+
+// The "skimming level switcher": when the user changes levels while at
+// `original_sec` of the source timeline, playback resumes at the first
+// segment of the new plan that starts at or after that position (or the
+// last segment when none does). Returns the segment index.
+size_t ResumeIndexAfterSwitch(const std::vector<PlaybackSegment>& new_plan,
+                              double original_sec);
+
+}  // namespace classminer::skim
+
+#endif  // CLASSMINER_SKIM_PLAYBACK_H_

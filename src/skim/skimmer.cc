@@ -1,0 +1,79 @@
+#include "skim/skimmer.h"
+
+#include <algorithm>
+#include <set>
+
+namespace classminer::skim {
+namespace {
+
+// Representative shots of a group: one per internal cluster.
+void AddGroupReps(const structure::Group& group, std::set<int>* shots) {
+  for (int rep : group.rep_shots) {
+    if (rep >= 0) shots->insert(rep);
+  }
+}
+
+}  // namespace
+
+ScalableSkim::ScalableSkim(const structure::ContentStructure* structure)
+    : structure_(structure) {
+  for (const shot::Shot& s : structure->shots) total_frames_ += s.frame_count();
+
+  // Level 1: every shot.
+  std::set<int> level1;
+  for (const shot::Shot& s : structure->shots) level1.insert(s.index);
+
+  // Level 2: representative shots of all groups.
+  std::set<int> level2;
+  for (const structure::Group& g : structure->groups) {
+    AddGroupReps(g, &level2);
+  }
+
+  // Level 3: representative shots of each active scene's representative
+  // group.
+  std::set<int> level3;
+  for (const structure::Scene& scene : structure->scenes) {
+    if (scene.eliminated || scene.rep_group < 0) continue;
+    AddGroupReps(structure->groups[static_cast<size_t>(scene.rep_group)],
+                 &level3);
+  }
+
+  // Level 4: representative shots of each clustered scene's centroid group.
+  std::set<int> level4;
+  for (const structure::SceneCluster& cluster : structure->clustered_scenes) {
+    if (cluster.rep_group < 0) continue;
+    AddGroupReps(structure->groups[static_cast<size_t>(cluster.rep_group)],
+                 &level4);
+  }
+
+  const std::set<int>* sets[kSkimLevels] = {&level1, &level2, &level3,
+                                            &level4};
+  for (int lvl = 0; lvl < kSkimLevels; ++lvl) {
+    SkimTrack& t = tracks_[static_cast<size_t>(lvl)];
+    t.level = lvl + 1;
+    t.shot_indices.assign(sets[lvl]->begin(), sets[lvl]->end());
+    t.frame_count = 0;
+    for (int s : t.shot_indices) {
+      t.frame_count += structure->shots[static_cast<size_t>(s)].frame_count();
+    }
+  }
+}
+
+double ScalableSkim::Fcr(int level) const {
+  if (total_frames_ <= 0) return 0.0;
+  return static_cast<double>(track(level).frame_count) /
+         static_cast<double>(total_frames_);
+}
+
+double ScalableSkim::ScrollPosition(int level, int track_position) const {
+  const SkimTrack& t = track(level);
+  if (t.shot_indices.empty() || total_frames_ <= 0) return 0.0;
+  const int pos = std::clamp(track_position, 0,
+                             static_cast<int>(t.shot_indices.size()) - 1);
+  const shot::Shot& s =
+      structure_->shots[static_cast<size_t>(t.shot_indices[static_cast<size_t>(pos)])];
+  return static_cast<double>(s.start_frame) /
+         static_cast<double>(total_frames_);
+}
+
+}  // namespace classminer::skim

@@ -1,0 +1,49 @@
+#ifndef CLASSMINER_SKIM_SKIMMER_H_
+#define CLASSMINER_SKIM_SKIMMER_H_
+
+#include <vector>
+
+#include "structure/types.h"
+
+namespace classminer::skim {
+
+// The four skim layers (paper Sec. 5): level 1 = all shots (finest) up to
+// level 4 = representative shots of clustered scenes (coarsest).
+inline constexpr int kSkimLevels = 4;
+
+struct SkimTrack {
+  int level = 1;
+  std::vector<int> shot_indices;  // ascending; the shots that get played
+  long frame_count = 0;           // total frames across the track's shots
+};
+
+// A scalable skim over one video's content structure.
+class ScalableSkim {
+ public:
+  // Builds all four levels from a mined structure.
+  explicit ScalableSkim(const structure::ContentStructure* structure);
+
+  const SkimTrack& track(int level) const {
+    return tracks_[static_cast<size_t>(level - 1)];
+  }
+
+  // Frame compression ratio (Fig. 15): frames at `level` / all frames.
+  double Fcr(int level) const;
+
+  long total_frames() const { return total_frames_; }
+
+  const structure::ContentStructure* structure() const { return structure_; }
+
+  // Position of the scroll-bar tag (fraction of the full video) for the
+  // i-th skimming shot at `level` — the fast-access toolbar model.
+  double ScrollPosition(int level, int track_position) const;
+
+ private:
+  const structure::ContentStructure* structure_;
+  SkimTrack tracks_[kSkimLevels];
+  long total_frames_ = 0;
+};
+
+}  // namespace classminer::skim
+
+#endif  // CLASSMINER_SKIM_SKIMMER_H_

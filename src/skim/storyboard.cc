@@ -1,0 +1,108 @@
+#include "skim/storyboard.h"
+
+#include <algorithm>
+
+#include "media/draw.h"
+#include "media/ppm.h"
+
+namespace classminer::skim {
+namespace {
+
+// Tile border colours, matching the HTML colour bar (summary.cc).
+media::Rgb EventRgb(events::EventType type) {
+  switch (type) {
+    case events::EventType::kPresentation:
+      return {0x3b, 0x6f, 0xd4};
+    case events::EventType::kDialog:
+      return {0x3d, 0xa7, 0x5a};
+    case events::EventType::kClinicalOperation:
+      return {0xc8, 0x4b, 0x42};
+    case events::EventType::kUndetermined:
+      return {0x9a, 0x9a, 0x9a};
+  }
+  return {0x9a, 0x9a, 0x9a};
+}
+
+events::EventType EventOfShot(const structure::ContentStructure& cs,
+                              const std::vector<events::EventRecord>& events,
+                              int shot_index) {
+  for (const structure::Scene& scene : cs.scenes) {
+    const structure::Group& first =
+        cs.groups[static_cast<size_t>(scene.start_group)];
+    const structure::Group& last =
+        cs.groups[static_cast<size_t>(scene.end_group)];
+    if (shot_index < first.start_shot || shot_index > last.end_shot) continue;
+    if (scene.eliminated) return events::EventType::kUndetermined;
+    for (const events::EventRecord& rec : events) {
+      if (rec.scene_index == scene.index) return rec.type;
+    }
+  }
+  return events::EventType::kUndetermined;
+}
+
+}  // namespace
+
+media::Image RenderStoryboard(const ScalableSkim& skim, int level,
+                              const media::Video& video,
+                              const std::vector<events::EventRecord>& events,
+                              const StoryboardOptions& options) {
+  const SkimTrack& track = skim.track(level);
+  if (track.shot_indices.empty()) return media::Image();
+  const structure::ContentStructure& cs = *skim.structure();
+
+  const int cols =
+      std::min<int>(std::max(1, options.columns),
+                    static_cast<int>(track.shot_indices.size()));
+  const int rows =
+      (static_cast<int>(track.shot_indices.size()) + cols - 1) / cols;
+  const int cell_w = options.tile_width + 2 * options.border;
+  const int cell_h = options.tile_height + 2 * options.border;
+  const int sheet_w = cols * cell_w + (cols + 1) * options.gutter;
+  const int sheet_h = rows * cell_h + (rows + 1) * options.gutter;
+
+  media::Image sheet(sheet_w, sheet_h, media::Rgb{24, 24, 28});
+  for (size_t i = 0; i < track.shot_indices.size(); ++i) {
+    const int shot_index = track.shot_indices[i];
+    const shot::Shot& s = cs.shots[static_cast<size_t>(shot_index)];
+    if (s.rep_frame < 0 || s.rep_frame >= video.frame_count()) continue;
+
+    const int col = static_cast<int>(i) % cols;
+    const int row = static_cast<int>(i) / cols;
+    const int x0 = options.gutter + col * (cell_w + options.gutter);
+    const int y0 = options.gutter + row * (cell_h + options.gutter);
+
+    // Event-coloured border, then the resized representative frame.
+    media::FillRect(&sheet, x0, y0, cell_w, cell_h,
+                    EventRgb(EventOfShot(cs, events, shot_index)));
+    const media::Image tile = video.frame(s.rep_frame)
+                                  .Resized(options.tile_width,
+                                           options.tile_height);
+    for (int y = 0; y < tile.height(); ++y) {
+      for (int x = 0; x < tile.width(); ++x) {
+        sheet.set(x0 + options.border + x, y0 + options.border + y,
+                  tile.at(x, y));
+      }
+    }
+  }
+  return sheet;
+}
+
+media::Image RenderStoryboard(const ScalableSkim& skim, int level,
+                              const media::Video& video,
+                              const std::vector<events::EventRecord>& events) {
+  return RenderStoryboard(skim, level, video, events, StoryboardOptions());
+}
+
+util::Status ExportStoryboard(const ScalableSkim& skim, int level,
+                              const media::Video& video,
+                              const std::vector<events::EventRecord>& events,
+                              const std::string& path) {
+  const media::Image sheet =
+      RenderStoryboard(skim, level, video, events, StoryboardOptions());
+  if (sheet.empty()) {
+    return util::Status::FailedPrecondition("empty skim track");
+  }
+  return media::WritePpm(sheet, path);
+}
+
+}  // namespace classminer::skim

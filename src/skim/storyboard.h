@@ -1,0 +1,44 @@
+#ifndef CLASSMINER_SKIM_STORYBOARD_H_
+#define CLASSMINER_SKIM_STORYBOARD_H_
+
+#include <string>
+#include <vector>
+
+#include "events/event_miner.h"
+#include "media/video.h"
+#include "skim/skimmer.h"
+#include "util/status.h"
+
+namespace classminer::skim {
+
+// Pictorial summarisation (paper Sec. 5, "the mined video content structure
+// and event categories can also facilitate ... pictorial summarization"):
+// a contact sheet of representative frames for one skim level, each tile
+// bordered in its scene's event colour.
+struct StoryboardOptions {
+  int columns = 4;
+  int tile_width = 96;   // frames are resized to this tile size
+  int tile_height = 72;
+  int border = 3;        // event-colour border thickness
+  int gutter = 4;        // spacing between tiles
+};
+
+// Composes the storyboard image for `level` from the decoded video.
+// Returns an empty image when the track is empty.
+media::Image RenderStoryboard(const ScalableSkim& skim, int level,
+                              const media::Video& video,
+                              const std::vector<events::EventRecord>& events,
+                              const StoryboardOptions& options);
+media::Image RenderStoryboard(const ScalableSkim& skim, int level,
+                              const media::Video& video,
+                              const std::vector<events::EventRecord>& events);
+
+// Renders and writes the storyboard as a PPM file.
+util::Status ExportStoryboard(const ScalableSkim& skim, int level,
+                              const media::Video& video,
+                              const std::vector<events::EventRecord>& events,
+                              const std::string& path);
+
+}  // namespace classminer::skim
+
+#endif  // CLASSMINER_SKIM_STORYBOARD_H_

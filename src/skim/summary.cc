@@ -1,0 +1,144 @@
+#include "skim/summary.h"
+
+#include <sstream>
+
+#include "util/serial.h"
+
+namespace classminer::skim {
+
+const char* EventColor(events::EventType type) {
+  switch (type) {
+    case events::EventType::kPresentation:
+      return "#3b6fd4";  // blue
+    case events::EventType::kDialog:
+      return "#3da75a";  // green
+    case events::EventType::kClinicalOperation:
+      return "#c84b42";  // red
+    case events::EventType::kUndetermined:
+      return "#9a9a9a";  // grey
+  }
+  return "#9a9a9a";
+}
+
+std::vector<ColorBarSegment> BuildColorBar(
+    const structure::ContentStructure& structure,
+    const std::vector<events::EventRecord>& events) {
+  std::vector<ColorBarSegment> bar;
+  long total_frames = 0;
+  for (const shot::Shot& s : structure.shots) total_frames += s.frame_count();
+  if (total_frames <= 0) return bar;
+
+  auto event_of_scene = [&events](int scene_index) {
+    for (const events::EventRecord& rec : events) {
+      if (rec.scene_index == scene_index) return rec.type;
+    }
+    return events::EventType::kUndetermined;
+  };
+
+  for (const structure::Scene& scene : structure.scenes) {
+    const structure::Group& first =
+        structure.groups[static_cast<size_t>(scene.start_group)];
+    const structure::Group& last =
+        structure.groups[static_cast<size_t>(scene.end_group)];
+    const shot::Shot& s0 =
+        structure.shots[static_cast<size_t>(first.start_shot)];
+    const shot::Shot& s1 = structure.shots[static_cast<size_t>(last.end_shot)];
+    ColorBarSegment seg;
+    seg.scene_index = scene.index;
+    seg.event = scene.eliminated ? events::EventType::kUndetermined
+                                 : event_of_scene(scene.index);
+    seg.begin = static_cast<double>(s0.start_frame) / total_frames;
+    seg.end = static_cast<double>(s1.end_frame + 1) / total_frames;
+    bar.push_back(seg);
+  }
+  return bar;
+}
+
+std::string RenderTextSummary(const structure::ContentStructure& structure,
+                              const std::vector<events::EventRecord>& events,
+                              const ScalableSkim& skim) {
+  std::ostringstream out;
+  out << "content structure: " << structure.shots.size() << " shots, "
+      << structure.groups.size() << " groups, "
+      << structure.ActiveSceneCount() << " scenes ("
+      << structure.scenes.size() - structure.ActiveSceneCount()
+      << " eliminated), " << structure.clustered_scenes.size()
+      << " clustered scenes\n";
+  out << "CRF: " << structure.CompressionRateFactor() << "\n";
+
+  auto event_of_scene = [&events](int scene_index) {
+    for (const events::EventRecord& rec : events) {
+      if (rec.scene_index == scene_index) return rec.type;
+    }
+    return events::EventType::kUndetermined;
+  };
+
+  for (const structure::Scene& scene : structure.scenes) {
+    if (scene.eliminated) continue;
+    out << "scene " << scene.index << " ["
+        << events::EventTypeName(event_of_scene(scene.index)) << "] groups "
+        << scene.start_group << ".." << scene.end_group << " rep-group "
+        << scene.rep_group << "\n";
+    for (int g = scene.start_group; g <= scene.end_group; ++g) {
+      const structure::Group& group =
+          structure.groups[static_cast<size_t>(g)];
+      out << "  group " << g << " shots " << group.start_shot << ".."
+          << group.end_shot
+          << (group.temporally_related ? " (temporal)" : " (spatial)")
+          << "\n";
+    }
+  }
+  out << "skim FCR by level:";
+  for (int lvl = 1; lvl <= kSkimLevels; ++lvl) {
+    out << " L" << lvl << "=" << skim.Fcr(lvl);
+  }
+  out << "\n";
+  return out.str();
+}
+
+util::Status ExportHtmlSummary(const structure::ContentStructure& structure,
+                               const std::vector<events::EventRecord>& events,
+                               const ScalableSkim& skim,
+                               const std::string& video_name,
+                               const std::string& path) {
+  std::ostringstream html;
+  html << "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+       << "<title>ClassMiner summary: " << video_name << "</title>"
+       << "<style>body{font-family:sans-serif;margin:2em}"
+       << ".bar{display:flex;height:26px;border:1px solid #555}"
+       << ".bar div{height:100%}"
+       << "table{border-collapse:collapse}td,th{border:1px solid #999;"
+       << "padding:3px 8px;font-size:13px}</style></head><body>";
+  html << "<h1>" << video_name << "</h1>";
+
+  // Event colour bar.
+  html << "<h2>Event indicator</h2><div class='bar'>";
+  for (const ColorBarSegment& seg : BuildColorBar(structure, events)) {
+    html << "<div style='width:" << (seg.end - seg.begin) * 100.0
+         << "%;background:" << EventColor(seg.event) << "' title='scene "
+         << seg.scene_index << ": " << events::EventTypeName(seg.event)
+         << "'></div>";
+  }
+  html << "</div>";
+
+  // Skim levels.
+  html << "<h2>Scalable skim</h2><table><tr><th>level</th><th>shots</th>"
+       << "<th>frames</th><th>FCR</th></tr>";
+  for (int lvl = kSkimLevels; lvl >= 1; --lvl) {
+    const SkimTrack& t = skim.track(lvl);
+    html << "<tr><td>" << lvl << "</td><td>" << t.shot_indices.size()
+         << "</td><td>" << t.frame_count << "</td><td>" << skim.Fcr(lvl)
+         << "</td></tr>";
+  }
+  html << "</table>";
+
+  html << "<h2>Structure</h2><pre>"
+       << RenderTextSummary(structure, events, skim) << "</pre>";
+  html << "</body></html>";
+
+  const std::string text = html.str();
+  return util::WriteFile(
+      path, std::vector<uint8_t>(text.begin(), text.end()));
+}
+
+}  // namespace classminer::skim

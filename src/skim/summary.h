@@ -1,0 +1,47 @@
+#ifndef CLASSMINER_SKIM_SUMMARY_H_
+#define CLASSMINER_SKIM_SUMMARY_H_
+
+#include <string>
+#include <vector>
+
+#include "events/event_miner.h"
+#include "skim/skimmer.h"
+#include "structure/types.h"
+#include "util/status.h"
+
+namespace classminer::skim {
+
+// One segment of the event colour bar (paper Fig. 11): a scene's span as a
+// fraction of the timeline plus its mined event category.
+struct ColorBarSegment {
+  int scene_index = -1;
+  events::EventType event = events::EventType::kUndetermined;
+  double begin = 0.0;  // [0, 1] along the video
+  double end = 0.0;
+};
+
+// Builds the colour bar for a mined video.
+std::vector<ColorBarSegment> BuildColorBar(
+    const structure::ContentStructure& structure,
+    const std::vector<events::EventRecord>& events);
+
+// CSS colour associated with an event category (stable across exports).
+const char* EventColor(events::EventType type);
+
+// Plain-text outline of the content hierarchy with events — the textual
+// counterpart of the skimming tool.
+std::string RenderTextSummary(const structure::ContentStructure& structure,
+                              const std::vector<events::EventRecord>& events,
+                              const ScalableSkim& skim);
+
+// Writes a self-contained HTML page: per-level skim tables, the event
+// colour bar, and structure statistics.
+util::Status ExportHtmlSummary(const structure::ContentStructure& structure,
+                               const std::vector<events::EventRecord>& events,
+                               const ScalableSkim& skim,
+                               const std::string& video_name,
+                               const std::string& path);
+
+}  // namespace classminer::skim
+
+#endif  // CLASSMINER_SKIM_SUMMARY_H_

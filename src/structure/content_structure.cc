@@ -1,0 +1,51 @@
+#include "structure/content_structure.h"
+
+namespace classminer::structure {
+
+int ContentStructure::ActiveSceneCount() const {
+  int n = 0;
+  for (const Scene& s : scenes) {
+    if (!s.eliminated) ++n;
+  }
+  return n;
+}
+
+int ContentStructure::ShotCountOfScene(const Scene& scene) const {
+  int n = 0;
+  for (int g = scene.start_group; g <= scene.end_group; ++g) {
+    n += groups[static_cast<size_t>(g)].shot_count();
+  }
+  return n;
+}
+
+std::vector<int> ContentStructure::ShotIndicesOfScene(
+    const Scene& scene) const {
+  std::vector<int> out;
+  for (int g = scene.start_group; g <= scene.end_group; ++g) {
+    const Group& group = groups[static_cast<size_t>(g)];
+    for (int s = group.start_shot; s <= group.end_shot; ++s) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+double ContentStructure::CompressionRateFactor() const {
+  if (shots.empty()) return 0.0;
+  return static_cast<double>(ActiveSceneCount()) /
+         static_cast<double>(shots.size());
+}
+
+ContentStructure MineVideoStructure(std::vector<shot::Shot> shots,
+                                    const StructureOptions& options) {
+  ContentStructure cs;
+  cs.shots = std::move(shots);
+  cs.groups = DetectGroups(cs.shots, options.group);
+  ClassifyGroups(cs.shots, &cs.groups, options.classify);
+  cs.scenes = DetectScenes(cs.shots, cs.groups, options.scene);
+  cs.clustered_scenes =
+      ClusterScenes(cs.shots, cs.groups, cs.scenes, options.cluster);
+  return cs;
+}
+
+}  // namespace classminer::structure

@@ -1,0 +1,29 @@
+#ifndef CLASSMINER_STRUCTURE_CONTENT_STRUCTURE_H_
+#define CLASSMINER_STRUCTURE_CONTENT_STRUCTURE_H_
+
+#include <vector>
+
+#include "structure/group_classify.h"
+#include "structure/group_detector.h"
+#include "structure/scene_cluster.h"
+#include "structure/scene_detector.h"
+#include "structure/types.h"
+
+namespace classminer::structure {
+
+// Options for the full structure-mining pass (Fig. 3, steps 2-4).
+struct StructureOptions {
+  GroupDetectorOptions group{};
+  GroupClassifyOptions classify{};
+  SceneDetectorOptions scene{};
+  SceneClusterOptions cluster{};
+};
+
+// Runs group detection, classification, scene detection and scene
+// clustering over detected shots, yielding the full content hierarchy.
+ContentStructure MineVideoStructure(std::vector<shot::Shot> shots,
+                                    const StructureOptions& options = {});
+
+}  // namespace classminer::structure
+
+#endif  // CLASSMINER_STRUCTURE_CONTENT_STRUCTURE_H_

@@ -1,0 +1,80 @@
+#include "structure/group_classify.h"
+
+#include <algorithm>
+
+namespace classminer::structure {
+
+int SelectRepresentativeShot(const std::vector<shot::Shot>& shots,
+                             const std::vector<int>& cluster_shots,
+                             const features::StSimWeights& weights) {
+  if (cluster_shots.empty()) return -1;
+  if (cluster_shots.size() == 1) return cluster_shots.front();
+  if (cluster_shots.size() == 2) {
+    // The shot with the longer duration conveys more content.
+    const shot::Shot& a = shots[static_cast<size_t>(cluster_shots[0])];
+    const shot::Shot& b = shots[static_cast<size_t>(cluster_shots[1])];
+    return a.frame_count() >= b.frame_count() ? cluster_shots[0]
+                                              : cluster_shots[1];
+  }
+  // Eq. 7: the shot with the largest average similarity to the others.
+  int best = cluster_shots.front();
+  double best_avg = -1.0;
+  for (int j : cluster_shots) {
+    double acc = 0.0;
+    for (int k : cluster_shots) {
+      if (k == j) continue;
+      acc += features::StSim(shots[static_cast<size_t>(j)].features,
+                             shots[static_cast<size_t>(k)].features, weights);
+    }
+    const double avg = acc / (static_cast<double>(cluster_shots.size()) - 1.0);
+    if (avg > best_avg) {
+      best_avg = avg;
+      best = j;
+    }
+  }
+  return best;
+}
+
+void ClassifyGroup(const std::vector<shot::Shot>& shots, Group* group,
+                   const GroupClassifyOptions& options) {
+  group->clusters.clear();
+  group->rep_shots.clear();
+
+  // Greedy seeded clustering (Sec. 3.2.1): the lowest-numbered unassigned
+  // shot seeds a cluster and absorbs every remaining shot whose StSim to
+  // the seed exceeds Th.
+  std::vector<int> remaining = group->ShotIndices();
+  while (!remaining.empty()) {
+    const int seed = remaining.front();
+    remaining.erase(remaining.begin());
+    ShotCluster cluster;
+    cluster.shot_indices.push_back(seed);
+    for (auto it = remaining.begin(); it != remaining.end();) {
+      const double sim = features::StSim(
+          shots[static_cast<size_t>(seed)].features,
+          shots[static_cast<size_t>(*it)].features, options.weights);
+      if (sim > options.cluster_threshold) {
+        cluster.shot_indices.push_back(*it);
+        it = remaining.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    cluster.rep_shot =
+        SelectRepresentativeShot(shots, cluster.shot_indices, options.weights);
+    group->clusters.push_back(std::move(cluster));
+  }
+
+  group->temporally_related = group->clusters.size() > 1;
+  for (const ShotCluster& c : group->clusters) {
+    group->rep_shots.push_back(c.rep_shot);
+  }
+}
+
+void ClassifyGroups(const std::vector<shot::Shot>& shots,
+                    std::vector<Group>* groups,
+                    const GroupClassifyOptions& options) {
+  for (Group& g : *groups) ClassifyGroup(shots, &g, options);
+}
+
+}  // namespace classminer::structure

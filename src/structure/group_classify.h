@@ -1,0 +1,37 @@
+#ifndef CLASSMINER_STRUCTURE_GROUP_CLASSIFY_H_
+#define CLASSMINER_STRUCTURE_GROUP_CLASSIFY_H_
+
+#include <vector>
+
+#include "features/similarity.h"
+#include "shot/shot.h"
+#include "structure/types.h"
+
+namespace classminer::structure {
+
+struct GroupClassifyOptions {
+  // Th of Sec. 3.2.1: shots more similar than this join the seed's cluster.
+  double cluster_threshold = 0.80;
+  features::StSimWeights weights{};
+};
+
+// Clusters the shots of one group by greedy seed absorption (Sec. 3.2.1),
+// marks the group temporally (Nc > 1) vs spatially related, and selects one
+// representative shot per cluster (SelectRepShot, Eq. 7 + tie rules).
+void ClassifyGroup(const std::vector<shot::Shot>& shots, Group* group,
+                   const GroupClassifyOptions& options = {});
+
+// Applies ClassifyGroup to every group.
+void ClassifyGroups(const std::vector<shot::Shot>& shots,
+                    std::vector<Group>* groups,
+                    const GroupClassifyOptions& options = {});
+
+// SelectRepShot for one cluster (exposed for tests): largest average
+// similarity for 3+ shots, longer duration for 2, the shot itself for 1.
+int SelectRepresentativeShot(const std::vector<shot::Shot>& shots,
+                             const std::vector<int>& cluster_shots,
+                             const features::StSimWeights& weights = {});
+
+}  // namespace classminer::structure
+
+#endif  // CLASSMINER_STRUCTURE_GROUP_CLASSIFY_H_

@@ -1,0 +1,117 @@
+#include "structure/group_detector.h"
+
+#include <algorithm>
+#include <span>
+
+#include "util/mathutil.h"
+
+namespace classminer::structure {
+namespace {
+
+// StSim against a possibly out-of-range neighbour; missing shots count as
+// similarity 0 so sequence edges favour boundaries.
+double SafeSim(const std::vector<shot::Shot>& shots, int i, int j,
+               const features::StSimWeights& weights) {
+  const int n = static_cast<int>(shots.size());
+  if (i < 0 || j < 0 || i >= n || j >= n) return 0.0;
+  return features::StSim(shots[static_cast<size_t>(i)].features,
+                         shots[static_cast<size_t>(j)].features, weights);
+}
+
+}  // namespace
+
+std::vector<Group> DetectGroups(const std::vector<shot::Shot>& shots,
+                                const GroupDetectorOptions& options,
+                                GroupDetectorTrace* trace) {
+  const int n = static_cast<int>(shots.size());
+  std::vector<Group> groups;
+  if (n == 0) return groups;
+
+  // Eqs. 2-5: correlations with up to two shots on each side.
+  std::vector<double> cl(static_cast<size_t>(n), 0.0);
+  std::vector<double> cr(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    cl[static_cast<size_t>(i)] =
+        std::max(SafeSim(shots, i, i - 1, options.weights),
+                 SafeSim(shots, i, i - 2, options.weights));
+    cr[static_cast<size_t>(i)] =
+        std::max(SafeSim(shots, i, i + 1, options.weights),
+                 SafeSim(shots, i, i + 2, options.weights));
+  }
+
+  // Eq. 6: separation factor. CL_{i+1} here uses similarities of shot i+1
+  // against the shots to the *left* of the candidate boundary (i-1, i-2),
+  // and CR_{i+1} against its right side (i+2, i+3), per Eqs. 4-5.
+  std::vector<double> r(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const double cl_next =
+        std::max(SafeSim(shots, i + 1, i - 1, options.weights),
+                 SafeSim(shots, i + 1, i - 2, options.weights));
+    const double cr_next =
+        std::max(SafeSim(shots, i + 1, i + 2, options.weights),
+                 SafeSim(shots, i + 1, i + 3, options.weights));
+    const double denom = std::max(cl[static_cast<size_t>(i)] + cl_next, 0.1);
+    const double numer = cr[static_cast<size_t>(i)] + cr_next;
+    // Cap the ratio: sequence edges (CL ~ 0) would otherwise explode R and
+    // wreck the entropy-derived threshold T1.
+    r[static_cast<size_t>(i)] = std::min(numer / denom, 5.0);
+  }
+
+  // Automatic thresholds: the paper derives these with the fast entropy
+  // technique [10]; on sparse similarity samples an Otsu (between-class
+  // variance) split places the boundary between the bimodal populations
+  // more reliably, so we use it here.
+  double t2 = options.t2;
+  if (t2 <= 0.0) {
+    std::vector<double> sims;
+    sims.reserve(static_cast<size_t>(2 * n));
+    sims.insert(sims.end(), cl.begin(), cl.end());
+    sims.insert(sims.end(), cr.begin(), cr.end());
+    t2 = util::OtsuThreshold(sims);
+  }
+  double t1 = options.t1;
+  if (t1 <= 0.0) {
+    // Sequence edges produce degenerate (capped) ratios; exclude them from
+    // the automatic threshold sample.
+    std::span<const double> interior(r);
+    if (n > 2) interior = interior.subspan(1, static_cast<size_t>(n - 2));
+    t1 = std::max(1.2, util::OtsuThreshold(interior));
+  }
+
+  if (trace != nullptr) {
+    trace->cl = cl;
+    trace->cr = cr;
+    trace->r = r;
+    trace->t1 = t1;
+    trace->t2 = t2;
+  }
+
+  // Boundary decision per the Sec. 3.2 procedure. Shot 0 always starts the
+  // first group.
+  std::vector<int> starts;
+  starts.push_back(0);
+  for (int i = 1; i < n; ++i) {
+    bool boundary = false;
+    if (cr[static_cast<size_t>(i)] > t2 - 0.1) {
+      // Step 1: strongly right-correlated shot opening a new group.
+      boundary = r[static_cast<size_t>(i)] > t1;
+    } else {
+      // Step 2: isolated shot acting as a separator (dissimilar to both
+      // sides), like an anchor-person shot.
+      boundary = cr[static_cast<size_t>(i)] < t2 &&
+                 cl[static_cast<size_t>(i)] < t2;
+    }
+    if (boundary) starts.push_back(i);
+  }
+
+  for (size_t g = 0; g < starts.size(); ++g) {
+    Group group;
+    group.index = static_cast<int>(g);
+    group.start_shot = starts[g];
+    group.end_shot = (g + 1 < starts.size()) ? starts[g + 1] - 1 : n - 1;
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+}  // namespace classminer::structure

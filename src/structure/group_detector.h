@@ -1,0 +1,40 @@
+#ifndef CLASSMINER_STRUCTURE_GROUP_DETECTOR_H_
+#define CLASSMINER_STRUCTURE_GROUP_DETECTOR_H_
+
+#include <vector>
+
+#include "features/similarity.h"
+#include "shot/shot.h"
+#include "structure/types.h"
+
+namespace classminer::structure {
+
+struct GroupDetectorOptions {
+  // Boundary thresholds of Sec. 3.2. Zero means "determine automatically
+  // with the fast entropy technique" (T1 over the R(i) distribution, T2
+  // over the neighbour-correlation distribution).
+  double t1 = 0.0;
+  double t2 = 0.0;
+  features::StSimWeights weights{};
+};
+
+// Diagnostics: the neighbour-correlation (Eqs. 2-5) and separation-factor
+// (Eq. 6) series plus the thresholds actually used.
+struct GroupDetectorTrace {
+  std::vector<double> cl;  // CL_i per shot
+  std::vector<double> cr;  // CR_i per shot
+  std::vector<double> r;   // R(i) per shot
+  double t1 = 0.0;
+  double t2 = 0.0;
+};
+
+// Segments the shot sequence into contiguous groups using the correlation
+// procedure of Sec. 3.2 (window of two shots on each side). Groups are
+// returned without classification; run ClassifyGroups afterwards.
+std::vector<Group> DetectGroups(const std::vector<shot::Shot>& shots,
+                                const GroupDetectorOptions& options = {},
+                                GroupDetectorTrace* trace = nullptr);
+
+}  // namespace classminer::structure
+
+#endif  // CLASSMINER_STRUCTURE_GROUP_DETECTOR_H_

@@ -1,0 +1,42 @@
+#include "structure/group_similarity.h"
+
+#include <algorithm>
+
+namespace classminer::structure {
+
+double StGpSim(const std::vector<shot::Shot>& shots, int shot_index,
+               std::span<const int> group_shots,
+               const features::StSimWeights& weights) {
+  double best = 0.0;
+  const features::ShotFeatures& f =
+      shots[static_cast<size_t>(shot_index)].features;
+  for (int k : group_shots) {
+    best = std::max(best, features::StSim(
+                              f, shots[static_cast<size_t>(k)].features,
+                              weights));
+  }
+  return best;
+}
+
+double GpSim(const std::vector<shot::Shot>& shots,
+             std::span<const int> group_a, std::span<const int> group_b,
+             const features::StSimWeights& weights) {
+  if (group_a.empty() || group_b.empty()) return 0.0;
+  // Benchmark = smaller group (ties: the first argument).
+  std::span<const int> bench = group_a;
+  std::span<const int> other = group_b;
+  if (group_b.size() < group_a.size()) std::swap(bench, other);
+
+  double acc = 0.0;
+  for (int s : bench) acc += StGpSim(shots, s, other, weights);
+  return acc / static_cast<double>(bench.size());
+}
+
+double GpSim(const std::vector<shot::Shot>& shots, const Group& a,
+             const Group& b, const features::StSimWeights& weights) {
+  const std::vector<int> sa = a.ShotIndices();
+  const std::vector<int> sb = b.ShotIndices();
+  return GpSim(shots, sa, sb, weights);
+}
+
+}  // namespace classminer::structure

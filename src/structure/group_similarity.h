@@ -1,0 +1,32 @@
+#ifndef CLASSMINER_STRUCTURE_GROUP_SIMILARITY_H_
+#define CLASSMINER_STRUCTURE_GROUP_SIMILARITY_H_
+
+#include <span>
+#include <vector>
+
+#include "features/similarity.h"
+#include "shot/shot.h"
+#include "structure/types.h"
+
+namespace classminer::structure {
+
+// Shot-to-group similarity (Eq. 8): the maximum StSim between the shot and
+// any member shot of the group.
+double StGpSim(const std::vector<shot::Shot>& shots, int shot_index,
+               std::span<const int> group_shots,
+               const features::StSimWeights& weights = {});
+
+// Group-to-group similarity (Eq. 9): with the smaller group as benchmark,
+// the average over its shots of each shot's best match in the other group.
+// Symmetric by construction; returns 0 for empty groups.
+double GpSim(const std::vector<shot::Shot>& shots,
+             std::span<const int> group_a, std::span<const int> group_b,
+             const features::StSimWeights& weights = {});
+
+// Convenience overload on Group records.
+double GpSim(const std::vector<shot::Shot>& shots, const Group& a,
+             const Group& b, const features::StSimWeights& weights = {});
+
+}  // namespace classminer::structure
+
+#endif  // CLASSMINER_STRUCTURE_GROUP_SIMILARITY_H_

@@ -1,0 +1,164 @@
+#include "structure/scene_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "structure/group_similarity.h"
+#include "structure/scene_detector.h"
+
+namespace classminer::structure {
+namespace {
+
+// All member group indices of a cluster (union over member scenes).
+std::vector<int> ClusterGroups(const SceneCluster& cluster,
+                               const std::vector<Scene>& scenes) {
+  std::vector<int> members;
+  for (int si : cluster.scene_indices) {
+    const Scene& scene = scenes[static_cast<size_t>(si)];
+    for (int g = scene.start_group; g <= scene.end_group; ++g) {
+      members.push_back(g);
+    }
+  }
+  return members;
+}
+
+double RepSim(const std::vector<shot::Shot>& shots,
+              const std::vector<Group>& groups, int rep_a, int rep_b,
+              const features::StSimWeights& weights) {
+  if (rep_a < 0 || rep_b < 0) return 0.0;
+  return GpSim(shots, groups[static_cast<size_t>(rep_a)],
+               groups[static_cast<size_t>(rep_b)], weights);
+}
+
+}  // namespace
+
+double ClusterValidity(const std::vector<shot::Shot>& shots,
+                       const std::vector<Group>& groups,
+                       const std::vector<SceneCluster>& clusters,
+                       const std::vector<Scene>& scenes,
+                       const features::StSimWeights& weights) {
+  const size_t n = clusters.size();
+  if (n < 2) return std::numeric_limits<double>::max();
+
+  // Intra-cluster distances (Eq. 15): mean 1 - GpSim(centroid, member).
+  std::vector<double> intra(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const SceneCluster& c = clusters[i];
+    if (c.scene_indices.size() < 2) continue;  // singleton: distance 0
+    double acc = 0.0;
+    for (int si : c.scene_indices) {
+      const Scene& scene = scenes[static_cast<size_t>(si)];
+      acc += 1.0 - RepSim(shots, groups, c.rep_group, scene.rep_group,
+                          weights);
+    }
+    intra[i] = acc / static_cast<double>(c.scene_indices.size());
+  }
+
+  // rho (Eq. 14, reconstructed as the Davies-Bouldin index): mean over
+  // clusters of the worst (largest) pairwise ratio (s_i + s_j) / xi_ij.
+  // Intra distances are floored at a small epsilon so a pair of singleton
+  // clusters with near-identical centroids (xi ~ 0) is correctly read as
+  // "should have been merged" instead of free separation.
+  constexpr double kIntraFloor = 0.01;
+  double rho = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double worst = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double inter = std::max(
+          1e-6, 1.0 - RepSim(shots, groups, clusters[i].rep_group,
+                             clusters[j].rep_group, weights));
+      const double ratio = (std::max(intra[i], kIntraFloor) +
+                            std::max(intra[j], kIntraFloor)) /
+                           inter;
+      worst = std::max(worst, ratio);
+    }
+    rho += worst;
+  }
+  return rho / static_cast<double>(n);
+}
+
+std::vector<SceneCluster> ClusterScenes(const std::vector<shot::Shot>& shots,
+                                        const std::vector<Group>& groups,
+                                        const std::vector<Scene>& scenes,
+                                        const SceneClusterOptions& options,
+                                        SceneClusterTrace* trace) {
+  // Start from singleton clusters over active scenes.
+  std::vector<SceneCluster> clusters;
+  for (const Scene& scene : scenes) {
+    if (scene.eliminated) continue;
+    SceneCluster c;
+    c.scene_indices.push_back(scene.index);
+    c.rep_group = scene.rep_group;
+    clusters.push_back(std::move(c));
+  }
+  const int m = static_cast<int>(clusters.size());
+  if (m <= 1) return clusters;
+
+  int c_min, c_max;
+  if (options.fixed_clusters > 0) {
+    c_min = c_max = std::clamp(options.fixed_clusters, 1, m);
+  } else {
+    c_min = std::max(1, static_cast<int>(std::floor(m * options.min_fraction)));
+    c_max = std::max(c_min,
+                     static_cast<int>(std::floor(m * options.max_fraction)));
+    c_max = std::min(c_max, m);
+  }
+
+  std::vector<SceneCluster> best_state;
+  double best_validity = std::numeric_limits<double>::max();
+  int best_n = m;
+
+  auto consider_state = [&](const std::vector<SceneCluster>& state) {
+    const int n = static_cast<int>(state.size());
+    if (n < c_min || n > c_max) return;
+    const double rho =
+        options.fixed_clusters > 0
+            ? 0.0
+            : ClusterValidity(shots, groups, state, scenes, options.weights);
+    if (trace != nullptr) {
+      trace->candidates.push_back(n);
+      trace->validity.push_back(rho);
+    }
+    if (rho < best_validity ||
+        (options.fixed_clusters > 0 && n == options.fixed_clusters)) {
+      best_validity = rho;
+      best_state = state;
+      best_n = n;
+    }
+  };
+
+  consider_state(clusters);
+
+  // Pairwise agglomeration (PCS): merge the most similar centroid pair.
+  while (static_cast<int>(clusters.size()) > c_min) {
+    size_t bi = 0, bj = 1;
+    double best_sim = -1.0;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      for (size_t j = i + 1; j < clusters.size(); ++j) {
+        const double sim = RepSim(shots, groups, clusters[i].rep_group,
+                                  clusters[j].rep_group, options.weights);
+        if (sim > best_sim) {
+          best_sim = sim;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    // Merge bj into bi; recompute the centroid over all member groups.
+    clusters[bi].scene_indices.insert(clusters[bi].scene_indices.end(),
+                                      clusters[bj].scene_indices.begin(),
+                                      clusters[bj].scene_indices.end());
+    clusters.erase(clusters.begin() + static_cast<ptrdiff_t>(bj));
+    clusters[bi].rep_group = SelectRepresentativeGroup(
+        shots, groups, ClusterGroups(clusters[bi], scenes), options.weights);
+
+    consider_state(clusters);
+  }
+
+  if (trace != nullptr) trace->chosen = best_n;
+  return best_state.empty() ? clusters : best_state;
+}
+
+}  // namespace classminer::structure

@@ -1,0 +1,56 @@
+#ifndef CLASSMINER_STRUCTURE_SCENE_CLUSTER_H_
+#define CLASSMINER_STRUCTURE_SCENE_CLUSTER_H_
+
+#include <vector>
+
+#include "features/similarity.h"
+#include "shot/shot.h"
+#include "structure/types.h"
+
+namespace classminer::structure {
+
+struct SceneClusterOptions {
+  // Validity-analysis search range (Sec. 3.5): the optimal cluster count is
+  // sought in [min_fraction * M, max_fraction * M] of the M input scenes
+  // (paper: eliminate 30-50 % of scenes => fractions 0.5 and 0.7).
+  double min_fraction = 0.5;
+  double max_fraction = 0.7;
+  // When > 0, skips validity analysis and clusters to exactly this count
+  // (the paper's fixed "reduce by 40 %" alternative).
+  int fixed_clusters = 0;
+  features::StSimWeights weights{};
+};
+
+struct SceneClusterTrace {
+  // rho(N) for each candidate N in [Cmin, Cmax], aligned with candidates.
+  std::vector<int> candidates;
+  std::vector<double> validity;
+  int chosen = 0;
+};
+
+// Seedless Pairwise Cluster Scheme (PCS, Sec. 3.5): scene similarity is the
+// GpSim of the scenes' representative groups (Eq. 13); the two most similar
+// clusters merge each round; the merged cluster's centroid is re-selected
+// with SelectRepGroup. Cluster validity rho(N) (Eqs. 14-15, Davies-Bouldin
+// style intra/inter ratio) picks the stopping point.
+//
+// Only non-eliminated scenes participate. Singleton clusters are emitted
+// for every remaining scene.
+std::vector<SceneCluster> ClusterScenes(const std::vector<shot::Shot>& shots,
+                                        const std::vector<Group>& groups,
+                                        const std::vector<Scene>& scenes,
+                                        const SceneClusterOptions& options = {},
+                                        SceneClusterTrace* trace = nullptr);
+
+// Validity ratio rho for a clustering state (exposed for tests): mean over
+// clusters of intra-cluster distance divided by the largest inter-cluster
+// distance, computed on representative groups. Lower is better.
+double ClusterValidity(const std::vector<shot::Shot>& shots,
+                       const std::vector<Group>& groups,
+                       const std::vector<SceneCluster>& clusters,
+                       const std::vector<Scene>& scenes,
+                       const features::StSimWeights& weights = {});
+
+}  // namespace classminer::structure
+
+#endif  // CLASSMINER_STRUCTURE_SCENE_CLUSTER_H_

@@ -1,0 +1,107 @@
+#include "structure/scene_detector.h"
+
+#include <algorithm>
+
+#include "structure/group_similarity.h"
+#include "util/mathutil.h"
+
+namespace classminer::structure {
+
+int SelectRepresentativeGroup(const std::vector<shot::Shot>& shots,
+                              const std::vector<Group>& groups,
+                              const std::vector<int>& member_groups,
+                              const features::StSimWeights& weights) {
+  if (member_groups.empty()) return -1;
+  if (member_groups.size() == 1) return member_groups.front();
+  if (member_groups.size() == 2) {
+    const Group& a = groups[static_cast<size_t>(member_groups[0])];
+    const Group& b = groups[static_cast<size_t>(member_groups[1])];
+    if (a.shot_count() != b.shot_count()) {
+      return a.shot_count() > b.shot_count() ? member_groups[0]
+                                             : member_groups[1];
+    }
+    // Tie: longer time duration.
+    auto duration = [&shots](const Group& g) {
+      int frames = 0;
+      for (int s = g.start_shot; s <= g.end_shot; ++s) {
+        frames += shots[static_cast<size_t>(s)].frame_count();
+      }
+      return frames;
+    };
+    return duration(a) >= duration(b) ? member_groups[0] : member_groups[1];
+  }
+  // Eq. 11: largest average similarity to all other member groups.
+  int best = member_groups.front();
+  double best_avg = -1.0;
+  for (int j : member_groups) {
+    double acc = 0.0;
+    for (int k : member_groups) {
+      if (k == j) continue;
+      acc += GpSim(shots, groups[static_cast<size_t>(j)],
+                   groups[static_cast<size_t>(k)], weights);
+    }
+    const double avg =
+        acc / (static_cast<double>(member_groups.size()) - 1.0);
+    if (avg > best_avg) {
+      best_avg = avg;
+      best = j;
+    }
+  }
+  return best;
+}
+
+std::vector<Scene> DetectScenes(const std::vector<shot::Shot>& shots,
+                                const std::vector<Group>& groups,
+                                const SceneDetectorOptions& options,
+                                SceneDetectorTrace* trace) {
+  std::vector<Scene> scenes;
+  const int m = static_cast<int>(groups.size());
+  if (m == 0) return scenes;
+
+  // Eq. 10: similarities between neighbouring groups.
+  std::vector<double> sg;
+  sg.reserve(static_cast<size_t>(std::max(0, m - 1)));
+  for (int i = 0; i + 1 < m; ++i) {
+    sg.push_back(GpSim(shots, groups[static_cast<size_t>(i)],
+                       groups[static_cast<size_t>(i) + 1], options.weights));
+  }
+
+  double tg = options.merge_threshold;
+  if (tg <= 0.0 && !sg.empty()) {
+    tg = std::max(options.merge_floor, util::OtsuThreshold(sg));
+  }
+  if (trace != nullptr) {
+    trace->neighbor_similarity = sg;
+    trace->tg = tg;
+  }
+
+  // Merge chains of adjacent groups with SG_i > TG.
+  int start = 0;
+  for (int i = 0; i < m; ++i) {
+    const bool merge_with_next =
+        i + 1 < m && sg[static_cast<size_t>(i)] > tg;
+    if (merge_with_next) continue;
+    Scene scene;
+    scene.index = static_cast<int>(scenes.size());
+    scene.start_group = start;
+    scene.end_group = i;
+    scenes.push_back(scene);
+    start = i + 1;
+  }
+
+  // Eliminate short scenes and choose representative groups.
+  for (Scene& scene : scenes) {
+    int shot_count = 0;
+    std::vector<int> members;
+    for (int g = scene.start_group; g <= scene.end_group; ++g) {
+      shot_count += groups[static_cast<size_t>(g)].shot_count();
+      members.push_back(g);
+    }
+    scene.eliminated = shot_count < options.min_scene_shots;
+    scene.rep_group =
+        SelectRepresentativeGroup(shots, groups, members, options.weights);
+  }
+  return scenes;
+}
+
+}  // namespace classminer::structure

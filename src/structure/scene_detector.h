@@ -1,0 +1,51 @@
+#ifndef CLASSMINER_STRUCTURE_SCENE_DETECTOR_H_
+#define CLASSMINER_STRUCTURE_SCENE_DETECTOR_H_
+
+#include <vector>
+
+#include "features/similarity.h"
+#include "shot/shot.h"
+#include "structure/types.h"
+
+namespace classminer::structure {
+
+struct SceneDetectorOptions {
+  // Merging threshold TG of Sec. 3.4; 0 = automatic via fast entropy over
+  // the neighbouring-group similarities.
+  double merge_threshold = 0.0;
+  // Lower bound on the automatic TG. The StSim texture term alone gives
+  // two arbitrary smooth frames ~0.3 similarity, so merges below this are
+  // never semantic; the floor also stabilises the automatic threshold when
+  // a video yields only a handful of neighbouring-group samples.
+  double merge_floor = 0.55;
+  // Scenes with fewer shots than this are eliminated (paper: 3).
+  int min_scene_shots = 3;
+  features::StSimWeights weights{};
+};
+
+struct SceneDetectorTrace {
+  std::vector<double> neighbor_similarity;  // SG_i (Eq. 10)
+  double tg = 0.0;
+};
+
+// Merges adjacent groups into scenes (Sec. 3.4): neighbouring groups with
+// similarity above TG merge (transitively); the result list, with
+// sub-3-shot scenes flagged eliminated, forms the scene level. Each scene's
+// representative group is chosen by SelectRepGroup.
+std::vector<Scene> DetectScenes(const std::vector<shot::Shot>& shots,
+                                const std::vector<Group>& groups,
+                                const SceneDetectorOptions& options = {},
+                                SceneDetectorTrace* trace = nullptr);
+
+// SelectRepGroup (Sec. 3.4): for 3+ member groups the one with the largest
+// average GpSim to the others (Eq. 11); for 2 the one with more shots
+// (ties: longer duration); for 1 the group itself. `member_groups` are
+// indices into `groups`.
+int SelectRepresentativeGroup(const std::vector<shot::Shot>& shots,
+                              const std::vector<Group>& groups,
+                              const std::vector<int>& member_groups,
+                              const features::StSimWeights& weights = {});
+
+}  // namespace classminer::structure
+
+#endif  // CLASSMINER_STRUCTURE_SCENE_DETECTOR_H_

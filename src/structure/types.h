@@ -1,0 +1,76 @@
+#ifndef CLASSMINER_STRUCTURE_TYPES_H_
+#define CLASSMINER_STRUCTURE_TYPES_H_
+
+#include <vector>
+
+#include "shot/shot.h"
+
+namespace classminer::structure {
+
+// A cluster of visually similar shots inside one group (Sec. 3.2.1).
+struct ShotCluster {
+  std::vector<int> shot_indices;  // global shot indices
+  int rep_shot = -1;              // representative shot (Eq. 7 rules)
+};
+
+// A video group (Definition 2): a contiguous run of spatially or
+// temporally related shots.
+struct Group {
+  int index = 0;
+  int start_shot = 0;
+  int end_shot = 0;  // inclusive global shot index
+  // Temporally related groups contain >1 internal shot cluster (similar
+  // shots alternating over time); spatially related groups are one cluster.
+  bool temporally_related = false;
+  std::vector<ShotCluster> clusters;
+  std::vector<int> rep_shots;  // one representative shot per cluster
+
+  int shot_count() const { return end_shot - start_shot + 1; }
+  std::vector<int> ShotIndices() const {
+    std::vector<int> out;
+    out.reserve(static_cast<size_t>(shot_count()));
+    for (int s = start_shot; s <= end_shot; ++s) out.push_back(s);
+    return out;
+  }
+};
+
+// A video scene (Definition 2): semantically related, temporally adjacent
+// groups. Scenes hold a contiguous range of group indices.
+struct Scene {
+  int index = 0;
+  int start_group = 0;
+  int end_group = 0;  // inclusive index into the group vector
+  int rep_group = -1;
+  // Scenes with fewer than 3 shots are eliminated from the content table
+  // (Sec. 3.4 step 4) but retained here for accounting.
+  bool eliminated = false;
+
+  int group_count() const { return end_group - start_group + 1; }
+};
+
+// A clustered scene (Definition 2): visually similar scenes shown in
+// various places of the video, merged by the PCS clustering (Sec. 3.5).
+struct SceneCluster {
+  std::vector<int> scene_indices;  // indices of member (non-eliminated) scenes
+  int rep_group = -1;              // centroid: representative group
+};
+
+// The mined video content structure (Definition 1): shots -> groups ->
+// scenes -> clustered scenes, in increasing granularity top-down.
+struct ContentStructure {
+  std::vector<shot::Shot> shots;
+  std::vector<Group> groups;
+  std::vector<Scene> scenes;
+  std::vector<SceneCluster> clustered_scenes;
+
+  int ActiveSceneCount() const;
+  int ShotCountOfScene(const Scene& scene) const;
+  std::vector<int> ShotIndicesOfScene(const Scene& scene) const;
+
+  // Compression-rate factor (Eq. 21): detected (active) scenes / shots.
+  double CompressionRateFactor() const;
+};
+
+}  // namespace classminer::structure
+
+#endif  // CLASSMINER_STRUCTURE_TYPES_H_

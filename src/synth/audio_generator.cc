@@ -1,0 +1,134 @@
+#include "synth/audio_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace classminer::synth {
+namespace {
+
+// Two-pole resonator (digital formant filter).
+class Resonator {
+ public:
+  Resonator(double center_hz, double bandwidth_hz, int sample_rate) {
+    const double r = std::exp(-std::numbers::pi * bandwidth_hz / sample_rate);
+    const double theta =
+        2.0 * std::numbers::pi * center_hz / sample_rate;
+    a1_ = 2.0 * r * std::cos(theta);
+    a2_ = -r * r;
+    gain_ = (1.0 - r) * std::sqrt(1.0 - 2.0 * r * std::cos(2.0 * theta) +
+                                  r * r);
+  }
+
+  double Process(double x) {
+    const double y = gain_ * x + a1_ * y1_ + a2_ * y2_;
+    y2_ = y1_;
+    y1_ = y;
+    return y;
+  }
+
+ private:
+  double a1_ = 0.0, a2_ = 0.0, gain_ = 1.0;
+  double y1_ = 0.0, y2_ = 0.0;
+};
+
+}  // namespace
+
+SpeakerVoice MakeSpeakerVoice(int speaker_id) {
+  // Derive stable per-speaker parameters from the id.
+  util::Rng rng(0x5eedf00dULL + static_cast<uint64_t>(speaker_id) * 7919ULL);
+  SpeakerVoice v;
+  v.speaker_id = speaker_id;
+  v.f0 = rng.Uniform(90.0, 230.0);
+  v.formants[0] = rng.Uniform(450.0, 850.0);
+  v.formants[1] = rng.Uniform(1000.0, 1900.0);
+  v.formants[2] = rng.Uniform(2200.0, 3200.0);
+  v.bandwidths[0] = rng.Uniform(60.0, 110.0);
+  v.bandwidths[1] = rng.Uniform(80.0, 140.0);
+  v.bandwidths[2] = rng.Uniform(120.0, 200.0);
+  v.gain = 0.35;
+  return v;
+}
+
+void AppendSpeech(audio::AudioBuffer* out, const SpeakerVoice& voice,
+                  double seconds, util::Rng* rng) {
+  const int sr = out->sample_rate();
+  const size_t n = static_cast<size_t>(seconds * sr);
+  Resonator f1(voice.formants[0], voice.bandwidths[0], sr);
+  Resonator f2(voice.formants[1], voice.bandwidths[1], sr);
+  Resonator f3(voice.formants[2], voice.bandwidths[2], sr);
+
+  double phase = 0.0;
+  double f0 = voice.f0;
+  // Syllable envelope state: alternating voiced bursts and short pauses.
+  size_t seg_left = 0;
+  bool voiced = true;
+  double env = 0.0;
+
+  std::vector<float> chunk;
+  chunk.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (seg_left == 0) {
+      voiced = !voiced;
+      const double dur = voiced ? rng->Uniform(0.12, 0.30)   // syllable
+                                : rng->Uniform(0.02, 0.08);  // micro-pause
+      seg_left = static_cast<size_t>(dur * sr);
+      if (voiced) f0 = voice.f0 * rng->Uniform(0.92, 1.08);
+    }
+    --seg_left;
+    const double target = voiced ? 1.0 : 0.05;
+    env += (target - env) * 0.002;  // smooth envelope
+
+    // Glottal pulse train: narrow pulses at f0 with mild jitter.
+    phase += f0 / sr;
+    if (phase >= 1.0) phase -= 1.0;
+    const double pulse = (phase < 0.12) ? (1.0 - phase / 0.12) : 0.0;
+    const double excitation =
+        pulse + 0.02 * rng->Gaussian();  // slight aspiration
+
+    const double s =
+        (f1.Process(excitation) + 0.7 * f2.Process(excitation) +
+         0.4 * f3.Process(excitation)) *
+        voice.gain * env;
+    chunk.push_back(static_cast<float>(std::clamp(s, -1.0, 1.0)));
+  }
+  out->Append(chunk);
+}
+
+void AppendSilence(audio::AudioBuffer* out, double seconds, util::Rng* rng) {
+  const size_t n = static_cast<size_t>(seconds * out->sample_rate());
+  std::vector<float> chunk(n);
+  for (float& s : chunk) {
+    s = static_cast<float>(0.001 * rng->Gaussian());
+  }
+  out->Append(chunk);
+}
+
+void AppendProcedureNoise(audio::AudioBuffer* out, double seconds,
+                          util::Rng* rng) {
+  const int sr = out->sample_rate();
+  const size_t n = static_cast<size_t>(seconds * sr);
+  std::vector<float> chunk(n);
+  // Broadband noise with slow amplitude wander and an occasional metallic
+  // ping (high resonance), unpitched in the speech band.
+  Resonator ping(rng->Uniform(3500.0, 5000.0), 80.0, sr);
+  double wander = 0.04;
+  size_t ping_left = 0;
+  for (size_t i = 0; i < n; ++i) {
+    wander += 0.00001 * rng->Gaussian();
+    wander = std::clamp(wander, 0.02, 0.08);
+    double s = wander * rng->Gaussian();
+    if (ping_left == 0 && rng->Bernoulli(1e-5)) {
+      ping_left = static_cast<size_t>(0.05 * sr);
+    }
+    if (ping_left > 0) {
+      --ping_left;
+      s += 0.2 * ping.Process(rng->Gaussian());
+    }
+    chunk[i] = static_cast<float>(std::clamp(s, -1.0, 1.0));
+  }
+  out->Append(chunk);
+}
+
+}  // namespace classminer::synth

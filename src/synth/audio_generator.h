@@ -1,0 +1,38 @@
+#ifndef CLASSMINER_SYNTH_AUDIO_GENERATOR_H_
+#define CLASSMINER_SYNTH_AUDIO_GENERATOR_H_
+
+#include "audio/audio_buffer.h"
+#include "util/rng.h"
+
+namespace classminer::synth {
+
+// A synthetic speaker: glottal pulse train at f0 shaped by three formant
+// resonators. Distinct speakers get distinct f0/formant layouts, which
+// yields separable MFCC statistics (the property the BIC test needs).
+struct SpeakerVoice {
+  int speaker_id = 0;
+  double f0 = 120.0;          // fundamental, Hz
+  double formants[3] = {700.0, 1200.0, 2500.0};
+  double bandwidths[3] = {90.0, 110.0, 160.0};
+  double gain = 0.35;
+};
+
+// Deterministic voice for a speaker id (stable across runs/platforms).
+SpeakerVoice MakeSpeakerVoice(int speaker_id);
+
+// Appends `seconds` of voiced speech by `voice`, with syllable-rate
+// amplitude modulation, slight f0 jitter, and brief inter-word pauses.
+void AppendSpeech(audio::AudioBuffer* out, const SpeakerVoice& voice,
+                  double seconds, util::Rng* rng);
+
+// Appends near-silence (faint broadband noise).
+void AppendSilence(audio::AudioBuffer* out, double seconds, util::Rng* rng);
+
+// Appends unvoiced procedure/room noise (broadband, no pitch) — classified
+// as non-speech by the clip classifier.
+void AppendProcedureNoise(audio::AudioBuffer* out, double seconds,
+                          util::Rng* rng);
+
+}  // namespace classminer::synth
+
+#endif  // CLASSMINER_SYNTH_AUDIO_GENERATOR_H_

@@ -1,0 +1,144 @@
+#include "synth/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace classminer::synth {
+namespace {
+
+// Appends `count` scenes cycling through a title-specific scene-kind
+// pattern. Topics repeat every few scenes of the same kind so the PCS
+// clustering has genuine repeats to merge.
+void AppendScenes(VideoScript* script, int count, int title_id,
+                  const std::vector<SceneKind>& pattern) {
+  int presentation_topics = 0;
+  int dialog_topics = 0;
+  int clinical_topics = 0;
+  int other_topics = 0;
+  const int speaker_base = title_id * 10;
+
+  for (int i = 0; i < count; ++i) {
+    const SceneKind kind = pattern[static_cast<size_t>(i) % pattern.size()];
+    SceneScript scene;
+    scene.kind = kind;
+    switch (kind) {
+      case SceneKind::kPresentation:
+        // Two alternating lecture set-ups per title -> repeated scenes.
+        scene.topic_id = title_id * 100 + (presentation_topics++ % 2);
+        scene.speaker_a = speaker_base + scene.topic_id % 2;
+        scene.shots = 5;
+        scene.shot_seconds = 2.6;
+        break;
+      case SceneKind::kDialog:
+        scene.topic_id = title_id * 100 + 10 + (dialog_topics++ % 2);
+        scene.speaker_a = speaker_base + 4;
+        scene.speaker_b = speaker_base + 5 + scene.topic_id % 2;
+        scene.shots = 6;
+        scene.shot_seconds = 2.4;
+        break;
+      case SceneKind::kClinicalOperation:
+        scene.topic_id = title_id * 100 + 20 + (clinical_topics++ % 2);
+        scene.shots = 6;
+        scene.shot_seconds = 2.6;
+        break;
+      case SceneKind::kOther:
+        scene.topic_id = title_id * 100 + 30 + (other_topics++ % 2);
+        scene.shots = 3;
+        scene.shot_seconds = 2.3;
+        break;
+    }
+    script->scenes.push_back(scene);
+  }
+}
+
+}  // namespace
+
+std::vector<VideoScript> MedicalCorpusScripts(const CorpusOptions& options) {
+  struct Title {
+    const char* name;
+    std::vector<SceneKind> pattern;
+    int base_scenes;
+  };
+  // Scene-type mixes echo the paper's descriptions: education titles lean
+  // on presentations and dialogs; surgical titles on clinical operations.
+  const std::vector<Title> titles = {
+      {"face_repair",
+       {SceneKind::kPresentation, SceneKind::kClinicalOperation,
+        SceneKind::kDialog, SceneKind::kClinicalOperation,
+        SceneKind::kPresentation, SceneKind::kOther},
+       8},
+      {"nuclear_medicine",
+       {SceneKind::kPresentation, SceneKind::kPresentation,
+        SceneKind::kDialog, SceneKind::kOther, SceneKind::kPresentation},
+       8},
+      {"laparoscopy",
+       {SceneKind::kClinicalOperation, SceneKind::kClinicalOperation,
+        SceneKind::kPresentation, SceneKind::kOther,
+        SceneKind::kClinicalOperation},
+       8},
+      {"skin_examination",
+       {SceneKind::kDialog, SceneKind::kClinicalOperation,
+        SceneKind::kDialog, SceneKind::kPresentation, SceneKind::kOther},
+       8},
+      {"laser_eye_surgery",
+       {SceneKind::kPresentation, SceneKind::kClinicalOperation,
+        SceneKind::kOther, SceneKind::kClinicalOperation,
+        SceneKind::kDialog},
+       8},
+  };
+
+  std::vector<VideoScript> scripts;
+  int title_id = 1;
+  for (const Title& t : titles) {
+    VideoScript s;
+    s.name = t.name;
+    s.seed = options.seed * 1000 + static_cast<uint64_t>(title_id);
+    s.width = options.width;
+    s.height = options.height;
+    s.fps = options.fps;
+    s.audio_sample_rate = options.audio_sample_rate;
+    if (options.degraded) {
+      s.dissolve_prob = 0.35;
+      s.flicker = 0.03;
+      s.exposure = 0.6 + 0.1 * (title_id % 4);
+    }
+    const int scenes =
+        std::max(3, static_cast<int>(std::lround(t.base_scenes * options.scale)));
+    AppendScenes(&s, scenes, title_id, t.pattern);
+    scripts.push_back(std::move(s));
+    ++title_id;
+  }
+  return scripts;
+}
+
+std::vector<VideoScript> MedicalCorpusScripts() {
+  return MedicalCorpusScripts(CorpusOptions());
+}
+
+std::vector<GeneratedVideo> GenerateMedicalCorpus(
+    const CorpusOptions& options) {
+  std::vector<GeneratedVideo> out;
+  for (const VideoScript& script : MedicalCorpusScripts(options)) {
+    out.push_back(GenerateVideo(script));
+  }
+  return out;
+}
+
+std::vector<GeneratedVideo> GenerateMedicalCorpus() {
+  return GenerateMedicalCorpus(CorpusOptions());
+}
+
+VideoScript QuickScript(uint64_t seed) {
+  VideoScript s;
+  s.name = "quickstart_clinic";
+  s.seed = seed;
+  s.scenes = {
+      {SceneKind::kPresentation, 5, /*topic=*/1, /*a=*/1, /*b=*/-1, 2.5},
+      {SceneKind::kDialog, 6, /*topic=*/11, /*a=*/2, /*b=*/3, 2.4},
+      {SceneKind::kClinicalOperation, 6, /*topic=*/21, -1, -1, 2.5},
+      {SceneKind::kOther, 3, /*topic=*/31, -1, -1, 2.3},
+  };
+  return s;
+}
+
+}  // namespace classminer::synth

@@ -1,0 +1,39 @@
+#ifndef CLASSMINER_SYNTH_CORPUS_H_
+#define CLASSMINER_SYNTH_CORPUS_H_
+
+#include <vector>
+
+#include "synth/video_generator.h"
+
+namespace classminer::synth {
+
+// Parameters for the evaluation corpus. The paper used ~6 h of MPEG-I
+// medical video over five titles; we script the same five titles with the
+// same scene-type mix. `scale` stretches the scene count per video (1.0 is
+// laptop-friendly; larger values approach the paper's corpus duration).
+struct CorpusOptions {
+  uint64_t seed = 7;
+  double scale = 1.0;
+  int width = 96;
+  int height = 72;
+  double fps = 12.0;
+  int audio_sample_rate = 16000;
+  // Degraded mode: dissolves, flicker and uneven exposure across titles —
+  // closer to the paper's real MPEG-I footage, and measurably harder.
+  bool degraded = false;
+};
+
+// The five scripted titles of the evaluation dataset (Sec. 6.1).
+std::vector<VideoScript> MedicalCorpusScripts(const CorpusOptions& options);
+std::vector<VideoScript> MedicalCorpusScripts();
+
+// Renders every script.
+std::vector<GeneratedVideo> GenerateMedicalCorpus(const CorpusOptions& options);
+std::vector<GeneratedVideo> GenerateMedicalCorpus();
+
+// A single compact video (one of each scene kind) for tests and examples.
+VideoScript QuickScript(uint64_t seed = 11);
+
+}  // namespace classminer::synth
+
+#endif  // CLASSMINER_SYNTH_CORPUS_H_

@@ -1,0 +1,42 @@
+#include "synth/ground_truth.h"
+
+namespace classminer::synth {
+
+const char* SceneKindName(SceneKind kind) {
+  switch (kind) {
+    case SceneKind::kPresentation:
+      return "presentation";
+    case SceneKind::kDialog:
+      return "dialog";
+    case SceneKind::kClinicalOperation:
+      return "clinical_operation";
+    case SceneKind::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+std::vector<int> GroundTruth::CutPositions() const {
+  std::vector<int> cuts;
+  for (size_t i = 0; i + 1 < shots.size(); ++i) {
+    cuts.push_back(shots[i].end_frame);
+  }
+  return cuts;
+}
+
+int GroundTruth::SceneOfShot(int shot_index) const {
+  if (shot_index < 0 || shot_index >= static_cast<int>(shots.size())) {
+    return -1;
+  }
+  return shots[static_cast<size_t>(shot_index)].scene_index;
+}
+
+int GroundTruth::CountScenesOfKind(SceneKind kind) const {
+  int n = 0;
+  for (const SceneTruth& s : scenes) {
+    if (s.kind == kind) ++n;
+  }
+  return n;
+}
+
+}  // namespace classminer::synth

@@ -1,0 +1,62 @@
+#ifndef CLASSMINER_SYNTH_GROUND_TRUTH_H_
+#define CLASSMINER_SYNTH_GROUND_TRUTH_H_
+
+#include <string>
+#include <vector>
+
+namespace classminer::synth {
+
+// Semantic scene categories scripted by the generator. These are the
+// benchmark labels for Figs. 12-13 (scene detection) and Table 1 (event
+// mining).
+enum class SceneKind {
+  kPresentation = 0,
+  kDialog,
+  kClinicalOperation,
+  kOther,  // establishing / equipment shots; no target event
+};
+
+const char* SceneKindName(SceneKind kind);
+
+// One scripted shot.
+struct ShotTruth {
+  int index = 0;
+  int start_frame = 0;
+  int end_frame = 0;   // inclusive
+  int scene_index = 0;
+  int speaker_id = -1;  // -1: no speech in this shot
+  bool is_slide = false;    // rendered slide or clip-art deck frame
+  bool is_diagram = false;  // rendered sketch/line-drawing frame
+  bool has_face = false;
+  bool has_skin_closeup = false;
+  bool has_blood = false;
+};
+
+// One scripted semantic scene.
+struct SceneTruth {
+  int index = 0;
+  SceneKind kind = SceneKind::kOther;
+  int start_shot = 0;
+  int end_shot = 0;  // inclusive
+  int topic_id = 0;  // scenes with equal topic ids are visual repeats
+
+  int shot_count() const { return end_shot - start_shot + 1; }
+};
+
+// Full ground truth of one generated video.
+struct GroundTruth {
+  std::vector<ShotTruth> shots;
+  std::vector<SceneTruth> scenes;
+
+  // Frame positions k such that a cut lies between frames k and k+1.
+  std::vector<int> CutPositions() const;
+
+  // Scene index owning a given shot index (-1 when out of range).
+  int SceneOfShot(int shot_index) const;
+
+  int CountScenesOfKind(SceneKind kind) const;
+};
+
+}  // namespace classminer::synth
+
+#endif  // CLASSMINER_SYNTH_GROUND_TRUTH_H_

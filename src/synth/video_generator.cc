@@ -1,0 +1,408 @@
+#include "synth/video_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "media/color.h"
+#include "media/draw.h"
+#include "synth/audio_generator.h"
+#include "util/rng.h"
+
+namespace classminer::synth {
+namespace {
+
+using media::Image;
+using media::Rgb;
+
+struct Palette {
+  Rgb bg_top;
+  Rgb bg_bottom;
+  Rgb accent;
+};
+
+// Deterministic palette family per topic: a hue wheel position plus fixed
+// lightness ramps. Topics far apart on the wheel look clearly different.
+Palette TopicPalette(int topic_id) {
+  double hue = std::fmod(47.0 + 67.0 * topic_id, 360.0);
+  // Keep set dressing out of the flesh-chroma band (roughly 330..40
+  // degrees) so backgrounds never read as skin to the region detectors.
+  if (hue >= 330.0 || hue < 40.0) hue = std::fmod(hue + 70.0, 360.0);
+  Palette p;
+  p.bg_top = media::HsvToRgb({hue, 0.35, 0.55});
+  p.bg_bottom = media::HsvToRgb({hue, 0.45, 0.30});
+  p.accent = media::HsvToRgb({std::fmod(hue + 140.0, 360.0), 0.65, 0.75});
+  return p;
+}
+
+// Skin tone within the detector's chroma model, varied slightly per person.
+Rgb SkinTone(int person_id) {
+  util::Rng rng(0xface + static_cast<uint64_t>(person_id) * 131ULL);
+  const int base_r = rng.UniformInt(190, 215);
+  const int base_g = rng.UniformInt(140, 158);
+  const int base_b = rng.UniformInt(110, 128);
+  return Rgb{static_cast<uint8_t>(base_r), static_cast<uint8_t>(base_g),
+             static_cast<uint8_t>(base_b)};
+}
+
+constexpr Rgb kBlood{140, 45, 40};
+constexpr Rgb kInk{40, 40, 48};
+constexpr Rgb kSlideBg{235, 232, 224};
+
+void DrawFace(Image* img, int cx, int cy, int rx, int ry, Rgb skin) {
+  media::FillEllipse(img, cx, cy, rx, ry, skin);
+  // Eyes: dark ellipses in the upper face band.
+  const Rgb eye{30, 26, 24};
+  const int eye_dy = -static_cast<int>(0.15 * ry);
+  const int eye_dx = static_cast<int>(0.42 * rx);
+  media::FillEllipse(img, cx - eye_dx, cy + eye_dy,
+                     std::max(1, static_cast<int>(0.18 * rx)),
+                     std::max(1, static_cast<int>(0.11 * ry)), eye);
+  media::FillEllipse(img, cx + eye_dx, cy + eye_dy,
+                     std::max(1, static_cast<int>(0.18 * rx)),
+                     std::max(1, static_cast<int>(0.11 * ry)), eye);
+  // Mouth: dark band in the lower face.
+  const Rgb mouth{95, 42, 42};
+  media::FillRect(img, cx - static_cast<int>(0.42 * rx),
+                  cy + static_cast<int>(0.55 * ry),
+                  static_cast<int>(0.84 * rx),
+                  std::max(1, static_cast<int>(0.14 * ry)), mouth);
+}
+
+Image RenderSlide(int w, int h, int topic, util::Rng* rng) {
+  Image img(w, h, kSlideBg);
+  const Palette pal = TopicPalette(topic);
+  media::FillRect(&img, 0, 0, w, h / 8, pal.accent);  // title bar
+  // Title text on the bar, body text below.
+  util::Rng text_rng = rng->Fork();
+  media::DrawTextLine(&img, w / 12, h / 20, w / 2, 2, Rgb{250, 250, 250},
+                      &text_rng);
+  const int lines = 4 + text_rng.UniformInt(0, 2);
+  for (int i = 0; i < lines; ++i) {
+    media::DrawTextLine(&img, w / 10, h / 4 + i * h / 9, (w * 7) / 10, 2,
+                        kInk, &text_rng);
+  }
+  return img;
+}
+
+Image RenderClipArt(int w, int h, int topic, util::Rng* rng) {
+  Image img(w, h, Rgb{240, 240, 236});
+  const Palette pal = TopicPalette(topic);
+  // Diagram: coloured boxes joined by lines (an anatomy/flow figure).
+  const int boxes = 3 + rng->UniformInt(0, 1);
+  int prev_cx = -1, prev_cy = -1;
+  for (int b = 0; b < boxes; ++b) {
+    const int bw = w / 5;
+    const int bh = h / 5;
+    const int x = w / 10 + (b % 2) * (w / 2) + rng->UniformInt(0, w / 12);
+    const int y = h / 10 + (b * h) / (boxes + 1);
+    media::FillRect(&img, x, y, bw, bh, b % 2 == 0 ? pal.accent : pal.bg_top);
+    const int cx = x + bw / 2;
+    const int cy = y + bh / 2;
+    if (prev_cx >= 0) {
+      media::DrawHLine(&img, std::min(prev_cx, cx), std::max(prev_cx, cx),
+                       prev_cy, kInk);
+      media::DrawVLine(&img, cx, std::min(prev_cy, cy), std::max(prev_cy, cy),
+                       kInk);
+    }
+    prev_cx = cx;
+    prev_cy = cy;
+  }
+  return img;
+}
+
+Image RenderSketch(int w, int h, util::Rng* rng) {
+  Image img(w, h, Rgb{248, 248, 246});
+  const Rgb line{50, 50, 54};
+  // Line drawing: concentric outlines plus annotation strokes.
+  for (int ring = 0; ring < 3; ++ring) {
+    const int rx = w / 3 - ring * w / 10;
+    const int ry = h / 3 - ring * h / 10;
+    // Outline ellipse: draw filled then punch the interior back out.
+    media::FillEllipse(&img, w / 2, h / 2, rx, ry, line);
+    media::FillEllipse(&img, w / 2, h / 2, rx - 1, ry - 1,
+                       Rgb{248, 248, 246});
+  }
+  for (int i = 0; i < 4; ++i) {
+    const int y = h / 8 + i * h / 6 + rng->UniformInt(-2, 2);
+    media::DrawHLine(&img, (w * 3) / 4, w - w / 16, y, line);
+  }
+  return img;
+}
+
+Image RenderFaceShot(int w, int h, int topic, int person, double face_scale,
+                     double x_frac, util::Rng* rng) {
+  Image img(w, h);
+  const Palette pal = TopicPalette(topic);
+  media::FillGradient(&img, pal.bg_top, pal.bg_bottom);
+  const Rgb skin = SkinTone(person);
+  const int cx = static_cast<int>(x_frac * w) + rng->UniformInt(-2, 2);
+  const int cy = static_cast<int>(0.42 * h);
+  const int rx = static_cast<int>(0.24 * w * face_scale);
+  const int ry = static_cast<int>(0.32 * h * face_scale);
+  // Shoulders in clothing colour below the face.
+  media::FillEllipse(&img, cx, cy + ry + h / 4, static_cast<int>(1.9 * rx),
+                     h / 3, pal.accent);
+  DrawFace(&img, cx, cy, rx, ry, skin);
+  return img;
+}
+
+// Shared surgical-drape backdrop: every clinical shot of a scene sits on
+// the same green drape, giving the scene the within-scene visual coherence
+// real surgical footage has (and keeping it far from the dialog palette).
+Image ClinicalBackdrop(int w, int h, int topic) {
+  Image img(w, h);
+  const int shade = 10 * (topic % 3);
+  media::FillGradient(&img,
+                      Rgb{46, static_cast<uint8_t>(110 + shade), 86},
+                      Rgb{28, static_cast<uint8_t>(74 + shade), 58});
+  return img;
+}
+
+Image RenderSkinCloseup(int w, int h, int topic, util::Rng* rng) {
+  Image img = ClinicalBackdrop(w, h, topic);
+  const Rgb skin = SkinTone(100 + topic);
+  // Large examined skin area (arm / torso patch).
+  media::FillEllipse(&img, w / 2 + rng->UniformInt(-3, 3), h / 2,
+                     static_cast<int>(0.43 * w), static_cast<int>(0.40 * h),
+                     skin);
+  // Skin creases: slightly darker strokes.
+  const Rgb crease{static_cast<uint8_t>(skin.r - 30),
+                   static_cast<uint8_t>(skin.g - 25),
+                   static_cast<uint8_t>(skin.b - 20)};
+  for (int i = 0; i < 3; ++i) {
+    const int y = h / 3 + i * h / 8 + rng->UniformInt(-1, 1);
+    media::DrawHLine(&img, w / 3, (w * 2) / 3, y, crease);
+  }
+  return img;
+}
+
+Image RenderBloodShot(int w, int h, int topic, util::Rng* rng) {
+  // Surgical field: tissue opening on the drape with an open blood-red
+  // area and an instrument.
+  Image img = ClinicalBackdrop(w, h, topic);
+  const Rgb tissue = SkinTone(200 + topic);
+  media::FillEllipse(&img, w / 2, h / 2, static_cast<int>(0.36 * w),
+                     static_cast<int>(0.34 * h), tissue);
+  media::FillEllipse(&img, w / 2 + rng->UniformInt(-4, 4),
+                     h / 2 + rng->UniformInt(-2, 2),
+                     static_cast<int>(0.19 * w), static_cast<int>(0.17 * h),
+                     kBlood);
+  // Instrument: grey bar entering the field.
+  const Rgb steel{170, 175, 182};
+  for (int i = 0; i < 3; ++i) {
+    media::DrawHLine(&img, (w * 2) / 3, w - 2, h / 4 + i, steel);
+  }
+  return img;
+}
+
+Image RenderOrganShot(int w, int h, int topic, util::Rng* rng) {
+  // Endoscopic window on the drape: dark cavity with a pink organ mass
+  // (organ tissue reads as skin chroma, as in real footage).
+  Image img = ClinicalBackdrop(w, h, topic);
+  media::FillRect(&img, w / 8, h / 8, (w * 3) / 4, (h * 3) / 4,
+                  Rgb{62, 38, 36});
+  const Rgb organ{186, 122, 108};
+  media::FillEllipse(&img, w / 2 + rng->UniformInt(-3, 3),
+                     h / 2 + rng->UniformInt(-2, 2),
+                     static_cast<int>(0.33 * w), static_cast<int>(0.31 * h),
+                     organ);
+  media::FillEllipse(&img, (w * 2) / 3, h / 3, w / 12, h / 12,
+                     Rgb{160, 95, 85});
+  return img;
+}
+
+Image RenderEquipment(int w, int h, int topic, util::Rng* rng) {
+  Image img(w, h);
+  const Palette pal = TopicPalette(topic + 40);
+  media::FillGradient(&img, pal.bg_top, pal.bg_bottom);
+  // Monitors with waveform traces.
+  for (int m = 0; m < 2; ++m) {
+    const int x = w / 10 + m * (w / 2);
+    const int y = h / 6 + rng->UniformInt(0, h / 10);
+    media::FillRect(&img, x, y, w / 3, h / 3, Rgb{15, 18, 20});
+    const int trace_y = y + h / 6;
+    for (int tx = x + 2; tx < x + w / 3 - 2; ++tx) {
+      const int dy = static_cast<int>(4.0 * std::sin(tx * 0.7 + m));
+      if (img.Contains(tx, trace_y + dy)) {
+        img.set(tx, trace_y + dy, pal.accent);
+      }
+    }
+  }
+  // Equipment pole.
+  media::DrawVLine(&img, (w * 4) / 5, h / 8, h - 2, Rgb{150, 150, 155});
+  return img;
+}
+
+// Base image for one shot given its scripted role.
+Image RenderShotBase(const VideoScript& script, const SceneScript& scene,
+                     int shot_in_scene, util::Rng* rng, ShotTruth* truth) {
+  const int w = script.width;
+  const int h = script.height;
+  switch (scene.kind) {
+    case SceneKind::kPresentation: {
+      if (shot_in_scene % 2 == 0) {
+        truth->is_slide = true;
+        // Each presentation uses one slide family (text deck or diagram
+        // deck) so the alternating slide shots correlate with each other.
+        if (scene.topic_id % 3 == 2) {
+          return RenderClipArt(w, h, scene.topic_id, rng);
+        }
+        return RenderSlide(w, h, scene.topic_id, rng);
+      }
+      truth->has_face = true;
+      truth->speaker_id = scene.speaker_a;
+      return RenderFaceShot(w, h, scene.topic_id, scene.speaker_a,
+                            /*face_scale=*/1.0, 0.5, rng);
+    }
+    case SceneKind::kDialog: {
+      // Reverse-angle coverage: each party is framed against a different
+      // side of the room, as real shot/counter-shot editing does.
+      const bool first = shot_in_scene % 2 == 0;
+      truth->has_face = true;
+      truth->speaker_id = first ? scene.speaker_a : scene.speaker_b;
+      return RenderFaceShot(w, h, first ? scene.topic_id : scene.topic_id + 3,
+                            first ? scene.speaker_a : scene.speaker_b,
+                            /*face_scale=*/first ? 1.0 : 0.85,
+                            first ? 0.40 : 0.60, rng);
+    }
+    case SceneKind::kClinicalOperation: {
+      const int role = shot_in_scene % 3;
+      if (role == 0) {
+        truth->has_skin_closeup = true;
+        return RenderSkinCloseup(w, h, scene.topic_id, rng);
+      }
+      if (role == 1) {
+        truth->has_blood = true;
+        return RenderBloodShot(w, h, scene.topic_id, rng);
+      }
+      truth->has_skin_closeup = true;
+      return RenderOrganShot(w, h, scene.topic_id, rng);
+    }
+    case SceneKind::kOther:
+    default: {
+      // Establishing material: mostly equipment shots, with an occasional
+      // anatomical line drawing shown full-screen.
+      if (scene.topic_id % 4 == 1 && shot_in_scene % 3 == 1) {
+        truth->is_diagram = true;
+        return RenderSketch(w, h, rng);
+      }
+      // Same set-up family across the scene, but exposure and layout shift
+      // between shots so the cut detector still sees each boundary.
+      Image img = RenderEquipment(w, h, scene.topic_id, rng);
+      media::ScaleBrightness(&img, 0.78 + 0.18 * (shot_in_scene % 3));
+      return img;
+    }
+  }
+}
+
+}  // namespace
+
+GeneratedVideo GenerateVideo(const VideoScript& script) {
+  GeneratedVideo out;
+  out.video = media::Video(script.name, script.fps);
+  out.audio = audio::AudioBuffer(script.audio_sample_rate);
+  util::Rng rng(script.seed);
+
+  const int min_shot_frames =
+      static_cast<int>(std::ceil(2.2 * script.fps));  // keep audio analyzable
+
+  int frame_cursor = 0;
+  int shot_index = 0;
+  for (size_t scene_i = 0; scene_i < script.scenes.size(); ++scene_i) {
+    const SceneScript& scene = script.scenes[scene_i];
+    SceneTruth scene_truth;
+    scene_truth.index = static_cast<int>(scene_i);
+    scene_truth.kind = scene.kind;
+    scene_truth.topic_id = scene.topic_id;
+    scene_truth.start_shot = shot_index;
+
+    for (int s = 0; s < scene.shots; ++s) {
+      ShotTruth shot_truth;
+      shot_truth.index = shot_index;
+      shot_truth.scene_index = static_cast<int>(scene_i);
+      shot_truth.start_frame = frame_cursor;
+
+      const double jitter = rng.Uniform(0.85, 1.30);
+      int frames = std::max(
+          min_shot_frames,
+          static_cast<int>(scene.shot_seconds * script.fps * jitter));
+      // Slides hold a little longer, like real lecture footage.
+      if (scene.kind == SceneKind::kPresentation && s % 2 == 0) {
+        frames += static_cast<int>(script.fps);
+      }
+
+      const Image base = RenderShotBase(script, scene, s, &rng, &shot_truth);
+      const bool man_made = shot_truth.is_slide || shot_truth.is_diagram;
+      // Camera drift within the shot (none for rendered slides).
+      double dx = 0.0, dy = 0.0;
+      const double drift_x = man_made ? 0.0 : rng.Uniform(-0.08, 0.08);
+      const double drift_y = man_made ? 0.0 : rng.Uniform(-0.05, 0.05);
+      // Occasionally enter the shot through a dissolve from the previous
+      // one instead of a hard cut.
+      const bool dissolve = shot_index > 0 && !out.video.empty() &&
+                            rng.Bernoulli(script.dissolve_prob);
+      const Image prev_last =
+          dissolve ? out.video.frame(out.video.frame_count() - 1) : Image();
+      for (int f = 0; f < frames; ++f) {
+        Image frame = man_made
+                          ? base
+                          : media::Translated(base, static_cast<int>(dx),
+                                              static_cast<int>(dy));
+        if (!man_made) {
+          if (script.flicker > 0.0) {
+            media::ScaleBrightness(
+                &frame, 1.0 + script.flicker *
+                                  std::sin(0.9 * f + 1.7 * shot_index));
+          }
+          media::AddNoise(&frame, script.camera_noise, &rng);
+          dx += drift_x;
+          dy += drift_y;
+        }
+        if (dissolve && f < script.dissolve_frames) {
+          const double alpha =
+              (f + 1.0) / (script.dissolve_frames + 1.0);  // new content in
+          frame = media::Blend(frame, prev_last, alpha);
+        }
+        if (script.exposure != 1.0) {
+          media::ScaleBrightness(&frame, script.exposure);
+        }
+        out.video.AppendFrame(std::move(frame));
+      }
+      shot_truth.end_frame = frame_cursor + frames - 1;
+      frame_cursor += frames;
+
+      // Audio for the shot, time-aligned with its frames.
+      const double seconds = frames / script.fps;
+      switch (scene.kind) {
+        case SceneKind::kPresentation: {
+          const SpeakerVoice voice = MakeSpeakerVoice(scene.speaker_a);
+          AppendSpeech(&out.audio, voice, seconds, &rng);
+          // Voice-over runs across slides too; every shot carries speech.
+          shot_truth.speaker_id = scene.speaker_a;
+          break;
+        }
+        case SceneKind::kDialog: {
+          const int speaker = (s % 2 == 0) ? scene.speaker_a : scene.speaker_b;
+          AppendSpeech(&out.audio, MakeSpeakerVoice(speaker), seconds, &rng);
+          shot_truth.speaker_id = speaker;
+          break;
+        }
+        case SceneKind::kClinicalOperation:
+          AppendProcedureNoise(&out.audio, seconds, &rng);
+          break;
+        case SceneKind::kOther:
+        default:
+          AppendSilence(&out.audio, seconds, &rng);
+          break;
+      }
+
+      out.truth.shots.push_back(shot_truth);
+      ++shot_index;
+    }
+    scene_truth.end_shot = shot_index - 1;
+    out.truth.scenes.push_back(scene_truth);
+  }
+  return out;
+}
+
+}  // namespace classminer::synth

@@ -1,0 +1,62 @@
+#ifndef CLASSMINER_SYNTH_VIDEO_GENERATOR_H_
+#define CLASSMINER_SYNTH_VIDEO_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "audio/audio_buffer.h"
+#include "media/video.h"
+#include "synth/ground_truth.h"
+
+namespace classminer::synth {
+
+// Script for one semantic scene.
+struct SceneScript {
+  SceneKind kind = SceneKind::kOther;
+  int shots = 6;
+  // Scenes sharing a topic id render with the same palette/layout family —
+  // these are the "scenes shown several times in the video" that the PCS
+  // clustering should merge (Sec. 3.5).
+  int topic_id = 0;
+  int speaker_a = -1;  // presenter / first dialog party
+  int speaker_b = -1;  // second dialog party
+  double shot_seconds = 2.5;  // nominal shot duration
+};
+
+// Script for one generated video.
+struct VideoScript {
+  std::string name;
+  uint64_t seed = 1;
+  int width = 96;
+  int height = 72;
+  double fps = 12.0;
+  int audio_sample_rate = 16000;
+  // Per-frame uniform sensor-noise amplitude for natural (camera) frames.
+  int camera_noise = 5;
+  // Degradations for harder material: probability that a shot boundary is
+  // a gradual dissolve instead of a hard cut, the dissolve length, and a
+  // luminance-flicker amplitude applied to natural shots.
+  double dissolve_prob = 0.0;
+  int dissolve_frames = 6;
+  double flicker = 0.0;
+  // Global exposure multiplier (dim under-lit footage compresses frame
+  // differences, stressing fixed thresholds).
+  double exposure = 1.0;
+  std::vector<SceneScript> scenes;
+};
+
+// A generated video: decoded frames, aligned audio track, and the scripted
+// ground truth used for evaluation.
+struct GeneratedVideo {
+  media::Video video;
+  audio::AudioBuffer audio;
+  GroundTruth truth;
+};
+
+// Deterministically renders the scripted video (same script + seed ->
+// identical frames, audio and truth).
+GeneratedVideo GenerateVideo(const VideoScript& script);
+
+}  // namespace classminer::synth
+
+#endif  // CLASSMINER_SYNTH_VIDEO_GENERATOR_H_

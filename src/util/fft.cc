@@ -1,0 +1,61 @@
+#include "util/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.h"
+
+namespace classminer::util {
+
+void Fft(std::vector<std::complex<double>>* data, bool inverse) {
+  const size_t n = data->size();
+  CM_CHECK(n > 0 && (n & (n - 1)) == 0) << "FFT size must be a power of two";
+  auto& a = *data;
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) *
+        (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::vector<double> MagnitudeSpectrum(std::span<const double> signal) {
+  const size_t n = NextPowerOfTwo(std::max<size_t>(signal.size(), 2));
+  std::vector<std::complex<double>> buf(n, {0.0, 0.0});
+  for (size_t i = 0; i < signal.size(); ++i) buf[i] = {signal[i], 0.0};
+  Fft(&buf);
+  std::vector<double> mags(n / 2 + 1);
+  for (size_t i = 0; i <= n / 2; ++i) mags[i] = std::abs(buf[i]);
+  return mags;
+}
+
+}  // namespace classminer::util

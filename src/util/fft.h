@@ -1,0 +1,24 @@
+#ifndef CLASSMINER_UTIL_FFT_H_
+#define CLASSMINER_UTIL_FFT_H_
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace classminer::util {
+
+// In-place iterative radix-2 Cooley-Tukey FFT. `data.size()` must be a
+// power of two (checked). `inverse` applies the conjugate transform and
+// 1/N scaling.
+void Fft(std::vector<std::complex<double>>* data, bool inverse = false);
+
+// Returns the smallest power of two >= n (n >= 1).
+size_t NextPowerOfTwo(size_t n);
+
+// Magnitude spectrum of a real signal, zero-padded to a power of two.
+// Returns N/2+1 magnitudes (DC .. Nyquist) where N is the padded length.
+std::vector<double> MagnitudeSpectrum(std::span<const double> signal);
+
+}  // namespace classminer::util
+
+#endif  // CLASSMINER_UTIL_FFT_H_

@@ -1,0 +1,49 @@
+#ifndef CLASSMINER_UTIL_RNG_H_
+#define CLASSMINER_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace classminer::util {
+
+// Deterministic splitmix64/xoshiro-style PRNG. Every stochastic component
+// in the library (synthesis, EM initialisation, workload generation) takes
+// an explicit Rng so runs are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double Uniform();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int UniformInt(int lo, int hi);
+
+  // Standard normal via Box-Muller.
+  double Gaussian();
+
+  // Normal with the given mean / stddev.
+  double Gaussian(double mean, double stddev);
+
+  // Returns true with probability p.
+  bool Bernoulli(double p);
+
+  // Derives an independent child generator (stable across platforms).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace classminer::util
+
+#endif  // CLASSMINER_UTIL_RNG_H_

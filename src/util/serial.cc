@@ -1,0 +1,128 @@
+#include "util/serial.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace classminer::util {
+
+void ByteWriter::PutU8(uint8_t v) { bytes_.push_back(v); }
+
+void ByteWriter::PutU16(uint16_t v) {
+  PutU8(static_cast<uint8_t>(v & 0xff));
+  PutU8(static_cast<uint8_t>(v >> 8));
+}
+
+void ByteWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void ByteWriter::PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+
+void ByteWriter::PutF64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void ByteWriter::PutBytes(const uint8_t* data, size_t size) {
+  bytes_.insert(bytes_.end(), data, data + size);
+}
+
+void ByteWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  PutBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+StatusOr<uint8_t> ByteReader::GetU8() {
+  if (pos_ >= size_) return Status::DataLoss("read past end of buffer");
+  return data_[pos_++];
+}
+
+StatusOr<uint16_t> ByteReader::GetU16() {
+  if (pos_ + 2 > size_) return Status::DataLoss("read past end of buffer");
+  uint16_t v = static_cast<uint16_t>(data_[pos_]) |
+               static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+StatusOr<uint32_t> ByteReader::GetU32() {
+  if (pos_ + 4 > size_) return Status::DataLoss("read past end of buffer");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+StatusOr<uint64_t> ByteReader::GetU64() {
+  if (pos_ + 8 > size_) return Status::DataLoss("read past end of buffer");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<int32_t> ByteReader::GetI32() {
+  StatusOr<uint32_t> v = GetU32();
+  if (!v.ok()) return v.status();
+  return static_cast<int32_t>(*v);
+}
+
+StatusOr<double> ByteReader::GetF64() {
+  StatusOr<uint64_t> bits = GetU64();
+  if (!bits.ok()) return bits.status();
+  double v;
+  uint64_t b = *bits;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+Status ByteReader::GetBytes(uint8_t* out, size_t size) {
+  if (pos_ + size > size_) return Status::DataLoss("read past end of buffer");
+  std::memcpy(out, data_ + pos_, size);
+  pos_ += size;
+  return Status::Ok();
+}
+
+StatusOr<std::string> ByteReader::GetString() {
+  StatusOr<uint32_t> len = GetU32();
+  if (!len.ok()) return len.status();
+  if (pos_ + *len > size_) return Status::DataLoss("string exceeds buffer");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), *len);
+  pos_ += *len;
+  return s;
+}
+
+Status ByteReader::Skip(size_t n) {
+  if (pos_ + n > size_) return Status::DataLoss("skip past end of buffer");
+  pos_ += n;
+  return Status::Ok();
+}
+
+Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::NotFound("cannot open for write: " + path);
+  const size_t written = bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) return Status::DataLoss("short write: " + path);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<uint8_t>> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open for read: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  const size_t read = bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (read != bytes.size()) return Status::DataLoss("short read: " + path);
+  return bytes;
+}
+
+}  // namespace classminer::util

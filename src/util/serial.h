@@ -1,0 +1,67 @@
+#ifndef CLASSMINER_UTIL_SERIAL_H_
+#define CLASSMINER_UTIL_SERIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace classminer::util {
+
+// Little-endian binary writer into an owned byte buffer. Used by the codec
+// container and database persistence.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v);
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI32(int32_t v);
+  void PutF64(double v);
+  void PutBytes(const uint8_t* data, size_t size);
+  void PutString(const std::string& s);  // u32 length prefix + bytes
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Release() { return std::move(bytes_); }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+// Little-endian binary reader over a borrowed byte buffer. Reads past the
+// end return DATA_LOSS rather than aborting, so corrupt files surface as
+// Status errors.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  StatusOr<uint8_t> GetU8();
+  StatusOr<uint16_t> GetU16();
+  StatusOr<uint32_t> GetU32();
+  StatusOr<uint64_t> GetU64();
+  StatusOr<int32_t> GetI32();
+  StatusOr<double> GetF64();
+  Status GetBytes(uint8_t* out, size_t size);
+  StatusOr<std::string> GetString();
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  Status Skip(size_t n);
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// Whole-file helpers.
+Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes);
+StatusOr<std::vector<uint8_t>> ReadFile(const std::string& path);
+
+}  // namespace classminer::util
+
+#endif  // CLASSMINER_UTIL_SERIAL_H_

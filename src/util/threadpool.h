@@ -1,0 +1,53 @@
+#ifndef CLASSMINER_UTIL_THREADPOOL_H_
+#define CLASSMINER_UTIL_THREADPOOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace classminer::util {
+
+// Minimal fixed-size thread pool. Used to mine independent videos in
+// parallel (each MineVideo call is self-contained and deterministic, so
+// parallel ingest preserves per-video results exactly).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task; runs as soon as a worker is free.
+  void Schedule(std::function<void()> task);
+
+  // Blocks until every scheduled task has finished.
+  void Wait();
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  // A sensible default: hardware concurrency, at least 1.
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  int in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs fn(i) for i in [0, count) across the pool and waits.
+void ParallelFor(ThreadPool* pool, int count,
+                 const std::function<void(int)>& fn);
+
+}  // namespace classminer::util
+
+#endif  // CLASSMINER_UTIL_THREADPOOL_H_

@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "audio/audio_buffer.h"
+#include "audio/bic.h"
+#include "audio/features.h"
+#include "audio/gmm.h"
+#include "audio/mfcc.h"
+#include "audio/speaker_segmenter.h"
+#include "synth/audio_generator.h"
+#include "util/rng.h"
+
+namespace classminer::audio {
+namespace {
+
+AudioBuffer Tone(double hz, double seconds, int sr = 16000) {
+  AudioBuffer buf(sr);
+  std::vector<float> samples(static_cast<size_t>(seconds * sr));
+  for (size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = static_cast<float>(0.4 * std::sin(2.0 * M_PI * hz * i / sr));
+  }
+  buf.Append(samples);
+  return buf;
+}
+
+AudioBuffer Speech(int speaker, double seconds, uint64_t seed = 1) {
+  AudioBuffer buf(16000);
+  util::Rng rng(seed);
+  synth::AppendSpeech(&buf, synth::MakeSpeakerVoice(speaker), seconds, &rng);
+  return buf;
+}
+
+TEST(AudioBufferTest, SliceBounds) {
+  AudioBuffer buf(100);
+  std::vector<float> s(250);
+  for (size_t i = 0; i < s.size(); ++i) s[i] = static_cast<float>(i);
+  buf.Append(s);
+  const AudioBuffer mid = buf.Slice(1.0, 1.0);
+  ASSERT_EQ(mid.sample_count(), 100u);
+  EXPECT_FLOAT_EQ(mid.at(0), 100.0f);
+  const AudioBuffer past = buf.Slice(10.0, 1.0);
+  EXPECT_TRUE(past.empty());
+  const AudioBuffer tail = buf.Slice(2.0, 5.0);  // clamped
+  EXPECT_EQ(tail.sample_count(), 50u);
+}
+
+TEST(AudioBufferTest, Duration) {
+  AudioBuffer buf(8000);
+  buf.samples().resize(4000);
+  EXPECT_DOUBLE_EQ(buf.DurationSeconds(), 0.5);
+}
+
+TEST(ClipFeaturesTest, SilenceVsTone) {
+  util::Rng rng(2);
+  AudioBuffer silence(16000);
+  synth::AppendSilence(&silence, 2.0, &rng);
+  const ClipFeatures fs = ComputeClipFeatures(silence);
+  const ClipFeatures ft = ComputeClipFeatures(Tone(220.0, 2.0));
+  EXPECT_LT(fs[0], ft[0]);       // volume
+  EXPECT_GT(ft[6] * 1000.0, 100.0);  // pitch detected near 220 Hz
+  EXPECT_LT(std::fabs(ft[6] * 1000.0 - 220.0), 40.0);
+}
+
+TEST(ClipFeaturesTest, SubbandRatiosSumToOne) {
+  const ClipFeatures f = ComputeClipFeatures(Speech(1, 2.0));
+  EXPECT_NEAR(f[10] + f[11] + f[12] + f[13], 1.0, 1e-6);
+}
+
+TEST(ClipFeaturesTest, EmptyClipAllZero) {
+  const ClipFeatures f = ComputeClipFeatures(AudioBuffer(16000));
+  for (double v : f) EXPECT_EQ(v, 0.0);
+}
+
+TEST(ClipSplitTest, CountsAndRemainder) {
+  AudioBuffer buf(1000);
+  buf.samples().resize(5300);  // 5.3 s
+  const std::vector<AudioBuffer> clips = SplitIntoClips(buf, 2.0);
+  // Clips at 0-2, 2-4; remainder 1.3 s >= half clip so a third is kept.
+  ASSERT_EQ(clips.size(), 3u);
+  EXPECT_EQ(clips[0].sample_count(), 2000u);
+  EXPECT_EQ(clips[2].sample_count(), 1300u);
+}
+
+TEST(MfccTest, ShapeAndWindows) {
+  const AudioBuffer clip = Tone(300.0, 1.0);
+  const util::Matrix mfcc = ComputeMfcc(clip);
+  EXPECT_EQ(mfcc.cols(), static_cast<size_t>(kMfccDims));
+  // 1 s at 30 ms windows / 10 ms hop: (16000 - 480) / 160 + 1 = 98.
+  EXPECT_EQ(mfcc.rows(), 98u);
+}
+
+TEST(MfccTest, DifferentTonesDiffer) {
+  const util::Matrix a = ComputeMfcc(Tone(200.0, 0.5));
+  const util::Matrix b = ComputeMfcc(Tone(2000.0, 0.5));
+  double dist = 0.0;
+  for (size_t c = 1; c < static_cast<size_t>(kMfccDims); ++c) {
+    double ma = 0.0, mb = 0.0;
+    for (size_t r = 0; r < a.rows(); ++r) ma += a.at(r, c);
+    for (size_t r = 0; r < b.rows(); ++r) mb += b.at(r, c);
+    dist += std::fabs(ma / a.rows() - mb / b.rows());
+  }
+  EXPECT_GT(dist, 1.0);
+}
+
+TEST(MfccTest, DeltasDoubleDimensionality) {
+  const util::Matrix mfcc = ComputeMfcc(Tone(300.0, 0.5));
+  const util::Matrix with_deltas = AppendDeltas(mfcc);
+  EXPECT_EQ(with_deltas.rows(), mfcc.rows());
+  EXPECT_EQ(with_deltas.cols(), 2 * mfcc.cols());
+  // Static part is preserved verbatim.
+  for (size_t c = 0; c < mfcc.cols(); ++c) {
+    EXPECT_DOUBLE_EQ(with_deltas.at(3, c), mfcc.at(3, c));
+  }
+}
+
+TEST(MfccTest, DeltasOfStationarySignalAreSmall) {
+  const util::Matrix mfcc = ComputeMfcc(Tone(440.0, 0.5));
+  const util::Matrix with_deltas = AppendDeltas(mfcc);
+  double acc = 0.0;
+  for (size_t r = 2; r + 2 < with_deltas.rows(); ++r) {
+    for (size_t c = mfcc.cols(); c < with_deltas.cols(); ++c) {
+      acc += std::fabs(with_deltas.at(r, c));
+    }
+  }
+  double static_acc = 0.0;
+  for (size_t r = 2; r + 2 < mfcc.rows(); ++r) {
+    for (size_t c = 1; c < mfcc.cols(); ++c) {
+      static_acc += std::fabs(mfcc.at(r, c));
+    }
+  }
+  EXPECT_LT(acc, static_acc);  // pure tone: dynamics below statics
+}
+
+TEST(MfccTest, CmnZeroesColumnMeans) {
+  util::Matrix mfcc = ComputeMfcc(Speech(2, 1.0, 60));
+  CepstralMeanNormalize(&mfcc);
+  for (size_t c = 0; c < mfcc.cols(); ++c) {
+    double mean = 0.0;
+    for (size_t r = 0; r < mfcc.rows(); ++r) mean += mfcc.at(r, c);
+    EXPECT_NEAR(mean / static_cast<double>(mfcc.rows()), 0.0, 1e-9);
+  }
+}
+
+TEST(MfccTest, TooShortClipIsEmpty) {
+  AudioBuffer buf(16000);
+  buf.samples().resize(100);
+  EXPECT_EQ(ComputeMfcc(buf).rows(), 0u);
+}
+
+util::Matrix GaussianSamples(double mean, double stddev, size_t n, size_t d,
+                             uint64_t seed) {
+  util::Rng rng(seed);
+  util::Matrix m(n, d);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < d; ++c) m.at(r, c) = rng.Gaussian(mean, stddev);
+  }
+  return m;
+}
+
+TEST(GmmTest, FitsSingleGaussian) {
+  const util::Matrix samples = GaussianSamples(3.0, 0.5, 400, 2, 31);
+  Gmm::TrainOptions opts;
+  opts.components = 1;
+  util::StatusOr<Gmm> gmm = Gmm::Train(samples, opts);
+  ASSERT_TRUE(gmm.ok());
+  EXPECT_NEAR(gmm->components()[0].mean[0], 3.0, 0.1);
+  EXPECT_NEAR(gmm->components()[0].variance[0], 0.25, 0.08);
+}
+
+TEST(GmmTest, RejectsTooFewSamples) {
+  Gmm::TrainOptions opts;
+  opts.components = 8;
+  EXPECT_FALSE(Gmm::Train(util::Matrix(3, 2), opts).ok());
+}
+
+TEST(GmmTest, HigherLikelihoodOnOwnDistribution) {
+  const util::Matrix a = GaussianSamples(0.0, 1.0, 300, 3, 32);
+  const util::Matrix b = GaussianSamples(8.0, 1.0, 300, 3, 33);
+  Gmm::TrainOptions opts;
+  opts.components = 2;
+  util::StatusOr<Gmm> ga = Gmm::Train(a, opts);
+  util::StatusOr<Gmm> gb = Gmm::Train(b, opts);
+  ASSERT_TRUE(ga.ok());
+  ASSERT_TRUE(gb.ok());
+  EXPECT_GT(ga->AverageLogLikelihood(a), gb->AverageLogLikelihood(a));
+  EXPECT_GT(gb->AverageLogLikelihood(b), ga->AverageLogLikelihood(b));
+}
+
+TEST(GmmClassifierTest, SeparatesClasses) {
+  const util::Matrix c0 = GaussianSamples(0.0, 1.0, 200, 2, 34);
+  const util::Matrix c1 = GaussianSamples(5.0, 1.0, 200, 2, 35);
+  Gmm::TrainOptions opts;
+  opts.components = 2;
+  GmmClassifier clf(*Gmm::Train(c0, opts), *Gmm::Train(c1, opts));
+  EXPECT_EQ(clf.Classify(GaussianSamples(0.1, 1.0, 50, 2, 36)), 0);
+  EXPECT_EQ(clf.Classify(GaussianSamples(4.9, 1.0, 50, 2, 37)), 1);
+}
+
+TEST(BicTest, SameSpeakerNoChange) {
+  const util::Matrix x1 = ComputeMfcc(Speech(1, 2.0, 41));
+  const util::Matrix x2 = ComputeMfcc(Speech(1, 2.0, 42));
+  const BicResult r = BicSpeakerChangeTest(x1, x2);
+  EXPECT_FALSE(r.speaker_change) << "delta_bic=" << r.delta_bic;
+}
+
+TEST(BicTest, DifferentSpeakersChange) {
+  const util::Matrix x1 = ComputeMfcc(Speech(1, 2.0, 43));
+  const util::Matrix x2 = ComputeMfcc(Speech(2, 2.0, 44));
+  const BicResult r = BicSpeakerChangeTest(x1, x2);
+  EXPECT_TRUE(r.speaker_change) << "delta_bic=" << r.delta_bic;
+}
+
+TEST(BicTest, SymmetricDecision) {
+  const util::Matrix x1 = ComputeMfcc(Speech(3, 2.0, 45));
+  const util::Matrix x2 = ComputeMfcc(Speech(4, 2.0, 46));
+  EXPECT_EQ(BicSpeakerChangeTest(x1, x2).speaker_change,
+            BicSpeakerChangeTest(x2, x1).speaker_change);
+}
+
+TEST(BicTest, EmptyInputNeverChanges) {
+  const util::Matrix x = ComputeMfcc(Speech(1, 1.0, 47));
+  EXPECT_FALSE(BicSpeakerChangeTest(x, util::Matrix(0, 14)).speaker_change);
+}
+
+TEST(SpeakerSegmenterTest, ShortShotNotAnalyzable) {
+  SpeakerSegmenter seg;
+  const AudioBuffer audio = Speech(1, 5.0, 51);
+  const ShotAudioAnalysis a = seg.AnalyzeShot(audio, 0.0, 1.0, 0);
+  EXPECT_FALSE(a.analyzable);
+  EXPECT_FALSE(a.has_speech);
+}
+
+TEST(SpeakerSegmenterTest, SpeechShotsDetected) {
+  SpeakerSegmenter seg;
+  const AudioBuffer audio = Speech(1, 6.0, 52);
+  const ShotAudioAnalysis a = seg.AnalyzeShot(audio, 0.0, 3.0, 0);
+  EXPECT_TRUE(a.analyzable);
+  EXPECT_TRUE(a.has_speech);
+  EXPECT_GT(a.mfcc.rows(), 0u);
+}
+
+TEST(SpeakerSegmenterTest, NoiseIsNotSpeech) {
+  SpeakerSegmenter seg;
+  AudioBuffer audio(16000);
+  util::Rng rng(53);
+  synth::AppendProcedureNoise(&audio, 6.0, &rng);
+  const ShotAudioAnalysis a = seg.AnalyzeShot(audio, 0.0, 4.0, 0);
+  EXPECT_TRUE(a.analyzable);
+  EXPECT_FALSE(a.has_speech);
+}
+
+TEST(SpeakerSegmenterTest, SpeakerChangeAcrossShots) {
+  SpeakerSegmenter seg;
+  AudioBuffer audio(16000);
+  util::Rng rng(54);
+  synth::AppendSpeech(&audio, synth::MakeSpeakerVoice(7), 3.0, &rng);
+  synth::AppendSpeech(&audio, synth::MakeSpeakerVoice(8), 3.0, &rng);
+  synth::AppendSpeech(&audio, synth::MakeSpeakerVoice(7), 3.0, &rng);
+  const ShotAudioAnalysis s0 = seg.AnalyzeShot(audio, 0.0, 3.0, 0);
+  const ShotAudioAnalysis s1 = seg.AnalyzeShot(audio, 3.0, 6.0, 1);
+  const ShotAudioAnalysis s2 = seg.AnalyzeShot(audio, 6.0, 9.0, 2);
+  EXPECT_TRUE(seg.SpeakerChange(s0, s1));
+  EXPECT_TRUE(seg.SpeakerChange(s1, s2));
+  EXPECT_FALSE(seg.SpeakerChange(s0, s2));  // same speaker resumes
+}
+
+TEST(SpeakerSegmenterTest, DiarizationLabelsAlternation) {
+  SpeakerSegmenter seg;
+  AudioBuffer audio(16000);
+  util::Rng rng(57);
+  synth::AppendSpeech(&audio, synth::MakeSpeakerVoice(11), 3.0, &rng);
+  synth::AppendSpeech(&audio, synth::MakeSpeakerVoice(12), 3.0, &rng);
+  synth::AppendSpeech(&audio, synth::MakeSpeakerVoice(11), 3.0, &rng);
+  synth::AppendProcedureNoise(&audio, 3.0, &rng);
+
+  std::vector<ShotAudioAnalysis> shots;
+  for (int i = 0; i < 4; ++i) {
+    shots.push_back(seg.AnalyzeShot(audio, i * 3.0, (i + 1) * 3.0, i));
+  }
+  const std::vector<int> labels = seg.DiarizeShots(shots);
+  ASSERT_EQ(labels.size(), 4u);
+  EXPECT_EQ(labels[0], 0);          // first speaker
+  EXPECT_EQ(labels[2], labels[0]);  // returns in shot 2
+  EXPECT_NE(labels[1], labels[0]);  // second party distinct
+  EXPECT_EQ(labels[3], -1);         // noise shot unlabelled
+}
+
+TEST(SpeakerSegmenterTest, DiarizationEmptyInput) {
+  SpeakerSegmenter seg;
+  EXPECT_TRUE(seg.DiarizeShots({}).empty());
+}
+
+TEST(SpeechClassifierTest, TrainedGmmClassifierSeparatesSpeechFromNoise) {
+  // Build labelled clip-feature matrices from the generators.
+  util::Rng rng(55);
+  const int clips = 24;
+  util::Matrix speech(clips, kClipFeatureDims);
+  util::Matrix nonspeech(clips, kClipFeatureDims);
+  for (int i = 0; i < clips; ++i) {
+    AudioBuffer s(16000);
+    synth::AppendSpeech(&s, synth::MakeSpeakerVoice(i % 5), 2.0, &rng);
+    const ClipFeatures fs = ComputeClipFeatures(s);
+    AudioBuffer nz(16000);
+    if (i % 2 == 0) {
+      synth::AppendProcedureNoise(&nz, 2.0, &rng);
+    } else {
+      synth::AppendSilence(&nz, 2.0, &rng);
+    }
+    const ClipFeatures fn = ComputeClipFeatures(nz);
+    for (int d = 0; d < kClipFeatureDims; ++d) {
+      speech.at(static_cast<size_t>(i), static_cast<size_t>(d)) =
+          fs[static_cast<size_t>(d)];
+      nonspeech.at(static_cast<size_t>(i), static_cast<size_t>(d)) =
+          fn[static_cast<size_t>(d)];
+    }
+  }
+  util::StatusOr<GmmClassifier> clf =
+      TrainSpeechClassifier(nonspeech, speech, /*components=*/2);
+  ASSERT_TRUE(clf.ok());
+
+  // Held-out clips.
+  AudioBuffer s(16000);
+  synth::AppendSpeech(&s, synth::MakeSpeakerVoice(9), 2.0, &rng);
+  util::Matrix row(1, kClipFeatureDims);
+  const ClipFeatures fs = ComputeClipFeatures(s);
+  for (int d = 0; d < kClipFeatureDims; ++d) {
+    row.at(0, static_cast<size_t>(d)) = fs[static_cast<size_t>(d)];
+  }
+  EXPECT_EQ(clf->Classify(row), 1);
+
+  AudioBuffer nz(16000);
+  synth::AppendProcedureNoise(&nz, 2.0, &rng);
+  const ClipFeatures fn = ComputeClipFeatures(nz);
+  for (int d = 0; d < kClipFeatureDims; ++d) {
+    row.at(0, static_cast<size_t>(d)) = fn[static_cast<size_t>(d)];
+  }
+  EXPECT_EQ(clf->Classify(row), 0);
+}
+
+}  // namespace
+}  // namespace classminer::audio

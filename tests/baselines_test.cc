@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "baselines/lin_zhang.h"
+#include "baselines/rui_toc.h"
+#include "baselines/yeung_stg.h"
+#include "media/color.h"
+#include "media/draw.h"
+#include "util/rng.h"
+
+namespace classminer::baselines {
+namespace {
+
+shot::Shot MakeShot(int index, double hue, uint64_t seed = 5) {
+  util::Rng rng(seed + static_cast<uint64_t>(index));
+  media::Image img(48, 36, media::HsvToRgb({hue, 0.7, 0.8}));
+  media::AddNoise(&img, 4, &rng);
+  shot::Shot s;
+  s.index = index;
+  s.start_frame = index * 30;
+  s.end_frame = index * 30 + 29;
+  s.features = features::ExtractShotFeatures(img);
+  return s;
+}
+
+// Three semantic units: AAAA BBBB CCCC with distinct hues.
+std::vector<shot::Shot> ThreeUnits() {
+  std::vector<shot::Shot> shots;
+  int i = 0;
+  for (int k = 0; k < 4; ++k) shots.push_back(MakeShot(i++, 0));
+  for (int k = 0; k < 4; ++k) shots.push_back(MakeShot(i++, 130));
+  for (int k = 0; k < 4; ++k) shots.push_back(MakeShot(i++, 250));
+  return shots;
+}
+
+void ExpectPartition(const std::vector<std::vector<int>>& scenes, int n) {
+  std::vector<int> seen(static_cast<size_t>(n), 0);
+  for (const auto& scene : scenes) {
+    for (int s : scene) {
+      ASSERT_GE(s, 0);
+      ASSERT_LT(s, n);
+      ++seen[static_cast<size_t>(s)];
+    }
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(RuiTocTest, PartitionsAllShots) {
+  const auto shots = ThreeUnits();
+  const auto scenes = RuiTocScenes(shots);
+  ExpectPartition(scenes, static_cast<int>(shots.size()));
+  EXPECT_GE(scenes.size(), 3u);
+}
+
+TEST(RuiTocTest, SeparatesDistinctUnits) {
+  const auto shots = ThreeUnits();
+  const auto scenes = RuiTocScenes(shots);
+  // No scene mixes the first and last unit.
+  for (const auto& scene : scenes) {
+    bool has_a = false, has_c = false;
+    for (int s : scene) {
+      has_a |= s < 4;
+      has_c |= s >= 8;
+    }
+    EXPECT_FALSE(has_a && has_c);
+  }
+}
+
+TEST(RuiTocTest, EmptyInput) { EXPECT_TRUE(RuiTocScenes({}).empty()); }
+
+TEST(LinZhangTest, PartitionsAllShots) {
+  const auto shots = ThreeUnits();
+  const auto scenes = LinZhangScenes(shots);
+  ExpectPartition(scenes, static_cast<int>(shots.size()));
+}
+
+TEST(LinZhangTest, SplitsAtHardBoundaries) {
+  const auto shots = ThreeUnits();
+  const auto scenes = LinZhangScenes(shots);
+  EXPECT_EQ(scenes.size(), 3u);
+  EXPECT_EQ(scenes[0].size(), 4u);
+}
+
+TEST(LinZhangTest, MergesEverythingWhenSimilar) {
+  std::vector<shot::Shot> shots;
+  for (int i = 0; i < 8; ++i) shots.push_back(MakeShot(i, 40));
+  EXPECT_EQ(LinZhangScenes(shots).size(), 1u);
+}
+
+TEST(YeungStgTest, PartitionsAllShots) {
+  const auto shots = ThreeUnits();
+  const auto scenes = YeungStgScenes(shots);
+  ExpectPartition(scenes, static_cast<int>(shots.size()));
+}
+
+TEST(YeungStgTest, AlternationStaysOneStoryUnit) {
+  // A B A B A B: time-constrained clusters span boundaries, so the STG
+  // has no cut edge inside the alternation.
+  std::vector<shot::Shot> shots;
+  for (int i = 0; i < 6; ++i) {
+    shots.push_back(MakeShot(i, i % 2 == 0 ? 10 : 50));
+  }
+  const auto scenes = YeungStgScenes(shots);
+  EXPECT_EQ(scenes.size(), 1u);
+}
+
+TEST(YeungStgTest, HardChangeSplits) {
+  const auto shots = ThreeUnits();
+  EXPECT_GE(YeungStgScenes(shots).size(), 3u);
+}
+
+}  // namespace
+}  // namespace classminer::baselines

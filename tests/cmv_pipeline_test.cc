@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "core/cmv_pipeline.h"
+#include "core/metrics.h"
+#include "media/draw.h"
+#include "media/ppm.h"
+#include "skim/playback.h"
+#include "skim/skimmer.h"
+#include "synth/corpus.h"
+#include "util/rng.h"
+#include "util/serial.h"
+
+namespace classminer {
+namespace {
+
+class CmvPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    generated_ = new synth::GeneratedVideo(
+        synth::GenerateVideo(synth::QuickScript(31)));
+    codec::EncoderOptions eopts;
+    eopts.quality = 6;
+    file_ = new codec::CmvFile(core::PackGeneratedVideo(*generated_, eopts));
+  }
+  static void TearDownTestSuite() {
+    delete file_;
+    delete generated_;
+    file_ = nullptr;
+    generated_ = nullptr;
+  }
+
+  static synth::GeneratedVideo* generated_;
+  static codec::CmvFile* file_;
+};
+
+synth::GeneratedVideo* CmvPipelineTest::generated_ = nullptr;
+codec::CmvFile* CmvPipelineTest::file_ = nullptr;
+
+TEST_F(CmvPipelineTest, PackEmbedsAudio) {
+  EXPECT_EQ(file_->audio_sample_rate, generated_->audio.sample_rate());
+  EXPECT_EQ(file_->audio_pcm.size(), generated_->audio.sample_count());
+  EXPECT_EQ(file_->frame_count(), generated_->video.frame_count());
+}
+
+TEST_F(CmvPipelineTest, MineFromCompressedMatchesTruth) {
+  util::StatusOr<core::MiningResult> mined = core::MineCmvFile(*file_);
+  ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+  const core::CutScore cuts = core::ScoreCuts(
+      mined->shot_trace.cuts, generated_->truth.CutPositions());
+  EXPECT_GE(cuts.recall, 0.9);
+  EXPECT_GE(cuts.precision, 0.9);
+  // Events survive the codec round trip.
+  core::EventScoreTable table;
+  core::AccumulateEventScores(mined->structure, mined->events,
+                              generated_->truth, &table);
+  core::FinalizeEventScores(&table);
+  EXPECT_GE(table.Average().recall, 0.5);
+}
+
+TEST_F(CmvPipelineTest, FastPathFindsSameShotCount) {
+  util::StatusOr<core::MiningResult> full = core::MineCmvFile(*file_);
+  util::StatusOr<core::MiningResult> fast =
+      core::MineCmvFileFast(*file_, core::MiningOptions());
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(fast.ok());
+  const int d = static_cast<int>(full->structure.shots.size()) -
+                static_cast<int>(fast->structure.shots.size());
+  EXPECT_LE(std::abs(d), 2) << "pixel vs DC shot counts diverged";
+}
+
+TEST_F(CmvPipelineTest, CorruptFileSurfacesError) {
+  codec::CmvFile broken = *file_;
+  broken.width = 0;
+  EXPECT_FALSE(core::MineCmvFile(broken).ok());
+}
+
+TEST(PpmTest, RoundTrip) {
+  util::Rng rng(9);
+  media::Image img(17, 11);
+  media::AddNoise(&img, 255, &rng);
+  const std::string path = ::testing::TempDir() + "/round.ppm";
+  ASSERT_TRUE(media::WritePpm(img, path).ok());
+  util::StatusOr<media::Image> back = media::ReadPpm(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, img);
+}
+
+TEST(PpmTest, GrayExport) {
+  media::GrayImage gray(4, 4, 128);
+  const std::string path = ::testing::TempDir() + "/gray.ppm";
+  ASSERT_TRUE(media::WritePpm(gray, path).ok());
+  util::StatusOr<media::Image> back = media::ReadPpm(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->at(2, 2), (media::Rgb{128, 128, 128}));
+}
+
+TEST(PpmTest, RejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/garbage.ppm";
+  ASSERT_TRUE(util::WriteFile(path, {'X', 'Y', 'Z'}).ok());
+  EXPECT_FALSE(media::ReadPpm(path).ok());
+}
+
+TEST(PlaybackTest, PlanMatchesSkimTrack) {
+  const synth::GeneratedVideo g =
+      synth::GenerateVideo(synth::QuickScript(32));
+  core::MiningResult mined = core::MineVideo(g.video, g.audio);
+  const skim::ScalableSkim sk(&mined.structure);
+  const double fps = g.video.fps();
+
+  const auto plan1 = skim::BuildPlaybackPlan(sk, 1, fps);
+  EXPECT_EQ(plan1.size(), mined.structure.shots.size());
+  // Level 1 plays everything: duration equals the full video.
+  EXPECT_NEAR(skim::PlanDurationSeconds(plan1), g.video.DurationSeconds(),
+              0.2);
+
+  const auto plan3 = skim::BuildPlaybackPlan(sk, 3, fps);
+  EXPECT_LT(skim::PlanDurationSeconds(plan3),
+            skim::PlanDurationSeconds(plan1));
+  // Segments are ordered and non-overlapping.
+  for (size_t i = 1; i < plan3.size(); ++i) {
+    EXPECT_GE(plan3[i].start_sec, plan3[i - 1].end_sec - 1e-9);
+  }
+}
+
+TEST(PlaybackTest, LevelSwitchResumesForward) {
+  const synth::GeneratedVideo g =
+      synth::GenerateVideo(synth::QuickScript(33));
+  core::MiningResult mined = core::MineVideo(g.video, g.audio);
+  const skim::ScalableSkim sk(&mined.structure);
+  const auto plan = skim::BuildPlaybackPlan(sk, 2, g.video.fps());
+  ASSERT_GE(plan.size(), 2u);
+  // Resuming from before everything lands on segment 0; from mid-video it
+  // lands on a segment ending after the position.
+  EXPECT_EQ(skim::ResumeIndexAfterSwitch(plan, 0.0), 0u);
+  const double mid = g.video.DurationSeconds() / 2.0;
+  const size_t idx = skim::ResumeIndexAfterSwitch(plan, mid);
+  EXPECT_GT(plan[idx].end_sec, mid);
+  // Past the end: clamps to the final segment.
+  EXPECT_EQ(skim::ResumeIndexAfterSwitch(plan, 1e9),
+            plan.size() - 1);
+}
+
+}  // namespace
+}  // namespace classminer

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/classminer.h"
+#include "synth/corpus.h"
+#include "util/threadpool.h"
+
+namespace classminer {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  util::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  util::ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEachIndexOnce) {
+  util::ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(57);
+  util::ParallelFor(&pool, 57, [&hits](int i) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorkerEvenForZero) {
+  util::ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1);
+  std::atomic<bool> ran{false};
+  pool.Schedule([&ran] { ran = true; });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ParallelMiningTest, MatchesSerialResults) {
+  // Two small videos; parallel ingest must be bit-identical to serial.
+  const synth::GeneratedVideo a =
+      synth::GenerateVideo(synth::QuickScript(81));
+  const synth::GeneratedVideo b =
+      synth::GenerateVideo(synth::QuickScript(82));
+
+  const core::MiningResult sa = core::MineVideo(a.video, a.audio);
+  const core::MiningResult sb = core::MineVideo(b.video, b.audio);
+
+  const std::vector<core::MiningInput> inputs{{&a.video, &a.audio},
+                                              {&b.video, &b.audio}};
+  const std::vector<core::MiningResult> parallel =
+      core::MineVideosParallel(inputs, core::MiningOptions(), 2);
+  ASSERT_EQ(parallel.size(), 2u);
+
+  auto expect_same = [](const core::MiningResult& serial,
+                        const core::MiningResult& par) {
+    EXPECT_EQ(par.shot_trace.cuts, serial.shot_trace.cuts);
+    ASSERT_EQ(par.structure.shots.size(), serial.structure.shots.size());
+    EXPECT_EQ(par.structure.groups.size(), serial.structure.groups.size());
+    EXPECT_EQ(par.structure.scenes.size(), serial.structure.scenes.size());
+    ASSERT_EQ(par.events.size(), serial.events.size());
+    for (size_t i = 0; i < serial.events.size(); ++i) {
+      EXPECT_EQ(par.events[i].type, serial.events[i].type);
+    }
+  };
+  expect_same(sa, parallel[0]);
+  expect_same(sb, parallel[1]);
+}
+
+}  // namespace
+}  // namespace classminer

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "cues/blood.h"
+#include "cues/cue_extractor.h"
+#include "cues/face.h"
+#include "cues/skin.h"
+#include "cues/special_frames.h"
+#include "media/color.h"
+#include "media/draw.h"
+#include "util/rng.h"
+
+namespace classminer::cues {
+namespace {
+
+media::Image NaturalFrame(uint64_t seed, media::Rgb base = {90, 110, 140}) {
+  util::Rng rng(seed);
+  media::Image img(96, 72);
+  media::FillGradient(&img, base,
+                      media::Rgb{static_cast<uint8_t>(base.r / 2),
+                                 static_cast<uint8_t>(base.g / 2),
+                                 static_cast<uint8_t>(base.b / 2)});
+  media::AddNoise(&img, 5, &rng);
+  return img;
+}
+
+media::Image SlideFrame(uint64_t seed) {
+  util::Rng rng(seed);
+  media::Image img(96, 72, media::Rgb{235, 232, 224});
+  media::FillRect(&img, 0, 0, 96, 9, media::Rgb{60, 90, 180});
+  for (int i = 0; i < 5; ++i) {
+    media::DrawTextLine(&img, 10, 18 + i * 8, 70, 2, media::Rgb{40, 40, 48},
+                        &rng);
+  }
+  return img;
+}
+
+media::Image FaceFrame(uint64_t seed, double scale = 1.0) {
+  util::Rng rng(seed);
+  media::Image img(96, 72);
+  media::FillGradient(&img, media::Rgb{70, 90, 130}, media::Rgb{30, 40, 60});
+  const media::Rgb skin{205, 150, 120};
+  const int cx = 48, cy = 30;
+  const int rx = static_cast<int>(23 * scale), ry = static_cast<int>(23 * scale);
+  media::FillEllipse(&img, cx, cy, rx, ry, skin);
+  // Eyes and mouth.
+  media::FillEllipse(&img, cx - 9, cy - 4, 4, 2, media::Rgb{30, 26, 24});
+  media::FillEllipse(&img, cx + 9, cy - 4, 4, 2, media::Rgb{30, 26, 24});
+  media::FillRect(&img, cx - 8, cy + 12, 16, 3, media::Rgb{95, 42, 42});
+  media::AddNoise(&img, 4, &rng);
+  return img;
+}
+
+TEST(SpecialFrameTest, BlackFrame) {
+  util::Rng rng(1);
+  media::Image img(96, 72, media::Rgb{8, 8, 10});
+  media::AddNoise(&img, 3, &rng);
+  EXPECT_EQ(ClassifySpecialFrame(img), SpecialFrameType::kBlack);
+}
+
+TEST(SpecialFrameTest, SlideDetected) {
+  EXPECT_EQ(ClassifySpecialFrame(SlideFrame(2)), SpecialFrameType::kSlide);
+}
+
+TEST(SpecialFrameTest, NaturalFrameIsNone) {
+  EXPECT_EQ(ClassifySpecialFrame(NaturalFrame(3)), SpecialFrameType::kNone);
+  EXPECT_EQ(ClassifySpecialFrame(FaceFrame(4)), SpecialFrameType::kNone);
+}
+
+TEST(SpecialFrameTest, SketchDetected) {
+  media::Image img(96, 72, media::Rgb{248, 248, 246});
+  const media::Rgb line{50, 50, 54};
+  media::FillEllipse(&img, 48, 36, 28, 20, line);
+  media::FillEllipse(&img, 48, 36, 26, 18, media::Rgb{248, 248, 246});
+  media::DrawHLine(&img, 70, 92, 20, line);
+  media::DrawHLine(&img, 70, 92, 32, line);
+  EXPECT_EQ(ClassifySpecialFrame(img), SpecialFrameType::kSketch);
+}
+
+TEST(SpecialFrameTest, ClipArtDetected) {
+  media::Image img(96, 72, media::Rgb{240, 240, 236});
+  media::FillRect(&img, 10, 10, 25, 16, media::Rgb{200, 90, 40});
+  media::FillRect(&img, 55, 40, 25, 16, media::Rgb{60, 140, 200});
+  media::DrawHLine(&img, 22, 67, 33, media::Rgb{40, 40, 48});
+  const SpecialFrameType type = ClassifySpecialFrame(img);
+  EXPECT_TRUE(type == SpecialFrameType::kClipArt ||
+              type == SpecialFrameType::kSlide)
+      << SpecialFrameTypeName(type);
+}
+
+TEST(SpecialFrameTest, StatsSaneOnNatural) {
+  const FrameStats s = ComputeFrameStats(NaturalFrame(5));
+  EXPECT_GT(s.noise_level, 1.0);
+  EXPECT_LT(s.flat_fraction, 0.5);
+  EXPECT_GT(s.mean_luma, 20.0);
+}
+
+TEST(SkinTest, DetectsLargeSkinRegion) {
+  util::Rng rng(6);
+  media::Image img(96, 72);
+  media::FillGradient(&img, media::Rgb{60, 70, 90}, media::Rgb{30, 35, 45});
+  media::FillEllipse(&img, 48, 36, 40, 28, media::Rgb{205, 150, 120});
+  media::AddNoise(&img, 4, &rng);
+  const SkinDetection det = DetectSkin(img);
+  ASSERT_FALSE(det.regions.empty());
+  EXPECT_GT(det.max_region_fraction, 0.2);
+}
+
+TEST(SkinTest, RejectsNonSkinColours) {
+  EXPECT_TRUE(DetectSkin(NaturalFrame(7)).regions.empty());
+  // Saturated green frame.
+  util::Rng rng(8);
+  media::Image img(96, 72, media::Rgb{40, 200, 60});
+  media::AddNoise(&img, 4, &rng);
+  EXPECT_TRUE(DetectSkin(img).regions.empty());
+}
+
+TEST(SkinTest, ModelAcceptsSkinRejectsBlood) {
+  const ChromaGaussian skin = DefaultSkinModel();
+  EXPECT_TRUE(skin.Accepts(media::Rgb{205, 150, 120}));
+  EXPECT_TRUE(skin.Accepts(media::Rgb{190, 140, 110}));
+  EXPECT_FALSE(skin.Accepts(media::Rgb{140, 45, 40}));   // blood
+  EXPECT_FALSE(skin.Accepts(media::Rgb{128, 128, 128}));  // grey
+}
+
+TEST(BloodTest, ModelAcceptsBloodRejectsSkin) {
+  const ChromaGaussian blood = DefaultBloodModel();
+  EXPECT_TRUE(blood.Accepts(media::Rgb{140, 45, 40}));
+  EXPECT_FALSE(blood.Accepts(media::Rgb{205, 150, 120}));
+}
+
+TEST(BloodTest, DetectsBloodBlob) {
+  util::Rng rng(9);
+  media::Image img(96, 72, media::Rgb{205, 150, 120});  // tissue field
+  media::FillEllipse(&img, 48, 36, 20, 14, media::Rgb{140, 45, 40});
+  media::AddNoise(&img, 4, &rng);
+  const SkinDetection det = DetectBlood(img);
+  ASSERT_FALSE(det.regions.empty());
+  EXPECT_GT(det.max_region_fraction, 0.05);
+}
+
+TEST(FaceTest, DetectsSyntheticFace) {
+  const FaceDetection det = DetectFaces(FaceFrame(10));
+  ASSERT_TRUE(det.has_face);
+  EXPECT_TRUE(det.has_closeup);
+  EXPECT_GT(det.max_face_fraction, 0.10);
+}
+
+TEST(FaceTest, SkinBlobWithoutFeaturesRejected) {
+  // A featureless skin ellipse (no eyes/mouth) must fail verification.
+  util::Rng rng(11);
+  media::Image img(96, 72);
+  media::FillGradient(&img, media::Rgb{70, 90, 130}, media::Rgb{30, 40, 60});
+  media::FillEllipse(&img, 48, 30, 23, 23, media::Rgb{205, 150, 120});
+  media::AddNoise(&img, 4, &rng);
+  EXPECT_FALSE(DetectFaces(img).has_face);
+}
+
+TEST(FaceTest, ProfileScoreHigherWithFeatures) {
+  const media::Image with = FaceFrame(12);
+  const FaceDetection det = DetectFaces(with);
+  ASSERT_TRUE(det.has_face);
+  EXPECT_GT(det.faces[0].profile_score, 0.3);
+}
+
+TEST(CueExtractorTest, SlideShortCircuitsRegions) {
+  const FrameCues cues = ExtractFrameCues(SlideFrame(13));
+  EXPECT_EQ(cues.special, SpecialFrameType::kSlide);
+  EXPECT_FALSE(cues.has_face);
+  EXPECT_FALSE(cues.has_skin_region);
+  EXPECT_TRUE(cues.IsSlideOrClipArt());
+}
+
+TEST(CueExtractorTest, FaceFrameCues) {
+  const FrameCues cues = ExtractFrameCues(FaceFrame(14));
+  EXPECT_EQ(cues.special, SpecialFrameType::kNone);
+  EXPECT_TRUE(cues.has_face);
+  EXPECT_TRUE(cues.face_closeup);
+  EXPECT_TRUE(cues.has_skin_region);
+}
+
+TEST(CueExtractorTest, SkinCloseupFlag) {
+  util::Rng rng(15);
+  media::Image img(96, 72);
+  media::FillGradient(&img, media::Rgb{60, 70, 90}, media::Rgb{30, 35, 45});
+  media::FillEllipse(&img, 48, 36, 40, 28, media::Rgb{205, 150, 120});
+  media::AddNoise(&img, 4, &rng);
+  const FrameCues cues = ExtractFrameCues(img);
+  EXPECT_TRUE(cues.skin_closeup);
+  EXPECT_GE(cues.max_skin_fraction, 0.20);
+}
+
+}  // namespace
+}  // namespace classminer::cues

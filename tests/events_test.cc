@@ -1,0 +1,216 @@
+// Unit tests for the Sec. 4.3 rule engine on hand-built structures, cues
+// and audio analyses (no full pipeline involved).
+
+#include <gtest/gtest.h>
+
+#include "events/event_miner.h"
+#include "synth/audio_generator.h"
+#include "util/rng.h"
+
+namespace classminer::events {
+namespace {
+
+// One scene of `n` shots in one group.
+structure::ContentStructure OneSceneStructure(int n, bool temporal) {
+  structure::ContentStructure cs;
+  for (int i = 0; i < n; ++i) {
+    shot::Shot s;
+    s.index = i;
+    s.start_frame = i * 30;
+    s.end_frame = i * 30 + 29;
+    cs.shots.push_back(s);
+  }
+  structure::Group g;
+  g.index = 0;
+  g.start_shot = 0;
+  g.end_shot = n - 1;
+  g.temporally_related = temporal;
+  cs.groups.push_back(g);
+  structure::Scene scene;
+  scene.index = 0;
+  scene.start_group = 0;
+  scene.end_group = 0;
+  scene.rep_group = 0;
+  cs.scenes.push_back(scene);
+  return cs;
+}
+
+audio::ShotAudioAnalysis SpeechAnalysis(int shot, int speaker,
+                                        uint64_t seed) {
+  audio::AudioBuffer buf(16000);
+  util::Rng rng(seed);
+  synth::AppendSpeech(&buf, synth::MakeSpeakerVoice(speaker), 2.5, &rng);
+  audio::SpeakerSegmenter seg;
+  audio::ShotAudioAnalysis a = seg.AnalyzeShot(buf, 0.0, 2.5, shot);
+  a.shot_index = shot;
+  return a;
+}
+
+audio::ShotAudioAnalysis SilentAnalysis(int shot) {
+  audio::ShotAudioAnalysis a;
+  a.shot_index = shot;
+  a.analyzable = true;
+  a.has_speech = false;
+  return a;
+}
+
+cues::FrameCues SlideCues() {
+  cues::FrameCues c;
+  c.special = cues::SpecialFrameType::kSlide;
+  return c;
+}
+
+cues::FrameCues FaceCues(bool closeup = true) {
+  cues::FrameCues c;
+  c.has_face = true;
+  c.face_closeup = closeup;
+  c.has_skin_region = true;
+  c.max_face_fraction = closeup ? 0.15 : 0.05;
+  return c;
+}
+
+cues::FrameCues SkinCues() {
+  cues::FrameCues c;
+  c.has_skin_region = true;
+  c.skin_closeup = true;
+  c.max_skin_fraction = 0.4;
+  return c;
+}
+
+cues::FrameCues BloodCues() {
+  cues::FrameCues c;
+  c.has_blood = true;
+  c.max_blood_fraction = 0.1;
+  return c;
+}
+
+TEST(EventMinerTest, PresentationDetected) {
+  auto cs = OneSceneStructure(4, /*temporal=*/true);
+  std::vector<cues::FrameCues> shot_cues{SlideCues(), FaceCues(), SlideCues(),
+                                         FaceCues()};
+  // Same presenter throughout.
+  std::vector<audio::ShotAudioAnalysis> shot_audio;
+  for (int i = 0; i < 4; ++i) {
+    shot_audio.push_back(SpeechAnalysis(i, /*speaker=*/1, 100 + i));
+  }
+  EventMiner miner(&cs, &shot_cues, &shot_audio);
+  const EventRecord rec = miner.ClassifyScene(cs.scenes[0]);
+  EXPECT_EQ(rec.type, EventType::kPresentation);
+  EXPECT_TRUE(rec.has_slide);
+  EXPECT_TRUE(rec.has_face_closeup);
+  EXPECT_FALSE(rec.any_speaker_change);
+}
+
+TEST(EventMinerTest, PresentationBlockedBySpeakerChange) {
+  auto cs = OneSceneStructure(4, true);
+  std::vector<cues::FrameCues> shot_cues{SlideCues(), FaceCues(), SlideCues(),
+                                         FaceCues()};
+  std::vector<audio::ShotAudioAnalysis> shot_audio{
+      SpeechAnalysis(0, 1, 110), SpeechAnalysis(1, 2, 111),
+      SpeechAnalysis(2, 1, 112), SpeechAnalysis(3, 2, 113)};
+  EventMiner miner(&cs, &shot_cues, &shot_audio);
+  EXPECT_NE(miner.ClassifyScene(cs.scenes[0]).type,
+            EventType::kPresentation);
+}
+
+TEST(EventMinerTest, PresentationNeedsTemporalGroup) {
+  auto cs = OneSceneStructure(4, /*temporal=*/false);
+  std::vector<cues::FrameCues> shot_cues{SlideCues(), FaceCues(), SlideCues(),
+                                         FaceCues()};
+  std::vector<audio::ShotAudioAnalysis> shot_audio;
+  for (int i = 0; i < 4; ++i) shot_audio.push_back(SpeechAnalysis(i, 1, 120 + i));
+  EventMiner miner(&cs, &shot_cues, &shot_audio);
+  EXPECT_NE(miner.ClassifyScene(cs.scenes[0]).type,
+            EventType::kPresentation);
+}
+
+TEST(EventMinerTest, DialogDetected) {
+  auto cs = OneSceneStructure(4, true);
+  std::vector<cues::FrameCues> shot_cues{FaceCues(), FaceCues(), FaceCues(),
+                                         FaceCues()};
+  // A-B-A-B alternation: changes at every boundary, speaker A duplicated.
+  std::vector<audio::ShotAudioAnalysis> shot_audio{
+      SpeechAnalysis(0, 5, 130), SpeechAnalysis(1, 6, 131),
+      SpeechAnalysis(2, 5, 132), SpeechAnalysis(3, 6, 133)};
+  EventMiner miner(&cs, &shot_cues, &shot_audio);
+  const EventRecord rec = miner.ClassifyScene(cs.scenes[0]);
+  EXPECT_EQ(rec.type, EventType::kDialog);
+  EXPECT_TRUE(rec.dialog_speaker_duplicated);
+}
+
+TEST(EventMinerTest, TwoShotExchangeIsNotDialog) {
+  // A single A-B exchange has no duplicated speaker.
+  auto cs = OneSceneStructure(2, true);
+  std::vector<cues::FrameCues> shot_cues{FaceCues(), FaceCues()};
+  std::vector<audio::ShotAudioAnalysis> shot_audio{
+      SpeechAnalysis(0, 5, 140), SpeechAnalysis(1, 6, 141)};
+  EventMiner miner(&cs, &shot_cues, &shot_audio);
+  EXPECT_NE(miner.ClassifyScene(cs.scenes[0]).type, EventType::kDialog);
+}
+
+TEST(EventMinerTest, ClinicalViaSkinCloseup) {
+  auto cs = OneSceneStructure(3, false);
+  std::vector<cues::FrameCues> shot_cues{SkinCues(), cues::FrameCues{},
+                                         cues::FrameCues{}};
+  std::vector<audio::ShotAudioAnalysis> shot_audio{
+      SilentAnalysis(0), SilentAnalysis(1), SilentAnalysis(2)};
+  EventMiner miner(&cs, &shot_cues, &shot_audio);
+  EXPECT_EQ(miner.ClassifyScene(cs.scenes[0]).type,
+            EventType::kClinicalOperation);
+}
+
+TEST(EventMinerTest, ClinicalViaBlood) {
+  auto cs = OneSceneStructure(3, false);
+  std::vector<cues::FrameCues> shot_cues{cues::FrameCues{}, BloodCues(),
+                                         cues::FrameCues{}};
+  std::vector<audio::ShotAudioAnalysis> shot_audio{
+      SilentAnalysis(0), SilentAnalysis(1), SilentAnalysis(2)};
+  EventMiner miner(&cs, &shot_cues, &shot_audio);
+  EXPECT_EQ(miner.ClassifyScene(cs.scenes[0]).type,
+            EventType::kClinicalOperation);
+}
+
+TEST(EventMinerTest, ClinicalViaMajoritySkin) {
+  auto cs = OneSceneStructure(4, false);
+  cues::FrameCues skin_only;
+  skin_only.has_skin_region = true;
+  std::vector<cues::FrameCues> shot_cues{skin_only, skin_only, skin_only,
+                                         cues::FrameCues{}};
+  std::vector<audio::ShotAudioAnalysis> shot_audio{
+      SilentAnalysis(0), SilentAnalysis(1), SilentAnalysis(2),
+      SilentAnalysis(3)};
+  EventMiner miner(&cs, &shot_cues, &shot_audio);
+  EXPECT_EQ(miner.ClassifyScene(cs.scenes[0]).type,
+            EventType::kClinicalOperation);
+}
+
+TEST(EventMinerTest, EquipmentSceneUndetermined) {
+  auto cs = OneSceneStructure(3, false);
+  std::vector<cues::FrameCues> shot_cues(3);
+  std::vector<audio::ShotAudioAnalysis> shot_audio{
+      SilentAnalysis(0), SilentAnalysis(1), SilentAnalysis(2)};
+  EventMiner miner(&cs, &shot_cues, &shot_audio);
+  EXPECT_EQ(miner.ClassifyScene(cs.scenes[0]).type,
+            EventType::kUndetermined);
+}
+
+TEST(EventMinerTest, MineAllScenesSkipsEliminated) {
+  auto cs = OneSceneStructure(3, false);
+  cs.scenes[0].eliminated = true;
+  std::vector<cues::FrameCues> shot_cues(3);
+  std::vector<audio::ShotAudioAnalysis> shot_audio{
+      SilentAnalysis(0), SilentAnalysis(1), SilentAnalysis(2)};
+  EventMiner miner(&cs, &shot_cues, &shot_audio);
+  EXPECT_TRUE(miner.MineAllScenes().empty());
+}
+
+TEST(EventTypeTest, Names) {
+  EXPECT_STREQ(EventTypeName(EventType::kPresentation), "presentation");
+  EXPECT_STREQ(EventTypeName(EventType::kDialog), "dialog");
+  EXPECT_STREQ(EventTypeName(EventType::kClinicalOperation),
+               "clinical_operation");
+  EXPECT_STREQ(EventTypeName(EventType::kUndetermined), "undetermined");
+}
+
+}  // namespace
+}  // namespace classminer::events

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "index/access_control.h"
+#include "index/concept.h"
+#include "index/database.h"
+#include "index/hier_index.h"
+#include "index/linear_index.h"
+#include "media/color.h"
+#include "media/draw.h"
+#include "util/rng.h"
+
+namespace classminer::index {
+namespace {
+
+shot::Shot MakeShot(int index, double hue, uint64_t seed) {
+  util::Rng rng(seed + static_cast<uint64_t>(index));
+  media::Image img(48, 36, media::HsvToRgb({hue, 0.7, 0.8}));
+  media::AddNoise(&img, 4, &rng);
+  shot::Shot s;
+  s.index = index;
+  s.start_frame = index * 30;
+  s.end_frame = index * 30 + 29;
+  s.rep_frame = s.start_frame + 9;
+  s.features = features::ExtractShotFeatures(img);
+  return s;
+}
+
+// A video with two scenes (distinct hues), labelled with given events.
+structure::ContentStructure TwoSceneStructure(double hue_a, double hue_b,
+                                              int shots_per_scene,
+                                              uint64_t seed) {
+  structure::ContentStructure cs;
+  for (int i = 0; i < 2 * shots_per_scene; ++i) {
+    cs.shots.push_back(
+        MakeShot(i, i < shots_per_scene ? hue_a : hue_b, seed));
+  }
+  for (int g = 0; g < 2; ++g) {
+    structure::Group group;
+    group.index = g;
+    group.start_shot = g * shots_per_scene;
+    group.end_shot = (g + 1) * shots_per_scene - 1;
+    structure::ShotCluster cluster;
+    for (int s = group.start_shot; s <= group.end_shot; ++s) {
+      cluster.shot_indices.push_back(s);
+    }
+    cluster.rep_shot = group.start_shot;
+    group.clusters.push_back(cluster);
+    group.rep_shots.push_back(group.start_shot);
+    cs.groups.push_back(group);
+
+    structure::Scene scene;
+    scene.index = g;
+    scene.start_group = g;
+    scene.end_group = g;
+    scene.rep_group = g;
+    cs.scenes.push_back(scene);
+  }
+  return cs;
+}
+
+std::vector<events::EventRecord> TwoEvents(events::EventType a,
+                                           events::EventType b) {
+  events::EventRecord r0;
+  r0.scene_index = 0;
+  r0.type = a;
+  events::EventRecord r1;
+  r1.scene_index = 1;
+  r1.type = b;
+  return {r0, r1};
+}
+
+VideoDatabase MakeDatabase() {
+  VideoDatabase db;
+  db.AddVideo("v0", TwoSceneStructure(0, 120, 5, 100),
+              TwoEvents(events::EventType::kPresentation,
+                        events::EventType::kClinicalOperation));
+  db.AddVideo("v1", TwoSceneStructure(60, 200, 5, 200),
+              TwoEvents(events::EventType::kDialog,
+                        events::EventType::kPresentation));
+  return db;
+}
+
+TEST(ConceptTest, MedicalDefaultStructure) {
+  const ConceptHierarchy h = ConceptHierarchy::MedicalDefault();
+  EXPECT_GT(h.node_count(), 8);
+  const int med = h.FindByPath("medical_education/medicine");
+  ASSERT_GE(med, 0);
+  EXPECT_EQ(h.node(med).level, ConceptLevel::kSubcluster);
+  const int pres = h.FindByPath("medical_education/medicine/presentation");
+  ASSERT_GE(pres, 0);
+  EXPECT_EQ(h.node(pres).level, ConceptLevel::kScene);
+  EXPECT_TRUE(h.IsAncestor(med, pres));
+  EXPECT_FALSE(h.IsAncestor(pres, med));
+  EXPECT_EQ(h.PathOf(pres), "medical_education/medicine/presentation");
+}
+
+TEST(ConceptTest, EventMapping) {
+  const ConceptHierarchy h = ConceptHierarchy::MedicalDefault();
+  EXPECT_EQ(h.node(h.SceneNodeForEvent(events::EventType::kPresentation)).name,
+            "presentation");
+  EXPECT_EQ(
+      h.node(h.SceneNodeForEvent(events::EventType::kClinicalOperation)).name,
+      "clinical_operation");
+}
+
+TEST(ConceptTest, FromSpecBuildsTree) {
+  util::StatusOr<ConceptHierarchy> h = ConceptHierarchy::FromSpec({
+      "education/medicine/presentation:1",
+      "education/medicine/dialog",
+      "# comment",
+      "reports/radiology:3",
+  });
+  ASSERT_TRUE(h.ok());
+  const int pres = h->FindByPath("education/medicine/presentation");
+  ASSERT_GE(pres, 0);
+  EXPECT_EQ(h->node(pres).security_level, 1);
+  EXPECT_EQ(h->node(h->FindByPath("reports/radiology")).security_level, 3);
+  EXPECT_EQ(h->FindByPath("education/nothing"), -1);
+}
+
+TEST(DatabaseTest, ShotAccounting) {
+  const VideoDatabase db = MakeDatabase();
+  EXPECT_EQ(db.video_count(), 2);
+  EXPECT_EQ(db.TotalShotCount(), 20u);
+  EXPECT_EQ(db.AllShots().size(), 20u);
+  EXPECT_EQ(db.video(0).EventOfShot(2), events::EventType::kPresentation);
+  EXPECT_EQ(db.video(0).EventOfShot(7),
+            events::EventType::kClinicalOperation);
+  EXPECT_EQ(db.video(0).SceneOfShot(7), 1);
+}
+
+TEST(LinearIndexTest, ExactMatchRanksFirst) {
+  const VideoDatabase db = MakeDatabase();
+  LinearIndex idx(&db);
+  const ShotRef target{1, 3};
+  QueryStats stats;
+  const std::vector<QueryMatch> matches =
+      idx.Search(db.Features(target), 5, &stats);
+  ASSERT_EQ(matches.size(), 5u);
+  EXPECT_EQ(matches[0].ref, target);
+  EXPECT_NEAR(matches[0].similarity, 1.0, 1e-9);
+  EXPECT_EQ(stats.shot_comparisons, 20u);
+}
+
+TEST(LinearIndexTest, ResultsSortedDescending) {
+  const VideoDatabase db = MakeDatabase();
+  LinearIndex idx(&db);
+  const std::vector<QueryMatch> matches =
+      idx.Search(db.Features({0, 0}), 20);
+  for (size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_GE(matches[i - 1].similarity, matches[i].similarity);
+  }
+}
+
+TEST(HierIndexTest, IndexesEveryShot) {
+  const VideoDatabase db = MakeDatabase();
+  const ConceptHierarchy concepts = ConceptHierarchy::MedicalDefault();
+  HierarchicalIndex idx(&db, &concepts);
+  EXPECT_EQ(idx.TotalIndexedShots(), db.TotalShotCount());
+  EXPECT_GE(idx.cluster_count(), 3u);
+}
+
+TEST(HierIndexTest, ExactMatchFoundWithFewerComparisons) {
+  const VideoDatabase db = MakeDatabase();
+  const ConceptHierarchy concepts = ConceptHierarchy::MedicalDefault();
+  HierarchicalIndex idx(&db, &concepts);
+  const ShotRef target{0, 2};
+  QueryStats stats;
+  const std::vector<QueryMatch> matches =
+      idx.Search(db.Features(target), 3, &stats);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].ref, target);
+  EXPECT_NEAR(matches[0].similarity, 1.0, 1e-9);
+  // The pruned search must touch far fewer shots than the full scan.
+  EXPECT_LT(stats.shot_comparisons, db.TotalShotCount());
+}
+
+TEST(HierIndexTest, AgreesWithLinearOnTopResult) {
+  const VideoDatabase db = MakeDatabase();
+  const ConceptHierarchy concepts = ConceptHierarchy::MedicalDefault();
+  HierarchicalIndex::Options opts;
+  opts.beam_width = 2;
+  HierarchicalIndex hier(&db, &concepts, opts);
+  LinearIndex linear(&db);
+  for (const ShotRef& q : db.AllShots()) {
+    const auto lm = linear.Search(db.Features(q), 1);
+    const auto hm = hier.Search(db.Features(q), 1);
+    ASSERT_FALSE(hm.empty());
+    EXPECT_NEAR(hm[0].similarity, lm[0].similarity, 1e-9)
+        << "query " << q.video_id << ":" << q.shot_index;
+  }
+}
+
+TEST(AccessControlTest, ClearanceGatesClinical) {
+  const VideoDatabase db = MakeDatabase();
+  const ConceptHierarchy concepts = ConceptHierarchy::MedicalDefault();
+  AccessController ac(&concepts);
+
+  UserCredential student;
+  student.clearance = 1;
+  UserCredential surgeon;
+  surgeon.clearance = 3;
+
+  const ShotRef clinical{0, 7};      // clinical scene (security level 2)
+  const ShotRef presentation{0, 1};  // presentation scene (level 0)
+  EXPECT_FALSE(ac.CanAccessShot(student, db, clinical));
+  EXPECT_TRUE(ac.CanAccessShot(surgeon, db, clinical));
+  EXPECT_TRUE(ac.CanAccessShot(student, db, presentation));
+}
+
+TEST(AccessControlTest, DenyRuleOverridesClearance) {
+  const VideoDatabase db = MakeDatabase();
+  const ConceptHierarchy concepts = ConceptHierarchy::MedicalDefault();
+  AccessController ac(&concepts);
+  UserCredential user;
+  user.clearance = 5;
+  user.denied_nodes.insert(concepts.FindByName("dialog"));
+  EXPECT_FALSE(ac.CanAccessShot(user, db, ShotRef{1, 2}));  // dialog scene
+  EXPECT_TRUE(ac.CanAccessShot(user, db, ShotRef{0, 1}));
+}
+
+TEST(AccessControlTest, AncestorDenialPropagates) {
+  const ConceptHierarchy concepts = ConceptHierarchy::MedicalDefault();
+  AccessController ac(&concepts);
+  UserCredential user;
+  user.clearance = 5;
+  user.denied_nodes.insert(concepts.FindByName("medicine"));
+  EXPECT_FALSE(ac.CanAccessNode(user, concepts.FindByName("presentation")));
+}
+
+TEST(AccessControlTest, FilterMatchesDropsForbidden) {
+  const VideoDatabase db = MakeDatabase();
+  const ConceptHierarchy concepts = ConceptHierarchy::MedicalDefault();
+  AccessController ac(&concepts);
+  LinearIndex idx(&db);
+  UserCredential student;
+  student.clearance = 1;
+  const auto all = idx.Search(db.Features({0, 7}), 20);
+  const auto filtered = ac.FilterMatches(student, db, all);
+  EXPECT_LT(filtered.size(), all.size());
+  for (const QueryMatch& m : filtered) {
+    EXPECT_NE(db.video(m.ref.video_id).EventOfShot(m.ref.shot_index),
+              events::EventType::kClinicalOperation);
+  }
+}
+
+// Monotonicity property: higher clearance never sees fewer results.
+class ClearanceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClearanceSweep, MonotoneAccess) {
+  const VideoDatabase db = MakeDatabase();
+  const ConceptHierarchy concepts = ConceptHierarchy::MedicalDefault();
+  AccessController ac(&concepts);
+  LinearIndex idx(&db);
+  const auto all = idx.Search(db.Features({0, 0}), 20);
+
+  UserCredential lower;
+  lower.clearance = GetParam();
+  UserCredential higher;
+  higher.clearance = GetParam() + 1;
+  EXPECT_LE(ac.FilterMatches(lower, db, all).size(),
+            ac.FilterMatches(higher, db, all).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, ClearanceSweep, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace classminer::index

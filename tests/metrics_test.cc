@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+
+namespace classminer::core {
+namespace {
+
+// Truth: 2 scenes of 2 shots each, 30 frames per shot.
+synth::GroundTruth MakeTruth() {
+  synth::GroundTruth truth;
+  for (int i = 0; i < 4; ++i) {
+    synth::ShotTruth s;
+    s.index = i;
+    s.start_frame = i * 30;
+    s.end_frame = i * 30 + 29;
+    s.scene_index = i / 2;
+    truth.shots.push_back(s);
+  }
+  synth::SceneTruth a;
+  a.index = 0;
+  a.kind = synth::SceneKind::kPresentation;
+  a.start_shot = 0;
+  a.end_shot = 1;
+  synth::SceneTruth b;
+  b.index = 1;
+  b.kind = synth::SceneKind::kClinicalOperation;
+  b.start_shot = 2;
+  b.end_shot = 3;
+  truth.scenes = {a, b};
+  return truth;
+}
+
+std::vector<shot::Shot> AlignedShots() {
+  std::vector<shot::Shot> shots;
+  for (int i = 0; i < 4; ++i) {
+    shot::Shot s;
+    s.index = i;
+    s.start_frame = i * 30;
+    s.end_frame = i * 30 + 29;
+    s.rep_frame = s.start_frame + 9;
+    shots.push_back(s);
+  }
+  return shots;
+}
+
+TEST(SceneScoreTest, PerfectDetection) {
+  const auto truth = MakeTruth();
+  const auto shots = AlignedShots();
+  const std::vector<std::vector<int>> scenes{{0, 1}, {2, 3}};
+  const SceneDetectionScore score = ScoreSceneDetection(shots, scenes, truth);
+  EXPECT_EQ(score.detected_scenes, 2);
+  EXPECT_EQ(score.correct_scenes, 2);
+  EXPECT_DOUBLE_EQ(score.precision, 1.0);
+  EXPECT_DOUBLE_EQ(score.crf, 0.5);
+}
+
+TEST(SceneScoreTest, MixedSceneIsWrong) {
+  const auto truth = MakeTruth();
+  const auto shots = AlignedShots();
+  const std::vector<std::vector<int>> scenes{{0, 1, 2}, {3}};
+  const SceneDetectionScore score = ScoreSceneDetection(shots, scenes, truth);
+  EXPECT_EQ(score.correct_scenes, 1);  // only {3} is pure
+  EXPECT_DOUBLE_EQ(score.precision, 0.5);
+}
+
+TEST(SceneScoreTest, OverSegmentationIsPureButLowCompression) {
+  const auto truth = MakeTruth();
+  const auto shots = AlignedShots();
+  const std::vector<std::vector<int>> scenes{{0}, {1}, {2}, {3}};
+  const SceneDetectionScore score = ScoreSceneDetection(shots, scenes, truth);
+  EXPECT_DOUBLE_EQ(score.precision, 1.0);
+  EXPECT_DOUBLE_EQ(score.crf, 1.0);  // no compression
+}
+
+TEST(CutScoreTest, ToleranceMatching) {
+  const std::vector<int> truth{29, 59, 89};
+  const std::vector<int> detected{30, 57, 200};
+  const CutScore score = ScoreCuts(detected, truth, 2);
+  EXPECT_EQ(score.matched, 2);
+  EXPECT_NEAR(score.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(score.recall, 2.0 / 3.0, 1e-12);
+}
+
+TEST(CutScoreTest, EachTruthMatchedOnce) {
+  const std::vector<int> truth{29};
+  const std::vector<int> detected{28, 29, 30};
+  const CutScore score = ScoreCuts(detected, truth, 2);
+  EXPECT_EQ(score.matched, 1);
+}
+
+TEST(EventScoreTest, TableAccumulation) {
+  // Detected structure aligned with truth: scene 0 = shots 0-1 (truth
+  // presentation), scene 1 = shots 2-3 (truth clinical).
+  structure::ContentStructure cs;
+  cs.shots = AlignedShots();
+  for (int g = 0; g < 2; ++g) {
+    structure::Group group;
+    group.index = g;
+    group.start_shot = g * 2;
+    group.end_shot = g * 2 + 1;
+    cs.groups.push_back(group);
+    structure::Scene scene;
+    scene.index = g;
+    scene.start_group = g;
+    scene.end_group = g;
+    cs.scenes.push_back(scene);
+  }
+  // Miner got the presentation right and called the clinical scene dialog.
+  events::EventRecord r0;
+  r0.scene_index = 0;
+  r0.type = events::EventType::kPresentation;
+  events::EventRecord r1;
+  r1.scene_index = 1;
+  r1.type = events::EventType::kDialog;
+
+  EventScoreTable table;
+  AccumulateEventScores(cs, {r0, r1}, MakeTruth(), &table);
+  FinalizeEventScores(&table);
+
+  EXPECT_EQ(table.presentation.selected, 1);
+  EXPECT_EQ(table.presentation.detected, 1);
+  EXPECT_EQ(table.presentation.correct, 1);
+  EXPECT_DOUBLE_EQ(table.presentation.precision, 1.0);
+
+  EXPECT_EQ(table.clinical.selected, 1);
+  EXPECT_EQ(table.clinical.correct, 0);
+  EXPECT_EQ(table.dialog.detected, 1);
+  EXPECT_EQ(table.dialog.correct, 0);
+
+  const EventScore avg = table.Average();
+  EXPECT_EQ(avg.selected, 2);
+  EXPECT_EQ(avg.detected, 2);
+  EXPECT_EQ(avg.correct, 1);
+  EXPECT_DOUBLE_EQ(avg.precision, 0.5);
+  EXPECT_DOUBLE_EQ(avg.recall, 0.5);
+}
+
+TEST(EventTypeOfKindTest, Mapping) {
+  EXPECT_EQ(EventTypeOfKind(synth::SceneKind::kPresentation),
+            events::EventType::kPresentation);
+  EXPECT_EQ(EventTypeOfKind(synth::SceneKind::kOther),
+            events::EventType::kUndetermined);
+}
+
+}  // namespace
+}  // namespace classminer::core

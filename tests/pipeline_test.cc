@@ -1,0 +1,89 @@
+// End-to-end integration tests: synthetic video -> full ClassMiner pipeline
+// -> structure/events checked against scripted ground truth.
+
+#include <gtest/gtest.h>
+
+#include "core/classminer.h"
+#include "core/metrics.h"
+#include "synth/corpus.h"
+
+namespace classminer {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    generated_ = new synth::GeneratedVideo(
+        synth::GenerateVideo(synth::QuickScript(11)));
+    result_ = new core::MiningResult(
+        core::MineVideo(generated_->video, generated_->audio));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete generated_;
+    result_ = nullptr;
+    generated_ = nullptr;
+  }
+
+  static synth::GeneratedVideo* generated_;
+  static core::MiningResult* result_;
+};
+
+synth::GeneratedVideo* PipelineTest::generated_ = nullptr;
+core::MiningResult* PipelineTest::result_ = nullptr;
+
+TEST_F(PipelineTest, ShotDetectionMatchesScriptClosely) {
+  const core::CutScore score = core::ScoreCuts(
+      result_->shot_trace.cuts, generated_->truth.CutPositions());
+  EXPECT_GE(score.recall, 0.9) << "missed cuts";
+  EXPECT_GE(score.precision, 0.9) << "spurious cuts";
+}
+
+TEST_F(PipelineTest, StructureLevelsAreConsistent) {
+  const structure::ContentStructure& cs = result_->structure;
+  ASSERT_FALSE(cs.shots.empty());
+  ASSERT_FALSE(cs.groups.empty());
+  ASSERT_FALSE(cs.scenes.empty());
+
+  // Groups tile the shot axis.
+  int next = 0;
+  for (const structure::Group& g : cs.groups) {
+    EXPECT_EQ(g.start_shot, next);
+    EXPECT_GE(g.end_shot, g.start_shot);
+    next = g.end_shot + 1;
+  }
+  EXPECT_EQ(next, static_cast<int>(cs.shots.size()));
+
+  // Scenes tile the group axis.
+  next = 0;
+  for (const structure::Scene& s : cs.scenes) {
+    EXPECT_EQ(s.start_group, next);
+    EXPECT_GE(s.end_group, s.start_group);
+    next = s.end_group + 1;
+  }
+  EXPECT_EQ(next, static_cast<int>(cs.groups.size()));
+}
+
+TEST_F(PipelineTest, SceneDetectionPrecisionIsReasonable) {
+  const core::SceneDetectionScore score = core::ScoreSceneDetection(
+      result_->structure.shots, core::ScenesAsShotSets(result_->structure),
+      generated_->truth);
+  EXPECT_GT(score.detected_scenes, 0);
+  EXPECT_GE(score.precision, 0.5);
+}
+
+TEST_F(PipelineTest, EventsIncludeAllThreeCategories) {
+  core::EventScoreTable table;
+  core::AccumulateEventScores(result_->structure, result_->events,
+                              generated_->truth, &table);
+  core::FinalizeEventScores(&table);
+  // The quick script has exactly one scene of each category; the miner
+  // should recover most of them.
+  const core::EventScore avg = table.Average();
+  EXPECT_GT(avg.detected, 0);
+  EXPECT_GE(avg.precision, 0.5);
+  EXPECT_GE(avg.recall, 0.5);
+}
+
+}  // namespace
+}  // namespace classminer

@@ -1,0 +1,251 @@
+// Parameterised property sweeps across modules: invariants that must hold
+// for whole families of inputs, not just single examples.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "core/classminer.h"
+#include "core/metrics.h"
+#include "index/hier_index.h"
+#include "index/linear_index.h"
+#include "media/color.h"
+#include "media/draw.h"
+#include "structure/content_structure.h"
+#include "synth/corpus.h"
+#include "util/mathutil.h"
+#include "util/rng.h"
+
+namespace classminer {
+namespace {
+
+// ---------------------------------------------------------------------------
+// StSim metric axioms over random frame pairs.
+
+class SimilarityAxioms : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimilarityAxioms, IdentityBoundsSymmetry) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()) * 101 + 7);
+  media::Image a(40, 30);
+  media::Image b(40, 30);
+  media::FillGradient(&a, media::HsvToRgb({rng.Uniform(0, 360), 0.6, 0.8}),
+                      media::HsvToRgb({rng.Uniform(0, 360), 0.5, 0.4}));
+  media::FillGradient(&b, media::HsvToRgb({rng.Uniform(0, 360), 0.6, 0.8}),
+                      media::HsvToRgb({rng.Uniform(0, 360), 0.5, 0.4}));
+  media::AddNoise(&a, rng.UniformInt(0, 12), &rng);
+  media::AddNoise(&b, rng.UniformInt(0, 12), &rng);
+
+  const features::ShotFeatures fa = features::ExtractShotFeatures(a);
+  const features::ShotFeatures fb = features::ExtractShotFeatures(b);
+  EXPECT_NEAR(features::StSim(fa, fa), 1.0, 1e-9);
+  EXPECT_NEAR(features::StSim(fb, fb), 1.0, 1e-9);
+  const double ab = features::StSim(fa, fb);
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0 + 1e-12);
+  EXPECT_DOUBLE_EQ(ab, features::StSim(fb, fa));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityAxioms, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Codec: coarser quantisation always shrinks payload; quality degrades
+// monotonically (with slack for rounding).
+
+class CodecQualitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecQualitySweep, RoundTripHoldsAtEveryQuality) {
+  const int quality = GetParam();
+  util::Rng rng(77);
+  media::Video video("q", 12.0);
+  media::Image base(48, 32);
+  media::FillGradient(&base, media::Rgb{180, 120, 60}, media::Rgb{20, 40, 90});
+  for (int i = 0; i < 6; ++i) {
+    media::Image f = media::Translated(base, i, 0);
+    media::AddNoise(&f, 3, &rng);
+    video.AppendFrame(std::move(f));
+  }
+  codec::EncoderOptions opts;
+  opts.quality = quality;
+  opts.gop_size = 3;
+  const codec::CmvFile file = codec::EncodeVideo(video, opts);
+  util::StatusOr<media::Video> decoded = codec::DecodeVideo(file);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->frame_count(), 6);
+  // Even the coarsest setting must stay recognisable.
+  EXPECT_GT(codec::Psnr(video.frame(2), decoded->frame(2)), 18.0);
+  // A same-content serialize/parse round trip is always exact.
+  util::StatusOr<codec::CmvFile> parsed = codec::CmvFile::Parse(file.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->frames[1].payload, file.frames[1].payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Qualities, CodecQualitySweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 31));
+
+TEST(CodecMonotonicity, PayloadShrinksWithQuantiser) {
+  util::Rng rng(78);
+  media::Video video("m", 12.0);
+  media::Image base(48, 32);
+  media::FillGradient(&base, media::Rgb{10, 200, 80}, media::Rgb{60, 20, 120});
+  for (int i = 0; i < 4; ++i) {
+    media::Image f = base;
+    media::AddNoise(&f, 4, &rng);
+    video.AppendFrame(std::move(f));
+  }
+  size_t prev = SIZE_MAX;
+  for (int quality : {1, 4, 8, 16, 31}) {
+    codec::EncoderOptions opts;
+    opts.quality = quality;
+    const size_t bytes = codec::EncodeVideo(video, opts).VideoPayloadBytes();
+    EXPECT_LE(bytes, prev) << "quality " << quality;
+    prev = bytes;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structure mining: scene recovery across scripted scene counts.
+
+class SceneCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SceneCountSweep, RecoversScriptedScenes) {
+  const int scenes = GetParam();
+  synth::VideoScript script;
+  script.name = "sweep";
+  script.seed = 900 + static_cast<uint64_t>(scenes);
+  for (int i = 0; i < scenes; ++i) {
+    synth::SceneScript scene;
+    scene.kind = i % 2 == 0 ? synth::SceneKind::kClinicalOperation
+                            : synth::SceneKind::kOther;
+    scene.topic_id = 50 + i * 3;
+    scene.shots = 4;
+    script.scenes.push_back(scene);
+  }
+  const synth::GeneratedVideo g = synth::GenerateVideo(script);
+  const core::MiningResult r = core::MineVideo(g.video, g.audio);
+  const core::SceneDetectionScore score = core::ScoreSceneDetection(
+      r.structure.shots, core::ScenesAsShotSets(r.structure), g.truth);
+  EXPECT_GE(score.precision, 0.6) << "scenes=" << scenes;
+  // Detected scene count within 50% of the scripted count.
+  EXPECT_NEAR(score.detected_scenes, scenes, scenes * 0.5 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, SceneCountSweep, ::testing::Values(2, 4, 6));
+
+// ---------------------------------------------------------------------------
+// Hierarchical index: widening the beam never reduces top-1 quality and
+// never reduces work.
+
+class BeamSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BeamSweep, WiderBeamMonotone) {
+  // Small deterministic database out of one mined video.
+  const synth::GeneratedVideo g =
+      synth::GenerateVideo(synth::QuickScript(61));
+  core::MiningResult mined = core::MineVideo(g.video, g.audio);
+  index::VideoDatabase db;
+  db.AddVideo("beam", std::move(mined.structure), std::move(mined.events));
+  const index::ConceptHierarchy concepts =
+      index::ConceptHierarchy::MedicalDefault();
+
+  const int beam = GetParam();
+  index::HierarchicalIndex::Options narrow_opts;
+  narrow_opts.beam_width = beam;
+  index::HierarchicalIndex::Options wide_opts;
+  wide_opts.beam_width = beam + 1;
+  const index::HierarchicalIndex narrow(&db, &concepts, narrow_opts);
+  const index::HierarchicalIndex wide(&db, &concepts, wide_opts);
+
+  for (const index::ShotRef& q : db.AllShots()) {
+    index::QueryStats ns, ws;
+    const auto nm = narrow.Search(db.Features(q), 1, &ns);
+    const auto wm = wide.Search(db.Features(q), 1, &ws);
+    ASSERT_FALSE(nm.empty());
+    ASSERT_FALSE(wm.empty());
+    EXPECT_GE(wm[0].similarity + 1e-9, nm[0].similarity);
+    EXPECT_GE(ws.TotalComparisons(), ns.TotalComparisons());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Beams, BeamSweep, ::testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------------
+// Otsu / entropy thresholds: both must land between two well-separated
+// populations for a range of separations.
+
+class ThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdSweep, SplitsBimodalData) {
+  const double gap = GetParam();
+  util::Rng rng(5);
+  std::vector<double> v;
+  for (int i = 0; i < 150; ++i) v.push_back(rng.Uniform(0.0, 0.1));
+  for (int i = 0; i < 50; ++i) v.push_back(rng.Uniform(gap, gap + 0.1));
+  const double otsu = util::OtsuThreshold(v);
+  EXPECT_GT(otsu, 0.1);
+  EXPECT_LT(otsu, gap + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, ThresholdSweep,
+                         ::testing::Values(0.4, 0.6, 0.8));
+
+TEST(OtsuTest, DegenerateInputs) {
+  EXPECT_EQ(util::OtsuThreshold({}), 0.0);
+  const std::vector<double> constant{0.3, 0.3, 0.3};
+  EXPECT_DOUBLE_EQ(util::OtsuThreshold(constant), 0.3);
+}
+
+// ---------------------------------------------------------------------------
+// Generator degradations keep the ground truth consistent.
+
+class DegradationSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DegradationSweep, TruthStaysConsistent) {
+  synth::VideoScript script = synth::QuickScript(71);
+  script.dissolve_prob = std::get<0>(GetParam());
+  script.flicker = std::get<1>(GetParam());
+  script.exposure = 0.7;
+  const synth::GeneratedVideo g = synth::GenerateVideo(script);
+  // Shots still tile the frame axis exactly.
+  int next = 0;
+  for (const synth::ShotTruth& s : g.truth.shots) {
+    EXPECT_EQ(s.start_frame, next);
+    next = s.end_frame + 1;
+  }
+  EXPECT_EQ(next, g.video.frame_count());
+  // Shot detection still finds most boundaries (dissolves tolerated).
+  const core::MiningResult r = core::MineVideo(g.video, g.audio);
+  const core::CutScore score = core::ScoreCuts(
+      r.shot_trace.cuts, g.truth.CutPositions(), script.dissolve_frames);
+  EXPECT_GE(score.recall, 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Degradations, DegradationSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.5),
+                       ::testing::Values(0.0, 0.03)));
+
+// ---------------------------------------------------------------------------
+// Blend / brightness helpers.
+
+TEST(BlendTest, EndpointsAndMidpoint) {
+  const media::Image a(4, 4, media::Rgb{200, 100, 0});
+  const media::Image b(4, 4, media::Rgb{0, 100, 200});
+  EXPECT_EQ(media::Blend(a, b, 1.0), a);
+  EXPECT_EQ(media::Blend(a, b, 0.0), b);
+  const media::Image mid = media::Blend(a, b, 0.5);
+  EXPECT_EQ(mid.at(1, 1), (media::Rgb{100, 100, 100}));
+}
+
+TEST(BrightnessTest, ScalesAndClamps) {
+  media::Image img(2, 2, media::Rgb{100, 200, 50});
+  media::ScaleBrightness(&img, 1.5);
+  EXPECT_EQ(img.at(0, 0), (media::Rgb{150, 255, 75}));
+  media::ScaleBrightness(&img, 0.0);
+  EXPECT_EQ(img.at(0, 0), (media::Rgb{0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace classminer

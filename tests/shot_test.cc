@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "media/color.h"
+#include "media/draw.h"
+#include "shot/detector.h"
+#include "shot/rep_frame.h"
+#include "shot/threshold.h"
+#include "util/rng.h"
+
+namespace classminer::shot {
+namespace {
+
+// Video with cuts at known positions: each segment is a distinct solid
+// colour with mild noise.
+media::Video MakeCutVideo(const std::vector<int>& segment_lengths,
+                          uint64_t seed) {
+  util::Rng rng(seed);
+  media::Video video("cuts", 12.0);
+  const media::Rgb palette[] = {{200, 40, 40}, {40, 200, 40}, {40, 40, 200},
+                                {200, 200, 40}, {40, 200, 200}, {200, 40, 200}};
+  int color = 0;
+  for (int len : segment_lengths) {
+    for (int f = 0; f < len; ++f) {
+      media::Image img(48, 36, palette[color % 6]);
+      media::AddNoise(&img, 5, &rng);
+      video.AppendFrame(std::move(img));
+    }
+    ++color;
+  }
+  return video;
+}
+
+TEST(ThresholdTest, SizeMatchesInput) {
+  const std::vector<double> diffs(50, 0.05);
+  EXPECT_EQ(AdaptiveThresholds(diffs).size(), 50u);
+  EXPECT_TRUE(AdaptiveThresholds({}).empty());
+}
+
+TEST(ThresholdTest, FloorApplies) {
+  const std::vector<double> diffs(40, 0.001);
+  AdaptiveThresholdOptions opts;
+  opts.min_threshold = 0.08;
+  for (double t : AdaptiveThresholds(diffs, opts)) EXPECT_GE(t, 0.08);
+}
+
+TEST(ThresholdTest, AdaptsToLocalActivity) {
+  // First half quiet, second half busy: thresholds must be higher there.
+  std::vector<double> diffs;
+  util::Rng rng(61);
+  for (int i = 0; i < 60; ++i) diffs.push_back(rng.Uniform(0.0, 0.02));
+  for (int i = 0; i < 60; ++i) diffs.push_back(rng.Uniform(0.2, 0.4));
+  const std::vector<double> t = AdaptiveThresholds(diffs);
+  EXPECT_GT(t[100], t[20]);
+}
+
+TEST(DetectorTest, FindsAllCuts) {
+  const std::vector<int> lengths{30, 25, 40, 28, 35};
+  const media::Video video = MakeCutVideo(lengths, 62);
+  ShotDetectionTrace trace;
+  const std::vector<Shot> shots = DetectShots(video, {}, &trace);
+  ASSERT_EQ(shots.size(), lengths.size());
+  // Boundaries at cumulative positions.
+  int cum = 0;
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    EXPECT_EQ(shots[i].start_frame, cum);
+    cum += lengths[i];
+    EXPECT_EQ(shots[i].end_frame, cum - 1);
+  }
+}
+
+TEST(DetectorTest, NoCutsInSteadyVideo) {
+  const media::Video video = MakeCutVideo({80}, 63);
+  const std::vector<Shot> shots = DetectShots(video);
+  ASSERT_EQ(shots.size(), 1u);
+  EXPECT_EQ(shots[0].frame_count(), 80);
+}
+
+TEST(DetectorTest, MinShotLengthSuppressesNearbyCuts) {
+  std::vector<double> diffs(40, 0.01);
+  diffs[10] = 0.9;
+  diffs[12] = 0.85;  // too close to the first cut
+  ShotDetectorOptions opts;
+  opts.min_shot_frames = 5;
+  const std::vector<int> cuts = DetectCuts(diffs, opts);
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(cuts[0], 10);
+}
+
+TEST(DetectorTest, GradualTransitionYieldsSinglePeakCut) {
+  std::vector<double> diffs(60, 0.01);
+  // A 5-frame dissolve: rising then falling differences.
+  diffs[30] = 0.3;
+  diffs[31] = 0.5;
+  diffs[32] = 0.7;
+  diffs[33] = 0.5;
+  diffs[34] = 0.3;
+  const std::vector<int> cuts = DetectCuts(diffs, ShotDetectorOptions());
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(cuts[0], 32);
+}
+
+TEST(DetectorTest, TraceSeriesAligned) {
+  const media::Video video = MakeCutVideo({20, 20}, 64);
+  ShotDetectionTrace trace;
+  DetectShots(video, {}, &trace);
+  EXPECT_EQ(trace.differences.size(), 39u);
+  EXPECT_EQ(trace.thresholds.size(), 39u);
+  ASSERT_EQ(trace.cuts.size(), 1u);
+  EXPECT_EQ(trace.cuts[0], 19);
+}
+
+TEST(RepFrameTest, TenthFrameRule) {
+  EXPECT_EQ(RepresentativeFrameIndex(0, 100), 9);
+  EXPECT_EQ(RepresentativeFrameIndex(50, 100), 59);
+  EXPECT_EQ(RepresentativeFrameIndex(0, 4), 4);  // short shot clamps
+}
+
+TEST(RepFrameTest, FeaturesPopulated) {
+  const media::Video video = MakeCutVideo({30, 30}, 65);
+  const std::vector<Shot> shots = DetectShots(video);
+  ASSERT_EQ(shots.size(), 2u);
+  for (const Shot& s : shots) {
+    double mass = 0.0;
+    for (double v : s.features.histogram) mass += v;
+    EXPECT_NEAR(mass, 1.0, 1e-9);
+  }
+}
+
+TEST(CompressedDomainTest, DcDetectionMatchesPixelDetection) {
+  const std::vector<int> lengths{30, 26, 34};
+  const media::Video video = MakeCutVideo(lengths, 66);
+  const std::vector<Shot> pixel_shots = DetectShots(video);
+
+  codec::EncoderOptions eopts;
+  eopts.gop_size = 6;
+  eopts.quality = 6;
+  const codec::CmvFile file = codec::EncodeVideo(video, eopts);
+  util::StatusOr<std::vector<media::GrayImage>> dc =
+      codec::DecodeDcImages(file);
+  ASSERT_TRUE(dc.ok());
+  const std::vector<Shot> dc_shots = DetectShotsFromDc(*dc);
+
+  ASSERT_EQ(dc_shots.size(), pixel_shots.size());
+  for (size_t i = 0; i < dc_shots.size(); ++i) {
+    EXPECT_NEAR(dc_shots[i].start_frame, pixel_shots[i].start_frame, 2);
+  }
+}
+
+// Property sweep: detection recovers the scripted segment count across
+// segment lengths and noise levels.
+class DetectorSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DetectorSweep, RecoversSegments) {
+  const int seg_len = std::get<0>(GetParam());
+  const int noise = std::get<1>(GetParam());
+  util::Rng rng(70 + static_cast<uint64_t>(seg_len) * 10 + noise);
+  media::Video video("sweep", 12.0);
+  const int segments = 4;
+  for (int seg = 0; seg < segments; ++seg) {
+    const media::Rgb color = media::HsvToRgb(
+        {static_cast<double>(seg) * 87.0, 0.7, 0.8});
+    for (int f = 0; f < seg_len; ++f) {
+      media::Image img(48, 36, color);
+      media::AddNoise(&img, noise, &rng);
+      video.AppendFrame(std::move(img));
+    }
+  }
+  const std::vector<Shot> shots = DetectShots(video);
+  EXPECT_EQ(shots.size(), static_cast<size_t>(segments));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LengthsAndNoise, DetectorSweep,
+    ::testing::Combine(::testing::Values(15, 25, 40),
+                       ::testing::Values(2, 5, 8)));
+
+}  // namespace
+}  // namespace classminer::shot

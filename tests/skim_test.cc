@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "core/classminer.h"
+#include "skim/evaluator.h"
+#include "skim/skimmer.h"
+#include "skim/summary.h"
+#include "synth/corpus.h"
+#include "util/serial.h"
+
+namespace classminer::skim {
+namespace {
+
+class SkimTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    generated_ = new synth::GeneratedVideo(
+        synth::GenerateVideo(synth::QuickScript(21)));
+    result_ = new core::MiningResult(
+        core::MineVideo(generated_->video, generated_->audio));
+    skim_ = new ScalableSkim(&result_->structure);
+  }
+  static void TearDownTestSuite() {
+    delete skim_;
+    delete result_;
+    delete generated_;
+    skim_ = nullptr;
+    result_ = nullptr;
+    generated_ = nullptr;
+  }
+
+  static synth::GeneratedVideo* generated_;
+  static core::MiningResult* result_;
+  static ScalableSkim* skim_;
+};
+
+synth::GeneratedVideo* SkimTest::generated_ = nullptr;
+core::MiningResult* SkimTest::result_ = nullptr;
+ScalableSkim* SkimTest::skim_ = nullptr;
+
+TEST_F(SkimTest, LevelOneIsAllShots) {
+  EXPECT_EQ(skim_->track(1).shot_indices.size(),
+            result_->structure.shots.size());
+  EXPECT_NEAR(skim_->Fcr(1), 1.0, 1e-9);
+}
+
+TEST_F(SkimTest, FcrDecreasesWithLevel) {
+  for (int lvl = 2; lvl <= kSkimLevels; ++lvl) {
+    EXPECT_LE(skim_->Fcr(lvl), skim_->Fcr(lvl - 1) + 1e-9)
+        << "level " << lvl;
+  }
+  EXPECT_LT(skim_->Fcr(4), 0.7);
+}
+
+TEST_F(SkimTest, TracksAreSortedSubsets) {
+  for (int lvl = 1; lvl <= kSkimLevels; ++lvl) {
+    const SkimTrack& t = skim_->track(lvl);
+    for (size_t i = 1; i < t.shot_indices.size(); ++i) {
+      EXPECT_LT(t.shot_indices[i - 1], t.shot_indices[i]);
+    }
+    for (int s : t.shot_indices) {
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, static_cast<int>(result_->structure.shots.size()));
+    }
+  }
+}
+
+TEST_F(SkimTest, ScrollPositionMonotone) {
+  const SkimTrack& t = skim_->track(2);
+  double prev = -1.0;
+  for (size_t i = 0; i < t.shot_indices.size(); ++i) {
+    const double pos = skim_->ScrollPosition(2, static_cast<int>(i));
+    EXPECT_GE(pos, prev);
+    EXPECT_LE(pos, 1.0);
+    prev = pos;
+  }
+}
+
+TEST_F(SkimTest, EvaluatorShapesMatchPaper) {
+  SkimScores by_level[kSkimLevels + 1];
+  for (int lvl = 1; lvl <= kSkimLevels; ++lvl) {
+    by_level[lvl] = EvaluateSkimLevel(*skim_, lvl, generated_->truth);
+  }
+  // Coverage (Q1/Q2) cannot improve with coarser levels...
+  EXPECT_GE(by_level[1].q2 + 1e-9, by_level[4].q2);
+  // ...while conciseness (Q3) cannot degrade.
+  EXPECT_LE(by_level[1].q3, by_level[4].q3 + 1e-9);
+  // Level 1 covers everything.
+  EXPECT_NEAR(by_level[1].q1, 5.0, 1e-9);
+  EXPECT_NEAR(by_level[1].q2, 5.0, 1e-9);
+  for (int lvl = 1; lvl <= kSkimLevels; ++lvl) {
+    EXPECT_GE(by_level[lvl].q1, 0.0);
+    EXPECT_LE(by_level[lvl].q1, 5.0);
+    EXPECT_LE(by_level[lvl].q3, 5.0);
+  }
+}
+
+TEST_F(SkimTest, ColorBarCoversTimeline) {
+  const std::vector<ColorBarSegment> bar =
+      BuildColorBar(result_->structure, result_->events);
+  ASSERT_FALSE(bar.empty());
+  EXPECT_NEAR(bar.front().begin, 0.0, 1e-9);
+  EXPECT_NEAR(bar.back().end, 1.0, 1e-9);
+  for (size_t i = 1; i < bar.size(); ++i) {
+    EXPECT_NEAR(bar[i].begin, bar[i - 1].end, 1e-9);
+  }
+}
+
+TEST_F(SkimTest, TextSummaryMentionsStructure) {
+  const std::string text =
+      RenderTextSummary(result_->structure, result_->events, *skim_);
+  EXPECT_NE(text.find("content structure"), std::string::npos);
+  EXPECT_NE(text.find("scene"), std::string::npos);
+  EXPECT_NE(text.find("CRF"), std::string::npos);
+}
+
+TEST_F(SkimTest, HtmlExportWritesFile) {
+  const std::string path = ::testing::TempDir() + "/skim_summary.html";
+  ASSERT_TRUE(ExportHtmlSummary(result_->structure, result_->events, *skim_,
+                                "test_video", path)
+                  .ok());
+  util::StatusOr<std::vector<uint8_t>> bytes = util::ReadFile(path);
+  ASSERT_TRUE(bytes.ok());
+  const std::string html(bytes->begin(), bytes->end());
+  EXPECT_NE(html.find("<html>"), std::string::npos);
+  EXPECT_NE(html.find("Event indicator"), std::string::npos);
+}
+
+TEST(EventColorTest, DistinctColors) {
+  EXPECT_STRNE(EventColor(events::EventType::kPresentation),
+               EventColor(events::EventType::kDialog));
+  EXPECT_STRNE(EventColor(events::EventType::kDialog),
+               EventColor(events::EventType::kClinicalOperation));
+}
+
+TEST(AverageScoresTest, Averages) {
+  SkimScores a{4.0, 2.0, 1.0};
+  SkimScores b{2.0, 4.0, 3.0};
+  const SkimScores avg = AverageScores({a, b});
+  EXPECT_DOUBLE_EQ(avg.q1, 3.0);
+  EXPECT_DOUBLE_EQ(avg.q2, 3.0);
+  EXPECT_DOUBLE_EQ(avg.q3, 2.0);
+}
+
+}  // namespace
+}  // namespace classminer::skim

@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "media/color.h"
+#include "media/draw.h"
+#include "structure/content_structure.h"
+#include "structure/group_similarity.h"
+#include "util/rng.h"
+
+namespace classminer::structure {
+namespace {
+
+// Builds a shot with features from a solid-colour frame (plus mild noise so
+// features are not degenerate).
+shot::Shot MakeShot(int index, media::Rgb color, int frames = 30,
+                    uint64_t seed = 1) {
+  util::Rng rng(seed + static_cast<uint64_t>(index));
+  media::Image img(48, 36, color);
+  media::AddNoise(&img, 4, &rng);
+  shot::Shot s;
+  s.index = index;
+  s.start_frame = index * frames;
+  s.end_frame = (index + 1) * frames - 1;
+  s.rep_frame = s.start_frame + 9;
+  s.features = features::ExtractShotFeatures(img);
+  return s;
+}
+
+media::Rgb Hue(double h) { return media::HsvToRgb({h, 0.7, 0.8}); }
+
+// Shots forming: sceneA = [A B A B A B], sceneB = [C C C C], sceneC =
+// [D E D E]. Distinct hues per letter.
+std::vector<shot::Shot> ThreeSceneShots() {
+  std::vector<shot::Shot> shots;
+  const media::Rgb a = Hue(0), b = Hue(40), c = Hue(140), d = Hue(220),
+                   e = Hue(280);
+  int i = 0;
+  for (int k = 0; k < 3; ++k) {
+    shots.push_back(MakeShot(i++, a));
+    shots.push_back(MakeShot(i++, b));
+  }
+  for (int k = 0; k < 4; ++k) shots.push_back(MakeShot(i++, c));
+  for (int k = 0; k < 2; ++k) {
+    shots.push_back(MakeShot(i++, d));
+    shots.push_back(MakeShot(i++, e));
+  }
+  return shots;
+}
+
+TEST(GroupSimilarityTest, IdenticalGroupsScoreHigh) {
+  const std::vector<shot::Shot> shots = ThreeSceneShots();
+  const std::vector<int> g{0, 2, 4};  // all colour A
+  EXPECT_GT(GpSim(shots, g, g), 0.95);
+}
+
+TEST(GroupSimilarityTest, DisjointColoursScoreLow) {
+  const std::vector<shot::Shot> shots = ThreeSceneShots();
+  const std::vector<int> ga{0, 2};   // colour A
+  const std::vector<int> gc{6, 7};   // colour C
+  EXPECT_LT(GpSim(shots, ga, gc), 0.5);
+}
+
+TEST(GroupSimilarityTest, SymmetricAndBenchmarkedOnSmaller) {
+  const std::vector<shot::Shot> shots = ThreeSceneShots();
+  const std::vector<int> small{0};
+  const std::vector<int> large{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(GpSim(shots, small, large), GpSim(shots, large, small));
+  // The single A shot finds its A matches inside the large group.
+  EXPECT_GT(GpSim(shots, small, large), 0.9);
+}
+
+TEST(GroupSimilarityTest, EmptyGroupIsZero) {
+  const std::vector<shot::Shot> shots = ThreeSceneShots();
+  EXPECT_EQ(GpSim(shots, {}, std::vector<int>{0}), 0.0);
+}
+
+TEST(StGpSimTest, MaxOverMembers) {
+  const std::vector<shot::Shot> shots = ThreeSceneShots();
+  const std::vector<int> mixed{1, 6};  // colours B and C
+  // Shot 3 is colour B: best match inside `mixed` is the B shot.
+  EXPECT_GT(StGpSim(shots, 3, mixed), 0.9);
+}
+
+TEST(GroupDetectorTest, AlternatingShotsFormOneGroup) {
+  const std::vector<shot::Shot> shots = ThreeSceneShots();
+  GroupDetectorTrace trace;
+  const std::vector<Group> groups = DetectGroups(shots, {}, &trace);
+  ASSERT_FALSE(groups.empty());
+  // Shots 0..5 alternate A/B: the i,i+2 correlation keeps them together.
+  EXPECT_EQ(groups[0].start_shot, 0);
+  EXPECT_GE(groups[0].end_shot, 4);
+  // Groups tile the sequence.
+  int next = 0;
+  for (const Group& g : groups) {
+    EXPECT_EQ(g.start_shot, next);
+    next = g.end_shot + 1;
+  }
+  EXPECT_EQ(next, static_cast<int>(shots.size()));
+}
+
+TEST(GroupDetectorTest, BoundaryAtColourChange) {
+  const std::vector<shot::Shot> shots = ThreeSceneShots();
+  const std::vector<Group> groups = DetectGroups(shots);
+  // Some group must start exactly at shot 6 (scene A -> scene B change).
+  bool found = false;
+  for (const Group& g : groups) found |= g.start_shot == 6;
+  EXPECT_TRUE(found);
+}
+
+TEST(GroupDetectorTest, EmptyInput) {
+  EXPECT_TRUE(DetectGroups({}).empty());
+}
+
+TEST(GroupClassifyTest, AlternatingGroupIsTemporal) {
+  const std::vector<shot::Shot> shots = ThreeSceneShots();
+  Group g;
+  g.start_shot = 0;
+  g.end_shot = 5;  // A B A B A B
+  ClassifyGroup(shots, &g);
+  EXPECT_TRUE(g.temporally_related);
+  EXPECT_EQ(g.clusters.size(), 2u);
+  EXPECT_EQ(g.rep_shots.size(), 2u);
+}
+
+TEST(GroupClassifyTest, UniformGroupIsSpatial) {
+  const std::vector<shot::Shot> shots = ThreeSceneShots();
+  Group g;
+  g.start_shot = 6;
+  g.end_shot = 9;  // C C C C
+  ClassifyGroup(shots, &g);
+  EXPECT_FALSE(g.temporally_related);
+  EXPECT_EQ(g.clusters.size(), 1u);
+}
+
+TEST(SelectRepShotTest, SingletonAndPairRules) {
+  std::vector<shot::Shot> shots;
+  shots.push_back(MakeShot(0, Hue(10), /*frames=*/20));
+  shots.push_back(MakeShot(1, Hue(10), /*frames=*/50));
+  EXPECT_EQ(SelectRepresentativeShot(shots, {0}), 0);
+  // Pair: longer duration wins.
+  EXPECT_EQ(SelectRepresentativeShot(shots, {0, 1}), 1);
+}
+
+TEST(SelectRepShotTest, MedoidForLargerClusters) {
+  // Three shots: two identical hues and one slightly off; a medoid must be
+  // one of the two identical ones.
+  std::vector<shot::Shot> shots;
+  shots.push_back(MakeShot(0, Hue(10)));
+  shots.push_back(MakeShot(1, Hue(10)));
+  shots.push_back(MakeShot(2, Hue(25)));
+  const int rep = SelectRepresentativeShot(shots, {0, 1, 2});
+  EXPECT_TRUE(rep == 0 || rep == 1);
+}
+
+TEST(SceneDetectorTest, MergesGroupsOfSameScene) {
+  const std::vector<shot::Shot> shots = ThreeSceneShots();
+  std::vector<Group> groups = DetectGroups(shots);
+  ClassifyGroups(shots, &groups);
+  SceneDetectorTrace trace;
+  const std::vector<Scene> scenes = DetectScenes(shots, groups, {}, &trace);
+  ASSERT_FALSE(scenes.empty());
+  // Scenes tile groups.
+  int next = 0;
+  for (const Scene& s : scenes) {
+    EXPECT_EQ(s.start_group, next);
+    next = s.end_group + 1;
+    EXPECT_GE(s.rep_group, 0);
+  }
+  EXPECT_EQ(next, static_cast<int>(groups.size()));
+}
+
+TEST(SceneDetectorTest, ShortScenesEliminated) {
+  // Two long same-colour groups with one single-shot interloper.
+  std::vector<shot::Shot> shots;
+  int i = 0;
+  for (int k = 0; k < 4; ++k) shots.push_back(MakeShot(i++, Hue(0)));
+  shots.push_back(MakeShot(i++, Hue(180)));
+  for (int k = 0; k < 4; ++k) shots.push_back(MakeShot(i++, Hue(90)));
+  std::vector<Group> groups = DetectGroups(shots);
+  ClassifyGroups(shots, &groups);
+  const std::vector<Scene> scenes = DetectScenes(shots, groups);
+  bool any_eliminated = false;
+  for (const Scene& s : scenes) {
+    int count = 0;
+    for (int g = s.start_group; g <= s.end_group; ++g) {
+      count += groups[static_cast<size_t>(g)].shot_count();
+    }
+    if (count < 3) {
+      EXPECT_TRUE(s.eliminated);
+      any_eliminated = true;
+    }
+  }
+  EXPECT_TRUE(any_eliminated);
+}
+
+TEST(SelectRepGroupTest, PairPrefersMoreShots) {
+  const std::vector<shot::Shot> shots = ThreeSceneShots();
+  Group g1;
+  g1.index = 0;
+  g1.start_shot = 0;
+  g1.end_shot = 1;
+  Group g2;
+  g2.index = 1;
+  g2.start_shot = 2;
+  g2.end_shot = 5;
+  const std::vector<Group> groups{g1, g2};
+  EXPECT_EQ(SelectRepresentativeGroup(shots, groups, {0, 1}), 1);
+}
+
+TEST(SceneClusterTest, RepeatedScenesMerge) {
+  // Scenes: A, B, A', C where A and A' share colour. Expect the clustering
+  // to put A and A' in one cluster.
+  std::vector<shot::Shot> shots;
+  int i = 0;
+  auto add_run = [&](double hue, int n) {
+    for (int k = 0; k < n; ++k) shots.push_back(MakeShot(i++, Hue(hue)));
+  };
+  add_run(0, 4);
+  add_run(120, 4);
+  add_run(0, 4);
+  add_run(240, 4);
+
+  std::vector<Group> groups = DetectGroups(shots);
+  ClassifyGroups(shots, &groups);
+  const std::vector<Scene> scenes = DetectScenes(shots, groups);
+  SceneClusterOptions opts;
+  opts.fixed_clusters = 3;
+  const std::vector<SceneCluster> clusters =
+      ClusterScenes(shots, groups, scenes, opts);
+  ASSERT_EQ(clusters.size(), 3u);
+  // One cluster must contain two scenes (the repeated A).
+  bool merged = false;
+  for (const SceneCluster& c : clusters) merged |= c.scene_indices.size() == 2;
+  EXPECT_TRUE(merged);
+}
+
+TEST(SceneClusterTest, ValidityPrefersCorrectPairing) {
+  // Four scenes of two colour families (A, B, A', B'). At the same cluster
+  // count, pairing same-colour scenes must score better (lower rho) than
+  // pairing across colours — this is exactly how PCS uses the index.
+  std::vector<shot::Shot> shots;
+  int i = 0;
+  auto add_run = [&](double hue, int n) {
+    for (int k = 0; k < n; ++k) shots.push_back(MakeShot(i++, Hue(hue)));
+  };
+  add_run(0, 3);
+  add_run(120, 3);
+  add_run(2, 3);
+  add_run(122, 3);
+  std::vector<Group> groups = DetectGroups(shots);
+  ClassifyGroups(shots, &groups);
+  const std::vector<Scene> scenes = DetectScenes(shots, groups);
+  ASSERT_GE(scenes.size(), 4u);
+
+  auto make_cluster = [&](int s0, int s1) {
+    SceneCluster c;
+    c.scene_indices = {scenes[static_cast<size_t>(s0)].index,
+                       scenes[static_cast<size_t>(s1)].index};
+    std::vector<int> members;
+    for (int s : {s0, s1}) {
+      const Scene& scene = scenes[static_cast<size_t>(s)];
+      for (int g = scene.start_group; g <= scene.end_group; ++g) {
+        members.push_back(g);
+      }
+    }
+    c.rep_group = SelectRepresentativeGroup(shots, groups, members);
+    return c;
+  };
+
+  const std::vector<SceneCluster> correct{make_cluster(0, 2),
+                                          make_cluster(1, 3)};
+  const std::vector<SceneCluster> wrong{make_cluster(0, 1),
+                                        make_cluster(2, 3)};
+  EXPECT_LT(ClusterValidity(shots, groups, correct, scenes),
+            ClusterValidity(shots, groups, wrong, scenes));
+}
+
+TEST(SceneClusterTest, ValidityDegenerateStates) {
+  std::vector<shot::Shot> shots;
+  for (int i = 0; i < 3; ++i) shots.push_back(MakeShot(i, Hue(0)));
+  std::vector<Group> groups = DetectGroups(shots);
+  ClassifyGroups(shots, &groups);
+  const std::vector<Scene> scenes = DetectScenes(shots, groups);
+  // Fewer than two clusters: validity is undefined -> max sentinel.
+  SceneCluster single;
+  single.scene_indices = {0};
+  single.rep_group = 0;
+  EXPECT_EQ(ClusterValidity(shots, groups, {single}, scenes),
+            std::numeric_limits<double>::max());
+}
+
+TEST(MineVideoStructureTest, FullHierarchyConsistent) {
+  const ContentStructure cs = MineVideoStructure(ThreeSceneShots());
+  EXPECT_EQ(cs.shots.size(), 14u);
+  EXPECT_FALSE(cs.groups.empty());
+  EXPECT_FALSE(cs.scenes.empty());
+  EXPECT_GT(cs.CompressionRateFactor(), 0.0);
+  EXPECT_LE(cs.CompressionRateFactor(), 1.0);
+  // Every active scene appears in at most one cluster.
+  std::vector<int> seen;
+  for (const SceneCluster& c : cs.clustered_scenes) {
+    for (int s : c.scene_indices) {
+      EXPECT_EQ(std::count(seen.begin(), seen.end(), s), 0);
+      seen.push_back(s);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace classminer::structure

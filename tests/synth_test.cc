@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "cues/cue_extractor.h"
+#include "synth/corpus.h"
+#include "synth/video_generator.h"
+
+namespace classminer::synth {
+namespace {
+
+TEST(GroundTruthTest, CutPositionsAndSceneLookup) {
+  GroundTruth truth;
+  ShotTruth s0;
+  s0.index = 0;
+  s0.start_frame = 0;
+  s0.end_frame = 29;
+  s0.scene_index = 0;
+  ShotTruth s1;
+  s1.index = 1;
+  s1.start_frame = 30;
+  s1.end_frame = 59;
+  s1.scene_index = 1;
+  truth.shots = {s0, s1};
+  SceneTruth sc0;
+  sc0.index = 0;
+  sc0.kind = SceneKind::kDialog;
+  SceneTruth sc1;
+  sc1.index = 1;
+  sc1.kind = SceneKind::kDialog;
+  truth.scenes = {sc0, sc1};
+
+  EXPECT_EQ(truth.CutPositions(), std::vector<int>{29});
+  EXPECT_EQ(truth.SceneOfShot(1), 1);
+  EXPECT_EQ(truth.SceneOfShot(9), -1);
+  EXPECT_EQ(truth.CountScenesOfKind(SceneKind::kDialog), 2);
+  EXPECT_EQ(truth.CountScenesOfKind(SceneKind::kOther), 0);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  const VideoScript script = QuickScript(99);
+  const GeneratedVideo a = GenerateVideo(script);
+  const GeneratedVideo b = GenerateVideo(script);
+  ASSERT_EQ(a.video.frame_count(), b.video.frame_count());
+  EXPECT_EQ(a.video.frame(5), b.video.frame(5));
+  ASSERT_EQ(a.audio.sample_count(), b.audio.sample_count());
+  EXPECT_EQ(a.audio.samples()[1000], b.audio.samples()[1000]);
+}
+
+TEST(GeneratorTest, TruthIsConsistent) {
+  const GeneratedVideo g = GenerateVideo(QuickScript(3));
+  ASSERT_FALSE(g.truth.shots.empty());
+  // Shots tile the frame axis.
+  int next = 0;
+  for (const ShotTruth& s : g.truth.shots) {
+    EXPECT_EQ(s.start_frame, next);
+    EXPECT_GE(s.end_frame, s.start_frame);
+    next = s.end_frame + 1;
+  }
+  EXPECT_EQ(next, g.video.frame_count());
+  // Scenes tile the shot axis.
+  next = 0;
+  for (const SceneTruth& s : g.truth.scenes) {
+    EXPECT_EQ(s.start_shot, next);
+    next = s.end_shot + 1;
+  }
+  EXPECT_EQ(next, static_cast<int>(g.truth.shots.size()));
+}
+
+TEST(GeneratorTest, AudioAlignedWithFrames) {
+  const GeneratedVideo g = GenerateVideo(QuickScript(4));
+  const double video_sec = g.video.DurationSeconds();
+  const double audio_sec = g.audio.DurationSeconds();
+  EXPECT_NEAR(audio_sec, video_sec, 0.2);
+}
+
+TEST(GeneratorTest, SlideShotsRenderAsSlides) {
+  const GeneratedVideo g = GenerateVideo(QuickScript(5));
+  int checked = 0;
+  for (const ShotTruth& s : g.truth.shots) {
+    if (!s.is_slide) continue;
+    const cues::FrameCues cues =
+        cues::ExtractFrameCues(g.video.frame(s.start_frame + 5));
+    EXPECT_TRUE(cues.IsSlideOrClipArt())
+        << "shot " << s.index << " classified as "
+        << cues::SpecialFrameTypeName(cues.special);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(GeneratorTest, FaceShotsCarryFaces) {
+  const GeneratedVideo g = GenerateVideo(QuickScript(6));
+  int face_shots = 0, detected = 0;
+  for (const ShotTruth& s : g.truth.shots) {
+    if (!s.has_face) continue;
+    ++face_shots;
+    const cues::FrameCues cues =
+        cues::ExtractFrameCues(g.video.frame(s.start_frame + 5));
+    if (cues.has_face) ++detected;
+  }
+  ASSERT_GT(face_shots, 0);
+  EXPECT_GE(detected, (face_shots * 2) / 3);
+}
+
+TEST(GeneratorTest, ClinicalShotsCarrySkinOrBlood) {
+  const GeneratedVideo g = GenerateVideo(QuickScript(7));
+  int clinical = 0, flagged = 0;
+  for (const ShotTruth& s : g.truth.shots) {
+    if (!s.has_skin_closeup && !s.has_blood) continue;
+    ++clinical;
+    const cues::FrameCues cues =
+        cues::ExtractFrameCues(g.video.frame(s.start_frame + 5));
+    if (cues.skin_closeup || cues.has_blood) ++flagged;
+  }
+  ASSERT_GT(clinical, 0);
+  EXPECT_GE(flagged, (clinical * 2) / 3);
+}
+
+TEST(GeneratorTest, DiagramShotsRenderAsSketches) {
+  // An "other" scene with topic % 4 == 1 mixes in sketch diagrams.
+  VideoScript script;
+  script.name = "diagram";
+  script.seed = 91;
+  script.scenes = {{SceneKind::kOther, 6, /*topic=*/5, -1, -1, 2.3}};
+  const GeneratedVideo g = GenerateVideo(script);
+  int diagrams = 0, detected = 0;
+  for (const ShotTruth& s : g.truth.shots) {
+    if (!s.is_diagram) continue;
+    ++diagrams;
+    const cues::FrameCues cues =
+        cues::ExtractFrameCues(g.video.frame(s.start_frame + 5));
+    if (cues.special == cues::SpecialFrameType::kSketch) ++detected;
+  }
+  ASSERT_GT(diagrams, 0);
+  EXPECT_EQ(detected, diagrams);
+}
+
+TEST(CorpusTest, FiveTitles) {
+  const std::vector<VideoScript> scripts = MedicalCorpusScripts();
+  ASSERT_EQ(scripts.size(), 5u);
+  EXPECT_EQ(scripts[0].name, "face_repair");
+  EXPECT_EQ(scripts[4].name, "laser_eye_surgery");
+  for (const VideoScript& s : scripts) {
+    EXPECT_GE(s.scenes.size(), 3u);
+  }
+}
+
+TEST(CorpusTest, ScaleGrowsSceneCount) {
+  CorpusOptions small;
+  small.scale = 0.5;
+  CorpusOptions big;
+  big.scale = 2.0;
+  const auto s = MedicalCorpusScripts(small);
+  const auto b = MedicalCorpusScripts(big);
+  EXPECT_GT(b[0].scenes.size(), s[0].scenes.size());
+}
+
+TEST(CorpusTest, AllKindsPresentAcrossCorpus) {
+  const std::vector<VideoScript> scripts = MedicalCorpusScripts();
+  int counts[4] = {0, 0, 0, 0};
+  for (const VideoScript& s : scripts) {
+    for (const SceneScript& scene : s.scenes) {
+      ++counts[static_cast<int>(scene.kind)];
+    }
+  }
+  EXPECT_GT(counts[0], 0);  // presentation
+  EXPECT_GT(counts[1], 0);  // dialog
+  EXPECT_GT(counts[2], 0);  // clinical
+  EXPECT_GT(counts[3], 0);  // other
+}
+
+}  // namespace
+}  // namespace classminer::synth

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "util/fft.h"
+#include "util/mathutil.h"
+#include "util/matrix.h"
+#include "util/rng.h"
+#include "util/serial.h"
+#include "util/status.h"
+
+namespace classminer::util {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MathTest, MeanVarianceStdDev) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(StdDev(v), std::sqrt(1.25));
+}
+
+TEST(MathTest, EmptyInputsAreZero) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(Variance({}), 0.0);
+  EXPECT_EQ(Median({}), 0.0);
+  EXPECT_EQ(FastEntropyThreshold({}), 0.0);
+}
+
+TEST(MathTest, EntropyOfUniformIsLogN) {
+  const std::vector<double> w{1.0, 1.0, 1.0, 1.0};
+  EXPECT_NEAR(Entropy(w), std::log(4.0), 1e-12);
+}
+
+TEST(MathTest, EntropyIgnoresZeros) {
+  const std::vector<double> w{0.5, 0.5, 0.0};
+  EXPECT_NEAR(Entropy(w), std::log(2.0), 1e-12);
+}
+
+TEST(MathTest, FastEntropyThresholdSeparatesBimodal) {
+  // Two well-separated populations: threshold must land between them.
+  std::vector<double> v;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) v.push_back(rng.Uniform(0.0, 0.1));
+  for (int i = 0; i < 40; ++i) v.push_back(rng.Uniform(0.8, 1.0));
+  const double t = FastEntropyThreshold(v);
+  EXPECT_GT(t, 0.1);
+  EXPECT_LT(t, 0.8);
+}
+
+TEST(MathTest, FastEntropyThresholdConstantInput) {
+  const std::vector<double> v{0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(FastEntropyThreshold(v), 0.5);
+}
+
+TEST(MathTest, PercentileNearestRank) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+}
+
+TEST(MatrixTest, IdentityMultiply) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 3.0;
+  a.at(1, 1) = 4.0;
+  const Matrix i = Matrix::Identity(2);
+  EXPECT_EQ(a.Multiply(i), a);
+  EXPECT_EQ(i.Multiply(a), a);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix a(2, 3);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) a.at(r, c) = static_cast<double>(r * 3 + c);
+  }
+  EXPECT_EQ(a.Transpose().Transpose(), a);
+}
+
+TEST(MatrixTest, CovarianceOfKnownData) {
+  // Two variables, perfectly correlated.
+  Matrix samples(3, 2);
+  samples.at(0, 0) = 1.0; samples.at(0, 1) = 2.0;
+  samples.at(1, 0) = 2.0; samples.at(1, 1) = 4.0;
+  samples.at(2, 0) = 3.0; samples.at(2, 1) = 6.0;
+  const Matrix cov = Covariance(samples);
+  EXPECT_NEAR(cov.at(0, 0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cov.at(1, 1), 8.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cov.at(0, 1), 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cov.at(0, 1), cov.at(1, 0), 1e-12);
+}
+
+TEST(MatrixTest, CholeskyReconstructs) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 4.0; a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0; a.at(1, 1) = 3.0;
+  StatusOr<Matrix> l = Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  const Matrix rec = l->Multiply(l->Transpose());
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 2; ++c) EXPECT_NEAR(rec.at(r, c), a.at(r, c), 1e-12);
+  }
+}
+
+TEST(MatrixTest, CholeskyRejectsIndefinite) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0; a.at(0, 1) = 5.0;
+  a.at(1, 0) = 5.0; a.at(1, 1) = 1.0;
+  EXPECT_FALSE(Cholesky(a).ok());
+}
+
+TEST(MatrixTest, LogDetOfDiagonal) {
+  Matrix a(3, 3);
+  a.at(0, 0) = 2.0;
+  a.at(1, 1) = 3.0;
+  a.at(2, 2) = 4.0;
+  EXPECT_NEAR(LogDetPsd(a), std::log(24.0), 1e-9);
+}
+
+TEST(MatrixTest, LogDetRegularisesSingular) {
+  Matrix a(2, 2);  // rank 1
+  a.at(0, 0) = 1.0; a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0; a.at(1, 1) = 1.0;
+  const double ld = LogDetPsd(a);
+  EXPECT_TRUE(std::isfinite(ld));
+  EXPECT_LT(ld, 0.0);  // tiny determinant
+}
+
+TEST(FftTest, InverseRecoversSignal) {
+  Rng rng(7);
+  std::vector<std::complex<double>> data(64);
+  std::vector<std::complex<double>> orig(64);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = {rng.Gaussian(), rng.Gaussian()};
+    orig[i] = data[i];
+  }
+  Fft(&data);
+  Fft(&data, /*inverse=*/true);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), orig[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), orig[i].imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, PureToneConcentratesEnergy) {
+  const size_t n = 256;
+  std::vector<double> signal(n);
+  for (size_t i = 0; i < n; ++i) {
+    signal[i] = std::sin(2.0 * M_PI * 16.0 * i / n);
+  }
+  const std::vector<double> mags = MagnitudeSpectrum(signal);
+  size_t peak = 0;
+  for (size_t i = 1; i < mags.size(); ++i) {
+    if (mags[i] > mags[peak]) peak = i;
+  }
+  EXPECT_EQ(peak, 16u);
+}
+
+TEST(FftTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(SerialTest, RoundTripAllTypes) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0x1234);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutI32(-77);
+  w.PutF64(3.14159);
+  w.PutString("hello");
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(*r.GetU8(), 0xab);
+  EXPECT_EQ(*r.GetU16(), 0x1234);
+  EXPECT_EQ(*r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(*r.GetI32(), -77);
+  EXPECT_DOUBLE_EQ(*r.GetF64(), 3.14159);
+  EXPECT_EQ(*r.GetString(), "hello");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(SerialTest, ReadPastEndIsDataLoss) {
+  ByteWriter w;
+  w.PutU8(1);
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.GetU8().ok());
+  StatusOr<uint32_t> v = r.GetU32();
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerialTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/serial_test.bin";
+  const std::vector<uint8_t> bytes{1, 2, 3, 250};
+  ASSERT_TRUE(WriteFile(path, bytes).ok());
+  StatusOr<std::vector<uint8_t>> read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, bytes);
+}
+
+TEST(SerialTest, MissingFileIsNotFound) {
+  StatusOr<std::vector<uint8_t>> read = ReadFile("/nonexistent/path/x.bin");
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace classminer::util
