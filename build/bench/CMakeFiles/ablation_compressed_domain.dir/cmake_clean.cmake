@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_compressed_domain.dir/ablation_compressed_domain.cc.o"
+  "CMakeFiles/ablation_compressed_domain.dir/ablation_compressed_domain.cc.o.d"
+  "ablation_compressed_domain"
+  "ablation_compressed_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compressed_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

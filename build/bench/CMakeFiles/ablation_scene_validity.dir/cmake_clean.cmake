@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scene_validity.dir/ablation_scene_validity.cc.o"
+  "CMakeFiles/ablation_scene_validity.dir/ablation_scene_validity.cc.o.d"
+  "ablation_scene_validity"
+  "ablation_scene_validity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scene_validity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shot_threshold.dir/ablation_shot_threshold.cc.o"
+  "CMakeFiles/ablation_shot_threshold.dir/ablation_shot_threshold.cc.o.d"
+  "ablation_shot_threshold"
+  "ablation_shot_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shot_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

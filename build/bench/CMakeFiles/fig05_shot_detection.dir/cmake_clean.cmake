@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_shot_detection.dir/fig05_shot_detection.cc.o"
+  "CMakeFiles/fig05_shot_detection.dir/fig05_shot_detection.cc.o.d"
+  "fig05_shot_detection"
+  "fig05_shot_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_shot_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

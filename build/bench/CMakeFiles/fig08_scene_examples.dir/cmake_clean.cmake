@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_scene_examples.dir/fig08_scene_examples.cc.o"
+  "CMakeFiles/fig08_scene_examples.dir/fig08_scene_examples.cc.o.d"
+  "fig08_scene_examples"
+  "fig08_scene_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_scene_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_fig10_cues.dir/fig09_fig10_cues.cc.o"
+  "CMakeFiles/fig09_fig10_cues.dir/fig09_fig10_cues.cc.o.d"
+  "fig09_fig10_cues"
+  "fig09_fig10_cues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_fig10_cues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_fig13_scene_detection.dir/fig12_fig13_scene_detection.cc.o"
+  "CMakeFiles/fig12_fig13_scene_detection.dir/fig12_fig13_scene_detection.cc.o.d"
+  "fig12_fig13_scene_detection"
+  "fig12_fig13_scene_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_fig13_scene_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_skim_scores.dir/fig14_skim_scores.cc.o"
+  "CMakeFiles/fig14_skim_scores.dir/fig14_skim_scores.cc.o.d"
+  "fig14_skim_scores"
+  "fig14_skim_scores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_skim_scores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_fcr.dir/fig15_fcr.cc.o"
+  "CMakeFiles/fig15_fcr.dir/fig15_fcr.cc.o.d"
+  "fig15_fcr"
+  "fig15_fcr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_fcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_audio.dir/micro_audio.cc.o"
+  "CMakeFiles/micro_audio.dir/micro_audio.cc.o.d"
+  "micro_audio"
+  "micro_audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

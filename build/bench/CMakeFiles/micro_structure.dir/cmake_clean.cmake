@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_structure.dir/micro_structure.cc.o"
+  "CMakeFiles/micro_structure.dir/micro_structure.cc.o.d"
+  "micro_structure"
+  "micro_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec62_indexing.dir/sec62_indexing.cc.o"
+  "CMakeFiles/sec62_indexing.dir/sec62_indexing.cc.o.d"
+  "sec62_indexing"
+  "sec62_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec62_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

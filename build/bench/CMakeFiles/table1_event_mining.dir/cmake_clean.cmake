@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_event_mining.dir/table1_event_mining.cc.o"
+  "CMakeFiles/table1_event_mining.dir/table1_event_mining.cc.o.d"
+  "table1_event_mining"
+  "table1_event_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_event_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

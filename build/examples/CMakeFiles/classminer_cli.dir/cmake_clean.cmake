@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classminer_cli.dir/classminer_cli.cpp.o"
+  "CMakeFiles/classminer_cli.dir/classminer_cli.cpp.o.d"
+  "classminer"
+  "classminer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classminer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_event_search.dir/event_search.cpp.o"
+  "CMakeFiles/example_event_search.dir/event_search.cpp.o.d"
+  "example_event_search"
+  "example_event_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_event_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_medical_library.dir/medical_library.cpp.o"
+  "CMakeFiles/example_medical_library.dir/medical_library.cpp.o.d"
+  "example_medical_library"
+  "example_medical_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_medical_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_skim_browser.dir/skim_browser.cpp.o"
+  "CMakeFiles/example_skim_browser.dir/skim_browser.cpp.o.d"
+  "example_skim_browser"
+  "example_skim_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_skim_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_skim_browser.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_video_archive.dir/video_archive.cpp.o"
+  "CMakeFiles/example_video_archive.dir/video_archive.cpp.o.d"
+  "example_video_archive"
+  "example_video_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_video_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audio/audio_buffer.cc" "src/CMakeFiles/cm_audio.dir/audio/audio_buffer.cc.o" "gcc" "src/CMakeFiles/cm_audio.dir/audio/audio_buffer.cc.o.d"
+  "/root/repo/src/audio/bic.cc" "src/CMakeFiles/cm_audio.dir/audio/bic.cc.o" "gcc" "src/CMakeFiles/cm_audio.dir/audio/bic.cc.o.d"
+  "/root/repo/src/audio/features.cc" "src/CMakeFiles/cm_audio.dir/audio/features.cc.o" "gcc" "src/CMakeFiles/cm_audio.dir/audio/features.cc.o.d"
+  "/root/repo/src/audio/gmm.cc" "src/CMakeFiles/cm_audio.dir/audio/gmm.cc.o" "gcc" "src/CMakeFiles/cm_audio.dir/audio/gmm.cc.o.d"
+  "/root/repo/src/audio/mfcc.cc" "src/CMakeFiles/cm_audio.dir/audio/mfcc.cc.o" "gcc" "src/CMakeFiles/cm_audio.dir/audio/mfcc.cc.o.d"
+  "/root/repo/src/audio/speaker_segmenter.cc" "src/CMakeFiles/cm_audio.dir/audio/speaker_segmenter.cc.o" "gcc" "src/CMakeFiles/cm_audio.dir/audio/speaker_segmenter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

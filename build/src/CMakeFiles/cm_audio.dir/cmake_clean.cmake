@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_audio.dir/audio/audio_buffer.cc.o"
+  "CMakeFiles/cm_audio.dir/audio/audio_buffer.cc.o.d"
+  "CMakeFiles/cm_audio.dir/audio/bic.cc.o"
+  "CMakeFiles/cm_audio.dir/audio/bic.cc.o.d"
+  "CMakeFiles/cm_audio.dir/audio/features.cc.o"
+  "CMakeFiles/cm_audio.dir/audio/features.cc.o.d"
+  "CMakeFiles/cm_audio.dir/audio/gmm.cc.o"
+  "CMakeFiles/cm_audio.dir/audio/gmm.cc.o.d"
+  "CMakeFiles/cm_audio.dir/audio/mfcc.cc.o"
+  "CMakeFiles/cm_audio.dir/audio/mfcc.cc.o.d"
+  "CMakeFiles/cm_audio.dir/audio/speaker_segmenter.cc.o"
+  "CMakeFiles/cm_audio.dir/audio/speaker_segmenter.cc.o.d"
+  "libcm_audio.a"
+  "libcm_audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/lin_zhang.cc" "src/CMakeFiles/cm_baselines.dir/baselines/lin_zhang.cc.o" "gcc" "src/CMakeFiles/cm_baselines.dir/baselines/lin_zhang.cc.o.d"
+  "/root/repo/src/baselines/rui_toc.cc" "src/CMakeFiles/cm_baselines.dir/baselines/rui_toc.cc.o" "gcc" "src/CMakeFiles/cm_baselines.dir/baselines/rui_toc.cc.o.d"
+  "/root/repo/src/baselines/yeung_stg.cc" "src/CMakeFiles/cm_baselines.dir/baselines/yeung_stg.cc.o" "gcc" "src/CMakeFiles/cm_baselines.dir/baselines/yeung_stg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cm_structure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_shot.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_baselines.dir/baselines/lin_zhang.cc.o"
+  "CMakeFiles/cm_baselines.dir/baselines/lin_zhang.cc.o.d"
+  "CMakeFiles/cm_baselines.dir/baselines/rui_toc.cc.o"
+  "CMakeFiles/cm_baselines.dir/baselines/rui_toc.cc.o.d"
+  "CMakeFiles/cm_baselines.dir/baselines/yeung_stg.cc.o"
+  "CMakeFiles/cm_baselines.dir/baselines/yeung_stg.cc.o.d"
+  "libcm_baselines.a"
+  "libcm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

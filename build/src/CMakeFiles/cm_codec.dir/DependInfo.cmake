@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/bitstream.cc" "src/CMakeFiles/cm_codec.dir/codec/bitstream.cc.o" "gcc" "src/CMakeFiles/cm_codec.dir/codec/bitstream.cc.o.d"
+  "/root/repo/src/codec/container.cc" "src/CMakeFiles/cm_codec.dir/codec/container.cc.o" "gcc" "src/CMakeFiles/cm_codec.dir/codec/container.cc.o.d"
+  "/root/repo/src/codec/dct.cc" "src/CMakeFiles/cm_codec.dir/codec/dct.cc.o" "gcc" "src/CMakeFiles/cm_codec.dir/codec/dct.cc.o.d"
+  "/root/repo/src/codec/decoder.cc" "src/CMakeFiles/cm_codec.dir/codec/decoder.cc.o" "gcc" "src/CMakeFiles/cm_codec.dir/codec/decoder.cc.o.d"
+  "/root/repo/src/codec/encoder.cc" "src/CMakeFiles/cm_codec.dir/codec/encoder.cc.o" "gcc" "src/CMakeFiles/cm_codec.dir/codec/encoder.cc.o.d"
+  "/root/repo/src/codec/motion.cc" "src/CMakeFiles/cm_codec.dir/codec/motion.cc.o" "gcc" "src/CMakeFiles/cm_codec.dir/codec/motion.cc.o.d"
+  "/root/repo/src/codec/quant.cc" "src/CMakeFiles/cm_codec.dir/codec/quant.cc.o" "gcc" "src/CMakeFiles/cm_codec.dir/codec/quant.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cm_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

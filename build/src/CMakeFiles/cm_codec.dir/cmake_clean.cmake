@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_codec.dir/codec/bitstream.cc.o"
+  "CMakeFiles/cm_codec.dir/codec/bitstream.cc.o.d"
+  "CMakeFiles/cm_codec.dir/codec/container.cc.o"
+  "CMakeFiles/cm_codec.dir/codec/container.cc.o.d"
+  "CMakeFiles/cm_codec.dir/codec/dct.cc.o"
+  "CMakeFiles/cm_codec.dir/codec/dct.cc.o.d"
+  "CMakeFiles/cm_codec.dir/codec/decoder.cc.o"
+  "CMakeFiles/cm_codec.dir/codec/decoder.cc.o.d"
+  "CMakeFiles/cm_codec.dir/codec/encoder.cc.o"
+  "CMakeFiles/cm_codec.dir/codec/encoder.cc.o.d"
+  "CMakeFiles/cm_codec.dir/codec/motion.cc.o"
+  "CMakeFiles/cm_codec.dir/codec/motion.cc.o.d"
+  "CMakeFiles/cm_codec.dir/codec/quant.cc.o"
+  "CMakeFiles/cm_codec.dir/codec/quant.cc.o.d"
+  "libcm_codec.a"
+  "libcm_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

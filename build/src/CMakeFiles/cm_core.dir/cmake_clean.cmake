@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_core.dir/core/classminer.cc.o"
+  "CMakeFiles/cm_core.dir/core/classminer.cc.o.d"
+  "CMakeFiles/cm_core.dir/core/cmv_pipeline.cc.o"
+  "CMakeFiles/cm_core.dir/core/cmv_pipeline.cc.o.d"
+  "CMakeFiles/cm_core.dir/core/metrics.cc.o"
+  "CMakeFiles/cm_core.dir/core/metrics.cc.o.d"
+  "libcm_core.a"
+  "libcm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cues/blood.cc" "src/CMakeFiles/cm_cues.dir/cues/blood.cc.o" "gcc" "src/CMakeFiles/cm_cues.dir/cues/blood.cc.o.d"
+  "/root/repo/src/cues/cue_extractor.cc" "src/CMakeFiles/cm_cues.dir/cues/cue_extractor.cc.o" "gcc" "src/CMakeFiles/cm_cues.dir/cues/cue_extractor.cc.o.d"
+  "/root/repo/src/cues/face.cc" "src/CMakeFiles/cm_cues.dir/cues/face.cc.o" "gcc" "src/CMakeFiles/cm_cues.dir/cues/face.cc.o.d"
+  "/root/repo/src/cues/skin.cc" "src/CMakeFiles/cm_cues.dir/cues/skin.cc.o" "gcc" "src/CMakeFiles/cm_cues.dir/cues/skin.cc.o.d"
+  "/root/repo/src/cues/special_frames.cc" "src/CMakeFiles/cm_cues.dir/cues/special_frames.cc.o" "gcc" "src/CMakeFiles/cm_cues.dir/cues/special_frames.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cm_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_cues.dir/cues/blood.cc.o"
+  "CMakeFiles/cm_cues.dir/cues/blood.cc.o.d"
+  "CMakeFiles/cm_cues.dir/cues/cue_extractor.cc.o"
+  "CMakeFiles/cm_cues.dir/cues/cue_extractor.cc.o.d"
+  "CMakeFiles/cm_cues.dir/cues/face.cc.o"
+  "CMakeFiles/cm_cues.dir/cues/face.cc.o.d"
+  "CMakeFiles/cm_cues.dir/cues/skin.cc.o"
+  "CMakeFiles/cm_cues.dir/cues/skin.cc.o.d"
+  "CMakeFiles/cm_cues.dir/cues/special_frames.cc.o"
+  "CMakeFiles/cm_cues.dir/cues/special_frames.cc.o.d"
+  "libcm_cues.a"
+  "libcm_cues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_cues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

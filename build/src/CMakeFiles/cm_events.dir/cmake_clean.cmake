@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_events.dir/events/event_miner.cc.o"
+  "CMakeFiles/cm_events.dir/events/event_miner.cc.o.d"
+  "libcm_events.a"
+  "libcm_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

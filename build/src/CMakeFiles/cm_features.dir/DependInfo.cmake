@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/frame_diff.cc" "src/CMakeFiles/cm_features.dir/features/frame_diff.cc.o" "gcc" "src/CMakeFiles/cm_features.dir/features/frame_diff.cc.o.d"
+  "/root/repo/src/features/histogram.cc" "src/CMakeFiles/cm_features.dir/features/histogram.cc.o" "gcc" "src/CMakeFiles/cm_features.dir/features/histogram.cc.o.d"
+  "/root/repo/src/features/similarity.cc" "src/CMakeFiles/cm_features.dir/features/similarity.cc.o" "gcc" "src/CMakeFiles/cm_features.dir/features/similarity.cc.o.d"
+  "/root/repo/src/features/tamura.cc" "src/CMakeFiles/cm_features.dir/features/tamura.cc.o" "gcc" "src/CMakeFiles/cm_features.dir/features/tamura.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cm_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_features.dir/features/frame_diff.cc.o"
+  "CMakeFiles/cm_features.dir/features/frame_diff.cc.o.d"
+  "CMakeFiles/cm_features.dir/features/histogram.cc.o"
+  "CMakeFiles/cm_features.dir/features/histogram.cc.o.d"
+  "CMakeFiles/cm_features.dir/features/similarity.cc.o"
+  "CMakeFiles/cm_features.dir/features/similarity.cc.o.d"
+  "CMakeFiles/cm_features.dir/features/tamura.cc.o"
+  "CMakeFiles/cm_features.dir/features/tamura.cc.o.d"
+  "libcm_features.a"
+  "libcm_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

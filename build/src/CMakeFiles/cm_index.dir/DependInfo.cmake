@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/access_control.cc" "src/CMakeFiles/cm_index.dir/index/access_control.cc.o" "gcc" "src/CMakeFiles/cm_index.dir/index/access_control.cc.o.d"
+  "/root/repo/src/index/browser.cc" "src/CMakeFiles/cm_index.dir/index/browser.cc.o" "gcc" "src/CMakeFiles/cm_index.dir/index/browser.cc.o.d"
+  "/root/repo/src/index/classifier.cc" "src/CMakeFiles/cm_index.dir/index/classifier.cc.o" "gcc" "src/CMakeFiles/cm_index.dir/index/classifier.cc.o.d"
+  "/root/repo/src/index/concept.cc" "src/CMakeFiles/cm_index.dir/index/concept.cc.o" "gcc" "src/CMakeFiles/cm_index.dir/index/concept.cc.o.d"
+  "/root/repo/src/index/database.cc" "src/CMakeFiles/cm_index.dir/index/database.cc.o" "gcc" "src/CMakeFiles/cm_index.dir/index/database.cc.o.d"
+  "/root/repo/src/index/hier_index.cc" "src/CMakeFiles/cm_index.dir/index/hier_index.cc.o" "gcc" "src/CMakeFiles/cm_index.dir/index/hier_index.cc.o.d"
+  "/root/repo/src/index/linear_index.cc" "src/CMakeFiles/cm_index.dir/index/linear_index.cc.o" "gcc" "src/CMakeFiles/cm_index.dir/index/linear_index.cc.o.d"
+  "/root/repo/src/index/persist.cc" "src/CMakeFiles/cm_index.dir/index/persist.cc.o" "gcc" "src/CMakeFiles/cm_index.dir/index/persist.cc.o.d"
+  "/root/repo/src/index/query.cc" "src/CMakeFiles/cm_index.dir/index/query.cc.o" "gcc" "src/CMakeFiles/cm_index.dir/index/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cm_structure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_shot.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_cues.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

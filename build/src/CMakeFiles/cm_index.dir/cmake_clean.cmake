@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_index.dir/index/access_control.cc.o"
+  "CMakeFiles/cm_index.dir/index/access_control.cc.o.d"
+  "CMakeFiles/cm_index.dir/index/browser.cc.o"
+  "CMakeFiles/cm_index.dir/index/browser.cc.o.d"
+  "CMakeFiles/cm_index.dir/index/classifier.cc.o"
+  "CMakeFiles/cm_index.dir/index/classifier.cc.o.d"
+  "CMakeFiles/cm_index.dir/index/concept.cc.o"
+  "CMakeFiles/cm_index.dir/index/concept.cc.o.d"
+  "CMakeFiles/cm_index.dir/index/database.cc.o"
+  "CMakeFiles/cm_index.dir/index/database.cc.o.d"
+  "CMakeFiles/cm_index.dir/index/hier_index.cc.o"
+  "CMakeFiles/cm_index.dir/index/hier_index.cc.o.d"
+  "CMakeFiles/cm_index.dir/index/linear_index.cc.o"
+  "CMakeFiles/cm_index.dir/index/linear_index.cc.o.d"
+  "CMakeFiles/cm_index.dir/index/persist.cc.o"
+  "CMakeFiles/cm_index.dir/index/persist.cc.o.d"
+  "CMakeFiles/cm_index.dir/index/query.cc.o"
+  "CMakeFiles/cm_index.dir/index/query.cc.o.d"
+  "libcm_index.a"
+  "libcm_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

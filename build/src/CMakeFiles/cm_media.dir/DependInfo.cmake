@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/color.cc" "src/CMakeFiles/cm_media.dir/media/color.cc.o" "gcc" "src/CMakeFiles/cm_media.dir/media/color.cc.o.d"
+  "/root/repo/src/media/draw.cc" "src/CMakeFiles/cm_media.dir/media/draw.cc.o" "gcc" "src/CMakeFiles/cm_media.dir/media/draw.cc.o.d"
+  "/root/repo/src/media/image.cc" "src/CMakeFiles/cm_media.dir/media/image.cc.o" "gcc" "src/CMakeFiles/cm_media.dir/media/image.cc.o.d"
+  "/root/repo/src/media/morphology.cc" "src/CMakeFiles/cm_media.dir/media/morphology.cc.o" "gcc" "src/CMakeFiles/cm_media.dir/media/morphology.cc.o.d"
+  "/root/repo/src/media/ppm.cc" "src/CMakeFiles/cm_media.dir/media/ppm.cc.o" "gcc" "src/CMakeFiles/cm_media.dir/media/ppm.cc.o.d"
+  "/root/repo/src/media/region.cc" "src/CMakeFiles/cm_media.dir/media/region.cc.o" "gcc" "src/CMakeFiles/cm_media.dir/media/region.cc.o.d"
+  "/root/repo/src/media/video.cc" "src/CMakeFiles/cm_media.dir/media/video.cc.o" "gcc" "src/CMakeFiles/cm_media.dir/media/video.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_media.dir/media/color.cc.o"
+  "CMakeFiles/cm_media.dir/media/color.cc.o.d"
+  "CMakeFiles/cm_media.dir/media/draw.cc.o"
+  "CMakeFiles/cm_media.dir/media/draw.cc.o.d"
+  "CMakeFiles/cm_media.dir/media/image.cc.o"
+  "CMakeFiles/cm_media.dir/media/image.cc.o.d"
+  "CMakeFiles/cm_media.dir/media/morphology.cc.o"
+  "CMakeFiles/cm_media.dir/media/morphology.cc.o.d"
+  "CMakeFiles/cm_media.dir/media/ppm.cc.o"
+  "CMakeFiles/cm_media.dir/media/ppm.cc.o.d"
+  "CMakeFiles/cm_media.dir/media/region.cc.o"
+  "CMakeFiles/cm_media.dir/media/region.cc.o.d"
+  "CMakeFiles/cm_media.dir/media/video.cc.o"
+  "CMakeFiles/cm_media.dir/media/video.cc.o.d"
+  "libcm_media.a"
+  "libcm_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

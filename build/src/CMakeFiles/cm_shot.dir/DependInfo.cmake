@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shot/detector.cc" "src/CMakeFiles/cm_shot.dir/shot/detector.cc.o" "gcc" "src/CMakeFiles/cm_shot.dir/shot/detector.cc.o.d"
+  "/root/repo/src/shot/rep_frame.cc" "src/CMakeFiles/cm_shot.dir/shot/rep_frame.cc.o" "gcc" "src/CMakeFiles/cm_shot.dir/shot/rep_frame.cc.o.d"
+  "/root/repo/src/shot/threshold.cc" "src/CMakeFiles/cm_shot.dir/shot/threshold.cc.o" "gcc" "src/CMakeFiles/cm_shot.dir/shot/threshold.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cm_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_shot.dir/shot/detector.cc.o"
+  "CMakeFiles/cm_shot.dir/shot/detector.cc.o.d"
+  "CMakeFiles/cm_shot.dir/shot/rep_frame.cc.o"
+  "CMakeFiles/cm_shot.dir/shot/rep_frame.cc.o.d"
+  "CMakeFiles/cm_shot.dir/shot/threshold.cc.o"
+  "CMakeFiles/cm_shot.dir/shot/threshold.cc.o.d"
+  "libcm_shot.a"
+  "libcm_shot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_shot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

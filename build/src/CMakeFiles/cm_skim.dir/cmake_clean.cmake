@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_skim.dir/skim/evaluator.cc.o"
+  "CMakeFiles/cm_skim.dir/skim/evaluator.cc.o.d"
+  "CMakeFiles/cm_skim.dir/skim/playback.cc.o"
+  "CMakeFiles/cm_skim.dir/skim/playback.cc.o.d"
+  "CMakeFiles/cm_skim.dir/skim/skimmer.cc.o"
+  "CMakeFiles/cm_skim.dir/skim/skimmer.cc.o.d"
+  "CMakeFiles/cm_skim.dir/skim/storyboard.cc.o"
+  "CMakeFiles/cm_skim.dir/skim/storyboard.cc.o.d"
+  "CMakeFiles/cm_skim.dir/skim/summary.cc.o"
+  "CMakeFiles/cm_skim.dir/skim/summary.cc.o.d"
+  "libcm_skim.a"
+  "libcm_skim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_skim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

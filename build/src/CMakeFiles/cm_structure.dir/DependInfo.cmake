@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/structure/content_structure.cc" "src/CMakeFiles/cm_structure.dir/structure/content_structure.cc.o" "gcc" "src/CMakeFiles/cm_structure.dir/structure/content_structure.cc.o.d"
+  "/root/repo/src/structure/group_classify.cc" "src/CMakeFiles/cm_structure.dir/structure/group_classify.cc.o" "gcc" "src/CMakeFiles/cm_structure.dir/structure/group_classify.cc.o.d"
+  "/root/repo/src/structure/group_detector.cc" "src/CMakeFiles/cm_structure.dir/structure/group_detector.cc.o" "gcc" "src/CMakeFiles/cm_structure.dir/structure/group_detector.cc.o.d"
+  "/root/repo/src/structure/group_similarity.cc" "src/CMakeFiles/cm_structure.dir/structure/group_similarity.cc.o" "gcc" "src/CMakeFiles/cm_structure.dir/structure/group_similarity.cc.o.d"
+  "/root/repo/src/structure/scene_cluster.cc" "src/CMakeFiles/cm_structure.dir/structure/scene_cluster.cc.o" "gcc" "src/CMakeFiles/cm_structure.dir/structure/scene_cluster.cc.o.d"
+  "/root/repo/src/structure/scene_detector.cc" "src/CMakeFiles/cm_structure.dir/structure/scene_detector.cc.o" "gcc" "src/CMakeFiles/cm_structure.dir/structure/scene_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cm_shot.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

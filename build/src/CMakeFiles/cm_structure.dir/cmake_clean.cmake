@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_structure.dir/structure/content_structure.cc.o"
+  "CMakeFiles/cm_structure.dir/structure/content_structure.cc.o.d"
+  "CMakeFiles/cm_structure.dir/structure/group_classify.cc.o"
+  "CMakeFiles/cm_structure.dir/structure/group_classify.cc.o.d"
+  "CMakeFiles/cm_structure.dir/structure/group_detector.cc.o"
+  "CMakeFiles/cm_structure.dir/structure/group_detector.cc.o.d"
+  "CMakeFiles/cm_structure.dir/structure/group_similarity.cc.o"
+  "CMakeFiles/cm_structure.dir/structure/group_similarity.cc.o.d"
+  "CMakeFiles/cm_structure.dir/structure/scene_cluster.cc.o"
+  "CMakeFiles/cm_structure.dir/structure/scene_cluster.cc.o.d"
+  "CMakeFiles/cm_structure.dir/structure/scene_detector.cc.o"
+  "CMakeFiles/cm_structure.dir/structure/scene_detector.cc.o.d"
+  "libcm_structure.a"
+  "libcm_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

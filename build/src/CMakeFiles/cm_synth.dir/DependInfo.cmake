@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/audio_generator.cc" "src/CMakeFiles/cm_synth.dir/synth/audio_generator.cc.o" "gcc" "src/CMakeFiles/cm_synth.dir/synth/audio_generator.cc.o.d"
+  "/root/repo/src/synth/corpus.cc" "src/CMakeFiles/cm_synth.dir/synth/corpus.cc.o" "gcc" "src/CMakeFiles/cm_synth.dir/synth/corpus.cc.o.d"
+  "/root/repo/src/synth/ground_truth.cc" "src/CMakeFiles/cm_synth.dir/synth/ground_truth.cc.o" "gcc" "src/CMakeFiles/cm_synth.dir/synth/ground_truth.cc.o.d"
+  "/root/repo/src/synth/video_generator.cc" "src/CMakeFiles/cm_synth.dir/synth/video_generator.cc.o" "gcc" "src/CMakeFiles/cm_synth.dir/synth/video_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cm_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

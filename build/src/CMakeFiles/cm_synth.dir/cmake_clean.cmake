@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_synth.dir/synth/audio_generator.cc.o"
+  "CMakeFiles/cm_synth.dir/synth/audio_generator.cc.o.d"
+  "CMakeFiles/cm_synth.dir/synth/corpus.cc.o"
+  "CMakeFiles/cm_synth.dir/synth/corpus.cc.o.d"
+  "CMakeFiles/cm_synth.dir/synth/ground_truth.cc.o"
+  "CMakeFiles/cm_synth.dir/synth/ground_truth.cc.o.d"
+  "CMakeFiles/cm_synth.dir/synth/video_generator.cc.o"
+  "CMakeFiles/cm_synth.dir/synth/video_generator.cc.o.d"
+  "libcm_synth.a"
+  "libcm_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/fft.cc" "src/CMakeFiles/cm_util.dir/util/fft.cc.o" "gcc" "src/CMakeFiles/cm_util.dir/util/fft.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/cm_util.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/cm_util.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/mathutil.cc" "src/CMakeFiles/cm_util.dir/util/mathutil.cc.o" "gcc" "src/CMakeFiles/cm_util.dir/util/mathutil.cc.o.d"
+  "/root/repo/src/util/matrix.cc" "src/CMakeFiles/cm_util.dir/util/matrix.cc.o" "gcc" "src/CMakeFiles/cm_util.dir/util/matrix.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/cm_util.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/cm_util.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/serial.cc" "src/CMakeFiles/cm_util.dir/util/serial.cc.o" "gcc" "src/CMakeFiles/cm_util.dir/util/serial.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/cm_util.dir/util/status.cc.o" "gcc" "src/CMakeFiles/cm_util.dir/util/status.cc.o.d"
+  "/root/repo/src/util/threadpool.cc" "src/CMakeFiles/cm_util.dir/util/threadpool.cc.o" "gcc" "src/CMakeFiles/cm_util.dir/util/threadpool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_util.dir/util/fft.cc.o"
+  "CMakeFiles/cm_util.dir/util/fft.cc.o.d"
+  "CMakeFiles/cm_util.dir/util/logging.cc.o"
+  "CMakeFiles/cm_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/cm_util.dir/util/mathutil.cc.o"
+  "CMakeFiles/cm_util.dir/util/mathutil.cc.o.d"
+  "CMakeFiles/cm_util.dir/util/matrix.cc.o"
+  "CMakeFiles/cm_util.dir/util/matrix.cc.o.d"
+  "CMakeFiles/cm_util.dir/util/rng.cc.o"
+  "CMakeFiles/cm_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/cm_util.dir/util/serial.cc.o"
+  "CMakeFiles/cm_util.dir/util/serial.cc.o.d"
+  "CMakeFiles/cm_util.dir/util/status.cc.o"
+  "CMakeFiles/cm_util.dir/util/status.cc.o.d"
+  "CMakeFiles/cm_util.dir/util/threadpool.cc.o"
+  "CMakeFiles/cm_util.dir/util/threadpool.cc.o.d"
+  "libcm_util.a"
+  "libcm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmv_pipeline_test.dir/cmv_pipeline_test.cc.o"
+  "CMakeFiles/cmv_pipeline_test.dir/cmv_pipeline_test.cc.o.d"
+  "cmv_pipeline_test"
+  "cmv_pipeline_test.pdb"
+  "cmv_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmv_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

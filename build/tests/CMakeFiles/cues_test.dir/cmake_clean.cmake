@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cues_test.dir/cues_test.cc.o"
+  "CMakeFiles/cues_test.dir/cues_test.cc.o.d"
+  "cues_test"
+  "cues_test.pdb"
+  "cues_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cues_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

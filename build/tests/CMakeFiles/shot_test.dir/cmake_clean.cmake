@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shot_test.dir/shot_test.cc.o"
+  "CMakeFiles/shot_test.dir/shot_test.cc.o.d"
+  "shot_test"
+  "shot_test.pdb"
+  "shot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
