@@ -65,6 +65,27 @@ void BM_FrameDifference(benchmark::State& state) {
 }
 BENCHMARK(BM_FrameDifference);
 
+// Whole-video difference series with a pool: per-frame histograms fan out,
+// the differencing reduction stays serial (bit-identical to 1 thread).
+void BM_FrameDifferenceSeriesThreads(benchmark::State& state) {
+  media::Video video("bench", 12.0);
+  for (int i = 0; i < 240; ++i) {
+    video.AppendFrame(BenchFrame(96, 72, static_cast<uint64_t>(i)));
+  }
+  const int threads = static_cast<int>(state.range(0));
+  util::ThreadPool pool(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::FrameDifferenceSeries(
+        video, threads > 1 ? &pool : nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * video.frame_count());
+}
+BENCHMARK(BM_FrameDifferenceSeriesThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace classminer
 

@@ -35,7 +35,7 @@ int Usage() {
       "usage:\n"
       "  classminer generate <out.cmv> [--title NAME] [--seed N] "
       "[--degraded]\n"
-      "  classminer mine <in.cmv>\n"
+      "  classminer mine <in.cmv> [--threads N]\n"
       "  classminer search <in.cmv> "
       "<presentation|dialog|clinical_operation>\n"
       "  classminer skim <in.cmv> [--level N] [--html out.html] "
@@ -45,14 +45,16 @@ int Usage() {
 }
 
 bool LoadAndMine(const std::string& path, codec::CmvFile* file,
-                 core::MiningResult* result) {
+                 core::MiningResult* result,
+                 const core::MiningOptions& options = {}) {
   util::StatusOr<codec::CmvFile> loaded = codec::CmvFile::LoadFromFile(path);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s: %s\n", path.c_str(),
                  loaded.status().ToString().c_str());
     return false;
   }
-  util::StatusOr<core::MiningResult> mined = core::MineCmvFile(*loaded);
+  util::StatusOr<core::MiningResult> mined =
+      core::MineCmvFile(*loaded, options);
   if (!mined.ok()) {
     std::fprintf(stderr, "%s: mining failed: %s\n", path.c_str(),
                  mined.status().ToString().c_str());
@@ -122,10 +124,18 @@ int CmdGenerate(const std::vector<std::string>& args) {
 }
 
 int CmdMine(const std::vector<std::string>& args) {
-  if (args.size() != 1) return Usage();
+  if (args.empty()) return Usage();
+  core::MiningOptions options;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--threads" && i + 1 < args.size()) {
+      options.thread_count = std::stoi(args[++i]);
+    } else {
+      return Usage();
+    }
+  }
   codec::CmvFile file;
   core::MiningResult result;
-  if (!LoadAndMine(args[0], &file, &result)) return 1;
+  if (!LoadAndMine(args[0], &file, &result, options)) return 1;
 
   const structure::ContentStructure& cs = result.structure;
   std::printf("%s: %zu shots, %zu groups, %d scenes, %zu clustered scenes "
@@ -141,6 +151,7 @@ int CmdMine(const std::vector<std::string>& args) {
                 cs.ShotCountOfScene(scene), scene.start_group,
                 scene.end_group);
   }
+  std::printf("\nper-stage metrics:\n%s", result.metrics.ToString().c_str());
   return 0;
 }
 

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then a ThreadSanitizer pass
+# over the concurrency-sensitive suites.
+#
+#   scripts/tier1.sh            # standard build dir ./build, TSAN dir ./build-tsan
+#   SKIP_TSAN=1 scripts/tier1.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: standard build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  echo "== tier-1: ThreadSanitizer (concurrency + parallel pipeline) =="
+  cmake -B build-tsan -S . -DCLASSMINER_TSAN=ON >/dev/null
+  cmake --build build-tsan -j --target concurrency_test parallel_pipeline_test >/dev/null
+  ./build-tsan/tests/concurrency_test
+  ./build-tsan/tests/parallel_pipeline_test
+fi
+
+echo "tier-1 OK"

@@ -39,7 +39,8 @@ double SpeakerSegmenter::HeuristicMargin(const ClipFeatures& f) {
 ShotAudioAnalysis SpeakerSegmenter::AnalyzeShot(const AudioBuffer& audio,
                                                 double start_sec,
                                                 double end_sec,
-                                                int shot_index) const {
+                                                int shot_index,
+                                                util::ThreadPool* pool) const {
   ShotAudioAnalysis out;
   out.shot_index = shot_index;
   const double duration = end_sec - start_sec;
@@ -51,12 +52,16 @@ ShotAudioAnalysis SpeakerSegmenter::AnalyzeShot(const AudioBuffer& audio,
   if (clips.empty()) return out;
   out.analyzable = true;
 
-  // Pick the clip most like clean speech.
+  // Feature every clip (independent slots), then pick the clip most like
+  // clean speech with a serial scan — first-best wins either way.
+  std::vector<ClipFeatures> features(clips.size());
+  util::ParallelFor(pool, static_cast<int>(clips.size()), [&](int i) {
+    features[static_cast<size_t>(i)] =
+        ComputeClipFeatures(clips[static_cast<size_t>(i)]);
+  });
   double best_margin = -1e18;
   size_t best_clip = 0;
-  std::vector<ClipFeatures> features(clips.size());
   for (size_t i = 0; i < clips.size(); ++i) {
-    features[i] = ComputeClipFeatures(clips[i]);
     double margin;
     if (classifier_.has_value()) {
       util::Matrix row(1, kClipFeatureDims);

@@ -10,6 +10,7 @@
 #include "audio/gmm.h"
 #include "audio/mfcc.h"
 #include "util/matrix.h"
+#include "util/threadpool.h"
 
 namespace classminer::audio {
 
@@ -51,9 +52,13 @@ class SpeakerSegmenter {
                             std::optional<GmmClassifier> classifier = {})
       : options_(options), classifier_(std::move(classifier)) {}
 
-  // Analyzes the audio of one shot spanning [start_sec, end_sec).
+  // Analyzes the audio of one shot spanning [start_sec, end_sec). An
+  // optional pool parallelises per-clip feature extraction (independent
+  // clip slots, serial best-clip selection; bit-identical to serial). Pass
+  // nullptr when the caller already parallelises across shots.
   ShotAudioAnalysis AnalyzeShot(const AudioBuffer& audio, double start_sec,
-                                double end_sec, int shot_index) const;
+                                double end_sec, int shot_index,
+                                util::ThreadPool* pool = nullptr) const;
 
   // BIC speaker-change decision between two analyzed shots. Shots without
   // usable speech never assert a change.

@@ -1,39 +1,99 @@
 #include "core/classminer.h"
 
+#include <memory>
+
 #include "util/threadpool.h"
 
 namespace classminer::core {
+namespace {
+
+// One pool shared by every stage of a MineVideo call (or none for serial
+// runs). Stages receive a raw pointer; a null pool runs inline.
+std::unique_ptr<util::ThreadPool> MakePipelinePool(int thread_count) {
+  if (thread_count <= 1) return nullptr;
+  return std::make_unique<util::ThreadPool>(thread_count);
+}
+
+}  // namespace
 
 MiningResult MineVideo(const media::Video& video,
                        const audio::AudioBuffer& audio,
                        const MiningOptions& options) {
   MiningResult result;
+  const std::unique_ptr<util::ThreadPool> pool =
+      MakePipelinePool(options.thread_count);
+  util::ThreadPool* p = pool.get();
+  const int threads = p != nullptr ? p->thread_count() : 1;
 
   // 1. Shot detection + representative frames.
-  std::vector<shot::Shot> shots =
-      shot::DetectShots(video, options.shot, &result.shot_trace);
-
-  // 2. Per-shot audio analysis (representative clip + MFCC).
-  const audio::SpeakerSegmenter segmenter(options.events.segmenter);
-  result.shot_audio.reserve(shots.size());
-  for (const shot::Shot& s : shots) {
-    result.shot_audio.push_back(segmenter.AnalyzeShot(
-        audio, s.StartSeconds(video.fps()), s.EndSeconds(video.fps()),
-        s.index));
+  std::vector<shot::Shot> shots;
+  {
+    StageTimer timer(&result.metrics, "shot", threads);
+    shots = shot::DetectShots(video, options.shot, &result.shot_trace, p);
+    timer.set_items(video.frame_count());
   }
 
-  // 3. Content-structure mining: groups -> scenes -> clustered scenes.
-  result.structure =
-      structure::MineVideoStructure(std::move(shots), options.structure);
+  // 2. Per-shot audio analysis (representative clip + MFCC). Shots are
+  // independent, so the pool runs across shots; the per-clip parallelism
+  // inside AnalyzeShot stays off (same pool, would self-deadlock).
+  {
+    StageTimer timer(&result.metrics, "audio", threads);
+    const audio::SpeakerSegmenter segmenter(options.events.segmenter);
+    result.shot_audio.assign(shots.size(), audio::ShotAudioAnalysis{});
+    util::ParallelFor(p, static_cast<int>(shots.size()), [&](int i) {
+      const shot::Shot& s = shots[static_cast<size_t>(i)];
+      result.shot_audio[static_cast<size_t>(i)] = segmenter.AnalyzeShot(
+          audio, s.StartSeconds(video.fps()), s.EndSeconds(video.fps()),
+          s.index);
+    });
+    timer.set_items(static_cast<int64_t>(shots.size()));
+  }
+
+  // 3. Content-structure mining, staged for the metrics registry:
+  // groups -> scenes -> clustered scenes.
+  {
+    StageTimer timer(&result.metrics, "group", threads);
+    result.structure.shots = std::move(shots);
+    result.structure.groups = structure::DetectGroups(
+        result.structure.shots, options.structure.group);
+    structure::ClassifyGroups(result.structure.shots,
+                              &result.structure.groups,
+                              options.structure.classify);
+    timer.set_items(static_cast<int64_t>(result.structure.groups.size()));
+  }
+  {
+    StageTimer timer(&result.metrics, "scene", threads);
+    result.structure.scenes =
+        structure::DetectScenes(result.structure.shots,
+                                result.structure.groups,
+                                options.structure.scene, nullptr, p);
+    timer.set_items(static_cast<int64_t>(result.structure.scenes.size()));
+  }
+  {
+    StageTimer timer(&result.metrics, "cluster", threads);
+    result.structure.clustered_scenes = structure::ClusterScenes(
+        result.structure.shots, result.structure.groups,
+        result.structure.scenes, options.structure.cluster, nullptr, p);
+    timer.set_items(
+        static_cast<int64_t>(result.structure.clustered_scenes.size()));
+  }
 
   // 4. Visual cues on representative frames.
-  result.shot_cues =
-      cues::ExtractShotCues(video, result.structure.shots, options.cues);
+  {
+    StageTimer timer(&result.metrics, "cues", threads);
+    result.shot_cues = cues::ExtractShotCues(video, result.structure.shots,
+                                             options.cues, p);
+    timer.set_items(static_cast<int64_t>(result.shot_cues.size()));
+  }
 
   // 5. Event mining over active scenes.
-  const events::EventMiner miner(&result.structure, &result.shot_cues,
-                                 &result.shot_audio, options.events);
-  result.events = miner.MineAllScenes();
+  {
+    StageTimer timer(&result.metrics, "events", threads);
+    const events::EventMiner miner(&result.structure, &result.shot_cues,
+                                   &result.shot_audio, options.events);
+    result.events = miner.MineAllScenes();
+    timer.set_items(static_cast<int64_t>(result.events.size()));
+  }
   return result;
 }
 
@@ -48,10 +108,16 @@ std::vector<MiningResult> MineVideosParallel(
   std::vector<MiningResult> results(inputs.size());
   util::ThreadPool pool(threads > 0 ? threads
                                     : util::ThreadPool::DefaultThreads());
+  // Batch ingest parallelises across videos; each video mines serially
+  // inside (nesting on one machine would only oversubscribe cores). A
+  // single input keeps its intra-video parallelism. Results are identical
+  // either way — see MiningOptions::thread_count.
+  MiningOptions per_video = options;
+  if (inputs.size() > 1) per_video.thread_count = 1;
   util::ParallelFor(&pool, static_cast<int>(inputs.size()), [&](int i) {
     results[static_cast<size_t>(i)] =
         MineVideo(*inputs[static_cast<size_t>(i)].video,
-                  *inputs[static_cast<size_t>(i)].audio, options);
+                  *inputs[static_cast<size_t>(i)].audio, per_video);
   });
   return results;
 }

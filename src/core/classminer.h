@@ -5,11 +5,13 @@
 
 #include "audio/audio_buffer.h"
 #include "audio/speaker_segmenter.h"
+#include "core/metrics.h"
 #include "cues/cue_extractor.h"
 #include "events/event_miner.h"
 #include "media/video.h"
 #include "shot/detector.h"
 #include "structure/content_structure.h"
+#include "util/threadpool.h"
 
 namespace classminer::core {
 
@@ -19,6 +21,12 @@ struct MiningOptions {
   structure::StructureOptions structure{};
   cues::CueExtractorOptions cues{};
   events::EventMinerOptions events{};
+  // Threads for the intra-video hot paths (feature extraction, the scene
+  // similarity matrix / PCS clustering, per-shot audio and cue analysis).
+  // One shared pool serves every stage. Parallel runs are bit-identical to
+  // thread_count = 1: all loops use fixed per-index partitioning and serial
+  // reductions. <= 0 falls back to 1 (serial).
+  int thread_count = util::ThreadPool::DefaultThreads();
 };
 
 // Everything the pipeline mines from one video.
@@ -28,6 +36,7 @@ struct MiningResult {
   std::vector<audio::ShotAudioAnalysis> shot_audio;   // per shot
   std::vector<events::EventRecord> events;            // per active scene
   shot::ShotDetectionTrace shot_trace;                // Fig. 5 diagnostics
+  PipelineMetrics metrics;                            // per-stage wall time
 };
 
 // Runs shot detection, content-structure mining, visual/audio cue

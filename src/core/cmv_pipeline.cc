@@ -1,10 +1,13 @@
 #include "core/cmv_pipeline.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "codec/decoder.h"
 #include "codec/encoder.h"
 #include "shot/rep_frame.h"
+#include "util/threadpool.h"
 
 namespace classminer::core {
 namespace {
@@ -30,9 +33,20 @@ codec::CmvFile PackGeneratedVideo(const synth::GeneratedVideo& generated) {
 
 util::StatusOr<MiningResult> MineCmvFile(const codec::CmvFile& file,
                                          const MiningOptions& options) {
-  util::StatusOr<media::Video> video = codec::DecodeVideo(file);
+  PipelineMetrics decode_metrics;
+  util::StatusOr<media::Video> video = [&] {
+    StageTimer timer(&decode_metrics, "decode");
+    auto decoded = codec::DecodeVideo(file);
+    timer.set_items(file.frame_count());
+    return decoded;
+  }();
   if (!video.ok()) return video.status();
-  return MineVideo(*video, AudioFromFile(file), options);
+  MiningResult result = MineVideo(*video, AudioFromFile(file), options);
+  // Decode time leads the stage table so the CLI/bench see the whole cost.
+  result.metrics.stages.insert(result.metrics.stages.begin(),
+                               decode_metrics.stages.begin(),
+                               decode_metrics.stages.end());
+  return result;
 }
 
 util::StatusOr<MiningResult> MineCmvFile(const codec::CmvFile& file) {
@@ -41,37 +55,73 @@ util::StatusOr<MiningResult> MineCmvFile(const codec::CmvFile& file) {
 
 util::StatusOr<MiningResult> MineCmvFileFast(const codec::CmvFile& file,
                                              const MiningOptions& options) {
-  // 1. Shot spans from the compressed domain (DC images only).
-  util::StatusOr<std::vector<media::GrayImage>> dc =
-      codec::DecodeDcImages(file);
-  if (!dc.ok()) return dc.status();
-
   MiningResult result;
-  std::vector<shot::Shot> shots =
-      shot::DetectShotsFromDc(*dc, options.shot, &result.shot_trace);
+  const std::unique_ptr<util::ThreadPool> pool =
+      options.thread_count > 1
+          ? std::make_unique<util::ThreadPool>(options.thread_count)
+          : nullptr;
+  util::ThreadPool* p = pool.get();
+  const int threads = p != nullptr ? p->thread_count() : 1;
+
+  // 1. Shot spans from the compressed domain (DC images only).
+  std::vector<shot::Shot> shots;
+  {
+    StageTimer timer(&result.metrics, "shot", threads);
+    util::StatusOr<std::vector<media::GrayImage>> dc =
+        codec::DecodeDcImages(file);
+    if (!dc.ok()) return dc.status();
+    shots = shot::DetectShotsFromDc(*dc, options.shot, &result.shot_trace);
+    timer.set_items(static_cast<int64_t>(dc->size()));
+  }
 
   // 2. Full decode for representative-frame features and cues. (A future
   // refinement could decode only the rep frames' GOPs.)
-  util::StatusOr<media::Video> video = codec::DecodeVideo(file);
+  util::StatusOr<media::Video> video = [&]() {
+    StageTimer timer(&result.metrics, "decode", threads);
+    auto decoded = codec::DecodeVideo(file);
+    timer.set_items(file.frame_count());
+    return decoded;
+  }();
   if (!video.ok()) return video.status();
-  shot::PopulateRepresentativeFrames(*video, &shots);
-
-  const audio::AudioBuffer track = AudioFromFile(file);
-  const audio::SpeakerSegmenter segmenter(options.events.segmenter);
-  result.shot_audio.reserve(shots.size());
-  for (const shot::Shot& s : shots) {
-    result.shot_audio.push_back(segmenter.AnalyzeShot(
-        track, s.StartSeconds(video->fps()), s.EndSeconds(video->fps()),
-        s.index));
+  {
+    StageTimer timer(&result.metrics, "repframe", threads);
+    shot::PopulateRepresentativeFrames(*video, &shots, p);
+    timer.set_items(static_cast<int64_t>(shots.size()));
   }
 
-  result.structure =
-      structure::MineVideoStructure(std::move(shots), options.structure);
-  result.shot_cues =
-      cues::ExtractShotCues(*video, result.structure.shots, options.cues);
-  const events::EventMiner miner(&result.structure, &result.shot_cues,
-                                 &result.shot_audio, options.events);
-  result.events = miner.MineAllScenes();
+  {
+    StageTimer timer(&result.metrics, "audio", threads);
+    const audio::AudioBuffer track = AudioFromFile(file);
+    const audio::SpeakerSegmenter segmenter(options.events.segmenter);
+    result.shot_audio.assign(shots.size(), audio::ShotAudioAnalysis{});
+    util::ParallelFor(p, static_cast<int>(shots.size()), [&](int i) {
+      const shot::Shot& s = shots[static_cast<size_t>(i)];
+      result.shot_audio[static_cast<size_t>(i)] = segmenter.AnalyzeShot(
+          track, s.StartSeconds(video->fps()), s.EndSeconds(video->fps()),
+          s.index);
+    });
+    timer.set_items(static_cast<int64_t>(shots.size()));
+  }
+
+  {
+    StageTimer timer(&result.metrics, "structure", threads);
+    result.structure = structure::MineVideoStructure(std::move(shots),
+                                                     options.structure, p);
+    timer.set_items(static_cast<int64_t>(result.structure.scenes.size()));
+  }
+  {
+    StageTimer timer(&result.metrics, "cues", threads);
+    result.shot_cues = cues::ExtractShotCues(*video, result.structure.shots,
+                                             options.cues, p);
+    timer.set_items(static_cast<int64_t>(result.shot_cues.size()));
+  }
+  {
+    StageTimer timer(&result.metrics, "events", threads);
+    const events::EventMiner miner(&result.structure, &result.shot_cues,
+                                   &result.shot_audio, options.events);
+    result.events = miner.MineAllScenes();
+    timer.set_items(static_cast<int64_t>(result.events.size()));
+  }
   return result;
 }
 

@@ -33,16 +33,19 @@ FrameCues ExtractFrameCues(const media::Image& frame) {
 
 std::vector<FrameCues> ExtractShotCues(const media::Video& video,
                                        const std::vector<shot::Shot>& shots,
-                                       const CueExtractorOptions& options) {
-  std::vector<FrameCues> out;
-  out.reserve(shots.size());
-  for (const shot::Shot& s : shots) {
-    if (s.rep_frame >= 0 && s.rep_frame < video.frame_count()) {
-      out.push_back(ExtractFrameCues(video.frame(s.rep_frame), options));
-    } else {
-      out.emplace_back();
-    }
-  }
+                                       const CueExtractorOptions& options,
+                                       util::ThreadPool* pool) {
+  std::vector<FrameCues> out(shots.size());
+  util::ParallelFor(
+      pool, static_cast<int>(shots.size()),
+      [&](int i) {
+        const shot::Shot& s = shots[static_cast<size_t>(i)];
+        if (s.rep_frame >= 0 && s.rep_frame < video.frame_count()) {
+          out[static_cast<size_t>(i)] =
+              ExtractFrameCues(video.frame(s.rep_frame), options);
+        }
+      },
+      /*grain=*/2);
   return out;
 }
 

@@ -5,6 +5,7 @@
 
 #include "media/image.h"
 #include "media/video.h"
+#include "util/threadpool.h"
 
 namespace classminer::features {
 
@@ -15,8 +16,12 @@ namespace classminer::features {
 double FrameDifference(const media::Image& a, const media::Image& b);
 
 // Difference series d[i] = FrameDifference(frame[i], frame[i+1]) for a whole
-// video; size is frame_count - 1 (empty for videos with < 2 frames).
-std::vector<double> FrameDifferenceSeries(const media::Video& video);
+// video; size is frame_count - 1 (empty for videos with < 2 frames). With a
+// pool, per-frame histograms are computed in parallel (fixed per-index
+// partitioning) and differenced serially, so the series is bit-identical to
+// the serial one.
+std::vector<double> FrameDifferenceSeries(const media::Video& video,
+                                          util::ThreadPool* pool = nullptr);
 
 // Block-luma difference: mean absolute difference of 8x8 block means,
 // normalised to [0, 1]. This is the compressed-domain variant driven by

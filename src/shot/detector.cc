@@ -68,8 +68,10 @@ std::vector<int> DetectCuts(std::span<const double> diffs,
 
 std::vector<Shot> DetectShots(const media::Video& video,
                               const ShotDetectorOptions& options,
-                              ShotDetectionTrace* trace) {
-  const std::vector<double> diffs = features::FrameDifferenceSeries(video);
+                              ShotDetectionTrace* trace,
+                              util::ThreadPool* pool) {
+  const std::vector<double> diffs =
+      features::FrameDifferenceSeries(video, pool);
   std::vector<double> thresholds;
   const std::vector<int> cuts = DetectCuts(diffs, options, &thresholds);
   if (trace != nullptr) {
@@ -78,7 +80,7 @@ std::vector<Shot> DetectShots(const media::Video& video,
     trace->cuts = cuts;
   }
   std::vector<Shot> shots = ShotsFromCuts(cuts, video.frame_count());
-  PopulateRepresentativeFrames(video, &shots);
+  PopulateRepresentativeFrames(video, &shots, pool);
   return shots;
 }
 

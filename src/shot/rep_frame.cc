@@ -5,18 +5,28 @@
 namespace classminer::shot {
 
 int RepresentativeFrameIndex(int start_frame, int end_frame) {
-  // The 10th frame of the shot (1-based), i.e. start + 9, clamped.
-  return std::min(start_frame + 9, end_frame);
+  // The 10th frame of the shot (1-based), i.e. start + 9, clamped to the
+  // shot span. A degenerate span (end < start) falls back to the start.
+  return std::max(start_frame, std::min(start_frame + 9, end_frame));
 }
 
 void PopulateRepresentativeFrames(const media::Video& video,
-                                  std::vector<Shot>* shots) {
-  for (Shot& s : *shots) {
-    s.rep_frame = RepresentativeFrameIndex(s.start_frame, s.end_frame);
-    if (s.rep_frame >= 0 && s.rep_frame < video.frame_count()) {
-      s.features = features::ExtractShotFeatures(video.frame(s.rep_frame));
-    }
-  }
+                                  std::vector<Shot>* shots,
+                                  util::ThreadPool* pool) {
+  const int frames = video.frame_count();
+  util::ParallelFor(
+      pool, static_cast<int>(shots->size()),
+      [&](int i) {
+        Shot& s = (*shots)[static_cast<size_t>(i)];
+        s.rep_frame = RepresentativeFrameIndex(s.start_frame, s.end_frame);
+        // Shot spans normally lie inside the video, but compressed-domain
+        // traces can overshoot by a frame; clamp instead of dropping.
+        if (frames > 0 && s.rep_frame >= frames) s.rep_frame = frames - 1;
+        if (s.rep_frame >= 0 && s.rep_frame < frames) {
+          s.features = features::ExtractShotFeatures(video.frame(s.rep_frame));
+        }
+      },
+      /*grain=*/2);
 }
 
 }  // namespace classminer::shot

@@ -5,16 +5,25 @@
 
 #include "media/video.h"
 #include "shot/shot.h"
+#include "util/threadpool.h"
 
 namespace classminer::shot {
 
 // Index of the representative frame of a shot span: the shot's 10th frame
-// (paper Sec. 3.1), clamped to the shot for shorter shots.
+// (paper Sec. 3.1), clamped to the shot for shorter shots. Degenerate spans
+// (end before start) clamp to the start frame so the index never leaves the
+// shot.
 int RepresentativeFrameIndex(int start_frame, int end_frame);
 
-// Fills rep_frame and features for every shot from the decoded video.
+// Fills rep_frame and features for every shot from the decoded video. The
+// representative index is additionally clamped to the video's frame range,
+// so a final shot ending at frame_count() - 1 (or a span produced by a
+// mismatched compressed-domain trace) always yields valid features. With a
+// pool, shots are processed in parallel (independent per-shot slots;
+// bit-identical to serial).
 void PopulateRepresentativeFrames(const media::Video& video,
-                                  std::vector<Shot>* shots);
+                                  std::vector<Shot>* shots,
+                                  util::ThreadPool* pool = nullptr);
 
 }  // namespace classminer::shot
 

@@ -37,14 +37,15 @@ double ContentStructure::CompressionRateFactor() const {
 }
 
 ContentStructure MineVideoStructure(std::vector<shot::Shot> shots,
-                                    const StructureOptions& options) {
+                                    const StructureOptions& options,
+                                    util::ThreadPool* pool) {
   ContentStructure cs;
   cs.shots = std::move(shots);
   cs.groups = DetectGroups(cs.shots, options.group);
   ClassifyGroups(cs.shots, &cs.groups, options.classify);
-  cs.scenes = DetectScenes(cs.shots, cs.groups, options.scene);
-  cs.clustered_scenes =
-      ClusterScenes(cs.shots, cs.groups, cs.scenes, options.cluster);
+  cs.scenes = DetectScenes(cs.shots, cs.groups, options.scene, nullptr, pool);
+  cs.clustered_scenes = ClusterScenes(cs.shots, cs.groups, cs.scenes,
+                                      options.cluster, nullptr, pool);
   return cs;
 }
 

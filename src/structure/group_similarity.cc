@@ -7,6 +7,13 @@ namespace classminer::structure {
 double StGpSim(const std::vector<shot::Shot>& shots, int shot_index,
                std::span<const int> group_shots,
                const features::StSimWeights& weights) {
+  // Degenerate inputs (bad index, empty group) read as "no similarity"
+  // rather than faulting — callers feed detector output that can contain
+  // empty spans for pathological videos.
+  if (shot_index < 0 || shot_index >= static_cast<int>(shots.size()) ||
+      group_shots.empty()) {
+    return 0.0;
+  }
   double best = 0.0;
   const features::ShotFeatures& f =
       shots[static_cast<size_t>(shot_index)].features;

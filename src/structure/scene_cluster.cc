@@ -31,39 +31,115 @@ double RepSim(const std::vector<shot::Shot>& shots,
                groups[static_cast<size_t>(rep_b)], weights);
 }
 
+// Symmetric centroid-similarity matrix over the current cluster set. The
+// similarity is a pure function of the two representative groups, so cached
+// entries equal freshly computed ones; rows fill in parallel while the
+// merge-pair argmax stays a serial ascending (i, j) scan, keeping the
+// agglomeration sequence identical to the serial implementation.
+class CentroidSimMatrix {
+ public:
+  CentroidSimMatrix(const std::vector<shot::Shot>& shots,
+                    const std::vector<Group>& groups,
+                    const features::StSimWeights& weights,
+                    util::ThreadPool* pool)
+      : shots_(shots), groups_(groups), weights_(weights), pool_(pool) {}
+
+  void Reset(const std::vector<SceneCluster>& clusters) {
+    const size_t n = clusters.size();
+    sim_.assign(n, std::vector<double>(n, 0.0));
+    util::ParallelFor(pool_, static_cast<int>(n), [&](int i) {
+      for (size_t j = static_cast<size_t>(i) + 1; j < n; ++j) {
+        sim_[static_cast<size_t>(i)][j] =
+            RepSim(shots_, groups_, clusters[static_cast<size_t>(i)].rep_group,
+                   clusters[j].rep_group, weights_);
+      }
+    });
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) sim_[j][i] = sim_[i][j];
+    }
+  }
+
+  // Removes row/column `gone` and recomputes row/column `changed` (whose
+  // cluster just absorbed `gone` and re-picked its centroid).
+  void Update(const std::vector<SceneCluster>& clusters, size_t changed,
+              size_t gone) {
+    for (auto& row : sim_) row.erase(row.begin() + static_cast<ptrdiff_t>(gone));
+    sim_.erase(sim_.begin() + static_cast<ptrdiff_t>(gone));
+    const size_t n = clusters.size();
+    util::ParallelFor(pool_, static_cast<int>(n), [&](int j) {
+      if (static_cast<size_t>(j) == changed) return;
+      const double s =
+          RepSim(shots_, groups_, clusters[changed].rep_group,
+                 clusters[static_cast<size_t>(j)].rep_group, weights_);
+      sim_[changed][static_cast<size_t>(j)] = s;
+      sim_[static_cast<size_t>(j)][changed] = s;
+    });
+  }
+
+  // Most similar pair, scanning i < j in ascending order with a strict
+  // comparison (first best wins) — the serial tie-break.
+  void BestPair(size_t* bi, size_t* bj) const {
+    *bi = 0;
+    *bj = 1;
+    double best = -1.0;
+    for (size_t i = 0; i < sim_.size(); ++i) {
+      for (size_t j = i + 1; j < sim_.size(); ++j) {
+        if (sim_[i][j] > best) {
+          best = sim_[i][j];
+          *bi = i;
+          *bj = j;
+        }
+      }
+    }
+  }
+
+ private:
+  const std::vector<shot::Shot>& shots_;
+  const std::vector<Group>& groups_;
+  const features::StSimWeights& weights_;
+  util::ThreadPool* pool_;
+  std::vector<std::vector<double>> sim_;
+};
+
 }  // namespace
 
 double ClusterValidity(const std::vector<shot::Shot>& shots,
                        const std::vector<Group>& groups,
                        const std::vector<SceneCluster>& clusters,
                        const std::vector<Scene>& scenes,
-                       const features::StSimWeights& weights) {
+                       const features::StSimWeights& weights,
+                       util::ThreadPool* pool) {
   const size_t n = clusters.size();
   if (n < 2) return std::numeric_limits<double>::max();
 
   // Intra-cluster distances (Eq. 15): mean 1 - GpSim(centroid, member).
+  // Each cluster owns one slot; member accumulation stays in scene order.
   std::vector<double> intra(n, 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    const SceneCluster& c = clusters[i];
-    if (c.scene_indices.size() < 2) continue;  // singleton: distance 0
+  util::ParallelFor(pool, static_cast<int>(n), [&](int ci) {
+    const SceneCluster& c = clusters[static_cast<size_t>(ci)];
+    if (c.scene_indices.size() < 2) return;  // singleton: distance 0
     double acc = 0.0;
     for (int si : c.scene_indices) {
       const Scene& scene = scenes[static_cast<size_t>(si)];
       acc += 1.0 - RepSim(shots, groups, c.rep_group, scene.rep_group,
                           weights);
     }
-    intra[i] = acc / static_cast<double>(c.scene_indices.size());
-  }
+    intra[static_cast<size_t>(ci)] =
+        acc / static_cast<double>(c.scene_indices.size());
+  });
 
   // rho (Eq. 14, reconstructed as the Davies-Bouldin index): mean over
   // clusters of the worst (largest) pairwise ratio (s_i + s_j) / xi_ij.
   // Intra distances are floored at a small epsilon so a pair of singleton
   // clusters with near-identical centroids (xi ~ 0) is correctly read as
-  // "should have been merged" instead of free separation.
+  // "should have been merged" instead of free separation. Each cluster's
+  // worst ratio fills its own slot (inner j loop in order); the final sum
+  // runs serially in index order, matching serial floating point exactly.
   constexpr double kIntraFloor = 0.01;
-  double rho = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    double worst = 0.0;
+  std::vector<double> worst(n, 0.0);
+  util::ParallelFor(pool, static_cast<int>(n), [&](int ii) {
+    const size_t i = static_cast<size_t>(ii);
+    double w = 0.0;
     for (size_t j = 0; j < n; ++j) {
       if (i == j) continue;
       const double inter = std::max(
@@ -72,10 +148,12 @@ double ClusterValidity(const std::vector<shot::Shot>& shots,
       const double ratio = (std::max(intra[i], kIntraFloor) +
                             std::max(intra[j], kIntraFloor)) /
                            inter;
-      worst = std::max(worst, ratio);
+      w = std::max(w, ratio);
     }
-    rho += worst;
-  }
+    worst[i] = w;
+  });
+  double rho = 0.0;
+  for (size_t i = 0; i < n; ++i) rho += worst[i];
   return rho / static_cast<double>(n);
 }
 
@@ -83,7 +161,8 @@ std::vector<SceneCluster> ClusterScenes(const std::vector<shot::Shot>& shots,
                                         const std::vector<Group>& groups,
                                         const std::vector<Scene>& scenes,
                                         const SceneClusterOptions& options,
-                                        SceneClusterTrace* trace) {
+                                        SceneClusterTrace* trace,
+                                        util::ThreadPool* pool) {
   // Start from singleton clusters over active scenes.
   std::vector<SceneCluster> clusters;
   for (const Scene& scene : scenes) {
@@ -96,14 +175,17 @@ std::vector<SceneCluster> ClusterScenes(const std::vector<shot::Shot>& shots,
   const int m = static_cast<int>(clusters.size());
   if (m <= 1) return clusters;
 
+  // Cmin = ceil(0.5 * M), Cmax = ceil(0.7 * M), clamped to [1, M]. The
+  // ceiling keeps degenerate inputs sane: M = 2 searches [1, 2] rather
+  // than forcing a merge, and Cmax can never exceed the scene count.
   int c_min, c_max;
   if (options.fixed_clusters > 0) {
     c_min = c_max = std::clamp(options.fixed_clusters, 1, m);
   } else {
-    c_min = std::max(1, static_cast<int>(std::floor(m * options.min_fraction)));
-    c_max = std::max(c_min,
-                     static_cast<int>(std::floor(m * options.max_fraction)));
-    c_max = std::min(c_max, m);
+    c_min = std::clamp(static_cast<int>(std::ceil(m * options.min_fraction)),
+                       1, m);
+    c_max = std::clamp(static_cast<int>(std::ceil(m * options.max_fraction)),
+                       c_min, m);
   }
 
   std::vector<SceneCluster> best_state;
@@ -113,10 +195,10 @@ std::vector<SceneCluster> ClusterScenes(const std::vector<shot::Shot>& shots,
   auto consider_state = [&](const std::vector<SceneCluster>& state) {
     const int n = static_cast<int>(state.size());
     if (n < c_min || n > c_max) return;
-    const double rho =
-        options.fixed_clusters > 0
-            ? 0.0
-            : ClusterValidity(shots, groups, state, scenes, options.weights);
+    const double rho = options.fixed_clusters > 0
+                           ? 0.0
+                           : ClusterValidity(shots, groups, state, scenes,
+                                             options.weights, pool);
     if (trace != nullptr) {
       trace->candidates.push_back(n);
       trace->validity.push_back(rho);
@@ -132,27 +214,24 @@ std::vector<SceneCluster> ClusterScenes(const std::vector<shot::Shot>& shots,
   consider_state(clusters);
 
   // Pairwise agglomeration (PCS): merge the most similar centroid pair.
+  // The pairwise matrix is cached across rounds — only the merged
+  // cluster's row changes — and filled in parallel; pair selection scans
+  // serially, so the merge order matches the serial implementation.
+  CentroidSimMatrix sim(shots, groups, options.weights, pool);
+  sim.Reset(clusters);
   while (static_cast<int>(clusters.size()) > c_min) {
-    size_t bi = 0, bj = 1;
-    double best_sim = -1.0;
-    for (size_t i = 0; i < clusters.size(); ++i) {
-      for (size_t j = i + 1; j < clusters.size(); ++j) {
-        const double sim = RepSim(shots, groups, clusters[i].rep_group,
-                                  clusters[j].rep_group, options.weights);
-        if (sim > best_sim) {
-          best_sim = sim;
-          bi = i;
-          bj = j;
-        }
-      }
-    }
+    size_t bi, bj;
+    sim.BestPair(&bi, &bj);
+
     // Merge bj into bi; recompute the centroid over all member groups.
     clusters[bi].scene_indices.insert(clusters[bi].scene_indices.end(),
                                       clusters[bj].scene_indices.begin(),
                                       clusters[bj].scene_indices.end());
     clusters.erase(clusters.begin() + static_cast<ptrdiff_t>(bj));
     clusters[bi].rep_group = SelectRepresentativeGroup(
-        shots, groups, ClusterGroups(clusters[bi], scenes), options.weights);
+        shots, groups, ClusterGroups(clusters[bi], scenes), options.weights,
+        pool);
+    sim.Update(clusters, bi, bj);
 
     consider_state(clusters);
   }

@@ -6,13 +6,18 @@
 #include "features/similarity.h"
 #include "shot/shot.h"
 #include "structure/types.h"
+#include "util/threadpool.h"
 
 namespace classminer::structure {
 
 struct SceneClusterOptions {
   // Validity-analysis search range (Sec. 3.5): the optimal cluster count is
-  // sought in [min_fraction * M, max_fraction * M] of the M input scenes
-  // (paper: eliminate 30-50 % of scenes => fractions 0.5 and 0.7).
+  // sought in [Cmin, Cmax] = [ceil(min_fraction * M), ceil(max_fraction * M)]
+  // of the M input scenes (paper: eliminate 30-50 % of scenes => fractions
+  // 0.5 and 0.7). Ceiling (not floor) keeps the range meaningful for tiny
+  // inputs: M = 2 yields [1, 2] instead of collapsing to [1, 1], so PCS
+  // never has to merge everything just to enter the search window, and it
+  // never requests more clusters than scenes.
   double min_fraction = 0.5;
   double max_fraction = 0.7;
   // When > 0, skips validity analysis and clusters to exactly this count
@@ -36,11 +41,15 @@ struct SceneClusterTrace {
 //
 // Only non-eliminated scenes participate. Singleton clusters are emitted
 // for every remaining scene.
+// An optional pool parallelises the pairwise centroid-similarity matrix and
+// the validity index (fixed partitioning, serial argmax/reduction), leaving
+// the merge sequence bit-identical to a serial run.
 std::vector<SceneCluster> ClusterScenes(const std::vector<shot::Shot>& shots,
                                         const std::vector<Group>& groups,
                                         const std::vector<Scene>& scenes,
                                         const SceneClusterOptions& options = {},
-                                        SceneClusterTrace* trace = nullptr);
+                                        SceneClusterTrace* trace = nullptr,
+                                        util::ThreadPool* pool = nullptr);
 
 // Validity ratio rho for a clustering state (exposed for tests): mean over
 // clusters of intra-cluster distance divided by the largest inter-cluster
@@ -49,7 +58,8 @@ double ClusterValidity(const std::vector<shot::Shot>& shots,
                        const std::vector<Group>& groups,
                        const std::vector<SceneCluster>& clusters,
                        const std::vector<Scene>& scenes,
-                       const features::StSimWeights& weights = {});
+                       const features::StSimWeights& weights = {},
+                       util::ThreadPool* pool = nullptr);
 
 }  // namespace classminer::structure
 

@@ -10,7 +10,8 @@ namespace classminer::structure {
 int SelectRepresentativeGroup(const std::vector<shot::Shot>& shots,
                               const std::vector<Group>& groups,
                               const std::vector<int>& member_groups,
-                              const features::StSimWeights& weights) {
+                              const features::StSimWeights& weights,
+                              util::ThreadPool* pool) {
   if (member_groups.empty()) return -1;
   if (member_groups.size() == 1) return member_groups.front();
   if (member_groups.size() == 2) {
@@ -30,21 +31,28 @@ int SelectRepresentativeGroup(const std::vector<shot::Shot>& shots,
     };
     return duration(a) >= duration(b) ? member_groups[0] : member_groups[1];
   }
-  // Eq. 11: largest average similarity to all other member groups.
+  // Eq. 11: largest average similarity to all other member groups. Each
+  // candidate's average fills its own slot; the argmax scan stays serial in
+  // member order, so the winner matches the serial path exactly.
+  std::vector<double> avg(member_groups.size(), 0.0);
+  util::ParallelFor(
+      pool, static_cast<int>(member_groups.size()), [&](int ji) {
+        const int j = member_groups[static_cast<size_t>(ji)];
+        double acc = 0.0;
+        for (int k : member_groups) {
+          if (k == j) continue;
+          acc += GpSim(shots, groups[static_cast<size_t>(j)],
+                       groups[static_cast<size_t>(k)], weights);
+        }
+        avg[static_cast<size_t>(ji)] =
+            acc / (static_cast<double>(member_groups.size()) - 1.0);
+      });
   int best = member_groups.front();
   double best_avg = -1.0;
-  for (int j : member_groups) {
-    double acc = 0.0;
-    for (int k : member_groups) {
-      if (k == j) continue;
-      acc += GpSim(shots, groups[static_cast<size_t>(j)],
-                   groups[static_cast<size_t>(k)], weights);
-    }
-    const double avg =
-        acc / (static_cast<double>(member_groups.size()) - 1.0);
-    if (avg > best_avg) {
-      best_avg = avg;
-      best = j;
+  for (size_t ji = 0; ji < member_groups.size(); ++ji) {
+    if (avg[ji] > best_avg) {
+      best_avg = avg[ji];
+      best = member_groups[ji];
     }
   }
   return best;
@@ -53,18 +61,19 @@ int SelectRepresentativeGroup(const std::vector<shot::Shot>& shots,
 std::vector<Scene> DetectScenes(const std::vector<shot::Shot>& shots,
                                 const std::vector<Group>& groups,
                                 const SceneDetectorOptions& options,
-                                SceneDetectorTrace* trace) {
+                                SceneDetectorTrace* trace,
+                                util::ThreadPool* pool) {
   std::vector<Scene> scenes;
   const int m = static_cast<int>(groups.size());
   if (m == 0) return scenes;
 
-  // Eq. 10: similarities between neighbouring groups.
-  std::vector<double> sg;
-  sg.reserve(static_cast<size_t>(std::max(0, m - 1)));
-  for (int i = 0; i + 1 < m; ++i) {
-    sg.push_back(GpSim(shots, groups[static_cast<size_t>(i)],
-                       groups[static_cast<size_t>(i) + 1], options.weights));
-  }
+  // Eq. 10: similarities between neighbouring groups (independent pairs).
+  std::vector<double> sg(static_cast<size_t>(std::max(0, m - 1)), 0.0);
+  util::ParallelFor(pool, m - 1, [&](int i) {
+    sg[static_cast<size_t>(i)] =
+        GpSim(shots, groups[static_cast<size_t>(i)],
+              groups[static_cast<size_t>(i) + 1], options.weights);
+  });
 
   double tg = options.merge_threshold;
   if (tg <= 0.0 && !sg.empty()) {
@@ -89,8 +98,11 @@ std::vector<Scene> DetectScenes(const std::vector<shot::Shot>& shots,
     start = i + 1;
   }
 
-  // Eliminate short scenes and choose representative groups.
-  for (Scene& scene : scenes) {
+  // Eliminate short scenes and choose representative groups. Scenes are
+  // independent, so the per-scene work parallelises across scenes (and the
+  // inner SelectRepresentativeGroup then runs serial).
+  util::ParallelFor(pool, static_cast<int>(scenes.size()), [&](int si) {
+    Scene& scene = scenes[static_cast<size_t>(si)];
     int shot_count = 0;
     std::vector<int> members;
     for (int g = scene.start_group; g <= scene.end_group; ++g) {
@@ -100,7 +112,7 @@ std::vector<Scene> DetectScenes(const std::vector<shot::Shot>& shots,
     scene.eliminated = shot_count < options.min_scene_shots;
     scene.rep_group =
         SelectRepresentativeGroup(shots, groups, members, options.weights);
-  }
+  });
   return scenes;
 }
 

@@ -1,6 +1,9 @@
 #include "util/threadpool.h"
 
 #include <algorithm>
+#include <exception>
+
+#include "util/logging.h"
 
 namespace classminer::util {
 
@@ -45,7 +48,17 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    // The in_flight_ decrement below must run even when the task throws,
+    // otherwise Wait() deadlocks forever on a poisoned counter.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      exception_count_.fetch_add(1, std::memory_order_relaxed);
+      CM_LOG(Error) << "ThreadPool task threw: " << e.what();
+    } catch (...) {
+      exception_count_.fetch_add(1, std::memory_order_relaxed);
+      CM_LOG(Error) << "ThreadPool task threw a non-std exception";
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --in_flight_;
@@ -60,9 +73,18 @@ int ThreadPool::DefaultThreads() {
 }
 
 void ParallelFor(ThreadPool* pool, int count,
-                 const std::function<void(int)>& fn) {
-  for (int i = 0; i < count; ++i) {
-    pool->Schedule([&fn, i] { fn(i); });
+                 const std::function<void(int)>& fn, int grain) {
+  if (count <= 0) return;
+  const int step = std::max(1, grain);
+  if (pool == nullptr || pool->thread_count() <= 1 || count <= step) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  for (int begin = 0; begin < count; begin += step) {
+    const int end = std::min(count, begin + step);
+    pool->Schedule([&fn, begin, end] {
+      for (int i = begin; i < end; ++i) fn(i);
+    });
   }
   pool->Wait();
 }

@@ -1,6 +1,7 @@
 #ifndef CLASSMINER_UTIL_THREADPOOL_H_
 #define CLASSMINER_UTIL_THREADPOOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -11,8 +12,16 @@
 namespace classminer::util {
 
 // Minimal fixed-size thread pool. Used to mine independent videos in
-// parallel (each MineVideo call is self-contained and deterministic, so
-// parallel ingest preserves per-video results exactly).
+// parallel and, within one video, to run the per-stage hot loops (feature
+// extraction, scene-similarity matrices, per-shot audio analysis). Every
+// parallel loop in the pipeline writes to pre-sized per-index slots and
+// reduces serially, so results are bit-identical to a serial run.
+//
+// Exception policy: a task that throws does NOT kill the worker or deadlock
+// Wait(). The exception is caught at the worker boundary, logged at Error
+// severity, and counted (see exception_count()). Tasks that must propagate
+// failures should capture them into their own result slots; the pool treats
+// an escaped exception as a programming error that is survivable but loud.
 class ThreadPool {
  public:
   explicit ThreadPool(int threads);
@@ -24,10 +33,17 @@ class ThreadPool {
   // Enqueues a task; runs as soon as a worker is free.
   void Schedule(std::function<void()> task);
 
-  // Blocks until every scheduled task has finished.
+  // Blocks until every scheduled task has finished. Must not be called
+  // from inside a pool task (the waiting worker would count itself as
+  // in-flight and never wake up).
   void Wait();
 
   int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  // Number of tasks that escaped with an exception since construction.
+  int exception_count() const {
+    return exception_count_.load(std::memory_order_relaxed);
+  }
 
   // A sensible default: hardware concurrency, at least 1.
   static int DefaultThreads();
@@ -41,12 +57,18 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   int in_flight_ = 0;
   bool shutdown_ = false;
+  std::atomic<int> exception_count_{0};
   std::vector<std::thread> workers_;
 };
 
-// Runs fn(i) for i in [0, count) across the pool and waits.
+// Runs fn(i) for i in [0, count) and waits. A null `pool` (or a
+// single-thread pool) runs the loop inline, so callers can thread an
+// optional pool through without branching. `grain` batches consecutive
+// indices into one task to amortise scheduling overhead on cheap bodies;
+// partitioning is fixed by (count, grain) alone, never by thread timing.
+// Must not be invoked from inside a task of the same pool (see Wait()).
 void ParallelFor(ThreadPool* pool, int count,
-                 const std::function<void(int)>& fn);
+                 const std::function<void(int)>& fn, int grain = 1);
 
 }  // namespace classminer::util
 

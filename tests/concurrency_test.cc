@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <vector>
 
 #include "core/classminer.h"
@@ -42,6 +43,53 @@ TEST(ThreadPoolTest, AtLeastOneWorkerEvenForZero) {
   pool.Schedule([&ran] { ran = true; });
   pool.Wait();
   EXPECT_TRUE(ran.load());
+}
+
+// Regression: a throwing task used to skip the in-flight decrement, so
+// Wait() deadlocked forever. The pool now catches at the worker boundary,
+// counts the exception, and stays fully usable.
+TEST(ThreadPoolTest, ThrowingTaskDoesNotDeadlockWait) {
+  util::ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Schedule([&completed, i] {
+      if (i % 2 == 0) throw std::runtime_error("task failure");
+      completed.fetch_add(1);
+    });
+  }
+  pool.Wait();  // must return despite the throwing tasks
+  EXPECT_EQ(completed.load(), 4);
+  EXPECT_EQ(pool.exception_count(), 4);
+
+  // The workers survive and keep executing later tasks.
+  std::atomic<bool> ran{false};
+  pool.Schedule([&ran] { ran = true; });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, NonStdExceptionAlsoCaught) {
+  util::ThreadPool pool(1);
+  pool.Schedule([] { throw 42; });
+  pool.Wait();
+  EXPECT_EQ(pool.exception_count(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForNullPoolRunsInline) {
+  std::vector<int> hits(13, 0);
+  util::ParallelFor(nullptr, 13,
+                    [&hits](int i) { ++hits[static_cast<size_t>(i)]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForGrainCoversEachIndexOnce) {
+  util::ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(57);
+  util::ParallelFor(
+      &pool, 57,
+      [&hits](int i) { hits[static_cast<size_t>(i)].fetch_add(1); },
+      /*grain=*/5);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ParallelMiningTest, MatchesSerialResults) {

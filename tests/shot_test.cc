@@ -117,6 +117,67 @@ TEST(RepFrameTest, TenthFrameRule) {
   EXPECT_EQ(RepresentativeFrameIndex(0, 4), 4);  // short shot clamps
 }
 
+TEST(RepFrameTest, BoundaryClamping) {
+  // Shots shorter than 10 frames clamp to their last frame, down to a
+  // single-frame shot that is its own representative.
+  EXPECT_EQ(RepresentativeFrameIndex(20, 25), 25);
+  EXPECT_EQ(RepresentativeFrameIndex(7, 7), 7);
+  // Exactly 10 frames: the 10th frame is the shot's last frame.
+  EXPECT_EQ(RepresentativeFrameIndex(30, 39), 39);
+  // A degenerate span never yields an index before the shot start.
+  EXPECT_EQ(RepresentativeFrameIndex(12, 11), 12);
+}
+
+TEST(RepFrameTest, LastShotEndingAtFinalFrame) {
+  // A final shot ending at frame_count() - 1 with fewer than 10 frames
+  // must pick a valid in-range representative and real features.
+  const media::Video video = MakeCutVideo({30, 6}, 67);
+  const std::vector<Shot> shots = DetectShots(video);
+  ASSERT_EQ(shots.size(), 2u);
+  const Shot& last = shots.back();
+  EXPECT_EQ(last.end_frame, video.frame_count() - 1);
+  EXPECT_EQ(last.rep_frame, RepresentativeFrameIndex(last.start_frame,
+                                                     last.end_frame));
+  EXPECT_LT(last.rep_frame, video.frame_count());
+  EXPECT_GE(last.rep_frame, last.start_frame);
+  double mass = 0.0;
+  for (double v : last.features.histogram) mass += v;
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(RepFrameTest, PopulateClampsSpansBeyondVideo) {
+  // Compressed-domain traces can hand over a span that overshoots the
+  // decoded frame count by one; the representative must clamp into range
+  // instead of silently keeping zero features.
+  const media::Video video = MakeCutVideo({12}, 68);
+  std::vector<Shot> shots(1);
+  shots[0].index = 0;
+  shots[0].start_frame = 8;
+  shots[0].end_frame = 20;  // beyond frame_count() - 1 == 11
+  PopulateRepresentativeFrames(video, &shots);
+  EXPECT_EQ(shots[0].rep_frame, 11);
+  double mass = 0.0;
+  for (double v : shots[0].features.histogram) mass += v;
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(RepFrameTest, PopulateParallelMatchesSerial) {
+  const media::Video video = MakeCutVideo({30, 25, 40, 28, 35}, 69);
+  std::vector<Shot> serial = DetectShots(video);
+  std::vector<Shot> parallel = serial;
+  for (Shot& s : parallel) s.features = {};
+  util::ThreadPool pool(4);
+  PopulateRepresentativeFrames(video, &parallel, &pool);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i].rep_frame, serial[i].rep_frame);
+    for (size_t k = 0; k < serial[i].features.histogram.size(); ++k) {
+      ASSERT_EQ(parallel[i].features.histogram[k],
+                serial[i].features.histogram[k]);
+    }
+  }
+}
+
 TEST(RepFrameTest, FeaturesPopulated) {
   const media::Video video = MakeCutVideo({30, 30}, 65);
   const std::vector<Shot> shots = DetectShots(video);

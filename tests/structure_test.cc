@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 
 #include "media/color.h"
@@ -7,6 +8,7 @@
 #include "structure/content_structure.h"
 #include "structure/group_similarity.h"
 #include "util/rng.h"
+#include "util/threadpool.h"
 
 namespace classminer::structure {
 namespace {
@@ -274,6 +276,123 @@ TEST(SceneClusterTest, ValidityPrefersCorrectPairing) {
                                         make_cluster(2, 3)};
   EXPECT_LT(ClusterValidity(shots, groups, correct, scenes),
             ClusterValidity(shots, groups, wrong, scenes));
+}
+
+TEST(GroupSimilarityTest, DegenerateInputsYieldZero) {
+  const std::vector<shot::Shot> shots = ThreeSceneShots();
+  const std::vector<int> some{0, 2};
+  // Empty groups: no similarity, no division by zero.
+  EXPECT_EQ(GpSim(shots, {}, some), 0.0);
+  EXPECT_EQ(GpSim(shots, some, {}), 0.0);
+  EXPECT_EQ(GpSim(shots, std::span<const int>{}, std::span<const int>{}),
+            0.0);
+  // Out-of-range shot index reads as no similarity rather than faulting.
+  EXPECT_EQ(StGpSim(shots, -1, some), 0.0);
+  EXPECT_EQ(StGpSim(shots, static_cast<int>(shots.size()), some), 0.0);
+  EXPECT_EQ(StGpSim(shots, 0, {}), 0.0);
+}
+
+TEST(GroupSimilarityTest, ZeroNormHistogramsStayFinite) {
+  // Shots with all-zero features (e.g. from an empty frame) must produce a
+  // finite similarity, not NaN.
+  std::vector<shot::Shot> shots(2);
+  shots[0].index = 0;
+  shots[1].index = 1;
+  const std::vector<int> ga{0};
+  const std::vector<int> gb{1};
+  const double sim = GpSim(shots, ga, gb);
+  EXPECT_TRUE(std::isfinite(sim));
+  EXPECT_GE(sim, 0.0);
+  EXPECT_LE(sim, 1.0);
+}
+
+TEST(SceneClusterTest, TwoScenesAreNotForceMerged) {
+  // M = 2 distinct scenes: Cmin = ceil(0.5 * 2) = 1, Cmax = ceil(0.7 * 2)
+  // = 2. With clearly different colours the validity index must keep them
+  // apart instead of collapsing to a single cluster (the old floor-based
+  // range forced [1, 1]).
+  std::vector<shot::Shot> shots;
+  int i = 0;
+  auto add_run = [&](double hue, int n) {
+    for (int k = 0; k < n; ++k) shots.push_back(MakeShot(i++, Hue(hue)));
+  };
+  add_run(0, 4);
+  add_run(140, 4);
+  std::vector<Group> groups = DetectGroups(shots);
+  ClassifyGroups(shots, &groups);
+  const std::vector<Scene> scenes = DetectScenes(shots, groups);
+
+  int active = 0;
+  for (const Scene& s : scenes) active += s.eliminated ? 0 : 1;
+  if (active != 2) GTEST_SKIP() << "detector produced " << active
+                                << " scenes; clamp test needs 2";
+  const std::vector<SceneCluster> clusters =
+      ClusterScenes(shots, groups, scenes);
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+TEST(SceneClusterTest, SingleSceneMatrixPassesThrough) {
+  std::vector<shot::Shot> shots;
+  for (int i = 0; i < 4; ++i) shots.push_back(MakeShot(i, Hue(0)));
+  std::vector<Group> groups = DetectGroups(shots);
+  ClassifyGroups(shots, &groups);
+  const std::vector<Scene> scenes = DetectScenes(shots, groups);
+  const std::vector<SceneCluster> clusters =
+      ClusterScenes(shots, groups, scenes);
+  // However many active scenes exist (possibly one), clustering must never
+  // request more clusters than scenes nor fault on the tiny matrix.
+  size_t active = 0;
+  for (const Scene& s : scenes) active += s.eliminated ? 0u : 1u;
+  EXPECT_LE(clusters.size(), std::max<size_t>(active, 1));
+}
+
+TEST(SceneClusterTest, FixedClustersClampedToSceneCount) {
+  std::vector<shot::Shot> shots;
+  int i = 0;
+  auto add_run = [&](double hue, int n) {
+    for (int k = 0; k < n; ++k) shots.push_back(MakeShot(i++, Hue(hue)));
+  };
+  add_run(0, 4);
+  add_run(140, 4);
+  std::vector<Group> groups = DetectGroups(shots);
+  ClassifyGroups(shots, &groups);
+  const std::vector<Scene> scenes = DetectScenes(shots, groups);
+  SceneClusterOptions opts;
+  opts.fixed_clusters = 99;  // far more clusters than scenes
+  const std::vector<SceneCluster> clusters =
+      ClusterScenes(shots, groups, scenes, opts);
+  size_t active = 0;
+  for (const Scene& s : scenes) active += s.eliminated ? 0u : 1u;
+  EXPECT_EQ(clusters.size(), active);
+}
+
+TEST(SceneClusterTest, ParallelClusteringMatchesSerial) {
+  std::vector<shot::Shot> shots;
+  int i = 0;
+  auto add_run = [&](double hue, int n) {
+    for (int k = 0; k < n; ++k) shots.push_back(MakeShot(i++, Hue(hue)));
+  };
+  add_run(0, 4);
+  add_run(120, 4);
+  add_run(2, 4);
+  add_run(240, 4);
+  add_run(122, 4);
+  std::vector<Group> groups = DetectGroups(shots);
+  ClassifyGroups(shots, &groups);
+  const std::vector<Scene> scenes = DetectScenes(shots, groups);
+
+  const std::vector<SceneCluster> serial =
+      ClusterScenes(shots, groups, scenes);
+  util::ThreadPool pool(4);
+  const std::vector<SceneCluster> parallel =
+      ClusterScenes(shots, groups, scenes, {}, nullptr, &pool);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t c = 0; c < serial.size(); ++c) {
+    EXPECT_EQ(parallel[c].scene_indices, serial[c].scene_indices);
+    EXPECT_EQ(parallel[c].rep_group, serial[c].rep_group);
+  }
+  EXPECT_EQ(ClusterValidity(shots, groups, parallel, scenes, {}, &pool),
+            ClusterValidity(shots, groups, serial, scenes));
 }
 
 TEST(SceneClusterTest, ValidityDegenerateStates) {
