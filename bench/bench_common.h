@@ -33,8 +33,14 @@ inline std::vector<MinedVideo> MineCorpus(double scale = 1.0,
   for (const synth::GeneratedVideo& g : generated) {
     inputs.push_back({&g.video, &g.audio});
   }
-  std::vector<core::MiningResult> results =
+  util::StatusOr<std::vector<core::MiningResult>> batch =
       core::MineVideosParallel(inputs, core::MiningOptions());
+  if (!batch.ok()) {
+    std::fprintf(stderr, "corpus mining failed: %s\n",
+                 batch.status().ToString().c_str());
+    std::abort();
+  }
+  std::vector<core::MiningResult>& results = *batch;
 
   std::vector<MinedVideo> mined;
   for (size_t i = 0; i < generated.size(); ++i) {

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "core/classminer.h"
 #include "media/color.h"
 #include "media/draw.h"
@@ -101,8 +103,10 @@ void BM_MineVideoThreads(benchmark::State& state) {
   core::PipelineMetrics accumulated;
   int64_t runs = 0;
   for (auto _ : state) {
-    core::MiningResult result =
+    util::StatusOr<core::MiningResult> mined =
         core::MineVideo(video.video, video.audio, options);
+    if (!mined.ok()) std::abort();
+    core::MiningResult& result = *mined;
     benchmark::DoNotOptimize(result);
     for (const core::StageMetrics& s : result.metrics.stages) {
       bool found = false;
@@ -127,6 +131,33 @@ BENCHMARK(BM_MineVideoThreads)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(2.0);
+
+// DAG vs sequential stage scheduling at a fixed thread count. Sequential
+// runs one stage at a time (intra-stage loops still fan out); the DAG also
+// overlaps independent stages (audio / structure chain / cues), so its
+// wall-clock should be at or below the sequential baseline.
+void BM_StageScheduling(benchmark::State& state) {
+  const synth::GeneratedVideo video =
+      synth::GenerateVideo(synth::QuickScript(17));
+  core::MiningOptions options;
+  options.thread_count = 4;
+  options.scheduling = state.range(0) == 0
+                           ? core::StageScheduling::kSequential
+                           : core::StageScheduling::kDag;
+  for (auto _ : state) {
+    util::StatusOr<core::MiningResult> mined =
+        core::MineVideo(video.video, video.audio, options);
+    if (!mined.ok()) std::abort();
+    benchmark::DoNotOptimize(*mined);
+  }
+  state.SetLabel(state.range(0) == 0 ? "sequential" : "dag");
+  state.SetItemsProcessed(state.iterations() * video.video.frame_count());
+}
+BENCHMARK(BM_StageScheduling)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->MinTime(2.0);
 

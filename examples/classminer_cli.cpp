@@ -20,6 +20,7 @@
 #include "codec/decoder.h"
 #include "core/cmv_pipeline.h"
 #include "index/browser.h"
+#include "index/hier_index.h"
 #include "skim/playback.h"
 #include "skim/storyboard.h"
 #include "skim/summary.h"
@@ -212,7 +213,11 @@ int CmdSkim(const std::vector<std::string>& args) {
   codec::CmvFile file;
   core::MiningResult result;
   if (!LoadAndMine(args[0], &file, &result)) return 1;
-  const skim::ScalableSkim sk(&result.structure);
+  // Build the skim through a metrics-carrying context so the cost table
+  // below includes a "skim" row alongside the mining stages.
+  const util::ExecutionContext skim_ctx(nullptr, &result.metrics, nullptr,
+                                        nullptr);
+  const skim::ScalableSkim sk(&result.structure, skim_ctx);
 
   std::printf("%-6s %-12s %-10s %s\n", "level", "skim shots", "frames",
               "FCR");
@@ -246,6 +251,7 @@ int CmdSkim(const std::vector<std::string>& args) {
     }
     std::printf("wrote %s\n", storyboard_path.c_str());
   }
+  std::printf("\nper-stage metrics:\n%s", result.metrics.ToString().c_str());
   return 0;
 }
 
@@ -262,21 +268,42 @@ int CmdBrowse(const std::vector<std::string>& args) {
   if (paths.empty()) return Usage();
 
   index::VideoDatabase db;
+  std::vector<std::string> names;
+  std::vector<core::PipelineMetrics> per_video;
   for (const std::string& path : paths) {
     codec::CmvFile file;
     core::MiningResult result;
     if (!LoadAndMine(path, &file, &result)) return 1;
+    names.push_back(file.name);
+    per_video.push_back(result.metrics);
     db.AddVideo(file.name, std::move(result.structure),
                 std::move(result.events));
   }
   const index::ConceptHierarchy concepts =
       index::ConceptHierarchy::MedicalDefault();
+  // Shared (per-database) costs — index construction and browse-tree
+  // assembly — land in one registry through the context.
+  core::PipelineMetrics shared;
+  const util::ExecutionContext ctx(nullptr, &shared, nullptr, nullptr);
+  const index::HierarchicalIndex hier(&db, &concepts,
+                                      index::HierarchicalIndex::Options(),
+                                      ctx);
   const index::AccessController access(&concepts);
   index::UserCredential user;
   user.name = "cli";
   user.clearance = clearance;
-  const auto tree = index::BuildBrowseTree(db, concepts, access, user);
+  const auto tree = index::BuildBrowseTree(db, concepts, access, user, ctx);
   std::printf("%s", index::RenderBrowseTree(tree).c_str());
+
+  // End-to-end cost report: per-video mining pipelines, then the shared
+  // index/browse stages.
+  std::printf("\nper-video cost:\n");
+  std::printf("  %-20s %10s %8s\n", "video", "total ms", "stages");
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::printf("  %-20s %10.2f %8zu\n", names[i].c_str(),
+                per_video[i].TotalMs(), per_video[i].stages.size());
+  }
+  std::printf("shared index/browse cost:\n%s", shared.ToString().c_str());
   return 0;
 }
 

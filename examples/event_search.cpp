@@ -29,8 +29,14 @@ int main(int argc, char** argv) {
 
   const synth::GeneratedVideo input =
       synth::GenerateVideo(synth::QuickScript(77));
-  const core::MiningResult result =
+  const util::StatusOr<core::MiningResult> mined =
       core::MineVideo(input.video, input.audio);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 mined.status().ToString().c_str());
+    return 1;
+  }
+  const core::MiningResult& result = *mined;
 
   std::printf("query: show me all %s scenes in '%s'\n\n",
               events::EventTypeName(wanted), input.video.name().c_str());

@@ -22,9 +22,16 @@ int main() {
 
   index::VideoDatabase db;
   for (const synth::GeneratedVideo& g : corpus) {
-    core::MiningResult mined = core::MineVideo(g.video, g.audio);
-    db.AddVideo(g.video.name(), std::move(mined.structure),
-                std::move(mined.events));
+    util::StatusOr<core::MiningResult> mined =
+        core::MineVideo(g.video, g.audio);
+    if (!mined.ok()) {
+      std::fprintf(stderr, "mining '%s' failed: %s\n",
+                   g.video.name().c_str(),
+                   mined.status().ToString().c_str());
+      return 1;
+    }
+    db.AddVideo(g.video.name(), std::move(mined->structure),
+                std::move(mined->events));
     std::printf("ingested '%s'\n", g.video.name().c_str());
   }
   std::printf("database: %d videos, %zu shots\n", db.video_count(),

@@ -22,8 +22,14 @@ int main() {
 
   // 2. The full pipeline: shots -> groups -> scenes -> clustered scenes,
   //    visual/audio cues, event mining.
-  const core::MiningResult result =
+  const util::StatusOr<core::MiningResult> mined =
       core::MineVideo(input.video, input.audio);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 mined.status().ToString().c_str());
+    return 1;
+  }
+  const core::MiningResult& result = *mined;
 
   const structure::ContentStructure& cs = result.structure;
   std::printf("\nmined structure: %zu shots, %zu groups, %d scenes, "

@@ -20,8 +20,14 @@ int main(int argc, char** argv) {
 
   const synth::GeneratedVideo input =
       synth::GenerateVideo(synth::QuickScript(42));
-  const core::MiningResult result =
+  const util::StatusOr<core::MiningResult> mined =
       core::MineVideo(input.video, input.audio);
+  if (!mined.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 mined.status().ToString().c_str());
+    return 1;
+  }
+  const core::MiningResult& result = *mined;
   const skim::ScalableSkim sk(&result.structure);
 
   std::printf("scalable skim of '%s' (%d frames)\n\n",

@@ -36,11 +36,9 @@ double SpeakerSegmenter::HeuristicMargin(const ClipFeatures& f) {
   return score;
 }
 
-ShotAudioAnalysis SpeakerSegmenter::AnalyzeShot(const AudioBuffer& audio,
-                                                double start_sec,
-                                                double end_sec,
-                                                int shot_index,
-                                                util::ThreadPool* pool) const {
+ShotAudioAnalysis SpeakerSegmenter::AnalyzeShot(
+    const AudioBuffer& audio, double start_sec, double end_sec,
+    int shot_index, const util::ExecutionContext& ctx) const {
   ShotAudioAnalysis out;
   out.shot_index = shot_index;
   const double duration = end_sec - start_sec;
@@ -55,7 +53,7 @@ ShotAudioAnalysis SpeakerSegmenter::AnalyzeShot(const AudioBuffer& audio,
   // Feature every clip (independent slots), then pick the clip most like
   // clean speech with a serial scan — first-best wins either way.
   std::vector<ClipFeatures> features(clips.size());
-  util::ParallelFor(pool, static_cast<int>(clips.size()), [&](int i) {
+  util::ParallelFor(ctx, static_cast<int>(clips.size()), [&](int i) {
     features[static_cast<size_t>(i)] =
         ComputeClipFeatures(clips[static_cast<size_t>(i)]);
   });

@@ -9,8 +9,8 @@
 #include "audio/features.h"
 #include "audio/gmm.h"
 #include "audio/mfcc.h"
+#include "util/exec_context.h"
 #include "util/matrix.h"
-#include "util/threadpool.h"
 
 namespace classminer::audio {
 
@@ -52,13 +52,14 @@ class SpeakerSegmenter {
                             std::optional<GmmClassifier> classifier = {})
       : options_(options), classifier_(std::move(classifier)) {}
 
-  // Analyzes the audio of one shot spanning [start_sec, end_sec). An
-  // optional pool parallelises per-clip feature extraction (independent
-  // clip slots, serial best-clip selection; bit-identical to serial). Pass
-  // nullptr when the caller already parallelises across shots.
+  // Analyzes the audio of one shot spanning [start_sec, end_sec). The
+  // context's pool parallelises per-clip feature extraction (independent
+  // clip slots, serial best-clip selection; bit-identical to serial).
+  // Nesting is safe: a caller already parallelising across shots may pass
+  // the same context through, and the shared pool interleaves the work.
   ShotAudioAnalysis AnalyzeShot(const AudioBuffer& audio, double start_sec,
                                 double end_sec, int shot_index,
-                                util::ThreadPool* pool = nullptr) const;
+                                const util::ExecutionContext& ctx = {}) const;
 
   // BIC speaker-change decision between two analyzed shots. Shots without
   // usable speech never assert a change.

@@ -1,124 +1,183 @@
 #include "core/classminer.h"
 
 #include <memory>
+#include <string>
+#include <utility>
 
+#include "core/pipeline_dag.h"
 #include "util/threadpool.h"
 
 namespace classminer::core {
 namespace {
 
-// One pool shared by every stage of a MineVideo call (or none for serial
-// runs). Stages receive a raw pointer; a null pool runs inline.
+// One pool shared by the stage DAG and every intra-stage loop of a
+// MineVideo call (or none for serial runs).
 std::unique_ptr<util::ThreadPool> MakePipelinePool(int thread_count) {
   if (thread_count <= 1) return nullptr;
   return std::make_unique<util::ThreadPool>(thread_count);
 }
 
+// Declares the mining pipeline as a stage graph over `result`. Dependencies
+// mirror the data flow exactly — each stage reads only fields written by
+// its declared deps — which is what makes DAG execution bit-identical to
+// declaration order:
+//
+//   shot ──┬─> audio ──────────┐
+//          ├─> group -> scene -> cluster ──> events
+//          └─> cues ───────────┘      (audio, cues, cluster all feed events)
+util::Status BuildMiningDag(const media::Video& video,
+                            const audio::AudioBuffer& audio,
+                            const MiningOptions& options,
+                            const util::ExecutionContext& ctx,
+                            MiningResult* result, StageDag* dag) {
+  CLASSMINER_RETURN_IF_ERROR(dag->Add(
+      "shot", {}, [&video, &options, &ctx, result](util::StageMetrics* row) {
+        result->structure.shots =
+            shot::DetectShots(video, options.shot, &result->shot_trace, ctx);
+        row->items = video.frame_count();
+      }));
+  // Per-shot audio analysis (representative clip + MFCC). Shots are
+  // independent; the loop fans across shots and AnalyzeShot's inner loops
+  // nest on the same pool via the context.
+  CLASSMINER_RETURN_IF_ERROR(dag->Add(
+      "audio", {"shot"},
+      [&audio, &options, &ctx, result, &video](util::StageMetrics* row) {
+        const std::vector<shot::Shot>& shots = result->structure.shots;
+        const audio::SpeakerSegmenter segmenter(options.events.segmenter);
+        result->shot_audio.assign(shots.size(), audio::ShotAudioAnalysis{});
+        util::ParallelFor(ctx, static_cast<int>(shots.size()), [&](int i) {
+          const shot::Shot& s = shots[static_cast<size_t>(i)];
+          result->shot_audio[static_cast<size_t>(i)] = segmenter.AnalyzeShot(
+              audio, s.StartSeconds(video.fps()), s.EndSeconds(video.fps()),
+              s.index, ctx);
+        });
+        row->items = static_cast<int64_t>(shots.size());
+      }));
+  CLASSMINER_RETURN_IF_ERROR(dag->Add(
+      "group", {"shot"}, [&options, result](util::StageMetrics* row) {
+        result->structure.groups = structure::DetectGroups(
+            result->structure.shots, options.structure.group);
+        structure::ClassifyGroups(result->structure.shots,
+                                  &result->structure.groups,
+                                  options.structure.classify);
+        row->items = static_cast<int64_t>(result->structure.groups.size());
+      }));
+  CLASSMINER_RETURN_IF_ERROR(dag->Add(
+      "scene", {"group"}, [&options, &ctx, result](util::StageMetrics* row) {
+        result->structure.scenes = structure::DetectScenes(
+            result->structure.shots, result->structure.groups,
+            options.structure.scene, nullptr, ctx);
+        row->items = static_cast<int64_t>(result->structure.scenes.size());
+      }));
+  CLASSMINER_RETURN_IF_ERROR(dag->Add(
+      "cluster", {"scene"}, [&options, &ctx, result](util::StageMetrics* row) {
+        result->structure.clustered_scenes = structure::ClusterScenes(
+            result->structure.shots, result->structure.groups,
+            result->structure.scenes, options.structure.cluster, nullptr,
+            ctx);
+        row->items =
+            static_cast<int64_t>(result->structure.clustered_scenes.size());
+      }));
+  // Visual cues on representative frames — needs shots only, so it runs
+  // alongside the whole structure chain under DAG scheduling.
+  CLASSMINER_RETURN_IF_ERROR(dag->Add(
+      "cues", {"shot"},
+      [&video, &options, &ctx, result](util::StageMetrics* row) {
+        result->shot_cues = cues::ExtractShotCues(
+            video, result->structure.shots, options.cues, ctx);
+        row->items = static_cast<int64_t>(result->shot_cues.size());
+      }));
+  CLASSMINER_RETURN_IF_ERROR(dag->Add(
+      "events", {"cluster", "cues", "audio"},
+      [&options, result](util::StageMetrics* row) {
+        const events::EventMiner miner(&result->structure, &result->shot_cues,
+                                       &result->shot_audio, options.events);
+        result->events = miner.MineAllScenes();
+        row->items = static_cast<int64_t>(result->events.size());
+      }));
+  return util::Status();
+}
+
 }  // namespace
 
-MiningResult MineVideo(const media::Video& video,
-                       const audio::AudioBuffer& audio,
-                       const MiningOptions& options) {
+util::Status MineVideoInto(const media::Video& video,
+                           const audio::AudioBuffer& audio,
+                           const MiningOptions& options,
+                           const ExecutionContext& ctx,
+                           MiningResult* result) {
+  util::StatusSink local_sink;
+  const util::ExecutionContext base =
+      ctx.status_sink() != nullptr ? ctx : ctx.WithSink(&local_sink);
+  const util::ExecutionContext run_ctx = base.WithMetrics(&result->metrics);
+
+  StageDag dag;
+  CLASSMINER_RETURN_IF_ERROR(
+      BuildMiningDag(video, audio, options, run_ctx, result, &dag));
+
+  // Snapshot the shared pool's exception counter around the run. Context-
+  // routed loops capture exceptions into the sink before they reach the
+  // pool, so a positive delta means some raw loop body escaped — its
+  // remaining indices were silently skipped, and the result cannot be
+  // trusted. With a shared batch pool the delta is conservative: an escape
+  // in any concurrent video fails every run that overlapped it.
+  const int exceptions_before = run_ctx.pool_exception_count();
+  util::Status status = options.scheduling == StageScheduling::kDag
+                            ? dag.Run(run_ctx)
+                            : dag.RunSequential(run_ctx);
+  const int escaped = run_ctx.pool_exception_count() - exceptions_before;
+  result->metrics.pool_exceptions = escaped;
+  if (status.ok() && escaped > 0) {
+    status = util::Status::Internal(
+        std::to_string(escaped) +
+        " pool task(s) escaped with an exception during mining");
+  }
+  return status;
+}
+
+util::StatusOr<MiningResult> MineVideo(const media::Video& video,
+                                       const audio::AudioBuffer& audio,
+                                       const MiningOptions& options) {
   MiningResult result;
   const std::unique_ptr<util::ThreadPool> pool =
       MakePipelinePool(options.thread_count);
-  util::ThreadPool* p = pool.get();
-  const int threads = p != nullptr ? p->thread_count() : 1;
-
-  // 1. Shot detection + representative frames.
-  std::vector<shot::Shot> shots;
-  {
-    StageTimer timer(&result.metrics, "shot", threads);
-    shots = shot::DetectShots(video, options.shot, &result.shot_trace, p);
-    timer.set_items(video.frame_count());
-  }
-
-  // 2. Per-shot audio analysis (representative clip + MFCC). Shots are
-  // independent, so the pool runs across shots; the per-clip parallelism
-  // inside AnalyzeShot stays off (same pool, would self-deadlock).
-  {
-    StageTimer timer(&result.metrics, "audio", threads);
-    const audio::SpeakerSegmenter segmenter(options.events.segmenter);
-    result.shot_audio.assign(shots.size(), audio::ShotAudioAnalysis{});
-    util::ParallelFor(p, static_cast<int>(shots.size()), [&](int i) {
-      const shot::Shot& s = shots[static_cast<size_t>(i)];
-      result.shot_audio[static_cast<size_t>(i)] = segmenter.AnalyzeShot(
-          audio, s.StartSeconds(video.fps()), s.EndSeconds(video.fps()),
-          s.index);
-    });
-    timer.set_items(static_cast<int64_t>(shots.size()));
-  }
-
-  // 3. Content-structure mining, staged for the metrics registry:
-  // groups -> scenes -> clustered scenes.
-  {
-    StageTimer timer(&result.metrics, "group", threads);
-    result.structure.shots = std::move(shots);
-    result.structure.groups = structure::DetectGroups(
-        result.structure.shots, options.structure.group);
-    structure::ClassifyGroups(result.structure.shots,
-                              &result.structure.groups,
-                              options.structure.classify);
-    timer.set_items(static_cast<int64_t>(result.structure.groups.size()));
-  }
-  {
-    StageTimer timer(&result.metrics, "scene", threads);
-    result.structure.scenes =
-        structure::DetectScenes(result.structure.shots,
-                                result.structure.groups,
-                                options.structure.scene, nullptr, p);
-    timer.set_items(static_cast<int64_t>(result.structure.scenes.size()));
-  }
-  {
-    StageTimer timer(&result.metrics, "cluster", threads);
-    result.structure.clustered_scenes = structure::ClusterScenes(
-        result.structure.shots, result.structure.groups,
-        result.structure.scenes, options.structure.cluster, nullptr, p);
-    timer.set_items(
-        static_cast<int64_t>(result.structure.clustered_scenes.size()));
-  }
-
-  // 4. Visual cues on representative frames.
-  {
-    StageTimer timer(&result.metrics, "cues", threads);
-    result.shot_cues = cues::ExtractShotCues(video, result.structure.shots,
-                                             options.cues, p);
-    timer.set_items(static_cast<int64_t>(result.shot_cues.size()));
-  }
-
-  // 5. Event mining over active scenes.
-  {
-    StageTimer timer(&result.metrics, "events", threads);
-    const events::EventMiner miner(&result.structure, &result.shot_cues,
-                                   &result.shot_audio, options.events);
-    result.events = miner.MineAllScenes();
-    timer.set_items(static_cast<int64_t>(result.events.size()));
-  }
+  util::StatusSink sink;
+  const util::ExecutionContext ctx(pool.get(), nullptr, options.cancel,
+                                   &sink);
+  CLASSMINER_RETURN_IF_ERROR(
+      MineVideoInto(video, audio, options, ctx, &result));
   return result;
 }
 
-MiningResult MineVideo(const media::Video& video,
-                       const audio::AudioBuffer& audio) {
+util::StatusOr<MiningResult> MineVideo(const media::Video& video,
+                                       const audio::AudioBuffer& audio) {
   return MineVideo(video, audio, MiningOptions());
 }
 
-std::vector<MiningResult> MineVideosParallel(
+util::StatusOr<std::vector<MiningResult>> MineVideosParallel(
     const std::vector<MiningInput>& inputs, const MiningOptions& options,
     int threads) {
   std::vector<MiningResult> results(inputs.size());
+  std::vector<util::Status> statuses(inputs.size());
   util::ThreadPool pool(threads > 0 ? threads
                                     : util::ThreadPool::DefaultThreads());
-  // Batch ingest parallelises across videos; each video mines serially
-  // inside (nesting on one machine would only oversubscribe cores). A
-  // single input keeps its intra-video parallelism. Results are identical
-  // either way — see MiningOptions::thread_count.
-  MiningOptions per_video = options;
-  if (inputs.size() > 1) per_video.thread_count = 1;
+  // Video x stage scheduling: each video's whole DAG runs as one pool task
+  // whose stages fan back onto the same pool (the DAG runner helps drain
+  // the queue while waiting, so this nesting cannot deadlock). Early videos
+  // saturate the pool with their stages; as they drain, later videos' tasks
+  // interleave — no thread is pinned to one video and no video is clamped
+  // to one thread. Results stay deterministic because each video's DAG and
+  // loops are deterministic in isolation and videos share no mutable state.
   util::ParallelFor(&pool, static_cast<int>(inputs.size()), [&](int i) {
-    results[static_cast<size_t>(i)] =
-        MineVideo(*inputs[static_cast<size_t>(i)].video,
-                  *inputs[static_cast<size_t>(i)].audio, per_video);
+    util::StatusSink sink;
+    const util::ExecutionContext ctx(&pool, nullptr, options.cancel, &sink);
+    statuses[static_cast<size_t>(i)] = MineVideoInto(
+        *inputs[static_cast<size_t>(i)].video,
+        *inputs[static_cast<size_t>(i)].audio, options, ctx,
+        &results[static_cast<size_t>(i)]);
   });
+  for (const util::Status& status : statuses) {
+    CLASSMINER_RETURN_IF_ERROR(status);
+  }
   return results;
 }
 

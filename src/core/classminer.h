@@ -11,9 +11,29 @@
 #include "media/video.h"
 #include "shot/detector.h"
 #include "structure/content_structure.h"
+#include "util/exec_context.h"
+#include "util/status.h"
 #include "util/threadpool.h"
 
 namespace classminer::core {
+
+// The execution environment threaded through every pipeline stage; defined
+// in util (so lower layers can take it without depending on core), aliased
+// here because the pipeline is where callers meet it.
+using ExecutionContext = util::ExecutionContext;
+
+// How MineVideo orders its stages. Both modes are bit-identical to a serial
+// run at any thread count; they differ only in wall-clock shape.
+enum class StageScheduling {
+  // Stages one at a time in declaration order; each stage's inner loops run
+  // on the shared pool. The whole pipeline is as slow as the sum of stages.
+  kSequential,
+  // Stages run as a dependency DAG (shot -> {audio, group, cues};
+  // group -> scene -> cluster; {cluster, cues, audio} -> events):
+  // independent stages execute concurrently the moment their inputs are
+  // ready, sharing the same pool as the inner loops.
+  kDag,
+};
 
 // Options for the full ClassMiner pipeline (paper Fig. 3).
 struct MiningOptions {
@@ -21,12 +41,18 @@ struct MiningOptions {
   structure::StructureOptions structure{};
   cues::CueExtractorOptions cues{};
   events::EventMinerOptions events{};
-  // Threads for the intra-video hot paths (feature extraction, the scene
-  // similarity matrix / PCS clustering, per-shot audio and cue analysis).
-  // One shared pool serves every stage. Parallel runs are bit-identical to
-  // thread_count = 1: all loops use fixed per-index partitioning and serial
-  // reductions. <= 0 falls back to 1 (serial).
+  // Threads for the shared pipeline pool (stage DAG + intra-stage hot
+  // paths: feature extraction, the scene similarity matrix / PCS
+  // clustering, per-shot audio and cue analysis). Parallel runs are
+  // bit-identical to thread_count = 1: all loops use fixed per-index
+  // partitioning and serial reductions, and stage dependencies mirror the
+  // true data flow. <= 1 runs serially.
   int thread_count = util::ThreadPool::DefaultThreads();
+  StageScheduling scheduling = StageScheduling::kDag;
+  // Optional cooperative cancellation, checked at stage boundaries and at
+  // the head of parallel loops; a cancelled run returns kCancelled.
+  // Borrowed, may be null, must outlive the call.
+  util::CancellationToken* cancel = nullptr;
 };
 
 // Everything the pipeline mines from one video.
@@ -41,12 +67,26 @@ struct MiningResult {
 
 // Runs shot detection, content-structure mining, visual/audio cue
 // extraction and event mining end to end. `audio` may be empty (event rules
-// then see every shot as speech-free).
-MiningResult MineVideo(const media::Video& video,
-                       const audio::AudioBuffer& audio,
-                       const MiningOptions& options);
-MiningResult MineVideo(const media::Video& video,
-                       const audio::AudioBuffer& audio);
+// then see every shot as speech-free). Fails with kCancelled when
+// options.cancel fires, or kInternal when a stage throws or a pool task
+// escapes with an exception (see PipelineMetrics::pool_exceptions) — a
+// partial result is never returned as OK.
+util::StatusOr<MiningResult> MineVideo(const media::Video& video,
+                                       const audio::AudioBuffer& audio,
+                                       const MiningOptions& options);
+util::StatusOr<MiningResult> MineVideo(const media::Video& video,
+                                       const audio::AudioBuffer& audio);
+
+// Core entry point: mines one video into *result on an externally-owned
+// context. The context's pool (possibly shared with other videos), its
+// cancellation token and its status sink are honoured;
+// options.thread_count is ignored in favour of the context's pool. Metrics
+// land in result->metrics. This is what the batch scheduler calls once per
+// video from inside a pool task.
+util::Status MineVideoInto(const media::Video& video,
+                           const audio::AudioBuffer& audio,
+                           const MiningOptions& options,
+                           const ExecutionContext& ctx, MiningResult* result);
 
 // A (video, audio) pair for batch ingest.
 struct MiningInput {
@@ -54,10 +94,13 @@ struct MiningInput {
   const audio::AudioBuffer* audio = nullptr;
 };
 
-// Mines several videos concurrently. Each pipeline run is independent and
-// deterministic, so results are identical to serial mining and aligned
-// with `inputs`. `threads <= 0` uses the hardware concurrency.
-std::vector<MiningResult> MineVideosParallel(
+// Mines several videos concurrently on one shared pool. Work is scheduled
+// at video x stage granularity: every video's stage DAG is spawned onto the
+// same pool, so a straggler video fans out across all threads instead of
+// pinning one (no interior serial clamp). Results are bit-identical to
+// serial mining and aligned with `inputs`; the first per-video failure is
+// returned. `threads <= 0` uses the hardware concurrency.
+util::StatusOr<std::vector<MiningResult>> MineVideosParallel(
     const std::vector<MiningInput>& inputs, const MiningOptions& options,
     int threads = 0);
 

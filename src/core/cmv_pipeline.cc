@@ -1,11 +1,13 @@
 #include "core/cmv_pipeline.h"
 
-#include <algorithm>
 #include <memory>
+#include <optional>
+#include <string>
 #include <utility>
 
 #include "codec/decoder.h"
 #include "codec/encoder.h"
+#include "core/pipeline_dag.h"
 #include "shot/rep_frame.h"
 #include "util/threadpool.h"
 
@@ -41,7 +43,10 @@ util::StatusOr<MiningResult> MineCmvFile(const codec::CmvFile& file,
     return decoded;
   }();
   if (!video.ok()) return video.status();
-  MiningResult result = MineVideo(*video, AudioFromFile(file), options);
+  util::StatusOr<MiningResult> mined =
+      MineVideo(*video, AudioFromFile(file), options);
+  if (!mined.ok()) return mined.status();
+  MiningResult result = std::move(*mined);
   // Decode time leads the stage table so the CLI/bench see the whole cost.
   result.metrics.stages.insert(result.metrics.stages.begin(),
                                decode_metrics.stages.begin(),
@@ -60,68 +65,116 @@ util::StatusOr<MiningResult> MineCmvFileFast(const codec::CmvFile& file,
       options.thread_count > 1
           ? std::make_unique<util::ThreadPool>(options.thread_count)
           : nullptr;
-  util::ThreadPool* p = pool.get();
-  const int threads = p != nullptr ? p->thread_count() : 1;
+  util::StatusSink sink;
+  const util::ExecutionContext ctx(pool.get(), &result.metrics,
+                                   options.cancel, &sink);
 
-  // 1. Shot spans from the compressed domain (DC images only).
-  std::vector<shot::Shot> shots;
-  {
-    StageTimer timer(&result.metrics, "shot", threads);
+  const audio::AudioBuffer track = AudioFromFile(file);
+  std::optional<media::Video> video;
+
+  // Fast-path stage graph: shot spans come from the compressed domain while
+  // the full decode runs beside them; the joined streams populate
+  // representative frames, after which audio / structure / cues fan out and
+  // events joins everything:
+  //
+  //   shot ───┬─> repframe ─┬─> audio ─────┐
+  //   decode ─┘             ├─> structure ─┼─> events
+  //                         └─> cues ──────┘
+  //
+  // Fallible decodes record their status into the sink; dependent stages
+  // are then skipped, so `video` is only dereferenced after a clean decode.
+  StageDag dag;
+  util::Status build;
+  // 1. Shot spans from DC images only (no full decode needed).
+  build = dag.Add("shot", {}, [&](util::StageMetrics* row) {
     util::StatusOr<std::vector<media::GrayImage>> dc =
         codec::DecodeDcImages(file);
-    if (!dc.ok()) return dc.status();
-    shots = shot::DetectShotsFromDc(*dc, options.shot, &result.shot_trace);
-    timer.set_items(static_cast<int64_t>(dc->size()));
-  }
-
+    if (!dc.ok()) {
+      ctx.RecordStatus(dc.status());
+      return;
+    }
+    result.structure.shots =
+        shot::DetectShotsFromDc(*dc, options.shot, &result.shot_trace);
+    row->items = static_cast<int64_t>(dc->size());
+  });
+  if (!build.ok()) return build;
   // 2. Full decode for representative-frame features and cues. (A future
   // refinement could decode only the rep frames' GOPs.)
-  util::StatusOr<media::Video> video = [&]() {
-    StageTimer timer(&result.metrics, "decode", threads);
-    auto decoded = codec::DecodeVideo(file);
-    timer.set_items(file.frame_count());
-    return decoded;
-  }();
-  if (!video.ok()) return video.status();
-  {
-    StageTimer timer(&result.metrics, "repframe", threads);
-    shot::PopulateRepresentativeFrames(*video, &shots, p);
-    timer.set_items(static_cast<int64_t>(shots.size()));
-  }
-
-  {
-    StageTimer timer(&result.metrics, "audio", threads);
-    const audio::AudioBuffer track = AudioFromFile(file);
+  build = dag.Add("decode", {}, [&](util::StageMetrics* row) {
+    util::StatusOr<media::Video> decoded = codec::DecodeVideo(file);
+    if (!decoded.ok()) {
+      ctx.RecordStatus(decoded.status());
+      return;
+    }
+    video = std::move(*decoded);
+    row->items = file.frame_count();
+  });
+  if (!build.ok()) return build;
+  build = dag.Add("repframe", {"shot", "decode"},
+                  [&](util::StageMetrics* row) {
+                    shot::PopulateRepresentativeFrames(
+                        *video, &result.structure.shots, ctx.pool());
+                    row->items =
+                        static_cast<int64_t>(result.structure.shots.size());
+                  });
+  if (!build.ok()) return build;
+  build = dag.Add("audio", {"repframe"}, [&](util::StageMetrics* row) {
+    const std::vector<shot::Shot>& shots = result.structure.shots;
     const audio::SpeakerSegmenter segmenter(options.events.segmenter);
     result.shot_audio.assign(shots.size(), audio::ShotAudioAnalysis{});
-    util::ParallelFor(p, static_cast<int>(shots.size()), [&](int i) {
+    util::ParallelFor(ctx, static_cast<int>(shots.size()), [&](int i) {
       const shot::Shot& s = shots[static_cast<size_t>(i)];
       result.shot_audio[static_cast<size_t>(i)] = segmenter.AnalyzeShot(
           track, s.StartSeconds(video->fps()), s.EndSeconds(video->fps()),
-          s.index);
+          s.index, ctx);
     });
-    timer.set_items(static_cast<int64_t>(shots.size()));
-  }
-
-  {
-    StageTimer timer(&result.metrics, "structure", threads);
-    result.structure = structure::MineVideoStructure(std::move(shots),
-                                                     options.structure, p);
-    timer.set_items(static_cast<int64_t>(result.structure.scenes.size()));
-  }
-  {
-    StageTimer timer(&result.metrics, "cues", threads);
+    row->items = static_cast<int64_t>(shots.size());
+  });
+  if (!build.ok()) return build;
+  build = dag.Add("structure", {"repframe"}, [&](util::StageMetrics* row) {
+    result.structure.groups = structure::DetectGroups(
+        result.structure.shots, options.structure.group);
+    structure::ClassifyGroups(result.structure.shots,
+                              &result.structure.groups,
+                              options.structure.classify);
+    result.structure.scenes =
+        structure::DetectScenes(result.structure.shots,
+                                result.structure.groups,
+                                options.structure.scene, nullptr, ctx);
+    result.structure.clustered_scenes = structure::ClusterScenes(
+        result.structure.shots, result.structure.groups,
+        result.structure.scenes, options.structure.cluster, nullptr, ctx);
+    row->items = static_cast<int64_t>(result.structure.scenes.size());
+  });
+  if (!build.ok()) return build;
+  build = dag.Add("cues", {"repframe"}, [&](util::StageMetrics* row) {
     result.shot_cues = cues::ExtractShotCues(*video, result.structure.shots,
-                                             options.cues, p);
-    timer.set_items(static_cast<int64_t>(result.shot_cues.size()));
+                                             options.cues, ctx);
+    row->items = static_cast<int64_t>(result.shot_cues.size());
+  });
+  if (!build.ok()) return build;
+  build = dag.Add("events", {"structure", "cues", "audio"},
+                  [&](util::StageMetrics* row) {
+                    const events::EventMiner miner(
+                        &result.structure, &result.shot_cues,
+                        &result.shot_audio, options.events);
+                    result.events = miner.MineAllScenes();
+                    row->items = static_cast<int64_t>(result.events.size());
+                  });
+  if (!build.ok()) return build;
+
+  const int exceptions_before = ctx.pool_exception_count();
+  util::Status status = options.scheduling == StageScheduling::kDag
+                            ? dag.Run(ctx)
+                            : dag.RunSequential(ctx);
+  const int escaped = ctx.pool_exception_count() - exceptions_before;
+  result.metrics.pool_exceptions = escaped;
+  if (status.ok() && escaped > 0) {
+    status = util::Status::Internal(
+        std::to_string(escaped) +
+        " pool task(s) escaped with an exception during mining");
   }
-  {
-    StageTimer timer(&result.metrics, "events", threads);
-    const events::EventMiner miner(&result.structure, &result.shot_cues,
-                                   &result.shot_audio, options.events);
-    result.events = miner.MineAllScenes();
-    timer.set_items(static_cast<int64_t>(result.events.size()));
-  }
+  if (!status.ok()) return status;
   return result;
 }
 

@@ -1,60 +1,23 @@
 #ifndef CLASSMINER_CORE_METRICS_H_
 #define CLASSMINER_CORE_METRICS_H_
 
-#include <chrono>
-#include <cstdint>
-#include <string>
-#include <string_view>
 #include <vector>
 
 #include "events/event_miner.h"
 #include "structure/types.h"
 #include "synth/ground_truth.h"
+#include "util/pipeline_metrics.h"
 
 namespace classminer::core {
 
 // ---------------------------------------------------------------------------
-// Per-stage pipeline observability. Each mining stage (shot -> audio ->
-// group -> scene -> cluster -> cues -> events) records wall time, items
-// processed and the thread count it ran with; the registry rides on
-// MiningResult so callers (CLI, benches, ingest services) can see where a
-// video's mining time went without instrumenting anything themselves.
+// Per-stage pipeline observability. The types live in util so that every
+// layer (audio, index, skim) can append rows without depending on core;
+// these aliases keep the historical core:: spelling working for callers.
 
-struct StageMetrics {
-  std::string name;
-  double wall_ms = 0.0;
-  int64_t items = 0;   // stage-specific unit: frames, shots, groups, scenes
-  int threads = 1;     // threads available to the stage (1 = serial)
-};
-
-struct PipelineMetrics {
-  std::vector<StageMetrics> stages;  // in execution order
-
-  double TotalMs() const;
-  // First stage with this name, or nullptr.
-  const StageMetrics* Find(std::string_view name) const;
-  // Aligned human-readable table, one line per stage plus a total row.
-  std::string ToString() const;
-};
-
-// RAII stage timer: measures from construction to destruction on the
-// steady clock and appends one row to the registry. A null registry makes
-// the timer a no-op so instrumented code paths need no branching.
-class StageTimer {
- public:
-  StageTimer(PipelineMetrics* metrics, std::string name, int threads = 1);
-  ~StageTimer();
-
-  StageTimer(const StageTimer&) = delete;
-  StageTimer& operator=(const StageTimer&) = delete;
-
-  void set_items(int64_t items) { row_.items = items; }
-
- private:
-  PipelineMetrics* metrics_;
-  StageMetrics row_;
-  std::chrono::steady_clock::time_point start_;
-};
+using StageMetrics = util::StageMetrics;
+using PipelineMetrics = util::PipelineMetrics;
+using StageTimer = util::StageTimer;
 
 // ---------------------------------------------------------------------------
 // Accuracy scoring against synthetic ground truth (paper Sec. 6).

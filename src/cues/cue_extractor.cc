@@ -34,10 +34,10 @@ FrameCues ExtractFrameCues(const media::Image& frame) {
 std::vector<FrameCues> ExtractShotCues(const media::Video& video,
                                        const std::vector<shot::Shot>& shots,
                                        const CueExtractorOptions& options,
-                                       util::ThreadPool* pool) {
+                                       const util::ExecutionContext& ctx) {
   std::vector<FrameCues> out(shots.size());
   util::ParallelFor(
-      pool, static_cast<int>(shots.size()),
+      ctx, static_cast<int>(shots.size()),
       [&](int i) {
         const shot::Shot& s = shots[static_cast<size_t>(i)];
         if (s.rep_frame >= 0 && s.rep_frame < video.frame_count()) {

@@ -9,7 +9,7 @@
 #include "cues/special_frames.h"
 #include "media/video.h"
 #include "shot/shot.h"
-#include "util/threadpool.h"
+#include "util/exec_context.h"
 
 namespace classminer::cues {
 
@@ -44,12 +44,12 @@ FrameCues ExtractFrameCues(const media::Image& frame,
                            const CueExtractorOptions& options);
 FrameCues ExtractFrameCues(const media::Image& frame);
 
-// Extracts cues for each shot's representative frame. An optional pool
+// Extracts cues for each shot's representative frame. The context's pool
 // runs shots in parallel (independent output slots; bit-identical).
 std::vector<FrameCues> ExtractShotCues(const media::Video& video,
                                        const std::vector<shot::Shot>& shots,
                                        const CueExtractorOptions& options,
-                                       util::ThreadPool* pool = nullptr);
+                                       const util::ExecutionContext& ctx = {});
 std::vector<FrameCues> ExtractShotCues(const media::Video& video,
                                        const std::vector<shot::Shot>& shots);
 

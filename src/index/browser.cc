@@ -5,10 +5,12 @@
 
 namespace classminer::index {
 
-std::vector<BrowseCluster> BuildBrowseTree(const VideoDatabase& db,
-                                           const ConceptHierarchy& concepts,
-                                           const AccessController& access,
-                                           const UserCredential& user) {
+std::vector<BrowseCluster> BuildBrowseTree(
+    const VideoDatabase& db, const ConceptHierarchy& concepts,
+    const AccessController& access, const UserCredential& user,
+    const util::ExecutionContext& ctx) {
+  util::StageTimer timer(ctx.metrics(), "browse", ctx.thread_count());
+  timer.set_items(db.video_count());
   const SemanticClassifier classifier(&concepts);
   std::map<int, BrowseCluster> by_cluster;
 

@@ -7,6 +7,7 @@
 #include "index/access_control.h"
 #include "index/classifier.h"
 #include "index/database.h"
+#include "util/exec_context.h"
 
 namespace classminer::index {
 
@@ -39,11 +40,13 @@ struct BrowseCluster {
 
 // Builds the browse tree for `user`: videos land under their classified
 // semantic cluster; scenes (and whole videos) the user may not access are
-// omitted.
-std::vector<BrowseCluster> BuildBrowseTree(const VideoDatabase& db,
-                                           const ConceptHierarchy& concepts,
-                                           const AccessController& access,
-                                           const UserCredential& user);
+// omitted. The context's metrics registry (if any) receives one "browse"
+// row covering classification and tree assembly, letting the CLI report
+// end-to-end per-video cost.
+std::vector<BrowseCluster> BuildBrowseTree(
+    const VideoDatabase& db, const ConceptHierarchy& concepts,
+    const AccessController& access, const UserCredential& user,
+    const util::ExecutionContext& ctx = {});
 
 // Renders the tree as an indented text listing.
 std::string RenderBrowseTree(const std::vector<BrowseCluster>& tree);

@@ -15,9 +15,10 @@ constexpr events::EventType kEventOrder[] = {
 
 HierarchicalIndex::HierarchicalIndex(const VideoDatabase* db,
                                      const ConceptHierarchy* concepts,
-                                     const Options& options)
+                                     const Options& options,
+                                     const util::ExecutionContext& ctx)
     : db_(db), concepts_(concepts), options_(options) {
-  Build();
+  Build(ctx);
 }
 
 HierarchicalIndex::HierarchicalIndex(const VideoDatabase* db,
@@ -37,46 +38,69 @@ int HierarchicalIndex::BucketKey(const features::ShotFeatures& f) {
 }
 
 std::vector<const features::ShotFeatures*> HierarchicalIndex::PickCenters(
-    const std::vector<ShotRef>& members) const {
+    const std::vector<ShotRef>& members,
+    const util::ExecutionContext& ctx) const {
   std::vector<const features::ShotFeatures*> centers;
   if (members.empty()) return centers;
-  const int want =
-      std::min<int>(options_.centers_per_node, static_cast<int>(members.size()));
+  const int n = static_cast<int>(members.size());
+  const int want = std::min<int>(options_.centers_per_node, n);
 
   // First centre: the medoid (largest average similarity to the others);
   // further centres by farthest-point traversal so multi-modal content gets
-  // one centre per mode.
+  // one centre per mode. The O(n^2) similarity accumulations fill fixed
+  // per-member slots in parallel; the argmax/argmin scans stay serial in
+  // ascending member order with strict comparisons (first best wins), so
+  // the chosen centres match the serial build exactly.
+  std::vector<double> avg(members.size(), 0.0);
+  util::ParallelFor(
+      ctx, n,
+      [&](int ii) {
+        const size_t i = static_cast<size_t>(ii);
+        double acc = 0.0;
+        for (size_t j = 0; j < members.size(); ++j) {
+          if (i == j) continue;
+          acc += features::StSim(db_->Features(members[i]),
+                                 db_->Features(members[j]));
+        }
+        avg[i] = members.size() > 1
+                     ? acc / (static_cast<double>(members.size()) - 1.0)
+                     : 1.0;
+      },
+      /*grain=*/4);
   size_t medoid = 0;
   double best_avg = -1.0;
   for (size_t i = 0; i < members.size(); ++i) {
-    double acc = 0.0;
-    for (size_t j = 0; j < members.size(); ++j) {
-      if (i == j) continue;
-      acc += features::StSim(db_->Features(members[i]),
-                             db_->Features(members[j]));
-    }
-    const double avg =
-        members.size() > 1 ? acc / (static_cast<double>(members.size()) - 1.0)
-                           : 1.0;
-    if (avg > best_avg) {
-      best_avg = avg;
+    if (avg[i] > best_avg) {
+      best_avg = avg[i];
       medoid = i;
     }
   }
   std::vector<size_t> chosen{medoid};
   while (static_cast<int>(chosen.size()) < want) {
+    // Nearest-chosen similarity per unchosen member (-1 marks chosen
+    // members; the serial value is always >= 0).
+    std::vector<double> nearest(members.size(), -1.0);
+    util::ParallelFor(
+        ctx, n,
+        [&](int ii) {
+          const size_t i = static_cast<size_t>(ii);
+          if (std::find(chosen.begin(), chosen.end(), i) != chosen.end()) {
+            return;
+          }
+          double sim = 0.0;
+          for (size_t c : chosen) {
+            sim = std::max(sim, features::StSim(db_->Features(members[i]),
+                                                db_->Features(members[c])));
+          }
+          nearest[i] = sim;
+        },
+        /*grain=*/4);
     size_t farthest = chosen.front();
     double farthest_sim = 2.0;
     for (size_t i = 0; i < members.size(); ++i) {
-      if (std::find(chosen.begin(), chosen.end(), i) != chosen.end()) continue;
-      double nearest = 0.0;
-      for (size_t c : chosen) {
-        nearest = std::max(nearest,
-                           features::StSim(db_->Features(members[i]),
-                                           db_->Features(members[c])));
-      }
-      if (nearest < farthest_sim) {
-        farthest_sim = nearest;
+      if (nearest[i] < 0.0) continue;
+      if (nearest[i] < farthest_sim) {
+        farthest_sim = nearest[i];
         farthest = i;
       }
     }
@@ -89,7 +113,8 @@ std::vector<const features::ShotFeatures*> HierarchicalIndex::PickCenters(
   return centers;
 }
 
-void HierarchicalIndex::Build() {
+void HierarchicalIndex::Build(const util::ExecutionContext& ctx) {
+  util::StageTimer timer(ctx.metrics(), "index_build", ctx.thread_count());
   // Partition every shot by (event category, video, scene).
   struct SceneKey {
     int video;
@@ -128,7 +153,7 @@ void HierarchicalIndex::Build() {
       for (const ShotRef& ref : shots) {
         scene.buckets[BucketKey(db_->Features(ref))].push_back(ref);
       }
-      scene.centers = PickCenters(shots);
+      scene.centers = PickCenters(shots, ctx);
       sub.scenes.push_back(std::move(scene));
       cluster_members.insert(cluster_members.end(), shots.begin(),
                              shots.end());
@@ -139,12 +164,13 @@ void HierarchicalIndex::Build() {
         sub_members.insert(sub_members.end(), scene.shots.begin(),
                            scene.shots.end());
       }
-      sub.centers = PickCenters(sub_members);
+      sub.centers = PickCenters(sub_members, ctx);
       cluster.subclusters.push_back(std::move(sub));
     }
-    cluster.centers = PickCenters(cluster_members);
+    cluster.centers = PickCenters(cluster_members, ctx);
     clusters_.push_back(std::move(cluster));
   }
+  timer.set_items(static_cast<int64_t>(TotalIndexedShots()));
 }
 
 double HierarchicalIndex::CenterSimilarity(

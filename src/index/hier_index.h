@@ -6,6 +6,7 @@
 
 #include "index/concept.h"
 #include "index/query.h"
+#include "util/exec_context.h"
 
 namespace classminer::index {
 
@@ -26,8 +27,13 @@ class HierarchicalIndex : public ShotIndex {
     int beam_width = 1;
   };
 
+  // The context's pool parallelises the O(n^2) per-centre similarity loops
+  // of Build (per-member slots, serial argmax/argmin scans in index order,
+  // so the chosen centres are bit-identical to a serial build), and its
+  // metrics registry receives one "index_build" row covering the build.
   HierarchicalIndex(const VideoDatabase* db, const ConceptHierarchy* concepts,
-                    const Options& options);
+                    const Options& options,
+                    const util::ExecutionContext& ctx = {});
   HierarchicalIndex(const VideoDatabase* db, const ConceptHierarchy* concepts);
 
   std::vector<QueryMatch> Search(const features::ShotFeatures& query, int k,
@@ -57,9 +63,10 @@ class HierarchicalIndex : public ShotIndex {
     std::vector<const features::ShotFeatures*> centers;
   };
 
-  void Build();
+  void Build(const util::ExecutionContext& ctx);
   std::vector<const features::ShotFeatures*> PickCenters(
-      const std::vector<ShotRef>& members) const;
+      const std::vector<ShotRef>& members,
+      const util::ExecutionContext& ctx) const;
   double CenterSimilarity(
       const features::ShotFeatures& query,
       const std::vector<const features::ShotFeatures*>& centers,

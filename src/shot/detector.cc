@@ -69,9 +69,9 @@ std::vector<int> DetectCuts(std::span<const double> diffs,
 std::vector<Shot> DetectShots(const media::Video& video,
                               const ShotDetectorOptions& options,
                               ShotDetectionTrace* trace,
-                              util::ThreadPool* pool) {
+                              const util::ExecutionContext& ctx) {
   const std::vector<double> diffs =
-      features::FrameDifferenceSeries(video, pool);
+      features::FrameDifferenceSeries(video, ctx.pool());
   std::vector<double> thresholds;
   const std::vector<int> cuts = DetectCuts(diffs, options, &thresholds);
   if (trace != nullptr) {
@@ -80,7 +80,7 @@ std::vector<Shot> DetectShots(const media::Video& video,
     trace->cuts = cuts;
   }
   std::vector<Shot> shots = ShotsFromCuts(cuts, video.frame_count());
-  PopulateRepresentativeFrames(video, &shots, pool);
+  PopulateRepresentativeFrames(video, &shots, ctx.pool());
   return shots;
 }
 

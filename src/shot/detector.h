@@ -7,7 +7,7 @@
 #include "media/video.h"
 #include "shot/shot.h"
 #include "shot/threshold.h"
-#include "util/threadpool.h"
+#include "util/exec_context.h"
 
 namespace classminer::shot {
 
@@ -33,13 +33,14 @@ std::vector<int> DetectCuts(std::span<const double> diffs,
                             std::vector<double>* thresholds_out = nullptr);
 
 // Pixel-domain detection over a decoded video. Populates shot spans and
-// representative-frame features (via shot/rep_frame). An optional pool
+// representative-frame features (via shot/rep_frame). The context's pool
 // parallelises the per-frame histogram and per-shot feature extraction;
-// detection is bit-identical with or without it.
+// detection is bit-identical with or without one (a default context — or a
+// bare ThreadPool*, which converts — runs inline).
 std::vector<Shot> DetectShots(const media::Video& video,
                               const ShotDetectorOptions& options = {},
                               ShotDetectionTrace* trace = nullptr,
-                              util::ThreadPool* pool = nullptr);
+                              const util::ExecutionContext& ctx = {});
 
 // Compressed-domain detection over a DC-image sequence (codec fast path).
 // Returns shot spans only; callers decode representative frames as needed.

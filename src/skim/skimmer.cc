@@ -16,7 +16,13 @@ void AddGroupReps(const structure::Group& group, std::set<int>* shots) {
 }  // namespace
 
 ScalableSkim::ScalableSkim(const structure::ContentStructure* structure)
+    : ScalableSkim(structure, util::ExecutionContext()) {}
+
+ScalableSkim::ScalableSkim(const structure::ContentStructure* structure,
+                           const util::ExecutionContext& ctx)
     : structure_(structure) {
+  util::StageTimer timer(ctx.metrics(), "skim", ctx.thread_count());
+  timer.set_items(static_cast<int64_t>(structure->shots.size()));
   for (const shot::Shot& s : structure->shots) total_frames_ += s.frame_count();
 
   // Level 1: every shot.

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "structure/types.h"
+#include "util/exec_context.h"
 
 namespace classminer::skim {
 
@@ -20,8 +21,13 @@ struct SkimTrack {
 // A scalable skim over one video's content structure.
 class ScalableSkim {
  public:
-  // Builds all four levels from a mined structure.
+  // Builds all four levels from a mined structure. The context overload
+  // records one "skim" row (items = shots considered) into the context's
+  // metrics registry, extending the pipeline's per-stage cost table through
+  // the skim layer.
   explicit ScalableSkim(const structure::ContentStructure* structure);
+  ScalableSkim(const structure::ContentStructure* structure,
+               const util::ExecutionContext& ctx);
 
   const SkimTrack& track(int level) const {
     return tracks_[static_cast<size_t>(level - 1)];

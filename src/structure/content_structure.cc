@@ -38,14 +38,14 @@ double ContentStructure::CompressionRateFactor() const {
 
 ContentStructure MineVideoStructure(std::vector<shot::Shot> shots,
                                     const StructureOptions& options,
-                                    util::ThreadPool* pool) {
+                                    const util::ExecutionContext& ctx) {
   ContentStructure cs;
   cs.shots = std::move(shots);
   cs.groups = DetectGroups(cs.shots, options.group);
   ClassifyGroups(cs.shots, &cs.groups, options.classify);
-  cs.scenes = DetectScenes(cs.shots, cs.groups, options.scene, nullptr, pool);
+  cs.scenes = DetectScenes(cs.shots, cs.groups, options.scene, nullptr, ctx);
   cs.clustered_scenes = ClusterScenes(cs.shots, cs.groups, cs.scenes,
-                                      options.cluster, nullptr, pool);
+                                      options.cluster, nullptr, ctx);
   return cs;
 }
 

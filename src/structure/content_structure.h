@@ -21,11 +21,11 @@ struct StructureOptions {
 
 // Runs group detection, classification, scene detection and scene
 // clustering over detected shots, yielding the full content hierarchy.
-// An optional pool parallelises the scene-similarity and PCS hot loops;
-// the hierarchy is bit-identical with or without it.
+// The context's pool parallelises the scene-similarity and PCS hot loops;
+// the hierarchy is bit-identical with or without one.
 ContentStructure MineVideoStructure(std::vector<shot::Shot> shots,
                                     const StructureOptions& options = {},
-                                    util::ThreadPool* pool = nullptr);
+                                    const util::ExecutionContext& ctx = {});
 
 }  // namespace classminer::structure
 

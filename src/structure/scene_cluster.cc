@@ -41,13 +41,13 @@ class CentroidSimMatrix {
   CentroidSimMatrix(const std::vector<shot::Shot>& shots,
                     const std::vector<Group>& groups,
                     const features::StSimWeights& weights,
-                    util::ThreadPool* pool)
-      : shots_(shots), groups_(groups), weights_(weights), pool_(pool) {}
+                    const util::ExecutionContext& ctx)
+      : shots_(shots), groups_(groups), weights_(weights), ctx_(ctx) {}
 
   void Reset(const std::vector<SceneCluster>& clusters) {
     const size_t n = clusters.size();
     sim_.assign(n, std::vector<double>(n, 0.0));
-    util::ParallelFor(pool_, static_cast<int>(n), [&](int i) {
+    util::ParallelFor(ctx_, static_cast<int>(n), [&](int i) {
       for (size_t j = static_cast<size_t>(i) + 1; j < n; ++j) {
         sim_[static_cast<size_t>(i)][j] =
             RepSim(shots_, groups_, clusters[static_cast<size_t>(i)].rep_group,
@@ -66,7 +66,7 @@ class CentroidSimMatrix {
     for (auto& row : sim_) row.erase(row.begin() + static_cast<ptrdiff_t>(gone));
     sim_.erase(sim_.begin() + static_cast<ptrdiff_t>(gone));
     const size_t n = clusters.size();
-    util::ParallelFor(pool_, static_cast<int>(n), [&](int j) {
+    util::ParallelFor(ctx_, static_cast<int>(n), [&](int j) {
       if (static_cast<size_t>(j) == changed) return;
       const double s =
           RepSim(shots_, groups_, clusters[changed].rep_group,
@@ -97,7 +97,7 @@ class CentroidSimMatrix {
   const std::vector<shot::Shot>& shots_;
   const std::vector<Group>& groups_;
   const features::StSimWeights& weights_;
-  util::ThreadPool* pool_;
+  util::ExecutionContext ctx_;
   std::vector<std::vector<double>> sim_;
 };
 
@@ -108,14 +108,14 @@ double ClusterValidity(const std::vector<shot::Shot>& shots,
                        const std::vector<SceneCluster>& clusters,
                        const std::vector<Scene>& scenes,
                        const features::StSimWeights& weights,
-                       util::ThreadPool* pool) {
+                       const util::ExecutionContext& ctx) {
   const size_t n = clusters.size();
   if (n < 2) return std::numeric_limits<double>::max();
 
   // Intra-cluster distances (Eq. 15): mean 1 - GpSim(centroid, member).
   // Each cluster owns one slot; member accumulation stays in scene order.
   std::vector<double> intra(n, 0.0);
-  util::ParallelFor(pool, static_cast<int>(n), [&](int ci) {
+  util::ParallelFor(ctx, static_cast<int>(n), [&](int ci) {
     const SceneCluster& c = clusters[static_cast<size_t>(ci)];
     if (c.scene_indices.size() < 2) return;  // singleton: distance 0
     double acc = 0.0;
@@ -137,7 +137,7 @@ double ClusterValidity(const std::vector<shot::Shot>& shots,
   // runs serially in index order, matching serial floating point exactly.
   constexpr double kIntraFloor = 0.01;
   std::vector<double> worst(n, 0.0);
-  util::ParallelFor(pool, static_cast<int>(n), [&](int ii) {
+  util::ParallelFor(ctx, static_cast<int>(n), [&](int ii) {
     const size_t i = static_cast<size_t>(ii);
     double w = 0.0;
     for (size_t j = 0; j < n; ++j) {
@@ -162,7 +162,7 @@ std::vector<SceneCluster> ClusterScenes(const std::vector<shot::Shot>& shots,
                                         const std::vector<Scene>& scenes,
                                         const SceneClusterOptions& options,
                                         SceneClusterTrace* trace,
-                                        util::ThreadPool* pool) {
+                                        const util::ExecutionContext& ctx) {
   // Start from singleton clusters over active scenes.
   std::vector<SceneCluster> clusters;
   for (const Scene& scene : scenes) {
@@ -198,7 +198,7 @@ std::vector<SceneCluster> ClusterScenes(const std::vector<shot::Shot>& shots,
     const double rho = options.fixed_clusters > 0
                            ? 0.0
                            : ClusterValidity(shots, groups, state, scenes,
-                                             options.weights, pool);
+                                             options.weights, ctx);
     if (trace != nullptr) {
       trace->candidates.push_back(n);
       trace->validity.push_back(rho);
@@ -217,7 +217,7 @@ std::vector<SceneCluster> ClusterScenes(const std::vector<shot::Shot>& shots,
   // The pairwise matrix is cached across rounds — only the merged
   // cluster's row changes — and filled in parallel; pair selection scans
   // serially, so the merge order matches the serial implementation.
-  CentroidSimMatrix sim(shots, groups, options.weights, pool);
+  CentroidSimMatrix sim(shots, groups, options.weights, ctx);
   sim.Reset(clusters);
   while (static_cast<int>(clusters.size()) > c_min) {
     size_t bi, bj;
@@ -230,7 +230,7 @@ std::vector<SceneCluster> ClusterScenes(const std::vector<shot::Shot>& shots,
     clusters.erase(clusters.begin() + static_cast<ptrdiff_t>(bj));
     clusters[bi].rep_group = SelectRepresentativeGroup(
         shots, groups, ClusterGroups(clusters[bi], scenes), options.weights,
-        pool);
+        ctx);
     sim.Update(clusters, bi, bj);
 
     consider_state(clusters);

@@ -6,7 +6,7 @@
 #include "features/similarity.h"
 #include "shot/shot.h"
 #include "structure/types.h"
-#include "util/threadpool.h"
+#include "util/exec_context.h"
 
 namespace classminer::structure {
 
@@ -41,15 +41,15 @@ struct SceneClusterTrace {
 //
 // Only non-eliminated scenes participate. Singleton clusters are emitted
 // for every remaining scene.
-// An optional pool parallelises the pairwise centroid-similarity matrix and
-// the validity index (fixed partitioning, serial argmax/reduction), leaving
-// the merge sequence bit-identical to a serial run.
+// The context's pool parallelises the pairwise centroid-similarity matrix
+// and the validity index (fixed partitioning, serial argmax/reduction),
+// leaving the merge sequence bit-identical to a serial run.
 std::vector<SceneCluster> ClusterScenes(const std::vector<shot::Shot>& shots,
                                         const std::vector<Group>& groups,
                                         const std::vector<Scene>& scenes,
                                         const SceneClusterOptions& options = {},
                                         SceneClusterTrace* trace = nullptr,
-                                        util::ThreadPool* pool = nullptr);
+                                        const util::ExecutionContext& ctx = {});
 
 // Validity ratio rho for a clustering state (exposed for tests): mean over
 // clusters of intra-cluster distance divided by the largest inter-cluster
@@ -59,7 +59,7 @@ double ClusterValidity(const std::vector<shot::Shot>& shots,
                        const std::vector<SceneCluster>& clusters,
                        const std::vector<Scene>& scenes,
                        const features::StSimWeights& weights = {},
-                       util::ThreadPool* pool = nullptr);
+                       const util::ExecutionContext& ctx = {});
 
 }  // namespace classminer::structure
 

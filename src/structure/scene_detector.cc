@@ -11,7 +11,7 @@ int SelectRepresentativeGroup(const std::vector<shot::Shot>& shots,
                               const std::vector<Group>& groups,
                               const std::vector<int>& member_groups,
                               const features::StSimWeights& weights,
-                              util::ThreadPool* pool) {
+                              const util::ExecutionContext& ctx) {
   if (member_groups.empty()) return -1;
   if (member_groups.size() == 1) return member_groups.front();
   if (member_groups.size() == 2) {
@@ -36,7 +36,7 @@ int SelectRepresentativeGroup(const std::vector<shot::Shot>& shots,
   // member order, so the winner matches the serial path exactly.
   std::vector<double> avg(member_groups.size(), 0.0);
   util::ParallelFor(
-      pool, static_cast<int>(member_groups.size()), [&](int ji) {
+      ctx, static_cast<int>(member_groups.size()), [&](int ji) {
         const int j = member_groups[static_cast<size_t>(ji)];
         double acc = 0.0;
         for (int k : member_groups) {
@@ -62,14 +62,14 @@ std::vector<Scene> DetectScenes(const std::vector<shot::Shot>& shots,
                                 const std::vector<Group>& groups,
                                 const SceneDetectorOptions& options,
                                 SceneDetectorTrace* trace,
-                                util::ThreadPool* pool) {
+                                const util::ExecutionContext& ctx) {
   std::vector<Scene> scenes;
   const int m = static_cast<int>(groups.size());
   if (m == 0) return scenes;
 
   // Eq. 10: similarities between neighbouring groups (independent pairs).
   std::vector<double> sg(static_cast<size_t>(std::max(0, m - 1)), 0.0);
-  util::ParallelFor(pool, m - 1, [&](int i) {
+  util::ParallelFor(ctx, m - 1, [&](int i) {
     sg[static_cast<size_t>(i)] =
         GpSim(shots, groups[static_cast<size_t>(i)],
               groups[static_cast<size_t>(i) + 1], options.weights);
@@ -101,7 +101,7 @@ std::vector<Scene> DetectScenes(const std::vector<shot::Shot>& shots,
   // Eliminate short scenes and choose representative groups. Scenes are
   // independent, so the per-scene work parallelises across scenes (and the
   // inner SelectRepresentativeGroup then runs serial).
-  util::ParallelFor(pool, static_cast<int>(scenes.size()), [&](int si) {
+  util::ParallelFor(ctx, static_cast<int>(scenes.size()), [&](int si) {
     Scene& scene = scenes[static_cast<size_t>(si)];
     int shot_count = 0;
     std::vector<int> members;

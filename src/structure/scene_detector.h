@@ -6,7 +6,7 @@
 #include "features/similarity.h"
 #include "shot/shot.h"
 #include "structure/types.h"
-#include "util/threadpool.h"
+#include "util/exec_context.h"
 
 namespace classminer::structure {
 
@@ -33,14 +33,14 @@ struct SceneDetectorTrace {
 // similarity above TG merge (transitively); the result list, with
 // sub-3-shot scenes flagged eliminated, forms the scene level. Each scene's
 // representative group is chosen by SelectRepGroup.
-// An optional pool parallelises the neighbouring-group similarity series
+// The context's pool parallelises the neighbouring-group similarity series
 // and representative-group selection (fixed per-index slots, serial
 // reductions; bit-identical to serial).
 std::vector<Scene> DetectScenes(const std::vector<shot::Shot>& shots,
                                 const std::vector<Group>& groups,
                                 const SceneDetectorOptions& options = {},
                                 SceneDetectorTrace* trace = nullptr,
-                                util::ThreadPool* pool = nullptr);
+                                const util::ExecutionContext& ctx = {});
 
 // SelectRepGroup (Sec. 3.4): for 3+ member groups the one with the largest
 // average GpSim to the others (Eq. 11); for 2 the one with more shots
@@ -50,7 +50,7 @@ int SelectRepresentativeGroup(const std::vector<shot::Shot>& shots,
                               const std::vector<Group>& groups,
                               const std::vector<int>& member_groups,
                               const features::StSimWeights& weights = {},
-                              util::ThreadPool* pool = nullptr);
+                              const util::ExecutionContext& ctx = {});
 
 }  // namespace classminer::structure
 

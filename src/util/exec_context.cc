@@ -1,0 +1,49 @@
+#include "util/exec_context.h"
+
+#include <exception>
+#include <string>
+
+namespace classminer::util {
+
+void StatusSink::Record(Status status) {
+  if (status.ok()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (status_.ok()) status_ = std::move(status);
+}
+
+Status StatusSink::Get() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return status_;
+}
+
+bool StatusSink::ok() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return status_.ok();
+}
+
+void ParallelFor(const ExecutionContext& ctx, int count,
+                 const std::function<void(int)>& fn, int grain) {
+  if (count <= 0) return;
+  if (ctx.cancelled()) return;
+  if (ctx.status_sink() != nullptr && !ctx.status_sink()->ok()) return;
+  if (ctx.status_sink() == nullptr) {
+    ParallelFor(ctx.pool(), count, fn, grain);
+    return;
+  }
+  ParallelFor(
+      ctx.pool(), count,
+      [&ctx, &fn](int i) {
+        try {
+          fn(i);
+        } catch (const std::exception& e) {
+          ctx.RecordStatus(Status::Internal(
+              std::string("parallel loop body threw: ") + e.what()));
+        } catch (...) {
+          ctx.RecordStatus(
+              Status::Internal("parallel loop body threw a non-std value"));
+        }
+      },
+      grain);
+}
+
+}  // namespace classminer::util

@@ -1,0 +1,66 @@
+#ifndef CLASSMINER_UTIL_PIPELINE_METRICS_H_
+#define CLASSMINER_UTIL_PIPELINE_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace classminer::util {
+
+// ---------------------------------------------------------------------------
+// Per-stage pipeline observability. Each pipeline stage (shot -> audio ->
+// group -> scene -> cluster -> cues -> events, plus the database-side
+// index_build / browse / skim stages) records wall time, items processed and
+// the thread count it ran with; the registry rides on MiningResult (and on
+// database operations via ExecutionContext) so callers — CLI, benches,
+// ingest services — can see where a video's cost went without instrumenting
+// anything themselves. Lives in util so every layer below core can append
+// rows through the shared ExecutionContext.
+
+struct StageMetrics {
+  std::string name;
+  double wall_ms = 0.0;
+  int64_t items = 0;   // stage-specific unit: frames, shots, groups, scenes
+  int threads = 1;     // threads available to the stage (1 = serial)
+};
+
+struct PipelineMetrics {
+  std::vector<StageMetrics> stages;  // in pipeline declaration order
+
+  // Tasks that escaped a pool worker with an exception while this registry's
+  // pipeline ran (surfaced from ThreadPool::exception_count() through the
+  // ExecutionContext). Non-zero turns the owning run's status non-OK.
+  int pool_exceptions = 0;
+
+  double TotalMs() const;
+  // First stage with this name, or nullptr.
+  const StageMetrics* Find(std::string_view name) const;
+  // Aligned human-readable table, one line per stage plus a total row (and
+  // an exception row when pool_exceptions is non-zero).
+  std::string ToString() const;
+};
+
+// RAII stage timer: measures from construction to destruction on the
+// steady clock and appends one row to the registry. A null registry makes
+// the timer a no-op so instrumented code paths need no branching.
+class StageTimer {
+ public:
+  StageTimer(PipelineMetrics* metrics, std::string name, int threads = 1);
+  ~StageTimer();
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  void set_items(int64_t items) { row_.items = items; }
+
+ private:
+  PipelineMetrics* metrics_;
+  StageMetrics row_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace classminer::util
+
+#endif  // CLASSMINER_UTIL_PIPELINE_METRICS_H_

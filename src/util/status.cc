@@ -25,6 +25,8 @@ const char* StatusCodeName(StatusCode code) {
       return "PERMISSION_DENIED";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }

@@ -37,6 +37,39 @@ void ThreadPool::Wait() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+// Shared execution guard for workers and helping callers. The in_flight_
+// decrement must run even when the task throws, otherwise Wait() deadlocks
+// forever on a poisoned counter.
+void ThreadPool::RunTask(std::function<void()>* task) {
+  try {
+    (*task)();
+  } catch (const std::exception& e) {
+    exception_count_.fetch_add(1, std::memory_order_relaxed);
+    CM_LOG(Error) << "ThreadPool task threw: " << e.what();
+  } catch (...) {
+    exception_count_.fetch_add(1, std::memory_order_relaxed);
+    CM_LOG(Error) << "ThreadPool task threw a non-std exception";
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+  }
+}
+
+bool ThreadPool::TryRunOneTask() {
+  std::function<void()> task;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+  }
+  RunTask(&task);
+  return true;
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
@@ -48,22 +81,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    // The in_flight_ decrement below must run even when the task throws,
-    // otherwise Wait() deadlocks forever on a poisoned counter.
-    try {
-      task();
-    } catch (const std::exception& e) {
-      exception_count_.fetch_add(1, std::memory_order_relaxed);
-      CM_LOG(Error) << "ThreadPool task threw: " << e.what();
-    } catch (...) {
-      exception_count_.fetch_add(1, std::memory_order_relaxed);
-      CM_LOG(Error) << "ThreadPool task threw a non-std exception";
-    }
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
-    }
+    RunTask(&task);
   }
 }
 
@@ -80,13 +98,48 @@ void ParallelFor(ThreadPool* pool, int count,
     for (int i = 0; i < count; ++i) fn(i);
     return;
   }
+
+  // Per-call completion latch: the caller waits for its own chunks only,
+  // not pool-wide idleness, so concurrent calls (several pipeline stages,
+  // several videos) share the pool without serialising on each other.
+  struct Latch {
+    std::mutex mutex;
+    std::condition_variable cv;
+    int remaining = 0;
+  } latch;
+  latch.remaining = (count + step - 1) / step;
+
   for (int begin = 0; begin < count; begin += step) {
     const int end = std::min(count, begin + step);
-    pool->Schedule([&fn, begin, end] {
+    pool->Schedule([&fn, &latch, begin, end] {
+      // Decrement via RAII so a throwing body still releases the caller
+      // (the exception then escapes to the pool's guard, which counts it).
+      struct Done {
+        Latch* latch;
+        ~Done() {
+          std::lock_guard<std::mutex> lock(latch->mutex);
+          if (--latch->remaining == 0) latch->cv.notify_all();
+        }
+      } done{&latch};
       for (int i = begin; i < end; ++i) fn(i);
     });
   }
-  pool->Wait();
+
+  // Help while waiting: run queued tasks (this call's chunks or anyone
+  // else's work) inline. This is what makes nested ParallelFor from inside
+  // a pool task deadlock-free — a blocked-and-helping caller always leaves
+  // a runnable task runnable. When the queue is momentarily empty, every
+  // outstanding chunk of this call is in flight on some thread and its
+  // completion will signal the latch.
+  std::unique_lock<std::mutex> lock(latch.mutex);
+  while (latch.remaining > 0) {
+    lock.unlock();
+    const bool ran = pool->TryRunOneTask();
+    lock.lock();
+    if (!ran && latch.remaining > 0) {
+      latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
+    }
+  }
 }
 
 }  // namespace classminer::util

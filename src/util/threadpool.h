@@ -13,15 +13,26 @@ namespace classminer::util {
 
 // Minimal fixed-size thread pool. Used to mine independent videos in
 // parallel and, within one video, to run the per-stage hot loops (feature
-// extraction, scene-similarity matrices, per-shot audio analysis). Every
-// parallel loop in the pipeline writes to pre-sized per-index slots and
-// reduces serially, so results are bit-identical to a serial run.
+// extraction, scene-similarity matrices, per-shot audio analysis) and the
+// stage-DAG scheduler. Every parallel loop in the pipeline writes to
+// pre-sized per-index slots and reduces serially, so results are
+// bit-identical to a serial run.
+//
+// Nesting: callers that must wait for their own sub-tasks (ParallelFor, the
+// stage-DAG runner) do NOT block on Wait(); they help — repeatedly popping
+// queued tasks via TryRunOneTask() until their own completion latch drops.
+// A pool task may therefore itself fan out onto the same pool: its wait
+// loop executes other queued work (possibly a whole other pipeline stage)
+// inline, so one pool serves videos × stages × inner loops without
+// self-deadlock and without idle workers.
 //
 // Exception policy: a task that throws does NOT kill the worker or deadlock
-// Wait(). The exception is caught at the worker boundary, logged at Error
-// severity, and counted (see exception_count()). Tasks that must propagate
-// failures should capture them into their own result slots; the pool treats
-// an escaped exception as a programming error that is survivable but loud.
+// Wait(). The exception is caught at the execution boundary, logged at
+// Error severity, and counted (see exception_count()). Pipeline code routes
+// loops through ExecutionContext, which captures exceptions into the run's
+// status sink before they ever reach the pool; an exception escaping a raw
+// Schedule() task is a survivable but loud programming error, and pipeline
+// entry points turn a non-zero count into a failed util::Status.
 class ThreadPool {
  public:
   explicit ThreadPool(int threads);
@@ -35,8 +46,15 @@ class ThreadPool {
 
   // Blocks until every scheduled task has finished. Must not be called
   // from inside a pool task (the waiting worker would count itself as
-  // in-flight and never wake up).
+  // in-flight and never wake up) — in-task code waits by helping via
+  // TryRunOneTask() instead.
   void Wait();
+
+  // Pops one queued task, if any, and runs it on the calling thread (with
+  // the same exception guard as a worker). Returns false when the queue
+  // was empty. This is the helping primitive behind nested ParallelFor and
+  // the stage-DAG runner's wait loops.
+  bool TryRunOneTask();
 
   int thread_count() const { return static_cast<int>(workers_.size()); }
 
@@ -50,6 +68,7 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+  void RunTask(std::function<void()>* task);
 
   std::mutex mutex_;
   std::condition_variable work_cv_;
@@ -66,7 +85,10 @@ class ThreadPool {
 // optional pool through without branching. `grain` batches consecutive
 // indices into one task to amortise scheduling overhead on cheap bodies;
 // partitioning is fixed by (count, grain) alone, never by thread timing.
-// Must not be invoked from inside a task of the same pool (see Wait()).
+// The wait is a per-call completion latch, not pool-wide idleness, and the
+// caller helps drain the queue while waiting — so concurrent ParallelFor
+// calls share the pool without over-waiting on each other, and calling
+// from inside a task of the same pool is safe.
 void ParallelFor(ThreadPool* pool, int count,
                  const std::function<void(int)>& fn, int grain = 1);
 

@@ -103,12 +103,14 @@ TEST(PpmTest, RejectsGarbage) {
 TEST(PlaybackTest, PlanMatchesSkimTrack) {
   const synth::GeneratedVideo g =
       synth::GenerateVideo(synth::QuickScript(32));
-  core::MiningResult mined = core::MineVideo(g.video, g.audio);
-  const skim::ScalableSkim sk(&mined.structure);
+  util::StatusOr<core::MiningResult> mined =
+      core::MineVideo(g.video, g.audio);
+  ASSERT_TRUE(mined.ok());
+  const skim::ScalableSkim sk(&mined->structure);
   const double fps = g.video.fps();
 
   const auto plan1 = skim::BuildPlaybackPlan(sk, 1, fps);
-  EXPECT_EQ(plan1.size(), mined.structure.shots.size());
+  EXPECT_EQ(plan1.size(), mined->structure.shots.size());
   // Level 1 plays everything: duration equals the full video.
   EXPECT_NEAR(skim::PlanDurationSeconds(plan1), g.video.DurationSeconds(),
               0.2);
@@ -125,8 +127,10 @@ TEST(PlaybackTest, PlanMatchesSkimTrack) {
 TEST(PlaybackTest, LevelSwitchResumesForward) {
   const synth::GeneratedVideo g =
       synth::GenerateVideo(synth::QuickScript(33));
-  core::MiningResult mined = core::MineVideo(g.video, g.audio);
-  const skim::ScalableSkim sk(&mined.structure);
+  util::StatusOr<core::MiningResult> mined =
+      core::MineVideo(g.video, g.audio);
+  ASSERT_TRUE(mined.ok());
+  const skim::ScalableSkim sk(&mined->structure);
   const auto plan = skim::BuildPlaybackPlan(sk, 2, g.video.fps());
   ASSERT_GE(plan.size(), 2u);
   // Resuming from before everything lands on segment 0; from mid-video it

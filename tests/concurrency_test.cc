@@ -92,6 +92,34 @@ TEST(ThreadPoolTest, ParallelForGrainCoversEachIndexOnce) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPoolTest, TryRunOneTaskDrainsQueueOnCaller) {
+  util::ThreadPool pool(2);
+  // Saturate the workers so queued tasks stay queued long enough for the
+  // caller to pop at least one itself.
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Schedule([&ran] { ran.fetch_add(1); });
+  }
+  while (pool.TryRunOneTask()) {
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // A ParallelFor body fans out onto the SAME pool. The waiting caller
+  // helps drain the queue, so even a 2-thread pool fully saturated by the
+  // outer loop completes the inner loops.
+  util::ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(8 * 16);
+  util::ParallelFor(&pool, 8, [&](int outer) {
+    util::ParallelFor(&pool, 16, [&](int inner) {
+      hits[static_cast<size_t>(outer * 16 + inner)].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ParallelMiningTest, MatchesSerialResults) {
   // Two small videos; parallel ingest must be bit-identical to serial.
   const synth::GeneratedVideo a =
@@ -99,13 +127,19 @@ TEST(ParallelMiningTest, MatchesSerialResults) {
   const synth::GeneratedVideo b =
       synth::GenerateVideo(synth::QuickScript(82));
 
-  const core::MiningResult sa = core::MineVideo(a.video, a.audio);
-  const core::MiningResult sb = core::MineVideo(b.video, b.audio);
+  const util::StatusOr<core::MiningResult> sa =
+      core::MineVideo(a.video, a.audio);
+  const util::StatusOr<core::MiningResult> sb =
+      core::MineVideo(b.video, b.audio);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
 
   const std::vector<core::MiningInput> inputs{{&a.video, &a.audio},
                                               {&b.video, &b.audio}};
-  const std::vector<core::MiningResult> parallel =
+  const util::StatusOr<std::vector<core::MiningResult>> batch =
       core::MineVideosParallel(inputs, core::MiningOptions(), 2);
+  ASSERT_TRUE(batch.ok());
+  const std::vector<core::MiningResult>& parallel = *batch;
   ASSERT_EQ(parallel.size(), 2u);
 
   auto expect_same = [](const core::MiningResult& serial,
@@ -119,8 +153,8 @@ TEST(ParallelMiningTest, MatchesSerialResults) {
       EXPECT_EQ(par.events[i].type, serial.events[i].type);
     }
   };
-  expect_same(sa, parallel[0]);
-  expect_same(sb, parallel[1]);
+  expect_same(*sa, parallel[0]);
+  expect_same(*sb, parallel[1]);
 }
 
 }  // namespace

@@ -32,8 +32,10 @@ class CorpusIntegrationTest : public ::testing::Test {
       for (const synth::VideoScript& s : scripts) {
         if (s.name != name) continue;
         inputs_->push_back(synth::GenerateVideo(s));
-        results_->push_back(
-            core::MineVideo(inputs_->back().video, inputs_->back().audio));
+        util::StatusOr<core::MiningResult> mined =
+            core::MineVideo(inputs_->back().video, inputs_->back().audio);
+        ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+        results_->push_back(std::move(*mined));
         db_->AddVideo(s.name, results_->back().structure,
                       results_->back().events);
       }

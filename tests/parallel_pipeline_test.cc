@@ -1,8 +1,9 @@
-// Determinism guarantee of the stage-parallel pipeline: mining the same
-// video at thread_count = 1 and thread_count = N must produce bit-identical
-// MiningResults. Every parallel loop uses fixed per-index partitioning and
-// serial reductions, so this holds exactly (double == double), not just
-// approximately.
+// Determinism guarantee of the pipeline runtime: mining the same video at
+// thread_count = 1 and thread_count = N must produce bit-identical
+// MiningResults, under both sequential-stage and DAG scheduling. Every
+// parallel loop uses fixed per-index partitioning and serial reductions,
+// and stage dependencies mirror the true data flow, so this holds exactly
+// (double == double), not just approximately.
 
 #include <gtest/gtest.h>
 
@@ -114,23 +115,35 @@ void ExpectResultsIdentical(const core::MiningResult& serial,
   }
 }
 
-TEST(ParallelPipelineTest, MineVideoDeterministicAcrossThreadCounts) {
+TEST(ParallelPipelineTest, MineVideoDeterministicAcrossSchedulesAndThreads) {
   for (const uint64_t seed : {91u, 92u}) {
     const synth::GeneratedVideo g = synth::GenerateVideo(
         synth::QuickScript(seed));
 
     core::MiningOptions serial_opts;
     serial_opts.thread_count = 1;
-    const core::MiningResult serial =
+    const util::StatusOr<core::MiningResult> serial =
         core::MineVideo(g.video, g.audio, serial_opts);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
 
-    core::MiningOptions parallel_opts;
-    parallel_opts.thread_count = 4;
-    const core::MiningResult parallel =
-        core::MineVideo(g.video, g.audio, parallel_opts);
+    for (const core::StageScheduling scheduling :
+         {core::StageScheduling::kSequential, core::StageScheduling::kDag}) {
+      for (const int threads : {2, 8}) {
+        core::MiningOptions parallel_opts;
+        parallel_opts.thread_count = threads;
+        parallel_opts.scheduling = scheduling;
+        const util::StatusOr<core::MiningResult> parallel =
+            core::MineVideo(g.video, g.audio, parallel_opts);
+        ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
 
-    SCOPED_TRACE("seed " + std::to_string(seed));
-    ExpectResultsIdentical(serial, parallel);
+        SCOPED_TRACE("seed " + std::to_string(seed) + " threads " +
+                     std::to_string(threads) +
+                     (scheduling == core::StageScheduling::kDag
+                          ? " dag"
+                          : " sequential"));
+        ExpectResultsIdentical(*serial, *parallel);
+      }
+    }
   }
 }
 
@@ -145,13 +158,19 @@ TEST(ParallelPipelineTest, MineCmvFileFastDeterministicAcrossThreadCounts) {
       core::MineCmvFileFast(file, serial_opts);
   ASSERT_TRUE(serial.ok());
 
-  core::MiningOptions parallel_opts;
-  parallel_opts.thread_count = 4;
-  util::StatusOr<core::MiningResult> parallel =
-      core::MineCmvFileFast(file, parallel_opts);
-  ASSERT_TRUE(parallel.ok());
+  for (const core::StageScheduling scheduling :
+       {core::StageScheduling::kSequential, core::StageScheduling::kDag}) {
+    core::MiningOptions parallel_opts;
+    parallel_opts.thread_count = 4;
+    parallel_opts.scheduling = scheduling;
+    util::StatusOr<core::MiningResult> parallel =
+        core::MineCmvFileFast(file, parallel_opts);
+    ASSERT_TRUE(parallel.ok());
 
-  ExpectResultsIdentical(*serial, *parallel);
+    SCOPED_TRACE(scheduling == core::StageScheduling::kDag ? "dag"
+                                                           : "sequential");
+    ExpectResultsIdentical(*serial, *parallel);
+  }
 }
 
 TEST(ParallelPipelineTest, MetricsRecordEveryStage) {
@@ -159,8 +178,10 @@ TEST(ParallelPipelineTest, MetricsRecordEveryStage) {
       synth::GenerateVideo(synth::QuickScript(94));
   core::MiningOptions options;
   options.thread_count = 2;
-  const core::MiningResult result =
+  const util::StatusOr<core::MiningResult> mined =
       core::MineVideo(g.video, g.audio, options);
+  ASSERT_TRUE(mined.ok());
+  const core::MiningResult& result = *mined;
 
   for (const char* stage :
        {"shot", "audio", "group", "scene", "cluster", "cues", "events"}) {

@@ -15,8 +15,10 @@ class PipelineTest : public ::testing::Test {
   static void SetUpTestSuite() {
     generated_ = new synth::GeneratedVideo(
         synth::GenerateVideo(synth::QuickScript(11)));
-    result_ = new core::MiningResult(
-        core::MineVideo(generated_->video, generated_->audio));
+    util::StatusOr<core::MiningResult> mined =
+        core::MineVideo(generated_->video, generated_->audio);
+    ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+    result_ = new core::MiningResult(std::move(*mined));
   }
   static void TearDownTestSuite() {
     delete result_;

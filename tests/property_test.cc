@@ -123,9 +123,11 @@ TEST_P(SceneCountSweep, RecoversScriptedScenes) {
     script.scenes.push_back(scene);
   }
   const synth::GeneratedVideo g = synth::GenerateVideo(script);
-  const core::MiningResult r = core::MineVideo(g.video, g.audio);
+  const util::StatusOr<core::MiningResult> r =
+      core::MineVideo(g.video, g.audio);
+  ASSERT_TRUE(r.ok());
   const core::SceneDetectionScore score = core::ScoreSceneDetection(
-      r.structure.shots, core::ScenesAsShotSets(r.structure), g.truth);
+      r->structure.shots, core::ScenesAsShotSets(r->structure), g.truth);
   EXPECT_GE(score.precision, 0.6) << "scenes=" << scenes;
   // Detected scene count within 50% of the scripted count.
   EXPECT_NEAR(score.detected_scenes, scenes, scenes * 0.5 + 1.0);
@@ -143,9 +145,11 @@ TEST_P(BeamSweep, WiderBeamMonotone) {
   // Small deterministic database out of one mined video.
   const synth::GeneratedVideo g =
       synth::GenerateVideo(synth::QuickScript(61));
-  core::MiningResult mined = core::MineVideo(g.video, g.audio);
+  util::StatusOr<core::MiningResult> mined =
+      core::MineVideo(g.video, g.audio);
+  ASSERT_TRUE(mined.ok());
   index::VideoDatabase db;
-  db.AddVideo("beam", std::move(mined.structure), std::move(mined.events));
+  db.AddVideo("beam", std::move(mined->structure), std::move(mined->events));
   const index::ConceptHierarchy concepts =
       index::ConceptHierarchy::MedicalDefault();
 
@@ -216,9 +220,11 @@ TEST_P(DegradationSweep, TruthStaysConsistent) {
   }
   EXPECT_EQ(next, g.video.frame_count());
   // Shot detection still finds most boundaries (dissolves tolerated).
-  const core::MiningResult r = core::MineVideo(g.video, g.audio);
+  const util::StatusOr<core::MiningResult> r =
+      core::MineVideo(g.video, g.audio);
+  ASSERT_TRUE(r.ok());
   const core::CutScore score = core::ScoreCuts(
-      r.shot_trace.cuts, g.truth.CutPositions(), script.dissolve_frames);
+      r->shot_trace.cuts, g.truth.CutPositions(), script.dissolve_frames);
   EXPECT_GE(score.recall, 0.6);
 }
 
