@@ -3,9 +3,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "codec/decoder.h"
 #include "codec/dct.h"
 #include "codec/encoder.h"
+#include "codec/frame_source.h"
 #include "codec/motion.h"
 #include "codec/quant.h"
 #include "media/draw.h"
@@ -88,6 +93,42 @@ void BM_DecodeVideo(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 12);
 }
 BENCHMARK(BM_DecodeVideo)->Unit(benchmark::kMillisecond);
+
+// Rep-frame-style sparse access (one frame per 12-frame "shot") through the
+// selective FrameSource vs paying for a full DecodeVideo pass. arg 0/1
+// selects the mode so both rows share one video. With 8 GOPs and 8 touched
+// frames the selective path decodes the same number of GOPs a full decode
+// would, but skips nothing-requested GOPs as shots get sparser; on this
+// access pattern it measures pure seek+GOP-decode cost vs whole-file cost.
+void BM_SelectiveVsFullDecode(benchmark::State& state) {
+  const media::Video video = BenchVideo(96, 96, 72);
+  const codec::CmvFile file =
+      codec::EncodeVideo(video, codec::EncoderOptions());  // gop_size 12
+  const bool selective = state.range(0) != 0;
+  std::vector<int> rep_frames;
+  for (int f = 4; f < file.frame_count(); f += 24) rep_frames.push_back(f);
+  int64_t frames_decoded = 0;
+  for (auto _ : state) {
+    if (selective) {
+      auto source = codec::FrameSource::Create(&file);
+      for (const int f : rep_frames) {
+        benchmark::DoNotOptimize((*source)->GetFrame(f));
+      }
+      frames_decoded += (*source)->stats().decoded_frames;
+    } else {
+      auto full = codec::DecodeVideo(file);
+      benchmark::DoNotOptimize(full);
+      frames_decoded += file.frame_count();
+    }
+  }
+  state.SetItemsProcessed(frames_decoded);
+  state.counters["frames_decoded_per_iter"] = static_cast<double>(
+      frames_decoded / std::max<int64_t>(1, state.iterations()));
+}
+BENCHMARK(BM_SelectiveVsFullDecode)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DcImageExtraction(benchmark::State& state) {
   const media::Video video = BenchVideo(12, 96, 72);

@@ -16,10 +16,11 @@ cmake --build build -j >/dev/null
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== tier-1: ThreadSanitizer (concurrency + parallel pipeline) =="
   cmake -B build-tsan -S . -DCLASSMINER_TSAN=ON >/dev/null
-  cmake --build build-tsan -j --target concurrency_test parallel_pipeline_test pipeline_dag_test >/dev/null
+  cmake --build build-tsan -j --target concurrency_test parallel_pipeline_test pipeline_dag_test frame_source_test >/dev/null
   ./build-tsan/tests/concurrency_test
   ./build-tsan/tests/parallel_pipeline_test
   ./build-tsan/tests/pipeline_dag_test
+  ./build-tsan/tests/frame_source_test
 fi
 
 echo "tier-1 OK"

@@ -12,6 +12,58 @@ size_t CmvFile::VideoPayloadBytes() const {
   return total;
 }
 
+util::StatusOr<std::vector<GopIndexEntry>> CmvFile::DeriveGopIndex(
+    const std::vector<FrameRecord>& frames) {
+  std::vector<GopIndexEntry> index;
+  uint64_t offset = 0;
+  for (size_t i = 0; i < frames.size(); ++i) {
+    const FrameRecord& rec = frames[i];
+    if (rec.type == FrameType::kIntra) {
+      GopIndexEntry entry;
+      entry.start_frame = static_cast<int>(i);
+      entry.byte_offset = offset;
+      index.push_back(entry);
+    } else if (index.empty()) {
+      return util::Status::DataLoss("stream starts with P-frame");
+    }
+    index.back().frame_count += 1;
+    index.back().byte_size += rec.payload.size();
+    offset += rec.payload.size();
+  }
+  return index;
+}
+
+util::Status CmvFile::RebuildGopIndex() {
+  util::StatusOr<std::vector<GopIndexEntry>> index = DeriveGopIndex(frames);
+  if (!index.ok()) return index.status();
+  gop_index = std::move(index).value();
+  return util::Status::Ok();
+}
+
+int CmvFile::GopOfFrame(int frame_index) const {
+  if (gop_index.empty() || frame_index < 0 ||
+      frame_index >= frame_count()) {
+    return -1;
+  }
+  // Last GOP whose start_frame <= frame_index.
+  int lo = 0;
+  int hi = gop_count() - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi + 1) / 2;
+    if (gop_index[static_cast<size_t>(mid)].start_frame <= frame_index) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  const GopIndexEntry& g = gop_index[static_cast<size_t>(lo)];
+  if (frame_index < g.start_frame ||
+      frame_index >= g.start_frame + g.frame_count) {
+    return -1;
+  }
+  return lo;
+}
+
 std::vector<uint8_t> CmvFile::Serialize() const {
   util::ByteWriter w;
   w.PutU32(kMagic);
@@ -35,6 +87,21 @@ std::vector<uint8_t> CmvFile::Serialize() const {
     uint32_t bits;
     std::memcpy(&bits, &s, sizeof(bits));
     w.PutU32(bits);
+  }
+
+  // Trailing GOP-index section. Readers that predate it stop after the
+  // audio track and ignore the extra bytes; Parse validates it against the
+  // frame records. Omitted entirely when the file carries no index (legacy
+  // round trips stay byte-stable).
+  if (!gop_index.empty()) {
+    w.PutU32(kGopIndexMagic);
+    w.PutU32(static_cast<uint32_t>(gop_index.size()));
+    for (const GopIndexEntry& g : gop_index) {
+      w.PutI32(g.start_frame);
+      w.PutI32(g.frame_count);
+      w.PutU64(g.byte_offset);
+      w.PutU64(g.byte_size);
+    }
   }
   return w.Release();
 }
@@ -104,6 +171,50 @@ util::StatusOr<CmvFile> CmvFile::Parse(const std::vector<uint8_t>& bytes) {
     if (!bits.ok()) return bits.status();
     uint32_t b = *bits;
     std::memcpy(&file.audio_pcm[i], &b, sizeof(float));
+  }
+
+  if (r.remaining() == 0) {
+    // Legacy container without an index section: rebuild from the frame
+    // records. A stream opening with a P-frame keeps an empty index (and
+    // fails at decode time, as before).
+    (void)file.RebuildGopIndex();
+    return file;
+  }
+
+  // Index section present: any short read or inconsistency is corruption.
+  util::StatusOr<uint32_t> index_magic = r.GetU32();
+  if (!index_magic.ok()) return index_magic.status();
+  if (*index_magic != kGopIndexMagic) {
+    return util::Status::DataLoss("bad GOP index magic");
+  }
+  util::StatusOr<uint32_t> gop_count = r.GetU32();
+  if (!gop_count.ok()) return gop_count.status();
+  // Each entry occupies 24 bytes.
+  if (*gop_count > r.remaining() / 24) {
+    return util::Status::DataLoss("truncated GOP index");
+  }
+  file.gop_index.reserve(*gop_count);
+  for (uint32_t i = 0; i < *gop_count; ++i) {
+    GopIndexEntry entry;
+    util::StatusOr<int32_t> start = r.GetI32();
+    if (!start.ok()) return start.status();
+    entry.start_frame = *start;
+    util::StatusOr<int32_t> count = r.GetI32();
+    if (!count.ok()) return count.status();
+    entry.frame_count = *count;
+    util::StatusOr<uint64_t> off = r.GetU64();
+    if (!off.ok()) return off.status();
+    entry.byte_offset = *off;
+    util::StatusOr<uint64_t> size = r.GetU64();
+    if (!size.ok()) return size.status();
+    entry.byte_size = *size;
+    file.gop_index.push_back(entry);
+  }
+  util::StatusOr<std::vector<GopIndexEntry>> derived =
+      DeriveGopIndex(file.frames);
+  if (!derived.ok() || *derived != file.gop_index) {
+    return util::Status::DataLoss(
+        "GOP index inconsistent with frame records");
   }
   return file;
 }

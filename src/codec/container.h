@@ -17,11 +17,29 @@ struct FrameRecord {
   std::vector<uint8_t> payload;
 };
 
-// The "CMV" container: sequence header, GOP-structured frame records and an
-// optional mono PCM audio track. This is the at-rest representation of a
-// video in the database (the stand-in for the paper's MPEG-I files).
+// One entry of the per-GOP random-access index: each GOP starts at an
+// I-frame and covers the run of P-frames up to (excluding) the next
+// I-frame. Byte offsets address the concatenated video payload stream (the
+// frame payloads in order, headers excluded), so a reader holding the index
+// can seek to and decode an arbitrary GOP without touching the rest of the
+// bitstream.
+struct GopIndexEntry {
+  int start_frame = 0;      // index of the GOP's opening I-frame
+  int frame_count = 0;      // frames in this GOP (the I-frame + its P-run)
+  uint64_t byte_offset = 0; // offset of the I-frame payload in the stream
+  uint64_t byte_size = 0;   // total payload bytes of the GOP's frames
+
+  friend bool operator==(const GopIndexEntry&, const GopIndexEntry&) =
+      default;
+};
+
+// The "CMV" container: sequence header, GOP-structured frame records, a
+// per-GOP seek index and an optional mono PCM audio track. This is the
+// at-rest representation of a video in the database (the stand-in for the
+// paper's MPEG-I files).
 struct CmvFile {
-  static constexpr uint32_t kMagic = 0x31564d43;  // "CMV1"
+  static constexpr uint32_t kMagic = 0x31564d43;      // "CMV1"
+  static constexpr uint32_t kGopIndexMagic = 0x58444947;  // "GIDX"
 
   std::string name;
   int width = 0;
@@ -32,13 +50,30 @@ struct CmvFile {
 
   std::vector<FrameRecord> frames;
 
+  // Seek index, one entry per GOP in stream order. The encoder emits it;
+  // Parse validates a stored index against the frame records (corrupt or
+  // truncated indexes fail with DataLoss) and rebuilds it for legacy
+  // containers that predate the index section.
+  std::vector<GopIndexEntry> gop_index;
+
   int audio_sample_rate = 0;       // 0 = no audio track
   std::vector<float> audio_pcm;    // mono samples in [-1, 1]
 
   int frame_count() const { return static_cast<int>(frames.size()); }
+  int gop_count() const { return static_cast<int>(gop_index.size()); }
 
   // Total encoded video payload size in bytes (excludes header/audio).
   size_t VideoPayloadBytes() const;
+
+  // Derives the GOP index from the frame records (I-frame positions and
+  // payload sizes). Fails when the stream does not open with an I-frame.
+  static util::StatusOr<std::vector<GopIndexEntry>> DeriveGopIndex(
+      const std::vector<FrameRecord>& frames);
+  // Recomputes `gop_index` in place from `frames`.
+  util::Status RebuildGopIndex();
+  // Index of the GOP containing `frame_index` (binary search), or -1 when
+  // out of range / the index is empty.
+  int GopOfFrame(int frame_index) const;
 
   std::vector<uint8_t> Serialize() const;
   static util::StatusOr<CmvFile> Parse(const std::vector<uint8_t>& bytes);

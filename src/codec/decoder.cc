@@ -164,7 +164,38 @@ util::Status DecodePredictedFrame(BitReader* reader, int width, int height,
 
 }  // namespace
 
-util::StatusOr<media::Video> DecodeVideo(const CmvFile& file) {
+namespace internal {
+
+util::Status DecodePicture(const FrameRecord& rec, int width, int height,
+                           int quality, const Picture* ref, Picture* out) {
+  const int cw = (width + 1) / 2;
+  const int ch = (height + 1) / 2;
+  BitReader reader(rec.payload);
+  out->y = Plane::Make(width, height);
+  out->cb = Plane::Make(cw, ch);
+  out->cr = Plane::Make(cw, ch);
+  if (rec.type == FrameType::kIntra) {
+    CLASSMINER_RETURN_IF_ERROR(
+        DecodeIntraPlane(&reader, quality, false, &out->y, false, nullptr));
+    CLASSMINER_RETURN_IF_ERROR(
+        DecodeIntraPlane(&reader, quality, true, &out->cb, false, nullptr));
+    CLASSMINER_RETURN_IF_ERROR(
+        DecodeIntraPlane(&reader, quality, true, &out->cr, false, nullptr));
+    return util::Status::Ok();
+  }
+  if (ref == nullptr) {
+    return util::Status::DataLoss("P-frame without a reference picture");
+  }
+  PFrameSink sink;
+  sink.recon = out;
+  sink.ref = ref;
+  return DecodePredictedFrame(&reader, width, height, quality, &sink);
+}
+
+}  // namespace internal
+
+util::StatusOr<media::Video> DecodeVideo(
+    const CmvFile& file, const util::CancellationToken* cancel) {
   if (file.width <= 0 || file.height <= 0) {
     return util::Status::InvalidArgument("CMV file has empty dimensions");
   }
@@ -172,41 +203,26 @@ util::StatusOr<media::Video> DecodeVideo(const CmvFile& file) {
   video.Reserve(file.frames.size());
 
   Picture recon;
-  const int cw = (file.width + 1) / 2;
-  const int ch = (file.height + 1) / 2;
   for (size_t i = 0; i < file.frames.size(); ++i) {
-    const FrameRecord& rec = file.frames[i];
-    BitReader reader(rec.payload);
-    if (rec.type == FrameType::kIntra) {
-      recon.y = Plane::Make(file.width, file.height);
-      recon.cb = Plane::Make(cw, ch);
-      recon.cr = Plane::Make(cw, ch);
-      CLASSMINER_RETURN_IF_ERROR(DecodeIntraPlane(
-          &reader, file.quality, false, &recon.y, false, nullptr));
-      CLASSMINER_RETURN_IF_ERROR(DecodeIntraPlane(
-          &reader, file.quality, true, &recon.cb, false, nullptr));
-      CLASSMINER_RETURN_IF_ERROR(DecodeIntraPlane(
-          &reader, file.quality, true, &recon.cr, false, nullptr));
-    } else {
-      if (i == 0) return util::Status::DataLoss("stream starts with P-frame");
-      Picture next;
-      next.y = Plane::Make(file.width, file.height);
-      next.cb = Plane::Make(cw, ch);
-      next.cr = Plane::Make(cw, ch);
-      PFrameSink sink;
-      sink.recon = &next;
-      sink.ref = &recon;
-      CLASSMINER_RETURN_IF_ERROR(DecodePredictedFrame(
-          &reader, file.width, file.height, file.quality, &sink));
-      recon = std::move(next);
+    if (cancel != nullptr && cancel->cancelled()) {
+      return util::Status::Cancelled("video decode cancelled");
     }
+    const FrameRecord& rec = file.frames[i];
+    if (rec.type != FrameType::kIntra && i == 0) {
+      return util::Status::DataLoss("stream starts with P-frame");
+    }
+    Picture next;
+    CLASSMINER_RETURN_IF_ERROR(internal::DecodePicture(
+        rec, file.width, file.height, file.quality,
+        rec.type == FrameType::kIntra ? nullptr : &recon, &next));
+    recon = std::move(next);
     video.AppendFrame(ToImage(recon, file.width, file.height));
   }
   return video;
 }
 
 util::StatusOr<std::vector<media::GrayImage>> DecodeDcImages(
-    const CmvFile& file) {
+    const CmvFile& file, const util::CancellationToken* cancel) {
   if (file.width <= 0 || file.height <= 0) {
     return util::Status::InvalidArgument("CMV file has empty dimensions");
   }
@@ -219,6 +235,9 @@ util::StatusOr<std::vector<media::GrayImage>> DecodeDcImages(
   out.reserve(file.frames.size());
   media::GrayImage prev;
   for (size_t i = 0; i < file.frames.size(); ++i) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      return util::Status::Cancelled("DC image extraction cancelled");
+    }
     const FrameRecord& rec = file.frames[i];
     BitReader reader(rec.payload);
     media::GrayImage dc(dcw, dch);

@@ -7,25 +7,40 @@
 #include "codec/dct.h"
 #include "media/image.h"
 #include "media/video.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 namespace classminer::codec {
 
-// Fully decodes a CMV file back into an in-memory video.
-util::StatusOr<media::Video> DecodeVideo(const CmvFile& file);
+// Fully decodes a CMV file back into an in-memory video. `cancel` (borrowed,
+// may be null) is checked between frames, so long decodes stop mid-sequence
+// with kCancelled instead of running to completion.
+util::StatusOr<media::Video> DecodeVideo(
+    const CmvFile& file, const util::CancellationToken* cancel = nullptr);
 
 // Compressed-domain fast path: reconstructs the sequence of DC images (one
 // luma mean per 8x8 block, i.e. a width/8 x height/8 thumbnail per frame)
 // without inverse-transforming AC coefficients. I-frames use their coded DC
 // terms directly; P-frames apply motion-vector shifts to the previous DC
 // image plus the residual DC (Yeo & Liu-style DC sequence extraction). This
-// is what the MPEG-domain shot detector consumes.
+// is what the MPEG-domain shot detector consumes. `cancel` as above.
 util::StatusOr<std::vector<media::GrayImage>> DecodeDcImages(
-    const CmvFile& file);
+    const CmvFile& file, const util::CancellationToken* cancel = nullptr);
 
 // PSNR (dB) between two equally-sized images; +inf for identical content.
 double Psnr(const media::Image& a, const media::Image& b);
 
+namespace internal {
+
+// Decodes one frame record into *out (full pixel reconstruction). For
+// kIntra frames `ref` is ignored; for kPredicted frames `ref` must hold the
+// previous reconstruction at the same dimensions. This is the shared
+// per-frame core of DecodeVideo and GopReader, so selective GOP decode is
+// bit-identical to the sequential full decode by construction.
+util::Status DecodePicture(const FrameRecord& rec, int width, int height,
+                           int quality, const Picture* ref, Picture* out);
+
+}  // namespace internal
 }  // namespace classminer::codec
 
 #endif  // CLASSMINER_CODEC_DECODER_H_

@@ -1,0 +1,90 @@
+#include "codec/frame_source.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+namespace classminer::codec {
+
+util::StatusOr<std::unique_ptr<FrameSource>> FrameSource::Create(
+    const CmvFile* file, const Options& options) {
+  util::StatusOr<GopReader> reader = GopReader::Create(file);
+  if (!reader.ok()) return reader.status();
+  return std::unique_ptr<FrameSource>(
+      new FrameSource(std::move(reader).value(), options));
+}
+
+FrameSource::FrameSource(GopReader reader, const Options& options)
+    : reader_(std::move(reader)),
+      capacity_(std::max(1, options.cache_capacity_gops)),
+      cancel_(options.cancel) {}
+
+util::StatusOr<FrameHandle> FrameSource::GetFrame(int frame_index) {
+  const int g = reader_.GopOfFrame(frame_index);
+  if (g < 0) {
+    return util::Status::OutOfRange(
+        "frame index " + std::to_string(frame_index) + " outside [0, " +
+        std::to_string(reader_.frame_count()) + ")");
+  }
+  const size_t offset = static_cast<size_t>(
+      frame_index - reader_.gop(g).start_frame);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (!error_.ok()) return error_;
+    auto it = cache_.find(g);
+    if (it != cache_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      ++stats_.cache_hits;
+      return FrameHandle(it->second.frames, offset);
+    }
+    if (inflight_.count(g) == 0) break;
+    decoded_cv_.wait(lock);
+  }
+
+  // Decode outside the lock; other GOPs (and waiters on this one) proceed.
+  inflight_.insert(g);
+  lock.unlock();
+  const auto start = std::chrono::steady_clock::now();
+  util::StatusOr<std::vector<media::Image>> gop =
+      reader_.DecodeGop(g, cancel_);
+  const double elapsed_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  lock.lock();
+  inflight_.erase(g);
+  if (!gop.ok()) {
+    // Cancellation is transient caller state, not container corruption;
+    // only real decode failures poison the source.
+    if (error_.ok() && gop.status().code() != util::StatusCode::kCancelled) {
+      error_ = gop.status();
+    }
+    decoded_cv_.notify_all();
+    return gop.status();
+  }
+  ++stats_.cache_misses;
+  ++stats_.decoded_gops;
+  stats_.decoded_frames += static_cast<int64_t>(gop->size());
+  stats_.decode_ms += elapsed_ms;
+
+  auto entry = std::make_shared<const DecodedGop>(std::move(gop).value());
+  lru_.push_front(g);
+  cache_[g] = CacheEntry{entry, lru_.begin()};
+  while (static_cast<int>(cache_.size()) > capacity_) {
+    const int victim = lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim);
+    ++stats_.evictions;
+  }
+  decoded_cv_.notify_all();
+  return FrameHandle(std::move(entry), offset);
+}
+
+FrameSource::Stats FrameSource::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace classminer::codec

@@ -153,11 +153,19 @@ util::StatusOr<MiningResult> MineVideo(const media::Video& video,
   return MineVideo(video, audio, MiningOptions());
 }
 
-util::StatusOr<std::vector<MiningResult>> MineVideosParallel(
+util::Status BatchMiningResult::FirstError() const {
+  for (const util::Status& status : statuses) {
+    CLASSMINER_RETURN_IF_ERROR(status);
+  }
+  return util::Status::Ok();
+}
+
+BatchMiningResult MineVideosParallelWithStatus(
     const std::vector<MiningInput>& inputs, const MiningOptions& options,
     int threads) {
-  std::vector<MiningResult> results(inputs.size());
-  std::vector<util::Status> statuses(inputs.size());
+  BatchMiningResult batch;
+  batch.results.resize(inputs.size());
+  batch.statuses.resize(inputs.size());
   util::ThreadPool pool(threads > 0 ? threads
                                     : util::ThreadPool::DefaultThreads());
   // Video x stage scheduling: each video's whole DAG runs as one pool task
@@ -168,17 +176,28 @@ util::StatusOr<std::vector<MiningResult>> MineVideosParallel(
   // to one thread. Results stay deterministic because each video's DAG and
   // loops are deterministic in isolation and videos share no mutable state.
   util::ParallelFor(&pool, static_cast<int>(inputs.size()), [&](int i) {
+    const MiningInput& input = inputs[static_cast<size_t>(i)];
+    if (input.video == nullptr || input.audio == nullptr) {
+      batch.statuses[static_cast<size_t>(i)] = util::Status::InvalidArgument(
+          "batch input " + std::to_string(i) + " has a null video or audio");
+      return;
+    }
     util::StatusSink sink;
     const util::ExecutionContext ctx(&pool, nullptr, options.cancel, &sink);
-    statuses[static_cast<size_t>(i)] = MineVideoInto(
-        *inputs[static_cast<size_t>(i)].video,
-        *inputs[static_cast<size_t>(i)].audio, options, ctx,
-        &results[static_cast<size_t>(i)]);
+    batch.statuses[static_cast<size_t>(i)] =
+        MineVideoInto(*input.video, *input.audio, options, ctx,
+                      &batch.results[static_cast<size_t>(i)]);
   });
-  for (const util::Status& status : statuses) {
-    CLASSMINER_RETURN_IF_ERROR(status);
-  }
-  return results;
+  return batch;
+}
+
+util::StatusOr<std::vector<MiningResult>> MineVideosParallel(
+    const std::vector<MiningInput>& inputs, const MiningOptions& options,
+    int threads) {
+  BatchMiningResult batch =
+      MineVideosParallelWithStatus(inputs, options, threads);
+  CLASSMINER_RETURN_IF_ERROR(batch.FirstError());
+  return std::move(batch.results);
 }
 
 }  // namespace classminer::core

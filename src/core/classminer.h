@@ -49,10 +49,13 @@ struct MiningOptions {
   // true data flow. <= 1 runs serially.
   int thread_count = util::ThreadPool::DefaultThreads();
   StageScheduling scheduling = StageScheduling::kDag;
-  // Optional cooperative cancellation, checked at stage boundaries and at
-  // the head of parallel loops; a cancelled run returns kCancelled.
-  // Borrowed, may be null, must outlive the call.
+  // Optional cooperative cancellation, checked at stage boundaries, at the
+  // head of parallel loops and inside the codec decode loops; a cancelled
+  // run returns kCancelled. Borrowed, may be null, must outlive the call.
   util::CancellationToken* cancel = nullptr;
+  // CMV fast path only: decoded-GOP LRU cache capacity of the selective
+  // FrameSource (bounds resident frames at capacity * gop_size).
+  int gop_cache_capacity = 8;
 };
 
 // Everything the pipeline mines from one video.
@@ -94,12 +97,33 @@ struct MiningInput {
   const audio::AudioBuffer* audio = nullptr;
 };
 
+// Batch mining outcome with per-video resolution: `results` and `statuses`
+// are both aligned with the inputs, so partial-batch consumers can keep the
+// videos that mined cleanly and see exactly which ones failed (and why)
+// instead of only the first error. A result slot whose status is non-OK is
+// default-constructed and must not be trusted.
+struct BatchMiningResult {
+  std::vector<MiningResult> results;
+  std::vector<util::Status> statuses;
+
+  // First non-OK status in input order (OK when every video succeeded).
+  util::Status FirstError() const;
+};
+
 // Mines several videos concurrently on one shared pool. Work is scheduled
 // at video x stage granularity: every video's stage DAG is spawned onto the
 // same pool, so a straggler video fans out across all threads instead of
 // pinning one (no interior serial clamp). Results are bit-identical to
-// serial mining and aligned with `inputs`; the first per-video failure is
-// returned. `threads <= 0` uses the hardware concurrency.
+// serial mining and aligned with `inputs`. A null video/audio pointer fails
+// that slot with kInvalidArgument instead of crashing the batch.
+// `threads <= 0` uses the hardware concurrency.
+BatchMiningResult MineVideosParallelWithStatus(
+    const std::vector<MiningInput>& inputs, const MiningOptions& options,
+    int threads = 0);
+
+// First-error-wins wrapper over MineVideosParallelWithStatus: returns every
+// result only when every video mined cleanly, else the first per-video
+// failure in input order.
 util::StatusOr<std::vector<MiningResult>> MineVideosParallel(
     const std::vector<MiningInput>& inputs, const MiningOptions& options,
     int threads = 0);

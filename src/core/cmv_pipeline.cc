@@ -1,12 +1,12 @@
 #include "core/cmv_pipeline.h"
 
 #include <memory>
-#include <optional>
 #include <string>
 #include <utility>
 
 #include "codec/decoder.h"
 #include "codec/encoder.h"
+#include "codec/frame_source.h"
 #include "core/pipeline_dag.h"
 #include "shot/rep_frame.h"
 #include "util/threadpool.h"
@@ -38,7 +38,7 @@ util::StatusOr<MiningResult> MineCmvFile(const codec::CmvFile& file,
   PipelineMetrics decode_metrics;
   util::StatusOr<media::Video> video = [&] {
     StageTimer timer(&decode_metrics, "decode");
-    auto decoded = codec::DecodeVideo(file);
+    auto decoded = codec::DecodeVideo(file, options.cancel);
     timer.set_items(file.frame_count());
     return decoded;
   }();
@@ -70,25 +70,36 @@ util::StatusOr<MiningResult> MineCmvFileFast(const codec::CmvFile& file,
                                    options.cancel, &sink);
 
   const audio::AudioBuffer track = AudioFromFile(file);
-  std::optional<media::Video> video;
 
-  // Fast-path stage graph: shot spans come from the compressed domain while
-  // the full decode runs beside them; the joined streams populate
-  // representative frames, after which audio / structure / cues fan out and
-  // events joins everything:
+  // Selective-decode frame supplier shared by repframe and cues: decodes
+  // only the GOPs containing frames that are actually requested, behind a
+  // capacity-bounded LRU cache (paper Sec. 3: the point of working on the
+  // compressed domain is not paying full-decompression cost).
+  codec::FrameSource::Options source_options;
+  source_options.cache_capacity_gops = options.gop_cache_capacity;
+  source_options.cancel = options.cancel;
+  util::StatusOr<std::unique_ptr<codec::FrameSource>> source =
+      codec::FrameSource::Create(&file, source_options);
+  if (!source.ok()) return source.status();
+
+  // Fast-path stage graph: shot spans come from the compressed domain (DC
+  // images, no pixel decode); repframe then decodes only the GOPs holding
+  // representative frames through the FrameSource, after which audio /
+  // structure / cues fan out and events joins everything:
   //
-  //   shot ───┬─> repframe ─┬─> audio ─────┐
-  //   decode ─┘             ├─> structure ─┼─> events
-  //                         └─> cues ──────┘
+  //   shot ──> repframe ─┬─> audio ─────┐
+  //                      ├─> structure ─┼─> events
+  //                      └─> cues ──────┘
   //
-  // Fallible decodes record their status into the sink; dependent stages
-  // are then skipped, so `video` is only dereferenced after a clean decode.
+  // With ~1 rep frame per shot, decode cost is O(shots * gop_size) frames
+  // instead of O(frames); cues re-reads the same rep frames, so it mostly
+  // hits the cache. Fallible stages record their status into the sink and
+  // dependent stages are skipped.
   StageDag dag;
   util::Status build;
-  // 1. Shot spans from DC images only (no full decode needed).
   build = dag.Add("shot", {}, [&](util::StageMetrics* row) {
     util::StatusOr<std::vector<media::GrayImage>> dc =
-        codec::DecodeDcImages(file);
+        codec::DecodeDcImages(file, ctx.cancellation());
     if (!dc.ok()) {
       ctx.RecordStatus(dc.status());
       return;
@@ -98,25 +109,11 @@ util::StatusOr<MiningResult> MineCmvFileFast(const codec::CmvFile& file,
     row->items = static_cast<int64_t>(dc->size());
   });
   if (!build.ok()) return build;
-  // 2. Full decode for representative-frame features and cues. (A future
-  // refinement could decode only the rep frames' GOPs.)
-  build = dag.Add("decode", {}, [&](util::StageMetrics* row) {
-    util::StatusOr<media::Video> decoded = codec::DecodeVideo(file);
-    if (!decoded.ok()) {
-      ctx.RecordStatus(decoded.status());
-      return;
-    }
-    video = std::move(*decoded);
-    row->items = file.frame_count();
+  build = dag.Add("repframe", {"shot"}, [&](util::StageMetrics* row) {
+    ctx.RecordStatus(shot::PopulateRepresentativeFrames(
+        source->get(), &result.structure.shots, ctx));
+    row->items = static_cast<int64_t>(result.structure.shots.size());
   });
-  if (!build.ok()) return build;
-  build = dag.Add("repframe", {"shot", "decode"},
-                  [&](util::StageMetrics* row) {
-                    shot::PopulateRepresentativeFrames(
-                        *video, &result.structure.shots, ctx.pool());
-                    row->items =
-                        static_cast<int64_t>(result.structure.shots.size());
-                  });
   if (!build.ok()) return build;
   build = dag.Add("audio", {"repframe"}, [&](util::StageMetrics* row) {
     const std::vector<shot::Shot>& shots = result.structure.shots;
@@ -125,8 +122,8 @@ util::StatusOr<MiningResult> MineCmvFileFast(const codec::CmvFile& file,
     util::ParallelFor(ctx, static_cast<int>(shots.size()), [&](int i) {
       const shot::Shot& s = shots[static_cast<size_t>(i)];
       result.shot_audio[static_cast<size_t>(i)] = segmenter.AnalyzeShot(
-          track, s.StartSeconds(video->fps()), s.EndSeconds(video->fps()),
-          s.index, ctx);
+          track, s.StartSeconds(file.fps), s.EndSeconds(file.fps), s.index,
+          ctx);
     });
     row->items = static_cast<int64_t>(shots.size());
   });
@@ -148,8 +145,14 @@ util::StatusOr<MiningResult> MineCmvFileFast(const codec::CmvFile& file,
   });
   if (!build.ok()) return build;
   build = dag.Add("cues", {"repframe"}, [&](util::StageMetrics* row) {
-    result.shot_cues = cues::ExtractShotCues(*video, result.structure.shots,
-                                             options.cues, ctx);
+    util::StatusOr<std::vector<cues::FrameCues>> shot_cues =
+        cues::ExtractShotCues(source->get(), result.structure.shots,
+                              options.cues, ctx);
+    if (!shot_cues.ok()) {
+      ctx.RecordStatus(shot_cues.status());
+      return;
+    }
+    result.shot_cues = std::move(shot_cues).value();
     row->items = static_cast<int64_t>(result.shot_cues.size());
   });
   if (!build.ok()) return build;
@@ -175,6 +178,21 @@ util::StatusOr<MiningResult> MineCmvFileFast(const codec::CmvFile& file,
         " pool task(s) escaped with an exception during mining");
   }
   if (!status.ok()) return status;
+
+  // Synthetic "decode" row from the FrameSource, leading the stage table
+  // like the full path's decode stage: items counts frames actually
+  // decoded (strictly fewer than file.frame_count() whenever some GOP
+  // contains no requested frame), with GOP and cache-hit counters.
+  const codec::FrameSource::Stats decode_stats = (*source)->stats();
+  util::StageMetrics decode_row;
+  decode_row.name = "decode";
+  decode_row.wall_ms = decode_stats.decode_ms;
+  decode_row.items = decode_stats.decoded_frames;
+  decode_row.threads = ctx.thread_count();
+  decode_row.counters = {{"gops", decode_stats.decoded_gops},
+                         {"cache_hits", decode_stats.cache_hits}};
+  result.metrics.stages.insert(result.metrics.stages.begin(),
+                               std::move(decode_row));
   return result;
 }
 

@@ -54,4 +54,31 @@ std::vector<FrameCues> ExtractShotCues(const media::Video& video,
   return ExtractShotCues(video, shots, CueExtractorOptions());
 }
 
+util::StatusOr<std::vector<FrameCues>> ExtractShotCues(
+    codec::FrameSource* source, const std::vector<shot::Shot>& shots,
+    const CueExtractorOptions& options, const util::ExecutionContext& ctx) {
+  std::vector<FrameCues> out(shots.size());
+  std::vector<util::Status> statuses(shots.size());
+  util::ParallelFor(
+      ctx, static_cast<int>(shots.size()),
+      [&](int i) {
+        const shot::Shot& s = shots[static_cast<size_t>(i)];
+        if (s.rep_frame >= 0 && s.rep_frame < source->frame_count()) {
+          util::StatusOr<codec::FrameHandle> frame =
+              source->GetFrame(s.rep_frame);
+          if (!frame.ok()) {
+            statuses[static_cast<size_t>(i)] = frame.status();
+            return;
+          }
+          out[static_cast<size_t>(i)] =
+              ExtractFrameCues(frame->image(), options);
+        }
+      },
+      /*grain=*/2);
+  for (const util::Status& status : statuses) {
+    CLASSMINER_RETURN_IF_ERROR(status);
+  }
+  return out;
+}
+
 }  // namespace classminer::cues

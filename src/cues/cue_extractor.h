@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "codec/frame_source.h"
 #include "cues/blood.h"
 #include "cues/face.h"
 #include "cues/skin.h"
@@ -52,6 +53,15 @@ std::vector<FrameCues> ExtractShotCues(const media::Video& video,
                                        const util::ExecutionContext& ctx = {});
 std::vector<FrameCues> ExtractShotCues(const media::Video& video,
                                        const std::vector<shot::Shot>& shots);
+
+// Selective-decode variant: pulls each shot's representative frame through
+// `source` (decoding only the touched GOPs) instead of a fully decoded
+// video. Cue output is bit-identical to the full-decode overload. The first
+// per-shot frame failure in shot order is returned.
+util::StatusOr<std::vector<FrameCues>> ExtractShotCues(
+    codec::FrameSource* source, const std::vector<shot::Shot>& shots,
+    const CueExtractorOptions& options,
+    const util::ExecutionContext& ctx = {});
 
 }  // namespace classminer::cues
 

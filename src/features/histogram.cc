@@ -2,14 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "media/color.h"
 
 namespace classminer::features {
 
+// Per-pixel quantisation scales, hoisted out of the hot loop so binning is
+// multiply-only (no per-pixel division).
+constexpr double kHueScale = kHueBins / 360.0;
+
 int HistogramBin(media::Rgb pixel) {
   const media::Hsv hsv = media::RgbToHsv(pixel);
-  int h = static_cast<int>(hsv.h / 360.0 * kHueBins);
+  int h = static_cast<int>(hsv.h * kHueScale);
   int s = static_cast<int>(hsv.s * kSatBins);
   int v = static_cast<int>(hsv.v * kValBins);
   h = std::min(h, kHueBins - 1);
@@ -21,11 +26,16 @@ int HistogramBin(media::Rgb pixel) {
 ColorHistogram ComputeColorHistogram(const media::Image& image) {
   ColorHistogram hist{};
   if (image.empty()) return hist;
+  // Integer bin counts in the pixel loop; one float normalisation pass at
+  // the end (a multiply by the reciprocal, not a per-bin division).
+  std::array<uint32_t, kHistogramDims> counts{};
   for (const media::Rgb& p : image.pixels()) {
-    hist[static_cast<size_t>(HistogramBin(p))] += 1.0;
+    counts[static_cast<size_t>(HistogramBin(p))] += 1;
   }
-  const double total = static_cast<double>(image.pixel_count());
-  for (double& v : hist) v /= total;
+  const double inv_total = 1.0 / static_cast<double>(image.pixel_count());
+  for (size_t i = 0; i < hist.size(); ++i) {
+    hist[i] = static_cast<double>(counts[i]) * inv_total;
+  }
   return hist;
 }
 

@@ -29,4 +29,33 @@ void PopulateRepresentativeFrames(const media::Video& video,
       /*grain=*/2);
 }
 
+util::Status PopulateRepresentativeFrames(codec::FrameSource* source,
+                                          std::vector<Shot>* shots,
+                                          const util::ExecutionContext& ctx) {
+  const int frames = source->frame_count();
+  std::vector<util::Status> statuses(shots->size());
+  util::ParallelFor(
+      ctx, static_cast<int>(shots->size()),
+      [&](int i) {
+        Shot& s = (*shots)[static_cast<size_t>(i)];
+        s.rep_frame = RepresentativeFrameIndex(s.start_frame, s.end_frame);
+        if (frames > 0 && s.rep_frame >= frames) s.rep_frame = frames - 1;
+        if (s.rep_frame >= 0 && s.rep_frame < frames) {
+          util::StatusOr<codec::FrameHandle> frame =
+              source->GetFrame(s.rep_frame);
+          if (!frame.ok()) {
+            statuses[static_cast<size_t>(i)] = frame.status();
+            return;
+          }
+          s.features = features::ExtractShotFeatures(frame->image());
+        }
+      },
+      /*grain=*/2);
+  // First failure in shot order, independent of scheduling.
+  for (const util::Status& status : statuses) {
+    CLASSMINER_RETURN_IF_ERROR(status);
+  }
+  return util::Status::Ok();
+}
+
 }  // namespace classminer::shot

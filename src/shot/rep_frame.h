@@ -3,8 +3,11 @@
 
 #include <vector>
 
+#include "codec/frame_source.h"
 #include "media/video.h"
 #include "shot/shot.h"
+#include "util/exec_context.h"
+#include "util/status.h"
 #include "util/threadpool.h"
 
 namespace classminer::shot {
@@ -24,6 +27,19 @@ int RepresentativeFrameIndex(int start_frame, int end_frame);
 void PopulateRepresentativeFrames(const media::Video& video,
                                   std::vector<Shot>* shots,
                                   util::ThreadPool* pool = nullptr);
+
+// Selective-decode variant: pulls each shot's representative frame through
+// `source`, decoding only the GOPs that contain one (plus LRU cache hits)
+// instead of requiring a fully materialized video. Features are
+// bit-identical to the full-decode overload because FrameSource frames are
+// bit-identical to DecodeVideo output. Shots are processed in parallel on
+// the context's pool (independent per-shot slots); the first per-shot
+// failure in shot order is returned, and a cancelled context returns
+// without touching the shots.
+util::Status PopulateRepresentativeFrames(codec::FrameSource* source,
+                                          std::vector<Shot>* shots,
+                                          const util::ExecutionContext& ctx =
+                                              {});
 
 }  // namespace classminer::shot
 

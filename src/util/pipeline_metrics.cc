@@ -5,6 +5,13 @@
 
 namespace classminer::util {
 
+int64_t StageMetrics::Counter(std::string_view counter_name) const {
+  for (const auto& [name_, value] : counters) {
+    if (name_ == counter_name) return value;
+  }
+  return -1;
+}
+
 double PipelineMetrics::TotalMs() const {
   double total = 0.0;
   for (const StageMetrics& s : stages) total += s.wall_ms;
@@ -25,10 +32,16 @@ std::string PipelineMetrics::ToString() const {
                 "wall_ms", "items", "threads");
   out += line;
   for (const StageMetrics& s : stages) {
-    std::snprintf(line, sizeof(line), "%-12s %10.2f %8lld %8d\n",
+    std::snprintf(line, sizeof(line), "%-12s %10.2f %8lld %8d",
                   s.name.c_str(), s.wall_ms, static_cast<long long>(s.items),
                   s.threads);
     out += line;
+    for (const auto& [counter, value] : s.counters) {
+      std::snprintf(line, sizeof(line), "  %s=%lld", counter.c_str(),
+                    static_cast<long long>(value));
+      out += line;
+    }
+    out += '\n';
   }
   std::snprintf(line, sizeof(line), "%-12s %10.2f\n", "total", TotalMs());
   out += line;

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace classminer::util {
@@ -24,6 +25,12 @@ struct StageMetrics {
   double wall_ms = 0.0;
   int64_t items = 0;   // stage-specific unit: frames, shots, groups, scenes
   int threads = 1;     // threads available to the stage (1 = serial)
+  // Optional stage-specific counters rendered after the fixed columns
+  // (e.g. the selective-decode stage reports gops= and cache_hits=).
+  std::vector<std::pair<std::string, int64_t>> counters;
+
+  // First counter with this name, or -1.
+  int64_t Counter(std::string_view counter_name) const;
 };
 
 struct PipelineMetrics {

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include "codec/decoder.h"
 #include "core/cmv_pipeline.h"
 #include "core/metrics.h"
+#include "cues/cue_extractor.h"
 #include "media/draw.h"
 #include "media/ppm.h"
+#include "shot/rep_frame.h"
 #include "skim/playback.h"
 #include "skim/skimmer.h"
 #include "synth/corpus.h"
@@ -72,6 +75,110 @@ TEST_F(CmvPipelineTest, CorruptFileSurfacesError) {
   codec::CmvFile broken = *file_;
   broken.width = 0;
   EXPECT_FALSE(core::MineCmvFile(broken).ok());
+}
+
+TEST_F(CmvPipelineTest, FastPathDecodesStrictlyFewerFrames) {
+  ASSERT_GT(file_->gop_count(), 1) << "corpus must span multiple GOPs";
+  util::StatusOr<core::MiningResult> fast =
+      core::MineCmvFileFast(*file_, core::MiningOptions());
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+
+  // The synthetic decode row reports frames actually decoded by the
+  // selective FrameSource: strictly fewer than a full decode on multi-GOP
+  // input, with GOP/cache counters attached.
+  const core::StageMetrics* decode = fast->metrics.Find("decode");
+  ASSERT_NE(decode, nullptr);
+  EXPECT_GT(decode->items, 0);
+  EXPECT_LT(decode->items, file_->frame_count());
+  EXPECT_GT(decode->Counter("gops"), 0);
+  EXPECT_GE(decode->Counter("cache_hits"), 0);
+  // The stage table leads with decode, like the full path.
+  EXPECT_EQ(fast->metrics.stages.front().name, "decode");
+}
+
+TEST_F(CmvPipelineTest, FastPathBitIdenticalToFullDecodeReference) {
+  // Reference: the same DC-domain shot spans, but with representative
+  // frames and cues computed from a complete DecodeVideo pass. Selective
+  // GOP decoding must reproduce this exactly (same decode core, GOPs are
+  // self-contained), at any thread count.
+  util::StatusOr<media::Video> video = codec::DecodeVideo(*file_);
+  ASSERT_TRUE(video.ok());
+  util::StatusOr<std::vector<media::GrayImage>> dc =
+      codec::DecodeDcImages(*file_);
+  ASSERT_TRUE(dc.ok());
+  const core::MiningOptions ref_options;
+  std::vector<shot::Shot> ref_shots =
+      shot::DetectShotsFromDc(*dc, ref_options.shot);
+  shot::PopulateRepresentativeFrames(*video, &ref_shots);
+  const std::vector<cues::FrameCues> ref_cues =
+      cues::ExtractShotCues(*video, ref_shots, ref_options.cues);
+
+  for (const int threads : {1, 4}) {
+    core::MiningOptions options;
+    options.thread_count = threads;
+    util::StatusOr<core::MiningResult> fast =
+        core::MineCmvFileFast(*file_, options);
+    ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+    SCOPED_TRACE("threads " + std::to_string(threads));
+
+    ASSERT_EQ(fast->structure.shots.size(), ref_shots.size());
+    for (size_t i = 0; i < ref_shots.size(); ++i) {
+      const shot::Shot& r = ref_shots[i];
+      const shot::Shot& f = fast->structure.shots[i];
+      EXPECT_EQ(f.start_frame, r.start_frame);
+      EXPECT_EQ(f.end_frame, r.end_frame);
+      EXPECT_EQ(f.rep_frame, r.rep_frame);
+      for (size_t k = 0; k < r.features.histogram.size(); ++k) {
+        ASSERT_EQ(f.features.histogram[k], r.features.histogram[k]);
+      }
+      for (size_t k = 0; k < r.features.tamura.size(); ++k) {
+        ASSERT_EQ(f.features.tamura[k], r.features.tamura[k]);
+      }
+    }
+
+    ASSERT_EQ(fast->shot_cues.size(), ref_cues.size());
+    for (size_t i = 0; i < ref_cues.size(); ++i) {
+      const cues::FrameCues& r = ref_cues[i];
+      const cues::FrameCues& f = fast->shot_cues[i];
+      EXPECT_EQ(f.special, r.special);
+      EXPECT_EQ(f.has_face, r.has_face);
+      EXPECT_EQ(f.face_closeup, r.face_closeup);
+      EXPECT_EQ(f.max_face_fraction, r.max_face_fraction);
+      EXPECT_EQ(f.has_skin_region, r.has_skin_region);
+      EXPECT_EQ(f.skin_closeup, r.skin_closeup);
+      EXPECT_EQ(f.max_skin_fraction, r.max_skin_fraction);
+      EXPECT_EQ(f.has_blood, r.has_blood);
+      EXPECT_EQ(f.max_blood_fraction, r.max_blood_fraction);
+    }
+  }
+}
+
+TEST_F(CmvPipelineTest, FastPathTinyGopCacheStaysBitIdentical) {
+  // A 1-GOP cache forces maximal eviction; results must not change, only
+  // the decode counters (more GOP decodes, fewer hits).
+  core::MiningOptions roomy;
+  core::MiningOptions tiny;
+  tiny.gop_cache_capacity = 1;
+  util::StatusOr<core::MiningResult> a = core::MineCmvFileFast(*file_, roomy);
+  util::StatusOr<core::MiningResult> b = core::MineCmvFileFast(*file_, tiny);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->structure.shots.size(), b->structure.shots.size());
+  for (size_t i = 0; i < a->structure.shots.size(); ++i) {
+    EXPECT_EQ(b->structure.shots[i].rep_frame,
+              a->structure.shots[i].rep_frame);
+    for (size_t k = 0; k < a->structure.shots[i].features.histogram.size();
+         ++k) {
+      ASSERT_EQ(b->structure.shots[i].features.histogram[k],
+                a->structure.shots[i].features.histogram[k]);
+    }
+  }
+  ASSERT_EQ(a->events.size(), b->events.size());
+  const core::StageMetrics* da = a->metrics.Find("decode");
+  const core::StageMetrics* db = b->metrics.Find("decode");
+  ASSERT_NE(da, nullptr);
+  ASSERT_NE(db, nullptr);
+  EXPECT_GE(db->Counter("gops"), da->Counter("gops"));
 }
 
 TEST(PpmTest, RoundTrip) {

@@ -157,5 +157,38 @@ TEST(ParallelMiningTest, MatchesSerialResults) {
   expect_same(*sb, parallel[1]);
 }
 
+TEST(ParallelMiningTest, BatchStatusResolvesPerVideo) {
+  // One bad slot (null video) must not take down the batch: its status
+  // fails, the healthy slots still mine, and only the first-error-wins
+  // wrapper reports the aggregate failure.
+  const synth::GeneratedVideo good =
+      synth::GenerateVideo(synth::QuickScript(83));
+  const std::vector<core::MiningInput> inputs{
+      {&good.video, &good.audio},
+      {nullptr, &good.audio},
+      {&good.video, &good.audio}};
+
+  const core::BatchMiningResult batch =
+      core::MineVideosParallelWithStatus(inputs, core::MiningOptions(), 2);
+  ASSERT_EQ(batch.results.size(), 3u);
+  ASSERT_EQ(batch.statuses.size(), 3u);
+  EXPECT_TRUE(batch.statuses[0].ok());
+  EXPECT_EQ(batch.statuses[1].code(), util::StatusCode::kInvalidArgument);
+  EXPECT_TRUE(batch.statuses[2].ok());
+  EXPECT_EQ(batch.FirstError().code(), util::StatusCode::kInvalidArgument);
+
+  // Healthy slots carry real results, bit-identical to a solo run.
+  const util::StatusOr<core::MiningResult> solo =
+      core::MineVideo(good.video, good.audio);
+  ASSERT_TRUE(solo.ok());
+  EXPECT_EQ(batch.results[0].shot_trace.cuts, solo->shot_trace.cuts);
+  EXPECT_EQ(batch.results[2].shot_trace.cuts, solo->shot_trace.cuts);
+  EXPECT_TRUE(batch.results[1].structure.shots.empty());
+
+  // The wrapper refuses the whole batch on any per-video failure.
+  EXPECT_FALSE(
+      core::MineVideosParallel(inputs, core::MiningOptions(), 2).ok());
+}
+
 }  // namespace
 }  // namespace classminer
