@@ -2,15 +2,19 @@
 // archive workflow on CMV containers:
 //
 //   classminer generate <out.cmv> [--title NAME] [--seed N] [--degraded]
-//   classminer mine <in.cmv>
+//   classminer mine <in.cmv> [--threads N] [--strict] [--fast]
 //   classminer search <in.cmv> <presentation|dialog|clinical_operation>
 //   classminer skim <in.cmv> [--level N] [--html out.html]
 //                            [--storyboard out.ppm]
-//   classminer browse [--clearance N] <in.cmv> [more.cmv ...]
+//   classminer browse [--clearance N] [--strict] <in.cmv> [more.cmv ...]
 //
 // `generate` synthesises one of the five corpus titles (or the quickstart
 // clip when no title is given) and encodes it; every other command decodes
 // and mines a container on the fly.
+//
+// By default containers load through salvage parsing and mine under the
+// degraded failure policy, so a truncated or bit-flipped archive still
+// yields a (flagged) result; --strict restores all-or-nothing semantics.
 
 #include <cstdio>
 #include <cstring>
@@ -36,26 +40,37 @@ int Usage() {
       "usage:\n"
       "  classminer generate <out.cmv> [--title NAME] [--seed N] "
       "[--degraded]\n"
-      "  classminer mine <in.cmv> [--threads N]\n"
+      "  classminer mine <in.cmv> [--threads N] [--strict] [--fast]\n"
       "  classminer search <in.cmv> "
       "<presentation|dialog|clinical_operation>\n"
       "  classminer skim <in.cmv> [--level N] [--html out.html] "
       "[--storyboard out.ppm]\n"
-      "  classminer browse [--clearance N] <in.cmv> [more.cmv ...]\n");
+      "  classminer browse [--clearance N] [--strict] <in.cmv> "
+      "[more.cmv ...]\n");
   return 2;
 }
 
+// Loads and mines one container. The default is the resilient path —
+// salvage parsing plus the degraded failure policy — so damaged archives
+// still yield flagged results; `strict` restores all-or-nothing semantics.
+// `fast` mines through the compressed-domain pipeline.
 bool LoadAndMine(const std::string& path, codec::CmvFile* file,
                  core::MiningResult* result,
-                 const core::MiningOptions& options = {}) {
-  util::StatusOr<codec::CmvFile> loaded = codec::CmvFile::LoadFromFile(path);
+                 core::MiningOptions options = {}, bool strict = false,
+                 bool fast = false) {
+  util::SalvageReport salvage;
+  util::StatusOr<codec::CmvFile> loaded =
+      strict ? codec::CmvFile::LoadFromFile(path)
+             : codec::CmvFile::LoadFromFileBestEffort(path, &salvage);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s: %s\n", path.c_str(),
                  loaded.status().ToString().c_str());
     return false;
   }
+  if (!strict) options.failure_policy = core::FailurePolicy::kDegraded;
   util::StatusOr<core::MiningResult> mined =
-      core::MineCmvFile(*loaded, options);
+      fast ? core::MineCmvFileFast(*loaded, options)
+           : core::MineCmvFile(*loaded, options);
   if (!mined.ok()) {
     std::fprintf(stderr, "%s: mining failed: %s\n", path.c_str(),
                  mined.status().ToString().c_str());
@@ -63,7 +78,22 @@ bool LoadAndMine(const std::string& path, codec::CmvFile* file,
   }
   *file = std::move(*loaded);
   *result = std::move(*mined);
+  result->salvage.Merge(salvage);
+  if (result->salvage.salvaged) result->degraded = true;
   return true;
+}
+
+// One stderr block describing what a degraded run lost (silent otherwise).
+void ReportDegradation(const std::string& path,
+                       const core::MiningResult& result) {
+  if (!result.degraded) return;
+  std::fprintf(stderr, "%s: degraded result\n", path.c_str());
+  for (const core::StageFailure& f : result.stage_failures) {
+    std::fprintf(stderr, "  stage %-8s %s\n", f.stage.c_str(),
+                 f.status.ToString().c_str());
+  }
+  const std::string salvage = result.salvage.ToString();
+  if (!salvage.empty()) std::fprintf(stderr, "  %s\n", salvage.c_str());
 }
 
 int CmdGenerate(const std::vector<std::string>& args) {
@@ -127,16 +157,23 @@ int CmdGenerate(const std::vector<std::string>& args) {
 int CmdMine(const std::vector<std::string>& args) {
   if (args.empty()) return Usage();
   core::MiningOptions options;
+  bool strict = false;
+  bool fast = false;
   for (size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--threads" && i + 1 < args.size()) {
       options.thread_count = std::stoi(args[++i]);
+    } else if (args[i] == "--strict") {
+      strict = true;
+    } else if (args[i] == "--fast") {
+      fast = true;
     } else {
       return Usage();
     }
   }
   codec::CmvFile file;
   core::MiningResult result;
-  if (!LoadAndMine(args[0], &file, &result, options)) return 1;
+  if (!LoadAndMine(args[0], &file, &result, options, strict, fast)) return 1;
+  ReportDegradation(args[0], result);
 
   const structure::ContentStructure& cs = result.structure;
   std::printf("%s: %zu shots, %zu groups, %d scenes, %zu clustered scenes "
@@ -257,10 +294,13 @@ int CmdSkim(const std::vector<std::string>& args) {
 
 int CmdBrowse(const std::vector<std::string>& args) {
   int clearance = 3;
+  bool strict = false;
   std::vector<std::string> paths;
   for (size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--clearance" && i + 1 < args.size()) {
       clearance = std::stoi(args[++i]);
+    } else if (args[i] == "--strict") {
+      strict = true;
     } else {
       paths.push_back(args[i]);
     }
@@ -273,11 +313,12 @@ int CmdBrowse(const std::vector<std::string>& args) {
   for (const std::string& path : paths) {
     codec::CmvFile file;
     core::MiningResult result;
-    if (!LoadAndMine(path, &file, &result)) return 1;
+    if (!LoadAndMine(path, &file, &result, {}, strict)) return 1;
+    ReportDegradation(path, result);
     names.push_back(file.name);
     per_video.push_back(result.metrics);
     db.AddVideo(file.name, std::move(result.structure),
-                std::move(result.events));
+                std::move(result.events), result.degraded);
   }
   const index::ConceptHierarchy concepts =
       index::ConceptHierarchy::MedicalDefault();
@@ -300,8 +341,13 @@ int CmdBrowse(const std::vector<std::string>& args) {
   std::printf("\nper-video cost:\n");
   std::printf("  %-20s %10s %8s\n", "video", "total ms", "stages");
   for (size_t i = 0; i < names.size(); ++i) {
-    std::printf("  %-20s %10.2f %8zu\n", names[i].c_str(),
-                per_video[i].TotalMs(), per_video[i].stages.size());
+    std::printf("  %-20s %10.2f %8zu%s\n", names[i].c_str(),
+                per_video[i].TotalMs(), per_video[i].stages.size(),
+                db.video(static_cast<int>(i)).degraded ? "  degraded" : "");
+  }
+  if (db.DegradedCount() > 0) {
+    std::printf("%d of %d video(s) indexed degraded\n", db.DegradedCount(),
+                db.video_count());
   }
   std::printf("shared index/browse cost:\n%s", shared.ToString().c_str());
   return 0;

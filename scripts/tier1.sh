@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then a ThreadSanitizer pass
-# over the concurrency-sensitive suites.
+# over the concurrency-sensitive suites and an ASan+UBSan pass over the
+# corruption/fault-injection suites (hostile bytes are where memory bugs
+# hide).
 #
-#   scripts/tier1.sh            # standard build dir ./build, TSAN dir ./build-tsan
+#   scripts/tier1.sh            # build dirs ./build, ./build-tsan, ./build-asan
 #   SKIP_TSAN=1 scripts/tier1.sh
+#   SKIP_ASAN=1 scripts/tier1.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,11 +19,22 @@ cmake --build build -j >/dev/null
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== tier-1: ThreadSanitizer (concurrency + parallel pipeline) =="
   cmake -B build-tsan -S . -DCLASSMINER_TSAN=ON >/dev/null
-  cmake --build build-tsan -j --target concurrency_test parallel_pipeline_test pipeline_dag_test frame_source_test >/dev/null
+  cmake --build build-tsan -j --target concurrency_test parallel_pipeline_test pipeline_dag_test frame_source_test failpoint_test >/dev/null
   ./build-tsan/tests/concurrency_test
   ./build-tsan/tests/parallel_pipeline_test
   ./build-tsan/tests/pipeline_dag_test
   ./build-tsan/tests/frame_source_test
+  ./build-tsan/tests/failpoint_test
+fi
+
+if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
+  echo "== tier-1: ASan+UBSan (corruption corpus + fault injection) =="
+  cmake -B build-asan -S . -DCLASSMINER_ASAN=ON >/dev/null
+  cmake --build build-asan -j --target robustness_test failpoint_test codec_test persist_test >/dev/null
+  ./build-asan/tests/robustness_test
+  ./build-asan/tests/failpoint_test
+  ./build-asan/tests/codec_test
+  ./build-asan/tests/persist_test
 fi
 
 echo "tier-1 OK"

@@ -1,10 +1,124 @@
 #include "codec/container.h"
 
+#include <algorithm>
 #include <cstring>
 
+#include "util/failpoint.h"
 #include "util/serial.h"
 
 namespace classminer::codec {
+namespace {
+
+// Reads the fixed header (magic .. gop_size) into *file. Shared by the
+// strict and best-effort parsers; there is nothing to salvage before the
+// header, so both fail identically when it is damaged.
+util::Status ParseHeader(util::ByteReader* r, CmvFile* file) {
+  r->set_section("header");
+  util::StatusOr<uint32_t> magic = r->GetU32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != CmvFile::kMagic) return r->Corrupt("bad CMV magic");
+
+  util::StatusOr<std::string> name = r->GetString();
+  if (!name.ok()) return name.status();
+  file->name = *name;
+
+  auto get_i32 = [r](int* out) -> util::Status {
+    util::StatusOr<int32_t> v = r->GetI32();
+    if (!v.ok()) return v.status();
+    *out = *v;
+    return util::Status::Ok();
+  };
+  CLASSMINER_RETURN_IF_ERROR(get_i32(&file->width));
+  CLASSMINER_RETURN_IF_ERROR(get_i32(&file->height));
+  if (file->width < 0 || file->height < 0 || file->width > 16384 ||
+      file->height > 16384) {
+    return r->Corrupt("implausible CMV dimensions");
+  }
+  util::StatusOr<double> fps = r->GetF64();
+  if (!fps.ok()) return fps.status();
+  file->fps = *fps;
+  CLASSMINER_RETURN_IF_ERROR(get_i32(&file->quality));
+  CLASSMINER_RETURN_IF_ERROR(get_i32(&file->gop_size));
+  return util::Status::Ok();
+}
+
+// Reads one frame record.
+util::Status ParseFrameRecord(util::ByteReader* r, FrameRecord* rec) {
+  util::StatusOr<uint8_t> type = r->GetU8();
+  if (!type.ok()) return type.status();
+  if (*type > 1) return r->Corrupt("unknown frame type");
+  rec->type = static_cast<FrameType>(*type);
+  util::StatusOr<uint32_t> size = r->GetU32();
+  if (!size.ok()) return size.status();
+  if (*size > r->remaining()) {
+    return r->Corrupt("frame payload exceeds container");
+  }
+  rec->payload.resize(*size);
+  return r->GetBytes(rec->payload.data(), *size);
+}
+
+// Reads the audio section (sample rate + PCM) into *file.
+util::Status ParseAudio(util::ByteReader* r, CmvFile* file) {
+  r->set_section("audio");
+  util::StatusOr<int32_t> rate = r->GetI32();
+  if (!rate.ok()) return rate.status();
+  file->audio_sample_rate = *rate;
+  util::StatusOr<uint32_t> sample_count = r->GetU32();
+  if (!sample_count.ok()) return sample_count.status();
+  if (*sample_count > r->remaining() / 4) {
+    return r->Corrupt("audio sample count exceeds container");
+  }
+  file->audio_pcm.resize(*sample_count);
+  for (uint32_t i = 0; i < *sample_count; ++i) {
+    util::StatusOr<uint32_t> bits = r->GetU32();
+    if (!bits.ok()) return bits.status();
+    uint32_t b = *bits;
+    std::memcpy(&file->audio_pcm[i], &b, sizeof(float));
+  }
+  return util::Status::Ok();
+}
+
+// Reads the trailing GOP-index section and validates it against the frame
+// records; any short read or inconsistency is corruption.
+util::Status ParseGopIndex(util::ByteReader* r, CmvFile* file) {
+  r->set_section("gop_index");
+  util::StatusOr<uint32_t> index_magic = r->GetU32();
+  if (!index_magic.ok()) return index_magic.status();
+  if (*index_magic != CmvFile::kGopIndexMagic) {
+    return r->Corrupt("bad GOP index magic");
+  }
+  util::StatusOr<uint32_t> gop_count = r->GetU32();
+  if (!gop_count.ok()) return gop_count.status();
+  // Each entry occupies 24 bytes.
+  if (*gop_count > r->remaining() / 24) {
+    return r->Corrupt("truncated GOP index");
+  }
+  file->gop_index.reserve(*gop_count);
+  for (uint32_t i = 0; i < *gop_count; ++i) {
+    GopIndexEntry entry;
+    util::StatusOr<int32_t> start = r->GetI32();
+    if (!start.ok()) return start.status();
+    entry.start_frame = *start;
+    util::StatusOr<int32_t> count = r->GetI32();
+    if (!count.ok()) return count.status();
+    entry.frame_count = *count;
+    util::StatusOr<uint64_t> off = r->GetU64();
+    if (!off.ok()) return off.status();
+    entry.byte_offset = *off;
+    util::StatusOr<uint64_t> size = r->GetU64();
+    if (!size.ok()) return size.status();
+    entry.byte_size = *size;
+    file->gop_index.push_back(entry);
+  }
+  util::StatusOr<std::vector<GopIndexEntry>> derived =
+      CmvFile::DeriveGopIndex(file->frames);
+  if (!derived.ok() || *derived != file->gop_index) {
+    return r->Corrupt("GOP index inconsistent with frame records");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
 
 size_t CmvFile::VideoPayloadBytes() const {
   size_t total = 0;
@@ -107,71 +221,28 @@ std::vector<uint8_t> CmvFile::Serialize() const {
 }
 
 util::StatusOr<CmvFile> CmvFile::Parse(const std::vector<uint8_t>& bytes) {
+  CLASSMINER_RETURN_IF_ERROR(util::FailPoint::Check("codec.container.parse"));
   util::ByteReader r(bytes);
-  util::StatusOr<uint32_t> magic = r.GetU32();
-  if (!magic.ok()) return magic.status();
-  if (*magic != kMagic) return util::Status::DataLoss("bad CMV magic");
-
   CmvFile file;
-  util::StatusOr<std::string> name = r.GetString();
-  if (!name.ok()) return name.status();
-  file.name = *name;
+  CLASSMINER_RETURN_IF_ERROR(ParseHeader(&r, &file));
 
-  auto get_i32 = [&r](int* out) -> util::Status {
-    util::StatusOr<int32_t> v = r.GetI32();
-    if (!v.ok()) return v.status();
-    *out = *v;
-    return util::Status::Ok();
-  };
-  CLASSMINER_RETURN_IF_ERROR(get_i32(&file.width));
-  CLASSMINER_RETURN_IF_ERROR(get_i32(&file.height));
-  if (file.width < 0 || file.height < 0 || file.width > 16384 ||
-      file.height > 16384) {
-    return util::Status::DataLoss("implausible CMV dimensions");
-  }
-  util::StatusOr<double> fps = r.GetF64();
-  if (!fps.ok()) return fps.status();
-  file.fps = *fps;
-  CLASSMINER_RETURN_IF_ERROR(get_i32(&file.quality));
-  CLASSMINER_RETURN_IF_ERROR(get_i32(&file.gop_size));
-
+  r.set_section("frames");
   util::StatusOr<uint32_t> frame_count = r.GetU32();
   if (!frame_count.ok()) return frame_count.status();
   // Each frame record occupies at least 5 bytes; a larger claim cannot be
   // satisfied by the remaining buffer (guards hostile reserve sizes).
   if (*frame_count > r.remaining() / 5) {
-    return util::Status::DataLoss("frame count exceeds container size");
+    return r.Corrupt("frame count exceeds container size");
   }
   file.frames.reserve(*frame_count);
   for (uint32_t i = 0; i < *frame_count; ++i) {
+    r.set_section("frames[" + std::to_string(i) + "]");
     FrameRecord rec;
-    util::StatusOr<uint8_t> type = r.GetU8();
-    if (!type.ok()) return type.status();
-    if (*type > 1) return util::Status::DataLoss("unknown frame type");
-    rec.type = static_cast<FrameType>(*type);
-    util::StatusOr<uint32_t> size = r.GetU32();
-    if (!size.ok()) return size.status();
-    if (*size > r.remaining()) {
-      return util::Status::DataLoss("frame payload exceeds container");
-    }
-    rec.payload.resize(*size);
-    CLASSMINER_RETURN_IF_ERROR(r.GetBytes(rec.payload.data(), *size));
+    CLASSMINER_RETURN_IF_ERROR(ParseFrameRecord(&r, &rec));
     file.frames.push_back(std::move(rec));
   }
 
-  CLASSMINER_RETURN_IF_ERROR(get_i32(&file.audio_sample_rate));
-  util::StatusOr<uint32_t> sample_count = r.GetU32();
-  if (!sample_count.ok()) return sample_count.status();
-  if (*sample_count > r.remaining() / 4) {
-    return util::Status::DataLoss("audio sample count exceeds container");
-  }
-  file.audio_pcm.resize(*sample_count);
-  for (uint32_t i = 0; i < *sample_count; ++i) {
-    util::StatusOr<uint32_t> bits = r.GetU32();
-    if (!bits.ok()) return bits.status();
-    uint32_t b = *bits;
-    std::memcpy(&file.audio_pcm[i], &b, sizeof(float));
-  }
+  CLASSMINER_RETURN_IF_ERROR(ParseAudio(&r, &file));
 
   if (r.remaining() == 0) {
     // Legacy container without an index section: rebuild from the frame
@@ -180,42 +251,107 @@ util::StatusOr<CmvFile> CmvFile::Parse(const std::vector<uint8_t>& bytes) {
     (void)file.RebuildGopIndex();
     return file;
   }
+  CLASSMINER_RETURN_IF_ERROR(ParseGopIndex(&r, &file));
+  return file;
+}
 
-  // Index section present: any short read or inconsistency is corruption.
-  util::StatusOr<uint32_t> index_magic = r.GetU32();
-  if (!index_magic.ok()) return index_magic.status();
-  if (*index_magic != kGopIndexMagic) {
-    return util::Status::DataLoss("bad GOP index magic");
+util::StatusOr<CmvFile> CmvFile::ParseBestEffort(
+    const std::vector<uint8_t>& bytes, util::SalvageReport* report) {
+  util::SalvageReport local;
+  if (report == nullptr) report = &local;
+  util::ByteReader r(bytes);
+  CmvFile file;
+  // Nothing precedes the header, so a damaged header is unrecoverable.
+  CLASSMINER_RETURN_IF_ERROR(ParseHeader(&r, &file));
+
+  r.set_section("frames");
+  util::StatusOr<uint32_t> frame_count = r.GetU32();
+  if (!frame_count.ok()) return frame_count.status();
+  // The declared count is untrusted; reserve only what could possibly fit.
+  const uint32_t plausible =
+      static_cast<uint32_t>(std::min<size_t>(*frame_count, r.remaining() / 5));
+  file.frames.reserve(plausible);
+  bool truncated = false;
+  for (uint32_t i = 0; i < *frame_count; ++i) {
+    r.set_section("frames[" + std::to_string(i) + "]");
+    const size_t record_start = r.position();
+    FrameRecord rec;
+    const util::Status record = ParseFrameRecord(&r, &rec);
+    if (!record.ok()) {
+      // Torn or corrupt record: everything from here on is unframed bytes.
+      // Keep the intact prefix; the audio and index sections (if the file
+      // had them) are unreachable behind the damage.
+      truncated = true;
+      report->bytes_dropped += bytes.size() - record_start;
+      report->items_dropped += static_cast<int>(*frame_count - i);
+      report->AddNote("frames: " + record.message());
+      break;
+    }
+    file.frames.push_back(std::move(rec));
   }
-  util::StatusOr<uint32_t> gop_count = r.GetU32();
-  if (!gop_count.ok()) return gop_count.status();
-  // Each entry occupies 24 bytes.
-  if (*gop_count > r.remaining() / 24) {
-    return util::Status::DataLoss("truncated GOP index");
+
+  // A stream must open with an I-frame to decode; drop any leading P-run
+  // (an isolated corruption can fake one by flipping the first type byte —
+  // that case surfaces as a torn record above instead).
+  size_t leading_p = 0;
+  while (leading_p < file.frames.size() &&
+         file.frames[leading_p].type != FrameType::kIntra) {
+    ++leading_p;
   }
-  file.gop_index.reserve(*gop_count);
-  for (uint32_t i = 0; i < *gop_count; ++i) {
-    GopIndexEntry entry;
-    util::StatusOr<int32_t> start = r.GetI32();
-    if (!start.ok()) return start.status();
-    entry.start_frame = *start;
-    util::StatusOr<int32_t> count = r.GetI32();
-    if (!count.ok()) return count.status();
-    entry.frame_count = *count;
-    util::StatusOr<uint64_t> off = r.GetU64();
-    if (!off.ok()) return off.status();
-    entry.byte_offset = *off;
-    util::StatusOr<uint64_t> size = r.GetU64();
-    if (!size.ok()) return size.status();
-    entry.byte_size = *size;
-    file.gop_index.push_back(entry);
+  if (leading_p > 0) {
+    uint64_t dropped_bytes = 0;
+    for (size_t i = 0; i < leading_p; ++i) {
+      dropped_bytes += 5 + file.frames[i].payload.size();
+    }
+    file.frames.erase(file.frames.begin(),
+                      file.frames.begin() + static_cast<ptrdiff_t>(leading_p));
+    report->bytes_dropped += dropped_bytes;
+    report->items_dropped += static_cast<int>(leading_p);
+    report->AddNote("frames: dropped " + std::to_string(leading_p) +
+                    " leading P-frame(s) with no opening I-frame");
   }
-  util::StatusOr<std::vector<GopIndexEntry>> derived =
-      DeriveGopIndex(file.frames);
-  if (!derived.ok() || *derived != file.gop_index) {
+  if (file.frames.empty() && (truncated || leading_p > 0)) {
     return util::Status::DataLoss(
-        "GOP index inconsistent with frame records");
+        "no decodable GOP survives salvage (every frame record lost)");
   }
+
+  if (truncated) {
+    file.audio_sample_rate = 0;
+    file.audio_pcm.clear();
+    report->audio_dropped = true;
+    report->index_rebuilt = true;
+    report->AddNote(
+        "audio/gop_index: sections unreachable behind truncated frames");
+  } else {
+    const size_t audio_start = r.position();
+    const util::Status audio = ParseAudio(&r, &file);
+    if (!audio.ok()) {
+      // The audio track is optional for mining; drop it rather than the
+      // whole container. The index section behind it is gone too.
+      file.audio_sample_rate = 0;
+      file.audio_pcm.clear();
+      report->bytes_dropped += bytes.size() - audio_start;
+      report->audio_dropped = true;
+      report->index_rebuilt = true;
+      report->AddNote("audio: " + audio.message());
+    } else if (r.remaining() > 0) {
+      const size_t index_start = r.position();
+      const util::Status index = ParseGopIndex(&r, &file);
+      if (!index.ok()) {
+        file.gop_index.clear();
+        report->bytes_dropped += bytes.size() - index_start;
+        report->index_rebuilt = true;
+        report->AddNote("gop_index: " + index.message());
+      }
+    }
+  }
+
+  // Re-derive the seek index over whatever survived. The recovered prefix
+  // always opens with an I-frame (leading P-run dropped above), so this
+  // cannot fail on a non-empty stream.
+  if (file.gop_index.empty()) (void)file.RebuildGopIndex();
+  report->items_recovered += file.frame_count();
+  report->gops_recovered += file.gop_count();
   return file;
 }
 
@@ -227,6 +363,13 @@ util::StatusOr<CmvFile> CmvFile::LoadFromFile(const std::string& path) {
   util::StatusOr<std::vector<uint8_t>> bytes = util::ReadFile(path);
   if (!bytes.ok()) return bytes.status();
   return Parse(*bytes);
+}
+
+util::StatusOr<CmvFile> CmvFile::LoadFromFileBestEffort(
+    const std::string& path, util::SalvageReport* report) {
+  util::StatusOr<std::vector<uint8_t>> bytes = util::ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  return ParseBestEffort(*bytes, report);
 }
 
 }  // namespace classminer::codec

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "util/salvage.h"
 #include "util/status.h"
 
 namespace classminer::codec {
@@ -76,10 +77,25 @@ struct CmvFile {
   int GopOfFrame(int frame_index) const;
 
   std::vector<uint8_t> Serialize() const;
+  // Strict parse: any structural damage — truncation, bad magic, an
+  // inconsistent index — fails with DataLoss (messages carry the section
+  // name and byte offset of the damage).
   static util::StatusOr<CmvFile> Parse(const std::vector<uint8_t>& bytes);
+
+  // Best-effort parse for damaged containers: recovers the valid frame
+  // prefix from a truncated or bit-flipped stream (dropping a torn trailing
+  // record), drops leading undecodable P-frames, survives a corrupt audio
+  // track by dropping it, and rebuilds a corrupt or missing GOP index from
+  // the recovered records. What was dropped/rebuilt lands in `report`
+  // (never null semantics: pass nullptr to discard). Fails only when the
+  // header is unreadable or no decodable GOP survives.
+  static util::StatusOr<CmvFile> ParseBestEffort(
+      const std::vector<uint8_t>& bytes, util::SalvageReport* report);
 
   util::Status SaveToFile(const std::string& path) const;
   static util::StatusOr<CmvFile> LoadFromFile(const std::string& path);
+  static util::StatusOr<CmvFile> LoadFromFileBestEffort(
+      const std::string& path, util::SalvageReport* report);
 };
 
 }  // namespace classminer::codec

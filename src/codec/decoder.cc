@@ -7,6 +7,7 @@
 #include "codec/bitstream.h"
 #include "codec/motion.h"
 #include "codec/quant.h"
+#include "util/failpoint.h"
 
 namespace classminer::codec {
 namespace {
@@ -162,6 +163,38 @@ util::Status DecodePredictedFrame(BitReader* reader, int width, int height,
   return util::Status::Ok();
 }
 
+// Decodes the DC image of frame `i` into *dc (sized dcw x dch). `prev` is
+// the previous frame's DC image (empty for the first frame).
+util::Status DecodeDcFrame(const CmvFile& file, size_t i,
+                           const media::GrayImage& prev, int dcw, int dch,
+                           media::GrayImage* dc) {
+  const FrameRecord& rec = file.frames[i];
+  BitReader reader(rec.payload);
+  if (rec.type == FrameType::kIntra) {
+    Plane y_dims = Plane::Make(file.width, file.height);
+    std::vector<double> dcs;
+    dcs.reserve(static_cast<size_t>(dcw) * dch);
+    CLASSMINER_RETURN_IF_ERROR(DecodeIntraPlane(
+        &reader, file.quality, false, &y_dims, /*dc_only=*/true, &dcs));
+    for (int by = 0; by < dch; ++by) {
+      for (int bx = 0; bx < dcw; ++bx) {
+        const double v = dcs[static_cast<size_t>(by) * dcw + bx];
+        dc->set(bx, by,
+                static_cast<uint8_t>(std::lround(std::clamp(v, 0.0, 255.0))));
+      }
+    }
+    // Chroma planes still occupy the bitstream; no need to parse them for
+    // the luma-only DC series (payloads are length-delimited per frame).
+    return util::Status::Ok();
+  }
+  if (i == 0) return util::Status::DataLoss("stream starts with P-frame");
+  PFrameSink sink;
+  sink.dc_image = dc;
+  sink.prev_dc = &prev;
+  return DecodePredictedFrame(&reader, file.width, file.height, file.quality,
+                              &sink);
+}
+
 }  // namespace
 
 namespace internal {
@@ -196,6 +229,7 @@ util::Status DecodePicture(const FrameRecord& rec, int width, int height,
 
 util::StatusOr<media::Video> DecodeVideo(
     const CmvFile& file, const util::CancellationToken* cancel) {
+  CLASSMINER_RETURN_IF_ERROR(util::FailPoint::Check("codec.decode_video"));
   if (file.width <= 0 || file.height <= 0) {
     return util::Status::InvalidArgument("CMV file has empty dimensions");
   }
@@ -228,8 +262,6 @@ util::StatusOr<std::vector<media::GrayImage>> DecodeDcImages(
   }
   const int dcw = BlocksAcross(file.width);
   const int dch = BlocksAcross(file.height);
-  const int cw = (file.width + 1) / 2;
-  const int ch = (file.height + 1) / 2;
 
   std::vector<media::GrayImage> out;
   out.reserve(file.frames.size());
@@ -238,37 +270,65 @@ util::StatusOr<std::vector<media::GrayImage>> DecodeDcImages(
     if (cancel != nullptr && cancel->cancelled()) {
       return util::Status::Cancelled("DC image extraction cancelled");
     }
-    const FrameRecord& rec = file.frames[i];
-    BitReader reader(rec.payload);
     media::GrayImage dc(dcw, dch);
-    if (rec.type == FrameType::kIntra) {
-      Plane y_dims = Plane::Make(file.width, file.height);
-      std::vector<double> dcs;
-      dcs.reserve(static_cast<size_t>(dcw) * dch);
-      CLASSMINER_RETURN_IF_ERROR(DecodeIntraPlane(
-          &reader, file.quality, false, &y_dims, /*dc_only=*/true, &dcs));
-      for (int by = 0; by < dch; ++by) {
-        for (int bx = 0; bx < dcw; ++bx) {
-          const double v = dcs[static_cast<size_t>(by) * dcw + bx];
-          dc.set(bx, by,
-                 static_cast<uint8_t>(std::lround(std::clamp(v, 0.0, 255.0))));
-        }
-      }
-      // Chroma planes still occupy the bitstream; no need to parse them for
-      // the luma-only DC series (payloads are length-delimited per frame).
-    } else {
-      if (i == 0) return util::Status::DataLoss("stream starts with P-frame");
-      PFrameSink sink;
-      sink.dc_image = &dc;
-      sink.prev_dc = &prev;
-      CLASSMINER_RETURN_IF_ERROR(DecodePredictedFrame(
-          &reader, file.width, file.height, file.quality, &sink));
-      (void)cw;
-      (void)ch;
-    }
+    CLASSMINER_RETURN_IF_ERROR(DecodeDcFrame(file, i, prev, dcw, dch, &dc));
     prev = dc;
     out.push_back(std::move(dc));
   }
+  return out;
+}
+
+util::StatusOr<std::vector<media::GrayImage>> DecodeDcImagesSalvage(
+    const CmvFile& file, util::SalvageReport* report,
+    const util::CancellationToken* cancel) {
+  util::SalvageReport local;
+  if (report == nullptr) report = &local;
+  if (file.width <= 0 || file.height <= 0) {
+    return util::Status::InvalidArgument("CMV file has empty dimensions");
+  }
+  const int dcw = BlocksAcross(file.width);
+  const int dch = BlocksAcross(file.height);
+
+  std::vector<media::GrayImage> out;
+  out.reserve(file.frames.size());
+  media::GrayImage prev(dcw, dch);  // mid-frame fallback when frame 0 fails
+  for (int x = 0; x < dcw; ++x) {
+    for (int y = 0; y < dch; ++y) prev.set(x, y, 128);
+  }
+  int decoded = 0;
+  // Once a frame in a GOP fails, every P-frame until the next I-frame
+  // predicts from garbage; hold the last good DC image until the stream
+  // resynchronises at an I-frame.
+  bool skipping = false;
+  for (size_t i = 0; i < file.frames.size(); ++i) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      return util::Status::Cancelled("DC image extraction cancelled");
+    }
+    const bool intra = file.frames[i].type == FrameType::kIntra;
+    if (skipping && intra) skipping = false;
+    media::GrayImage dc(dcw, dch);
+    util::Status frame = skipping
+                             ? util::Status::DataLoss("GOP lost upstream")
+                             : DecodeDcFrame(file, i, prev, dcw, dch, &dc);
+    if (frame.ok()) {
+      ++decoded;
+      prev = dc;
+      out.push_back(std::move(dc));
+      continue;
+    }
+    if (!skipping) {
+      skipping = true;
+      report->gops_skipped += 1;
+      report->AddNote("decode: frame " + std::to_string(i) + ": " +
+                      frame.message());
+    }
+    report->items_dropped += 1;
+    out.push_back(prev);  // keep frame indices aligned with the container
+  }
+  if (decoded == 0 && !file.frames.empty()) {
+    return util::Status::DataLoss("no frame in the stream decodes");
+  }
+  report->items_recovered += decoded;
   return out;
 }
 

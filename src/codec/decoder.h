@@ -8,6 +8,7 @@
 #include "media/image.h"
 #include "media/video.h"
 #include "util/exec_context.h"
+#include "util/salvage.h"
 #include "util/status.h"
 
 namespace classminer::codec {
@@ -26,6 +27,18 @@ util::StatusOr<media::Video> DecodeVideo(
 // is what the MPEG-domain shot detector consumes. `cancel` as above.
 util::StatusOr<std::vector<media::GrayImage>> DecodeDcImages(
     const CmvFile& file, const util::CancellationToken* cancel = nullptr);
+
+// Best-effort DC sequence for damaged payloads: a frame whose bitstream
+// fails to decode (bit flips survive structural parse — record lengths stay
+// intact — and only surface here) is replaced by the previous DC image, and
+// the rest of its GOP rides on that substitute until the next I-frame
+// resynchronises the stream. Frame indices stay aligned with the container
+// so shot boundaries land on real frame numbers. Skipped GOPs land in
+// `report` (gops_skipped; pass nullptr to discard). Fails only when not a
+// single frame decodes.
+util::StatusOr<std::vector<media::GrayImage>> DecodeDcImagesSalvage(
+    const CmvFile& file, util::SalvageReport* report,
+    const util::CancellationToken* cancel = nullptr);
 
 // PSNR (dB) between two equally-sized images; +inf for identical content.
 double Psnr(const media::Image& a, const media::Image& b);

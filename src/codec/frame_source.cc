@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "util/retry.h"
+
 namespace classminer::codec {
 
 util::StatusOr<std::unique_ptr<FrameSource>> FrameSource::Create(
@@ -18,7 +20,8 @@ util::StatusOr<std::unique_ptr<FrameSource>> FrameSource::Create(
 FrameSource::FrameSource(GopReader reader, const Options& options)
     : reader_(std::move(reader)),
       capacity_(std::max(1, options.cache_capacity_gops)),
-      cancel_(options.cancel) {}
+      cancel_(options.cancel),
+      salvage_(options.salvage) {}
 
 util::StatusOr<FrameHandle> FrameSource::GetFrame(int frame_index) {
   const int g = reader_.GopOfFrame(frame_index);
@@ -33,6 +36,10 @@ util::StatusOr<FrameHandle> FrameSource::GetFrame(int frame_index) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     if (!error_.ok()) return error_;
+    if (salvage_) {
+      auto bad = bad_gops_.find(g);
+      if (bad != bad_gops_.end()) return bad->second;
+    }
     auto it = cache_.find(g);
     if (it != cache_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
@@ -56,9 +63,17 @@ util::StatusOr<FrameHandle> FrameSource::GetFrame(int frame_index) {
   lock.lock();
   inflight_.erase(g);
   if (!gop.ok()) {
-    // Cancellation is transient caller state, not container corruption;
-    // only real decode failures poison the source.
-    if (error_.ok() && gop.status().code() != util::StatusCode::kCancelled) {
+    const util::StatusCode code = gop.status().code();
+    // Cancellation is transient caller state and kUnavailable-class codes
+    // are retryable environment hiccups; neither is container corruption,
+    // so neither poisons the source — a later GetFrame retries the decode.
+    const bool retryable = code == util::StatusCode::kCancelled ||
+                           util::IsTransientCode(code);
+    if (salvage_ && !retryable) {
+      // Confine the damage to this GOP; intact GOPs stay reachable.
+      bad_gops_.emplace(g, gop.status());
+      ++stats_.failed_gops;
+    } else if (!salvage_ && !retryable && error_.ok()) {
       error_ = gop.status();
     }
     decoded_cv_.notify_all();

@@ -46,6 +46,11 @@ struct FrameSourceOptions {
   int cache_capacity_gops = 8;
   // Borrowed; may be null. Checked inside the per-GOP decode loop.
   const util::CancellationToken* cancel = nullptr;
+  // Salvage mode for damaged containers: a GOP whose decode fails is marked
+  // bad (counted in Stats::failed_gops) instead of poisoning the whole
+  // source. GetFrame on a bad GOP keeps failing with the recorded error,
+  // but frames in intact GOPs stay reachable.
+  bool salvage = false;
 };
 
 // Thread-safe random-access frame supplier over a CMV container: a
@@ -60,8 +65,11 @@ struct FrameSourceOptions {
 // Concurrency: GetFrame may be called from any number of threads. A GOP
 // being decoded by one thread is awaited (not re-decoded) by concurrent
 // requesters of the same GOP; distinct GOPs decode in parallel outside the
-// lock. The first decode failure is sticky — every later GetFrame returns
-// it, mirroring pipeline first-error-wins semantics.
+// lock. The first *non-retryable* decode failure is sticky — every later
+// GetFrame returns it, mirroring pipeline first-error-wins semantics.
+// Cancellation and transient codes (kUnavailable) do not poison the source:
+// a later GetFrame retries the decode. In salvage mode (Options::salvage)
+// nothing is sticky; failures are confined to their GOP.
 class FrameSource {
  public:
   using Options = FrameSourceOptions;
@@ -72,6 +80,7 @@ class FrameSource {
     int64_t cache_hits = 0;      // GetFrame served from cache
     int64_t cache_misses = 0;    // GetFrame that triggered a decode
     int64_t evictions = 0;       // GOPs dropped by LRU pressure
+    int64_t failed_gops = 0;     // GOPs marked bad in salvage mode
     double decode_ms = 0.0;      // wall time spent inside GOP decodes
   };
 
@@ -96,6 +105,7 @@ class FrameSource {
   GopReader reader_;
   const int capacity_;
   const util::CancellationToken* cancel_;
+  const bool salvage_;
 
   mutable std::mutex mutex_;
   std::condition_variable decoded_cv_;
@@ -107,7 +117,9 @@ class FrameSource {
   };
   std::unordered_map<int, CacheEntry> cache_;
   std::set<int> inflight_;  // GOPs currently decoding on some thread
-  util::Status error_;      // sticky first decode failure
+  util::Status error_;      // sticky first non-retryable decode failure
+  // Salvage mode: GOPs that failed to decode, with the recorded error.
+  std::unordered_map<int, util::Status> bad_gops_;
   Stats stats_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "codec/decoder.h"
 #include "codec/dct.h"
+#include "util/failpoint.h"
 
 namespace classminer::codec {
 
@@ -47,6 +48,8 @@ int GopReader::GopOfFrame(int frame_index) const {
 
 util::StatusOr<std::vector<media::Image>> GopReader::DecodeGop(
     int g, const util::CancellationToken* cancel) const {
+  CLASSMINER_RETURN_IF_ERROR(
+      util::FailPoint::Check("codec.gop_reader.decode_gop"));
   if (g < 0 || g >= gop_count()) {
     return util::Status::OutOfRange("GOP index " + std::to_string(g) +
                                     " outside [0, " +

@@ -1,10 +1,12 @@
 #include "core/classminer.h"
 
+#include <exception>
 #include <memory>
 #include <string>
 #include <utility>
 
 #include "core/pipeline_dag.h"
+#include "util/failpoint.h"
 #include "util/threadpool.h"
 
 namespace classminer::core {
@@ -16,6 +18,9 @@ std::unique_ptr<util::ThreadPool> MakePipelinePool(int thread_count) {
   if (thread_count <= 1) return nullptr;
   return std::make_unique<util::ThreadPool>(thread_count);
 }
+
+using internal::OptionalStageStatus;
+using internal::RunOptionalStage;
 
 // Declares the mining pipeline as a stage graph over `result`. Dependencies
 // mirror the data flow exactly — each stage reads only fields written by
@@ -29,7 +34,8 @@ util::Status BuildMiningDag(const media::Video& video,
                             const audio::AudioBuffer& audio,
                             const MiningOptions& options,
                             const util::ExecutionContext& ctx,
-                            MiningResult* result, StageDag* dag) {
+                            MiningResult* result,
+                            OptionalStageStatus* optional, StageDag* dag) {
   CLASSMINER_RETURN_IF_ERROR(dag->Add(
       "shot", {}, [&video, &options, &ctx, result](util::StageMetrics* row) {
         result->structure.shots =
@@ -41,17 +47,28 @@ util::Status BuildMiningDag(const media::Video& video,
   // nest on the same pool via the context.
   CLASSMINER_RETURN_IF_ERROR(dag->Add(
       "audio", {"shot"},
-      [&audio, &options, &ctx, result, &video](util::StageMetrics* row) {
+      [&audio, &options, &ctx, result, &video,
+       optional](util::StageMetrics* row) {
         const std::vector<shot::Shot>& shots = result->structure.shots;
-        const audio::SpeakerSegmenter segmenter(options.events.segmenter);
+        // Default (silent) entries first, so a degraded failure still
+        // leaves dependents correctly-sized per-shot inputs.
         result->shot_audio.assign(shots.size(), audio::ShotAudioAnalysis{});
-        util::ParallelFor(ctx, static_cast<int>(shots.size()), [&](int i) {
-          const shot::Shot& s = shots[static_cast<size_t>(i)];
-          result->shot_audio[static_cast<size_t>(i)] = segmenter.AnalyzeShot(
-              audio, s.StartSeconds(video.fps()), s.EndSeconds(video.fps()),
-              s.index, ctx);
-        });
         row->items = static_cast<int64_t>(shots.size());
+        RunOptionalStage(
+            options, ctx, "core.stage.audio", row, &optional->audio,
+            [&](const util::ExecutionContext& sctx) {
+              const audio::SpeakerSegmenter segmenter(
+                  options.events.segmenter);
+              util::ParallelFor(
+                  sctx, static_cast<int>(shots.size()), [&](int i) {
+                    const shot::Shot& s = shots[static_cast<size_t>(i)];
+                    result->shot_audio[static_cast<size_t>(i)] =
+                        segmenter.AnalyzeShot(
+                            audio, s.StartSeconds(video.fps()),
+                            s.EndSeconds(video.fps()), s.index, sctx);
+                  });
+              return util::Status::Ok();
+            });
       }));
   CLASSMINER_RETURN_IF_ERROR(dag->Add(
       "group", {"shot"}, [&options, result](util::StageMetrics* row) {
@@ -82,23 +99,91 @@ util::Status BuildMiningDag(const media::Video& video,
   // alongside the whole structure chain under DAG scheduling.
   CLASSMINER_RETURN_IF_ERROR(dag->Add(
       "cues", {"shot"},
-      [&video, &options, &ctx, result](util::StageMetrics* row) {
-        result->shot_cues = cues::ExtractShotCues(
-            video, result->structure.shots, options.cues, ctx);
-        row->items = static_cast<int64_t>(result->shot_cues.size());
+      [&video, &options, &ctx, result, optional](util::StageMetrics* row) {
+        const std::vector<shot::Shot>& shots = result->structure.shots;
+        result->shot_cues.assign(shots.size(), cues::FrameCues{});
+        row->items = static_cast<int64_t>(shots.size());
+        RunOptionalStage(
+            options, ctx, "core.stage.cues", row, &optional->cues,
+            [&](const util::ExecutionContext& sctx) {
+              result->shot_cues =
+                  cues::ExtractShotCues(video, shots, options.cues, sctx);
+              return util::Status::Ok();
+            });
       }));
   CLASSMINER_RETURN_IF_ERROR(dag->Add(
       "events", {"cluster", "cues", "audio"},
-      [&options, result](util::StageMetrics* row) {
-        const events::EventMiner miner(&result->structure, &result->shot_cues,
-                                       &result->shot_audio, options.events);
-        result->events = miner.MineAllScenes();
-        row->items = static_cast<int64_t>(result->events.size());
+      [&options, &ctx, result, optional](util::StageMetrics* row) {
+        RunOptionalStage(
+            options, ctx, "core.stage.events", row, &optional->events,
+            [&](const util::ExecutionContext&) {
+              const size_t shots = result->structure.shots.size();
+              if (result->shot_cues.size() != shots ||
+                  result->shot_audio.size() != shots) {
+                // Upstream defaults guarantee sized inputs; a mismatch
+                // means a dependency was skipped entirely.
+                return util::Status::FailedPrecondition(
+                    "event mining needs per-shot cues and audio");
+              }
+              const events::EventMiner miner(&result->structure,
+                                             &result->shot_cues,
+                                             &result->shot_audio,
+                                             options.events);
+              result->events = miner.MineAllScenes();
+              row->items = static_cast<int64_t>(result->events.size());
+              return util::Status::Ok();
+            });
       }));
   return util::Status();
 }
 
 }  // namespace
+
+namespace internal {
+
+void RunOptionalStage(
+    const MiningOptions& options, const util::ExecutionContext& ctx,
+    const char* site, util::StageMetrics* row, util::Status* slot,
+    const std::function<util::Status(const util::ExecutionContext&)>& body) {
+  if (options.failure_policy == FailurePolicy::kStrict) {
+    util::Status status = util::FailPoint::Check(site);
+    // Body exceptions propagate to ExecuteStage's catch, as before.
+    if (status.ok()) status = body(ctx);
+    if (!status.ok()) ctx.RecordStatus(status);
+    return;
+  }
+  util::StatusSink stage_sink;
+  const util::ExecutionContext stage_ctx = ctx.WithSink(&stage_sink);
+  util::Status status = util::FailPoint::Check(site);
+  if (status.ok()) {
+    try {
+      status = body(stage_ctx);
+    } catch (const std::exception& e) {
+      status = util::Status::Internal(
+          std::string("optional stage threw: ") + e.what());
+    } catch (...) {
+      status = util::Status::Internal("optional stage threw a non-std value");
+    }
+    if (status.ok()) status = stage_sink.Get();
+  }
+  *slot = status;
+  row->status = status;
+}
+
+void CollectOptionalFailures(const OptionalStageStatus& optional,
+                             MiningResult* result) {
+  const auto collect = [result](const char* stage, const util::Status& s) {
+    if (s.ok()) return;
+    result->degraded = true;
+    result->stage_failures.push_back(StageFailure{stage, s});
+  };
+  collect("audio", optional.audio);
+  collect("cues", optional.cues);
+  collect("events", optional.events);
+  if (result->salvage.salvaged) result->degraded = true;
+}
+
+}  // namespace internal
 
 util::Status MineVideoInto(const media::Video& video,
                            const audio::AudioBuffer& audio,
@@ -110,9 +195,10 @@ util::Status MineVideoInto(const media::Video& video,
       ctx.status_sink() != nullptr ? ctx : ctx.WithSink(&local_sink);
   const util::ExecutionContext run_ctx = base.WithMetrics(&result->metrics);
 
+  OptionalStageStatus optional;
   StageDag dag;
   CLASSMINER_RETURN_IF_ERROR(
-      BuildMiningDag(video, audio, options, run_ctx, result, &dag));
+      BuildMiningDag(video, audio, options, run_ctx, result, &optional, &dag));
 
   // Snapshot the shared pool's exception counter around the run. Context-
   // routed loops capture exceptions into the sink before they reach the
@@ -131,6 +217,9 @@ util::Status MineVideoInto(const media::Video& video,
         std::to_string(escaped) +
         " pool task(s) escaped with an exception during mining");
   }
+
+  internal::CollectOptionalFailures(optional, result);
+  result->metrics.suppressed_errors = base.status_sink()->suppressed_count();
   return status;
 }
 
@@ -158,6 +247,30 @@ util::Status BatchMiningResult::FirstError() const {
     CLASSMINER_RETURN_IF_ERROR(status);
   }
   return util::Status::Ok();
+}
+
+int BatchMiningResult::FailedCount() const {
+  int failed = 0;
+  for (const util::Status& status : statuses) {
+    if (!status.ok()) ++failed;
+  }
+  return failed;
+}
+
+int BatchMiningResult::DegradedCount() const {
+  int degraded = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (statuses[i].ok() && results[i].degraded) ++degraded;
+  }
+  return degraded;
+}
+
+util::SalvageReport BatchMiningResult::SalvageTotals() const {
+  util::SalvageReport total;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (statuses[i].ok()) total.Merge(results[i].salvage);
+  }
+  return total;
 }
 
 BatchMiningResult MineVideosParallelWithStatus(

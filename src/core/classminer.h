@@ -1,6 +1,8 @@
 #ifndef CLASSMINER_CORE_CLASSMINER_H_
 #define CLASSMINER_CORE_CLASSMINER_H_
 
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "audio/audio_buffer.h"
@@ -12,6 +14,7 @@
 #include "shot/detector.h"
 #include "structure/content_structure.h"
 #include "util/exec_context.h"
+#include "util/salvage.h"
 #include "util/status.h"
 #include "util/threadpool.h"
 
@@ -35,6 +38,22 @@ enum class StageScheduling {
   kDag,
 };
 
+// How the pipeline responds to a stage failure. The essential chain
+// (shot -> group -> scene -> cluster, and the CMV fast path's decode /
+// repframe stages) always fails the run — without shots there is nothing to
+// index. Audio, cues and events are enrichments: losing them degrades the
+// entry, it does not void it.
+enum class FailurePolicy {
+  // Any stage failure fails the whole run; a partial result is never
+  // returned as OK.
+  kStrict,
+  // An optional stage (audio, cues, events) that fails is recorded on the
+  // result — degraded=true, its Status in stage_failures and on its metrics
+  // row — and the run continues with that stage's default outputs (sized to
+  // the shots, so dependents still see consistent inputs).
+  kDegraded,
+};
+
 // Options for the full ClassMiner pipeline (paper Fig. 3).
 struct MiningOptions {
   shot::ShotDetectorOptions shot{};
@@ -56,6 +75,14 @@ struct MiningOptions {
   // CMV fast path only: decoded-GOP LRU cache capacity of the selective
   // FrameSource (bounds resident frames at capacity * gop_size).
   int gop_cache_capacity = 8;
+  // What a failed optional stage does to the run (see FailurePolicy).
+  FailurePolicy failure_policy = FailurePolicy::kStrict;
+};
+
+// One optional stage that failed under FailurePolicy::kDegraded.
+struct StageFailure {
+  std::string stage;    // stage name as declared in the DAG
+  util::Status status;  // why it failed
 };
 
 // Everything the pipeline mines from one video.
@@ -66,6 +93,16 @@ struct MiningResult {
   std::vector<events::EventRecord> events;            // per active scene
   shot::ShotDetectionTrace shot_trace;                // Fig. 5 diagnostics
   PipelineMetrics metrics;                            // per-stage wall time
+
+  // True when the run completed under FailurePolicy::kDegraded with at
+  // least one optional stage lost, or when the source container needed
+  // salvage. The structure fields are trustworthy; the failed stages'
+  // outputs are defaults.
+  bool degraded = false;
+  std::vector<StageFailure> stage_failures;  // in stage declaration order
+  // What salvage recovered/dropped from the source container (fast path and
+  // salvage loaders fill it; pristine inputs leave it empty).
+  util::SalvageReport salvage;
 };
 
 // Runs shot detection, content-structure mining, visual/audio cue
@@ -108,6 +145,12 @@ struct BatchMiningResult {
 
   // First non-OK status in input order (OK when every video succeeded).
   util::Status FirstError() const;
+  // Videos that failed outright (non-OK status).
+  int FailedCount() const;
+  // Videos that mined OK but degraded (optional stage lost or salvage).
+  int DegradedCount() const;
+  // Salvage reports of all OK results merged into one aggregate.
+  util::SalvageReport SalvageTotals() const;
 };
 
 // Mines several videos concurrently on one shared pool. Work is scheduled
@@ -128,6 +171,37 @@ util::StatusOr<std::vector<MiningResult>> MineVideosParallel(
     const std::vector<MiningInput>& inputs, const MiningOptions& options,
     int threads = 0);
 
+namespace internal {
+
+// Failure slots for the optional stages, shared by the full pipeline and
+// the CMV fast path. Each slot is written by exactly one stage (fixed slot,
+// no mutex) and read only after the DAG drains, so the collected failure
+// list is deterministic regardless of completion order on the pool.
+struct OptionalStageStatus {
+  util::Status audio;
+  util::Status cues;
+  util::Status events;
+};
+
+// Runs one optional stage body under the failure policy. Strict runs keep
+// the historical contract: a fail-point hit (site "core.stage.<name>") or
+// body failure lands in the run's sink and fails the whole pipeline.
+// Degraded runs hand the body a stage-local sink so its errors — returned,
+// recorded by nested loops, or thrown — stay confined to the stage; the
+// outcome lands in *slot and on the stage's metrics row, and the run
+// continues on the stage's default outputs.
+void RunOptionalStage(
+    const MiningOptions& options, const util::ExecutionContext& ctx,
+    const char* site, util::StageMetrics* row, util::Status* slot,
+    const std::function<util::Status(const util::ExecutionContext&)>& body);
+
+// Folds the optional-stage outcomes into the result: failures append to
+// stage_failures in declaration order and flag the result degraded (as does
+// a non-empty salvage report).
+void CollectOptionalFailures(const OptionalStageStatus& optional,
+                             MiningResult* result);
+
+}  // namespace internal
 }  // namespace classminer::core
 
 #endif  // CLASSMINER_CORE_CLASSMINER_H_

@@ -61,6 +61,8 @@ util::StatusOr<MiningResult> MineCmvFile(const codec::CmvFile& file) {
 util::StatusOr<MiningResult> MineCmvFileFast(const codec::CmvFile& file,
                                              const MiningOptions& options) {
   MiningResult result;
+  const bool degraded_mode =
+      options.failure_policy == FailurePolicy::kDegraded;
   const std::unique_ptr<util::ThreadPool> pool =
       options.thread_count > 1
           ? std::make_unique<util::ThreadPool>(options.thread_count)
@@ -74,10 +76,12 @@ util::StatusOr<MiningResult> MineCmvFileFast(const codec::CmvFile& file,
   // Selective-decode frame supplier shared by repframe and cues: decodes
   // only the GOPs containing frames that are actually requested, behind a
   // capacity-bounded LRU cache (paper Sec. 3: the point of working on the
-  // compressed domain is not paying full-decompression cost).
+  // compressed domain is not paying full-decompression cost). Degraded runs
+  // put it in salvage mode so a corrupt GOP fails only the frames it holds.
   codec::FrameSource::Options source_options;
   source_options.cache_capacity_gops = options.gop_cache_capacity;
   source_options.cancel = options.cancel;
+  source_options.salvage = degraded_mode;
   util::StatusOr<std::unique_ptr<codec::FrameSource>> source =
       codec::FrameSource::Create(&file, source_options);
   if (!source.ok()) return source.status();
@@ -95,11 +99,18 @@ util::StatusOr<MiningResult> MineCmvFileFast(const codec::CmvFile& file,
   // instead of O(frames); cues re-reads the same rep frames, so it mostly
   // hits the cache. Fallible stages record their status into the sink and
   // dependent stages are skipped.
+  internal::OptionalStageStatus optional;
   StageDag dag;
   util::Status build;
   build = dag.Add("shot", {}, [&](util::StageMetrics* row) {
+    // Essential: no shots, nothing to index. Degraded runs use the salvage
+    // decode, which substitutes the previous DC image for frames in corrupt
+    // GOPs (keeping indices aligned) and fails only when nothing decodes.
     util::StatusOr<std::vector<media::GrayImage>> dc =
-        codec::DecodeDcImages(file, ctx.cancellation());
+        degraded_mode
+            ? codec::DecodeDcImagesSalvage(file, &result.salvage,
+                                           ctx.cancellation())
+            : codec::DecodeDcImages(file, ctx.cancellation());
     if (!dc.ok()) {
       ctx.RecordStatus(dc.status());
       return;
@@ -110,22 +121,41 @@ util::StatusOr<MiningResult> MineCmvFileFast(const codec::CmvFile& file,
   });
   if (!build.ok()) return build;
   build = dag.Add("repframe", {"shot"}, [&](util::StageMetrics* row) {
-    ctx.RecordStatus(shot::PopulateRepresentativeFrames(
-        source->get(), &result.structure.shots, ctx));
+    // Essential stage, but in a degraded run a shot whose representative
+    // frame sits in a corrupt GOP keeps default features instead of
+    // failing the pipeline.
+    if (degraded_mode) {
+      int failed_shots = 0;
+      ctx.RecordStatus(shot::PopulateRepresentativeFramesSalvage(
+          source->get(), &result.structure.shots, ctx, &failed_shots));
+      if (failed_shots > 0) {
+        result.salvage.AddNote(
+            "repframe: " + std::to_string(failed_shots) +
+            " shot(s) kept default features (corrupt GOP)");
+      }
+    } else {
+      ctx.RecordStatus(shot::PopulateRepresentativeFrames(
+          source->get(), &result.structure.shots, ctx));
+    }
     row->items = static_cast<int64_t>(result.structure.shots.size());
   });
   if (!build.ok()) return build;
   build = dag.Add("audio", {"repframe"}, [&](util::StageMetrics* row) {
     const std::vector<shot::Shot>& shots = result.structure.shots;
-    const audio::SpeakerSegmenter segmenter(options.events.segmenter);
     result.shot_audio.assign(shots.size(), audio::ShotAudioAnalysis{});
-    util::ParallelFor(ctx, static_cast<int>(shots.size()), [&](int i) {
-      const shot::Shot& s = shots[static_cast<size_t>(i)];
-      result.shot_audio[static_cast<size_t>(i)] = segmenter.AnalyzeShot(
-          track, s.StartSeconds(file.fps), s.EndSeconds(file.fps), s.index,
-          ctx);
-    });
     row->items = static_cast<int64_t>(shots.size());
+    internal::RunOptionalStage(
+        options, ctx, "core.stage.audio", row, &optional.audio,
+        [&](const util::ExecutionContext& sctx) {
+          const audio::SpeakerSegmenter segmenter(options.events.segmenter);
+          util::ParallelFor(sctx, static_cast<int>(shots.size()), [&](int i) {
+            const shot::Shot& s = shots[static_cast<size_t>(i)];
+            result.shot_audio[static_cast<size_t>(i)] = segmenter.AnalyzeShot(
+                track, s.StartSeconds(file.fps), s.EndSeconds(file.fps),
+                s.index, sctx);
+          });
+          return util::Status::Ok();
+        });
   });
   if (!build.ok()) return build;
   build = dag.Add("structure", {"repframe"}, [&](util::StageMetrics* row) {
@@ -145,25 +175,41 @@ util::StatusOr<MiningResult> MineCmvFileFast(const codec::CmvFile& file,
   });
   if (!build.ok()) return build;
   build = dag.Add("cues", {"repframe"}, [&](util::StageMetrics* row) {
-    util::StatusOr<std::vector<cues::FrameCues>> shot_cues =
-        cues::ExtractShotCues(source->get(), result.structure.shots,
-                              options.cues, ctx);
-    if (!shot_cues.ok()) {
-      ctx.RecordStatus(shot_cues.status());
-      return;
-    }
-    result.shot_cues = std::move(shot_cues).value();
+    result.shot_cues.assign(result.structure.shots.size(),
+                            cues::FrameCues{});
     row->items = static_cast<int64_t>(result.shot_cues.size());
+    internal::RunOptionalStage(
+        options, ctx, "core.stage.cues", row, &optional.cues,
+        [&](const util::ExecutionContext& sctx) {
+          util::StatusOr<std::vector<cues::FrameCues>> shot_cues =
+              cues::ExtractShotCues(source->get(), result.structure.shots,
+                                    options.cues, sctx);
+          if (!shot_cues.ok()) return shot_cues.status();
+          result.shot_cues = std::move(shot_cues).value();
+          return util::Status::Ok();
+        });
   });
   if (!build.ok()) return build;
-  build = dag.Add("events", {"structure", "cues", "audio"},
-                  [&](util::StageMetrics* row) {
-                    const events::EventMiner miner(
-                        &result.structure, &result.shot_cues,
-                        &result.shot_audio, options.events);
-                    result.events = miner.MineAllScenes();
-                    row->items = static_cast<int64_t>(result.events.size());
-                  });
+  build = dag.Add(
+      "events", {"structure", "cues", "audio"}, [&](util::StageMetrics* row) {
+        internal::RunOptionalStage(
+            options, ctx, "core.stage.events", row, &optional.events,
+            [&](const util::ExecutionContext&) {
+              const size_t shots = result.structure.shots.size();
+              if (result.shot_cues.size() != shots ||
+                  result.shot_audio.size() != shots) {
+                return util::Status::FailedPrecondition(
+                    "event mining needs per-shot cues and audio");
+              }
+              const events::EventMiner miner(&result.structure,
+                                             &result.shot_cues,
+                                             &result.shot_audio,
+                                             options.events);
+              result.events = miner.MineAllScenes();
+              row->items = static_cast<int64_t>(result.events.size());
+              return util::Status::Ok();
+            });
+      });
   if (!build.ok()) return build;
 
   const int exceptions_before = ctx.pool_exception_count();
@@ -191,8 +237,17 @@ util::StatusOr<MiningResult> MineCmvFileFast(const codec::CmvFile& file,
   decode_row.threads = ctx.thread_count();
   decode_row.counters = {{"gops", decode_stats.decoded_gops},
                          {"cache_hits", decode_stats.cache_hits}};
+  if (decode_stats.failed_gops > 0) {
+    decode_row.counters.emplace_back("failed_gops", decode_stats.failed_gops);
+    result.salvage.gops_skipped += static_cast<int>(decode_stats.failed_gops);
+    result.salvage.AddNote("decode: " +
+                           std::to_string(decode_stats.failed_gops) +
+                           " GOP(s) failed selective decode");
+  }
   result.metrics.stages.insert(result.metrics.stages.begin(),
                                std::move(decode_row));
+  internal::CollectOptionalFailures(optional, &result);
+  result.metrics.suppressed_errors = sink.suppressed_count();
   return result;
 }
 

@@ -26,14 +26,24 @@ events::EventType VideoEntry::EventOfShot(int shot_index) const {
 
 int VideoDatabase::AddVideo(std::string name,
                             structure::ContentStructure structure,
-                            std::vector<events::EventRecord> events) {
+                            std::vector<events::EventRecord> events,
+                            bool degraded) {
   VideoEntry entry;
   entry.id = static_cast<int>(videos_.size());
   entry.name = std::move(name);
   entry.structure = std::move(structure);
   entry.events = std::move(events);
+  entry.degraded = degraded;
   videos_.push_back(std::move(entry));
   return videos_.back().id;
+}
+
+int VideoDatabase::DegradedCount() const {
+  int degraded = 0;
+  for (const VideoEntry& v : videos_) {
+    if (v.degraded) ++degraded;
+  }
+  return degraded;
 }
 
 size_t VideoDatabase::TotalShotCount() const {

@@ -25,6 +25,11 @@ struct VideoEntry {
   std::string name;
   structure::ContentStructure structure;
   std::vector<events::EventRecord> events;  // per active scene
+  // True when the entry came from a degraded mining run (optional stages
+  // lost, or the source container needed salvage). The structure is still
+  // queryable; event/cue-derived answers may be incomplete. Persisted from
+  // CMDB v2 on.
+  bool degraded = false;
 
   // Event type of the (active) scene owning a shot; kUndetermined when the
   // shot belongs to an eliminated scene.
@@ -36,11 +41,15 @@ struct VideoEntry {
 // The video database: a collection of mined videos addressable by shot.
 class VideoDatabase {
  public:
-  // Adds a mined video; returns its id.
+  // Adds a mined video; returns its id. `degraded` marks an entry mined
+  // from a damaged source or with optional stages lost.
   int AddVideo(std::string name, structure::ContentStructure structure,
-               std::vector<events::EventRecord> events);
+               std::vector<events::EventRecord> events,
+               bool degraded = false);
 
   int video_count() const { return static_cast<int>(videos_.size()); }
+  // Entries flagged degraded.
+  int DegradedCount() const;
   const VideoEntry& video(int id) const {
     return videos_[static_cast<size_t>(id)];
   }

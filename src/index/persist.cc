@@ -1,12 +1,17 @@
 #include "index/persist.h"
 
+#include <string>
+#include <utility>
+
+#include "util/failpoint.h"
 #include "util/serial.h"
 
 namespace classminer::index {
 namespace {
 
 constexpr uint32_t kMagic = 0x42444d43;  // "CMDB"
-constexpr uint32_t kVersion = 1;
+// v1: no per-video degraded flag. v2: one u8 degraded flag per video.
+constexpr uint32_t kVersion = 2;
 
 void PutFeatures(util::ByteWriter* w, const features::ShotFeatures& f) {
   for (double v : f.histogram) w->PutF64(v);
@@ -100,9 +105,12 @@ void PutVideo(util::ByteWriter* w, const VideoEntry& v) {
     w->PutI32(e.skin_shot_count);
     w->PutI32(e.shot_count);
   }
+
+  w->PutU8(v.degraded ? 1 : 0);  // v2
 }
 
-util::Status GetVideo(util::ByteReader* r, VideoEntry* out) {
+util::Status GetVideo(util::ByteReader* r, uint32_t version,
+                      VideoEntry* out) {
   util::StatusOr<std::string> name = r->GetString();
   if (!name.ok()) return name.status();
   out->name = *name;
@@ -126,7 +134,7 @@ util::Status GetVideo(util::ByteReader* r, VideoEntry* out) {
   // Every serialised shot carries 4 ints + 266 doubles; reject counts the
   // remaining buffer cannot hold (guards hostile resize sizes).
   if (*shot_count > r->remaining() / (16 + 266 * 8)) {
-    return util::Status::DataLoss("shot count exceeds database size");
+    return r->Corrupt("shot count exceeds database size");
   }
   cs.shots.resize(*shot_count);
   for (shot::Shot& s : cs.shots) {
@@ -182,7 +190,7 @@ util::Status GetVideo(util::ByteReader* r, VideoEntry* out) {
     int type = 0;
     CLASSMINER_RETURN_IF_ERROR(get_i32(&type));
     if (type < 0 || type > 3) {
-      return util::Status::DataLoss("invalid event type in database");
+      return r->Corrupt("invalid event type in database");
     }
     e.type = static_cast<events::EventType>(type);
     CLASSMINER_RETURN_IF_ERROR(get_u8(&e.has_slide));
@@ -195,6 +203,29 @@ util::Status GetVideo(util::ByteReader* r, VideoEntry* out) {
     CLASSMINER_RETURN_IF_ERROR(get_i32(&e.skin_shot_count));
     CLASSMINER_RETURN_IF_ERROR(get_i32(&e.shot_count));
   }
+
+  if (version >= 2) {
+    CLASSMINER_RETURN_IF_ERROR(get_u8(&out->degraded));
+  }
+  return util::Status::Ok();
+}
+
+// Reads the CMDB header (magic, version, video count).
+util::Status ParseDatabaseHeader(util::ByteReader* r, uint32_t* version,
+                                 uint32_t* video_count) {
+  r->set_section("header");
+  util::StatusOr<uint32_t> magic = r->GetU32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kMagic) return r->Corrupt("bad CMDB magic");
+  util::StatusOr<uint32_t> v = r->GetU32();
+  if (!v.ok()) return v.status();
+  if (*v < 1 || *v > kVersion) {
+    return r->Corrupt("unsupported CMDB version " + std::to_string(*v));
+  }
+  *version = *v;
+  util::StatusOr<uint32_t> videos = r->GetU32();
+  if (!videos.ok()) return videos.status();
+  *video_count = *videos;
   return util::Status::Ok();
 }
 
@@ -214,28 +245,54 @@ std::vector<uint8_t> SerializeDatabase(const VideoDatabase& db) {
 util::StatusOr<VideoDatabase> ParseDatabase(
     const std::vector<uint8_t>& bytes) {
   util::ByteReader r(bytes);
-  util::StatusOr<uint32_t> magic = r.GetU32();
-  if (!magic.ok()) return magic.status();
-  if (*magic != kMagic) return util::Status::DataLoss("bad CMDB magic");
-  util::StatusOr<uint32_t> version = r.GetU32();
-  if (!version.ok()) return version.status();
-  if (*version != kVersion) {
-    return util::Status::DataLoss("unsupported CMDB version");
-  }
-  util::StatusOr<uint32_t> videos = r.GetU32();
-  if (!videos.ok()) return videos.status();
+  uint32_t version = 0;
+  uint32_t videos = 0;
+  CLASSMINER_RETURN_IF_ERROR(ParseDatabaseHeader(&r, &version, &videos));
 
   VideoDatabase db;
-  for (uint32_t i = 0; i < *videos; ++i) {
+  for (uint32_t i = 0; i < videos; ++i) {
+    r.set_section("videos[" + std::to_string(i) + "]");
     VideoEntry entry;
-    CLASSMINER_RETURN_IF_ERROR(GetVideo(&r, &entry));
+    CLASSMINER_RETURN_IF_ERROR(GetVideo(&r, version, &entry));
     db.AddVideo(std::move(entry.name), std::move(entry.structure),
-                std::move(entry.events));
+                std::move(entry.events), entry.degraded);
   }
   return db;
 }
 
+util::StatusOr<VideoDatabase> ParseDatabaseSalvage(
+    const std::vector<uint8_t>& bytes, util::SalvageReport* report) {
+  util::SalvageReport local;
+  if (report == nullptr) report = &local;
+  util::ByteReader r(bytes);
+  uint32_t version = 0;
+  uint32_t videos = 0;
+  // Nothing precedes the header, so a damaged header is unrecoverable.
+  CLASSMINER_RETURN_IF_ERROR(ParseDatabaseHeader(&r, &version, &videos));
+
+  VideoDatabase db;
+  for (uint32_t i = 0; i < videos; ++i) {
+    r.set_section("videos[" + std::to_string(i) + "]");
+    const size_t entry_start = r.position();
+    VideoEntry entry;
+    const util::Status video = GetVideo(&r, version, &entry);
+    if (!video.ok()) {
+      // Entries are written sequentially with no per-entry framing: a torn
+      // entry makes everything behind it unframed bytes. Keep the prefix.
+      report->bytes_dropped += bytes.size() - entry_start;
+      report->items_dropped += static_cast<int>(videos - i);
+      report->AddNote("videos: " + video.message());
+      break;
+    }
+    db.AddVideo(std::move(entry.name), std::move(entry.structure),
+                std::move(entry.events), entry.degraded);
+  }
+  report->items_recovered += db.video_count();
+  return db;
+}
+
 util::Status SaveDatabase(const VideoDatabase& db, const std::string& path) {
+  CLASSMINER_RETURN_IF_ERROR(util::FailPoint::Check("index.persist.save"));
   return util::WriteFile(path, SerializeDatabase(db));
 }
 
@@ -243,6 +300,13 @@ util::StatusOr<VideoDatabase> LoadDatabase(const std::string& path) {
   util::StatusOr<std::vector<uint8_t>> bytes = util::ReadFile(path);
   if (!bytes.ok()) return bytes.status();
   return ParseDatabase(*bytes);
+}
+
+util::StatusOr<VideoDatabase> LoadDatabaseSalvage(
+    const std::string& path, util::SalvageReport* report) {
+  util::StatusOr<std::vector<uint8_t>> bytes = util::ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  return ParseDatabaseSalvage(*bytes, report);
 }
 
 }  // namespace classminer::index

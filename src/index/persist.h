@@ -5,18 +5,34 @@
 #include <vector>
 
 #include "index/database.h"
+#include "util/salvage.h"
 #include "util/status.h"
 
 namespace classminer::index {
 
 // Binary persistence of the mined database (features + structure + events;
-// raw media stays in CMV containers). Format "CMDB" version 1.
+// raw media stays in CMV containers). Format "CMDB" version 2: v2 appends a
+// per-video degraded flag; v1 files (no flag) still load, reading every
+// entry as non-degraded. Writers always emit v2.
 
 std::vector<uint8_t> SerializeDatabase(const VideoDatabase& db);
+// Strict parse: any structural damage fails with DataLoss (messages carry
+// the section name and byte offset of the damage).
 util::StatusOr<VideoDatabase> ParseDatabase(const std::vector<uint8_t>& bytes);
 
+// Best-effort parse for a damaged database file: recovers the valid video
+// prefix (a torn entry and everything behind it is dropped) instead of
+// refusing the whole file. What was dropped lands in `report` (nullptr to
+// discard). Fails only when the header is unreadable.
+util::StatusOr<VideoDatabase> ParseDatabaseSalvage(
+    const std::vector<uint8_t>& bytes, util::SalvageReport* report);
+
+// SaveDatabase honours fail point "index.persist.save" (before the write)
+// and retries transient file-system failures via util::WriteFile.
 util::Status SaveDatabase(const VideoDatabase& db, const std::string& path);
 util::StatusOr<VideoDatabase> LoadDatabase(const std::string& path);
+util::StatusOr<VideoDatabase> LoadDatabaseSalvage(const std::string& path,
+                                                  util::SalvageReport* report);
 
 }  // namespace classminer::index
 

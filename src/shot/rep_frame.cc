@@ -58,4 +58,37 @@ util::Status PopulateRepresentativeFrames(codec::FrameSource* source,
   return util::Status::Ok();
 }
 
+util::Status PopulateRepresentativeFramesSalvage(
+    codec::FrameSource* source, std::vector<Shot>* shots,
+    const util::ExecutionContext& ctx, int* failed_shots) {
+  const int frames = source->frame_count();
+  std::vector<util::Status> statuses(shots->size());
+  util::ParallelFor(
+      ctx, static_cast<int>(shots->size()),
+      [&](int i) {
+        Shot& s = (*shots)[static_cast<size_t>(i)];
+        s.rep_frame = RepresentativeFrameIndex(s.start_frame, s.end_frame);
+        if (frames > 0 && s.rep_frame >= frames) s.rep_frame = frames - 1;
+        if (s.rep_frame >= 0 && s.rep_frame < frames) {
+          util::StatusOr<codec::FrameHandle> frame =
+              source->GetFrame(s.rep_frame);
+          if (!frame.ok()) {
+            // The shot keeps default features; structure mining still sees
+            // it, it just carries no visual signature.
+            statuses[static_cast<size_t>(i)] = frame.status();
+            return;
+          }
+          s.features = features::ExtractShotFeatures(frame->image());
+        }
+      },
+      /*grain=*/2);
+  int failed = 0;
+  for (const util::Status& status : statuses) {
+    if (status.code() == util::StatusCode::kCancelled) return status;
+    if (!status.ok()) ++failed;
+  }
+  if (failed_shots != nullptr) *failed_shots = failed;
+  return util::Status::Ok();
+}
+
 }  // namespace classminer::shot

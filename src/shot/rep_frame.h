@@ -41,6 +41,15 @@ util::Status PopulateRepresentativeFrames(codec::FrameSource* source,
                                           const util::ExecutionContext& ctx =
                                               {});
 
+// Best-effort variant for damaged containers: a shot whose representative
+// frame cannot be decoded (its GOP is corrupt; pair with a FrameSource in
+// salvage mode) keeps default features instead of failing the pass.
+// `failed_shots` (may be null) receives how many shots were lost that way.
+// Only cancellation fails the call.
+util::Status PopulateRepresentativeFramesSalvage(
+    codec::FrameSource* source, std::vector<Shot>* shots,
+    const util::ExecutionContext& ctx = {}, int* failed_shots = nullptr);
+
 }  // namespace classminer::shot
 
 #endif  // CLASSMINER_SHOT_REP_FRAME_H_

@@ -8,7 +8,16 @@ namespace classminer::util {
 void StatusSink::Record(Status status) {
   if (status.ok()) return;
   std::lock_guard<std::mutex> lock(mutex_);
-  if (status_.ok()) status_ = std::move(status);
+  if (status_.ok()) {
+    status_ = std::move(status);
+  } else {
+    ++suppressed_;
+  }
+}
+
+int StatusSink::suppressed_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return suppressed_;
 }
 
 Status StatusSink::Get() const {

@@ -31,17 +31,24 @@ class CancellationToken {
 // Thread-safe first-error-wins status collector. Pipeline stages and
 // parallel-loop bodies run concurrently on pool workers; any of them can
 // record a failure here and the pipeline run reports the first one instead
-// of silently logging a swallowed exception.
+// of silently logging a swallowed exception. Later distinct errors are not
+// silently lost: they are counted, and the count is surfaced through
+// PipelineMetrics::suppressed_errors so operators can see that one video
+// failed in more than one way.
 class StatusSink {
  public:
-  // Keeps the first non-OK status; later records are dropped.
+  // Keeps the first non-OK status; later non-OK records bump the
+  // suppressed-error count instead of vanishing.
   void Record(Status status);
   Status Get() const;
   bool ok() const;
+  // Non-OK records dropped after the first error won.
+  int suppressed_count() const;
 
  private:
   mutable std::mutex mutex_;
   Status status_;
+  int suppressed_ = 0;
 };
 
 // The execution environment threaded through every pipeline layer: a shared

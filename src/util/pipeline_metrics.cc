@@ -41,6 +41,11 @@ std::string PipelineMetrics::ToString() const {
                     static_cast<long long>(value));
       out += line;
     }
+    if (!s.status.ok()) {
+      std::snprintf(line, sizeof(line), "  FAILED(%s)",
+                    StatusCodeName(s.status.code()));
+      out += line;
+    }
     out += '\n';
   }
   std::snprintf(line, sizeof(line), "%-12s %10.2f\n", "total", TotalMs());
@@ -48,6 +53,11 @@ std::string PipelineMetrics::ToString() const {
   if (pool_exceptions > 0) {
     std::snprintf(line, sizeof(line), "%-12s %10d\n", "exceptions",
                   pool_exceptions);
+    out += line;
+  }
+  if (suppressed_errors > 0) {
+    std::snprintf(line, sizeof(line), "%-12s %10d\n", "suppressed",
+                  suppressed_errors);
     out += line;
   }
   return out;

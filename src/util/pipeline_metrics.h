@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/status.h"
+
 namespace classminer::util {
 
 // ---------------------------------------------------------------------------
@@ -28,6 +30,10 @@ struct StageMetrics {
   // Optional stage-specific counters rendered after the fixed columns
   // (e.g. the selective-decode stage reports gops= and cache_hits=).
   std::vector<std::pair<std::string, int64_t>> counters;
+  // Per-stage outcome under a degraded-mode run: OK for stages that
+  // completed, the recorded failure for optional stages that did not
+  // (strict runs abort instead of annotating). Rendered in ToString.
+  Status status;
 
   // First counter with this name, or -1.
   int64_t Counter(std::string_view counter_name) const;
@@ -40,6 +46,11 @@ struct PipelineMetrics {
   // pipeline ran (surfaced from ThreadPool::exception_count() through the
   // ExecutionContext). Non-zero turns the owning run's status non-OK.
   int pool_exceptions = 0;
+
+  // Distinct errors the run's StatusSink dropped after the first error won
+  // (first-error-wins keeps one status; this records how many more there
+  // were). Diagnostic only — does not affect the run's status.
+  int suppressed_errors = 0;
 
   double TotalMs() const;
   // First stage with this name, or nullptr.

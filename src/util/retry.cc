@@ -1,0 +1,43 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace classminer::util {
+
+bool IsTransientCode(StatusCode code) {
+  return code == StatusCode::kUnavailable;
+}
+
+Status Retry(const RetryOptions& options, const std::function<Status()>& fn,
+             RetryStats* stats) {
+  const int max_attempts = std::max(1, options.max_attempts);
+  Rng jitter(options.jitter_seed);
+  double backoff_ms = options.initial_backoff_ms;
+  Status status;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (stats != nullptr) stats->attempts = attempt;
+    status = fn();
+    if (status.ok() || !IsTransientCode(status.code())) return status;
+    if (attempt == max_attempts) break;
+    double delay_ms = std::min(backoff_ms, options.max_backoff_ms);
+    if (options.jitter_fraction > 0.0) {
+      const double f = std::clamp(options.jitter_fraction, 0.0, 1.0);
+      delay_ms *= jitter.Uniform(1.0 - f, 1.0 + f);
+    }
+    delay_ms = std::max(0.0, delay_ms);
+    if (stats != nullptr) stats->total_backoff_ms += delay_ms;
+    if (options.sleeper) {
+      options.sleeper(delay_ms);
+    } else if (delay_ms > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+    }
+    backoff_ms *= options.backoff_multiplier;
+  }
+  return status;
+}
+
+}  // namespace classminer::util

@@ -1,0 +1,63 @@
+#ifndef CLASSMINER_UTIL_RETRY_H_
+#define CLASSMINER_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/status.h"
+
+namespace classminer::util {
+
+// True for status codes worth retrying: the operation may succeed if simply
+// attempted again (kUnavailable — a resource that exists but cannot be
+// reached right now). Deterministic failures (kDataLoss, kInvalidArgument,
+// kNotFound, ...) and caller intent (kCancelled) are never transient.
+bool IsTransientCode(StatusCode code);
+
+// Bounded-attempt retry with exponential backoff and deterministic jitter.
+struct RetryOptions {
+  int max_attempts = 3;             // total attempts, including the first
+  double initial_backoff_ms = 1.0;  // delay before the second attempt
+  double backoff_multiplier = 2.0;  // growth factor per retry
+  double max_backoff_ms = 64.0;     // backoff cap (pre-jitter)
+  // Each delay is scaled by a factor drawn uniformly from
+  // [1 - jitter_fraction, 1 + jitter_fraction] using a deterministic
+  // generator seeded with jitter_seed, so retry storms decorrelate without
+  // making tests flaky.
+  double jitter_fraction = 0.25;
+  uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
+  // Test seam: invoked instead of std::this_thread::sleep_for when set.
+  std::function<void(double ms)> sleeper;
+};
+
+// Attempt/backoff accounting for metrics and tests.
+struct RetryStats {
+  int attempts = 0;
+  double total_backoff_ms = 0.0;
+};
+
+// Invokes `fn` until it returns OK, a non-transient error, or the attempt
+// budget runs out; sleeps the (jittered) backoff between attempts. Returns
+// the last status. `stats` (optional) receives attempt/backoff totals.
+Status Retry(const RetryOptions& options, const std::function<Status()>& fn,
+             RetryStats* stats = nullptr);
+
+// StatusOr-returning variant.
+template <typename T>
+StatusOr<T> RetryOr(const RetryOptions& options,
+                    const std::function<StatusOr<T>()>& fn,
+                    RetryStats* stats = nullptr) {
+  StatusOr<T> result = Status::Internal("retry never ran");
+  const Status status = Retry(
+      options, [&result, &fn]() -> Status {
+        result = fn();
+        return result.status();
+      },
+      stats);
+  if (!status.ok()) return status;
+  return result;
+}
+
+}  // namespace classminer::util
+
+#endif  // CLASSMINER_UTIL_RETRY_H_

@@ -1,0 +1,47 @@
+#include "util/salvage.h"
+
+#include <utility>
+
+namespace classminer::util {
+
+void SalvageReport::Merge(const SalvageReport& other) {
+  salvaged = salvaged || other.salvaged;
+  bytes_dropped += other.bytes_dropped;
+  items_recovered += other.items_recovered;
+  items_dropped += other.items_dropped;
+  gops_recovered += other.gops_recovered;
+  gops_skipped += other.gops_skipped;
+  audio_dropped = audio_dropped || other.audio_dropped;
+  index_rebuilt = index_rebuilt || other.index_rebuilt;
+  notes.insert(notes.end(), other.notes.begin(), other.notes.end());
+}
+
+void SalvageReport::AddNote(std::string note) {
+  salvaged = true;
+  notes.push_back(std::move(note));
+}
+
+std::string SalvageReport::ToString() const {
+  if (!salvaged) return "";
+  std::string out = "salvaged:";
+  if (bytes_dropped > 0) {
+    out += " bytes_dropped=" + std::to_string(bytes_dropped);
+  }
+  if (items_dropped > 0) {
+    out += " items_dropped=" + std::to_string(items_dropped);
+  }
+  if (items_recovered > 0) {
+    out += " items_recovered=" + std::to_string(items_recovered);
+  }
+  if (gops_recovered > 0) {
+    out += " gops_recovered=" + std::to_string(gops_recovered);
+  }
+  if (gops_skipped > 0) {
+    out += " gops_skipped=" + std::to_string(gops_skipped);
+  }
+  if (audio_dropped) out += " audio_dropped";
+  if (index_rebuilt) out += " index_rebuilt";
+  return out;
+}
+
+}  // namespace classminer::util

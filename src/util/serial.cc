@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/failpoint.h"
+#include "util/retry.h"
+
 namespace classminer::util {
 
 void ByteWriter::PutU8(uint8_t v) { bytes_.push_back(v); }
@@ -37,13 +40,21 @@ void ByteWriter::PutString(const std::string& s) {
   PutBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
 }
 
+Status ByteReader::Corrupt(const std::string& what) const {
+  std::string message = what + " (";
+  if (!section_.empty()) message += "section '" + section_ + "', ";
+  message += "byte offset " + std::to_string(pos_) + " of " +
+             std::to_string(size_) + ")";
+  return Status::DataLoss(std::move(message));
+}
+
 StatusOr<uint8_t> ByteReader::GetU8() {
-  if (pos_ >= size_) return Status::DataLoss("read past end of buffer");
+  if (pos_ >= size_) return Corrupt("read past end of buffer");
   return data_[pos_++];
 }
 
 StatusOr<uint16_t> ByteReader::GetU16() {
-  if (pos_ + 2 > size_) return Status::DataLoss("read past end of buffer");
+  if (pos_ + 2 > size_) return Corrupt("read past end of buffer");
   uint16_t v = static_cast<uint16_t>(data_[pos_]) |
                static_cast<uint16_t>(data_[pos_ + 1]) << 8;
   pos_ += 2;
@@ -51,7 +62,7 @@ StatusOr<uint16_t> ByteReader::GetU16() {
 }
 
 StatusOr<uint32_t> ByteReader::GetU32() {
-  if (pos_ + 4 > size_) return Status::DataLoss("read past end of buffer");
+  if (pos_ + 4 > size_) return Corrupt("read past end of buffer");
   uint32_t v = 0;
   for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
   pos_ += 4;
@@ -59,7 +70,7 @@ StatusOr<uint32_t> ByteReader::GetU32() {
 }
 
 StatusOr<uint64_t> ByteReader::GetU64() {
-  if (pos_ + 8 > size_) return Status::DataLoss("read past end of buffer");
+  if (pos_ + 8 > size_) return Corrupt("read past end of buffer");
   uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
   pos_ += 8;
@@ -82,7 +93,7 @@ StatusOr<double> ByteReader::GetF64() {
 }
 
 Status ByteReader::GetBytes(uint8_t* out, size_t size) {
-  if (pos_ + size > size_) return Status::DataLoss("read past end of buffer");
+  if (pos_ + size > size_) return Corrupt("read past end of buffer");
   std::memcpy(out, data_ + pos_, size);
   pos_ += size;
   return Status::Ok();
@@ -91,19 +102,23 @@ Status ByteReader::GetBytes(uint8_t* out, size_t size) {
 StatusOr<std::string> ByteReader::GetString() {
   StatusOr<uint32_t> len = GetU32();
   if (!len.ok()) return len.status();
-  if (pos_ + *len > size_) return Status::DataLoss("string exceeds buffer");
+  if (pos_ + *len > size_) return Corrupt("string exceeds buffer");
   std::string s(reinterpret_cast<const char*>(data_ + pos_), *len);
   pos_ += *len;
   return s;
 }
 
 Status ByteReader::Skip(size_t n) {
-  if (pos_ + n > size_) return Status::DataLoss("skip past end of buffer");
+  if (pos_ + n > size_) return Corrupt("skip past end of buffer");
   pos_ += n;
   return Status::Ok();
 }
 
-Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+namespace {
+
+Status WriteFileOnce(const std::string& path,
+                     const std::vector<uint8_t>& bytes) {
+  CLASSMINER_RETURN_IF_ERROR(FailPoint::Check("serial.write_file"));
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::NotFound("cannot open for write: " + path);
   const size_t written = bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
@@ -112,7 +127,8 @@ Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
   return Status::Ok();
 }
 
-StatusOr<std::vector<uint8_t>> ReadFile(const std::string& path) {
+StatusOr<std::vector<uint8_t>> ReadFileOnce(const std::string& path) {
+  CLASSMINER_RETURN_IF_ERROR(FailPoint::Check("serial.read_file"));
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::NotFound("cannot open for read: " + path);
   std::fseek(f, 0, SEEK_END);
@@ -123,6 +139,29 @@ StatusOr<std::vector<uint8_t>> ReadFile(const std::string& path) {
   std::fclose(f);
   if (read != bytes.size()) return Status::DataLoss("short read: " + path);
   return bytes;
+}
+
+// Cheap defaults for local file I/O: three quick attempts absorb injected /
+// momentary kUnavailable conditions without noticeable latency on the
+// deterministic failure paths (which return after the first attempt).
+RetryOptions FileRetryOptions() {
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.initial_backoff_ms = 0.5;
+  options.max_backoff_ms = 8.0;
+  return options;
+}
+
+}  // namespace
+
+Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  return Retry(FileRetryOptions(),
+               [&path, &bytes] { return WriteFileOnce(path, bytes); });
+}
+
+StatusOr<std::vector<uint8_t>> ReadFile(const std::string& path) {
+  return RetryOr<std::vector<uint8_t>>(
+      FileRetryOptions(), [&path] { return ReadFileOnce(path); });
 }
 
 }  // namespace classminer::util

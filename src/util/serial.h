@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -32,12 +33,19 @@ class ByteWriter {
 
 // Little-endian binary reader over a borrowed byte buffer. Reads past the
 // end return DATA_LOSS rather than aborting, so corrupt files surface as
-// Status errors.
+// Status errors. Error messages carry the byte offset and — when the parser
+// labels the region it is walking via set_section() — the section name, so
+// a salvage report can say exactly where a container went bad.
 class ByteReader {
  public:
   ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
   explicit ByteReader(const std::vector<uint8_t>& bytes)
       : ByteReader(bytes.data(), bytes.size()) {}
+
+  // Labels the region subsequent reads belong to ("header", "frames[3]",
+  // "gop_index", ...); included in every short-read error until relabelled.
+  void set_section(std::string section) { section_ = std::move(section); }
+  const std::string& section() const { return section_; }
 
   StatusOr<uint8_t> GetU8();
   StatusOr<uint16_t> GetU16();
@@ -52,13 +60,22 @@ class ByteReader {
   size_t remaining() const { return size_ - pos_; }
   Status Skip(size_t n);
 
+  // DATA_LOSS status carrying `what`, the current offset and the section
+  // label (if any). Parsers use it for their own structural errors so those
+  // are as locatable as short reads.
+  Status Corrupt(const std::string& what) const;
+
  private:
   const uint8_t* data_;
   size_t size_;
   size_t pos_ = 0;
+  std::string section_;
 };
 
-// Whole-file helpers.
+// Whole-file helpers. Both run through util::Retry (bounded attempts,
+// exponential backoff) so transient failures — injected through the
+// "serial.read_file" / "serial.write_file" fail points, or genuine
+// kUnavailable conditions — are absorbed instead of failing the caller.
 Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes);
 StatusOr<std::vector<uint8_t>> ReadFile(const std::string& path);
 

@@ -21,6 +21,10 @@ enum class StatusCode {
   kPermissionDenied,
   kUnimplemented,
   kCancelled,
+  // A resource that exists but cannot be reached right now (I/O contention,
+  // injected transient fault). The only code util::Retry treats as
+  // retryable.
+  kUnavailable,
 };
 
 // Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
@@ -61,6 +65,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,369 @@
+// Fault-injection plumbing: FailPoint trigger specs, bounded retry with
+// deterministic backoff, the retrying file I/O built on both, StatusSink
+// suppressed-error accounting, and the FrameSource sticky-error contract
+// (transient failures must not poison the source).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "codec/container.h"
+#include "codec/encoder.h"
+#include "codec/frame_source.h"
+#include "media/draw.h"
+#include "util/exec_context.h"
+#include "util/failpoint.h"
+#include "util/retry.h"
+#include "util/rng.h"
+#include "util/serial.h"
+#include "util/status.h"
+
+namespace classminer {
+namespace {
+
+using util::FailPoint;
+using util::Status;
+using util::StatusCode;
+
+// Every test disarms globally so suites cannot leak armed sites into each
+// other regardless of pass/fail order.
+class FailPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailPoint::DisarmAll(); }
+  void TearDown() override { FailPoint::DisarmAll(); }
+};
+
+TEST_F(FailPointTest, UnarmedSiteIsOk) {
+  EXPECT_FALSE(FailPoint::AnyArmed());
+  EXPECT_TRUE(FailPoint::Check("nobody.armed.this").ok());
+  EXPECT_EQ(FailPoint::CheckCount("nobody.armed.this"), 0);
+  EXPECT_EQ(FailPoint::FailureCount("nobody.armed.this"), 0);
+}
+
+TEST_F(FailPointTest, OnceFiresExactlyOnce) {
+  FailPoint::Arm("test.site", FailPoint::Spec::Once(StatusCode::kDataLoss));
+  EXPECT_TRUE(FailPoint::AnyArmed());
+  const Status first = FailPoint::Check("test.site");
+  EXPECT_EQ(first.code(), StatusCode::kDataLoss);
+  // The injected message names the site so logs are traceable.
+  EXPECT_NE(first.message().find("test.site"), std::string::npos);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(FailPoint::Check("test.site").ok());
+  }
+  EXPECT_EQ(FailPoint::CheckCount("test.site"), 6);
+  EXPECT_EQ(FailPoint::FailureCount("test.site"), 1);
+}
+
+TEST_F(FailPointTest, AlwaysFiresEveryCheck) {
+  FailPoint::Arm("test.site", FailPoint::Spec::Always());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(FailPoint::Check("test.site").code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(FailPoint::FailureCount("test.site"), 4);
+}
+
+TEST_F(FailPointTest, EveryNFiresOnMultiplesOfN) {
+  FailPoint::Arm("test.site", FailPoint::Spec::EveryN(3));
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) fired.push_back(!FailPoint::Check("test.site").ok());
+  const std::vector<bool> expected = {false, false, true,  false, false,
+                                      true,  false, false, true};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(FailPoint::FailureCount("test.site"), 3);
+}
+
+TEST_F(FailPointTest, MaxFailuresBoundsTotalTriggers) {
+  FailPoint::Spec spec = FailPoint::Spec::EveryN(2);
+  spec.max_failures = 2;
+  FailPoint::Arm("test.site", spec);
+  int failures = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (!FailPoint::Check("test.site").ok()) ++failures;
+  }
+  EXPECT_EQ(failures, 2);
+}
+
+TEST_F(FailPointTest, ProbabilityIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    FailPoint::Arm("test.site",
+                   FailPoint::Spec::WithProbability(0.5, seed));
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(!FailPoint::Check("test.site").ok());
+    }
+    return fired;
+  };
+  const std::vector<bool> a = run(7);
+  const std::vector<bool> b = run(7);
+  const std::vector<bool> c = run(8);
+  EXPECT_EQ(a, b);          // same seed, same firing pattern
+  EXPECT_NE(a, c);          // a different seed decorrelates
+  const int fired = static_cast<int>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fired, 10);     // p=0.5 over 64 draws: loose deterministic bounds
+  EXPECT_LT(fired, 54);
+}
+
+TEST_F(FailPointTest, RearmResetsCounters) {
+  FailPoint::Arm("test.site", FailPoint::Spec::Once());
+  EXPECT_FALSE(FailPoint::Check("test.site").ok());
+  FailPoint::Arm("test.site", FailPoint::Spec::Once());
+  EXPECT_FALSE(FailPoint::Check("test.site").ok());  // fires again after re-arm
+  EXPECT_EQ(FailPoint::CheckCount("test.site"), 1);
+  EXPECT_EQ(FailPoint::FailureCount("test.site"), 1);
+}
+
+TEST_F(FailPointTest, ScopedDisarmsOnExitAndDisarmAllClears) {
+  {
+    FailPoint::Scoped scoped("test.scoped", FailPoint::Spec::Always());
+    EXPECT_FALSE(FailPoint::Check("test.scoped").ok());
+    EXPECT_TRUE(FailPoint::AnyArmed());
+  }
+  EXPECT_TRUE(FailPoint::Check("test.scoped").ok());
+  EXPECT_FALSE(FailPoint::AnyArmed());
+
+  FailPoint::Arm("a", FailPoint::Spec::Always());
+  FailPoint::Arm("b", FailPoint::Spec::Always());
+  FailPoint::DisarmAll();
+  EXPECT_FALSE(FailPoint::AnyArmed());
+  EXPECT_TRUE(FailPoint::Check("a").ok());
+  EXPECT_TRUE(FailPoint::Check("b").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Retry
+
+TEST(RetryTest, TransientCodeTaxonomy) {
+  EXPECT_TRUE(util::IsTransientCode(StatusCode::kUnavailable));
+  EXPECT_FALSE(util::IsTransientCode(StatusCode::kDataLoss));
+  EXPECT_FALSE(util::IsTransientCode(StatusCode::kCancelled));
+  EXPECT_FALSE(util::IsTransientCode(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(util::IsTransientCode(StatusCode::kOk));
+}
+
+util::RetryOptions NoSleepOptions(std::vector<double>* delays = nullptr) {
+  util::RetryOptions options;
+  options.sleeper = [delays](double ms) {
+    if (delays != nullptr) delays->push_back(ms);
+  };
+  return options;
+}
+
+TEST(RetryTest, SucceedsAfterTransientFailures) {
+  int calls = 0;
+  util::RetryStats stats;
+  const Status status = util::Retry(
+      NoSleepOptions(),
+      [&calls]() -> Status {
+        return ++calls < 3 ? Status::Unavailable("flaky") : Status::Ok();
+      },
+      &stats);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_GT(stats.total_backoff_ms, 0.0);
+}
+
+TEST(RetryTest, AttemptBudgetIsAHardBound) {
+  int calls = 0;
+  util::RetryOptions options = NoSleepOptions();
+  options.max_attempts = 4;
+  const Status status = util::Retry(options, [&calls]() -> Status {
+    ++calls;
+    return Status::Unavailable("always down");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(RetryTest, NonTransientErrorReturnsImmediately) {
+  for (const Status& fail :
+       {Status::DataLoss("torn"), Status::Cancelled("stop"),
+        Status::InvalidArgument("bad")}) {
+    int calls = 0;
+    util::RetryStats stats;
+    const Status status = util::Retry(
+        NoSleepOptions(),
+        [&calls, &fail]() -> Status {
+          ++calls;
+          return fail;
+        },
+        &stats);
+    EXPECT_EQ(status.code(), fail.code());
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(stats.attempts, 1);
+    EXPECT_EQ(stats.total_backoff_ms, 0.0);
+  }
+}
+
+TEST(RetryTest, BackoffGrowsExponentiallyWithinJitterBand) {
+  std::vector<double> delays;
+  util::RetryOptions options = NoSleepOptions(&delays);
+  options.max_attempts = 6;
+  options.initial_backoff_ms = 1.0;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff_ms = 8.0;
+  options.jitter_fraction = 0.25;
+  (void)util::Retry(options,
+                    []() -> Status { return Status::Unavailable("down"); });
+  // Five retries follow the first attempt; pre-jitter schedule 1,2,4,8,8
+  // (capped), each scaled into [0.75, 1.25] of its nominal value.
+  ASSERT_EQ(delays.size(), 5u);
+  const double nominal[] = {1.0, 2.0, 4.0, 8.0, 8.0};
+  for (size_t i = 0; i < delays.size(); ++i) {
+    EXPECT_GE(delays[i], nominal[i] * 0.75) << "delay " << i;
+    EXPECT_LE(delays[i], nominal[i] * 1.25) << "delay " << i;
+  }
+}
+
+TEST(RetryTest, JitterIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    std::vector<double> delays;
+    util::RetryOptions options = NoSleepOptions(&delays);
+    options.max_attempts = 5;
+    options.jitter_seed = seed;
+    (void)util::Retry(options,
+                      []() -> Status { return Status::Unavailable("down"); });
+    return delays;
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));
+}
+
+TEST(RetryTest, RetryOrReturnsValueAfterTransientFailure) {
+  int calls = 0;
+  const util::StatusOr<int> result = util::RetryOr<int>(
+      NoSleepOptions(), [&calls]() -> util::StatusOr<int> {
+        if (++calls == 1) return Status::Unavailable("warming up");
+        return 42;
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(calls, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Retrying file I/O driven through the serial.* fail points.
+
+class FileRetryTest : public FailPointTest {};
+
+TEST_F(FileRetryTest, ReadFileAbsorbsOneTransientFault) {
+  const std::string path = ::testing::TempDir() + "/retry_read.bin";
+  const std::vector<uint8_t> payload = {1, 2, 3, 4};
+  ASSERT_TRUE(util::WriteFile(path, payload).ok());
+
+  FailPoint::Arm("serial.read_file",
+                 FailPoint::Spec::Once(StatusCode::kUnavailable));
+  const util::StatusOr<std::vector<uint8_t>> bytes = util::ReadFile(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, payload);
+  EXPECT_EQ(FailPoint::CheckCount("serial.read_file"), 2);  // fail + retry
+}
+
+TEST_F(FileRetryTest, WriteFileAbsorbsTransientFaultsUpToTheBudget) {
+  const std::string path = ::testing::TempDir() + "/retry_write.bin";
+  FailPoint::Spec spec = FailPoint::Spec::Always(StatusCode::kUnavailable);
+  spec.max_failures = 2;  // within the 3-attempt file budget
+  FailPoint::Arm("serial.write_file", spec);
+  EXPECT_TRUE(util::WriteFile(path, {9, 9, 9}).ok());
+  EXPECT_EQ(FailPoint::FailureCount("serial.write_file"), 2);
+
+  // A persistent outage exhausts the budget and surfaces kUnavailable.
+  FailPoint::Arm("serial.write_file", FailPoint::Spec::Always());
+  EXPECT_EQ(util::WriteFile(path, {1}).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(FailPoint::CheckCount("serial.write_file"), 3);
+}
+
+TEST_F(FileRetryTest, DeterministicFaultIsNotRetried) {
+  const std::string path = ::testing::TempDir() + "/retry_dataloss.bin";
+  ASSERT_TRUE(util::WriteFile(path, {5}).ok());
+  FailPoint::Arm("serial.read_file",
+                 FailPoint::Spec::Always(StatusCode::kDataLoss));
+  EXPECT_EQ(util::ReadFile(path).status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(FailPoint::CheckCount("serial.read_file"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// StatusSink suppressed-error accounting.
+
+TEST(StatusSinkTest, CountsSuppressedErrorsAfterFirstWins) {
+  util::StatusSink sink;
+  EXPECT_EQ(sink.suppressed_count(), 0);
+  sink.Record(Status::Ok());
+  sink.Record(Status::DataLoss("first"));
+  sink.Record(Status::Internal("second"));
+  sink.Record(Status::Ok());  // OK records are never suppression
+  sink.Record(Status::Unavailable("third"));
+  EXPECT_EQ(sink.Get().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(sink.suppressed_count(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// FrameSource error stickiness (regression: a transient decode failure used
+// to poison the source forever).
+
+codec::CmvFile SmallFixture() {
+  util::Rng rng(5);
+  media::Video video("fs", 12.0);
+  media::Image base(32, 24);
+  media::FillGradient(&base, media::Rgb{40, 90, 200}, media::Rgb{10, 30, 5});
+  for (int i = 0; i < 9; ++i) {
+    media::Image f = base;
+    media::AddNoise(&f, 3, &rng);
+    video.AppendFrame(std::move(f));
+  }
+  codec::EncoderOptions options;
+  options.gop_size = 3;
+  return codec::EncodeVideo(video, options);
+}
+
+class FrameSourceFaultTest : public FailPointTest {};
+
+TEST_F(FrameSourceFaultTest, TransientDecodeFailureIsNotSticky) {
+  const codec::CmvFile file = SmallFixture();
+  util::StatusOr<std::unique_ptr<codec::FrameSource>> source =
+      codec::FrameSource::Create(&file);
+  ASSERT_TRUE(source.ok());
+
+  FailPoint::Arm("codec.gop_reader.decode_gop",
+                 FailPoint::Spec::Once(StatusCode::kUnavailable));
+  EXPECT_EQ((*source)->GetFrame(0).status().code(), StatusCode::kUnavailable);
+  // The fault was transient; the very next request decodes cleanly.
+  EXPECT_TRUE((*source)->GetFrame(0).ok());
+}
+
+TEST_F(FrameSourceFaultTest, NonRetryableFailureIsStickyInStrictMode) {
+  const codec::CmvFile file = SmallFixture();
+  util::StatusOr<std::unique_ptr<codec::FrameSource>> source =
+      codec::FrameSource::Create(&file);
+  ASSERT_TRUE(source.ok());
+
+  FailPoint::Arm("codec.gop_reader.decode_gop",
+                 FailPoint::Spec::Once(StatusCode::kDataLoss));
+  EXPECT_EQ((*source)->GetFrame(0).status().code(), StatusCode::kDataLoss);
+  // Sticky: even frames in undamaged GOPs now report the first error.
+  EXPECT_EQ((*source)->GetFrame(8).status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(FrameSourceFaultTest, SalvageModeConfinesFailureToItsGop) {
+  const codec::CmvFile file = SmallFixture();
+  codec::FrameSource::Options options;
+  options.salvage = true;
+  util::StatusOr<std::unique_ptr<codec::FrameSource>> source =
+      codec::FrameSource::Create(&file, options);
+  ASSERT_TRUE(source.ok());
+
+  // Fail only the first GOP decode; the rest of the container stays usable.
+  FailPoint::Arm("codec.gop_reader.decode_gop",
+                 FailPoint::Spec::Once(StatusCode::kDataLoss));
+  EXPECT_FALSE((*source)->GetFrame(0).ok());
+  EXPECT_TRUE((*source)->GetFrame(4).ok());
+  EXPECT_TRUE((*source)->GetFrame(8).ok());
+  // The bad GOP keeps failing with the recorded error, without re-decoding.
+  EXPECT_EQ((*source)->GetFrame(1).status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ((*source)->stats().failed_gops, 1);
+}
+
+}  // namespace
+}  // namespace classminer
