@@ -1,0 +1,154 @@
+// Micro-benchmarks for the checksummed persistence layer: CRC-32
+// throughput, CMV serialisation with and without per-record checksums
+// (CMV1 vs CMV2), CMDB v3 framed serialise/parse, the salvage scanner on
+// pristine input, and the full atomic two-generation save.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "codec/container.h"
+#include "codec/encoder.h"
+#include "features/histogram.h"
+#include "index/database.h"
+#include "index/persist.h"
+#include "media/color.h"
+#include "media/draw.h"
+#include "media/image.h"
+#include "media/video.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+#include "util/salvage.h"
+#include "util/serial.h"
+
+namespace classminer {
+namespace {
+
+codec::CmvFile BenchContainer(bool checksums) {
+  util::Rng rng(71);
+  media::Video video("bench", 12.0);
+  media::Image base(96, 72);
+  media::FillGradient(&base, media::Rgb{60, 90, 140}, media::Rgb{20, 30, 50});
+  for (int i = 0; i < 24; ++i) {
+    media::Image f = media::Translated(base, i, i / 2);
+    media::AddNoise(&f, 3, &rng);
+    video.AppendFrame(std::move(f));
+  }
+  codec::CmvFile file = codec::EncodeVideo(video, codec::EncoderOptions());
+  file.record_checksums = checksums;
+  return file;
+}
+
+index::VideoDatabase BenchDatabase(int videos) {
+  util::Rng rng(72);
+  index::VideoDatabase db;
+  for (int v = 0; v < videos; ++v) {
+    structure::ContentStructure cs;
+    for (int i = 0; i < 8; ++i) {
+      media::Image img(48, 36, media::HsvToRgb({20.0 * v + 10.0 * i, 0.7, 0.8}));
+      media::AddNoise(&img, 4, &rng);
+      shot::Shot s;
+      s.index = i;
+      s.start_frame = i * 30;
+      s.end_frame = i * 30 + 29;
+      s.rep_frame = s.start_frame + 9;
+      s.features = features::ExtractShotFeatures(img);
+      cs.shots.push_back(std::move(s));
+    }
+    db.AddVideo("bench" + std::to_string(v), std::move(cs), {});
+  }
+  return db;
+}
+
+void BM_Crc32(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<uint8_t> bytes(static_cast<size_t>(state.range(0)));
+  for (uint8_t& b : bytes) b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::Crc32(bytes.data(), bytes.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+// CMV container round-trip with the per-record CRC toggled: arg 0 is the
+// legacy CMV1 layout, arg 1 the checksummed CMV2 layout. The delta is the
+// integrity tax on the hot serialise/parse path.
+void BM_CmvSerialize(benchmark::State& state) {
+  const codec::CmvFile file = BenchContainer(state.range(0) != 0);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::vector<uint8_t> out = file.Serialize();
+    benchmark::DoNotOptimize(out.data());
+    bytes = out.size();
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_CmvSerialize)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void BM_CmvParse(benchmark::State& state) {
+  const std::vector<uint8_t> bytes =
+      BenchContainer(state.range(0) != 0).Serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec::CmvFile::Parse(bytes));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_CmvParse)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+// CMDB v3 framed entries (magic + size + CRC per video) serialise/parse.
+void BM_ChecksumedPersist(benchmark::State& state) {
+  const index::VideoDatabase db =
+      BenchDatabase(static_cast<int>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::vector<uint8_t> out = index::SerializeDatabase(db);
+    util::StatusOr<index::VideoDatabase> back = index::ParseDatabase(out);
+    benchmark::DoNotOptimize(back);
+    bytes = out.size();
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChecksumedPersist)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+// The salvage scanner on pristine input: what a "paranoid open" costs when
+// nothing is actually torn.
+void BM_SalvageParsePristine(benchmark::State& state) {
+  const std::vector<uint8_t> bytes =
+      index::SerializeDatabase(BenchDatabase(8));
+  for (auto _ : state) {
+    util::SalvageReport report;
+    benchmark::DoNotOptimize(index::ParseDatabaseSalvage(bytes, &report));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_SalvageParsePristine)->Unit(benchmark::kMicrosecond);
+
+// Full two-generation atomic save: serialise, tmp write, fsync, rotate,
+// rename, manifest. Disk-bound; the figure to watch is the overhead on
+// top of BM_ChecksumedPersist's pure-CPU round-trip.
+void BM_AtomicSaveDatabase(benchmark::State& state) {
+  const index::VideoDatabase db = BenchDatabase(8);
+  const std::string path = "bench_persist.cmdb";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index::SaveDatabase(db, path));
+  }
+  std::remove(path.c_str());
+  std::remove(index::DatabaseBackupPath(path).c_str());
+  std::remove(index::DatabaseManifestPath(path).c_str());
+}
+BENCHMARK(BM_AtomicSaveDatabase)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace classminer
+
+BENCHMARK_MAIN();

@@ -7,6 +7,9 @@
 //   classminer skim <in.cmv> [--level N] [--html out.html]
 //                            [--storyboard out.ppm]
 //   classminer browse [--clearance N] [--strict] <in.cmv> [more.cmv ...]
+//   classminer index <db.cmdb> [--strict] [--threads N] <in.cmv ...>
+//   classminer verify <db.cmdb>
+//   classminer repair <db.cmdb> [--media DIR] [--threads N]
 //
 // `generate` synthesises one of the five corpus titles (or the quickstart
 // clip when no title is given) and encodes it; every other command decodes
@@ -15,6 +18,15 @@
 // By default containers load through salvage parsing and mine under the
 // degraded failure policy, so a truncated or bit-flipped archive still
 // yields a (flagged) result; --strict restores all-or-nothing semantics.
+//
+// `index` persists the mined results as an atomic-generation CMDB (the
+// previous file survives at <db>.cmdb.prev, an advisory manifest at
+// <db>.cmdb.manifest); `verify` audits one database file (strict parse,
+// per-entry checksums, degraded count, manifest) and exits non-zero unless
+// it is pristine; `repair` re-mines every degraded entry from its source
+// container <DIR>/<name>.cmv and rewrites the database when it healed
+// anything (or when the open itself needed the backup generation or a
+// salvage parse).
 
 #include <cstdio>
 #include <cstring>
@@ -23,8 +35,11 @@
 
 #include "codec/decoder.h"
 #include "core/cmv_pipeline.h"
+#include "core/repair.h"
 #include "index/browser.h"
 #include "index/hier_index.h"
+#include "index/persist.h"
+#include "index/repair.h"
 #include "skim/playback.h"
 #include "skim/storyboard.h"
 #include "skim/summary.h"
@@ -46,7 +61,10 @@ int Usage() {
       "  classminer skim <in.cmv> [--level N] [--html out.html] "
       "[--storyboard out.ppm]\n"
       "  classminer browse [--clearance N] [--strict] <in.cmv> "
-      "[more.cmv ...]\n");
+      "[more.cmv ...]\n"
+      "  classminer index <db.cmdb> [--strict] [--threads N] <in.cmv ...>\n"
+      "  classminer verify <db.cmdb>\n"
+      "  classminer repair <db.cmdb> [--media DIR] [--threads N]\n");
   return 2;
 }
 
@@ -353,6 +371,83 @@ int CmdBrowse(const std::vector<std::string>& args) {
   return 0;
 }
 
+int CmdIndex(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  const std::string db_path = args[0];
+  core::MiningOptions options;
+  bool strict = false;
+  std::vector<std::string> paths;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--threads" && i + 1 < args.size()) {
+      options.thread_count = std::stoi(args[++i]);
+    } else if (args[i] == "--strict") {
+      strict = true;
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  if (paths.empty()) return Usage();
+
+  index::VideoDatabase db;
+  for (const std::string& path : paths) {
+    codec::CmvFile file;
+    core::MiningResult result;
+    if (!LoadAndMine(path, &file, &result, options, strict)) return 1;
+    ReportDegradation(path, result);
+    db.AddVideo(file.name, std::move(result.structure),
+                std::move(result.events), result.degraded);
+  }
+  const util::Status saved = index::SaveDatabase(db, db_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s: %s\n", db_path.c_str(),
+                 saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %d video(s), %zu shots, %d degraded\n",
+              db_path.c_str(), db.video_count(), db.TotalShotCount(),
+              db.DegradedCount());
+  return 0;
+}
+
+int CmdVerify(const std::vector<std::string>& args) {
+  if (args.size() != 1) return Usage();
+  const index::VerifyReport report = index::VerifyDatabaseFile(args[0]);
+  std::printf("%s: %s\n", args[0].c_str(), report.ToString().c_str());
+  return report.clean() ? 0 : 1;
+}
+
+int CmdRepair(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  const std::string db_path = args[0];
+  core::MiningOptions options;
+  std::string media_dir;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--media" && i + 1 < args.size()) {
+      media_dir = args[++i];
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      options.thread_count = std::stoi(args[++i]);
+    } else {
+      return Usage();
+    }
+  }
+
+  util::SalvageReport salvage;
+  util::StatusOr<index::RepairReport> report = index::RepairDatabaseFile(
+      db_path, core::MakeCmvRemineFn(media_dir, options), &salvage);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s: %s\n", db_path.c_str(),
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %s\n", db_path.c_str(), report->ToString().c_str());
+  for (const std::string& note : report->notes) {
+    std::printf("  %s\n", note.c_str());
+  }
+  const std::string recovery = salvage.ToString();
+  if (!recovery.empty()) std::printf("  open: %s\n", recovery.c_str());
+  return report->failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -366,5 +461,8 @@ int main(int argc, char** argv) {
   if (cmd == "search") return CmdSearch(args);
   if (cmd == "skim") return CmdSkim(args);
   if (cmd == "browse") return CmdBrowse(args);
+  if (cmd == "index") return CmdIndex(args);
+  if (cmd == "verify") return CmdVerify(args);
+  if (cmd == "repair") return CmdRepair(args);
   return Usage();
 }

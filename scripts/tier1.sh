@@ -35,6 +35,13 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   ./build-asan/tests/failpoint_test
   ./build-asan/tests/codec_test
   ./build-asan/tests/persist_test
+
+  echo "== tier-1: crash-recovery matrix (ASan) =="
+  # Crashes injected at every serial.atomic_write.* site, with and without
+  # a prior generation, must leave a reopenable database; torn CMV/CMDB
+  # files must resynchronise; repair must bring verify back to clean.
+  cmake --build build-asan -j --target recovery_test >/dev/null
+  ./build-asan/tests/recovery_test
 fi
 
 echo "tier-1 OK"

@@ -3,11 +3,31 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/crc32.h"
 #include "util/failpoint.h"
 #include "util/serial.h"
 
 namespace classminer::codec {
 namespace {
+
+// The checksum a CMV2 frame record carries: CRC-32 over the type byte and
+// the payload (the size field is implied by the framing; a corrupted size
+// misaligns the payload read and fails the checksum anyway).
+uint32_t RecordCrc(FrameType type, const std::vector<uint8_t>& payload) {
+  const uint8_t t = static_cast<uint8_t>(type);
+  return util::Crc32(payload.data(), payload.size(), util::Crc32(&t, 1));
+}
+
+// Serialized size of one frame record including framing.
+size_t RecordBytes(const FrameRecord& rec, bool checksums) {
+  return 1 + 4 + rec.payload.size() + (checksums ? 4 : 0);
+}
+
+uint32_t ReadU32LE(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
 
 // Reads the fixed header (magic .. gop_size) into *file. Shared by the
 // strict and best-effort parsers; there is nothing to salvage before the
@@ -16,7 +36,13 @@ util::Status ParseHeader(util::ByteReader* r, CmvFile* file) {
   r->set_section("header");
   util::StatusOr<uint32_t> magic = r->GetU32();
   if (!magic.ok()) return magic.status();
-  if (*magic != CmvFile::kMagic) return r->Corrupt("bad CMV magic");
+  if (*magic == CmvFile::kMagic) {
+    file->record_checksums = false;  // CMV1: no per-record CRC
+  } else if (*magic == CmvFile::kMagicV2) {
+    file->record_checksums = true;
+  } else {
+    return r->Corrupt("bad CMV magic");
+  }
 
   util::StatusOr<std::string> name = r->GetString();
   if (!name.ok()) return name.status();
@@ -42,19 +68,85 @@ util::Status ParseHeader(util::ByteReader* r, CmvFile* file) {
   return util::Status::Ok();
 }
 
-// Reads one frame record.
-util::Status ParseFrameRecord(util::ByteReader* r, FrameRecord* rec) {
+// Reads one frame record; `checksums` selects the CMV2 layout with the
+// trailing CRC-32, verified against the bytes just read.
+util::Status ParseFrameRecord(util::ByteReader* r, bool checksums,
+                              FrameRecord* rec) {
   util::StatusOr<uint8_t> type = r->GetU8();
   if (!type.ok()) return type.status();
   if (*type > 1) return r->Corrupt("unknown frame type");
   rec->type = static_cast<FrameType>(*type);
   util::StatusOr<uint32_t> size = r->GetU32();
   if (!size.ok()) return size.status();
-  if (*size > r->remaining()) {
+  const size_t trailer = checksums ? 4 : 0;
+  if (*size + trailer > r->remaining()) {
     return r->Corrupt("frame payload exceeds container");
   }
   rec->payload.resize(*size);
-  return r->GetBytes(rec->payload.data(), *size);
+  CLASSMINER_RETURN_IF_ERROR(r->GetBytes(rec->payload.data(), *size));
+  if (checksums) {
+    util::StatusOr<uint32_t> stored = r->GetU32();
+    if (!stored.ok()) return stored.status();
+    if (*stored != RecordCrc(rec->type, rec->payload)) {
+      return r->Corrupt("frame record checksum mismatch");
+    }
+  }
+  return util::Status::Ok();
+}
+
+// Attempts to read one checksummed frame record starting at `pos` of the
+// raw buffer. True only when the framing is plausible AND the stored CRC
+// matches the bytes — a false positive on arbitrary garbage is ~2^-32, so
+// the salvage scanner can treat a hit as a confirmed sync point.
+bool TryRecordAt(const std::vector<uint8_t>& bytes, size_t pos,
+                 FrameRecord* rec, size_t* end) {
+  if (pos + 9 > bytes.size()) return false;
+  const uint8_t type = bytes[pos];
+  if (type > 1) return false;
+  const uint32_t size = ReadU32LE(bytes.data() + pos + 1);
+  if (size > bytes.size() - pos - 9) return false;
+  const uint8_t* payload = bytes.data() + pos + 5;
+  const uint32_t stored = ReadU32LE(payload + size);
+  if (stored != util::Crc32(payload, size, util::Crc32(&type, 1))) {
+    return false;
+  }
+  rec->type = static_cast<FrameType>(type);
+  rec->payload.assign(payload, payload + size);
+  *end = pos + 9 + size;
+  return true;
+}
+
+// Attempts to interpret bytes[pos..end) as a complete trailer: the audio
+// section, optionally followed by a GOP-index section, consuming the
+// buffer exactly. Validation is structural only (after a resynchronisation
+// the stored seek index cannot match the gap-ridden record list, so the
+// caller rebuilds it); the exact-length requirement makes a false positive
+// at a random scan offset ~2^-32. Commits the audio track on success.
+bool TryTrailerAt(const std::vector<uint8_t>& bytes, size_t pos,
+                  CmvFile* file) {
+  if (pos + 8 > bytes.size()) return false;
+  const size_t remaining = bytes.size() - pos;
+  const uint32_t sample_count = ReadU32LE(bytes.data() + pos + 4);
+  if (sample_count > (remaining - 8) / 4) return false;
+  const size_t audio_end = pos + 8 + 4 * static_cast<size_t>(sample_count);
+  const size_t left = bytes.size() - audio_end;
+  if (left != 0) {
+    // Whatever follows the audio must be exactly one GOP-index section.
+    if (left < 8) return false;
+    if (ReadU32LE(bytes.data() + audio_end) != CmvFile::kGopIndexMagic) {
+      return false;
+    }
+    const uint32_t gops = ReadU32LE(bytes.data() + audio_end + 4);
+    if (left != 8 + 24ull * gops) return false;
+  }
+  file->audio_sample_rate =
+      static_cast<int32_t>(ReadU32LE(bytes.data() + pos));
+  file->audio_pcm.resize(sample_count);
+  for (uint32_t i = 0; i < sample_count; ++i) {
+    const uint32_t bits = ReadU32LE(bytes.data() + pos + 8 + 4 * i);
+    std::memcpy(&file->audio_pcm[i], &bits, sizeof(float));
+  }
+  return true;
 }
 
 // Reads the audio section (sample rate + PCM) into *file.
@@ -180,7 +272,7 @@ int CmvFile::GopOfFrame(int frame_index) const {
 
 std::vector<uint8_t> CmvFile::Serialize() const {
   util::ByteWriter w;
-  w.PutU32(kMagic);
+  w.PutU32(record_checksums ? kMagicV2 : kMagic);
   w.PutString(name);
   w.PutI32(width);
   w.PutI32(height);
@@ -193,6 +285,7 @@ std::vector<uint8_t> CmvFile::Serialize() const {
     w.PutU8(static_cast<uint8_t>(f.type));
     w.PutU32(static_cast<uint32_t>(f.payload.size()));
     w.PutBytes(f.payload.data(), f.payload.size());
+    if (record_checksums) w.PutU32(RecordCrc(f.type, f.payload));
   }
 
   w.PutI32(audio_sample_rate);
@@ -229,16 +322,19 @@ util::StatusOr<CmvFile> CmvFile::Parse(const std::vector<uint8_t>& bytes) {
   r.set_section("frames");
   util::StatusOr<uint32_t> frame_count = r.GetU32();
   if (!frame_count.ok()) return frame_count.status();
-  // Each frame record occupies at least 5 bytes; a larger claim cannot be
-  // satisfied by the remaining buffer (guards hostile reserve sizes).
-  if (*frame_count > r.remaining() / 5) {
+  // Each frame record occupies at least 5 (CMV1) / 9 (CMV2) bytes; a larger
+  // claim cannot be satisfied by the remaining buffer (guards hostile
+  // reserve sizes).
+  const size_t min_record = file.record_checksums ? 9 : 5;
+  if (*frame_count > r.remaining() / min_record) {
     return r.Corrupt("frame count exceeds container size");
   }
   file.frames.reserve(*frame_count);
   for (uint32_t i = 0; i < *frame_count; ++i) {
     r.set_section("frames[" + std::to_string(i) + "]");
     FrameRecord rec;
-    CLASSMINER_RETURN_IF_ERROR(ParseFrameRecord(&r, &rec));
+    CLASSMINER_RETURN_IF_ERROR(
+        ParseFrameRecord(&r, file.record_checksums, &rec));
     file.frames.push_back(std::move(rec));
   }
 
@@ -268,26 +364,83 @@ util::StatusOr<CmvFile> CmvFile::ParseBestEffort(
   util::StatusOr<uint32_t> frame_count = r.GetU32();
   if (!frame_count.ok()) return frame_count.status();
   // The declared count is untrusted; reserve only what could possibly fit.
-  const uint32_t plausible =
-      static_cast<uint32_t>(std::min<size_t>(*frame_count, r.remaining() / 5));
+  const size_t min_record = file.record_checksums ? 9 : 5;
+  const uint32_t plausible = static_cast<uint32_t>(
+      std::min<size_t>(*frame_count, r.remaining() / min_record));
   file.frames.reserve(plausible);
-  bool truncated = false;
-  for (uint32_t i = 0; i < *frame_count; ++i) {
+  bool truncated = false;       // at least one record span was lost
+  bool trailer_parsed = false;  // audio (+ index length) recovered via resync
+  uint32_t parsed = 0;
+  for (uint32_t i = 0; i < *frame_count && !trailer_parsed; ++i) {
     r.set_section("frames[" + std::to_string(i) + "]");
     const size_t record_start = r.position();
     FrameRecord rec;
-    const util::Status record = ParseFrameRecord(&r, &rec);
-    if (!record.ok()) {
-      // Torn or corrupt record: everything from here on is unframed bytes.
-      // Keep the intact prefix; the audio and index sections (if the file
-      // had them) are unreachable behind the damage.
-      truncated = true;
-      report->bytes_dropped += bytes.size() - record_start;
-      report->items_dropped += static_cast<int>(*frame_count - i);
-      report->AddNote("frames: " + record.message());
+    const util::Status record = ParseFrameRecord(&r, file.record_checksums, &rec);
+    if (record.ok()) {
+      file.frames.push_back(std::move(rec));
+      ++parsed;
+      continue;
+    }
+    // The cursor may in fact be sitting on the trailer: an earlier resync
+    // skipped records, so the declared count overshoots (or the count field
+    // itself was corrupted upward). The exact-length structural check makes
+    // a false positive here as unlikely as a CRC collision.
+    if (TryTrailerAt(bytes, record_start, &file)) {
+      trailer_parsed = true;
       break;
     }
-    file.frames.push_back(std::move(rec));
+    // Genuine tear: everything from record_start until the next confirmed
+    // sync point is unframed bytes.
+    truncated = true;
+    report->AddNote("frames: " + record.message());
+    if (!file.record_checksums) {
+      // CMV1 records carry no checksum, so no forward scan can *confirm* a
+      // sync point; keep the intact prefix only (the audio and index
+      // sections are unreachable behind the damage).
+      report->bytes_dropped += bytes.size() - record_start;
+      break;
+    }
+    // CMV2: scan forward for the next checksum-confirmed I-frame record
+    // (a P-frame could not decode without its reference, so keep scanning
+    // past those) or for the trailer, and resynchronise there.
+    bool resynced = false;
+    for (size_t scan = record_start + 1; scan < bytes.size(); ++scan) {
+      FrameRecord candidate;
+      size_t end = 0;
+      if (TryRecordAt(bytes, scan, &candidate, &end) &&
+          candidate.type == FrameType::kIntra) {
+        report->bytes_dropped += scan - record_start;
+        report->resync_points += 1;
+        report->AddNote("frames: resynchronised onto checksum-confirmed "
+                        "I-frame at byte offset " +
+                        std::to_string(scan) + " (dropped " +
+                        std::to_string(scan - record_start) + " bytes)");
+        file.frames.push_back(std::move(candidate));
+        ++parsed;
+        (void)r.SeekTo(end);
+        resynced = true;
+        break;
+      }
+      if (TryTrailerAt(bytes, scan, &file)) {
+        report->bytes_dropped += scan - record_start;
+        report->resync_points += 1;
+        report->AddNote("frames: resynchronised onto trailer at byte "
+                        "offset " +
+                        std::to_string(scan) + " (dropped " +
+                        std::to_string(scan - record_start) + " bytes)");
+        trailer_parsed = true;
+        resynced = true;
+        break;
+      }
+    }
+    if (!resynced) {
+      // No confirmed sync point behind the tear; the rest is lost.
+      report->bytes_dropped += bytes.size() - record_start;
+      break;
+    }
+  }
+  if (parsed < *frame_count) {
+    report->items_dropped += static_cast<int>(*frame_count - parsed);
   }
 
   // A stream must open with an I-frame to decode; drop any leading P-run
@@ -301,7 +454,7 @@ util::StatusOr<CmvFile> CmvFile::ParseBestEffort(
   if (leading_p > 0) {
     uint64_t dropped_bytes = 0;
     for (size_t i = 0; i < leading_p; ++i) {
-      dropped_bytes += 5 + file.frames[i].payload.size();
+      dropped_bytes += RecordBytes(file.frames[i], file.record_checksums);
     }
     file.frames.erase(file.frames.begin(),
                       file.frames.begin() + static_cast<ptrdiff_t>(leading_p));
@@ -315,7 +468,13 @@ util::StatusOr<CmvFile> CmvFile::ParseBestEffort(
         "no decodable GOP survives salvage (every frame record lost)");
   }
 
-  if (truncated) {
+  if (trailer_parsed) {
+    // A resynchronisation landed on the trailer: TryTrailerAt committed the
+    // audio track. The stored seek index (if the file carried one) cannot
+    // match a gap-ridden record list, so it is rebuilt below regardless.
+    file.gop_index.clear();
+    report->index_rebuilt = true;
+  } else if (truncated) {
     file.audio_sample_rate = 0;
     file.audio_pcm.clear();
     report->audio_dropped = true;

@@ -38,8 +38,17 @@ struct GopIndexEntry {
 // per-GOP seek index and an optional mono PCM audio track. This is the
 // at-rest representation of a video in the database (the stand-in for the
 // paper's MPEG-I files).
+//
+// Two on-disk generations share the layout: "CMV1" frame records are
+// (type u8, size u32, payload); "CMV2" appends a CRC-32 over type+payload
+// to every record, so a bit-flip is detected at the record that took it
+// (and the best-effort parser can resynchronise onto a checksum-confirmed
+// record after a tear). Writers emit CMV2 unless `record_checksums` is
+// cleared; CMV1-era files (with or without the GIDX section) still load
+// bit-identically.
 struct CmvFile {
   static constexpr uint32_t kMagic = 0x31564d43;      // "CMV1"
+  static constexpr uint32_t kMagicV2 = 0x32564d43;    // "CMV2"
   static constexpr uint32_t kGopIndexMagic = 0x58444947;  // "GIDX"
 
   std::string name;
@@ -56,6 +65,11 @@ struct CmvFile {
   // truncated indexes fail with DataLoss) and rebuilds it for legacy
   // containers that predate the index section.
   std::vector<GopIndexEntry> gop_index;
+
+  // Whether frame records carry a trailing CRC-32 (the CMV2 format).
+  // Parse sets it from the magic, so legacy files round-trip byte-stable;
+  // freshly encoded containers default to checksummed.
+  bool record_checksums = true;
 
   int audio_sample_rate = 0;       // 0 = no audio track
   std::vector<float> audio_pcm;    // mono samples in [-1, 1]
@@ -86,9 +100,13 @@ struct CmvFile {
   // prefix from a truncated or bit-flipped stream (dropping a torn trailing
   // record), drops leading undecodable P-frames, survives a corrupt audio
   // track by dropping it, and rebuilds a corrupt or missing GOP index from
-  // the recovered records. What was dropped/rebuilt lands in `report`
-  // (never null semantics: pass nullptr to discard). Fails only when the
-  // header is unreadable or no decodable GOP survives.
+  // the recovered records. For checksummed (CMV2) containers it goes
+  // further: after a tear it scans forward for the next checksum-confirmed
+  // I-frame record (or the audio/GIDX trailer) and recovers the suffix
+  // behind the damage too, itemising every dropped span in `report`
+  // (resync_points counts the tears crossed). What was dropped/rebuilt
+  // lands in `report` (never null semantics: pass nullptr to discard).
+  // Fails only when the header is unreadable or no decodable GOP survives.
   static util::StatusOr<CmvFile> ParseBestEffort(
       const std::vector<uint8_t>& bytes, util::SalvageReport* report);
 

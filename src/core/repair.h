@@ -1,0 +1,23 @@
+#ifndef CLASSMINER_CORE_REPAIR_H_
+#define CLASSMINER_CORE_REPAIR_H_
+
+#include <string>
+
+#include "core/classminer.h"
+#include "index/repair.h"
+
+namespace classminer::core {
+
+// Builds the re-mine callback the index-layer repair pass injects (core
+// owns the mining pipeline, so the callback is constructed here): entry
+// `name` maps to the container `<media_dir>/<name>.cmv` (bare `<name>.cmv`
+// when media_dir is empty), which is loaded strictly — a damaged source
+// cannot seed a pristine entry — and re-mined through the compressed-domain
+// fast path. The failure policy is forced to kStrict regardless of
+// `options`, so a repaired entry is never itself degraded.
+index::RemineFn MakeCmvRemineFn(std::string media_dir,
+                                MiningOptions options = {});
+
+}  // namespace classminer::core
+
+#endif  // CLASSMINER_CORE_REPAIR_H_

@@ -38,6 +38,22 @@ int VideoDatabase::AddVideo(std::string name,
   return videos_.back().id;
 }
 
+util::Status VideoDatabase::ReplaceVideo(int id, std::string name,
+                                         structure::ContentStructure structure,
+                                         std::vector<events::EventRecord> events,
+                                         bool degraded) {
+  if (id < 0 || id >= video_count()) {
+    return util::Status::InvalidArgument("no video with id " +
+                                         std::to_string(id));
+  }
+  VideoEntry& entry = videos_[static_cast<size_t>(id)];
+  entry.name = std::move(name);
+  entry.structure = std::move(structure);
+  entry.events = std::move(events);
+  entry.degraded = degraded;
+  return util::Status::Ok();
+}
+
 int VideoDatabase::DegradedCount() const {
   int degraded = 0;
   for (const VideoEntry& v : videos_) {

@@ -47,6 +47,13 @@ class VideoDatabase {
                std::vector<events::EventRecord> events,
                bool degraded = false);
 
+  // Replaces an existing entry in place (the id is preserved). The repair
+  // pass uses this to swap a degraded entry for a freshly re-mined one.
+  util::Status ReplaceVideo(int id, std::string name,
+                            structure::ContentStructure structure,
+                            std::vector<events::EventRecord> events,
+                            bool degraded = false);
+
   int video_count() const { return static_cast<int>(videos_.size()); }
   // Entries flagged degraded.
   int DegradedCount() const;

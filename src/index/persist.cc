@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "util/crc32.h"
 #include "util/failpoint.h"
 #include "util/serial.h"
 
@@ -11,7 +12,16 @@ namespace {
 
 constexpr uint32_t kMagic = 0x42444d43;  // "CMDB"
 // v1: no per-video degraded flag. v2: one u8 degraded flag per video.
-constexpr uint32_t kVersion = 2;
+// v3: every video entry framed as (kEntryMagic, body size, CRC-32, body).
+constexpr uint32_t kVersion = 3;
+constexpr uint32_t kEntryMagic = 0x45564d43;     // "CMVE"
+constexpr uint32_t kManifestMagic = 0x4d474d43;  // "CMGM"
+
+uint32_t ReadU32LE(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
 
 void PutFeatures(util::ByteWriter* w, const features::ShotFeatures& f) {
   for (double v : f.histogram) w->PutF64(v);
@@ -210,6 +220,64 @@ util::Status GetVideo(util::ByteReader* r, uint32_t version,
   return util::Status::Ok();
 }
 
+// Writes one v3 framed entry: entry magic, body size, CRC-32 over the
+// body bytes, then the body itself.
+void PutFramedVideo(util::ByteWriter* w, const VideoEntry& v) {
+  util::ByteWriter body;
+  PutVideo(&body, v);
+  w->PutU32(kEntryMagic);
+  w->PutU32(static_cast<uint32_t>(body.size()));
+  w->PutU32(util::Crc32(body.bytes()));
+  w->PutBytes(body.bytes().data(), body.size());
+}
+
+// Reads one v3 framed entry, verifying the stored CRC-32 against the body
+// bytes before parsing them (so a bit-flip surfaces as a checksum mismatch
+// at this entry, not as a structural error somewhere downstream). The body
+// must consume exactly its declared size.
+util::Status GetFramedVideo(util::ByteReader* r, uint32_t version,
+                            VideoEntry* out) {
+  util::StatusOr<uint32_t> magic = r->GetU32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kEntryMagic) return r->Corrupt("bad video entry magic");
+  util::StatusOr<uint32_t> body_size = r->GetU32();
+  if (!body_size.ok()) return body_size.status();
+  util::StatusOr<uint32_t> stored = r->GetU32();
+  if (!stored.ok()) return stored.status();
+  if (*body_size > r->remaining()) {
+    return r->Corrupt("video entry body exceeds database size");
+  }
+  const size_t body_start = r->position();
+  if (util::Crc32(r->data() + body_start, *body_size) != *stored) {
+    return r->Corrupt("video entry checksum mismatch");
+  }
+  CLASSMINER_RETURN_IF_ERROR(GetVideo(r, version, out));
+  if (r->position() != body_start + *body_size) {
+    return r->Corrupt("video entry body size mismatch");
+  }
+  return util::Status::Ok();
+}
+
+// Dispatches on the format generation: v3 entries are framed + checksummed,
+// v1/v2 bodies sit back to back.
+util::Status GetVideoEntry(util::ByteReader* r, uint32_t version,
+                           VideoEntry* out) {
+  if (version >= 3) return GetFramedVideo(r, version, out);
+  return GetVideo(r, version, out);
+}
+
+// True when a complete, checksum-confirmed v3 entry frame starts at `pos`.
+// The CRC makes a false positive on arbitrary bytes ~2^-32, so the salvage
+// scanner can treat a hit as a confirmed resynchronisation point.
+bool PlausibleEntryAt(const std::vector<uint8_t>& bytes, size_t pos) {
+  if (pos + 12 > bytes.size()) return false;
+  if (ReadU32LE(bytes.data() + pos) != kEntryMagic) return false;
+  const uint32_t body_size = ReadU32LE(bytes.data() + pos + 4);
+  if (body_size > bytes.size() - pos - 12) return false;
+  return util::Crc32(bytes.data() + pos + 12, body_size) ==
+         ReadU32LE(bytes.data() + pos + 8);
+}
+
 // Reads the CMDB header (magic, version, video count).
 util::Status ParseDatabaseHeader(util::ByteReader* r, uint32_t* version,
                                  uint32_t* video_count) {
@@ -237,7 +305,7 @@ std::vector<uint8_t> SerializeDatabase(const VideoDatabase& db) {
   w.PutU32(kVersion);
   w.PutU32(static_cast<uint32_t>(db.video_count()));
   for (int v = 0; v < db.video_count(); ++v) {
-    PutVideo(&w, db.video(v));
+    PutFramedVideo(&w, db.video(v));
   }
   return w.Release();
 }
@@ -253,9 +321,12 @@ util::StatusOr<VideoDatabase> ParseDatabase(
   for (uint32_t i = 0; i < videos; ++i) {
     r.set_section("videos[" + std::to_string(i) + "]");
     VideoEntry entry;
-    CLASSMINER_RETURN_IF_ERROR(GetVideo(&r, version, &entry));
+    CLASSMINER_RETURN_IF_ERROR(GetVideoEntry(&r, version, &entry));
     db.AddVideo(std::move(entry.name), std::move(entry.structure),
                 std::move(entry.events), entry.degraded);
+  }
+  if (r.remaining() > 0) {
+    return r.Corrupt("trailing bytes after last video entry");
   }
   return db;
 }
@@ -271,32 +342,129 @@ util::StatusOr<VideoDatabase> ParseDatabaseSalvage(
   CLASSMINER_RETURN_IF_ERROR(ParseDatabaseHeader(&r, &version, &videos));
 
   VideoDatabase db;
+  uint32_t parsed = 0;
   for (uint32_t i = 0; i < videos; ++i) {
     r.set_section("videos[" + std::to_string(i) + "]");
     const size_t entry_start = r.position();
     VideoEntry entry;
-    const util::Status video = GetVideo(&r, version, &entry);
-    if (!video.ok()) {
-      // Entries are written sequentially with no per-entry framing: a torn
+    const util::Status video = GetVideoEntry(&r, version, &entry);
+    if (video.ok()) {
+      db.AddVideo(std::move(entry.name), std::move(entry.structure),
+                  std::move(entry.events), entry.degraded);
+      ++parsed;
+      continue;
+    }
+    report->AddNote("videos: " + video.message());
+    if (version < 3) {
+      // v1/v2 entries are written back to back with no framing: a torn
       // entry makes everything behind it unframed bytes. Keep the prefix.
       report->bytes_dropped += bytes.size() - entry_start;
-      report->items_dropped += static_cast<int>(videos - i);
-      report->AddNote("videos: " + video.message());
       break;
     }
-    db.AddVideo(std::move(entry.name), std::move(entry.structure),
-                std::move(entry.events), entry.degraded);
+    // v3: scan forward for the next checksum-confirmed entry frame and
+    // resynchronise there; the suffix behind the tear is recoverable.
+    bool resynced = false;
+    for (size_t scan = entry_start + 1; scan < bytes.size(); ++scan) {
+      if (!PlausibleEntryAt(bytes, scan)) continue;
+      (void)r.SeekTo(scan);
+      VideoEntry recovered;
+      if (!GetFramedVideo(&r, version, &recovered).ok()) {
+        // CRC-confirmed frame whose body still refuses to parse (in
+        // practice only hostile bytes); keep scanning behind it.
+        continue;
+      }
+      report->bytes_dropped += scan - entry_start;
+      report->resync_points += 1;
+      report->AddNote(
+          "videos: resynchronised onto checksum-confirmed entry at byte "
+          "offset " +
+          std::to_string(scan) + " (dropped " +
+          std::to_string(scan - entry_start) + " bytes)");
+      db.AddVideo(std::move(recovered.name), std::move(recovered.structure),
+                  std::move(recovered.events), recovered.degraded);
+      ++parsed;
+      resynced = true;
+      break;
+    }
+    if (!resynced) {
+      // No confirmed entry frame behind the tear; the rest is lost.
+      report->bytes_dropped += bytes.size() - entry_start;
+      break;
+    }
+  }
+  if (parsed < videos) {
+    report->items_dropped += static_cast<int>(videos - parsed);
   }
   report->items_recovered += db.video_count();
   return db;
 }
 
+std::string DatabaseBackupPath(const std::string& path) {
+  return path + ".prev";
+}
+
+std::string DatabaseManifestPath(const std::string& path) {
+  return path + ".manifest";
+}
+
+std::vector<uint8_t> SerializeManifest(const DatabaseManifest& manifest) {
+  util::ByteWriter w;
+  w.PutU32(kManifestMagic);
+  w.PutU64(manifest.generation);
+  w.PutU64(manifest.size);
+  w.PutU32(manifest.crc);
+  return w.Release();
+}
+
+util::StatusOr<DatabaseManifest> ParseManifest(
+    const std::vector<uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  r.set_section("manifest");
+  util::StatusOr<uint32_t> magic = r.GetU32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kManifestMagic) return r.Corrupt("bad CMGM magic");
+  DatabaseManifest m;
+  util::StatusOr<uint64_t> generation = r.GetU64();
+  if (!generation.ok()) return generation.status();
+  m.generation = *generation;
+  util::StatusOr<uint64_t> size = r.GetU64();
+  if (!size.ok()) return size.status();
+  m.size = *size;
+  util::StatusOr<uint32_t> crc = r.GetU32();
+  if (!crc.ok()) return crc.status();
+  m.crc = *crc;
+  return m;
+}
+
+util::StatusOr<DatabaseManifest> LoadManifest(const std::string& path) {
+  util::StatusOr<std::vector<uint8_t>> bytes = util::ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  return ParseManifest(*bytes);
+}
+
 util::Status SaveDatabase(const VideoDatabase& db, const std::string& path) {
   CLASSMINER_RETURN_IF_ERROR(util::FailPoint::Check("index.persist.save"));
-  return util::WriteFile(path, SerializeDatabase(db));
+  const std::vector<uint8_t> bytes = SerializeDatabase(db);
+
+  DatabaseManifest manifest;
+  util::StatusOr<DatabaseManifest> previous =
+      LoadManifest(DatabaseManifestPath(path));
+  manifest.generation = previous.ok() ? previous->generation + 1 : 1;
+  manifest.size = bytes.size();
+  manifest.crc = util::Crc32(bytes);
+
+  util::AtomicWriteOptions options;
+  options.backup_path = DatabaseBackupPath(path);
+  CLASSMINER_RETURN_IF_ERROR(util::AtomicWriteFile(path, bytes, options));
+  // The manifest is written after the data: a crash between the two leaves
+  // a manifest describing the previous generation, which loads treat as
+  // "save was interrupted" (advisory), never as corruption of the data.
+  return util::AtomicWriteFile(DatabaseManifestPath(path),
+                               SerializeManifest(manifest));
 }
 
 util::StatusOr<VideoDatabase> LoadDatabase(const std::string& path) {
+  CLASSMINER_RETURN_IF_ERROR(util::FailPoint::Check("index.persist.load"));
   util::StatusOr<std::vector<uint8_t>> bytes = util::ReadFile(path);
   if (!bytes.ok()) return bytes.status();
   return ParseDatabase(*bytes);
@@ -304,9 +472,89 @@ util::StatusOr<VideoDatabase> LoadDatabase(const std::string& path) {
 
 util::StatusOr<VideoDatabase> LoadDatabaseSalvage(
     const std::string& path, util::SalvageReport* report) {
+  CLASSMINER_RETURN_IF_ERROR(util::FailPoint::Check("index.persist.load"));
   util::StatusOr<std::vector<uint8_t>> bytes = util::ReadFile(path);
   if (!bytes.ok()) return bytes.status();
   return ParseDatabaseSalvage(*bytes, report);
+}
+
+util::StatusOr<OpenResult> OpenDatabaseAnyGeneration(
+    const std::string& path, util::SalvageReport* report) {
+  util::SalvageReport local;
+  if (report == nullptr) report = &local;
+  const std::string backup = DatabaseBackupPath(path);
+
+  util::StatusOr<VideoDatabase> current = LoadDatabase(path);
+  if (current.ok()) {
+    return OpenResult{std::move(current).value(), path, false, false};
+  }
+  report->AddNote("open: " + current.status().message());
+
+  util::StatusOr<VideoDatabase> previous = LoadDatabase(backup);
+  if (previous.ok()) {
+    report->AddNote("open: fell back to previous generation " + backup);
+    return OpenResult{std::move(previous).value(), backup, true, false};
+  }
+  if (previous.status().code() != util::StatusCode::kNotFound) {
+    report->AddNote("open: " + previous.status().message());
+  }
+
+  util::StatusOr<VideoDatabase> salvaged = LoadDatabaseSalvage(path, report);
+  if (salvaged.ok()) {
+    report->AddNote("open: salvaged current generation " + path);
+    return OpenResult{std::move(salvaged).value(), path, false, true};
+  }
+
+  util::StatusOr<VideoDatabase> salvaged_prev =
+      LoadDatabaseSalvage(backup, report);
+  if (salvaged_prev.ok()) {
+    report->AddNote("open: salvaged previous generation " + backup);
+    return OpenResult{std::move(salvaged_prev).value(), backup, true, true};
+  }
+
+  return util::Status::DataLoss("no loadable generation of " + path +
+                                " (tried strict and salvage on current and "
+                                "previous)");
+}
+
+std::string VerifyReport::ToString() const {
+  std::string s = loadable ? "loadable" : "unloadable";
+  s += " videos=" + std::to_string(videos);
+  s += " degraded=" + std::to_string(degraded_videos);
+  if (manifest_present) {
+    s += " generation=" + std::to_string(generation);
+    s += manifest_matches ? " manifest=ok" : " manifest=stale";
+  } else {
+    s += " manifest=absent";
+  }
+  if (!error.empty()) s += " error=\"" + error + "\"";
+  return s;
+}
+
+VerifyReport VerifyDatabaseFile(const std::string& path) {
+  VerifyReport report;
+  util::StatusOr<std::vector<uint8_t>> bytes = util::ReadFile(path);
+  if (!bytes.ok()) {
+    report.error = bytes.status().message();
+    return report;
+  }
+  util::StatusOr<VideoDatabase> db = ParseDatabase(*bytes);
+  if (!db.ok()) {
+    report.error = db.status().message();
+  } else {
+    report.loadable = true;
+    report.videos = db->video_count();
+    report.degraded_videos = db->DegradedCount();
+  }
+  util::StatusOr<DatabaseManifest> manifest =
+      LoadManifest(DatabaseManifestPath(path));
+  if (manifest.ok()) {
+    report.manifest_present = true;
+    report.generation = manifest->generation;
+    report.manifest_matches = manifest->size == bytes->size() &&
+                              manifest->crc == util::Crc32(*bytes);
+  }
+  return report;
 }
 
 }  // namespace classminer::index

@@ -1,6 +1,7 @@
 #ifndef CLASSMINER_INDEX_PERSIST_H_
 #define CLASSMINER_INDEX_PERSIST_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -11,28 +12,102 @@
 namespace classminer::index {
 
 // Binary persistence of the mined database (features + structure + events;
-// raw media stays in CMV containers). Format "CMDB" version 2: v2 appends a
-// per-video degraded flag; v1 files (no flag) still load, reading every
-// entry as non-degraded. Writers always emit v2.
+// raw media stays in CMV containers). Format "CMDB":
+//   v1  bodies written back to back, no per-video degraded flag
+//   v2  appends a per-video degraded flag to each body
+//   v3  frames every video entry as (entry magic "CMVE", body size u32,
+//       CRC-32 u32, body) so a bit-flip is detected at the entry that took
+//       it and a salvage parse can resynchronise onto the next
+//       checksum-confirmed entry after a tear
+// Writers always emit v3; v1/v2 files still load.
+//
+// On disk a database is up to three files managed as atomic generations:
+//   <path>        the current generation (written via util::AtomicWriteFile)
+//   <path>.prev   the previous generation, rotated aside durably before the
+//                 current one is renamed into place
+//   <path>.manifest  advisory "CMGM" record of the current generation
+//                 (counter, size, CRC-32); written after the data, so a
+//                 mismatch means "a save was interrupted", not corruption
+// A crash at any point of SaveDatabase leaves at least one loadable
+// generation; OpenDatabaseAnyGeneration finds it.
 
 std::vector<uint8_t> SerializeDatabase(const VideoDatabase& db);
-// Strict parse: any structural damage fails with DataLoss (messages carry
-// the section name and byte offset of the damage).
+// Strict parse: any structural damage — including a v3 entry whose stored
+// CRC-32 does not match its body — fails with DataLoss (messages carry the
+// section name and byte offset of the damage).
 util::StatusOr<VideoDatabase> ParseDatabase(const std::vector<uint8_t>& bytes);
 
 // Best-effort parse for a damaged database file: recovers the valid video
-// prefix (a torn entry and everything behind it is dropped) instead of
-// refusing the whole file. What was dropped lands in `report` (nullptr to
-// discard). Fails only when the header is unreadable.
+// prefix, and for v3 files scans past a torn entry for the next
+// checksum-confirmed entry frame and recovers the suffix behind the damage
+// too (dropped spans itemised in `report`, tears crossed counted in
+// `report->resync_points`). Fails only when the header is unreadable.
 util::StatusOr<VideoDatabase> ParseDatabaseSalvage(
     const std::vector<uint8_t>& bytes, util::SalvageReport* report);
 
-// SaveDatabase honours fail point "index.persist.save" (before the write)
-// and retries transient file-system failures via util::WriteFile.
+// Derived on-disk companions of a database at `path`.
+std::string DatabaseBackupPath(const std::string& path);    // <path>.prev
+std::string DatabaseManifestPath(const std::string& path);  // <path>.manifest
+
+// Advisory description of the current generation, stored next to the
+// database ("CMGM": generation counter, byte size, CRC-32 of the file).
+struct DatabaseManifest {
+  uint64_t generation = 0;
+  uint64_t size = 0;
+  uint32_t crc = 0;
+};
+
+std::vector<uint8_t> SerializeManifest(const DatabaseManifest& manifest);
+util::StatusOr<DatabaseManifest> ParseManifest(
+    const std::vector<uint8_t>& bytes);
+util::StatusOr<DatabaseManifest> LoadManifest(const std::string& path);
+
+// SaveDatabase writes the new generation crash-consistently: the previous
+// file survives at DatabaseBackupPath(path) and the bytes go through
+// util::AtomicWriteFile (sites "serial.atomic_write.*"), then the manifest
+// is refreshed. Honours fail point "index.persist.save" (before the write)
+// and retries transient file-system failures.
 util::Status SaveDatabase(const VideoDatabase& db, const std::string& path);
+// LoadDatabase honours fail point "index.persist.load" (before the read).
 util::StatusOr<VideoDatabase> LoadDatabase(const std::string& path);
 util::StatusOr<VideoDatabase> LoadDatabaseSalvage(const std::string& path,
                                                   util::SalvageReport* report);
+
+// How OpenDatabaseAnyGeneration satisfied the open.
+struct OpenResult {
+  VideoDatabase db;
+  std::string source_path;   // the file that actually loaded
+  bool used_backup = false;  // came from the .prev generation
+  bool salvaged = false;     // needed a best-effort parse
+};
+
+// Opens whichever generation of `path` is loadable, preferring completeness
+// over recency: strict current → strict previous → salvage current →
+// salvage previous. Fails only when no generation yields a database.
+// Fallback steps taken are noted in `report` (nullptr to discard).
+util::StatusOr<OpenResult> OpenDatabaseAnyGeneration(
+    const std::string& path, util::SalvageReport* report);
+
+// Integrity audit of one database file (strict parse + manifest check).
+struct VerifyReport {
+  bool loadable = false;          // strict parse succeeded
+  int videos = 0;
+  int degraded_videos = 0;        // entries still flagged degraded
+  bool manifest_present = false;
+  bool manifest_matches = false;  // size + CRC match the file bytes
+  uint64_t generation = 0;        // from the manifest, when present
+  std::string error;              // first integrity failure, empty if none
+
+  // True when the file is pristine: strictly loadable, no degraded
+  // entries, and the manifest (if present) describes exactly these bytes.
+  bool clean() const {
+    return loadable && degraded_videos == 0 &&
+           (!manifest_present || manifest_matches);
+  }
+  std::string ToString() const;
+};
+
+VerifyReport VerifyDatabaseFile(const std::string& path);
 
 }  // namespace classminer::index
 

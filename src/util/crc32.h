@@ -1,0 +1,19 @@
+#ifndef CLASSMINER_UTIL_CRC32_H_
+#define CLASSMINER_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace classminer::util {
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-record
+// integrity checksum of the CMV container and the CMDB database. Chainable:
+// pass the previous return value as `crc` to extend a checksum over several
+// spans (Crc32(b, nb, Crc32(a, na)) == Crc32(a+b)).
+uint32_t Crc32(const uint8_t* data, size_t size, uint32_t crc = 0);
+uint32_t Crc32(const std::vector<uint8_t>& bytes, uint32_t crc = 0);
+
+}  // namespace classminer::util
+
+#endif  // CLASSMINER_UTIL_CRC32_H_

@@ -11,6 +11,7 @@ void SalvageReport::Merge(const SalvageReport& other) {
   items_dropped += other.items_dropped;
   gops_recovered += other.gops_recovered;
   gops_skipped += other.gops_skipped;
+  resync_points += other.resync_points;
   audio_dropped = audio_dropped || other.audio_dropped;
   index_rebuilt = index_rebuilt || other.index_rebuilt;
   notes.insert(notes.end(), other.notes.begin(), other.notes.end());
@@ -38,6 +39,9 @@ std::string SalvageReport::ToString() const {
   }
   if (gops_skipped > 0) {
     out += " gops_skipped=" + std::to_string(gops_skipped);
+  }
+  if (resync_points > 0) {
+    out += " resync_points=" + std::to_string(resync_points);
   }
   if (audio_dropped) out += " audio_dropped";
   if (index_rebuilt) out += " index_rebuilt";

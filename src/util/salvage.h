@@ -23,6 +23,10 @@ struct SalvageReport {
   int items_dropped = 0;       // structurally unrecoverable items
   int gops_recovered = 0;      // complete GOPs usable after salvage
   int gops_skipped = 0;        // GOPs dropped or substituted as corrupt
+  // Tears the parser scanned past to a checksum-confirmed sync point (an
+  // I-frame record or a video-entry frame), recovering the suffix behind
+  // the damage instead of only the prefix in front of it.
+  int resync_points = 0;
   bool audio_dropped = false;  // audio track lost to corruption
   bool index_rebuilt = false;  // stored seek index unusable, re-derived
 

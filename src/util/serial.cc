@@ -1,5 +1,7 @@
 #include "util/serial.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 
@@ -94,7 +96,7 @@ StatusOr<double> ByteReader::GetF64() {
 
 Status ByteReader::GetBytes(uint8_t* out, size_t size) {
   if (pos_ + size > size_) return Corrupt("read past end of buffer");
-  std::memcpy(out, data_ + pos_, size);
+  if (size > 0) std::memcpy(out, data_ + pos_, size);  // out may be null when empty
   pos_ += size;
   return Status::Ok();
 }
@@ -114,17 +116,69 @@ Status ByteReader::Skip(size_t n) {
   return Status::Ok();
 }
 
+Status ByteReader::SeekTo(size_t pos) {
+  if (pos > size_) return Corrupt("seek past end of buffer");
+  pos_ = pos;
+  return Status::Ok();
+}
+
 namespace {
+
+// True when a file exists at `path` (stat-free, fopen-based: good enough
+// for deciding whether a previous generation needs rotating aside).
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+// One staged attempt of the atomic write sequence:
+//   stage bytes in `path + ".tmp"` → flush + fsync → [rotate the old file
+//   to options.backup_path] → rename the temp over `path`.
+// Each step is preceded by its fail-point site so crash tests can tear the
+// sequence at any point; any failure unlinks the temp file, leaving the
+// destination (and the rotated backup) exactly as the crash would.
+Status AtomicWriteFileOnce(const std::string& path,
+                           const std::vector<uint8_t>& bytes,
+                           const AtomicWriteOptions& options) {
+  const std::string tmp = path + ".tmp";
+  Status status = [&]() -> Status {
+    CLASSMINER_RETURN_IF_ERROR(
+        FailPoint::Check("serial.atomic_write.tmp_write"));
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) return Status::NotFound("cannot open for write: " + tmp);
+    const size_t written =
+        bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+    if (written != bytes.size()) {
+      std::fclose(f);
+      return Status::DataLoss("short write: " + tmp);
+    }
+    Status synced = FailPoint::Check("serial.atomic_write.fsync");
+    if (synced.ok() && (std::fflush(f) != 0 || fsync(fileno(f)) != 0)) {
+      synced = Status::Unavailable("fsync failed: " + tmp);
+    }
+    std::fclose(f);
+    CLASSMINER_RETURN_IF_ERROR(synced);
+    CLASSMINER_RETURN_IF_ERROR(FailPoint::Check("serial.atomic_write.rename"));
+    if (!options.backup_path.empty() && FileExists(path) &&
+        std::rename(path.c_str(), options.backup_path.c_str()) != 0) {
+      return Status::Unavailable("cannot rotate " + path + " to " +
+                                 options.backup_path);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      return Status::Unavailable("cannot rename " + tmp + " to " + path);
+    }
+    return Status::Ok();
+  }();
+  if (!status.ok()) std::remove(tmp.c_str());
+  return status;
+}
 
 Status WriteFileOnce(const std::string& path,
                      const std::vector<uint8_t>& bytes) {
   CLASSMINER_RETURN_IF_ERROR(FailPoint::Check("serial.write_file"));
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::NotFound("cannot open for write: " + path);
-  const size_t written = bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
-  std::fclose(f);
-  if (written != bytes.size()) return Status::DataLoss("short write: " + path);
-  return Status::Ok();
+  return AtomicWriteFileOnce(path, bytes, AtomicWriteOptions());
 }
 
 StatusOr<std::vector<uint8_t>> ReadFileOnce(const std::string& path) {
@@ -157,6 +211,14 @@ RetryOptions FileRetryOptions() {
 Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
   return Retry(FileRetryOptions(),
                [&path, &bytes] { return WriteFileOnce(path, bytes); });
+}
+
+Status AtomicWriteFile(const std::string& path,
+                       const std::vector<uint8_t>& bytes,
+                       const AtomicWriteOptions& options) {
+  return Retry(FileRetryOptions(), [&path, &bytes, &options] {
+    return AtomicWriteFileOnce(path, bytes, options);
+  });
 }
 
 StatusOr<std::vector<uint8_t>> ReadFile(const std::string& path) {

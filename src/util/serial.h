@@ -58,7 +58,14 @@ class ByteReader {
 
   size_t position() const { return pos_; }
   size_t remaining() const { return size_ - pos_; }
+  // Raw access to the underlying buffer (checksummed formats hash a span
+  // before parsing it; salvage scanners probe candidate sync points).
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
   Status Skip(size_t n);
+  // Repositions the cursor absolutely (salvage parsers use it to jump onto
+  // a resynchronisation point found by scanning the raw buffer).
+  Status SeekTo(size_t pos);
 
   // DATA_LOSS status carrying `what`, the current offset and the section
   // label (if any). Parsers use it for their own structural errors so those
@@ -76,8 +83,31 @@ class ByteReader {
 // exponential backoff) so transient failures — injected through the
 // "serial.read_file" / "serial.write_file" fail points, or genuine
 // kUnavailable conditions — are absorbed instead of failing the caller.
+// WriteFile writes through the atomic path below, so a failed (or retried)
+// attempt never exposes a partially written destination to a concurrent
+// reader and never destroys the previous contents of `path`.
 Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes);
 StatusOr<std::vector<uint8_t>> ReadFile(const std::string& path);
+
+struct AtomicWriteOptions {
+  // When non-empty and `path` already exists, the old file is renamed to
+  // this path after the new bytes are durably staged and immediately before
+  // the final rename — the previous generation survives a crash at any
+  // step of the sequence (index persistence uses this for its
+  // `.cmdb.prev` generation).
+  std::string backup_path;
+};
+
+// Crash-consistent whole-file write: the bytes are staged in
+// `path + ".tmp"`, flushed and fsync'ed, then renamed over `path` in one
+// atomic step. A crash (or injected failure) at any point leaves either
+// the complete old file or the complete new one at `path` — never a torn
+// mixture; a failed attempt unlinks the temp file. Honours fail-point
+// sites "serial.atomic_write.{tmp_write,fsync,rename}" (one per step) and
+// retries transient failures like WriteFile.
+Status AtomicWriteFile(const std::string& path,
+                       const std::vector<uint8_t>& bytes,
+                       const AtomicWriteOptions& options = {});
 
 }  // namespace classminer::util
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -282,6 +283,88 @@ TEST_F(FileRetryTest, DeterministicFaultIsNotRetried) {
                  FailPoint::Spec::Always(StatusCode::kDataLoss));
   EXPECT_EQ(util::ReadFile(path).status().code(), StatusCode::kDataLoss);
   EXPECT_EQ(FailPoint::CheckCount("serial.read_file"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Atomic write: the staged sequence (tmp write -> fsync -> rename) has one
+// injectable site per step; a crash at any of them must leave the previous
+// destination bytes intact and no temp file behind.
+
+class AtomicWriteTest : public FailPointTest {
+ protected:
+  // TempDir contents persist across test-binary runs; a stale destination
+  // or backup from a previous run would break "file does not exist yet"
+  // assertions.
+  std::string FreshPath(const std::string& stem) {
+    const std::string path = ::testing::TempDir() + "/" + stem;
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+    std::remove((path + ".prev").c_str());
+    return path;
+  }
+};
+
+const char* const kAtomicSites[] = {"serial.atomic_write.tmp_write",
+                                    "serial.atomic_write.fsync",
+                                    "serial.atomic_write.rename"};
+
+TEST_F(AtomicWriteTest, CrashAtEverySiteLeavesOldBytesAndNoTemp) {
+  const std::string path = FreshPath("atomic_crash.bin");
+  const std::vector<uint8_t> old_bytes = {1, 1, 1};
+  ASSERT_TRUE(util::AtomicWriteFile(path, old_bytes).ok());
+  for (const char* site : kAtomicSites) {
+    FailPoint::Arm(site, FailPoint::Spec::Once(StatusCode::kDataLoss));
+    EXPECT_EQ(util::AtomicWriteFile(path, {2, 2, 2}).code(),
+              StatusCode::kDataLoss)
+        << site;
+    FailPoint::DisarmAll();
+    // The destination still holds the complete previous bytes...
+    const util::StatusOr<std::vector<uint8_t>> read = util::ReadFile(path);
+    ASSERT_TRUE(read.ok()) << site;
+    EXPECT_EQ(*read, old_bytes) << site;
+    // ...and the staging file was unlinked.
+    EXPECT_EQ(util::ReadFile(path + ".tmp").status().code(),
+              StatusCode::kNotFound)
+        << site;
+  }
+}
+
+TEST_F(AtomicWriteTest, TransientFaultAtEverySiteIsAbsorbed) {
+  const std::string path = FreshPath("atomic_transient.bin");
+  for (const char* site : kAtomicSites) {
+    FailPoint::Arm(site, FailPoint::Spec::Once(StatusCode::kUnavailable));
+    EXPECT_TRUE(util::AtomicWriteFile(path, {7}).ok()) << site;
+    FailPoint::DisarmAll();
+  }
+}
+
+TEST_F(AtomicWriteTest, BackupRotationKeepsThePreviousGeneration) {
+  const std::string path = FreshPath("atomic_gen.bin");
+  util::AtomicWriteOptions options;
+  options.backup_path = path + ".prev";
+  ASSERT_TRUE(util::AtomicWriteFile(path, {1}, options).ok());
+  // First write: nothing to rotate yet.
+  EXPECT_EQ(util::ReadFile(options.backup_path).status().code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(util::AtomicWriteFile(path, {2}, options).ok());
+  EXPECT_EQ(*util::ReadFile(path), std::vector<uint8_t>({2}));
+  EXPECT_EQ(*util::ReadFile(options.backup_path), std::vector<uint8_t>({1}));
+}
+
+TEST_F(AtomicWriteTest, CrashBeforeRenameDoesNotRotateTheBackup) {
+  const std::string path = FreshPath("atomic_norotate.bin");
+  util::AtomicWriteOptions options;
+  options.backup_path = path + ".prev";
+  ASSERT_TRUE(util::AtomicWriteFile(path, {1}, options).ok());
+  ASSERT_TRUE(util::AtomicWriteFile(path, {2}, options).ok());
+  FailPoint::Arm("serial.atomic_write.rename",
+                 FailPoint::Spec::Once(StatusCode::kDataLoss));
+  EXPECT_FALSE(util::AtomicWriteFile(path, {3}, options).ok());
+  FailPoint::DisarmAll();
+  // Both generations survive untouched: the rotation happens after the
+  // injected crash point.
+  EXPECT_EQ(*util::ReadFile(path), std::vector<uint8_t>({2}));
+  EXPECT_EQ(*util::ReadFile(options.backup_path), std::vector<uint8_t>({1}));
 }
 
 // ---------------------------------------------------------------------------

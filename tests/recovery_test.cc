@@ -1,0 +1,352 @@
+// Crash-consistent persistence and self-healing recovery: a crash injected
+// at any step of the atomic save sequence must leave a loadable database
+// generation (old or new, never a torn mixture); OpenDatabaseAnyGeneration
+// must find it; and the repair pass must re-mine degraded entries back to
+// pristine so a subsequent verify reports zero integrity failures.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "codec/container.h"
+#include "core/cmv_pipeline.h"
+#include "core/repair.h"
+#include "index/database.h"
+#include "index/persist.h"
+#include "index/repair.h"
+#include "shot/detector.h"
+#include "structure/content_structure.h"
+#include "synth/video_generator.h"
+#include "util/failpoint.h"
+#include "util/salvage.h"
+#include "util/serial.h"
+#include "util/status.h"
+
+namespace classminer {
+namespace {
+
+using util::FailPoint;
+using util::StatusCode;
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailPoint::DisarmAll();
+    dir_ = ::testing::TempDir();
+  }
+  void TearDown() override { FailPoint::DisarmAll(); }
+
+  // A unique database path per test; stale generations from earlier runs
+  // are cleared so fallback assertions see only this test's files.
+  std::string FreshDbPath(const std::string& stem) {
+    const std::string path = dir_ + "/" + stem + ".cmdb";
+    std::remove(path.c_str());
+    std::remove(index::DatabaseBackupPath(path).c_str());
+    std::remove(index::DatabaseManifestPath(path).c_str());
+    return path;
+  }
+
+  std::string dir_;
+};
+
+// A database with `videos` single-shot entries named video0..videoN.
+index::VideoDatabase MakeDatabase(int videos, bool degrade_first = false) {
+  index::VideoDatabase db;
+  for (int v = 0; v < videos; ++v) {
+    structure::ContentStructure cs;
+    shot::Shot s;
+    s.index = 0;
+    s.end_frame = 29;
+    s.rep_frame = 9;
+    cs.shots.push_back(s);
+    db.AddVideo("video" + std::to_string(v), std::move(cs), {},
+                degrade_first && v == 0);
+  }
+  return db;
+}
+
+const char* const kAtomicSites[] = {"serial.atomic_write.tmp_write",
+                                    "serial.atomic_write.fsync",
+                                    "serial.atomic_write.rename"};
+
+// ---------------------------------------------------------------------------
+// Crash matrix: every atomic-write site x {prior generation, fresh path}.
+
+TEST_F(RecoveryTest, CrashAtEverySiteWithPriorGenerationKeepsADatabase) {
+  for (const char* site : kAtomicSites) {
+    const std::string path = FreshDbPath(std::string("crash_prior_") + site);
+    ASSERT_TRUE(index::SaveDatabase(MakeDatabase(1), path).ok()) << site;
+
+    FailPoint::Arm(site, FailPoint::Spec::Once(StatusCode::kDataLoss));
+    const util::Status crashed = index::SaveDatabase(MakeDatabase(2), path);
+    FailPoint::DisarmAll();
+    EXPECT_FALSE(crashed.ok()) << site;
+
+    // Whatever the crash point, a complete generation is reopenable: the
+    // one-video database survives (the two-video save never became
+    // current before the injected crash).
+    util::SalvageReport report;
+    const util::StatusOr<index::OpenResult> opened =
+        index::OpenDatabaseAnyGeneration(path, &report);
+    ASSERT_TRUE(opened.ok()) << site;
+    EXPECT_FALSE(opened->salvaged) << site;
+    EXPECT_EQ(opened->db.video_count(), 1) << site;
+    EXPECT_EQ(opened->db.video(0).name, "video0") << site;
+  }
+}
+
+TEST_F(RecoveryTest, CrashAtEverySiteOnFreshPathLeavesNoTornFile) {
+  for (const char* site : kAtomicSites) {
+    const std::string path = FreshDbPath(std::string("crash_fresh_") + site);
+    FailPoint::Arm(site, FailPoint::Spec::Once(StatusCode::kDataLoss));
+    EXPECT_FALSE(index::SaveDatabase(MakeDatabase(2), path).ok()) << site;
+    FailPoint::DisarmAll();
+    // No torn bytes appear at the destination; the open fails cleanly
+    // instead of loading garbage.
+    EXPECT_EQ(util::ReadFile(path).status().code(), StatusCode::kNotFound)
+        << site;
+    EXPECT_FALSE(index::OpenDatabaseAnyGeneration(path, nullptr).ok()) << site;
+  }
+}
+
+TEST_F(RecoveryTest, CompletedSaveAfterCrashesWinsCleanly) {
+  const std::string path = FreshDbPath("crash_then_win");
+  ASSERT_TRUE(index::SaveDatabase(MakeDatabase(1), path).ok());
+  for (const char* site : kAtomicSites) {
+    FailPoint::Arm(site, FailPoint::Spec::Once(StatusCode::kDataLoss));
+    EXPECT_FALSE(index::SaveDatabase(MakeDatabase(2), path).ok());
+    FailPoint::DisarmAll();
+  }
+  // After the outage clears, a full save lands and verifies pristine.
+  ASSERT_TRUE(index::SaveDatabase(MakeDatabase(3), path).ok());
+  const index::VerifyReport verify = index::VerifyDatabaseFile(path);
+  EXPECT_TRUE(verify.clean()) << verify.ToString();
+  EXPECT_EQ(verify.videos, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Generations and the manifest.
+
+TEST_F(RecoveryTest, SecondSaveRotatesThePreviousGeneration) {
+  const std::string path = FreshDbPath("rotate");
+  ASSERT_TRUE(index::SaveDatabase(MakeDatabase(1), path).ok());
+  ASSERT_TRUE(index::SaveDatabase(MakeDatabase(2), path).ok());
+
+  const util::StatusOr<index::VideoDatabase> current =
+      index::LoadDatabase(path);
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current->video_count(), 2);
+  const util::StatusOr<index::VideoDatabase> previous =
+      index::LoadDatabase(index::DatabaseBackupPath(path));
+  ASSERT_TRUE(previous.ok());
+  EXPECT_EQ(previous->video_count(), 1);
+
+  const util::StatusOr<index::DatabaseManifest> manifest =
+      index::LoadManifest(index::DatabaseManifestPath(path));
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->generation, 2u);
+  EXPECT_TRUE(index::VerifyDatabaseFile(path).clean());
+}
+
+TEST_F(RecoveryTest, ManifestRoundTripsAndRejectsBadMagic) {
+  index::DatabaseManifest m;
+  m.generation = 41;
+  m.size = 1234;
+  m.crc = 0xDEADBEEF;
+  std::vector<uint8_t> bytes = index::SerializeManifest(m);
+  const util::StatusOr<index::DatabaseManifest> parsed =
+      index::ParseManifest(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->generation, 41u);
+  EXPECT_EQ(parsed->size, 1234u);
+  EXPECT_EQ(parsed->crc, 0xDEADBEEFu);
+  bytes[0] ^= 0xFF;
+  EXPECT_FALSE(index::ParseManifest(bytes).ok());
+}
+
+TEST_F(RecoveryTest, InterruptedManifestWriteIsAdvisoryNotFatal) {
+  const std::string path = FreshDbPath("stale_manifest");
+  ASSERT_TRUE(index::SaveDatabase(MakeDatabase(1), path).ok());
+  // The data file and the manifest are written by consecutive atomic
+  // writes; firing the tmp_write site on the second one models a crash
+  // between them: new data, stale manifest.
+  FailPoint::Arm("serial.atomic_write.tmp_write",
+                 FailPoint::Spec::EveryN(2, StatusCode::kDataLoss));
+  EXPECT_FALSE(index::SaveDatabase(MakeDatabase(2), path).ok());
+  FailPoint::DisarmAll();
+
+  // The new generation is fully readable; only the manifest lags behind.
+  const util::StatusOr<index::VideoDatabase> loaded =
+      index::LoadDatabase(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->video_count(), 2);
+  const index::VerifyReport verify = index::VerifyDatabaseFile(path);
+  EXPECT_TRUE(verify.loadable);
+  EXPECT_TRUE(verify.manifest_present);
+  EXPECT_FALSE(verify.manifest_matches);
+  EXPECT_FALSE(verify.clean());
+  // Any-generation open treats the stale manifest as advisory.
+  const util::StatusOr<index::OpenResult> opened =
+      index::OpenDatabaseAnyGeneration(path, nullptr);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened->db.video_count(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Fallback chain of OpenDatabaseAnyGeneration.
+
+TEST_F(RecoveryTest, UnsalvageableCurrentFallsBackToPreviousGeneration) {
+  const std::string path = FreshDbPath("fallback_prev");
+  ASSERT_TRUE(index::SaveDatabase(MakeDatabase(1), path).ok());
+  ASSERT_TRUE(index::SaveDatabase(MakeDatabase(2), path).ok());
+  // Destroy the current generation's header: strict and salvage parses
+  // both refuse it, so the previous generation answers.
+  std::vector<uint8_t> bytes = *util::ReadFile(path);
+  bytes[0] ^= 0xFF;
+  ASSERT_TRUE(util::WriteFile(path, bytes).ok());
+
+  util::SalvageReport report;
+  const util::StatusOr<index::OpenResult> opened =
+      index::OpenDatabaseAnyGeneration(path, &report);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(opened->used_backup);
+  EXPECT_FALSE(opened->salvaged);
+  EXPECT_EQ(opened->db.video_count(), 1);
+  EXPECT_FALSE(report.notes.empty());
+}
+
+TEST_F(RecoveryTest, BitFlippedCurrentIsSalvagedWithResync) {
+  const std::string path = FreshDbPath("fallback_salvage");
+  ASSERT_TRUE(index::SaveDatabase(MakeDatabase(3), path).ok());
+  // Flip one byte mid-file (inside the second entry's body): strict load
+  // fails on its checksum, salvage resynchronises onto the third entry.
+  std::vector<uint8_t> bytes = *util::ReadFile(path);
+  bytes[bytes.size() * 2 / 5] ^= 0xFF;
+  ASSERT_TRUE(util::WriteFile(path, bytes).ok());
+
+  util::SalvageReport report;
+  const util::StatusOr<index::OpenResult> opened =
+      index::OpenDatabaseAnyGeneration(path, &report);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_FALSE(opened->used_backup);  // no .prev generation exists here
+  EXPECT_TRUE(opened->salvaged);
+  EXPECT_EQ(opened->db.video_count(), 2);
+  EXPECT_EQ(report.resync_points, 1);
+}
+
+TEST_F(RecoveryTest, LoadSiteInjectsAndOpenReportsTheOutage) {
+  const std::string path = FreshDbPath("load_site");
+  ASSERT_TRUE(index::SaveDatabase(MakeDatabase(1), path).ok());
+  FailPoint::Arm("index.persist.load",
+                 FailPoint::Spec::Always(StatusCode::kDataLoss));
+  EXPECT_EQ(index::LoadDatabase(path).status().code(), StatusCode::kDataLoss);
+  // Every rung of the fallback chain goes through the same site, so the
+  // open fails cleanly instead of crashing or spinning.
+  EXPECT_FALSE(index::OpenDatabaseAnyGeneration(path, nullptr).ok());
+  FailPoint::DisarmAll();
+  EXPECT_TRUE(index::OpenDatabaseAnyGeneration(path, nullptr).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Repair pass: re-mine degraded entries from pristine containers, then
+// verify reports zero integrity failures.
+
+synth::GeneratedVideo SmallGenerated(const std::string& name) {
+  synth::VideoScript script;
+  script.name = name;
+  script.seed = 33;
+  script.width = 64;
+  script.height = 48;
+  script.scenes.push_back({synth::SceneKind::kPresentation, 3, 0, 0, -1, 1.0});
+  script.scenes.push_back({synth::SceneKind::kDialog, 3, 1, 0, 1, 1.0});
+  return synth::GenerateVideo(script);
+}
+
+TEST_F(RecoveryTest, RepairReminesDegradedEntryAndVerifyComesBackClean) {
+  const std::string name = "repairable";
+  const std::string db_path = FreshDbPath("repair_e2e");
+  const synth::GeneratedVideo generated = SmallGenerated(name);
+  const codec::CmvFile container = core::PackGeneratedVideo(generated);
+  ASSERT_TRUE(container.SaveToFile(dir_ + "/" + name + ".cmv").ok());
+
+  // Ingest the entry flagged degraded (as a salvage-path ingest would).
+  util::StatusOr<core::MiningResult> mined =
+      core::MineCmvFileFast(container, core::MiningOptions());
+  ASSERT_TRUE(mined.ok()) << mined.status().message();
+  index::VideoDatabase db;
+  db.AddVideo(name, std::move(mined->structure), std::move(mined->events),
+              /*degraded=*/true);
+  ASSERT_TRUE(index::SaveDatabase(db, db_path).ok());
+  EXPECT_FALSE(index::VerifyDatabaseFile(db_path).clean());
+
+  util::SalvageReport salvage;
+  const util::StatusOr<index::RepairReport> report = index::RepairDatabaseFile(
+      db_path, core::MakeCmvRemineFn(dir_), &salvage);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report->examined, 1);
+  EXPECT_EQ(report->degraded, 1);
+  EXPECT_EQ(report->repaired, 1);
+  EXPECT_EQ(report->failed, 0);
+  EXPECT_TRUE(report->rewritten);
+
+  const index::VerifyReport verify = index::VerifyDatabaseFile(db_path);
+  EXPECT_TRUE(verify.clean()) << verify.ToString();
+  EXPECT_EQ(verify.degraded_videos, 0);
+  // The repaired entry carries real mined structure, not a husk.
+  const util::StatusOr<index::VideoDatabase> loaded =
+      index::LoadDatabase(db_path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->video(0).degraded);
+  EXPECT_GT(loaded->TotalShotCount(), 0u);
+
+  // A second pass finds nothing to do and does not rewrite.
+  const util::StatusOr<index::RepairReport> again = index::RepairDatabaseFile(
+      db_path, core::MakeCmvRemineFn(dir_), nullptr);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->degraded, 0);
+  EXPECT_FALSE(again->rewritten);
+}
+
+TEST_F(RecoveryTest, RepairLeavesEntryDegradedWhenSourceIsMissing) {
+  const std::string db_path = FreshDbPath("repair_missing");
+  index::VideoDatabase db = MakeDatabase(2, /*degrade_first=*/true);
+  ASSERT_TRUE(index::SaveDatabase(db, db_path).ok());
+
+  const util::StatusOr<index::RepairReport> report = index::RepairDatabaseFile(
+      db_path, core::MakeCmvRemineFn(dir_ + "/no_such_dir"), nullptr);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->degraded, 1);
+  EXPECT_EQ(report->repaired, 0);
+  EXPECT_EQ(report->failed, 1);
+  EXPECT_FALSE(report->rewritten);
+  // The entry stays flagged rather than being dropped or blanked.
+  const util::StatusOr<index::VideoDatabase> loaded =
+      index::LoadDatabase(db_path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->video_count(), 2);
+  EXPECT_TRUE(loaded->video(0).degraded);
+}
+
+TEST_F(RecoveryTest, RepairPromotesASalvagedOpenToAPristineGeneration) {
+  const std::string db_path = FreshDbPath("repair_promote");
+  ASSERT_TRUE(index::SaveDatabase(MakeDatabase(3), db_path).ok());
+  std::vector<uint8_t> bytes = *util::ReadFile(db_path);
+  bytes[bytes.size() * 2 / 5] ^= 0xFF;  // tear the middle entry
+  ASSERT_TRUE(util::WriteFile(db_path, bytes).ok());
+
+  // No entry is flagged degraded, but the open itself needed salvage, so
+  // repair rewrites a pristine current generation from what survived.
+  const util::StatusOr<index::RepairReport> report =
+      index::RepairDatabaseFile(db_path, index::RemineFn(), nullptr);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->repaired, 0);
+  EXPECT_TRUE(report->rewritten);
+  const index::VerifyReport verify = index::VerifyDatabaseFile(db_path);
+  EXPECT_TRUE(verify.clean()) << verify.ToString();
+  EXPECT_EQ(verify.videos, 2);
+}
+
+}  // namespace
+}  // namespace classminer

@@ -150,7 +150,9 @@ size_t FrameRecordOffset(const codec::CmvFile& file, size_t index) {
   // quality + gop_size + frame_count.
   size_t offset = 4 + 4 + file.name.size() + 4 + 4 + 8 + 4 + 4 + 4;
   for (size_t i = 0; i < index; ++i) {
-    offset += 1 + 4 + file.frames[i].payload.size();  // type + size + payload
+    // type + size + payload (+ CRC-32 on checksummed CMV2 records).
+    offset += 1 + 4 + file.frames[i].payload.size() +
+              (file.record_checksums ? 4 : 0);
   }
   return offset;
 }
@@ -214,7 +216,7 @@ TEST(SalvageParseTest, ByteGranularityTruncationNeverCrashes) {
   }
 }
 
-TEST(SalvageParseTest, MidStreamCorruptionRecoversPrefixWithNote) {
+TEST(SalvageParseTest, MidStreamCorruptionResynchronisesOntoTrailer) {
   const std::vector<uint8_t> bytes = EncodedFixture();
   const codec::CmvFile pristine = *codec::CmvFile::Parse(bytes);
   ASSERT_GE(pristine.frame_count(), 4);
@@ -227,11 +229,99 @@ TEST(SalvageParseTest, MidStreamCorruptionRecoversPrefixWithNote) {
   const util::StatusOr<codec::CmvFile> parsed =
       codec::CmvFile::ParseBestEffort(damaged, &report);
   ASSERT_TRUE(parsed.ok());
+  // Records 3..5 are P-frames (one GOP fixture), so no record behind the
+  // tear can anchor a decode — but the scan resynchronises onto the
+  // trailer, so the audio track survives the damage.
   EXPECT_EQ(parsed->frame_count(), 3);
   EXPECT_TRUE(report.salvaged);
   EXPECT_FALSE(report.notes.empty());
   EXPECT_GT(report.bytes_dropped, 0u);
+  EXPECT_EQ(report.resync_points, 1);
+  EXPECT_FALSE(report.audio_dropped);
+  EXPECT_EQ(parsed->audio_pcm.size(), pristine.audio_pcm.size());
   EXPECT_NE(report.ToString(), "");
+}
+
+TEST(SalvageParseTest, MidStreamTearResynchronisesOntoNextIFrame) {
+  // Multi-GOP fixture: gop_size 2 over 6 frames gives I P I P I P, so a
+  // tear in GOP 0 leaves checksum-confirmed I-frames behind it.
+  util::Rng rng(31);
+  media::Video video("resync", 12.0);
+  media::Image base(32, 24);
+  media::FillGradient(&base, media::Rgb{90, 30, 150}, media::Rgb{15, 25, 5});
+  for (int i = 0; i < 6; ++i) {
+    media::Image f = base;
+    media::AddNoise(&f, 3, &rng);
+    video.AppendFrame(std::move(f));
+  }
+  codec::EncoderOptions options;
+  options.gop_size = 2;
+  codec::CmvFile file = codec::EncodeVideo(video, options);
+  file.audio_sample_rate = 8000;
+  file.audio_pcm.assign(400, 0.25f);
+  const std::vector<uint8_t> bytes = file.Serialize();
+  ASSERT_TRUE(file.record_checksums);
+
+  // Corrupt the payload of record 1 (a P-frame): its checksum fails, and
+  // the suffix from the next I-frame (record 2) onward is recoverable.
+  std::vector<uint8_t> damaged = bytes;
+  damaged[FrameRecordOffset(file, 1) + 5 + 2] ^= 0xFF;
+  ASSERT_FALSE(codec::CmvFile::Parse(damaged).ok());
+
+  util::SalvageReport report;
+  const util::StatusOr<codec::CmvFile> parsed =
+      codec::CmvFile::ParseBestEffort(damaged, &report);
+  ASSERT_TRUE(parsed.ok());
+  // Only the torn record is lost: frames 0, 2, 3, 4, 5 survive.
+  EXPECT_EQ(parsed->frame_count(), 5);
+  EXPECT_EQ(parsed->frames[1].type, codec::FrameType::kIntra);
+  EXPECT_EQ(report.items_dropped, 1);
+  EXPECT_EQ(report.resync_points, 1);
+  EXPECT_GT(report.bytes_dropped, 0u);
+  // The trailer was reached through normal parsing after the resync, so
+  // the audio track survives; the seek index is re-derived.
+  EXPECT_EQ(parsed->audio_pcm.size(), file.audio_pcm.size());
+  EXPECT_TRUE(report.index_rebuilt);
+  EXPECT_EQ(parsed->gop_count(), 3);
+  // Everything recovered decodes (the suffix re-anchors on its I-frame).
+  const util::StatusOr<media::Video> decoded = codec::DecodeVideo(*parsed);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->frame_count(), 5);
+}
+
+TEST(SalvageParseTest, LegacyCmv1FilesRoundTripByteStable) {
+  const std::vector<uint8_t> bytes = EncodedFixture();
+  codec::CmvFile downgraded = *codec::CmvFile::Parse(bytes);
+  downgraded.record_checksums = false;
+  const std::vector<uint8_t> v1 = downgraded.Serialize();
+  const codec::CmvFile reloaded = *codec::CmvFile::Parse(v1);
+  EXPECT_FALSE(reloaded.record_checksums);
+  // A CMV1-era file (GIDX section included) re-serialises bit-identically:
+  // the parser remembers the generation instead of upgrading in place.
+  EXPECT_EQ(reloaded.Serialize(), v1);
+  // And a checksummed container round-trips byte-stable too.
+  EXPECT_EQ(codec::CmvFile::Parse(bytes)->Serialize(), bytes);
+}
+
+TEST(SalvageParseTest, LegacyCmv1TearKeepsPrefixOnly) {
+  // CMV1 records carry no checksum, so no scan can confirm a sync point:
+  // a mid-stream tear still degrades to prefix-only salvage.
+  const std::vector<uint8_t> bytes = EncodedFixture();
+  codec::CmvFile legacy = *codec::CmvFile::Parse(bytes);
+  legacy.record_checksums = false;
+  const std::vector<uint8_t> v1 = legacy.Serialize();
+  const codec::CmvFile pristine = *codec::CmvFile::Parse(v1);
+  ASSERT_FALSE(pristine.record_checksums);
+  std::vector<uint8_t> damaged = v1;
+  damaged[FrameRecordOffset(pristine, 3)] = 0xFF;
+  util::SalvageReport report;
+  const util::StatusOr<codec::CmvFile> parsed =
+      codec::CmvFile::ParseBestEffort(damaged, &report);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->frame_count(), 3);
+  EXPECT_EQ(report.resync_points, 0);
+  EXPECT_TRUE(report.audio_dropped);
+  EXPECT_TRUE(parsed->audio_pcm.empty());
 }
 
 TEST(SalvageParseTest, LeadingPredictedFramesAreDropped) {
@@ -535,6 +625,65 @@ TEST(DatabaseSalvageTest, ErrorsCarrySectionAndOffset) {
       << status.message();
 }
 
+// Reconstructs a legacy CMDB file (version 1 or 2) from freshly
+// serialised v3 bytes: the version field is stamped back, every entry's
+// 12-byte frame (magic + body size + CRC) is stripped, and for v1 the
+// trailing per-body degraded byte goes too.
+std::vector<uint8_t> StripToLegacy(const std::vector<uint8_t>& v3,
+                                   uint32_t version) {
+  auto read_u32 = [&v3](size_t pos) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(v3[pos + i]) << (8 * i);
+    return v;
+  };
+  std::vector<uint8_t> out(v3.begin(), v3.begin() + 12);
+  out[4] = static_cast<uint8_t>(version);
+  const uint32_t videos = read_u32(8);
+  size_t pos = 12;
+  for (uint32_t i = 0; i < videos; ++i) {
+    const uint32_t body_size = read_u32(pos + 4);
+    const size_t body = pos + 12;
+    const size_t keep = version >= 2 ? body_size : body_size - 1;
+    out.insert(out.end(), v3.begin() + static_cast<ptrdiff_t>(body),
+               v3.begin() + static_cast<ptrdiff_t>(body + keep));
+    pos = body + body_size;
+  }
+  return out;
+}
+
+TEST(DatabaseSalvageTest, TornEntryResynchronisesOntoNextEntry) {
+  const index::VideoDatabase db = ThreeVideoDatabase();
+  std::vector<uint8_t> bytes = index::SerializeDatabase(db);
+  // Flip one byte inside the second entry's body: its checksum fails, and
+  // the scan must recover video2 behind the damage.
+  const size_t file_mid = bytes.size() * 2 / 5;
+  std::vector<uint8_t> damaged = bytes;
+  damaged[file_mid] ^= 0xFF;
+  ASSERT_FALSE(index::ParseDatabase(damaged).ok());
+  util::SalvageReport report;
+  const util::StatusOr<index::VideoDatabase> salvaged =
+      index::ParseDatabaseSalvage(damaged, &report);
+  ASSERT_TRUE(salvaged.ok());
+  ASSERT_EQ(salvaged->video_count(), 2);
+  EXPECT_EQ(salvaged->video(0).name, "video0");
+  EXPECT_EQ(salvaged->video(1).name, "video2");
+  // The recovered video2 keeps its per-entry state (it was not degraded).
+  EXPECT_FALSE(salvaged->video(1).degraded);
+  EXPECT_EQ(report.items_dropped, 1);
+  EXPECT_EQ(report.resync_points, 1);
+  EXPECT_GT(report.bytes_dropped, 0u);
+}
+
+TEST(DatabaseSalvageTest, ChecksumMismatchNamesTheDamage) {
+  const index::VideoDatabase db = ThreeVideoDatabase();
+  std::vector<uint8_t> damaged = index::SerializeDatabase(db);
+  damaged[damaged.size() * 2 / 5] ^= 0xFF;
+  const util::Status status = index::ParseDatabase(damaged).status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("checksum mismatch"), std::string::npos)
+      << status.message();
+}
+
 TEST(DatabaseVersionTest, DegradedFlagRoundTripsInV2) {
   const index::VideoDatabase db = ThreeVideoDatabase();
   const util::StatusOr<index::VideoDatabase> loaded =
@@ -548,9 +697,6 @@ TEST(DatabaseVersionTest, DegradedFlagRoundTripsInV2) {
 }
 
 TEST(DatabaseVersionTest, V1FilesWithoutDegradedFlagStillLoad) {
-  // Reconstruct a v1 file from a single-video v2 one: stamp the version
-  // field (little-endian u32 at offset 4) back to 1 and strip the trailing
-  // per-video degraded byte.
   index::VideoDatabase db;
   structure::ContentStructure cs;
   shot::Shot s;
@@ -558,16 +704,44 @@ TEST(DatabaseVersionTest, V1FilesWithoutDegradedFlagStillLoad) {
   s.end_frame = 9;
   cs.shots.push_back(s);
   db.AddVideo("legacy", std::move(cs), {}, true);
-  std::vector<uint8_t> bytes = index::SerializeDatabase(db);
-  bytes[4] = 1;
-  bytes.pop_back();
+  const std::vector<uint8_t> v1 =
+      StripToLegacy(index::SerializeDatabase(db), 1);
   const util::StatusOr<index::VideoDatabase> loaded =
-      index::ParseDatabase(bytes);
+      index::ParseDatabase(v1);
   ASSERT_TRUE(loaded.ok()) << loaded.status().message();
   ASSERT_EQ(loaded->video_count(), 1);
   EXPECT_EQ(loaded->video(0).name, "legacy");
   // v1 carries no flag; entries load as non-degraded.
   EXPECT_FALSE(loaded->video(0).degraded);
+}
+
+TEST(DatabaseVersionTest, V2FilesWithoutEntryFramesStillLoad) {
+  const index::VideoDatabase db = ThreeVideoDatabase();
+  const std::vector<uint8_t> v2 =
+      StripToLegacy(index::SerializeDatabase(db), 2);
+  const util::StatusOr<index::VideoDatabase> loaded =
+      index::ParseDatabase(v2);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  ASSERT_EQ(loaded->video_count(), 3);
+  // v2 keeps the per-video degraded flag even without entry framing.
+  EXPECT_TRUE(loaded->video(1).degraded);
+  EXPECT_EQ(loaded->DegradedCount(), 1);
+}
+
+TEST(DatabaseVersionTest, V2TornEntryStillSalvagesPrefixOnly) {
+  const index::VideoDatabase db = ThreeVideoDatabase();
+  const std::vector<uint8_t> v2 =
+      StripToLegacy(index::SerializeDatabase(db), 2);
+  std::vector<uint8_t> cut(
+      v2.begin(), v2.begin() + static_cast<ptrdiff_t>(v2.size() * 2 / 5));
+  util::SalvageReport report;
+  const util::StatusOr<index::VideoDatabase> salvaged =
+      index::ParseDatabaseSalvage(cut, &report);
+  ASSERT_TRUE(salvaged.ok());
+  // Unframed legacy entries cannot be resynchronised past a tear.
+  EXPECT_EQ(salvaged->video_count(), 1);
+  EXPECT_EQ(report.resync_points, 0);
+  EXPECT_EQ(report.items_dropped, 2);
 }
 
 TEST(DatabaseVersionTest, FutureVersionIsRejectedWithClearMessage) {
