@@ -1,0 +1,205 @@
+// Multi-client load driver for classminerd: starts the daemon in-process,
+// hammers it from concurrent client sessions, and records request latency
+// percentiles, throughput, and the observability counters (admission
+// rejections, deadline misses) into BENCH_server.json.
+//
+//   server_load [out.json] [clients] [requests-per-client]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/cmv_pipeline.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "synth/corpus.h"
+#include "util/retry.h"
+
+namespace {
+
+using namespace classminer;
+
+std::string WriteTestContainer(const std::string& path) {
+  const synth::GeneratedVideo g =
+      synth::GenerateVideo(synth::QuickScript(17));
+  const codec::CmvFile file = core::PackGeneratedVideo(g);
+  const util::Status saved = file.SaveToFile(path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    std::abort();
+  }
+  return path;
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t rank = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_server.json";
+  const int clients = argc > 2 ? std::atoi(argv[2]) : 8;
+  const int per_client = argc > 3 ? std::atoi(argv[3]) : 8;
+
+  const std::string cmv = WriteTestContainer("/tmp/server_load.cmv");
+
+  server::ServerOptions options;
+  options.worker_threads = 4;
+  options.max_queue = 4;  // small bound so the burst provokes rejections
+  server::ClassMinerServer daemon(options);
+  const util::Status started = daemon.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("classminerd on port %d: %d clients x %d requests\n",
+              daemon.port(), clients, per_client);
+
+  // Throughput phase: concurrent sessions issuing compressed-domain mines,
+  // retrying admission rejections the way a real client would.
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(clients));
+  std::atomic<int> failures{0};
+  bench::WallTimer wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      server::SessionHello hello;
+      hello.user = "load" + std::to_string(c);
+      hello.clearance = 3;
+      util::StatusOr<server::Client> client =
+          server::Client::Connect("127.0.0.1", daemon.port(), hello);
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      util::RetryOptions retry;
+      retry.max_attempts = 64;
+      retry.initial_backoff_ms = 2.0;
+      retry.max_backoff_ms = 200.0;
+      retry.jitter_seed = 1000 + static_cast<uint64_t>(c);
+      for (int r = 0; r < per_client; ++r) {
+        bench::WallTimer timer;
+        util::StatusOr<std::string> report = util::RetryOr<std::string>(
+            retry, [&]() -> util::StatusOr<std::string> {
+              return client->CallForReport(server::RequestKind::kMine,
+                                           {cmv, "--fast"});
+            });
+        if (report.ok()) {
+          latencies[static_cast<size_t>(c)].push_back(timer.Seconds() *
+                                                      1000.0);
+        } else {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed = wall.Seconds();
+
+  std::vector<double> all;
+  for (const std::vector<double>& per : latencies) {
+    all.insert(all.end(), per.begin(), per.end());
+  }
+  const double p50 = Percentile(all, 0.50);
+  const double p99 = Percentile(all, 0.99);
+  const double qps = elapsed > 0 ? all.size() / elapsed : 0.0;
+
+  // Deadline phase: impossible 1 ms deadlines must come back
+  // kDeadlineExceeded, never hang.
+  int deadline_hits = 0;
+  {
+    server::SessionHello hello;
+    hello.user = "deadline";
+    hello.clearance = 3;
+    util::StatusOr<server::Client> client =
+        server::Client::Connect("127.0.0.1", daemon.port(), hello);
+    if (client.ok()) {
+      for (int i = 0; i < 8; ++i) {
+        util::StatusOr<std::string> report = client->CallForReport(
+            server::RequestKind::kMine, {cmv, "--fast"}, /*deadline_ms=*/1);
+        if (report.status().code() ==
+            util::StatusCode::kDeadlineExceeded) {
+          ++deadline_hits;
+        }
+      }
+    }
+  }
+
+  const server::ServerStats stats = daemon.StatsSnapshot();
+  daemon.Stop();
+  const server::ServerStats final_stats = daemon.StatsSnapshot();
+
+  std::printf(
+      "ok %zu  p50 %.1f ms  p99 %.1f ms  %.2f q/s  rejected %llu  "
+      "deadline %llu  failures %d\n",
+      all.size(), p50, p99, qps,
+      static_cast<unsigned long long>(stats.rejected_admission),
+      static_cast<unsigned long long>(stats.deadline_exceeded), failures.load());
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out,
+               "  \"benchmark\": \"bench/server_load.cc (classminerd "
+               "multi-client load driver)\",\n");
+  std::fprintf(
+      out,
+      "  \"description\": \"In-process classminerd serving %d concurrent "
+      "client sessions, %d compressed-domain mine requests each, with "
+      "util::Retry absorbing admission rejections (queue bound %d over %d "
+      "workers); then 8 requests carrying an impossible 1 ms deadline. "
+      "Latencies are end-to-end per request, including retry backoff.\",\n",
+      clients, per_client, options.max_queue, options.worker_threads);
+  std::fprintf(out, "  \"command\": \"./build/bench/server_load\",\n");
+  std::fprintf(out, "  \"environment\": {\n");
+  std::fprintf(out, "    \"date\": \"2026-08-08\",\n");
+  std::fprintf(out, "    \"cpus\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "    \"build_type\": \"Release\",\n");
+  std::fprintf(out,
+               "    \"note\": \"Loopback TCP, synthetic 17-scene container, "
+               "mine --fast (compressed-domain). rejected_admission counts "
+               "kUnavailable refusals the clients retried through; "
+               "deadline_exceeded counts requests refused or cancelled by "
+               "the deadline monitor.\"\n");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"results\": [\n");
+  std::fprintf(out,
+               "    { \"name\": \"throughput_phase\", "
+               "\"requests_completed\": %zu, \"latency_p50_ms\": %.2f, "
+               "\"latency_p99_ms\": %.2f, \"queries_per_second\": %.2f, "
+               "\"wall_seconds\": %.2f },\n",
+               all.size(), p50, p99, qps, elapsed);
+  std::fprintf(out,
+               "    { \"name\": \"deadline_phase\", \"requests_sent\": 8, "
+               "\"deadline_requests_refused\": %d }\n",
+               deadline_hits);
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"client_failures\": %d,\n", failures.load());
+  std::fprintf(out, "  \"rejected_admission\": %llu,\n",
+               static_cast<unsigned long long>(stats.rejected_admission));
+  std::fprintf(out, "  \"deadline_exceeded\": %llu,\n",
+               static_cast<unsigned long long>(stats.deadline_exceeded));
+  std::fprintf(out, "  \"requests_received\": %llu,\n",
+               static_cast<unsigned long long>(stats.requests_received));
+  std::fprintf(out, "  \"connections_accepted\": %llu,\n",
+               static_cast<unsigned long long>(stats.connections_accepted));
+  std::fprintf(out, "  \"connections_leaked\": %llu\n",
+               static_cast<unsigned long long>(final_stats.connections_active));
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return failures.load() == 0 ? 0 : 1;
+}

@@ -35,12 +35,8 @@
 
 #include "codec/decoder.h"
 #include "core/cmv_pipeline.h"
-#include "core/repair.h"
-#include "index/browser.h"
-#include "index/hier_index.h"
 #include "index/persist.h"
-#include "index/repair.h"
-#include "skim/playback.h"
+#include "server/ops.h"
 #include "skim/storyboard.h"
 #include "skim/summary.h"
 #include "synth/corpus.h"
@@ -99,6 +95,29 @@ bool LoadAndMine(const std::string& path, codec::CmvFile* file,
   result->salvage.Merge(salvage);
   if (result->salvage.salvaged) result->degraded = true;
   return true;
+}
+
+// Advisory output from the shared operation layer — degradation notes and
+// per-stage timing — goes to stderr: stdout carries only the deterministic
+// report, byte-identical to the classminerd response body.
+void PrintDiagnostics(const server::OpDiagnostics& diag) {
+  for (const std::string& note : diag.notes) {
+    std::fprintf(stderr, "%s\n", note.c_str());
+  }
+  for (const std::string& table : diag.metrics) {
+    std::fprintf(stderr, "%s", table.c_str());
+  }
+}
+
+// Prints a failed operation and converts it to an exit code.
+int FinishOp(const server::OpResult& op, const server::OpDiagnostics& diag) {
+  std::printf("%s", op.report.c_str());
+  PrintDiagnostics(diag);
+  if (!op.ok()) {
+    std::fprintf(stderr, "%s\n", op.status.ToString().c_str());
+    return 1;
+  }
+  return 0;
 }
 
 // One stderr block describing what a degraded run lost (silent otherwise).
@@ -188,27 +207,10 @@ int CmdMine(const std::vector<std::string>& args) {
       return Usage();
     }
   }
-  codec::CmvFile file;
-  core::MiningResult result;
-  if (!LoadAndMine(args[0], &file, &result, options, strict, fast)) return 1;
-  ReportDegradation(args[0], result);
-
-  const structure::ContentStructure& cs = result.structure;
-  std::printf("%s: %zu shots, %zu groups, %d scenes, %zu clustered scenes "
-              "(CRF %.3f)\n",
-              file.name.c_str(), cs.shots.size(), cs.groups.size(),
-              cs.ActiveSceneCount(), cs.clustered_scenes.size(),
-              cs.CompressionRateFactor());
-  for (const events::EventRecord& rec : result.events) {
-    const structure::Scene& scene =
-        cs.scenes[static_cast<size_t>(rec.scene_index)];
-    std::printf("  scene %2d: %-18s %2d shots (groups %d..%d)\n",
-                scene.index, events::EventTypeName(rec.type),
-                cs.ShotCountOfScene(scene), scene.start_group,
-                scene.end_group);
-  }
-  std::printf("\nper-stage metrics:\n%s", result.metrics.ToString().c_str());
-  return 0;
+  server::OpEnv env;
+  env.mining = options;
+  server::OpDiagnostics diag;
+  return FinishOp(server::MineOp(args[0], fast, strict, env, &diag), diag);
 }
 
 int CmdSearch(const std::vector<std::string>& args) {
@@ -265,48 +267,44 @@ int CmdSkim(const std::vector<std::string>& args) {
   }
   if (level < 1 || level > skim::kSkimLevels) return Usage();
 
+  server::OpEnv env;
+  server::OpDiagnostics diag;
   codec::CmvFile file;
   core::MiningResult result;
-  if (!LoadAndMine(args[0], &file, &result)) return 1;
-  // Build the skim through a metrics-carrying context so the cost table
-  // below includes a "skim" row alongside the mining stages.
-  const util::ExecutionContext skim_ctx(nullptr, &result.metrics, nullptr,
-                                        nullptr);
-  const skim::ScalableSkim sk(&result.structure, skim_ctx);
+  const server::OpResult op =
+      server::SkimOp(args[0], level, env, &diag, &file, &result);
+  std::printf("%s", op.report.c_str());
+  if (!op.ok()) {
+    PrintDiagnostics(diag);
+    std::fprintf(stderr, "%s\n", op.status.ToString().c_str());
+    return 1;
+  }
 
-  std::printf("%-6s %-12s %-10s %s\n", "level", "skim shots", "frames",
-              "FCR");
-  for (int lvl = skim::kSkimLevels; lvl >= 1; --lvl) {
-    const skim::SkimTrack& t = sk.track(lvl);
-    std::printf("%-6d %-12zu %-10ld %.3f%s\n", lvl, t.shot_indices.size(),
-                t.frame_count, sk.Fcr(lvl), lvl == level ? "  <-" : "");
-  }
-  const auto plan = skim::BuildPlaybackPlan(sk, level, file.fps);
-  std::printf("level %d plays %.1f s of %.1f s\n", level,
-              skim::PlanDurationSeconds(plan),
-              file.frame_count() / file.fps);
-
-  if (!html_path.empty()) {
-    const util::Status status = skim::ExportHtmlSummary(
-        result.structure, result.events, sk, file.name, html_path);
-    if (!status.ok()) {
-      std::fprintf(stderr, "%s\n", status.ToString().c_str());
-      return 1;
+  if (!html_path.empty() || !storyboard_path.empty()) {
+    // Exports rebuild the skim from the op's mining result (no re-mine).
+    const skim::ScalableSkim sk(&result.structure);
+    if (!html_path.empty()) {
+      const util::Status status = skim::ExportHtmlSummary(
+          result.structure, result.events, sk, file.name, html_path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", html_path.c_str());
     }
-    std::printf("wrote %s\n", html_path.c_str());
-  }
-  if (!storyboard_path.empty()) {
-    util::StatusOr<media::Video> video = codec::DecodeVideo(file);
-    if (!video.ok()) return 1;
-    const util::Status status = skim::ExportStoryboard(
-        sk, level, *video, result.events, storyboard_path);
-    if (!status.ok()) {
-      std::fprintf(stderr, "%s\n", status.ToString().c_str());
-      return 1;
+    if (!storyboard_path.empty()) {
+      util::StatusOr<media::Video> video = codec::DecodeVideo(file);
+      if (!video.ok()) return 1;
+      const util::Status status = skim::ExportStoryboard(
+          sk, level, *video, result.events, storyboard_path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", storyboard_path.c_str());
     }
-    std::printf("wrote %s\n", storyboard_path.c_str());
   }
-  std::printf("\nper-stage metrics:\n%s", result.metrics.ToString().c_str());
+  PrintDiagnostics(diag);
   return 0;
 }
 
@@ -325,50 +323,12 @@ int CmdBrowse(const std::vector<std::string>& args) {
   }
   if (paths.empty()) return Usage();
 
-  index::VideoDatabase db;
-  std::vector<std::string> names;
-  std::vector<core::PipelineMetrics> per_video;
-  for (const std::string& path : paths) {
-    codec::CmvFile file;
-    core::MiningResult result;
-    if (!LoadAndMine(path, &file, &result, {}, strict)) return 1;
-    ReportDegradation(path, result);
-    names.push_back(file.name);
-    per_video.push_back(result.metrics);
-    db.AddVideo(file.name, std::move(result.structure),
-                std::move(result.events), result.degraded);
-  }
-  const index::ConceptHierarchy concepts =
-      index::ConceptHierarchy::MedicalDefault();
-  // Shared (per-database) costs — index construction and browse-tree
-  // assembly — land in one registry through the context.
-  core::PipelineMetrics shared;
-  const util::ExecutionContext ctx(nullptr, &shared, nullptr, nullptr);
-  const index::HierarchicalIndex hier(&db, &concepts,
-                                      index::HierarchicalIndex::Options(),
-                                      ctx);
-  const index::AccessController access(&concepts);
   index::UserCredential user;
   user.name = "cli";
   user.clearance = clearance;
-  const auto tree = index::BuildBrowseTree(db, concepts, access, user, ctx);
-  std::printf("%s", index::RenderBrowseTree(tree).c_str());
-
-  // End-to-end cost report: per-video mining pipelines, then the shared
-  // index/browse stages.
-  std::printf("\nper-video cost:\n");
-  std::printf("  %-20s %10s %8s\n", "video", "total ms", "stages");
-  for (size_t i = 0; i < names.size(); ++i) {
-    std::printf("  %-20s %10.2f %8zu%s\n", names[i].c_str(),
-                per_video[i].TotalMs(), per_video[i].stages.size(),
-                db.video(static_cast<int>(i)).degraded ? "  degraded" : "");
-  }
-  if (db.DegradedCount() > 0) {
-    std::printf("%d of %d video(s) indexed degraded\n", db.DegradedCount(),
-                db.video_count());
-  }
-  std::printf("shared index/browse cost:\n%s", shared.ToString().c_str());
-  return 0;
+  server::OpEnv env;
+  server::OpDiagnostics diag;
+  return FinishOp(server::BrowseOp(paths, strict, user, env, &diag), diag);
 }
 
 int CmdIndex(const std::vector<std::string>& args) {
@@ -411,9 +371,9 @@ int CmdIndex(const std::vector<std::string>& args) {
 
 int CmdVerify(const std::vector<std::string>& args) {
   if (args.size() != 1) return Usage();
-  const index::VerifyReport report = index::VerifyDatabaseFile(args[0]);
-  std::printf("%s: %s\n", args[0].c_str(), report.ToString().c_str());
-  return report.clean() ? 0 : 1;
+  const server::OpResult op = server::VerifyOp(args[0]);
+  std::printf("%s", op.report.c_str());
+  return op.ok() ? 0 : 1;
 }
 
 int CmdRepair(const std::vector<std::string>& args) {
@@ -431,21 +391,20 @@ int CmdRepair(const std::vector<std::string>& args) {
     }
   }
 
-  util::SalvageReport salvage;
-  util::StatusOr<index::RepairReport> report = index::RepairDatabaseFile(
-      db_path, core::MakeCmvRemineFn(media_dir, options), &salvage);
-  if (!report.ok()) {
-    std::fprintf(stderr, "%s: %s\n", db_path.c_str(),
-                 report.status().ToString().c_str());
+  server::OpEnv env;
+  env.mining = options;
+  env.media_dir = media_dir;
+  server::OpDiagnostics diag;
+  const server::OpResult op = server::RepairOp(db_path, env, &diag);
+  std::printf("%s", op.report.c_str());
+  PrintDiagnostics(diag);
+  if (!op.ok()) {
+    if (op.report.empty()) {
+      std::fprintf(stderr, "%s\n", op.status.ToString().c_str());
+    }
     return 1;
   }
-  std::printf("%s: %s\n", db_path.c_str(), report->ToString().c_str());
-  for (const std::string& note : report->notes) {
-    std::printf("  %s\n", note.c_str());
-  }
-  const std::string recovery = salvage.ToString();
-  if (!recovery.empty()) std::printf("  open: %s\n", recovery.c_str());
-  return report->failed == 0 ? 0 : 1;
+  return 0;
 }
 
 }  // namespace

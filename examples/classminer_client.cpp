@@ -1,0 +1,113 @@
+// classminer-client — remote front end over a running classminerd. Mirrors
+// the local CLI commands; the response body printed to stdout is
+// byte-identical to what the equivalent `classminer` invocation prints:
+//
+//   classminer-client [--host H] --port N [--user NAME] [--clearance N]
+//                     [--deny ID ...] [--deadline MS] [--retries N]
+//                     <mine|browse|skim|verify|repair> [args...]
+//
+// kUnavailable answers (admission control, connection capacity) are
+// retried with exponential backoff through util::Retry; every other
+// failure is final and printed to stderr.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "server/client.h"
+#include "util/retry.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: classminer-client [--host H] --port N [--user NAME] "
+      "[--clearance N]\n"
+      "                         [--deny ID ...] [--deadline MS] "
+      "[--retries N]\n"
+      "                         <mine|browse|skim|verify|repair> "
+      "[args...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace classminer;
+
+  std::string host = "127.0.0.1";
+  int port = -1;
+  server::SessionHello hello;
+  hello.user = "client";
+  hello.clearance = 3;
+  uint32_t deadline_ms = 0;
+  int retries = 3;
+  std::string command;
+  std::vector<std::string> args;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!command.empty()) {
+      args.push_back(arg);
+    } else if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--user" && i + 1 < argc) {
+      hello.user = argv[++i];
+    } else if (arg == "--clearance" && i + 1 < argc) {
+      hello.clearance = std::atoi(argv[++i]);
+    } else if (arg == "--deny" && i + 1 < argc) {
+      hello.denied_nodes.push_back(std::atoi(argv[++i]));
+    } else if (arg == "--deadline" && i + 1 < argc) {
+      deadline_ms = static_cast<uint32_t>(std::atol(argv[++i]));
+    } else if (arg == "--retries" && i + 1 < argc) {
+      retries = std::atoi(argv[++i]);
+    } else if (!arg.empty() && arg[0] != '-') {
+      command = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (port < 0 || command.empty()) return Usage();
+  util::StatusOr<server::RequestKind> kind =
+      server::ParseRequestKind(command);
+  if (!kind.ok() || *kind == server::RequestKind::kHello) return Usage();
+
+  // Admission rejections and capacity refusals are kUnavailable — exactly
+  // the code util::Retry treats as transient — so a loaded daemon sheds
+  // the burst and the client re-offers the request with backoff.
+  util::RetryOptions retry;
+  retry.max_attempts = retries < 1 ? 1 : retries;
+  retry.initial_backoff_ms = 25.0;
+  retry.max_backoff_ms = 1000.0;
+
+  std::string report;
+  const util::Status status = util::Retry(retry, [&]() -> util::Status {
+    util::StatusOr<server::Client> client =
+        server::Client::Connect(host, port, hello);
+    if (!client.ok()) return client.status();
+    util::StatusOr<server::Response> response = client->Call([&] {
+      server::Request request;
+      request.kind = *kind;
+      request.deadline_ms = deadline_ms;
+      request.args = args;
+      return request;
+    }());
+    if (!response.ok()) return response.status();
+    // Dirty verify/repair outcomes still carry their report; print it
+    // before the failing status decides the exit code.
+    report = response->body;
+    return response->ToStatus();
+  });
+
+  if (!report.empty()) std::printf("%s", report.c_str());
+  if (!status.ok()) {
+    std::fprintf(stderr, "classminer-client: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// classminerd — the ClassMiner daemon. Serves mine/browse/skim/verify/
+// repair over the CMRQ/CMRS wire protocol (see DESIGN.md) so many clients
+// can share one mining service:
+//
+//   classminerd [--host H] [--port N] [--threads N] [--queue N]
+//               [--max-conn N] [--media DIR]
+//
+// The bound port is printed to stdout as "listening on H:P" (useful with
+// --port 0, which picks an ephemeral port). SIGTERM/SIGINT stop the daemon
+// gracefully: the listener closes, in-flight requests drain and flush
+// their responses, and the final stats line goes to stderr.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "server/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: classminerd [--host H] [--port N] [--threads N] "
+               "[--queue N] [--max-conn N] [--media DIR]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace classminer;
+
+  server::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      options.port = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.worker_threads = std::atoi(argv[++i]);
+    } else if (arg == "--queue" && i + 1 < argc) {
+      options.max_queue = std::atoi(argv[++i]);
+    } else if (arg == "--max-conn" && i + 1 < argc) {
+      options.max_connections = std::atoi(argv[++i]);
+    } else if (arg == "--media" && i + 1 < argc) {
+      options.media_dir = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+
+  server::ClassMinerServer daemon(options);
+  const util::Status started = daemon.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "classminerd: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%d\n", options.host.c_str(), daemon.port());
+  std::fflush(stdout);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleSignal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  while (g_stop == 0) pause();  // signals end the wait
+
+  daemon.Stop();  // graceful: drains in-flight requests
+  const server::ServerStats stats = daemon.StatsSnapshot();
+  std::fprintf(stderr,
+               "classminerd: served %llu request(s) on %llu connection(s) "
+               "(%llu ok, %llu failed, %llu rejected, %llu deadline, "
+               "%llu denied), %llu connection(s) still active\n",
+               static_cast<unsigned long long>(stats.requests_received),
+               static_cast<unsigned long long>(stats.connections_accepted),
+               static_cast<unsigned long long>(stats.requests_ok),
+               static_cast<unsigned long long>(stats.requests_failed),
+               static_cast<unsigned long long>(stats.rejected_admission),
+               static_cast<unsigned long long>(stats.deadline_exceeded),
+               static_cast<unsigned long long>(stats.permission_denied),
+               static_cast<unsigned long long>(stats.connections_active));
+  return stats.connections_active == 0 ? 0 : 1;
+}

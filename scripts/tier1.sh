@@ -16,6 +16,9 @@ cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
+echo "== tier-1: server smoke (daemon + concurrent clients, plain) =="
+scripts/server_smoke.sh build
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== tier-1: ThreadSanitizer (concurrency + parallel pipeline) =="
   cmake -B build-tsan -S . -DCLASSMINER_TSAN=ON >/dev/null
@@ -25,6 +28,12 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   ./build-tsan/tests/pipeline_dag_test
   ./build-tsan/tests/frame_source_test
   ./build-tsan/tests/failpoint_test
+
+  echo "== tier-1: server smoke (TSAN) =="
+  # The daemon's accept/worker/deadline threads and the client fan-out all
+  # run under ThreadSanitizer; the smoke fails on any reported race.
+  cmake --build build-tsan -j --target classminerd classminer_client classminer_cli >/dev/null
+  scripts/server_smoke.sh build-tsan
 fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then

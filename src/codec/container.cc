@@ -270,6 +270,19 @@ int CmvFile::GopOfFrame(int frame_index) const {
   return lo;
 }
 
+util::Status CmvFile::ValidateForSerialize() const {
+  CLASSMINER_RETURN_IF_ERROR(util::CheckU32Count(name.size(), "CMV name"));
+  CLASSMINER_RETURN_IF_ERROR(
+      util::CheckU32Count(frames.size(), "CMV frame"));
+  for (const FrameRecord& f : frames) {
+    CLASSMINER_RETURN_IF_ERROR(
+        util::CheckU32Count(f.payload.size(), "CMV frame payload"));
+  }
+  CLASSMINER_RETURN_IF_ERROR(
+      util::CheckU32Count(audio_pcm.size(), "CMV audio sample"));
+  return util::CheckU32Count(gop_index.size(), "CMV GOP index entry");
+}
+
 std::vector<uint8_t> CmvFile::Serialize() const {
   util::ByteWriter w;
   w.PutU32(record_checksums ? kMagicV2 : kMagic);
@@ -515,6 +528,7 @@ util::StatusOr<CmvFile> CmvFile::ParseBestEffort(
 }
 
 util::Status CmvFile::SaveToFile(const std::string& path) const {
+  CLASSMINER_RETURN_IF_ERROR(ValidateForSerialize());
   return util::WriteFile(path, Serialize());
 }
 

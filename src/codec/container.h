@@ -90,6 +90,14 @@ struct CmvFile {
   // out of range / the index is empty.
   int GopOfFrame(int frame_index) const;
 
+  // Serializability guard: every collection Serialize() writes behind a u32
+  // length prefix (frame count, per-frame payload size, audio samples, GOP
+  // index entries, the name) must actually fit one, or the narrowing cast
+  // would silently truncate the count into a corrupt-but-checksum-valid
+  // file. Returns kInvalidArgument naming the offending field. SaveToFile
+  // checks it before writing.
+  util::Status ValidateForSerialize() const;
+
   std::vector<uint8_t> Serialize() const;
   // Strict parse: any structural damage — truncation, bad magic, an
   // inconsistent index — fails with DataLoss (messages carry the section

@@ -297,7 +297,75 @@ util::Status ParseDatabaseHeader(util::ByteReader* r, uint32_t* version,
   return util::Status::Ok();
 }
 
+// Exact serialized body size of one entry, mirroring PutVideo's layout
+// (string = 4 + length, shot = 4 i32 + feature doubles, scene = 4 i32 +
+// flag, event = 4 i32 + 7 flags). Counted in 64 bits so an entry too large
+// to frame is detected instead of wrapped.
+uint64_t SerializedBodySize(const VideoEntry& v) {
+  const structure::ContentStructure& cs = v.structure;
+  uint64_t size = 4 + v.name.size();
+  size += 4;
+  for (const shot::Shot& s : cs.shots) {
+    size += 16 + 8ull * (s.features.histogram.size() + s.features.tamura.size());
+  }
+  size += 4;
+  for (const structure::Group& g : cs.groups) {
+    size += 13 + 4;
+    for (const structure::ShotCluster& c : g.clusters) {
+      size += 4 + 4ull * c.shot_indices.size() + 4;
+    }
+    size += 4 + 4ull * g.rep_shots.size();
+  }
+  size += 4 + 17ull * cs.scenes.size();
+  size += 4;
+  for (const structure::SceneCluster& c : cs.clustered_scenes) {
+    size += 4 + 4ull * c.scene_indices.size() + 4;
+  }
+  size += 4 + 23ull * v.events.size();
+  size += 1;  // degraded flag
+  return size;
+}
+
 }  // namespace
+
+util::Status ValidateForSerialize(const VideoDatabase& db) {
+  CLASSMINER_RETURN_IF_ERROR(util::CheckU32Count(
+      static_cast<size_t>(db.video_count()), "CMDB video"));
+  for (int i = 0; i < db.video_count(); ++i) {
+    const VideoEntry& v = db.video(i);
+    const structure::ContentStructure& cs = v.structure;
+    const std::string at = "CMDB videos[" + std::to_string(i) + "]";
+    CLASSMINER_RETURN_IF_ERROR(
+        util::CheckU32Count(v.name.size(), at + " name byte"));
+    CLASSMINER_RETURN_IF_ERROR(
+        util::CheckU32Count(cs.shots.size(), at + " shot"));
+    CLASSMINER_RETURN_IF_ERROR(
+        util::CheckU32Count(cs.groups.size(), at + " group"));
+    for (const structure::Group& g : cs.groups) {
+      CLASSMINER_RETURN_IF_ERROR(
+          util::CheckU32Count(g.clusters.size(), at + " shot cluster"));
+      for (const structure::ShotCluster& c : g.clusters) {
+        CLASSMINER_RETURN_IF_ERROR(util::CheckU32Count(
+            c.shot_indices.size(), at + " cluster shot index"));
+      }
+      CLASSMINER_RETURN_IF_ERROR(
+          util::CheckU32Count(g.rep_shots.size(), at + " rep shot"));
+    }
+    CLASSMINER_RETURN_IF_ERROR(
+        util::CheckU32Count(cs.scenes.size(), at + " scene"));
+    CLASSMINER_RETURN_IF_ERROR(util::CheckU32Count(
+        cs.clustered_scenes.size(), at + " scene cluster"));
+    for (const structure::SceneCluster& c : cs.clustered_scenes) {
+      CLASSMINER_RETURN_IF_ERROR(util::CheckU32Count(
+          c.scene_indices.size(), at + " scene cluster index"));
+    }
+    CLASSMINER_RETURN_IF_ERROR(
+        util::CheckU32Count(v.events.size(), at + " event"));
+    CLASSMINER_RETURN_IF_ERROR(util::CheckU32Count(
+        static_cast<size_t>(SerializedBodySize(v)), at + " entry body byte"));
+  }
+  return util::Status::Ok();
+}
 
 std::vector<uint8_t> SerializeDatabase(const VideoDatabase& db) {
   util::ByteWriter w;
@@ -444,6 +512,7 @@ util::StatusOr<DatabaseManifest> LoadManifest(const std::string& path) {
 
 util::Status SaveDatabase(const VideoDatabase& db, const std::string& path) {
   CLASSMINER_RETURN_IF_ERROR(util::FailPoint::Check("index.persist.save"));
+  CLASSMINER_RETURN_IF_ERROR(ValidateForSerialize(db));
   const std::vector<uint8_t> bytes = SerializeDatabase(db);
 
   DatabaseManifest manifest;

@@ -31,6 +31,14 @@ namespace classminer::index {
 // A crash at any point of SaveDatabase leaves at least one loadable
 // generation; OpenDatabaseAnyGeneration finds it.
 
+// Serializability guard: every count SerializeDatabase writes behind a u32
+// length prefix (video count, per-entry shot/group/scene/cluster/event
+// counts, string lengths) and every framed entry body size must fit 32
+// bits, or the narrowing cast would silently truncate it into a
+// corrupt-but-checksum-valid file. Returns kInvalidArgument naming the
+// offending entry and field; SaveDatabase checks it before serializing.
+util::Status ValidateForSerialize(const VideoDatabase& db);
+
 std::vector<uint8_t> SerializeDatabase(const VideoDatabase& db);
 // Strict parse: any structural damage — including a v3 entry whose stored
 // CRC-32 does not match its body — fails with DataLoss (messages carry the

@@ -1,0 +1,57 @@
+#include "server/client.h"
+
+#include <utility>
+#include <vector>
+
+#include "server/wire.h"
+
+namespace classminer::server {
+
+util::StatusOr<Client> Client::Connect(const std::string& host, int port,
+                                       const SessionHello& hello,
+                                       size_t max_frame_bytes) {
+  util::StatusOr<int> fd = ConnectTo(host, port);
+  if (!fd.ok()) return fd.status();
+  Client client(*fd, max_frame_bytes);
+
+  util::StatusOr<std::string> credential = hello.Serialize();
+  if (!credential.ok()) return credential.status();
+  Request handshake;
+  handshake.kind = RequestKind::kHello;
+  handshake.args.push_back(std::move(*credential));
+  util::StatusOr<Response> response = client.Call(handshake);
+  if (!response.ok()) return response.status();
+  if (!response->ok()) return response->ToStatus();
+  return client;
+}
+
+util::StatusOr<Response> Client::Call(const Request& request) {
+  if (fd_ < 0) return util::Status::FailedPrecondition("client closed");
+  util::StatusOr<std::vector<uint8_t>> bytes = request.Serialize();
+  if (!bytes.ok()) return bytes.status();
+  CLASSMINER_RETURN_IF_ERROR(
+      WriteFrame(fd_, kRequestMagic, *bytes, max_frame_));
+  util::StatusOr<std::vector<uint8_t>> frame =
+      ReadFrame(fd_, kResponseMagic, max_frame_);
+  if (!frame.ok()) return frame.status();
+  return Response::Parse(*frame);
+}
+
+util::StatusOr<std::string> Client::CallForReport(
+    RequestKind kind, std::vector<std::string> args, uint32_t deadline_ms) {
+  Request request;
+  request.kind = kind;
+  request.deadline_ms = deadline_ms;
+  request.args = std::move(args);
+  util::StatusOr<Response> response = Call(request);
+  if (!response.ok()) return response.status();
+  if (!response->ok()) return response->ToStatus();
+  return std::move(response->body);
+}
+
+void Client::Close() {
+  CloseFd(fd_);
+  fd_ = -1;
+}
+
+}  // namespace classminer::server

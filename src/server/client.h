@@ -1,0 +1,65 @@
+#ifndef CLASSMINER_SERVER_CLIENT_H_
+#define CLASSMINER_SERVER_CLIENT_H_
+
+#include <string>
+#include <utility>
+
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace classminer::server {
+
+// Client side of the classminerd protocol: one TCP session, requests
+// answered in order. Connect() performs the hello handshake, so a
+// constructed client is always an authenticated session.
+class Client {
+ public:
+  // Connects and binds the session credential. Fails with the server's
+  // status when the handshake is refused (e.g. kUnavailable at connection
+  // capacity).
+  static util::StatusOr<Client> Connect(const std::string& host, int port,
+                                        const SessionHello& hello,
+                                        size_t max_frame_bytes =
+                                            kMaxFrameBytes);
+
+  Client(Client&& other) noexcept : fd_(other.fd_), max_frame_(other.max_frame_) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      max_frame_ = other.max_frame_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client() { Close(); }
+
+  // Sends one request and waits for its response. A transport failure (the
+  // daemon vanished, a torn frame) is the returned status; an operation
+  // failure arrives inside the Response, whose body may still carry a
+  // report (verify/repair on a dirty database).
+  util::StatusOr<Response> Call(const Request& request);
+
+  // Convenience: Call() collapsing operation failures into the status —
+  // the response body is returned only when the operation succeeded.
+  util::StatusOr<std::string> CallForReport(RequestKind kind,
+                                            std::vector<std::string> args,
+                                            uint32_t deadline_ms = 0);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  Client(int fd, size_t max_frame) : fd_(fd), max_frame_(max_frame) {}
+
+  int fd_ = -1;
+  size_t max_frame_ = kMaxFrameBytes;
+};
+
+}  // namespace classminer::server
+
+#endif  // CLASSMINER_SERVER_CLIENT_H_

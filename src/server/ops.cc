@@ -1,0 +1,235 @@
+#include "server/ops.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <utility>
+
+#include "core/cmv_pipeline.h"
+#include "core/metrics.h"
+#include "core/repair.h"
+#include "index/browser.h"
+#include "index/concept.h"
+#include "index/database.h"
+#include "index/hier_index.h"
+#include "index/persist.h"
+#include "index/repair.h"
+#include "skim/playback.h"
+#include "skim/skimmer.h"
+#include "util/salvage.h"
+
+namespace classminer::server {
+namespace {
+
+// printf-append into the report string; every format below matches what the
+// CLI historically printed, so the report stays stable across the refactor.
+void Appendf(std::string* out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buffer[512];
+  const int n = std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buffer, std::min(static_cast<size_t>(n),
+                                          sizeof(buffer) - 1));
+}
+
+void Note(OpDiagnostics* diag, std::string line) {
+  if (diag != nullptr) diag->notes.push_back(std::move(line));
+}
+
+// Degradation details are advisory (which stages were lost, what salvage
+// recovered), so they go to the diagnostics channel, not the report.
+void NoteDegradation(OpDiagnostics* diag, const std::string& path,
+                     const core::MiningResult& result) {
+  if (!result.degraded || diag == nullptr) return;
+  Note(diag, path + ": degraded result");
+  for (const core::StageFailure& f : result.stage_failures) {
+    Note(diag, "  stage " + f.stage + " " + f.status.ToString());
+  }
+  const std::string salvage = result.salvage.ToString();
+  if (!salvage.empty()) Note(diag, "  " + salvage);
+}
+
+void NoteMetrics(OpDiagnostics* diag, std::string label, std::string table) {
+  if (diag == nullptr || table.empty()) return;
+  diag->metrics.push_back(std::move(label) + ":\n" + std::move(table));
+}
+
+// Loads and mines one container. The default is the resilient path —
+// salvage parsing plus the degraded failure policy — so damaged archives
+// still yield flagged results; `strict` restores all-or-nothing semantics.
+util::Status LoadAndMine(const std::string& path, const OpEnv& env,
+                         bool strict, bool fast, codec::CmvFile* file,
+                         core::MiningResult* result) {
+  util::SalvageReport salvage;
+  util::StatusOr<codec::CmvFile> loaded =
+      strict ? codec::CmvFile::LoadFromFile(path)
+             : codec::CmvFile::LoadFromFileBestEffort(path, &salvage);
+  if (!loaded.ok()) {
+    return {loaded.status().code(),
+            path + ": " + loaded.status().message()};
+  }
+  core::MiningOptions options = env.mining;
+  if (!strict) options.failure_policy = core::FailurePolicy::kDegraded;
+  util::StatusOr<core::MiningResult> mined =
+      fast ? core::MineCmvFileFast(*loaded, options)
+           : core::MineCmvFile(*loaded, options);
+  if (!mined.ok()) {
+    return {mined.status().code(),
+            path + ": mining failed: " + mined.status().message()};
+  }
+  *file = std::move(*loaded);
+  *result = std::move(*mined);
+  result->salvage.Merge(salvage);
+  if (result->salvage.salvaged) result->degraded = true;
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+OpResult MineOp(const std::string& path, bool fast, bool strict,
+                const OpEnv& env, OpDiagnostics* diag) {
+  OpResult out;
+  codec::CmvFile file;
+  core::MiningResult result;
+  out.status = LoadAndMine(path, env, strict, fast, &file, &result);
+  if (!out.ok()) return out;
+  NoteDegradation(diag, path, result);
+
+  const structure::ContentStructure& cs = result.structure;
+  Appendf(&out.report,
+          "%s: %zu shots, %zu groups, %d scenes, %zu clustered scenes "
+          "(CRF %.3f)\n",
+          file.name.c_str(), cs.shots.size(), cs.groups.size(),
+          cs.ActiveSceneCount(), cs.clustered_scenes.size(),
+          cs.CompressionRateFactor());
+  for (const events::EventRecord& rec : result.events) {
+    const structure::Scene& scene =
+        cs.scenes[static_cast<size_t>(rec.scene_index)];
+    Appendf(&out.report, "  scene %2d: %-18s %2d shots (groups %d..%d)\n",
+            scene.index, events::EventTypeName(rec.type),
+            cs.ShotCountOfScene(scene), scene.start_group, scene.end_group);
+  }
+  NoteMetrics(diag, path + " per-stage metrics",
+              result.metrics.ToString());
+  return out;
+}
+
+OpResult BrowseOp(const std::vector<std::string>& paths, bool strict,
+                  const index::UserCredential& user, const OpEnv& env,
+                  OpDiagnostics* diag) {
+  OpResult out;
+  index::VideoDatabase db;
+  for (const std::string& path : paths) {
+    codec::CmvFile file;
+    core::MiningResult result;
+    out.status = LoadAndMine(path, env, strict, false, &file, &result);
+    if (!out.ok()) return out;
+    NoteDegradation(diag, path, result);
+    NoteMetrics(diag, path + " pipeline cost", result.metrics.ToString());
+    db.AddVideo(file.name, std::move(result.structure),
+                std::move(result.events), result.degraded);
+  }
+  const index::ConceptHierarchy concepts =
+      index::ConceptHierarchy::MedicalDefault();
+  // Shared (per-database) costs — index construction and browse-tree
+  // assembly — land in one registry through the context.
+  core::PipelineMetrics shared;
+  const util::ExecutionContext ctx(nullptr, &shared, env.mining.cancel,
+                                   nullptr);
+  const index::HierarchicalIndex hier(&db, &concepts,
+                                      index::HierarchicalIndex::Options(),
+                                      ctx);
+  const index::AccessController access(&concepts);
+  const auto tree = index::BuildBrowseTree(db, concepts, access, user, ctx);
+  out.report = index::RenderBrowseTree(tree);
+  if (db.DegradedCount() > 0) {
+    Appendf(&out.report, "%d of %d video(s) indexed degraded\n",
+            db.DegradedCount(), db.video_count());
+  }
+  NoteMetrics(diag, "shared index/browse cost", shared.ToString());
+  return out;
+}
+
+OpResult SkimOp(const std::string& path, int level, const OpEnv& env,
+                OpDiagnostics* diag, codec::CmvFile* file_out,
+                core::MiningResult* result_out) {
+  OpResult out;
+  if (level < 1 || level > skim::kSkimLevels) {
+    out.status = util::Status::InvalidArgument(
+        "skim level must be in [1, " + std::to_string(skim::kSkimLevels) +
+        "], got " + std::to_string(level));
+    return out;
+  }
+  codec::CmvFile file;
+  core::MiningResult result;
+  out.status = LoadAndMine(path, env, /*strict=*/false, /*fast=*/false,
+                           &file, &result);
+  if (!out.ok()) return out;
+  NoteDegradation(diag, path, result);
+  // Build the skim through a metrics-carrying context so the cost table
+  // includes a "skim" row alongside the mining stages.
+  const util::ExecutionContext skim_ctx(nullptr, &result.metrics, nullptr,
+                                        nullptr);
+  const skim::ScalableSkim sk(&result.structure, skim_ctx);
+
+  Appendf(&out.report, "%-6s %-12s %-10s %s\n", "level", "skim shots",
+          "frames", "FCR");
+  for (int lvl = skim::kSkimLevels; lvl >= 1; --lvl) {
+    const skim::SkimTrack& t = sk.track(lvl);
+    Appendf(&out.report, "%-6d %-12zu %-10ld %.3f%s\n", lvl,
+            t.shot_indices.size(), t.frame_count, sk.Fcr(lvl),
+            lvl == level ? "  <-" : "");
+  }
+  const auto plan = skim::BuildPlaybackPlan(sk, level, file.fps);
+  Appendf(&out.report, "level %d plays %.1f s of %.1f s\n", level,
+          skim::PlanDurationSeconds(plan), file.frame_count() / file.fps);
+  NoteMetrics(diag, path + " per-stage metrics",
+              result.metrics.ToString());
+  if (file_out != nullptr) *file_out = std::move(file);
+  if (result_out != nullptr) *result_out = std::move(result);
+  return out;
+}
+
+OpResult VerifyOp(const std::string& db_path) {
+  OpResult out;
+  const index::VerifyReport report = index::VerifyDatabaseFile(db_path);
+  Appendf(&out.report, "%s: %s\n", db_path.c_str(),
+          report.ToString().c_str());
+  out.status = report.clean()
+                   ? util::Status::Ok()
+                   : util::Status::DataLoss(db_path + ": database not clean");
+  return out;
+}
+
+OpResult RepairOp(const std::string& db_path, const OpEnv& env,
+                  OpDiagnostics* diag) {
+  OpResult out;
+  util::SalvageReport salvage;
+  util::StatusOr<index::RepairReport> report = index::RepairDatabaseFile(
+      db_path, core::MakeCmvRemineFn(env.media_dir, env.mining), &salvage);
+  if (!report.ok()) {
+    out.status = {report.status().code(),
+                  db_path + ": " + report.status().message()};
+    return out;
+  }
+  Appendf(&out.report, "%s: %s\n", db_path.c_str(),
+          report->ToString().c_str());
+  for (const std::string& note : report->notes) {
+    Appendf(&out.report, "  %s\n", note.c_str());
+  }
+  const std::string recovery = salvage.ToString();
+  if (!recovery.empty()) {
+    Appendf(&out.report, "  open: %s\n", recovery.c_str());
+  }
+  out.status = report->failed == 0
+                   ? util::Status::Ok()
+                   : util::Status::DataLoss(
+                         db_path + ": " + std::to_string(report->failed) +
+                         " entr" + (report->failed == 1 ? "y" : "ies") +
+                         " left unrepaired");
+  (void)diag;  // repair details are part of the report itself
+  return out;
+}
+
+}  // namespace classminer::server

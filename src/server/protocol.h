@@ -1,0 +1,108 @@
+#ifndef CLASSMINER_SERVER_PROTOCOL_H_
+#define CLASSMINER_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/access_control.h"
+#include "util/status.h"
+
+namespace classminer::server {
+
+// The classminerd wire protocol: length-prefixed binary frames over TCP,
+// built on the same ByteWriter/ByteReader + CRC-32 idioms as the CMV/CMDB
+// on-disk formats (DESIGN.md documents the full layout).
+//
+// Every frame is
+//   u32 magic      "CMRQ" (request) or "CMRS" (response)
+//   u32 body size
+//   u32 CRC-32 over the body bytes
+//   body
+// so a torn or bit-flipped frame is detected before its body is parsed,
+// exactly like a CMVE database entry. One request frame yields exactly one
+// response frame; requests on one connection are processed in order.
+inline constexpr uint32_t kRequestMagic = 0x51524d43;   // "CMRQ"
+inline constexpr uint32_t kResponseMagic = 0x53524d43;  // "CMRS"
+
+// Upper bound on a frame body. Oversized frames are rejected before
+// allocation on both sides (a hostile peer cannot make the server reserve
+// gigabytes), and serializers refuse to emit one.
+inline constexpr size_t kMaxFrameBytes = 64u << 20;
+
+// What a session asks the daemon to do. kHello must be the first request
+// of every connection: it binds the session's credential (the paper's
+// multilevel access control, Sec. 3); every later kind is checked against
+// that credential before it runs.
+enum class RequestKind : uint8_t {
+  kHello = 0,
+  kMine = 1,
+  kBrowse = 2,
+  kSkim = 3,
+  kVerify = 4,
+  kRepair = 5,
+};
+inline constexpr int kRequestKindCount = 6;
+
+// Stable lowercase name ("mine", "browse", ...).
+const char* RequestKindName(RequestKind kind);
+// Inverse of RequestKindName; kInvalidArgument for unknown names.
+util::StatusOr<RequestKind> ParseRequestKind(const std::string& name);
+
+// One request: the kind, an optional relative deadline (0 = none; the
+// server cancels and answers kDeadlineExceeded once it elapses), and
+// kind-specific string arguments:
+//   hello   (none — the credential travels in the Hello body, see below)
+//   mine    <path.cmv> [--fast] [--strict]
+//   browse  <path.cmv> [more.cmv ...] [--strict]
+//   skim    <path.cmv> [level]
+//   verify  <db.cmdb>
+//   repair  <db.cmdb>
+struct Request {
+  RequestKind kind = RequestKind::kHello;
+  uint32_t deadline_ms = 0;
+  std::vector<std::string> args;
+
+  util::StatusOr<std::vector<uint8_t>> Serialize() const;
+  static util::StatusOr<Request> Parse(const std::vector<uint8_t>& bytes);
+};
+
+// The session handshake payload, carried as args[0] (a binary string) of a
+// kHello request: who is asking and with what clearance/denials. The server
+// copies it into an index::UserCredential for every access decision the
+// session makes.
+struct SessionHello {
+  std::string user;
+  int32_t clearance = 0;
+  std::vector<int32_t> denied_nodes;  // concept ids denied to this session
+
+  util::StatusOr<std::string> Serialize() const;
+  static util::StatusOr<SessionHello> Parse(const std::string& bytes);
+
+  index::UserCredential ToCredential() const;
+};
+
+// One response: the operation's StatusCode (kOk on success; kUnavailable
+// for admission-control rejection, kPermissionDenied for a clearance
+// failure, kDeadlineExceeded for an elapsed deadline, the op's own code
+// otherwise), its message, and the report body — byte-identical to what
+// the equivalent classminer CLI invocation prints to stdout.
+struct Response {
+  util::StatusCode code = util::StatusCode::kOk;
+  std::string message;
+  std::string body;
+
+  bool ok() const { return code == util::StatusCode::kOk; }
+  // Convenience: the response's status view (message included).
+  util::Status ToStatus() const { return {code, message}; }
+
+  util::StatusOr<std::vector<uint8_t>> Serialize() const;
+  static util::StatusOr<Response> Parse(const std::vector<uint8_t>& bytes);
+};
+
+// Builds a response carrying `status` and an optional report body.
+Response MakeResponse(const util::Status& status, std::string body = {});
+
+}  // namespace classminer::server
+
+#endif  // CLASSMINER_SERVER_PROTOCOL_H_

@@ -1,0 +1,462 @@
+#include "server/server.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <future>
+#include <utility>
+
+#include "index/access_control.h"
+#include "server/wire.h"
+
+namespace classminer::server {
+namespace {
+
+// Parses a base-10 integer argument; kInvalidArgument on junk.
+util::StatusOr<int> ParseIntArg(const std::string& text,
+                                const std::string& what) {
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0' || value < -1000000 ||
+      value > 1000000) {
+    return util::Status::InvalidArgument("bad " + what + " '" + text + "'");
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+ClassMinerServer::ClassMinerServer(ServerOptions options)
+    : options_(std::move(options)),
+      concepts_(index::ConceptHierarchy::MedicalDefault()) {
+  if (options_.worker_threads < 1) options_.worker_threads = 1;
+  if (options_.max_queue < 0) options_.max_queue = 0;
+  if (options_.max_connections < 1) options_.max_connections = 1;
+}
+
+ClassMinerServer::~ClassMinerServer() { Stop(); }
+
+util::Status ClassMinerServer::Start() {
+  util::StatusOr<int> fd =
+      ListenOn(options_.host, options_.port, options_.backlog);
+  if (!fd.ok()) return fd.status();
+  util::StatusOr<int> port = BoundPort(*fd);
+  if (!port.ok()) {
+    CloseFd(*fd);
+    return port.status();
+  }
+  listen_fd_ = *fd;
+  port_ = *port;
+  pool_ = std::make_unique<util::ThreadPool>(options_.worker_threads);
+  deadline_thread_ = std::thread([this] { DeadlineLoop(); });
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return util::Status::Ok();
+}
+
+void ClassMinerServer::Stop() {
+  if (stopping_.exchange(true)) {
+    // A concurrent/second Stop still waits for the first teardown by
+    // joining whatever is left; thread::join is not concurrency-safe, so
+    // the second caller simply returns — the destructor is the only other
+    // caller and runs after Stop by construction.
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    // Unblocks accept() so the accept thread can observe stopping_.
+    shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    // Shut down only the read side: a connection mid-request still writes
+    // its response; its next read sees EOF and the loop exits.
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (Connection& conn : connections_) {
+      if (conn.fd >= 0) shutdown(conn.fd, SHUT_RD);
+    }
+  }
+  for (;;) {
+    Connection* conn = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      for (Connection& c : connections_) {
+        if (c.thread.joinable()) {
+          conn = &c;
+          break;
+        }
+      }
+    }
+    if (conn == nullptr) break;
+    conn->thread.join();  // entries are never erased while stopping_
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    connections_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(deadline_mutex_);
+    deadline_cv_.notify_all();
+  }
+  if (deadline_thread_.joinable()) deadline_thread_.join();
+  pool_.reset();
+}
+
+ServerStats ClassMinerServer::StatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void ClassMinerServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd;
+    do {
+      fd = accept(listen_fd_, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+      if (errno == ECONNABORTED) continue;
+      break;  // listener shut down (Stop) or unrecoverable
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      CloseFd(fd);
+      break;
+    }
+
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    // Reap sessions that hung up, so a long-lived daemon does not
+    // accumulate dead entries (and their joined threads release).
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if (it->fd < 0) {
+        if (it->thread.joinable()) it->thread.join();
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (static_cast<int>(connections_.size()) >= options_.max_connections) {
+      // The peer's first read (its hello response) reports the rejection.
+      const Response busy = MakeResponse(util::Status::Unavailable(
+          "server at connection capacity"));
+      util::StatusOr<std::vector<uint8_t>> bytes = busy.Serialize();
+      if (bytes.ok()) {
+        (void)WriteFrame(fd, kResponseMagic, *bytes,
+                         options_.max_frame_bytes);
+      }
+      CloseFd(fd);
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.connections_rejected;
+      continue;
+    }
+    connections_.emplace_back();
+    Connection* conn = &connections_.back();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.connections_accepted;
+      ++stats_.connections_active;
+    }
+    conn->thread = std::thread([this, conn] { ConnectionLoop(conn); });
+  }
+}
+
+void ClassMinerServer::ConnectionLoop(Connection* conn) {
+  for (;;) {
+    util::StatusOr<std::vector<uint8_t>> frame =
+        ReadFrame(conn->fd, kRequestMagic, options_.max_frame_bytes);
+    if (!frame.ok()) {
+      // kUnavailable is a normal hangup; framing damage (kDataLoss) gets a
+      // best-effort error response, but the stream cannot be trusted
+      // afterwards, so the connection closes either way.
+      if (frame.status().code() != util::StatusCode::kUnavailable) {
+        const Response err = MakeResponse(frame.status());
+        util::StatusOr<std::vector<uint8_t>> bytes = err.Serialize();
+        if (bytes.ok()) {
+          (void)WriteFrame(conn->fd, kResponseMagic, *bytes,
+                           options_.max_frame_bytes);
+        }
+      }
+      break;
+    }
+    util::StatusOr<Request> request = Request::Parse(*frame);
+    Response response;
+    if (!request.ok()) {
+      // The frame boundary held (CRC passed), so the stream stays usable.
+      response = MakeResponse(request.status());
+    } else {
+      response = HandleRequest(conn, *request);
+    }
+    util::StatusOr<std::vector<uint8_t>> bytes = response.Serialize();
+    if (!bytes.ok()) {
+      bytes = MakeResponse(bytes.status()).Serialize();
+    }
+    if (!bytes.ok() ||
+        !WriteFrame(conn->fd, kResponseMagic, *bytes,
+                    options_.max_frame_bytes)
+             .ok()) {
+      break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    CloseFd(conn->fd);
+    conn->fd = -1;  // marks the entry reapable
+  }
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  --stats_.connections_active;
+}
+
+Response ClassMinerServer::HandleRequest(Connection* conn,
+                                         const Request& request) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests_received;
+  }
+
+  if (request.kind == RequestKind::kHello) {
+    if (request.args.size() != 1) {
+      return MakeResponse(util::Status::InvalidArgument(
+          "hello carries exactly one credential argument"));
+    }
+    util::StatusOr<SessionHello> hello = SessionHello::Parse(request.args[0]);
+    if (!hello.ok()) return MakeResponse(hello.status());
+    conn->user = hello->ToCredential();
+    conn->authenticated = true;
+    return MakeResponse(util::Status::Ok(),
+                        "session " + hello->user + " clearance " +
+                            std::to_string(hello->clearance) + "\n");
+  }
+  if (!conn->authenticated) {
+    return MakeResponse(util::Status::FailedPrecondition(
+        "session not established; send hello first"));
+  }
+
+  // Multilevel access control: the session's clearance must cover the
+  // request kind, and the account must not be denied the concept root
+  // (a root denial disables the account outright).
+  const index::AccessController access(&concepts_);
+  const int required =
+      options_.min_clearance[static_cast<size_t>(request.kind)];
+  if (conn->user.clearance < required ||
+      !access.CanAccessNode(conn->user, concepts_.root())) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.permission_denied;
+    }
+    return MakeResponse(util::Status::PermissionDenied(
+        std::string(RequestKindName(request.kind)) + " requires clearance " +
+        std::to_string(required) + "; session '" + conn->user.name +
+        "' has " + std::to_string(conn->user.clearance)));
+  }
+
+  // Admission control: bound the number of admitted-but-not-executing
+  // requests. Past the bound the client hears kUnavailable immediately —
+  // the transient code util::Retry backs off on — instead of queueing
+  // without bound.
+  int queued = queued_.load(std::memory_order_acquire);
+  do {
+    if (queued >= options_.max_queue) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.rejected_admission;
+      return MakeResponse(util::Status::Unavailable(
+          "server queue full (" + std::to_string(queued) +
+          " requests waiting); retry"));
+    }
+  } while (!queued_.compare_exchange_weak(queued, queued + 1,
+                                          std::memory_order_acq_rel));
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests_admitted;
+  }
+
+  const bool has_deadline = request.deadline_ms > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(request.deadline_ms);
+
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  pool_->Schedule([this, conn, &request, &promise, has_deadline, deadline] {
+    queued_.fetch_sub(1, std::memory_order_acq_rel);
+    if (options_.request_started_hook) {
+      options_.request_started_hook(request.kind);
+    }
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+      // Expired while waiting in the queue: never start the op.
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.deadline_exceeded;
+      ++stats_.requests_failed;
+      promise.set_value(MakeResponse(util::Status::DeadlineExceeded(
+          "deadline expired before execution")));
+      return;
+    }
+    util::CancellationToken cancel;
+    std::shared_ptr<DeadlineEntry> watch;
+    if (has_deadline) watch = WatchDeadline(deadline, &cancel);
+    Response response = ExecuteRequest(*conn, request, &cancel);
+    if (watch != nullptr) ReleaseDeadline(watch);
+    if (response.code == util::StatusCode::kCancelled && has_deadline &&
+        std::chrono::steady_clock::now() >= deadline) {
+      // The cancellation was the deadline firing, not a client abort.
+      response.code = util::StatusCode::kDeadlineExceeded;
+      response.message = "deadline of " +
+                         std::to_string(request.deadline_ms) +
+                         " ms exceeded";
+      response.body.clear();
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (response.ok()) {
+        ++stats_.requests_ok;
+      } else {
+        ++stats_.requests_failed;
+        if (response.code == util::StatusCode::kDeadlineExceeded) {
+          ++stats_.deadline_exceeded;
+        }
+      }
+    }
+    promise.set_value(std::move(response));
+  });
+  // The reader thread waits for its own request; pipelining is per-
+  // connection serial, concurrency comes from multiple connections.
+  return future.get();
+}
+
+Response ClassMinerServer::ExecuteRequest(const Connection& conn,
+                                          const Request& request,
+                                          util::CancellationToken* cancel) {
+  OpEnv env;
+  env.mining = options_.mining;
+  env.mining.cancel = cancel;
+  env.media_dir = options_.media_dir;
+
+  OpResult result;
+  switch (request.kind) {
+    case RequestKind::kHello:
+      return MakeResponse(
+          util::Status::Internal("hello handled before dispatch"));
+    case RequestKind::kMine: {
+      if (request.args.empty()) {
+        return MakeResponse(
+            util::Status::InvalidArgument("mine needs a container path"));
+      }
+      bool fast = false, strict = false;
+      for (size_t i = 1; i < request.args.size(); ++i) {
+        if (request.args[i] == "--fast") {
+          fast = true;
+        } else if (request.args[i] == "--strict") {
+          strict = true;
+        } else {
+          return MakeResponse(util::Status::InvalidArgument(
+              "unknown mine argument '" + request.args[i] + "'"));
+        }
+      }
+      result = MineOp(request.args[0], fast, strict, env, nullptr);
+      break;
+    }
+    case RequestKind::kBrowse: {
+      bool strict = false;
+      std::vector<std::string> paths;
+      for (const std::string& arg : request.args) {
+        if (arg == "--strict") {
+          strict = true;
+        } else {
+          paths.push_back(arg);
+        }
+      }
+      if (paths.empty()) {
+        return MakeResponse(util::Status::InvalidArgument(
+            "browse needs at least one container path"));
+      }
+      result = BrowseOp(paths, strict, conn.user, env, nullptr);
+      break;
+    }
+    case RequestKind::kSkim: {
+      if (request.args.empty() || request.args.size() > 2) {
+        return MakeResponse(util::Status::InvalidArgument(
+            "skim needs a container path and an optional level"));
+      }
+      int level = 3;
+      if (request.args.size() == 2) {
+        util::StatusOr<int> parsed =
+            ParseIntArg(request.args[1], "skim level");
+        if (!parsed.ok()) return MakeResponse(parsed.status());
+        level = *parsed;
+      }
+      result = SkimOp(request.args[0], level, env, nullptr);
+      break;
+    }
+    case RequestKind::kVerify: {
+      if (request.args.size() != 1) {
+        return MakeResponse(
+            util::Status::InvalidArgument("verify needs a database path"));
+      }
+      result = VerifyOp(request.args[0]);
+      break;
+    }
+    case RequestKind::kRepair: {
+      if (request.args.size() != 1) {
+        return MakeResponse(
+            util::Status::InvalidArgument("repair needs a database path"));
+      }
+      result = RepairOp(request.args[0], env, nullptr);
+      break;
+    }
+  }
+  // Verify/repair carry their report even on a dirty outcome: the body is
+  // the finding, the status says whether it was clean.
+  return MakeResponse(result.status, std::move(result.report));
+}
+
+std::shared_ptr<ClassMinerServer::DeadlineEntry>
+ClassMinerServer::WatchDeadline(std::chrono::steady_clock::time_point deadline,
+                                util::CancellationToken* cancel) {
+  auto entry = std::make_shared<DeadlineEntry>();
+  entry->deadline = deadline;
+  entry->cancel = cancel;
+  std::lock_guard<std::mutex> lock(deadline_mutex_);
+  deadlines_.push_back(entry);
+  deadline_cv_.notify_all();
+  return entry;
+}
+
+void ClassMinerServer::ReleaseDeadline(
+    const std::shared_ptr<DeadlineEntry>& entry) {
+  std::lock_guard<std::mutex> lock(deadline_mutex_);
+  entry->done = true;
+  for (auto it = deadlines_.begin(); it != deadlines_.end(); ++it) {
+    if (*it == entry) {
+      deadlines_.erase(it);
+      break;
+    }
+  }
+  deadline_cv_.notify_all();
+}
+
+void ClassMinerServer::DeadlineLoop() {
+  std::unique_lock<std::mutex> lock(deadline_mutex_);
+  while (!stopping_.load(std::memory_order_acquire) || !deadlines_.empty()) {
+    auto next = std::chrono::steady_clock::time_point::max();
+    const auto now = std::chrono::steady_clock::now();
+    for (const std::shared_ptr<DeadlineEntry>& entry : deadlines_) {
+      if (entry->done) continue;
+      if (entry->deadline <= now) {
+        entry->cancel->Cancel();  // the run answers kDeadlineExceeded
+      } else if (entry->deadline < next) {
+        next = entry->deadline;
+      }
+    }
+    if (stopping_.load(std::memory_order_acquire) && deadlines_.empty()) {
+      break;
+    }
+    if (next == std::chrono::steady_clock::time_point::max()) {
+      deadline_cv_.wait_for(lock, std::chrono::milliseconds(100));
+    } else {
+      deadline_cv_.wait_until(lock, next);
+    }
+  }
+}
+
+}  // namespace classminer::server

@@ -1,0 +1,156 @@
+#ifndef CLASSMINER_SERVER_SERVER_H_
+#define CLASSMINER_SERVER_SERVER_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/classminer.h"
+#include "index/concept.h"
+#include "server/ops.h"
+#include "server/protocol.h"
+#include "util/exec_context.h"
+#include "util/status.h"
+#include "util/threadpool.h"
+
+namespace classminer::server {
+
+// classminerd — the mining daemon. One TCP listener; one reader thread per
+// connection; execution dispatched onto a shared util::ThreadPool. Each
+// connection opens with a kHello handshake binding an
+// index::UserCredential; every later request is checked against it
+// (clearance per request kind, denied subtrees through the browse tree)
+// before it runs. Admission control bounds the number of requests queued
+// behind the workers — past the bound a request is answered kUnavailable
+// immediately, which util::Retry treats as transient. A request-level
+// deadline cancels the run cooperatively and answers kDeadlineExceeded.
+//
+// Stop() drains gracefully: the listener closes, every connection's read
+// side is shut down (the in-flight request still writes its response), and
+// all threads are joined before Stop returns.
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 picks an ephemeral port; see ClassMinerServer::port()
+  int backlog = 64;
+  int worker_threads = 4;    // execution pool size
+  int max_queue = 16;        // admission bound: requests queued, not running
+  int max_connections = 64;  // concurrent sessions
+  size_t max_frame_bytes = kMaxFrameBytes;
+
+  // Base environment for every operation; the per-request cancellation
+  // token overrides `mining.cancel`.
+  core::MiningOptions mining;
+  std::string media_dir;  // where repair finds source containers
+
+  // Clearance a session needs per request kind, indexed by RequestKind.
+  // Defaults follow the paper's multilevel model: browsing and skimming are
+  // open, mining needs operator clearance, verify/repair are administrative.
+  std::array<int, kRequestKindCount> min_clearance = {0, 1, 0, 0, 2, 3};
+
+  // Test seam: runs on the worker the moment a request begins executing
+  // (after admission, before the op). Lets tests hold workers busy to force
+  // deterministic queue-full and deadline outcomes.
+  std::function<void(RequestKind)> request_started_hook;
+};
+
+// Monotonic counters over the server's lifetime (snapshot is consistent
+// per-field, not across fields).
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;  // over max_connections
+  uint64_t connections_active = 0;
+  uint64_t requests_received = 0;
+  uint64_t requests_admitted = 0;  // passed admission control (incl. running)
+  uint64_t requests_ok = 0;
+  uint64_t requests_failed = 0;       // executed, non-OK (incl. op errors)
+  uint64_t rejected_admission = 0;    // answered kUnavailable, never queued
+  uint64_t deadline_exceeded = 0;
+  uint64_t permission_denied = 0;
+};
+
+class ClassMinerServer {
+ public:
+  explicit ClassMinerServer(ServerOptions options);
+  ~ClassMinerServer();
+
+  ClassMinerServer(const ClassMinerServer&) = delete;
+  ClassMinerServer& operator=(const ClassMinerServer&) = delete;
+
+  // Binds, listens and spawns the accept thread. Fails without side effects
+  // (no thread runs) when the socket cannot be bound.
+  util::Status Start();
+
+  // Graceful shutdown: stops accepting, shuts down every connection's read
+  // side so in-flight requests finish and flush their responses, joins all
+  // threads. Idempotent; also runs from the destructor.
+  void Stop();
+
+  // The port actually bound (useful with port = 0). -1 before Start().
+  int port() const { return port_; }
+
+  ServerStats StatsSnapshot() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    bool authenticated = false;
+    index::UserCredential user;
+  };
+
+  // One requests-with-deadline record the monitor thread watches.
+  struct DeadlineEntry {
+    std::chrono::steady_clock::time_point deadline;
+    util::CancellationToken* cancel = nullptr;
+    bool done = false;
+  };
+
+  void AcceptLoop();
+  void ConnectionLoop(Connection* conn);
+  // Handles one decoded request end to end (admission, permission,
+  // dispatch, deadline) and returns the response to write back.
+  Response HandleRequest(Connection* conn, const Request& request);
+  // The operation itself, running on a pool worker.
+  Response ExecuteRequest(const Connection& conn, const Request& request,
+                          util::CancellationToken* cancel);
+  void DeadlineLoop();
+
+  std::shared_ptr<DeadlineEntry> WatchDeadline(
+      std::chrono::steady_clock::time_point deadline,
+      util::CancellationToken* cancel);
+  void ReleaseDeadline(const std::shared_ptr<DeadlineEntry>& entry);
+
+  ServerOptions options_;
+  index::ConceptHierarchy concepts_;
+
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::atomic<int> queued_{0};  // admitted but not yet executing
+
+  std::mutex conn_mutex_;
+  std::list<Connection> connections_;
+
+  std::mutex deadline_mutex_;
+  std::condition_variable deadline_cv_;
+  std::vector<std::shared_ptr<DeadlineEntry>> deadlines_;
+  std::thread deadline_thread_;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace classminer::server
+
+#endif  // CLASSMINER_SERVER_SERVER_H_

@@ -1,0 +1,182 @@
+#include "server/wire.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace classminer::server {
+namespace {
+
+util::Status Errno(const std::string& what) {
+  return util::Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+util::StatusOr<sockaddr_in> ResolveV4(const std::string& host, int port) {
+  if (port < 0 || port > 65535) {
+    return util::Status::InvalidArgument("port out of range: " +
+                                         std::to_string(port));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return util::Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+void PutU32LE(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+uint32_t ReadU32LE(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+util::StatusOr<int> ListenOn(const std::string& host, int port, int backlog) {
+  util::StatusOr<sockaddr_in> addr = ResolveV4(host, port);
+  if (!addr.ok()) return addr.status();
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&*addr), sizeof(*addr)) !=
+      0) {
+    const util::Status status = Errno("bind " + host + ":" + std::to_string(port));
+    CloseFd(fd);
+    return status;
+  }
+  if (listen(fd, backlog) != 0) {
+    const util::Status status = Errno("listen");
+    CloseFd(fd);
+    return status;
+  }
+  return fd;
+}
+
+util::StatusOr<int> BoundPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+util::StatusOr<int> ConnectTo(const std::string& host, int port) {
+  util::StatusOr<sockaddr_in> addr = ResolveV4(host, port);
+  if (!addr.ok()) return addr.status();
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int rc;
+  do {
+    rc = connect(fd, reinterpret_cast<const sockaddr*>(&*addr),
+                 sizeof(*addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const util::Status status =
+        Errno("connect " + host + ":" + std::to_string(port));
+    CloseFd(fd);
+    return status;
+  }
+  const int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+util::Status SendAll(int fd, const uint8_t* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;  // resume, do not restart
+    return Errno("send");
+  }
+  return util::Status::Ok();
+}
+
+util::Status RecvAll(int fd, uint8_t* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = recv(fd, data + done, size - done, 0);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;  // resume, do not restart
+    if (n == 0) {
+      return done == 0
+                 ? util::Status::Unavailable("connection closed")
+                 : util::Status::DataLoss("connection closed mid-frame");
+    }
+    return Errno("recv");
+  }
+  return util::Status::Ok();
+}
+
+util::Status WriteFrame(int fd, uint32_t magic,
+                        const std::vector<uint8_t>& body,
+                        size_t max_frame_bytes) {
+  if (body.size() > max_frame_bytes) {
+    return util::Status::InvalidArgument(
+        "frame body of " + std::to_string(body.size()) +
+        " bytes exceeds the " + std::to_string(max_frame_bytes) +
+        "-byte limit");
+  }
+  uint8_t header[12];
+  PutU32LE(header, magic);
+  PutU32LE(header + 4, static_cast<uint32_t>(body.size()));
+  PutU32LE(header + 8, util::Crc32(body));
+  CLASSMINER_RETURN_IF_ERROR(SendAll(fd, header, sizeof(header)));
+  if (!body.empty()) {
+    CLASSMINER_RETURN_IF_ERROR(SendAll(fd, body.data(), body.size()));
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<std::vector<uint8_t>> ReadFrame(int fd, uint32_t magic,
+                                               size_t max_frame_bytes) {
+  uint8_t header[12];
+  CLASSMINER_RETURN_IF_ERROR(RecvAll(fd, header, sizeof(header)));
+  if (ReadU32LE(header) != magic) {
+    return util::Status::DataLoss("bad frame magic");
+  }
+  const uint32_t size = ReadU32LE(header + 4);
+  if (size > max_frame_bytes) {
+    return util::Status::DataLoss(
+        "frame body of " + std::to_string(size) + " bytes exceeds the " +
+        std::to_string(max_frame_bytes) + "-byte limit");
+  }
+  std::vector<uint8_t> body(size);
+  if (size > 0) {
+    CLASSMINER_RETURN_IF_ERROR(RecvAll(fd, body.data(), body.size()));
+  }
+  if (util::Crc32(body) != ReadU32LE(header + 8)) {
+    return util::Status::DataLoss("frame checksum mismatch");
+  }
+  return body;
+}
+
+void CloseFd(int fd) {
+  if (fd < 0) return;
+  int rc;
+  do {
+    rc = close(fd);
+  } while (rc != 0 && errno == EINTR);
+}
+
+}  // namespace classminer::server

@@ -1,0 +1,55 @@
+#ifndef CLASSMINER_SERVER_WIRE_H_
+#define CLASSMINER_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace classminer::server {
+
+// Socket plumbing for the classminerd protocol: EINTR-safe full-buffer
+// transfers and CRC-framed message exchange over file descriptors. Every
+// loop resumes across signal interruptions and short reads/writes — a
+// signal mid-frame must never surface as a torn frame.
+
+// Creates a listening IPv4 TCP socket bound to host:port (port 0 picks an
+// ephemeral port; BoundPort reads the choice back).
+util::StatusOr<int> ListenOn(const std::string& host, int port, int backlog);
+
+// The port a bound socket actually listens on.
+util::StatusOr<int> BoundPort(int fd);
+
+// Blocking connect to host:port.
+util::StatusOr<int> ConnectTo(const std::string& host, int port);
+
+// Writes exactly `size` bytes, resuming across EINTR and partial sends.
+// A closed peer surfaces as kUnavailable (never SIGPIPE).
+util::Status SendAll(int fd, const uint8_t* data, size_t size);
+
+// Reads exactly `size` bytes, resuming across EINTR and partial reads.
+// End-of-stream before `size` bytes is kUnavailable("connection closed"),
+// which connection loops treat as a normal hangup.
+util::Status RecvAll(int fd, uint8_t* data, size_t size);
+
+// Sends one frame: magic, body size, CRC-32 of the body, body. Bodies
+// larger than `max_frame_bytes` are refused (kInvalidArgument) before any
+// byte is written.
+util::Status WriteFrame(int fd, uint32_t magic,
+                        const std::vector<uint8_t>& body,
+                        size_t max_frame_bytes);
+
+// Receives one frame and returns its body after verifying the magic, the
+// size bound and the CRC-32. A peer hangup before the first header byte is
+// kUnavailable("connection closed"); a checksum or framing violation is
+// kDataLoss.
+util::StatusOr<std::vector<uint8_t>> ReadFrame(int fd, uint32_t magic,
+                                               size_t max_frame_bytes);
+
+// Closes `fd`, resuming across EINTR; no-op for fd < 0.
+void CloseFd(int fd);
+
+}  // namespace classminer::server
+
+#endif  // CLASSMINER_SERVER_WIRE_H_

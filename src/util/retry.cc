@@ -23,12 +23,15 @@ Status Retry(const RetryOptions& options, const std::function<Status()>& fn,
     status = fn();
     if (status.ok() || !IsTransientCode(status.code())) return status;
     if (attempt == max_attempts) break;
-    double delay_ms = std::min(backoff_ms, options.max_backoff_ms);
+    double delay_ms = backoff_ms;
     if (options.jitter_fraction > 0.0) {
       const double f = std::clamp(options.jitter_fraction, 0.0, 1.0);
       delay_ms *= jitter.Uniform(1.0 - f, 1.0 + f);
     }
-    delay_ms = std::max(0.0, delay_ms);
+    // The cap applies to the actual sleep, so it clamps AFTER jittering —
+    // an upward jitter draw must never push the delay past the configured
+    // maximum. The stats account exactly what is slept.
+    delay_ms = std::clamp(delay_ms, 0.0, std::max(0.0, options.max_backoff_ms));
     if (stats != nullptr) stats->total_backoff_ms += delay_ms;
     if (options.sleeper) {
       options.sleeper(delay_ms);

@@ -19,7 +19,9 @@ struct RetryOptions {
   int max_attempts = 3;             // total attempts, including the first
   double initial_backoff_ms = 1.0;  // delay before the second attempt
   double backoff_multiplier = 2.0;  // growth factor per retry
-  double max_backoff_ms = 64.0;     // backoff cap (pre-jitter)
+  // Hard cap on every actual delay. Applied after jittering: no draw can
+  // push a sleep past this bound.
+  double max_backoff_ms = 64.0;
   // Each delay is scaled by a factor drawn uniformly from
   // [1 - jitter_fraction, 1 + jitter_fraction] using a deterministic
   // generator seeded with jitter_seed, so retry storms decorrelate without

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
@@ -122,7 +123,59 @@ Status ByteReader::SeekTo(size_t pos) {
   return Status::Ok();
 }
 
+Status CheckU32Count(size_t count, const std::string& what) {
+  if (count > 0xffffffffull) {
+    return Status::InvalidArgument(what + " count " + std::to_string(count) +
+                                   " does not fit a u32 length prefix");
+  }
+  return Status::Ok();
+}
+
 namespace {
+
+// Resume loop around fwrite: a transfer interrupted by a signal (EINTR)
+// continues where it stopped instead of failing the whole operation. Any
+// other short write is a genuine error.
+bool WriteFully(std::FILE* f, const uint8_t* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const size_t n = std::fwrite(data + done, 1, size - done, f);
+    done += n;
+    if (done == size) break;
+    if (std::ferror(f) != 0 && errno == EINTR) {
+      std::clearerr(f);
+      continue;
+    }
+    if (n == 0) return false;
+  }
+  return true;
+}
+
+// Resume loop around fread, same EINTR semantics; end-of-file before `size`
+// bytes is a genuine short read.
+bool ReadFully(std::FILE* f, uint8_t* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const size_t n = std::fread(data + done, 1, size - done, f);
+    done += n;
+    if (done == size) break;
+    if (std::ferror(f) != 0 && errno == EINTR) {
+      std::clearerr(f);
+      continue;
+    }
+    if (n == 0) return false;
+  }
+  return true;
+}
+
+// fsync restarted across signal interruptions.
+int FsyncRetry(int fd) {
+  int rc;
+  do {
+    rc = fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  return rc;
+}
 
 // True when a file exists at `path` (stat-free, fopen-based: good enough
 // for deciding whether a previous generation needs rotating aside).
@@ -148,14 +201,12 @@ Status AtomicWriteFileOnce(const std::string& path,
         FailPoint::Check("serial.atomic_write.tmp_write"));
     std::FILE* f = std::fopen(tmp.c_str(), "wb");
     if (f == nullptr) return Status::NotFound("cannot open for write: " + tmp);
-    const size_t written =
-        bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
-    if (written != bytes.size()) {
+    if (!bytes.empty() && !WriteFully(f, bytes.data(), bytes.size())) {
       std::fclose(f);
       return Status::DataLoss("short write: " + tmp);
     }
     Status synced = FailPoint::Check("serial.atomic_write.fsync");
-    if (synced.ok() && (std::fflush(f) != 0 || fsync(fileno(f)) != 0)) {
+    if (synced.ok() && (std::fflush(f) != 0 || FsyncRetry(fileno(f)) != 0)) {
       synced = Status::Unavailable("fsync failed: " + tmp);
     }
     std::fclose(f);
@@ -189,9 +240,10 @@ StatusOr<std::vector<uint8_t>> ReadFileOnce(const std::string& path) {
   const long size = std::ftell(f);
   std::fseek(f, 0, SEEK_SET);
   std::vector<uint8_t> bytes(static_cast<size_t>(size));
-  const size_t read = bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
+  const bool read_ok =
+      bytes.empty() || ReadFully(f, bytes.data(), bytes.size());
   std::fclose(f);
-  if (read != bytes.size()) return Status::DataLoss("short read: " + path);
+  if (!read_ok) return Status::DataLoss("short read: " + path);
   return bytes;
 }
 

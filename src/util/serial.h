@@ -79,10 +79,20 @@ class ByteReader {
   std::string section_;
 };
 
+// Guards the u32 length prefixes used throughout the on-disk and wire
+// formats: a size_t count that does not fit in 32 bits would be silently
+// truncated by `static_cast<uint32_t>` at write time and produce a
+// corrupt-but-checksum-valid file. Returns kInvalidArgument naming `what`
+// when `count` exceeds UINT32_MAX; serializers call it before narrowing.
+Status CheckU32Count(size_t count, const std::string& what);
+
 // Whole-file helpers. Both run through util::Retry (bounded attempts,
 // exponential backoff) so transient failures — injected through the
 // "serial.read_file" / "serial.write_file" fail points, or genuine
 // kUnavailable conditions — are absorbed instead of failing the caller.
+// Short reads/writes interrupted by a signal (EINTR) are resumed in place,
+// so a signal mid-transfer never surfaces as a spurious I/O error that the
+// retry layer would re-run from scratch.
 // WriteFile writes through the atomic path below, so a failed (or retried)
 // attempt never exposes a partially written destination to a concurrent
 // reader and never destroys the previous contents of `path`.

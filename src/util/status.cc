@@ -29,6 +29,8 @@ const char* StatusCodeName(StatusCode code) {
       return "CANCELLED";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

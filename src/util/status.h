@@ -25,6 +25,10 @@ enum class StatusCode {
   // injected transient fault). The only code util::Retry treats as
   // retryable.
   kUnavailable,
+  // The caller-supplied deadline elapsed before the operation completed
+  // (or before it ever started). Not retryable: the deadline was the
+  // caller's intent, a fresh attempt needs a fresh deadline.
+  kDeadlineExceeded,
 };
 
 // Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
@@ -68,6 +72,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

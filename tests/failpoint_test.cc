@@ -208,14 +208,50 @@ TEST(RetryTest, BackoffGrowsExponentiallyWithinJitterBand) {
   options.jitter_fraction = 0.25;
   (void)util::Retry(options,
                     []() -> Status { return Status::Unavailable("down"); });
-  // Five retries follow the first attempt; pre-jitter schedule 1,2,4,8,8
-  // (capped), each scaled into [0.75, 1.25] of its nominal value.
+  // Five retries follow the first attempt; pre-jitter schedule 1,2,4,8,8,
+  // each scaled into [0.75, 1.25] of its nominal value and then clamped to
+  // max_backoff_ms — the cap bounds the actual sleep, not the pre-jitter
+  // base.
   ASSERT_EQ(delays.size(), 5u);
   const double nominal[] = {1.0, 2.0, 4.0, 8.0, 8.0};
   for (size_t i = 0; i < delays.size(); ++i) {
     EXPECT_GE(delays[i], nominal[i] * 0.75) << "delay " << i;
-    EXPECT_LE(delays[i], nominal[i] * 1.25) << "delay " << i;
+    EXPECT_LE(delays[i], std::min(nominal[i] * 1.25, options.max_backoff_ms))
+        << "delay " << i;
   }
+}
+
+// Regression: the jitter draw must never push a delay past max_backoff_ms.
+// The clamp used to run before jittering, so an upward draw on an at-cap
+// delay could sleep up to jitter_fraction longer than the configured
+// maximum.
+TEST(RetryTest, JitteredDelayNeverExceedsConfiguredMax) {
+  std::vector<double> delays;
+  util::RetryOptions options = NoSleepOptions(&delays);
+  options.max_attempts = 12;
+  options.initial_backoff_ms = 64.0;  // at the cap from the first retry
+  options.backoff_multiplier = 2.0;
+  options.max_backoff_ms = 64.0;
+  options.jitter_fraction = 0.5;  // upward draws reach 1.5x pre-clamp
+  util::RetryStats stats;
+  (void)util::Retry(
+      options, []() -> Status { return Status::Unavailable("down"); },
+      &stats);
+  ASSERT_EQ(delays.size(), 11u);
+  bool saw_upward_draw = false;
+  double slept = 0.0;
+  for (const double delay : delays) {
+    EXPECT_LE(delay, options.max_backoff_ms);
+    EXPECT_GE(delay, options.max_backoff_ms * 0.5);  // downward band intact
+    if (delay == options.max_backoff_ms) saw_upward_draw = true;
+    slept += delay;
+  }
+  // With eleven draws at jitter 0.5, some land above 1.0 and clamp to
+  // exactly the cap; if none did, the clamp-after-jitter path never ran.
+  EXPECT_TRUE(saw_upward_draw);
+  // The stats account what was actually slept, not the pre-clamp value.
+  EXPECT_DOUBLE_EQ(stats.total_backoff_ms, slept);
+  EXPECT_EQ(stats.attempts, 12);
 }
 
 TEST(RetryTest, JitterIsDeterministicPerSeed) {

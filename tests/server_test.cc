@@ -1,0 +1,554 @@
+// classminerd end-to-end: wire framing, the session handshake, the
+// per-session permission matrix, admission control, deadlines, graceful
+// drain, and byte-identity between server responses and the shared
+// operation layer the CLI prints from.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cmv_pipeline.h"
+#include "gtest/gtest.h"
+#include "server/client.h"
+#include "server/ops.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "synth/corpus.h"
+#include "util/crc32.h"
+#include "util/retry.h"
+
+namespace classminer::server {
+namespace {
+
+using util::Status;
+using util::StatusCode;
+
+std::string TestContainer(const std::string& name, uint64_t seed) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  const synth::GeneratedVideo g = synth::GenerateVideo(synth::QuickScript(seed));
+  const codec::CmvFile file = core::PackGeneratedVideo(g);
+  EXPECT_TRUE(file.SaveToFile(path).ok());
+  return path;
+}
+
+SessionHello MakeHello(const std::string& user, int clearance) {
+  SessionHello hello;
+  hello.user = user;
+  hello.clearance = clearance;
+  return hello;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol serialization
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  Request request;
+  request.kind = RequestKind::kMine;
+  request.deadline_ms = 1500;
+  request.args = {"clip.cmv", "--fast"};
+  util::StatusOr<std::vector<uint8_t>> bytes = request.Serialize();
+  ASSERT_TRUE(bytes.ok());
+  util::StatusOr<Request> parsed = Request::Parse(*bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->kind, RequestKind::kMine);
+  EXPECT_EQ(parsed->deadline_ms, 1500u);
+  EXPECT_EQ(parsed->args, request.args);
+}
+
+TEST(ProtocolTest, ResponseRoundTripIncludingNewCode) {
+  Response response;
+  response.code = StatusCode::kDeadlineExceeded;
+  response.message = "too slow";
+  response.body = "partial report\n";
+  util::StatusOr<std::vector<uint8_t>> bytes = response.Serialize();
+  ASSERT_TRUE(bytes.ok());
+  util::StatusOr<Response> parsed = Response::Parse(*bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(parsed->message, "too slow");
+  EXPECT_EQ(parsed->body, "partial report\n");
+}
+
+TEST(ProtocolTest, HelloRoundTripCarriesCredential) {
+  SessionHello hello = MakeHello("dr_lee", 2);
+  hello.denied_nodes = {4, 9};
+  util::StatusOr<std::string> bytes = hello.Serialize();
+  ASSERT_TRUE(bytes.ok());
+  util::StatusOr<SessionHello> parsed = SessionHello::Parse(*bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->user, "dr_lee");
+  EXPECT_EQ(parsed->clearance, 2);
+  const index::UserCredential credential = parsed->ToCredential();
+  EXPECT_EQ(credential.name, "dr_lee");
+  EXPECT_EQ(credential.clearance, 2);
+  EXPECT_EQ(credential.denied_nodes.count(4), 1u);
+  EXPECT_EQ(credential.denied_nodes.count(9), 1u);
+}
+
+TEST(ProtocolTest, ParseRejectsDamage) {
+  Request request;
+  request.kind = RequestKind::kSkim;
+  request.args = {"a.cmv"};
+  std::vector<uint8_t> bytes = *request.Serialize();
+  // Unknown kind byte.
+  std::vector<uint8_t> bad_kind = bytes;
+  bad_kind[0] = 0x7f;
+  EXPECT_FALSE(Request::Parse(bad_kind).ok());
+  // Truncation inside the argument list.
+  std::vector<uint8_t> truncated(bytes.begin(), bytes.end() - 2);
+  EXPECT_FALSE(Request::Parse(truncated).ok());
+  // Trailing junk after a well-formed request.
+  std::vector<uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_FALSE(Request::Parse(trailing).ok());
+  // An arg count claiming more entries than the frame could hold.
+  std::vector<uint8_t> lying = bytes;
+  lying[5] = 0xff;  // arg count low byte (offset: kind 1 + deadline 4)
+  EXPECT_FALSE(Request::Parse(lying).ok());
+
+  std::vector<uint8_t> resp_bytes = *MakeResponse(Status::Ok()).Serialize();
+  resp_bytes[0] = 0xee;  // out-of-range status code
+  EXPECT_FALSE(Response::Parse(resp_bytes).ok());
+}
+
+TEST(ProtocolTest, RequestKindNamesRoundTrip) {
+  for (int k = 0; k < kRequestKindCount; ++k) {
+    const RequestKind kind = static_cast<RequestKind>(k);
+    util::StatusOr<RequestKind> parsed =
+        ParseRequestKind(RequestKindName(kind));
+    ASSERT_TRUE(parsed.ok()) << RequestKindName(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseRequestKind("reboot").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Wire framing over a socketpair: short reads/writes must resume.
+
+TEST(WireTest, FrameSurvivesDribbledDelivery) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  Request request;
+  request.kind = RequestKind::kBrowse;
+  request.args = {std::string(10000, 'x'), "--strict"};
+  std::vector<uint8_t> body = *request.Serialize();
+
+  // Frame bytes trickled a few at a time across many send() calls: the
+  // reader's RecvAll must resume across every short read.
+  std::thread writer([&] {
+    uint8_t header[12];
+    const uint32_t size = static_cast<uint32_t>(body.size());
+    const uint32_t crc = util::Crc32(body);
+    for (int i = 0; i < 4; ++i) {
+      header[i] = static_cast<uint8_t>((kRequestMagic >> (8 * i)) & 0xff);
+      header[4 + i] = static_cast<uint8_t>((size >> (8 * i)) & 0xff);
+      header[8 + i] = static_cast<uint8_t>((crc >> (8 * i)) & 0xff);
+    }
+    std::vector<uint8_t> frame(header, header + 12);
+    frame.insert(frame.end(), body.begin(), body.end());
+    for (size_t off = 0; off < frame.size(); off += 7) {
+      const size_t n = std::min<size_t>(7, frame.size() - off);
+      ASSERT_TRUE(SendAll(fds[1], frame.data() + off, n).ok());
+    }
+    close(fds[1]);
+  });
+
+  util::StatusOr<std::vector<uint8_t>> got =
+      ReadFrame(fds[0], kRequestMagic, kMaxFrameBytes);
+  writer.join();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, body);
+  close(fds[0]);
+}
+
+TEST(WireTest, CorruptFrameIsDataLossAndHangupIsUnavailable) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::vector<uint8_t> body = {1, 2, 3, 4};
+  ASSERT_TRUE(WriteFrame(fds[1], kRequestMagic, body, kMaxFrameBytes).ok());
+  // Wrong expected magic -> kDataLoss.
+  util::StatusOr<std::vector<uint8_t>> got =
+      ReadFrame(fds[0], kResponseMagic, kMaxFrameBytes);
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+  close(fds[0]);
+  close(fds[1]);
+
+  // Peer hangup before any byte -> kUnavailable (normal close); hangup
+  // mid-frame -> kDataLoss (a torn frame is damage, not a clean goodbye).
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  close(fds[1]);
+  got = ReadFrame(fds[0], kRequestMagic, kMaxFrameBytes);
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+  close(fds[0]);
+
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const uint8_t partial[3] = {0x43, 0x4d, 0x52};  // first bytes of "CMRQ"
+  ASSERT_TRUE(SendAll(fds[1], partial, sizeof(partial)).ok());
+  close(fds[1]);
+  got = ReadFrame(fds[0], kRequestMagic, kMaxFrameBytes);
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+  close(fds[0]);
+}
+
+TEST(WireTest, OversizedFrameRefusedBothSides) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::vector<uint8_t> big(1024);
+  EXPECT_EQ(WriteFrame(fds[1], kRequestMagic, big, 512).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(WriteFrame(fds[1], kRequestMagic, big, 4096).ok());
+  EXPECT_EQ(ReadFrame(fds[0], kRequestMagic, 512).status().code(),
+            StatusCode::kDataLoss);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Server end-to-end
+
+class ServerTest : public ::testing::Test {
+ protected:
+  // Starts a server with `options` (host/port forced to loopback/ephemeral).
+  void StartServer(ServerOptions options = {}) {
+    options.host = "127.0.0.1";
+    options.port = 0;
+    server_ = std::make_unique<ClassMinerServer>(std::move(options));
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  util::StatusOr<Client> Connect(const SessionHello& hello) {
+    return Client::Connect("127.0.0.1", server_->port(), hello);
+  }
+
+  std::unique_ptr<ClassMinerServer> server_;
+};
+
+TEST_F(ServerTest, HelloRequiredBeforeAnyRequest) {
+  StartServer();
+  util::StatusOr<int> fd = ConnectTo("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok());
+  Request request;
+  request.kind = RequestKind::kVerify;
+  request.args = {"whatever.cmdb"};
+  ASSERT_TRUE(
+      WriteFrame(*fd, kRequestMagic, *request.Serialize(), kMaxFrameBytes)
+          .ok());
+  util::StatusOr<std::vector<uint8_t>> frame =
+      ReadFrame(*fd, kResponseMagic, kMaxFrameBytes);
+  ASSERT_TRUE(frame.ok());
+  util::StatusOr<Response> response = Response::Parse(*frame);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kFailedPrecondition);
+  CloseFd(*fd);
+}
+
+TEST_F(ServerTest, PermissionMatrixOverAllRequestKinds) {
+  const std::string cmv = TestContainer("perm.cmv", 3);
+  StartServer();
+  // Default clearance floor per kind: mine 1, browse 0, skim 0,
+  // verify 2, repair 3.
+  const struct {
+    RequestKind kind;
+    int required;
+    std::vector<std::string> args;
+  } kCases[] = {
+      {RequestKind::kMine, 1, {cmv}},
+      {RequestKind::kBrowse, 0, {cmv}},
+      {RequestKind::kSkim, 0, {cmv}},
+      {RequestKind::kVerify, 2, {"absent.cmdb"}},
+      {RequestKind::kRepair, 3, {"absent.cmdb"}},
+  };
+  for (int clearance = 0; clearance <= 3; ++clearance) {
+    util::StatusOr<Client> client =
+        Connect(MakeHello("matrix", clearance));
+    ASSERT_TRUE(client.ok());
+    for (const auto& c : kCases) {
+      Request request;
+      request.kind = c.kind;
+      request.args = c.args;
+      util::StatusOr<Response> response = client->Call(request);
+      ASSERT_TRUE(response.ok()) << RequestKindName(c.kind);
+      if (clearance < c.required) {
+        EXPECT_EQ(response->code, StatusCode::kPermissionDenied)
+            << RequestKindName(c.kind) << " at clearance " << clearance;
+      } else {
+        EXPECT_NE(response->code, StatusCode::kPermissionDenied)
+            << RequestKindName(c.kind) << " at clearance " << clearance;
+      }
+    }
+  }
+  const ServerStats stats = server_->StatsSnapshot();
+  // clearance 0 denies mine+verify+repair, 1 denies verify+repair,
+  // 2 denies repair, 3 denies nothing.
+  EXPECT_EQ(stats.permission_denied, 6u);
+}
+
+TEST_F(ServerTest, RootDenialDisablesTheAccount) {
+  const std::string cmv = TestContainer("denied.cmv", 4);
+  StartServer();
+  SessionHello hello = MakeHello("blocked", 3);
+  hello.denied_nodes = {0};  // denied the concept root
+  util::StatusOr<Client> client = Connect(hello);
+  ASSERT_TRUE(client.ok());
+  util::StatusOr<std::string> report =
+      client->CallForReport(RequestKind::kBrowse, {cmv});
+  EXPECT_EQ(report.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(ServerTest, ResponsesByteIdenticalToOpsLayerAcross8Clients) {
+  const std::string cmv = TestContainer("identity.cmv", 7);
+  StartServer();
+
+  // The expected bytes are what the CLI prints: the shared ops layer.
+  const OpEnv env;
+  const OpResult mine = MineOp(cmv, /*fast=*/false, /*strict=*/false, env,
+                               nullptr);
+  ASSERT_TRUE(mine.ok());
+  const OpResult skim = SkimOp(cmv, 3, env, nullptr);
+  ASSERT_TRUE(skim.ok());
+  index::UserCredential user;
+  user.name = "reader";
+  user.clearance = 3;
+  const OpResult browse = BrowseOp({cmv}, /*strict=*/false, user, env,
+                                   nullptr);
+  ASSERT_TRUE(browse.ok());
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      util::StatusOr<Client> client = Connect(MakeHello("reader", 3));
+      if (!client.ok()) {
+        ++mismatches;
+        return;
+      }
+      const struct {
+        RequestKind kind;
+        std::vector<std::string> args;
+        const std::string* want;
+      } kCalls[] = {
+          {RequestKind::kMine, {cmv}, &mine.report},
+          {RequestKind::kSkim, {cmv, "3"}, &skim.report},
+          {RequestKind::kBrowse, {cmv}, &browse.report},
+      };
+      // Stagger which call each client starts with, so all five kinds are
+      // in flight together.
+      for (int j = 0; j < 3; ++j) {
+        const auto& call = kCalls[(i + j) % 3];
+        util::StatusOr<std::string> got =
+            client->CallForReport(call.kind, call.args);
+        if (!got.ok() || *got != *call.want) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const ServerStats stats = server_->StatsSnapshot();
+  // Hellos are answered before dispatch; the 3 ops per client all succeed.
+  EXPECT_EQ(stats.requests_ok, static_cast<uint64_t>(kClients * 3));
+}
+
+TEST_F(ServerTest, AdmissionControlRejectsPastTheQueueBound) {
+  const std::string cmv = TestContainer("admission.cmv", 9);
+
+  std::promise<void> first_started;
+  std::promise<void> release_first;
+  std::shared_future<void> release(release_first.get_future());
+  std::atomic<int> started{0};
+
+  ServerOptions options;
+  options.worker_threads = 1;
+  options.max_queue = 1;
+  options.request_started_hook = [&](RequestKind) {
+    if (started.fetch_add(1) == 0) {
+      first_started.set_value();
+      release.wait();  // holds the only worker busy
+    }
+  };
+  StartServer(std::move(options));
+
+  // Request A occupies the worker.
+  util::StatusOr<Client> a = Connect(MakeHello("a", 3));
+  ASSERT_TRUE(a.ok());
+  std::thread blocked([&] {
+    (void)a->CallForReport(RequestKind::kSkim, {cmv});
+  });
+  first_started.get_future().wait();
+
+  // Request B fills the queue slot of 1.
+  util::StatusOr<Client> b = Connect(MakeHello("b", 3));
+  ASSERT_TRUE(b.ok());
+  std::thread queued([&] {
+    (void)b->CallForReport(RequestKind::kSkim, {cmv});
+  });
+  // B must be admitted (queued) before C can be rejected deterministically.
+  while (server_->StatsSnapshot().requests_admitted < 2) {  // A + B
+    std::this_thread::yield();
+  }
+
+  // Request C finds the queue full -> kUnavailable, immediately.
+  util::StatusOr<Client> c = Connect(MakeHello("c", 3));
+  ASSERT_TRUE(c.ok());
+  util::StatusOr<std::string> rejected =
+      c->CallForReport(RequestKind::kSkim, {cmv});
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+
+  // kUnavailable is exactly what util::Retry retries: once the worker is
+  // released, the same request goes through.
+  release_first.set_value();
+  util::RetryOptions retry;
+  retry.max_attempts = 50;
+  retry.initial_backoff_ms = 5.0;
+  retry.max_backoff_ms = 50.0;
+  util::StatusOr<std::string> report = util::RetryOr<std::string>(
+      retry, [&]() -> util::StatusOr<std::string> {
+        return c->CallForReport(RequestKind::kSkim, {cmv});
+      });
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+
+  blocked.join();
+  queued.join();
+  EXPECT_GE(server_->StatsSnapshot().rejected_admission, 1u);
+}
+
+TEST_F(ServerTest, DeadlineExpiredInQueueNeverExecutes) {
+  const std::string cmv = TestContainer("deadline.cmv", 11);
+
+  std::promise<void> first_started;
+  std::promise<void> release_first;
+  std::shared_future<void> release(release_first.get_future());
+  std::atomic<int> started{0};
+
+  ServerOptions options;
+  options.worker_threads = 1;
+  options.max_queue = 4;
+  options.request_started_hook = [&](RequestKind) {
+    if (started.fetch_add(1) == 0) {
+      first_started.set_value();
+      release.wait();
+    }
+  };
+  StartServer(std::move(options));
+
+  util::StatusOr<Client> a = Connect(MakeHello("a", 3));
+  ASSERT_TRUE(a.ok());
+  std::thread blocked([&] {
+    (void)a->CallForReport(RequestKind::kSkim, {cmv});
+  });
+  first_started.get_future().wait();
+
+  // Queued behind the blocked worker with a 1 ms deadline: by the time the
+  // worker frees, the deadline has long passed.
+  util::StatusOr<Client> b = Connect(MakeHello("b", 3));
+  ASSERT_TRUE(b.ok());
+  std::thread waiter([&] {
+    util::StatusOr<std::string> report =
+        b->CallForReport(RequestKind::kSkim, {cmv}, /*deadline_ms=*/1);
+    EXPECT_EQ(report.status().code(), StatusCode::kDeadlineExceeded);
+  });
+  while (server_->StatsSnapshot().requests_admitted < 2) {  // A + B
+    std::this_thread::yield();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release_first.set_value();
+  blocked.join();
+  waiter.join();
+  EXPECT_GE(server_->StatsSnapshot().deadline_exceeded, 1u);
+}
+
+TEST_F(ServerTest, GracefulStopDrainsInFlightRequests) {
+  const std::string cmv = TestContainer("drain.cmv", 13);
+
+  std::promise<void> started_promise;
+  std::promise<void> release_promise;
+  std::shared_future<void> release(release_promise.get_future());
+  std::atomic<int> started{0};
+
+  ServerOptions options;
+  options.worker_threads = 2;
+  options.request_started_hook = [&](RequestKind) {
+    if (started.fetch_add(1) == 0) {
+      started_promise.set_value();
+      release.wait();
+    }
+  };
+  StartServer(std::move(options));
+
+  util::StatusOr<Client> client = Connect(MakeHello("drain", 3));
+  ASSERT_TRUE(client.ok());
+  util::StatusOr<std::string> report = Status::Internal("never ran");
+  std::thread in_flight([&] {
+    report = client->CallForReport(RequestKind::kSkim, {cmv});
+  });
+  started_promise.get_future().wait();
+
+  // Stop while the request is mid-flight: it must still complete and flush
+  // its response before Stop returns.
+  std::thread stopper([&] { server_->Stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release_promise.set_value();
+  stopper.join();
+  in_flight.join();
+
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const ServerStats stats = server_->StatsSnapshot();
+  EXPECT_EQ(stats.connections_active, 0u);  // no leaked connections
+  EXPECT_GE(stats.requests_ok, 1u);
+}
+
+TEST_F(ServerTest, ConnectionCapacityRefusesTheExtraSession) {
+  ServerOptions options;
+  options.max_connections = 1;
+  StartServer(std::move(options));
+
+  util::StatusOr<Client> first = Connect(MakeHello("one", 1));
+  ASSERT_TRUE(first.ok());
+  util::StatusOr<Client> second = Connect(MakeHello("two", 1));
+  EXPECT_EQ(second.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(server_->StatsSnapshot().connections_rejected, 1u);
+}
+
+TEST_F(ServerTest, VerifyCarriesItsReportEvenWhenDirty) {
+  StartServer();
+  util::StatusOr<Client> client = Connect(MakeHello("admin", 3));
+  ASSERT_TRUE(client.ok());
+  Request request;
+  request.kind = RequestKind::kVerify;
+  request.args = {::testing::TempDir() + "/no_such.cmdb"};
+  util::StatusOr<Response> response = client->Call(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kDataLoss);
+  // The body is the same report the CLI prints before exiting non-zero.
+  const OpResult expected = VerifyOp(request.args[0]);
+  EXPECT_EQ(response->body, expected.report);
+  EXPECT_FALSE(response->body.empty());
+}
+
+TEST_F(ServerTest, MalformedRequestFrameGetsAnErrorResponse) {
+  StartServer();
+  util::StatusOr<int> fd = ConnectTo("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok());
+  // A CRC-valid frame whose body is not a parseable request.
+  std::vector<uint8_t> junk = {0x7f, 0x00};
+  ASSERT_TRUE(WriteFrame(*fd, kRequestMagic, junk, kMaxFrameBytes).ok());
+  util::StatusOr<std::vector<uint8_t>> frame =
+      ReadFrame(*fd, kResponseMagic, kMaxFrameBytes);
+  ASSERT_TRUE(frame.ok());
+  util::StatusOr<Response> response = Response::Parse(*frame);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kInvalidArgument);
+  CloseFd(*fd);
+}
+
+}  // namespace
+}  // namespace classminer::server

@@ -277,5 +277,18 @@ TEST(SerialTest, MissingFileIsNotFound) {
   EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
 }
 
+TEST(SerialTest, CheckU32CountGuardsNarrowing) {
+  // Everything a u32 length prefix can hold passes...
+  EXPECT_TRUE(CheckU32Count(0, "shot").ok());
+  EXPECT_TRUE(CheckU32Count(0xffffffffull, "shot").ok());
+  // ...and the first value a bare static_cast<uint32_t> would silently
+  // truncate (to 0) is refused before any byte is written.
+  const Status overflow = CheckU32Count(0x100000000ull, "videos[3] shot");
+  EXPECT_EQ(overflow.code(), StatusCode::kInvalidArgument);
+  // The message names the offending field so the caller can find it.
+  EXPECT_NE(overflow.message().find("videos[3] shot"), std::string::npos);
+  EXPECT_FALSE(CheckU32Count(SIZE_MAX, "frame").ok());
+}
+
 }  // namespace
 }  // namespace classminer::util
