@@ -4,15 +4,24 @@
 //
 //   classminer-client [--host H] --port N [--user NAME] [--clearance N]
 //                     [--deny ID ...] [--deadline MS] [--retries N]
+//                     [--pipeline D] [--repeat N]
 //                     <mine|browse|skim|verify|repair> [args...]
 //
-// kUnavailable answers (admission control, connection capacity) are
-// retried with exponential backoff through util::Retry; every other
-// failure is final and printed to stderr.
+// --repeat N issues the same request N times. With --pipeline D the
+// repeats ride one protocol-v2 session with up to D requests in flight at
+// once (responses reassembled from streamed chunks, printed in issue
+// order); without it each repeat is a fresh serial v1 call. kUnavailable
+// answers (admission control, connection capacity) are retried with
+// exponential backoff through util::Retry; every other failure is final
+// and printed to stderr.
 
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
+#include <future>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "server/client.h"
@@ -27,6 +36,7 @@ int Usage() {
       "[--clearance N]\n"
       "                         [--deny ID ...] [--deadline MS] "
       "[--retries N]\n"
+      "                         [--pipeline D] [--repeat N]\n"
       "                         <mine|browse|skim|verify|repair> "
       "[args...]\n");
   return 2;
@@ -44,6 +54,8 @@ int main(int argc, char** argv) {
   hello.clearance = 3;
   uint32_t deadline_ms = 0;
   int retries = 3;
+  int pipeline = 0;  // 0 = serial v1; >= 1 = pipelined v2 depth
+  int repeat = 1;
   std::string command;
   std::vector<std::string> args;
 
@@ -65,6 +77,10 @@ int main(int argc, char** argv) {
       deadline_ms = static_cast<uint32_t>(std::atol(argv[++i]));
     } else if (arg == "--retries" && i + 1 < argc) {
       retries = std::atoi(argv[++i]);
+    } else if (arg == "--pipeline" && i + 1 < argc) {
+      pipeline = std::atoi(argv[++i]);
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      repeat = std::atoi(argv[++i]);
     } else if (!arg.empty() && arg[0] != '-') {
       command = arg;
     } else {
@@ -84,24 +100,64 @@ int main(int argc, char** argv) {
   retry.initial_backoff_ms = 25.0;
   retry.max_backoff_ms = 1000.0;
 
+  if (repeat < 1) repeat = 1;
+  const auto make_request = [&] {
+    server::Request request;
+    request.kind = *kind;
+    request.deadline_ms = deadline_ms;
+    request.args = args;
+    return request;
+  };
+
   std::string report;
-  const util::Status status = util::Retry(retry, [&]() -> util::Status {
-    util::StatusOr<server::Client> client =
-        server::Client::Connect(host, port, hello);
-    if (!client.ok()) return client.status();
-    util::StatusOr<server::Response> response = client->Call([&] {
-      server::Request request;
-      request.kind = *kind;
-      request.deadline_ms = deadline_ms;
-      request.args = args;
-      return request;
-    }());
-    if (!response.ok()) return response.status();
-    // Dirty verify/repair outcomes still carry their report; print it
-    // before the failing status decides the exit code.
-    report = response->body;
-    return response->ToStatus();
-  });
+  util::Status status = util::Status::Ok();
+  if (pipeline >= 1) {
+    // One v2 session, up to `pipeline` requests on the wire at once;
+    // reports print in issue order however the server finishes them.
+    status = util::Retry(retry, [&]() -> util::Status {
+      report.clear();
+      util::StatusOr<std::unique_ptr<server::PipelinedClient>> client =
+          server::PipelinedClient::Connect(host, port, hello);
+      if (!client.ok()) return client.status();
+      std::deque<std::future<util::StatusOr<server::Response>>> window;
+      util::Status batch = util::Status::Ok();
+      const auto settle = [&] {
+        util::StatusOr<server::Response> response =
+            std::move(window.front()).get();
+        window.pop_front();
+        if (!response.ok()) return response.status();
+        report += response->body;
+        return response->ToStatus();
+      };
+      for (int n = 0; n < repeat && batch.ok(); ++n) {
+        if (static_cast<int>(window.size()) >= pipeline) batch = settle();
+        if (batch.ok()) window.push_back((*client)->AsyncCall(make_request()));
+      }
+      while (!window.empty()) {
+        const util::Status drained = settle();
+        if (batch.ok()) batch = drained;
+      }
+      return batch;
+    });
+  } else {
+    status = util::Retry(retry, [&]() -> util::Status {
+      report.clear();
+      util::StatusOr<server::Client> client =
+          server::Client::Connect(host, port, hello);
+      if (!client.ok()) return client.status();
+      for (int n = 0; n < repeat; ++n) {
+        util::StatusOr<server::Response> response =
+            client->Call(make_request());
+        if (!response.ok()) return response.status();
+        // Dirty verify/repair outcomes still carry their report; print it
+        // before the failing status decides the exit code.
+        report += response->body;
+        const util::Status op = response->ToStatus();
+        if (!op.ok()) return op;
+      }
+      return util::Status::Ok();
+    });
+  }
 
   if (!report.empty()) std::printf("%s", report.c_str());
   if (!status.ok()) {

@@ -3,7 +3,9 @@
 // can share one mining service:
 //
 //   classminerd [--host H] [--port N] [--threads N] [--queue N]
-//               [--max-conn N] [--media DIR]
+//               [--max-conn N] [--media DIR] [--pipeline N]
+//               [--chunk BYTES] [--write-queue BYTES] [--no-cache]
+//               [--cache-bytes N] [--cache-entries N]
 //
 // The bound port is printed to stdout as "listening on H:P" (useful with
 // --port 0, which picks an ephemeral port). SIGTERM/SIGINT stop the daemon
@@ -29,7 +31,9 @@ void HandleSignal(int) { g_stop = 1; }
 int Usage() {
   std::fprintf(stderr,
                "usage: classminerd [--host H] [--port N] [--threads N] "
-               "[--queue N] [--max-conn N] [--media DIR]\n");
+               "[--queue N] [--max-conn N] [--media DIR] [--pipeline N] "
+               "[--chunk BYTES] [--write-queue BYTES] [--no-cache] "
+               "[--cache-bytes N] [--cache-entries N]\n");
   return 2;
 }
 
@@ -53,6 +57,21 @@ int main(int argc, char** argv) {
       options.max_connections = std::atoi(argv[++i]);
     } else if (arg == "--media" && i + 1 < argc) {
       options.media_dir = argv[++i];
+    } else if (arg == "--pipeline" && i + 1 < argc) {
+      options.max_pipeline = std::atoi(argv[++i]);
+    } else if (arg == "--chunk" && i + 1 < argc) {
+      options.stream_chunk_bytes =
+          static_cast<size_t>(std::atol(argv[++i]));
+    } else if (arg == "--write-queue" && i + 1 < argc) {
+      options.max_write_queue_bytes =
+          static_cast<size_t>(std::atol(argv[++i]));
+    } else if (arg == "--no-cache") {
+      options.enable_result_cache = false;
+    } else if (arg == "--cache-bytes" && i + 1 < argc) {
+      options.cache_max_bytes = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (arg == "--cache-entries" && i + 1 < argc) {
+      options.cache_max_entries =
+          static_cast<size_t>(std::atol(argv[++i]));
     } else {
       return Usage();
     }
@@ -80,7 +99,9 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "classminerd: served %llu request(s) on %llu connection(s) "
                "(%llu ok, %llu failed, %llu rejected, %llu deadline, "
-               "%llu denied), %llu connection(s) still active\n",
+               "%llu denied), %llu pipelined, %llu streamed, cache "
+               "%llu hit / %llu joined / %llu miss, %llu reader thread(s), "
+               "%llu connection(s) still active\n",
                static_cast<unsigned long long>(stats.requests_received),
                static_cast<unsigned long long>(stats.connections_accepted),
                static_cast<unsigned long long>(stats.requests_ok),
@@ -88,6 +109,12 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.rejected_admission),
                static_cast<unsigned long long>(stats.deadline_exceeded),
                static_cast<unsigned long long>(stats.permission_denied),
+               static_cast<unsigned long long>(stats.requests_pipelined),
+               static_cast<unsigned long long>(stats.responses_streamed),
+               static_cast<unsigned long long>(stats.cache_hits),
+               static_cast<unsigned long long>(stats.cache_joined),
+               static_cast<unsigned long long>(stats.cache_misses),
+               static_cast<unsigned long long>(stats.reader_threads),
                static_cast<unsigned long long>(stats.connections_active));
   return stats.connections_active == 0 ? 0 : 1;
 }

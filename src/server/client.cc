@@ -1,5 +1,10 @@
 #include "server/client.h"
 
+#include <sys/socket.h>
+
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -52,6 +57,201 @@ util::StatusOr<std::string> Client::CallForReport(
 void Client::Close() {
   CloseFd(fd_);
   fd_ = -1;
+}
+
+// ---------------------------------------------------------------------------
+// PipelinedClient
+
+struct PipelinedClient::State {
+  std::mutex mu;
+  int fd = -1;
+  size_t max_frame = kMaxFrameBytes;
+  uint32_t next_id = 1;
+  struct Inflight {
+    std::promise<util::StatusOr<Response>> promise;
+    std::string body;  // fragments accumulated so far
+  };
+  std::unordered_map<uint32_t, Inflight> inflight;
+  util::Status fail = util::Status::Ok();  // sticky transport failure
+  std::thread reader;
+
+  // Fails every in-flight call; idempotent per tag.
+  void FailAllLocked(const util::Status& status) {
+    for (auto& [id, call] : inflight) {
+      call.promise.set_value(status);
+    }
+    inflight.clear();
+    if (fail.ok()) fail = status;
+  }
+
+  static void ReaderLoop(const std::shared_ptr<State>& state);
+};
+
+// Reassembles tagged chunk streams into whole responses until the
+// connection dies, then fails whatever is still pending.
+void PipelinedClient::State::ReaderLoop(
+    const std::shared_ptr<State>& state) {
+  for (;;) {
+    uint32_t magic = 0;
+    util::StatusOr<std::vector<uint8_t>> frame = ReadFrameAny(
+        state->fd, {kResponseMagicV2}, state->max_frame, &magic);
+    util::Status dead = util::Status::Ok();
+    if (!frame.ok()) {
+      dead = frame.status();
+    } else {
+      util::StatusOr<Response> chunk = Response::ParseChunk(*frame);
+      if (!chunk.ok()) {
+        dead = chunk.status();
+      } else {
+        std::lock_guard<std::mutex> lock(state->mu);
+        auto it = state->inflight.find(chunk->request_id);
+        if (it != state->inflight.end()) {  // unknown tags are dropped
+          if (!chunk->final_chunk) {
+            it->second.body.append(chunk->body);
+          } else {
+            Response whole = std::move(*chunk);
+            whole.body = std::move(it->second.body) + whole.body;
+            it->second.promise.set_value(std::move(whole));
+            state->inflight.erase(it);
+          }
+        }
+        continue;
+      }
+    }
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->FailAllLocked(dead);
+    return;
+  }
+}
+
+util::StatusOr<std::unique_ptr<PipelinedClient>> PipelinedClient::Connect(
+    const std::string& host, int port, const SessionHello& hello,
+    size_t max_frame_bytes) {
+  util::StatusOr<int> fd = ConnectTo(host, port);
+  if (!fd.ok()) return fd.status();
+
+  // Handshake synchronously, before the reader exists: one tagged hello,
+  // one final chunk back. A capacity rejection arrives as a v1 frame (the
+  // server answers before it knows the session's version), so accept both.
+  util::StatusOr<std::string> credential = hello.Serialize();
+  if (!credential.ok()) {
+    CloseFd(*fd);
+    return credential.status();
+  }
+  Request handshake;
+  handshake.kind = RequestKind::kHello;
+  handshake.args.push_back(std::move(*credential));
+  handshake.request_id = 1;
+  util::StatusOr<std::vector<uint8_t>> bytes = handshake.SerializeTagged();
+  util::Status sent =
+      bytes.ok() ? WriteFrame(*fd, kRequestMagicV2, *bytes, max_frame_bytes)
+                 : bytes.status();
+  if (!sent.ok()) {
+    CloseFd(*fd);
+    return sent;
+  }
+  uint32_t magic = 0;
+  util::StatusOr<std::vector<uint8_t>> frame = ReadFrameAny(
+      *fd, {kResponseMagicV2, kResponseMagic}, max_frame_bytes, &magic);
+  if (!frame.ok()) {
+    CloseFd(*fd);
+    return frame.status();
+  }
+  util::StatusOr<Response> response = magic == kResponseMagicV2
+                                          ? Response::ParseChunk(*frame)
+                                          : Response::Parse(*frame);
+  if (!response.ok()) {
+    CloseFd(*fd);
+    return response.status();
+  }
+  if (!response->ok()) {
+    CloseFd(*fd);
+    return response->ToStatus();
+  }
+
+  auto client = std::unique_ptr<PipelinedClient>(new PipelinedClient());
+  client->state_ = std::make_shared<State>();
+  client->state_->fd = *fd;
+  client->state_->max_frame = max_frame_bytes;
+  client->state_->next_id = 2;  // 1 was the hello
+  std::shared_ptr<State> state = client->state_;
+  client->state_->reader =
+      std::thread([state] { State::ReaderLoop(state); });
+  return client;
+}
+
+PipelinedClient::~PipelinedClient() { Close(); }
+
+std::future<util::StatusOr<Response>> PipelinedClient::AsyncCall(
+    Request request) {
+  std::promise<util::StatusOr<Response>> failed;
+  std::future<util::StatusOr<Response>> future = failed.get_future();
+  if (state_ == nullptr) {
+    failed.set_value(util::Status::FailedPrecondition("client closed"));
+    return future;
+  }
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->fd < 0 || !state_->fail.ok()) {
+    failed.set_value(state_->fail.ok()
+                         ? util::Status::FailedPrecondition("client closed")
+                         : state_->fail);
+    return future;
+  }
+  request.request_id = state_->next_id++;
+  util::StatusOr<std::vector<uint8_t>> bytes = request.SerializeTagged();
+  if (!bytes.ok()) {
+    failed.set_value(bytes.status());
+    return future;
+  }
+  // Register before sending: the response may race the send returning.
+  State::Inflight& call = state_->inflight[request.request_id];
+  future = call.promise.get_future();
+  const util::Status sent =
+      WriteFrame(state_->fd, kRequestMagicV2, *bytes, state_->max_frame);
+  if (!sent.ok()) {
+    call.promise.set_value(sent);
+    state_->inflight.erase(request.request_id);
+  }
+  return future;
+}
+
+util::StatusOr<Response> PipelinedClient::Call(const Request& request) {
+  return AsyncCall(request).get();
+}
+
+util::StatusOr<std::string> PipelinedClient::CallForReport(
+    RequestKind kind, std::vector<std::string> args, uint32_t deadline_ms) {
+  Request request;
+  request.kind = kind;
+  request.deadline_ms = deadline_ms;
+  request.args = std::move(args);
+  util::StatusOr<Response> response = Call(request);
+  if (!response.ok()) return response.status();
+  if (!response->ok()) return response->ToStatus();
+  return std::move(response->body);
+}
+
+void PipelinedClient::Close() {
+  if (state_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->fd >= 0) {
+      // Wakes the reader out of its blocking read; it fails any remaining
+      // in-flight calls on the way out.
+      shutdown(state_->fd, SHUT_RDWR);
+    }
+  }
+  if (state_->reader.joinable()) state_->reader.join();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->FailAllLocked(util::Status::Unavailable("client closed"));
+  CloseFd(state_->fd);
+  state_->fd = -1;
+}
+
+bool PipelinedClient::connected() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->fd >= 0 && state_->fail.ok();
 }
 
 }  // namespace classminer::server

@@ -1,8 +1,11 @@
 #ifndef CLASSMINER_SERVER_CLIENT_H_
 #define CLASSMINER_SERVER_CLIENT_H_
 
+#include <future>
+#include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "server/protocol.h"
 #include "util/status.h"
@@ -58,6 +61,47 @@ class Client {
 
   int fd_ = -1;
   size_t max_frame_ = kMaxFrameBytes;
+};
+
+// Pipelined (protocol v2) session: every request carries a client-assigned
+// tag, many requests ride the wire at once, and responses complete out of
+// order. A dedicated reader thread reassembles each response from its
+// tagged chunk frames — streamed report fragments concatenate back into
+// the exact bytes a v1 response would have carried — and resolves the
+// matching future. One AsyncCall is cheap: the transport cost of an idle
+// pipelined session is a blocked read, not a thread per request.
+class PipelinedClient {
+ public:
+  // Connects, performs the (tagged) hello handshake, and starts the reader.
+  static util::StatusOr<std::unique_ptr<PipelinedClient>> Connect(
+      const std::string& host, int port, const SessionHello& hello,
+      size_t max_frame_bytes = kMaxFrameBytes);
+
+  PipelinedClient(const PipelinedClient&) = delete;
+  PipelinedClient& operator=(const PipelinedClient&) = delete;
+  ~PipelinedClient();
+
+  // Sends one tagged request and returns the future of its reassembled
+  // response. The request's request_id is overwritten with a session-unique
+  // tag. Safe to call from any thread; responses resolve in whatever order
+  // the server finishes them.
+  std::future<util::StatusOr<Response>> AsyncCall(Request request);
+
+  // Synchronous conveniences matching Client.
+  util::StatusOr<Response> Call(const Request& request);
+  util::StatusOr<std::string> CallForReport(RequestKind kind,
+                                            std::vector<std::string> args,
+                                            uint32_t deadline_ms = 0);
+
+  // Fails every in-flight call with kUnavailable and joins the reader.
+  void Close();
+  bool connected() const;
+
+ private:
+  struct State;
+  PipelinedClient() = default;
+
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace classminer::server

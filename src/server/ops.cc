@@ -33,6 +33,44 @@ void Appendf(std::string* out, const char* fmt, ...) {
                                           sizeof(buffer) - 1));
 }
 
+}  // namespace
+
+void ReportStream::Append(const std::string& text) {
+  report_.append(text);
+  ForwardCompletedChunks();
+}
+
+void ReportStream::Appendf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buffer[512];
+  const int n = std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  if (n > 0) {
+    report_.append(buffer, std::min(static_cast<size_t>(n),
+                                    sizeof(buffer) - 1));
+  }
+  ForwardCompletedChunks();
+}
+
+void ReportStream::ForwardCompletedChunks() {
+  if (!sink_) return;
+  while (report_.size() - streamed_ >= chunk_bytes_) {
+    sink_(report_.substr(streamed_, chunk_bytes_));
+    streamed_ += chunk_bytes_;
+  }
+}
+
+namespace {
+
+// Binds an op's OpResult to its report stream: the accumulated text becomes
+// the report, the forwarded prefix is recorded so the caller ships only the
+// tail in its final chunk.
+void FinishReport(const ReportStream& stream, OpResult* out) {
+  out->report = stream.report();
+  out->streamed_bytes = stream.streamed_bytes();
+}
+
 void Note(OpDiagnostics* diag, std::string line) {
   if (diag != nullptr) diag->notes.push_back(std::move(line));
 }
@@ -96,22 +134,25 @@ OpResult MineOp(const std::string& path, bool fast, bool strict,
   if (!out.ok()) return out;
   NoteDegradation(diag, path, result);
 
+  ReportStream stream(env.chunk_sink, env.chunk_bytes);
   const structure::ContentStructure& cs = result.structure;
-  Appendf(&out.report,
-          "%s: %zu shots, %zu groups, %d scenes, %zu clustered scenes "
-          "(CRF %.3f)\n",
-          file.name.c_str(), cs.shots.size(), cs.groups.size(),
-          cs.ActiveSceneCount(), cs.clustered_scenes.size(),
-          cs.CompressionRateFactor());
+  stream.Appendf(
+      "%s: %zu shots, %zu groups, %d scenes, %zu clustered scenes "
+      "(CRF %.3f)\n",
+      file.name.c_str(), cs.shots.size(), cs.groups.size(),
+      cs.ActiveSceneCount(), cs.clustered_scenes.size(),
+      cs.CompressionRateFactor());
   for (const events::EventRecord& rec : result.events) {
     const structure::Scene& scene =
         cs.scenes[static_cast<size_t>(rec.scene_index)];
-    Appendf(&out.report, "  scene %2d: %-18s %2d shots (groups %d..%d)\n",
-            scene.index, events::EventTypeName(rec.type),
-            cs.ShotCountOfScene(scene), scene.start_group, scene.end_group);
+    stream.Appendf("  scene %2d: %-18s %2d shots (groups %d..%d)\n",
+                   scene.index, events::EventTypeName(rec.type),
+                   cs.ShotCountOfScene(scene), scene.start_group,
+                   scene.end_group);
   }
   NoteMetrics(diag, path + " per-stage metrics",
               result.metrics.ToString());
+  FinishReport(stream, &out);
   return out;
 }
 
@@ -142,12 +183,14 @@ OpResult BrowseOp(const std::vector<std::string>& paths, bool strict,
                                       ctx);
   const index::AccessController access(&concepts);
   const auto tree = index::BuildBrowseTree(db, concepts, access, user, ctx);
-  out.report = index::RenderBrowseTree(tree);
+  ReportStream stream(env.chunk_sink, env.chunk_bytes);
+  stream.Append(index::RenderBrowseTree(tree));
   if (db.DegradedCount() > 0) {
-    Appendf(&out.report, "%d of %d video(s) indexed degraded\n",
-            db.DegradedCount(), db.video_count());
+    stream.Appendf("%d of %d video(s) indexed degraded\n",
+                   db.DegradedCount(), db.video_count());
   }
   NoteMetrics(diag, "shared index/browse cost", shared.ToString());
+  FinishReport(stream, &out);
   return out;
 }
 
@@ -173,19 +216,21 @@ OpResult SkimOp(const std::string& path, int level, const OpEnv& env,
                                         nullptr);
   const skim::ScalableSkim sk(&result.structure, skim_ctx);
 
-  Appendf(&out.report, "%-6s %-12s %-10s %s\n", "level", "skim shots",
-          "frames", "FCR");
+  ReportStream stream(env.chunk_sink, env.chunk_bytes);
+  stream.Appendf("%-6s %-12s %-10s %s\n", "level", "skim shots", "frames",
+                 "FCR");
   for (int lvl = skim::kSkimLevels; lvl >= 1; --lvl) {
     const skim::SkimTrack& t = sk.track(lvl);
-    Appendf(&out.report, "%-6d %-12zu %-10ld %.3f%s\n", lvl,
-            t.shot_indices.size(), t.frame_count, sk.Fcr(lvl),
-            lvl == level ? "  <-" : "");
+    stream.Appendf("%-6d %-12zu %-10ld %.3f%s\n", lvl,
+                   t.shot_indices.size(), t.frame_count, sk.Fcr(lvl),
+                   lvl == level ? "  <-" : "");
   }
   const auto plan = skim::BuildPlaybackPlan(sk, level, file.fps);
-  Appendf(&out.report, "level %d plays %.1f s of %.1f s\n", level,
-          skim::PlanDurationSeconds(plan), file.frame_count() / file.fps);
+  stream.Appendf("level %d plays %.1f s of %.1f s\n", level,
+                 skim::PlanDurationSeconds(plan), file.frame_count() / file.fps);
   NoteMetrics(diag, path + " per-stage metrics",
               result.metrics.ToString());
+  FinishReport(stream, &out);
   if (file_out != nullptr) *file_out = std::move(file);
   if (result_out != nullptr) *result_out = std::move(result);
   return out;

@@ -20,10 +20,29 @@ namespace classminer::server {
 //   u32 CRC-32 over the body bytes
 //   body
 // so a torn or bit-flipped frame is detected before its body is parsed,
-// exactly like a CMVE database entry. One request frame yields exactly one
-// response frame; requests on one connection are processed in order.
-inline constexpr uint32_t kRequestMagic = 0x51524d43;   // "CMRQ"
-inline constexpr uint32_t kResponseMagic = 0x53524d43;  // "CMRS"
+// exactly like a CMVE database entry.
+//
+// Two protocol minor versions share the frame layout and differ only in
+// magic and body prefix:
+//
+//   v1 ("CMRQ"/"CMRS"): one request frame yields exactly one response
+//   frame; requests on one connection are processed serially, in order.
+//
+//   v2 ("CMQ2"/"CMS2"): every request carries a client-chosen request_id
+//   tag, a session may have many requests in flight (pipelining), and
+//   responses carry the tag back and may complete out of order. A v2
+//   response may arrive as a *sequence* of chunk frames sharing the tag:
+//   zero or more non-final chunks carrying body fragments, then exactly one
+//   final chunk carrying the status and the body tail. The concatenation of
+//   the fragments is byte-identical to the single v1 response body for the
+//   same request.
+//
+// A server accepts both versions on one listener (and even interleaved on
+// one connection): the frame magic selects the parse.
+inline constexpr uint32_t kRequestMagic = 0x51524d43;     // "CMRQ" (v1)
+inline constexpr uint32_t kResponseMagic = 0x53524d43;    // "CMRS" (v1)
+inline constexpr uint32_t kRequestMagicV2 = 0x32514d43;   // "CMQ2"
+inline constexpr uint32_t kResponseMagicV2 = 0x32534d43;  // "CMS2"
 
 // Upper bound on a frame body. Oversized frames are rejected before
 // allocation on both sides (a hostile peer cannot make the server reserve
@@ -62,10 +81,26 @@ struct Request {
   RequestKind kind = RequestKind::kHello;
   uint32_t deadline_ms = 0;
   std::vector<std::string> args;
+  // v2 only: the pipelining tag echoed by every response chunk. Client-
+  // chosen, unique among the session's in-flight requests. Not serialized
+  // by the v1 layout.
+  uint32_t request_id = 0;
 
+  // v1 body: kind u8 · deadline_ms u32 · arg_count u32 · args.
   util::StatusOr<std::vector<uint8_t>> Serialize() const;
   static util::StatusOr<Request> Parse(const std::vector<uint8_t>& bytes);
+
+  // v2 body: request_id u32 · kind u8 · deadline_ms u32 · arg_count u32 ·
+  // args.
+  util::StatusOr<std::vector<uint8_t>> SerializeTagged() const;
+  static util::StatusOr<Request> ParseTagged(
+      const std::vector<uint8_t>& bytes);
 };
+
+// Best-effort request_id of a (possibly malformed) v2 request body, so an
+// error response can still carry the tag the client is waiting on. 0 when
+// the body is too short to hold one.
+uint32_t PeekRequestId(const std::vector<uint8_t>& bytes);
 
 // The session handshake payload, carried as args[0] (a binary string) of a
 // kHello request: who is asking and with what clearance/denials. The server
@@ -91,13 +126,26 @@ struct Response {
   util::StatusCode code = util::StatusCode::kOk;
   std::string message;
   std::string body;
+  // v2 only: the request tag this chunk answers, and whether it is the
+  // final chunk of that response. Non-final chunks carry a body fragment
+  // with code kOk and an empty message; the final chunk carries the real
+  // status plus the body tail. v1 responses are always final.
+  uint32_t request_id = 0;
+  bool final_chunk = true;
 
   bool ok() const { return code == util::StatusCode::kOk; }
   // Convenience: the response's status view (message included).
   util::Status ToStatus() const { return {code, message}; }
 
+  // v1 body: code u32 · message string · body string.
   util::StatusOr<std::vector<uint8_t>> Serialize() const;
   static util::StatusOr<Response> Parse(const std::vector<uint8_t>& bytes);
+
+  // v2 body: request_id u32 · flags u8 (bit0 = final, others reserved 0) ·
+  // code u32 · message string · body string.
+  util::StatusOr<std::vector<uint8_t>> SerializeChunk() const;
+  static util::StatusOr<Response> ParseChunk(
+      const std::vector<uint8_t>& bytes);
 };
 
 // Builds a response carrying `status` and an optional report body.

@@ -1,0 +1,177 @@
+#include "server/result_cache.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <utility>
+
+namespace classminer::server {
+namespace {
+
+// Exact decimal rendering of a double (%.17g round-trips IEEE 754), so two
+// option sets fingerprint equal iff their outputs are bit-identical.
+void PutF(std::string* out, const char* name, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s=%.17g;", name, v);
+  out->append(buf);
+}
+
+void PutI(std::string* out, const char* name, long long v) {
+  out->append(name);
+  out->append("=");
+  out->append(std::to_string(v));
+  out->append(";");
+}
+
+void PutWeights(std::string* out, const char* name,
+                const features::StSimWeights& w) {
+  out->append(name);
+  out->append("{");
+  PutF(out, "color", w.color);
+  PutF(out, "texture", w.texture);
+  out->append("}");
+}
+
+}  // namespace
+
+std::string CanonicalMiningFingerprint(const core::MiningOptions& o) {
+  std::string f;
+  f.reserve(1024);
+  f.append("shot{");
+  PutI(&f, "window", o.shot.threshold.window);
+  PutF(&f, "activity_sigma", o.shot.threshold.activity_sigma);
+  PutF(&f, "min_threshold", o.shot.threshold.min_threshold);
+  PutI(&f, "use_entropy", o.shot.threshold.use_entropy ? 1 : 0);
+  PutI(&f, "min_shot_frames", o.shot.min_shot_frames);
+  f.append("}group{");
+  PutF(&f, "t1", o.structure.group.t1);
+  PutF(&f, "t2", o.structure.group.t2);
+  PutWeights(&f, "w", o.structure.group.weights);
+  f.append("}classify{");
+  PutF(&f, "cluster_threshold", o.structure.classify.cluster_threshold);
+  PutWeights(&f, "w", o.structure.classify.weights);
+  f.append("}scene{");
+  PutF(&f, "merge_threshold", o.structure.scene.merge_threshold);
+  PutF(&f, "merge_floor", o.structure.scene.merge_floor);
+  PutI(&f, "min_scene_shots", o.structure.scene.min_scene_shots);
+  PutWeights(&f, "w", o.structure.scene.weights);
+  f.append("}cluster{");
+  PutF(&f, "min_fraction", o.structure.cluster.min_fraction);
+  PutF(&f, "max_fraction", o.structure.cluster.max_fraction);
+  PutI(&f, "fixed_clusters", o.structure.cluster.fixed_clusters);
+  PutWeights(&f, "w", o.structure.cluster.weights);
+  f.append("}special{");
+  PutF(&f, "black_max_luma", o.cues.special.black_max_luma);
+  PutF(&f, "black_max_stddev", o.cues.special.black_max_stddev);
+  PutF(&f, "manmade_min_flat", o.cues.special.manmade_min_flat);
+  PutF(&f, "manmade_max_luma_entropy",
+       o.cues.special.manmade_max_luma_entropy);
+  PutI(&f, "manmade_max_colors", o.cues.special.manmade_max_colors);
+  PutF(&f, "slide_min_text_rows", o.cues.special.slide_min_text_rows);
+  PutF(&f, "sketch_max_saturation", o.cues.special.sketch_max_saturation);
+  f.append("}face{");
+  PutF(&f, "min_aspect", o.cues.face.min_aspect);
+  PutF(&f, "max_aspect", o.cues.face.max_aspect);
+  PutF(&f, "min_solidity", o.cues.face.min_solidity);
+  PutF(&f, "max_solidity", o.cues.face.max_solidity);
+  PutF(&f, "min_profile_score", o.cues.face.min_profile_score);
+  PutF(&f, "closeup_fraction", o.cues.face.closeup_fraction);
+  f.append("}cues{");
+  PutF(&f, "skin_closeup_fraction", o.cues.skin_closeup_fraction);
+  f.append("}segmenter{");
+  PutF(&f, "clip_seconds", o.events.segmenter.clip_seconds);
+  PutF(&f, "min_shot_seconds", o.events.segmenter.min_shot_seconds);
+  PutF(&f, "bic_penalty", o.events.segmenter.bic_penalty);
+  f.append("}");
+  PutI(&f, "failure_policy", static_cast<long long>(o.failure_policy));
+  return f;
+}
+
+util::StatusOr<std::string> MiningCacheKey(
+    const std::string& path, const std::string& op_signature,
+    const core::MiningOptions& options) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    return util::Status::NotFound("cannot stat " + path);
+  }
+  std::string key;
+  key.reserve(path.size() + op_signature.size() + 1024);
+  key.append(path);
+  key.append("\x1f");
+  key.append(std::to_string(static_cast<long long>(st.st_mtim.tv_sec)));
+  key.append(".");
+  key.append(std::to_string(static_cast<long long>(st.st_mtim.tv_nsec)));
+  key.append("\x1f");
+  key.append(std::to_string(static_cast<long long>(st.st_size)));
+  key.append("\x1f");
+  key.append(op_signature);
+  key.append("\x1f");
+  key.append(CanonicalMiningFingerprint(options));
+  return key;
+}
+
+ResultCache::Admission ResultCache::JoinOrLead(const std::string& key,
+                                               CachedResult* out,
+                                               Waiter waiter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto hit = by_key_.find(key);
+  if (hit != by_key_.end()) {
+    lru_.splice(lru_.begin(), lru_, hit->second);  // refresh recency
+    *out = hit->second->result;
+    ++stats_.hits;
+    return Admission::kHit;
+  }
+  const auto flight = inflight_.find(key);
+  if (flight != inflight_.end()) {
+    flight->second.push_back(std::move(waiter));
+    ++stats_.joined;
+    return Admission::kJoined;
+  }
+  inflight_.emplace(key, std::vector<Waiter>{});
+  ++stats_.misses;
+  return Admission::kLead;
+}
+
+void ResultCache::Complete(const std::string& key, const CachedResult& result,
+                           bool cacheable) {
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto flight = inflight_.find(key);
+    if (flight != inflight_.end()) {
+      waiters = std::move(flight->second);
+      inflight_.erase(flight);
+    }
+    // An entry larger than the whole budget would only evict everything and
+    // then itself; skip storing it (waiters still get the bytes below).
+    if (cacheable && by_key_.find(key) == by_key_.end() &&
+        result.bytes() <= options_.max_bytes) {
+      lru_.push_front(Entry{key, result});
+      by_key_[key] = lru_.begin();
+      cached_bytes_ += result.bytes();
+      ++stats_.insertions;
+      EvictOverflowLocked();
+    }
+  }
+  for (Waiter& waiter : waiters) {
+    if (waiter) waiter(cacheable ? &result : nullptr);
+  }
+}
+
+void ResultCache::EvictOverflowLocked() {
+  while (!lru_.empty() && (cached_bytes_ > options_.max_bytes ||
+                           lru_.size() > options_.max_entries)) {
+    const Entry& tail = lru_.back();
+    cached_bytes_ -= tail.result.bytes();
+    by_key_.erase(tail.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace classminer::server

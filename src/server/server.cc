@@ -1,10 +1,16 @@
 #include "server/server.h"
 
+#include <poll.h>
 #include <sys/socket.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
 
 #include <cerrno>
 #include <cstdlib>
-#include <future>
+#include <cstring>
 #include <utility>
 
 #include "index/access_control.h"
@@ -26,14 +32,268 @@ util::StatusOr<int> ParseIntArg(const std::string& text,
   return static_cast<int>(value);
 }
 
+// Derives the cache identity of a request, when it has one. Only mine and
+// skim are cacheable: their reports depend solely on (container bytes,
+// options, flags). Browse renders through the session's credential and
+// verify/repair mutate database files, so they always execute. Requests
+// whose arguments would be rejected by the op bypass the cache too — the
+// op's own error message is the answer.
+bool CacheSignature(const Request& request, std::string* path,
+                    std::string* signature) {
+  switch (request.kind) {
+    case RequestKind::kMine: {
+      if (request.args.empty()) return false;
+      bool fast = false, strict = false;
+      for (size_t i = 1; i < request.args.size(); ++i) {
+        if (request.args[i] == "--fast") {
+          fast = true;
+        } else if (request.args[i] == "--strict") {
+          strict = true;
+        } else {
+          return false;
+        }
+      }
+      *path = request.args[0];
+      *signature = std::string("mine:fast=") + (fast ? "1" : "0") +
+                   ",strict=" + (strict ? "1" : "0");
+      return true;
+    }
+    case RequestKind::kSkim: {
+      if (request.args.empty() || request.args.size() > 2) return false;
+      int level = 3;
+      if (request.args.size() == 2) {
+        util::StatusOr<int> parsed =
+            ParseIntArg(request.args[1], "skim level");
+        if (!parsed.ok()) return false;
+        level = *parsed;
+      }
+      *path = request.args[0];
+      *signature = "skim:level=" + std::to_string(level);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
 }  // namespace
+
+// The slice of per-connection state a worker thread may touch. Everything
+// else about a connection lives on the reactor thread; workers see only
+// this mirror, used to block a streaming op until the peer drains its
+// socket (backpressure) and to unblock it for good when the session dies.
+struct ClassMinerServer::ConnShared {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t queued_bytes = 0;  // reactor's write_queue_bytes, mirrored
+  bool dead = false;        // connection closed; stop waiting, drop output
+};
+
+// Reactor-owned per-session state machine.
+struct ClassMinerServer::Connection {
+  uint64_t id = 0;
+  int fd = -1;
+  FrameAssembler assembler;
+
+  bool authenticated = false;
+  index::UserCredential user;
+
+  // Requests read off the wire but not yet dispatched (pipeline depth or
+  // v1 serialization holding them back). Parse errors ride along as
+  // inline_error entries so v1 responses keep arrival order.
+  std::deque<PendingRequest> pending;
+  int executing = 0;             // responses still owed by workers/leaders
+  bool serial_inflight = false;  // a v1 request is in flight: stay serial
+
+  // Write side: fully encoded frames; the front one is sent up to
+  // write_offset. write_queue_bytes counts unsent bytes across the queue.
+  std::deque<std::vector<uint8_t>> write_queue;
+  size_t write_queue_bytes = 0;
+  size_t write_offset = 0;
+
+  // Finished v2 responses whose bodies still chunk out as the queue
+  // drains (bounded memory: at most ~one chunk past the bound is encoded).
+  struct Streaming {
+    uint32_t request_id = 0;
+    Response response;  // body holds the unsent remainder from `offset`
+    size_t offset = 0;
+    bool multi = false;  // delivered as 2+ chunks (live-streamed or split)
+  };
+  std::deque<Streaming> streaming;
+
+  bool read_closed = false;  // EOF seen, framing damage, or drain begun
+  bool want_write = false;   // current poller write-interest registration
+  std::shared_ptr<ConnShared> shared;
+
+  Connection(std::vector<uint32_t> magics, size_t max_frame)
+      : assembler(std::move(magics), max_frame) {}
+};
+
+// Everything a pool task needs, detached from the Connection so the
+// session can die while the op still runs.
+struct ClassMinerServer::TaskCtx {
+  uint64_t conn_id = 0;
+  bool v2 = false;
+  Request request;
+  index::UserCredential user;
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline;
+  std::string lead_key;  // non-empty: this run leads a single-flight entry
+  std::shared_ptr<ConnShared> shared;
+};
+
+// Readiness multiplexer: epoll on Linux, poll(2) everywhere else (and as a
+// runtime fallback when epoll_create1 fails). Watches are tagged with the
+// connection id (0 = listener, 1 = wake pipe).
+class ClassMinerServer::Poller {
+ public:
+  struct Ready {
+    uint64_t tag = 0;
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;  // peer fully closed (POLLHUP)
+    bool error = false;
+  };
+
+  Poller() {
+#ifdef __linux__
+    epfd_ = epoll_create1(EPOLL_CLOEXEC);
+#endif
+  }
+  ~Poller() {
+    if (epfd_ >= 0) CloseFd(epfd_);
+  }
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  util::Status Add(int fd, uint64_t tag, bool read, bool write) {
+    watched_[fd] = Watch{tag, read, write};
+    return Ctl(fd, tag, read, write, /*add=*/true);
+  }
+
+  util::Status Mod(int fd, uint64_t tag, bool read, bool write) {
+    auto it = watched_.find(fd);
+    if (it == watched_.end()) {
+      return util::Status::Internal("poller: fd not watched");
+    }
+    it->second = Watch{tag, read, write};
+    return Ctl(fd, tag, read, write, /*add=*/false);
+  }
+
+  void Del(int fd) {
+    watched_.erase(fd);
+#ifdef __linux__
+    if (epfd_ >= 0) {
+      epoll_event ev{};
+      (void)epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &ev);
+    }
+#endif
+  }
+
+  // Blocks until at least one watched fd is ready; fills `out`.
+  util::Status Wait(std::vector<Ready>* out) {
+    out->clear();
+#ifdef __linux__
+    if (epfd_ >= 0) {
+      epoll_event events[128];
+      int n;
+      do {
+        n = epoll_wait(epfd_, events, 128, -1);
+      } while (n < 0 && errno == EINTR);
+      if (n < 0) {
+        return util::Status::Internal(std::string("epoll_wait: ") +
+                                      std::strerror(errno));
+      }
+      for (int i = 0; i < n; ++i) {
+        Ready r;
+        r.tag = events[i].data.u64;
+        r.readable = (events[i].events & EPOLLIN) != 0;
+        r.writable = (events[i].events & EPOLLOUT) != 0;
+        r.hangup = (events[i].events & EPOLLHUP) != 0;
+        r.error = (events[i].events & EPOLLERR) != 0;
+        out->push_back(r);
+      }
+      return util::Status::Ok();
+    }
+#endif
+    std::vector<pollfd> fds;
+    std::vector<uint64_t> tags;
+    fds.reserve(watched_.size());
+    tags.reserve(watched_.size());
+    for (const auto& [fd, watch] : watched_) {
+      pollfd p{};
+      p.fd = fd;
+      p.events = static_cast<short>((watch.read ? POLLIN : 0) |
+                                    (watch.write ? POLLOUT : 0));
+      fds.push_back(p);
+      tags.push_back(watch.tag);
+    }
+    int n;
+    do {
+      n = poll(fds.data(), fds.size(), -1);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      return util::Status::Internal(std::string("poll: ") +
+                                    std::strerror(errno));
+    }
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      Ready r;
+      r.tag = tags[i];
+      r.readable = (fds[i].revents & POLLIN) != 0;
+      r.writable = (fds[i].revents & POLLOUT) != 0;
+      r.hangup = (fds[i].revents & POLLHUP) != 0;
+      r.error = (fds[i].revents & (POLLERR | POLLNVAL)) != 0;
+      out->push_back(r);
+    }
+    return util::Status::Ok();
+  }
+
+ private:
+  struct Watch {
+    uint64_t tag = 0;
+    bool read = false;
+    bool write = false;
+  };
+
+  util::Status Ctl(int fd, uint64_t tag, bool read, bool write, bool add) {
+#ifdef __linux__
+    if (epfd_ >= 0) {
+      epoll_event ev{};
+      ev.events = (read ? EPOLLIN : 0u) | (write ? EPOLLOUT : 0u);
+      ev.data.u64 = tag;
+      if (epoll_ctl(epfd_, add ? EPOLL_CTL_ADD : EPOLL_CTL_MOD, fd, &ev) !=
+          0) {
+        return util::Status::Internal(std::string("epoll_ctl: ") +
+                                      std::strerror(errno));
+      }
+    }
+#else
+    (void)fd;
+    (void)tag;
+    (void)read;
+    (void)write;
+    (void)add;
+#endif
+    return util::Status::Ok();
+  }
+
+  int epfd_ = -1;
+  std::unordered_map<int, Watch> watched_;  // authoritative for poll()
+};
 
 ClassMinerServer::ClassMinerServer(ServerOptions options)
     : options_(std::move(options)),
-      concepts_(index::ConceptHierarchy::MedicalDefault()) {
+      concepts_(index::ConceptHierarchy::MedicalDefault()),
+      cache_(ResultCache::Options{
+          options_.cache_max_bytes > 0 ? options_.cache_max_bytes : 1,
+          options_.cache_max_entries > 0 ? options_.cache_max_entries : 1}) {
   if (options_.worker_threads < 1) options_.worker_threads = 1;
   if (options_.max_queue < 0) options_.max_queue = 0;
   if (options_.max_connections < 1) options_.max_connections = 1;
+  if (options_.max_pipeline < 1) options_.max_pipeline = 1;
+  if (options_.stream_chunk_bytes == 0) options_.stream_chunk_bytes = 1;
 }
 
 ClassMinerServer::~ClassMinerServer() { Stop(); }
@@ -47,191 +307,344 @@ util::Status ClassMinerServer::Start() {
     CloseFd(*fd);
     return port.status();
   }
+  if (pipe(wake_fds_) != 0) {
+    CloseFd(*fd);
+    return util::Status::Unavailable(std::string("pipe: ") +
+                                     std::strerror(errno));
+  }
+  util::Status setup = SetNonBlocking(*fd, true);
+  if (setup.ok()) setup = SetNonBlocking(wake_fds_[0], true);
+  if (setup.ok()) setup = SetNonBlocking(wake_fds_[1], true);
+  auto poller = std::make_unique<Poller>();
+  if (setup.ok()) setup = poller->Add(*fd, 0, /*read=*/true, /*write=*/false);
+  if (setup.ok()) {
+    setup = poller->Add(wake_fds_[0], 1, /*read=*/true, /*write=*/false);
+  }
+  if (!setup.ok()) {
+    CloseFd(*fd);
+    CloseFd(wake_fds_[0]);
+    CloseFd(wake_fds_[1]);
+    wake_fds_[0] = wake_fds_[1] = -1;
+    return setup;
+  }
   listen_fd_ = *fd;
   port_ = *port;
+  poller_ = std::move(poller);
   pool_ = std::make_unique<util::ThreadPool>(options_.worker_threads);
   deadline_thread_ = std::thread([this] { DeadlineLoop(); });
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  reactor_thread_ = std::thread([this] { ReactorLoop(); });
   return util::Status::Ok();
 }
 
 void ClassMinerServer::Stop() {
   if (stopping_.exchange(true)) {
-    // A concurrent/second Stop still waits for the first teardown by
-    // joining whatever is left; thread::join is not concurrency-safe, so
-    // the second caller simply returns — the destructor is the only other
-    // caller and runs after Stop by construction.
+    // A second Stop simply returns; the destructor is the only other caller
+    // and runs after the first Stop by construction.
     return;
   }
+  Wake();
+  if (reactor_thread_.joinable()) reactor_thread_.join();
   if (listen_fd_ >= 0) {
-    // Unblocks accept() so the accept thread can observe stopping_.
-    shutdown(listen_fd_, SHUT_RDWR);
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (listen_fd_ >= 0) {
+    // Start() succeeded but the reactor never ran (or drain already closed
+    // it, leaving -1).
     CloseFd(listen_fd_);
     listen_fd_ = -1;
-  }
-  {
-    // Shut down only the read side: a connection mid-request still writes
-    // its response; its next read sees EOF and the loop exits.
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    for (Connection& conn : connections_) {
-      if (conn.fd >= 0) shutdown(conn.fd, SHUT_RD);
-    }
-  }
-  for (;;) {
-    Connection* conn = nullptr;
-    {
-      std::lock_guard<std::mutex> lock(conn_mutex_);
-      for (Connection& c : connections_) {
-        if (c.thread.joinable()) {
-          conn = &c;
-          break;
-        }
-      }
-    }
-    if (conn == nullptr) break;
-    conn->thread.join();  // entries are never erased while stopping_
-  }
-  {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    connections_.clear();
   }
   {
     std::lock_guard<std::mutex> lock(deadline_mutex_);
     deadline_cv_.notify_all();
   }
   if (deadline_thread_.joinable()) deadline_thread_.join();
+  // Workers may still be finishing ops for sessions that died; they post
+  // events nobody reads and Wake() a pipe that is still open. Only after
+  // the pool drains is it safe to tear the pipe down.
   pool_.reset();
+  CloseFd(wake_fds_[0]);
+  CloseFd(wake_fds_[1]);
+  wake_fds_[0] = wake_fds_[1] = -1;
+  poller_.reset();
 }
 
 ServerStats ClassMinerServer::StatsSnapshot() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  ServerStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out = stats_;
+  }
+  const ResultCache::Stats cache = cache_.stats();
+  out.cache_hits = cache.hits;
+  out.cache_joined = cache.joined;
+  out.cache_misses = cache.misses;
+  return out;
 }
 
-void ClassMinerServer::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
-    int fd;
-    do {
-      fd = accept(listen_fd_, nullptr, nullptr);
-    } while (fd < 0 && errno == EINTR);
-    if (fd < 0) {
-      if (errno == ECONNABORTED) continue;
-      break;  // listener shut down (Stop) or unrecoverable
-    }
-    if (stopping_.load(std::memory_order_acquire)) {
-      CloseFd(fd);
-      break;
-    }
+void ClassMinerServer::Wake() {
+  if (wake_fds_[1] < 0) return;
+  const uint8_t byte = 1;
+  ssize_t n;
+  do {
+    n = write(wake_fds_[1], &byte, 1);
+  } while (n < 0 && errno == EINTR);
+  // EAGAIN means the pipe is full: a wake-up is already pending.
+}
 
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    // Reap sessions that hung up, so a long-lived daemon does not
-    // accumulate dead entries (and their joined threads release).
-    for (auto it = connections_.begin(); it != connections_.end();) {
-      if (it->fd < 0) {
-        if (it->thread.joinable()) it->thread.join();
-        it = connections_.erase(it);
-      } else {
-        ++it;
+void ClassMinerServer::PostEvent(WorkerEvent event) {
+  {
+    std::lock_guard<std::mutex> lock(event_mutex_);
+    events_.push_back(std::move(event));
+  }
+  Wake();
+}
+
+void ClassMinerServer::CountOutcome(const Response& response) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (response.ok()) {
+    ++stats_.requests_ok;
+  } else {
+    ++stats_.requests_failed;
+    if (response.code == util::StatusCode::kDeadlineExceeded) {
+      ++stats_.deadline_exceeded;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reactor thread.
+
+void ClassMinerServer::ReactorLoop() {
+  std::vector<Poller::Ready> ready;
+  for (;;) {
+    if (stopping_.load(std::memory_order_acquire) && !draining_) BeginDrain();
+    if (draining_ && conns_.empty()) break;
+    if (!poller_->Wait(&ready).ok()) break;  // unrecoverable multiplexer loss
+    for (const Poller::Ready& r : ready) {
+      if (r.tag == 1 && r.readable) {
+        uint8_t buf[256];
+        for (;;) {
+          const ssize_t n = read(wake_fds_[0], buf, sizeof(buf));
+          if (n < 0 && errno == EINTR) continue;
+          if (n < static_cast<ssize_t>(sizeof(buf))) break;
+        }
       }
     }
-    if (static_cast<int>(connections_.size()) >= options_.max_connections) {
+    if (stopping_.load(std::memory_order_acquire) && !draining_) BeginDrain();
+    for (const Poller::Ready& r : ready) {
+      if (r.tag == 0) {
+        if (!draining_) HandleAccept();
+        continue;
+      }
+      if (r.tag == 1) continue;
+      auto it = conns_.find(r.tag);
+      if (it == conns_.end()) continue;
+      Connection* conn = it->second.get();
+      if (r.error || (r.hangup && conn->read_closed)) {
+        // The socket is gone (or the peer fully closed after we stopped
+        // reading — nothing we queue can reach it).
+        CloseConnection(conn->id);
+        continue;
+      }
+      if (r.readable && !conn->read_closed) HandleReadable(conn);
+      it = conns_.find(r.tag);  // HandleReadable may close on hard errors
+      if (it == conns_.end()) continue;
+      conn = it->second.get();
+      if (r.writable) FlushConn(conn);
+    }
+    ProcessEvents();
+    // Close sessions that have said everything they are going to say.
+    std::vector<uint64_t> done;
+    for (const auto& [id, conn] : conns_) {
+      if (conn->read_closed && ConnDrained(*conn)) done.push_back(id);
+    }
+    for (uint64_t id : done) CloseConnection(id);
+  }
+}
+
+void ClassMinerServer::BeginDrain() {
+  draining_ = true;
+  if (listen_fd_ >= 0) {
+    poller_->Del(listen_fd_);
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& [id, conn] : conns_) {
+    // Mirror the old daemon's SHUT_RD drain: in-flight requests finish and
+    // flush their responses; requests still sitting unread (or undispatched)
+    // are dropped.
+    conn->read_closed = true;
+    conn->pending.clear();
+    shutdown(conn->fd, SHUT_RD);
+    (void)poller_->Mod(conn->fd, id, /*read=*/false, conn->want_write);
+  }
+}
+
+void ClassMinerServer::HandleAccept() {
+  for (;;) {
+    util::StatusOr<int> fd = TryAccept(listen_fd_);
+    if (!fd.ok() || *fd < 0) break;
+    if (static_cast<int>(conns_.size()) >= options_.max_connections) {
       // The peer's first read (its hello response) reports the rejection.
-      const Response busy = MakeResponse(util::Status::Unavailable(
-          "server at connection capacity"));
+      // The fresh fd is still blocking, so one synchronous frame is fine.
+      const Response busy = MakeResponse(
+          util::Status::Unavailable("server at connection capacity"));
       util::StatusOr<std::vector<uint8_t>> bytes = busy.Serialize();
       if (bytes.ok()) {
-        (void)WriteFrame(fd, kResponseMagic, *bytes,
+        (void)WriteFrame(*fd, kResponseMagic, *bytes,
                          options_.max_frame_bytes);
       }
-      CloseFd(fd);
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      CloseFd(*fd);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.connections_rejected;
       continue;
     }
-    connections_.emplace_back();
-    Connection* conn = &connections_.back();
-    conn->fd = fd;
-    {
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-      ++stats_.connections_accepted;
-      ++stats_.connections_active;
+    if (!SetNonBlocking(*fd, true).ok()) {
+      CloseFd(*fd);
+      continue;
     }
-    conn->thread = std::thread([this, conn] { ConnectionLoop(conn); });
+    const uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Connection>(
+        std::vector<uint32_t>{kRequestMagic, kRequestMagicV2},
+        options_.max_frame_bytes);
+    conn->id = id;
+    conn->fd = *fd;
+    conn->shared = std::make_shared<ConnShared>();
+    if (!poller_->Add(*fd, id, /*read=*/true, /*write=*/false).ok()) {
+      CloseFd(*fd);
+      continue;
+    }
+    conns_.emplace(id, std::move(conn));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.connections_accepted;
+    ++stats_.connections_active;
   }
 }
 
-void ClassMinerServer::ConnectionLoop(Connection* conn) {
+void ClassMinerServer::HandleReadable(Connection* conn) {
+  uint8_t buf[64 * 1024];
   for (;;) {
-    util::StatusOr<std::vector<uint8_t>> frame =
-        ReadFrame(conn->fd, kRequestMagic, options_.max_frame_bytes);
-    if (!frame.ok()) {
-      // kUnavailable is a normal hangup; framing damage (kDataLoss) gets a
-      // best-effort error response, but the stream cannot be trusted
-      // afterwards, so the connection closes either way.
-      if (frame.status().code() != util::StatusCode::kUnavailable) {
-        const Response err = MakeResponse(frame.status());
-        util::StatusOr<std::vector<uint8_t>> bytes = err.Serialize();
-        if (bytes.ok()) {
-          (void)WriteFrame(conn->fd, kResponseMagic, *bytes,
-                           options_.max_frame_bytes);
+    util::StatusOr<size_t> n = TryRecv(conn->fd, buf, sizeof(buf));
+    if (!n.ok()) {
+      if (n.status().code() == util::StatusCode::kUnavailable) {
+        // Clean hangup. A torn frame at EOF matches the blocking daemon's
+        // "closed mid-frame" answer before the goodbye.
+        if (conn->assembler.partial_bytes() > 0) {
+          PendingRequest p;
+          p.inline_error = true;
+          p.error = MakeResponse(
+              util::Status::DataLoss("connection closed mid-frame"));
+          conn->pending.push_back(std::move(p));
         }
+        conn->read_closed = true;
+        (void)poller_->Mod(conn->fd, conn->id, /*read=*/false,
+                           conn->want_write);
+      } else {
+        CloseConnection(conn->id);
+        return;
       }
       break;
     }
-    util::StatusOr<Request> request = Request::Parse(*frame);
-    Response response;
-    if (!request.ok()) {
-      // The frame boundary held (CRC passed), so the stream stays usable.
-      response = MakeResponse(request.status());
-    } else {
-      response = HandleRequest(conn, *request);
+    if (*n == 0) break;  // would block; the poller re-arms us
+    const util::Status fed = conn->assembler.Feed(buf, *n);
+    FrameAssembler::Frame frame;
+    while (conn->assembler.PopFrame(&frame)) {
+      PendingRequest p;
+      if (frame.magic == kRequestMagic) {
+        util::StatusOr<Request> request = Request::Parse(frame.body);
+        if (request.ok()) {
+          p.request = std::move(*request);
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.requests_received;
+        } else {
+          // The frame boundary held (CRC passed), so the stream stays
+          // usable; the error answer keeps its place in line.
+          p.inline_error = true;
+          p.error = MakeResponse(request.status());
+        }
+      } else {
+        p.v2 = true;
+        util::StatusOr<Request> request = Request::ParseTagged(frame.body);
+        if (request.ok()) {
+          p.request = std::move(*request);
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.requests_received;
+        } else {
+          p.inline_error = true;
+          p.error = MakeResponse(request.status());
+          p.error.request_id = PeekRequestId(frame.body);
+        }
+      }
+      conn->pending.push_back(std::move(p));
     }
-    util::StatusOr<std::vector<uint8_t>> bytes = response.Serialize();
-    if (!bytes.ok()) {
-      bytes = MakeResponse(bytes.status()).Serialize();
-    }
-    if (!bytes.ok() ||
-        !WriteFrame(conn->fd, kResponseMagic, *bytes,
-                    options_.max_frame_bytes)
-             .ok()) {
+    if (!fed.ok()) {
+      // Framing damage: the stream cannot be trusted past this point. A
+      // best-effort error response queues behind whatever was already owed,
+      // then the connection closes once flushed.
+      PendingRequest p;
+      p.inline_error = true;
+      p.error = MakeResponse(fed);
+      conn->pending.push_back(std::move(p));
+      conn->read_closed = true;
+      (void)poller_->Mod(conn->fd, conn->id, /*read=*/false,
+                         conn->want_write);
       break;
     }
+    if (*n < sizeof(buf)) break;  // likely drained; LT polling re-reports
   }
-  {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    CloseFd(conn->fd);
-    conn->fd = -1;  // marks the entry reapable
-  }
-  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-  --stats_.connections_active;
+  TryDispatch(conn);
 }
 
-Response ClassMinerServer::HandleRequest(Connection* conn,
-                                         const Request& request) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.requests_received;
+void ClassMinerServer::TryDispatch(Connection* conn) {
+  while (!conn->pending.empty()) {
+    const PendingRequest& front = conn->pending.front();
+    // v1 semantics: one request at a time, in order. A v1 request neither
+    // starts while anything is in flight nor lets later requests pass it.
+    if (conn->serial_inflight) break;
+    if (!front.inline_error) {
+      if (!front.v2 && conn->executing > 0) break;
+      if (front.v2 && conn->executing >= options_.max_pipeline) break;
+    }
+    PendingRequest pending = std::move(conn->pending.front());
+    conn->pending.pop_front();
+    DispatchRequest(conn, std::move(pending));
   }
+}
+
+void ClassMinerServer::DispatchRequest(Connection* conn,
+                                       PendingRequest&& pending) {
+  if (pending.inline_error) {
+    EnqueueFinal(conn, pending.v2, std::move(pending.error), 0);
+    return;
+  }
+  const bool v2 = pending.v2;
+  Request& request = pending.request;
 
   if (request.kind == RequestKind::kHello) {
+    Response response;
     if (request.args.size() != 1) {
-      return MakeResponse(util::Status::InvalidArgument(
+      response = MakeResponse(util::Status::InvalidArgument(
           "hello carries exactly one credential argument"));
+    } else {
+      util::StatusOr<SessionHello> hello =
+          SessionHello::Parse(request.args[0]);
+      if (!hello.ok()) {
+        response = MakeResponse(hello.status());
+      } else {
+        conn->user = hello->ToCredential();
+        conn->authenticated = true;
+        response = MakeResponse(util::Status::Ok(),
+                                "session " + hello->user + " clearance " +
+                                    std::to_string(hello->clearance) + "\n");
+      }
     }
-    util::StatusOr<SessionHello> hello = SessionHello::Parse(request.args[0]);
-    if (!hello.ok()) return MakeResponse(hello.status());
-    conn->user = hello->ToCredential();
-    conn->authenticated = true;
-    return MakeResponse(util::Status::Ok(),
-                        "session " + hello->user + " clearance " +
-                            std::to_string(hello->clearance) + "\n");
+    response.request_id = request.request_id;
+    EnqueueFinal(conn, v2, std::move(response), 0);
+    return;
   }
   if (!conn->authenticated) {
-    return MakeResponse(util::Status::FailedPrecondition(
+    Response response = MakeResponse(util::Status::FailedPrecondition(
         "session not established; send hello first"));
+    response.request_id = request.request_id;
+    EnqueueFinal(conn, v2, std::move(response), 0);
+    return;
   }
 
   // Multilevel access control: the session's clearance must cover the
@@ -246,10 +659,69 @@ Response ClassMinerServer::HandleRequest(Connection* conn,
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.permission_denied;
     }
-    return MakeResponse(util::Status::PermissionDenied(
+    Response response = MakeResponse(util::Status::PermissionDenied(
         std::string(RequestKindName(request.kind)) + " requires clearance " +
         std::to_string(required) + "; session '" + conn->user.name +
         "' has " + std::to_string(conn->user.clearance)));
+    response.request_id = request.request_id;
+    EnqueueFinal(conn, v2, std::move(response), 0);
+    return;
+  }
+
+  // Single-flight result cache: identical concurrent runs collapse onto one
+  // leader; identical later runs answer from the stored entry, byte for
+  // byte what a fresh execution would have said.
+  std::string lead_key;
+  if (options_.enable_result_cache) {
+    std::string path, signature;
+    if (CacheSignature(request, &path, &signature)) {
+      util::StatusOr<std::string> key =
+          MiningCacheKey(path, signature, options_.mining);
+      if (key.ok()) {
+        CachedResult cached;
+        const uint64_t conn_id = conn->id;
+        const Request request_copy = request;
+        const ResultCache::Admission admission = cache_.JoinOrLead(
+            *key, &cached,
+            [this, conn_id, v2, request_copy](const CachedResult* result) {
+              // Runs on the leader's worker thread when it completes.
+              WorkerEvent event;
+              event.conn_id = conn_id;
+              event.v2 = v2;
+              event.request_id = request_copy.request_id;
+              if (result != nullptr) {
+                event.kind = WorkerEvent::Kind::kFinal;
+                event.response.code = result->code;
+                event.response.message = result->message;
+                event.response.body = result->body;
+                event.response.request_id = request_copy.request_id;
+                CountOutcome(event.response);
+              } else {
+                // The leader finished without a shareable result; run our
+                // own copy of the request from scratch.
+                event.kind = WorkerEvent::Kind::kRedispatch;
+                event.request = request_copy;
+              }
+              PostEvent(std::move(event));
+            });
+        if (admission == ResultCache::Admission::kHit) {
+          Response response;
+          response.code = cached.code;
+          response.message = std::move(cached.message);
+          response.body = std::move(cached.body);
+          response.request_id = request.request_id;
+          CountOutcome(response);
+          EnqueueFinal(conn, v2, std::move(response), 0);
+          return;
+        }
+        if (admission == ResultCache::Admission::kJoined) {
+          ++conn->executing;
+          if (!v2) conn->serial_inflight = true;
+          return;
+        }
+        lead_key = std::move(*key);
+      }
+    }
   }
 
   // Admission control: bound the number of admitted-but-not-executing
@@ -257,81 +729,334 @@ Response ClassMinerServer::HandleRequest(Connection* conn,
   // the transient code util::Retry backs off on — instead of queueing
   // without bound.
   int queued = queued_.load(std::memory_order_acquire);
+  bool rejected = false;
   do {
     if (queued >= options_.max_queue) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.rejected_admission;
-      return MakeResponse(util::Status::Unavailable(
-          "server queue full (" + std::to_string(queued) +
-          " requests waiting); retry"));
+      rejected = true;
+      break;
     }
   } while (!queued_.compare_exchange_weak(queued, queued + 1,
                                           std::memory_order_acq_rel));
+  if (rejected) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.rejected_admission;
+    }
+    if (!lead_key.empty()) {
+      // Waiters joined a flight that will never run; send them back out.
+      cache_.Complete(lead_key, CachedResult{}, /*cacheable=*/false);
+    }
+    Response response = MakeResponse(util::Status::Unavailable(
+        "server queue full (" + std::to_string(queued) +
+        " requests waiting); retry"));
+    response.request_id = request.request_id;
+    EnqueueFinal(conn, v2, std::move(response), 0);
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.requests_admitted;
+    if (conn->executing > 0) ++stats_.requests_pipelined;
   }
 
-  const bool has_deadline = request.deadline_ms > 0;
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(request.deadline_ms);
+  auto ctx = std::make_shared<TaskCtx>();
+  ctx->conn_id = conn->id;
+  ctx->v2 = v2;
+  ctx->user = conn->user;
+  ctx->has_deadline = request.deadline_ms > 0;
+  ctx->deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(request.deadline_ms);
+  ctx->lead_key = std::move(lead_key);
+  ctx->shared = conn->shared;
+  ctx->request = std::move(request);
 
-  std::promise<Response> promise;
-  std::future<Response> future = promise.get_future();
-  pool_->Schedule([this, conn, &request, &promise, has_deadline, deadline] {
-    queued_.fetch_sub(1, std::memory_order_acq_rel);
-    if (options_.request_started_hook) {
-      options_.request_started_hook(request.kind);
+  ++conn->executing;
+  if (!v2) conn->serial_inflight = true;
+  pool_->Schedule([this, ctx] { WorkerRun(ctx); });
+}
+
+void ClassMinerServer::EnqueueFinal(Connection* conn, bool v2,
+                                    Response response,
+                                    size_t streamed_bytes) {
+  if (!v2) {
+    util::StatusOr<std::vector<uint8_t>> bytes = response.Serialize();
+    if (!bytes.ok()) bytes = MakeResponse(bytes.status()).Serialize();
+    if (!bytes.ok()) return;  // cannot even say what went wrong
+    util::StatusOr<std::vector<uint8_t>> frame =
+        EncodeFrame(kResponseMagic, *bytes, options_.max_frame_bytes);
+    if (frame.ok()) EnqueueFrameBytes(conn, std::move(*frame));
+    return;
+  }
+  // v2: the body past what the op already streamed ships as chunk frames,
+  // paced by FillStreaming so a huge report never sits encoded in memory
+  // ahead of a slow reader.
+  if (streamed_bytes > 0 && streamed_bytes <= response.body.size()) {
+    response.body.erase(0, streamed_bytes);
+  }
+  response.final_chunk = true;
+  Connection::Streaming s;
+  s.request_id = response.request_id;
+  s.multi = streamed_bytes > 0;
+  s.response = std::move(response);
+  conn->streaming.push_back(std::move(s));
+  FillStreaming(conn);
+}
+
+void ClassMinerServer::FillStreaming(Connection* conn) {
+  while (!conn->streaming.empty() &&
+         conn->write_queue_bytes <= options_.max_write_queue_bytes) {
+    Connection::Streaming& s = conn->streaming.front();
+    const std::string& body = s.response.body;
+    const size_t remaining = body.size() - s.offset;
+    Response piece;
+    piece.request_id = s.request_id;
+    bool last;
+    if (remaining > options_.stream_chunk_bytes) {
+      piece.final_chunk = false;
+      piece.body = body.substr(s.offset, options_.stream_chunk_bytes);
+      s.offset += options_.stream_chunk_bytes;
+      s.multi = true;
+      last = false;
+    } else {
+      piece.final_chunk = true;
+      piece.code = s.response.code;
+      piece.message = s.response.message;
+      piece.body = body.substr(s.offset);
+      last = true;
     }
-    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
-      // Expired while waiting in the queue: never start the op.
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.deadline_exceeded;
-      ++stats_.requests_failed;
-      promise.set_value(MakeResponse(util::Status::DeadlineExceeded(
-          "deadline expired before execution")));
+    util::StatusOr<std::vector<uint8_t>> bytes = piece.SerializeChunk();
+    if (bytes.ok()) {
+      util::StatusOr<std::vector<uint8_t>> frame =
+          EncodeFrame(kResponseMagicV2, *bytes, options_.max_frame_bytes);
+      if (frame.ok()) EnqueueFrameBytes(conn, std::move(*frame));
+    }
+    if (last) {
+      if (s.multi) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.responses_streamed;
+      }
+      conn->streaming.pop_front();
+    }
+  }
+}
+
+void ClassMinerServer::EnqueueFrameBytes(Connection* conn,
+                                         std::vector<uint8_t> frame) {
+  conn->write_queue_bytes += frame.size();
+  conn->write_queue.push_back(std::move(frame));
+  {
+    std::lock_guard<std::mutex> lock(conn->shared->mu);
+    conn->shared->queued_bytes = conn->write_queue_bytes;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (conn->write_queue_bytes > stats_.write_queue_peak_bytes) {
+      stats_.write_queue_peak_bytes = conn->write_queue_bytes;
+    }
+  }
+  UpdateWriteInterest(conn);
+}
+
+void ClassMinerServer::FlushConn(Connection* conn) {
+  for (;;) {
+    if (conn->write_queue.empty()) {
+      FillStreaming(conn);
+      if (conn->write_queue.empty()) break;
+    }
+    std::vector<uint8_t>& front = conn->write_queue.front();
+    util::StatusOr<size_t> n =
+        TrySend(conn->fd, front.data() + conn->write_offset,
+                front.size() - conn->write_offset);
+    if (!n.ok()) {
+      // Peer vanished; whatever was owed can never be delivered.
+      CloseConnection(conn->id);
       return;
     }
+    if (*n == 0) break;  // socket buffer full; EPOLLOUT re-arms us
+    conn->write_offset += *n;
+    conn->write_queue_bytes -= *n;
+    if (conn->write_offset == front.size()) {
+      conn->write_queue.pop_front();
+      conn->write_offset = 0;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->shared->mu);
+    conn->shared->queued_bytes = conn->write_queue_bytes;
+  }
+  conn->shared->cv.notify_all();  // unblock ops waiting out backpressure
+  UpdateWriteInterest(conn);
+}
+
+void ClassMinerServer::UpdateWriteInterest(Connection* conn) {
+  const bool want =
+      !conn->write_queue.empty() || !conn->streaming.empty();
+  if (want == conn->want_write) return;
+  conn->want_write = want;
+  (void)poller_->Mod(conn->fd, conn->id, /*read=*/!conn->read_closed, want);
+}
+
+bool ClassMinerServer::ConnDrained(const Connection& conn) const {
+  return conn.pending.empty() && conn.executing == 0 &&
+         conn.write_queue.empty() && conn.streaming.empty();
+}
+
+void ClassMinerServer::CloseConnection(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Connection* conn = it->second.get();
+  poller_->Del(conn->fd);
+  CloseFd(conn->fd);
+  {
+    std::lock_guard<std::mutex> lock(conn->shared->mu);
+    conn->shared->dead = true;
+  }
+  conn->shared->cv.notify_all();  // release any op blocked on backpressure
+  conns_.erase(it);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  --stats_.connections_active;
+}
+
+void ClassMinerServer::ProcessEvents() {
+  std::deque<WorkerEvent> batch;
+  {
+    std::lock_guard<std::mutex> lock(event_mutex_);
+    batch.swap(events_);
+  }
+  for (WorkerEvent& event : batch) {
+    auto it = conns_.find(event.conn_id);
+    if (it == conns_.end()) continue;  // session died; drop the output
+    Connection* conn = it->second.get();
+    switch (event.kind) {
+      case WorkerEvent::Kind::kChunk: {
+        Response chunk;
+        chunk.request_id = event.request_id;
+        chunk.final_chunk = false;
+        chunk.body = std::move(event.response.body);
+        util::StatusOr<std::vector<uint8_t>> bytes = chunk.SerializeChunk();
+        if (bytes.ok()) {
+          util::StatusOr<std::vector<uint8_t>> frame = EncodeFrame(
+              kResponseMagicV2, *bytes, options_.max_frame_bytes);
+          if (frame.ok()) EnqueueFrameBytes(conn, std::move(*frame));
+        }
+        break;
+      }
+      case WorkerEvent::Kind::kFinal: {
+        --conn->executing;
+        if (!event.v2) conn->serial_inflight = false;
+        event.response.request_id = event.request_id;
+        EnqueueFinal(conn, event.v2, std::move(event.response),
+                     event.streamed_bytes);
+        TryDispatch(conn);
+        break;
+      }
+      case WorkerEvent::Kind::kRedispatch: {
+        --conn->executing;
+        if (!event.v2) conn->serial_inflight = false;
+        if (draining_) {
+          // The run this request had joined evaporated during shutdown.
+          Response response =
+              MakeResponse(util::Status::Unavailable("server stopping"));
+          response.request_id = event.request_id;
+          EnqueueFinal(conn, event.v2, std::move(response), 0);
+        } else {
+          PendingRequest pending;
+          pending.v2 = event.v2;
+          pending.request = std::move(event.request);
+          DispatchRequest(conn, std::move(pending));
+        }
+        TryDispatch(conn);
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side.
+
+void ClassMinerServer::WorkerRun(const std::shared_ptr<TaskCtx>& ctx) {
+  queued_.fetch_sub(1, std::memory_order_acq_rel);
+  if (options_.request_started_hook) {
+    options_.request_started_hook(ctx->request.kind);
+  }
+  Response response;
+  size_t streamed = 0;
+  if (ctx->has_deadline &&
+      std::chrono::steady_clock::now() >= ctx->deadline) {
+    // Expired while waiting in the queue: never start the op.
+    response = MakeResponse(util::Status::DeadlineExceeded(
+        "deadline expired before execution"));
+    CountOutcome(response);
+  } else {
     util::CancellationToken cancel;
     std::shared_ptr<DeadlineEntry> watch;
-    if (has_deadline) watch = WatchDeadline(deadline, &cancel);
-    Response response = ExecuteRequest(*conn, request, &cancel);
+    if (ctx->has_deadline) watch = WatchDeadline(ctx->deadline, &cancel);
+
+    OpEnv env;
+    env.mining = options_.mining;
+    env.mining.cancel = &cancel;
+    env.media_dir = options_.media_dir;
+    if (ctx->v2 && (ctx->request.kind == RequestKind::kMine ||
+                    ctx->request.kind == RequestKind::kBrowse ||
+                    ctx->request.kind == RequestKind::kSkim)) {
+      env.chunk_bytes = options_.stream_chunk_bytes;
+      env.chunk_sink = [this, ctx](const std::string& fragment) {
+        WorkerEvent event;
+        event.kind = WorkerEvent::Kind::kChunk;
+        event.conn_id = ctx->conn_id;
+        event.v2 = true;
+        event.request_id = ctx->request.request_id;
+        event.response.body = fragment;
+        PostEvent(std::move(event));
+        // Backpressure: the op pauses until the peer drains its socket
+        // below the write-queue bound (or the session dies). A slow reader
+        // stalls only its own op, never the reactor or other sessions.
+        std::unique_lock<std::mutex> lock(ctx->shared->mu);
+        ctx->shared->cv.wait(lock, [&] {
+          return ctx->shared->dead ||
+                 ctx->shared->queued_bytes <= options_.max_write_queue_bytes;
+        });
+      };
+    }
+    response = ExecuteRequest(ctx->user, ctx->request, env, &streamed);
     if (watch != nullptr) ReleaseDeadline(watch);
-    if (response.code == util::StatusCode::kCancelled && has_deadline &&
-        std::chrono::steady_clock::now() >= deadline) {
+    if (response.code == util::StatusCode::kCancelled && ctx->has_deadline &&
+        std::chrono::steady_clock::now() >= ctx->deadline) {
       // The cancellation was the deadline firing, not a client abort.
       response.code = util::StatusCode::kDeadlineExceeded;
       response.message = "deadline of " +
-                         std::to_string(request.deadline_ms) +
+                         std::to_string(ctx->request.deadline_ms) +
                          " ms exceeded";
       response.body.clear();
+      streamed = 0;
     }
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      if (response.ok()) {
-        ++stats_.requests_ok;
-      } else {
-        ++stats_.requests_failed;
-        if (response.code == util::StatusCode::kDeadlineExceeded) {
-          ++stats_.deadline_exceeded;
-        }
-      }
-    }
-    promise.set_value(std::move(response));
-  });
-  // The reader thread waits for its own request; pipelining is per-
-  // connection serial, concurrency comes from multiple connections.
-  return future.get();
+    CountOutcome(response);
+  }
+  if (!ctx->lead_key.empty()) {
+    // Leader hand-in: store only clean results (and only un-streamed ones —
+    // a partially shipped body is still byte-complete here, so it caches
+    // fine; the *next* asker gets it in one piece).
+    CachedResult result;
+    result.code = response.code;
+    result.message = response.message;
+    result.body = response.body;
+    cache_.Complete(ctx->lead_key, result, /*cacheable=*/response.ok());
+  }
+  WorkerEvent event;
+  event.kind = WorkerEvent::Kind::kFinal;
+  event.conn_id = ctx->conn_id;
+  event.v2 = ctx->v2;
+  event.request_id = ctx->request.request_id;
+  event.response = std::move(response);
+  event.streamed_bytes = streamed;
+  PostEvent(std::move(event));
 }
 
-Response ClassMinerServer::ExecuteRequest(const Connection& conn,
+Response ClassMinerServer::ExecuteRequest(const index::UserCredential& user,
                                           const Request& request,
-                                          util::CancellationToken* cancel) {
-  OpEnv env;
-  env.mining = options_.mining;
-  env.mining.cancel = cancel;
-  env.media_dir = options_.media_dir;
-
+                                          const OpEnv& env,
+                                          size_t* streamed_bytes) {
   OpResult result;
   switch (request.kind) {
     case RequestKind::kHello:
@@ -370,7 +1095,7 @@ Response ClassMinerServer::ExecuteRequest(const Connection& conn,
         return MakeResponse(util::Status::InvalidArgument(
             "browse needs at least one container path"));
       }
-      result = BrowseOp(paths, strict, conn.user, env, nullptr);
+      result = BrowseOp(paths, strict, user, env, nullptr);
       break;
     }
     case RequestKind::kSkim: {
@@ -405,10 +1130,14 @@ Response ClassMinerServer::ExecuteRequest(const Connection& conn,
       break;
     }
   }
+  if (streamed_bytes != nullptr) *streamed_bytes = result.streamed_bytes;
   // Verify/repair carry their report even on a dirty outcome: the body is
   // the finding, the status says whether it was clean.
   return MakeResponse(result.status, std::move(result.report));
 }
+
+// ---------------------------------------------------------------------------
+// Deadline monitor (unchanged from the thread-per-connection daemon).
 
 std::shared_ptr<ClassMinerServer::DeadlineEntry>
 ClassMinerServer::WatchDeadline(std::chrono::steady_clock::time_point deadline,

@@ -6,27 +6,56 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/classminer.h"
 #include "index/concept.h"
 #include "server/ops.h"
 #include "server/protocol.h"
+#include "server/result_cache.h"
 #include "util/exec_context.h"
 #include "util/status.h"
 #include "util/threadpool.h"
 
 namespace classminer::server {
 
-// classminerd — the mining daemon. One TCP listener; one reader thread per
-// connection; execution dispatched onto a shared util::ThreadPool. Each
-// connection opens with a kHello handshake binding an
+// classminerd — the mining daemon, built as a readiness-driven reactor.
+//
+// One reactor thread owns every socket: it accepts, assembles request
+// frames from partial reads on non-blocking fds (epoll when available,
+// poll otherwise), and drains per-connection write queues when sockets
+// become writable. Operations execute on a shared util::ThreadPool; workers
+// never touch a socket — they hand responses (and streamed report chunks)
+// back to the reactor through an event queue. The thread footprint is fixed
+// regardless of connection count: reactor + worker pool + deadline monitor,
+// zero per-connection threads — thousands of idle sessions cost file
+// descriptors, not stacks.
+//
+// Sessions speak either protocol version (server/protocol.h): v1 requests
+// are answered serially in arrival order, exactly as the thread-per-
+// connection daemon did; v2 requests carry a request_id tag, pipeline up to
+// max_pipeline deep per session, complete out of order, and large reports
+// stream back as tagged chunks while the op is still running. Per-
+// connection write-queue memory is bounded: the worker's next chunk waits
+// until the peer drains the socket (slow readers stall only their own op),
+// and reactor-side chunking of large finished bodies defers until the
+// queue has room.
+//
+// Mining-backed requests (mine, skim) share a single-flight result cache
+// keyed by (container identity, canonical options): N sessions asking for
+// the same run cost one pipeline execution, and a cache hit is byte-
+// identical to a fresh run. Browse bypasses the cache (its report depends
+// on the session's credential); verify/repair touch database files and
+// always execute.
+//
+// Each connection opens with a kHello handshake binding an
 // index::UserCredential; every later request is checked against it
 // (clearance per request kind, denied subtrees through the browse tree)
 // before it runs. Admission control bounds the number of requests queued
@@ -34,17 +63,34 @@ namespace classminer::server {
 // immediately, which util::Retry treats as transient. A request-level
 // deadline cancels the run cooperatively and answers kDeadlineExceeded.
 //
-// Stop() drains gracefully: the listener closes, every connection's read
-// side is shut down (the in-flight request still writes its response), and
-// all threads are joined before Stop returns.
+// Stop() drains gracefully: the listener closes, no further requests are
+// read, every in-flight request finishes and flushes its response, and all
+// threads are joined before Stop returns.
 struct ServerOptions {
   std::string host = "127.0.0.1";
   int port = 0;  // 0 picks an ephemeral port; see ClassMinerServer::port()
   int backlog = 64;
-  int worker_threads = 4;    // execution pool size
-  int max_queue = 16;        // admission bound: requests queued, not running
-  int max_connections = 64;  // concurrent sessions
+  int worker_threads = 4;      // execution pool size
+  int max_queue = 16;          // admission bound: requests queued, not running
+  int max_connections = 1024;  // concurrent sessions (idle ones are cheap)
   size_t max_frame_bytes = kMaxFrameBytes;
+
+  // v2 pipelining depth per session: requests in flight beyond this stay
+  // buffered until one completes (v1 sessions are always depth 1).
+  int max_pipeline = 32;
+  // Streamed-response fragment size: v2 report bodies ship in chunks of
+  // this many bytes.
+  size_t stream_chunk_bytes = 64u << 10;
+  // Per-connection write-queue bound. Past it, ops streaming to that
+  // session block (backpressure) and reactor-side body chunking defers
+  // until the peer drains the socket.
+  size_t max_write_queue_bytes = 256u << 10;
+
+  // Single-flight mining-result cache (mine/skim). Disabled, every request
+  // runs its own pipeline, matching the pre-cache daemon.
+  bool enable_result_cache = true;
+  size_t cache_max_bytes = 64u << 20;
+  size_t cache_max_entries = 256;
 
   // Base environment for every operation; the per-request cancellation
   // token overrides `mining.cancel`.
@@ -57,24 +103,38 @@ struct ServerOptions {
   std::array<int, kRequestKindCount> min_clearance = {0, 1, 0, 0, 2, 3};
 
   // Test seam: runs on the worker the moment a request begins executing
-  // (after admission, before the op). Lets tests hold workers busy to force
-  // deterministic queue-full and deadline outcomes.
+  // (after admission, before the op). Cache hits and single-flight joiners
+  // never execute, so the hook does not fire for them. Lets tests hold
+  // workers busy to force deterministic queue-full and deadline outcomes.
   std::function<void(RequestKind)> request_started_hook;
 };
 
 // Monotonic counters over the server's lifetime (snapshot is consistent
-// per-field, not across fields).
+// per-field, not across fields). write_queue_peak_bytes is a high-water
+// gauge, not a counter.
 struct ServerStats {
   uint64_t connections_accepted = 0;
   uint64_t connections_rejected = 0;  // over max_connections
   uint64_t connections_active = 0;
   uint64_t requests_received = 0;
   uint64_t requests_admitted = 0;  // passed admission control (incl. running)
-  uint64_t requests_ok = 0;
-  uint64_t requests_failed = 0;       // executed, non-OK (incl. op errors)
-  uint64_t rejected_admission = 0;    // answered kUnavailable, never queued
+  uint64_t requests_ok = 0;        // answered kOk (executed or cache-served)
+  uint64_t requests_failed = 0;    // answered non-OK (incl. op errors)
+  uint64_t rejected_admission = 0;  // answered kUnavailable, never queued
   uint64_t deadline_exceeded = 0;
   uint64_t permission_denied = 0;
+  // Reactor-era counters. reader_threads is the number of dedicated per-
+  // connection reader threads — always 0 by construction; the field exists
+  // so operational checks can assert the thread-per-connection shape never
+  // returns.
+  uint64_t reader_threads = 0;
+  uint64_t requests_pipelined = 0;  // dispatched while the session had
+                                    // other requests in flight
+  uint64_t responses_streamed = 0;  // responses delivered as 2+ chunks
+  uint64_t cache_hits = 0;          // answered from a stored entry
+  uint64_t cache_joined = 0;        // attached to an in-flight run
+  uint64_t cache_misses = 0;        // led a run (pipeline executions)
+  uint64_t write_queue_peak_bytes = 0;
 };
 
 class ClassMinerServer {
@@ -85,13 +145,13 @@ class ClassMinerServer {
   ClassMinerServer(const ClassMinerServer&) = delete;
   ClassMinerServer& operator=(const ClassMinerServer&) = delete;
 
-  // Binds, listens and spawns the accept thread. Fails without side effects
+  // Binds, listens and spawns the reactor. Fails without side effects
   // (no thread runs) when the socket cannot be bound.
   util::Status Start();
 
-  // Graceful shutdown: stops accepting, shuts down every connection's read
-  // side so in-flight requests finish and flush their responses, joins all
-  // threads. Idempotent; also runs from the destructor.
+  // Graceful shutdown: stops accepting, stops reading, finishes in-flight
+  // requests and flushes their responses, joins all threads. Idempotent;
+  // also runs from the destructor.
   void Stop();
 
   // The port actually bound (useful with port = 0). -1 before Start().
@@ -100,11 +160,34 @@ class ClassMinerServer {
   ServerStats StatsSnapshot() const;
 
  private:
-  struct Connection {
-    int fd = -1;
-    std::thread thread;
-    bool authenticated = false;
-    index::UserCredential user;
+  struct Connection;   // reactor-owned per-session state machine
+  struct ConnShared;   // the slice workers may touch (backpressure)
+  struct TaskCtx;      // everything a pool task needs, detached from conn
+  class Poller;        // epoll with poll fallback
+
+  // One parsed-but-not-dispatched request (or a pre-answered parse error
+  // held in line so v1 ordering survives pipelined arrival).
+  struct PendingRequest {
+    bool v2 = false;
+    Request request;
+    bool inline_error = false;
+    Response error;  // when inline_error: answered without dispatch
+  };
+
+  // Worker -> reactor handoff.
+  struct WorkerEvent {
+    enum class Kind {
+      kChunk,       // a streamed report fragment (v2, non-final)
+      kFinal,       // the op's response; body is the full report
+      kRedispatch,  // single-flight leader failed; run this request anew
+    };
+    Kind kind = Kind::kFinal;
+    uint64_t conn_id = 0;
+    bool v2 = false;
+    uint32_t request_id = 0;
+    Response response;          // kFinal / kChunk (fragment in body)
+    size_t streamed_bytes = 0;  // kFinal: prefix already sent as chunks
+    Request request;            // kRedispatch
   };
 
   // One requests-with-deadline record the monitor thread watches.
@@ -114,33 +197,58 @@ class ClassMinerServer {
     bool done = false;
   };
 
-  void AcceptLoop();
-  void ConnectionLoop(Connection* conn);
-  // Handles one decoded request end to end (admission, permission,
-  // dispatch, deadline) and returns the response to write back.
-  Response HandleRequest(Connection* conn, const Request& request);
-  // The operation itself, running on a pool worker.
-  Response ExecuteRequest(const Connection& conn, const Request& request,
-                          util::CancellationToken* cancel);
-  void DeadlineLoop();
+  // Reactor side (all run on the reactor thread).
+  void ReactorLoop();
+  void HandleAccept();
+  void HandleReadable(Connection* conn);
+  void TryDispatch(Connection* conn);
+  void DispatchRequest(Connection* conn, PendingRequest&& pending);
+  void EnqueueFinal(Connection* conn, bool v2, Response response,
+                    size_t streamed_bytes);
+  void EnqueueFrameBytes(Connection* conn, std::vector<uint8_t> frame);
+  void FillStreaming(Connection* conn);
+  void FlushConn(Connection* conn);
+  void UpdateWriteInterest(Connection* conn);
+  bool ConnDrained(const Connection& conn) const;
+  void CloseConnection(uint64_t id);
+  void ProcessEvents();
+  void BeginDrain();
+
+  // Worker side.
+  void WorkerRun(const std::shared_ptr<TaskCtx>& ctx);
+  Response ExecuteRequest(const index::UserCredential& user,
+                          const Request& request, const OpEnv& env,
+                          size_t* streamed_bytes);
+  void PostEvent(WorkerEvent event);
+  void Wake();
+  void CountOutcome(const Response& response);
 
   std::shared_ptr<DeadlineEntry> WatchDeadline(
       std::chrono::steady_clock::time_point deadline,
       util::CancellationToken* cancel);
   void ReleaseDeadline(const std::shared_ptr<DeadlineEntry>& entry);
+  void DeadlineLoop();
 
   ServerOptions options_;
   index::ConceptHierarchy concepts_;
+  ResultCache cache_;
 
   int listen_fd_ = -1;
   int port_ = -1;
+  int wake_fds_[2] = {-1, -1};  // [0] read end polled by the reactor
   std::atomic<bool> stopping_{false};
-  std::thread accept_thread_;
+  std::thread reactor_thread_;
+  std::unique_ptr<Poller> poller_;
   std::unique_ptr<util::ThreadPool> pool_;
   std::atomic<int> queued_{0};  // admitted but not yet executing
 
-  std::mutex conn_mutex_;
-  std::list<Connection> connections_;
+  // Reactor-thread-only session table (tag 0 = listener, 1 = wake pipe).
+  uint64_t next_conn_id_ = 2;
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  bool draining_ = false;  // Stop() observed; no more reads/accepts
+
+  std::mutex event_mutex_;
+  std::deque<WorkerEvent> events_;
 
   std::mutex deadline_mutex_;
   std::condition_variable deadline_cv_;

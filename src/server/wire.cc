@@ -1,13 +1,16 @@
 #include "server/wire.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <utility>
 
 #include "util/crc32.h"
 
@@ -17,6 +20,8 @@ namespace {
 util::Status Errno(const std::string& what) {
   return util::Status::Unavailable(what + ": " + std::strerror(errno));
 }
+
+bool WouldBlock(int err) { return err == EAGAIN || err == EWOULDBLOCK; }
 
 util::StatusOr<sockaddr_in> ResolveV4(const std::string& host, int port) {
   if (port < 0 || port > 65535) {
@@ -95,6 +100,26 @@ util::StatusOr<int> ConnectTo(const std::string& host, int port) {
   return fd;
 }
 
+util::Status SetNonBlocking(int fd, bool enabled) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int want = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && fcntl(fd, F_SETFL, want) != 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<int> TryAccept(int listen_fd) {
+  for (;;) {
+    const int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    if (WouldBlock(errno) || errno == ECONNABORTED) return -1;
+    return Errno("accept");
+  }
+}
+
 util::Status SendAll(int fd, const uint8_t* data, size_t size) {
   size_t done = 0;
   while (done < size) {
@@ -104,6 +129,12 @@ util::Status SendAll(int fd, const uint8_t* data, size_t size) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;  // resume, do not restart
+    if (n < 0 && WouldBlock(errno)) {
+      // Not a transport failure: the caller handed a non-blocking fd to a
+      // blocking-contract helper. Readiness-driven writers use TrySend.
+      return util::Status::FailedPrecondition(
+          "send would block on a non-blocking fd; use TrySend");
+    }
     return Errno("send");
   }
   return util::Status::Ok();
@@ -118,6 +149,14 @@ util::Status RecvAll(int fd, uint8_t* data, size_t size) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;  // resume, do not restart
+    if (n < 0 && WouldBlock(errno)) {
+      // Distinct from a real transport error: nothing is wrong with the
+      // connection, the fd simply has no bytes ready and is non-blocking
+      // (or carries a receive timeout). Readiness-driven readers use
+      // TryRecv instead of looping here.
+      return util::Status::FailedPrecondition(
+          "recv would block on a non-blocking fd; use TryRecv");
+    }
     if (n == 0) {
       return done == 0
                  ? util::Status::Unavailable("connection closed")
@@ -128,31 +167,60 @@ util::Status RecvAll(int fd, uint8_t* data, size_t size) {
   return util::Status::Ok();
 }
 
-util::Status WriteFrame(int fd, uint32_t magic,
-                        const std::vector<uint8_t>& body,
-                        size_t max_frame_bytes) {
+util::StatusOr<size_t> TryRecv(int fd, uint8_t* data, size_t size) {
+  for (;;) {
+    const ssize_t n = recv(fd, data, size, 0);
+    if (n > 0) return static_cast<size_t>(n);
+    if (n == 0) return util::Status::Unavailable("connection closed");
+    if (errno == EINTR) continue;
+    if (WouldBlock(errno)) return static_cast<size_t>(0);
+    return Errno("recv");
+  }
+}
+
+util::StatusOr<size_t> TrySend(int fd, const uint8_t* data, size_t size) {
+  for (;;) {
+    const ssize_t n = send(fd, data, size, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (WouldBlock(errno)) return static_cast<size_t>(0);
+    return Errno("send");
+  }
+}
+
+util::StatusOr<std::vector<uint8_t>> EncodeFrame(
+    uint32_t magic, const std::vector<uint8_t>& body,
+    size_t max_frame_bytes) {
   if (body.size() > max_frame_bytes) {
     return util::Status::InvalidArgument(
         "frame body of " + std::to_string(body.size()) +
         " bytes exceeds the " + std::to_string(max_frame_bytes) +
         "-byte limit");
   }
-  uint8_t header[12];
-  PutU32LE(header, magic);
-  PutU32LE(header + 4, static_cast<uint32_t>(body.size()));
-  PutU32LE(header + 8, util::Crc32(body));
-  CLASSMINER_RETURN_IF_ERROR(SendAll(fd, header, sizeof(header)));
-  if (!body.empty()) {
-    CLASSMINER_RETURN_IF_ERROR(SendAll(fd, body.data(), body.size()));
-  }
-  return util::Status::Ok();
+  std::vector<uint8_t> frame(12 + body.size());
+  PutU32LE(frame.data(), magic);
+  PutU32LE(frame.data() + 4, static_cast<uint32_t>(body.size()));
+  PutU32LE(frame.data() + 8, util::Crc32(body));
+  std::copy(body.begin(), body.end(), frame.begin() + 12);
+  return frame;
 }
 
-util::StatusOr<std::vector<uint8_t>> ReadFrame(int fd, uint32_t magic,
-                                               size_t max_frame_bytes) {
+util::Status WriteFrame(int fd, uint32_t magic,
+                        const std::vector<uint8_t>& body,
+                        size_t max_frame_bytes) {
+  util::StatusOr<std::vector<uint8_t>> frame =
+      EncodeFrame(magic, body, max_frame_bytes);
+  if (!frame.ok()) return frame.status();
+  return SendAll(fd, frame->data(), frame->size());
+}
+
+util::StatusOr<std::vector<uint8_t>> ReadFrameAny(
+    int fd, const std::vector<uint32_t>& magics, size_t max_frame_bytes,
+    uint32_t* magic_out) {
   uint8_t header[12];
   CLASSMINER_RETURN_IF_ERROR(RecvAll(fd, header, sizeof(header)));
-  if (ReadU32LE(header) != magic) {
+  const uint32_t magic = ReadU32LE(header);
+  if (std::find(magics.begin(), magics.end(), magic) == magics.end()) {
     return util::Status::DataLoss("bad frame magic");
   }
   const uint32_t size = ReadU32LE(header + 4);
@@ -168,7 +236,69 @@ util::StatusOr<std::vector<uint8_t>> ReadFrame(int fd, uint32_t magic,
   if (util::Crc32(body) != ReadU32LE(header + 8)) {
     return util::Status::DataLoss("frame checksum mismatch");
   }
+  if (magic_out != nullptr) *magic_out = magic;
   return body;
+}
+
+util::StatusOr<std::vector<uint8_t>> ReadFrame(int fd, uint32_t magic,
+                                               size_t max_frame_bytes) {
+  return ReadFrameAny(fd, {magic}, max_frame_bytes, nullptr);
+}
+
+FrameAssembler::FrameAssembler(std::vector<uint32_t> accepted_magics,
+                               size_t max_frame_bytes)
+    : accepted_(std::move(accepted_magics)),
+      max_frame_bytes_(max_frame_bytes) {}
+
+util::Status FrameAssembler::Corrupt(const std::string& what) {
+  error_ = util::Status::DataLoss(what);
+  return error_;
+}
+
+util::Status FrameAssembler::Feed(const uint8_t* data, size_t size) {
+  if (!error_.ok()) return error_;
+  buffer_.insert(buffer_.end(), data, data + size);
+  for (;;) {
+    const size_t have = buffer_.size() - consumed_;
+    if (have < 12) break;
+    const uint8_t* header = buffer_.data() + consumed_;
+    const uint32_t magic = ReadU32LE(header);
+    // Header checks run the moment the header closes, before the body
+    // arrives: a hostile size is rejected without reserving it.
+    if (std::find(accepted_.begin(), accepted_.end(), magic) ==
+        accepted_.end()) {
+      return Corrupt("bad frame magic");
+    }
+    const uint32_t body_size = ReadU32LE(header + 4);
+    if (body_size > max_frame_bytes_) {
+      return Corrupt("frame body of " + std::to_string(body_size) +
+                     " bytes exceeds the " +
+                     std::to_string(max_frame_bytes_) + "-byte limit");
+    }
+    if (have < 12 + static_cast<size_t>(body_size)) break;
+    Frame frame;
+    frame.magic = magic;
+    frame.body.assign(header + 12, header + 12 + body_size);
+    if (util::Crc32(frame.body) != ReadU32LE(header + 8)) {
+      return Corrupt("frame checksum mismatch");
+    }
+    consumed_ += 12 + static_cast<size_t>(body_size);
+    ready_.push_back(std::move(frame));
+  }
+  // Compact once the parsed prefix dominates, keeping Feed amortised O(n).
+  if (consumed_ > 4096 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  return util::Status::Ok();
+}
+
+bool FrameAssembler::PopFrame(Frame* out) {
+  if (ready_.empty()) return false;
+  *out = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
 }
 
 void CloseFd(int fd) {

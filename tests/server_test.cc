@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <fstream>
 #include <future>
 #include <mutex>
 #include <string>
@@ -369,6 +370,9 @@ TEST_F(ServerTest, AdmissionControlRejectsPastTheQueueBound) {
   ServerOptions options;
   options.worker_threads = 1;
   options.max_queue = 1;
+  // All three clients skim the same container; with the cache on, B and C
+  // would join A's single flight and never face admission control.
+  options.enable_result_cache = false;
   options.request_started_hook = [&](RequestKind) {
     if (started.fetch_add(1) == 0) {
       first_started.set_value();
@@ -432,6 +436,9 @@ TEST_F(ServerTest, DeadlineExpiredInQueueNeverExecutes) {
   ServerOptions options;
   options.worker_threads = 1;
   options.max_queue = 4;
+  // B skims the same container as A; joining A's flight would bypass the
+  // queue (and its deadline check) entirely.
+  options.enable_result_cache = false;
   options.request_started_hook = [&](RequestKind) {
     if (started.fetch_add(1) == 0) {
       first_started.set_value();
@@ -532,6 +539,356 @@ TEST_F(ServerTest, VerifyCarriesItsReportEvenWhenDirty) {
   const OpResult expected = VerifyOp(request.args[0]);
   EXPECT_EQ(response->body, expected.report);
   EXPECT_FALSE(response->body.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v2: pipelining, streaming, the shared result cache.
+
+TEST(ProtocolTest, TaggedRequestAndChunkRoundTrip) {
+  Request request;
+  request.kind = RequestKind::kSkim;
+  request.deadline_ms = 250;
+  request.args = {"a.cmv", "2"};
+  request.request_id = 0xdeadbeef;
+  util::StatusOr<std::vector<uint8_t>> bytes = request.SerializeTagged();
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(PeekRequestId(*bytes), 0xdeadbeefu);
+  util::StatusOr<Request> parsed = Request::ParseTagged(*bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->request_id, 0xdeadbeefu);
+  EXPECT_EQ(parsed->kind, RequestKind::kSkim);
+  EXPECT_EQ(parsed->args, request.args);
+  // A v1 parse of a v2 body must fail (the tag is not silently eaten).
+  EXPECT_FALSE(Request::Parse(*bytes).ok());
+
+  Response chunk;
+  chunk.request_id = 7;
+  chunk.final_chunk = false;
+  chunk.body = "fragment";
+  util::StatusOr<std::vector<uint8_t>> cb = chunk.SerializeChunk();
+  ASSERT_TRUE(cb.ok());
+  util::StatusOr<Response> back = Response::ParseChunk(*cb);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->request_id, 7u);
+  EXPECT_FALSE(back->final_chunk);
+  EXPECT_EQ(back->body, "fragment");
+  // Reserved flag bits must be zero.
+  (*cb)[4] |= 0x02;
+  EXPECT_FALSE(Response::ParseChunk(*cb).ok());
+}
+
+TEST_F(ServerTest, PipelinedResponsesCompleteOutOfOrder) {
+  std::promise<void> first_started;
+  std::promise<void> release_first;
+  std::shared_future<void> release(release_first.get_future());
+  std::atomic<int> started{0};
+
+  ServerOptions options;
+  options.worker_threads = 2;
+  options.request_started_hook = [&](RequestKind) {
+    if (started.fetch_add(1) == 0) {
+      first_started.set_value();
+      release.wait();
+    }
+  };
+  StartServer(std::move(options));
+
+  util::StatusOr<std::unique_ptr<PipelinedClient>> client =
+      PipelinedClient::Connect("127.0.0.1", server_->port(),
+                               MakeHello("pipeline", 3));
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // A enters the worker first and blocks there; B, sent after, overtakes it.
+  Request a;
+  a.kind = RequestKind::kVerify;
+  a.args = {::testing::TempDir() + "/oo_a.cmdb"};
+  std::future<util::StatusOr<Response>> fa = (*client)->AsyncCall(a);
+  first_started.get_future().wait();
+
+  Request b;
+  b.kind = RequestKind::kVerify;
+  b.args = {::testing::TempDir() + "/oo_b.cmdb"};
+  std::future<util::StatusOr<Response>> fb = (*client)->AsyncCall(b);
+
+  ASSERT_EQ(fb.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  EXPECT_EQ(fa.wait_for(std::chrono::milliseconds(0)),
+            std::future_status::timeout);  // A is still held in the hook
+  release_first.set_value();
+
+  util::StatusOr<Response> ra = fa.get();
+  util::StatusOr<Response> rb = fb.get();
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  // Both carry their own database path: tags kept request<->response pairing
+  // intact across the reordering.
+  EXPECT_NE(ra->body.find("oo_a.cmdb"), std::string::npos);
+  EXPECT_NE(rb->body.find("oo_b.cmdb"), std::string::npos);
+  EXPECT_GE(server_->StatsSnapshot().requests_pipelined, 1u);
+}
+
+TEST_F(ServerTest, StreamedPipelinedResponsesReassembleByteIdentical) {
+  const std::string cmv_a = TestContainer("stream_a.cmv", 17);
+  const std::string cmv_b = TestContainer("stream_b.cmv", 19);
+
+  ServerOptions options;
+  options.worker_threads = 2;
+  options.stream_chunk_bytes = 32;  // force many interleaved chunks
+  StartServer(std::move(options));
+
+  const OpEnv env;
+  const OpResult want_a = SkimOp(cmv_a, 3, env, nullptr);
+  const OpResult want_b = SkimOp(cmv_b, 3, env, nullptr);
+  ASSERT_TRUE(want_a.ok());
+  ASSERT_TRUE(want_b.ok());
+
+  util::StatusOr<std::unique_ptr<PipelinedClient>> client =
+      PipelinedClient::Connect("127.0.0.1", server_->port(),
+                               MakeHello("streams", 3));
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  Request a;
+  a.kind = RequestKind::kSkim;
+  a.args = {cmv_a};
+  Request b;
+  b.kind = RequestKind::kSkim;
+  b.args = {cmv_b};
+  std::future<util::StatusOr<Response>> fa = (*client)->AsyncCall(a);
+  std::future<util::StatusOr<Response>> fb = (*client)->AsyncCall(b);
+  util::StatusOr<Response> ra = fa.get();
+  util::StatusOr<Response> rb = fb.get();
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  ASSERT_TRUE(ra->ok()) << ra->message;
+  ASSERT_TRUE(rb->ok()) << rb->message;
+  // Chunked delivery, interleaved across two in-flight requests on one
+  // session, reassembles to exactly the v1 / ops-layer bytes.
+  EXPECT_EQ(ra->body, want_a.report);
+  EXPECT_EQ(rb->body, want_b.report);
+  const ServerStats stats = server_->StatsSnapshot();
+  EXPECT_GE(stats.responses_streamed, 2u);
+}
+
+TEST_F(ServerTest, V1ClientIsServedSeriallyInOrder) {
+  StartServer();
+  util::StatusOr<int> fd = ConnectTo("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok());
+
+  // Hello plus two requests, all on the wire before reading anything: a v1
+  // session must see its responses one per request, in request order.
+  SessionHello hello = MakeHello("serial", 3);
+  Request handshake;
+  handshake.kind = RequestKind::kHello;
+  handshake.args = {*hello.Serialize()};
+  Request first;
+  first.kind = RequestKind::kVerify;
+  first.args = {::testing::TempDir() + "/serial_one.cmdb"};
+  Request second;
+  second.kind = RequestKind::kVerify;
+  second.args = {::testing::TempDir() + "/serial_two.cmdb"};
+  for (const Request* r : {&handshake, &first, &second}) {
+    ASSERT_TRUE(
+        WriteFrame(*fd, kRequestMagic, *r->Serialize(), kMaxFrameBytes).ok());
+  }
+  std::vector<Response> responses;
+  for (int i = 0; i < 3; ++i) {
+    util::StatusOr<std::vector<uint8_t>> frame =
+        ReadFrame(*fd, kResponseMagic, kMaxFrameBytes);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    util::StatusOr<Response> response = Response::Parse(*frame);
+    ASSERT_TRUE(response.ok());
+    responses.push_back(std::move(*response));
+  }
+  EXPECT_NE(responses[0].body.find("session serial"), std::string::npos);
+  EXPECT_NE(responses[1].body.find("serial_one.cmdb"), std::string::npos);
+  EXPECT_NE(responses[2].body.find("serial_two.cmdb"), std::string::npos);
+  CloseFd(*fd);
+}
+
+TEST_F(ServerTest, SingleFlightCacheRunsTheMiningPipelineOnce) {
+  const std::string cmv = TestContainer("cache.cmv", 23);
+
+  std::promise<void> leader_started;
+  std::promise<void> release_leader;
+  std::shared_future<void> release(release_leader.get_future());
+  std::atomic<int> started{0};
+
+  ServerOptions options;
+  options.request_started_hook = [&](RequestKind) {
+    if (started.fetch_add(1) == 0) {
+      leader_started.set_value();
+      release.wait();  // holds the leader mid-flight so others can join
+    }
+  };
+  StartServer(std::move(options));
+
+  const OpEnv env;
+  const OpResult want = MineOp(cmv, /*fast=*/true, /*strict=*/false, env,
+                               nullptr);
+  ASSERT_TRUE(want.ok());
+
+  constexpr int kSessions = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&, i] {
+      util::StatusOr<Client> client =
+          Connect(MakeHello("joiner" + std::to_string(i), 3));
+      if (!client.ok()) {
+        ++mismatches;
+        return;
+      }
+      util::StatusOr<std::string> got =
+          client->CallForReport(RequestKind::kMine, {cmv, "--fast"});
+      if (!got.ok() || *got != want.report) ++mismatches;
+    });
+  }
+  leader_started.get_future().wait();
+  // Everyone else must have attached to the leader's flight before it runs.
+  while (server_->StatsSnapshot().cache_joined <
+         static_cast<uint64_t>(kSessions - 1)) {
+    std::this_thread::yield();
+  }
+  release_leader.set_value();
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // A later identical request answers from the stored entry.
+  util::StatusOr<Client> late = Connect(MakeHello("late", 3));
+  ASSERT_TRUE(late.ok());
+  util::StatusOr<std::string> cached =
+      late->CallForReport(RequestKind::kMine, {cmv, "--fast"});
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(*cached, want.report);
+
+  const ServerStats stats = server_->StatsSnapshot();
+  EXPECT_EQ(started.load(), 1);  // the pipeline executed exactly once
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_joined, static_cast<uint64_t>(kSessions - 1));
+  EXPECT_GE(stats.cache_hits, 1u);
+  // Cache-served answers still count as served requests.
+  EXPECT_EQ(stats.requests_ok, static_cast<uint64_t>(kSessions + 1));
+}
+
+TEST_F(ServerTest, SlowReaderBackpressureBoundsTheWriteQueue) {
+  const std::string cmv = TestContainer("slow.cmv", 29);
+
+  ServerOptions options;
+  options.stream_chunk_bytes = 32;
+  options.max_write_queue_bytes = 64;  // tiny: a ~300 B report must stall
+  StartServer(std::move(options));
+
+  const OpEnv env;
+  const OpResult want = SkimOp(cmv, 3, env, nullptr);
+  ASSERT_TRUE(want.ok());
+  ASSERT_GT(want.report.size(), 128u);  // big enough to trip the bound
+
+  util::StatusOr<int> fd = ConnectTo("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok());
+  SessionHello hello = MakeHello("slow", 3);
+  Request handshake;
+  handshake.kind = RequestKind::kHello;
+  handshake.args = {*hello.Serialize()};
+  handshake.request_id = 1;
+  ASSERT_TRUE(WriteFrame(*fd, kRequestMagicV2, *handshake.SerializeTagged(),
+                         kMaxFrameBytes)
+                  .ok());
+  uint32_t magic = 0;
+  util::StatusOr<std::vector<uint8_t>> frame =
+      ReadFrameAny(*fd, {kResponseMagicV2}, kMaxFrameBytes, &magic);
+  ASSERT_TRUE(frame.ok());
+
+  Request skim;
+  skim.kind = RequestKind::kSkim;
+  skim.args = {cmv};
+  skim.request_id = 2;
+  ASSERT_TRUE(WriteFrame(*fd, kRequestMagicV2, *skim.SerializeTagged(),
+                         kMaxFrameBytes)
+                  .ok());
+
+  // Do not read. The op fills the socket + write queue to the bound, then
+  // its next chunk blocks on backpressure: the response cannot finish.
+  while (server_->StatsSnapshot().write_queue_peak_bytes == 0) {
+    std::this_thread::yield();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  ServerStats stalled = server_->StatsSnapshot();
+  EXPECT_EQ(stalled.requests_ok, 0u);  // still blocked mid-stream
+  // The queue never ran away: bound + one in-flight chunk frame + the
+  // posts-in-transit slack (each chunk frame is ~70 bytes here).
+  EXPECT_LE(stalled.write_queue_peak_bytes,
+            options.max_write_queue_bytes + 512);
+
+  // Now drain like a healthy reader: the stream completes byte-identical.
+  std::string body;
+  for (;;) {
+    frame = ReadFrameAny(*fd, {kResponseMagicV2}, kMaxFrameBytes, &magic);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    util::StatusOr<Response> chunk = Response::ParseChunk(*frame);
+    ASSERT_TRUE(chunk.ok());
+    ASSERT_EQ(chunk->request_id, 2u);
+    body.append(chunk->body);
+    if (chunk->final_chunk) {
+      EXPECT_EQ(chunk->code, StatusCode::kOk) << chunk->message;
+      break;
+    }
+  }
+  EXPECT_EQ(body, want.report);
+  EXPECT_EQ(server_->StatsSnapshot().requests_ok, 1u);
+  CloseFd(*fd);
+}
+
+TEST_F(ServerTest, HoldsAThousandIdleConnectionsWithoutReaderThreads) {
+  ServerOptions options;
+  options.max_connections = 1100;
+  StartServer(std::move(options));
+
+  const auto thread_count = [] {
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+      if (line.rfind("Threads:", 0) == 0) {
+        return std::stoi(line.substr(8));
+      }
+    }
+    return -1;
+  };
+  const int threads_before = thread_count();
+
+  constexpr int kIdle = 1024;
+  std::vector<int> idle;
+  idle.reserve(kIdle);
+  for (int i = 0; i < kIdle; ++i) {
+    util::StatusOr<int> fd = ConnectTo("127.0.0.1", server_->port());
+    ASSERT_TRUE(fd.ok()) << "connection " << i << ": "
+                         << fd.status().ToString();
+    idle.push_back(*fd);
+  }
+  // All idle sessions are registered (accepts are processed before the
+  // active session below is admitted, but give the reactor a moment).
+  while (server_->StatsSnapshot().connections_active <
+         static_cast<uint64_t>(kIdle)) {
+    std::this_thread::yield();
+  }
+
+  // The daemon still serves, and holding 1024 open sockets cost zero
+  // additional threads — idle connections are file descriptors, not stacks.
+  util::StatusOr<Client> active = Connect(MakeHello("worker", 3));
+  ASSERT_TRUE(active.ok()) << active.status().ToString();
+  Request request;
+  request.kind = RequestKind::kVerify;
+  request.args = {::testing::TempDir() + "/idle_probe.cmdb"};
+  util::StatusOr<Response> response = active->Call(request);
+  ASSERT_TRUE(response.ok());
+
+  const int threads_after = thread_count();
+  ASSERT_GT(threads_before, 0);
+  EXPECT_EQ(threads_after, threads_before);
+  const ServerStats stats = server_->StatsSnapshot();
+  EXPECT_EQ(stats.reader_threads, 0u);
+  EXPECT_EQ(stats.connections_active, static_cast<uint64_t>(kIdle + 1));
+
+  for (int fd : idle) CloseFd(fd);
 }
 
 TEST_F(ServerTest, MalformedRequestFrameGetsAnErrorResponse) {
