@@ -1,0 +1,123 @@
+// Micro-benchmarks for the dispatched hot kernels: CRC-32, 8x8 DCT, HSV
+// histogram binning/reductions and macroblock SAD. Run once as-is (the
+// detected dispatch level) and once with CLASSMINER_DISABLE_SIMD=1 to
+// measure the scalar floor; the process prints the active level up front so
+// recorded numbers are attributable.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "codec/dct.h"
+#include "codec/motion.h"
+#include "features/histogram.h"
+#include "media/image.h"
+#include "util/cpu.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+
+namespace classminer {
+namespace {
+
+void BM_Crc32(benchmark::State& state) {
+  util::Rng rng(11);
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)));
+  for (uint8_t& b : data) b = static_cast<uint8_t>(rng.Next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::Crc32(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Dct8x8(benchmark::State& state) {
+  util::Rng rng(12);
+  codec::Block block{};
+  for (double& v : block) v = rng.Uniform(-128.0, 128.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec::ForwardDct(block));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Dct8x8);
+
+void BM_InverseDct8x8(benchmark::State& state) {
+  util::Rng rng(13);
+  codec::Block freq{};
+  for (double& v : freq) v = rng.Uniform(-60.0, 60.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec::InverseDct(freq));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_InverseDct8x8);
+
+void BM_HistogramBin(benchmark::State& state) {
+  // Whole-image histogram: the per-frame cost DetectShots pays. Pixels are
+  // random so every HSV branch is live.
+  util::Rng rng(14);
+  const int w = static_cast<int>(state.range(0));
+  const int h = w * 3 / 4;
+  media::Image img(w, h);
+  for (media::Rgb& p : img.pixels()) {
+    p = media::Rgb{static_cast<uint8_t>(rng.UniformInt(0, 255)),
+                   static_cast<uint8_t>(rng.UniformInt(0, 255)),
+                   static_cast<uint8_t>(rng.UniformInt(0, 255))};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::ComputeColorHistogram(img));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(img.pixel_count()));
+}
+BENCHMARK(BM_HistogramBin)->Arg(176)->Arg(352);
+
+void BM_HistogramIntersection(benchmark::State& state) {
+  util::Rng rng(15);
+  features::ColorHistogram a{}, b{};
+  for (double& v : a) v = rng.Uniform();
+  for (double& v : b) v = rng.Uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::HistogramIntersection(a, b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramIntersection);
+
+void BM_MacroblockSad(benchmark::State& state) {
+  util::Rng rng(16);
+  codec::Plane cur = codec::Plane::Make(176, 144);
+  codec::Plane ref = codec::Plane::Make(176, 144);
+  for (int16_t& s : cur.samples) {
+    s = static_cast<int16_t>(rng.UniformInt(0, 255));
+  }
+  for (int16_t& s : ref.samples) {
+    s = static_cast<int16_t>(rng.UniformInt(0, 255));
+  }
+  // Interior block with a small displacement: the common case inside
+  // EstimateMotion's search loop.
+  int64_t sink = 0;
+  for (auto _ : state) {
+    sink += codec::MacroblockSad(cur, ref, 80, 64, 3, -2);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MacroblockSad);
+
+}  // namespace
+}  // namespace classminer
+
+int main(int argc, char** argv) {
+  std::printf("dispatch level: %s\n",
+              classminer::util::DispatchLevelName(
+                  classminer::util::ActiveDispatchLevel()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

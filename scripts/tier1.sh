@@ -7,6 +7,7 @@
 #   scripts/tier1.sh            # build dirs ./build, ./build-tsan, ./build-asan
 #   SKIP_TSAN=1 scripts/tier1.sh
 #   SKIP_ASAN=1 scripts/tier1.sh
+#   SKIP_SCALAR=1 scripts/tier1.sh   # skip the forced-scalar kernel leg
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,6 +16,21 @@ echo "== tier-1: standard build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 (cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "${SKIP_SCALAR:-0}" != "1" ]]; then
+  echo "== tier-1: forced-scalar kernels (CLASSMINER_DISABLE_SIMD=1) =="
+  # The kernel, codec and mining suites re-run with every SIMD path pinned
+  # off, proving the scalar fallbacks carry the pipeline by themselves and
+  # that outputs don't depend on the dispatch level. Benches must also
+  # compile at both levels (same binaries; dispatch is runtime).
+  CLASSMINER_DISABLE_SIMD=1 ./build/tests/kernels_test
+  CLASSMINER_DISABLE_SIMD=1 ./build/tests/codec_test
+  CLASSMINER_DISABLE_SIMD=1 ./build/tests/features_test
+  CLASSMINER_DISABLE_SIMD=1 ./build/tests/cmv_pipeline_test
+  cmake --build build -j --target micro_kernels >/dev/null
+  CLASSMINER_DISABLE_SIMD=1 ./build/bench/micro_kernels \
+    --benchmark_min_time=0.01 >/dev/null
+fi
 
 echo "== tier-1: server smoke (daemon + concurrent clients, plain) =="
 scripts/server_smoke.sh build
@@ -44,6 +60,14 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   ./build-asan/tests/failpoint_test
   ./build-asan/tests/codec_test
   ./build-asan/tests/persist_test
+
+  echo "== tier-1: arena + kernels (ASan, poisoned-on-reset chunks) =="
+  # The arena poisons recycled chunks on Reset, so any use-after-reset in
+  # the decoder's double-buffered planes or the kernel scratch shows up as
+  # a use-after-poison here rather than silent cross-run reads.
+  cmake --build build-asan -j --target arena_test kernels_test >/dev/null
+  ./build-asan/tests/arena_test
+  ./build-asan/tests/kernels_test
 
   echo "== tier-1: crash-recovery matrix (ASan) =="
   # Crashes injected at every serial.atomic_write.* site, with and without

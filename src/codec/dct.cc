@@ -4,32 +4,36 @@
 #include <cmath>
 #include <numbers>
 
+#include "util/cpu.h"
+
 namespace classminer::codec {
+namespace internal {
+
 namespace {
 
-// Precomputed cosine basis: kCos[u][x] = c(u) * cos((2x+1) u pi / 16).
-struct DctTables {
-  double basis[kBlockSize][kBlockSize];
-  DctTables() {
-    for (int u = 0; u < kBlockSize; ++u) {
-      const double cu = (u == 0) ? std::sqrt(1.0 / kBlockSize)
-                                 : std::sqrt(2.0 / kBlockSize);
-      for (int x = 0; x < kBlockSize; ++x) {
-        basis[u][x] = cu * std::cos((2.0 * x + 1.0) * u * std::numbers::pi /
-                                    (2.0 * kBlockSize));
-      }
+DctTables MakeTables() {
+  DctTables tables;
+  for (int u = 0; u < kBlockSize; ++u) {
+    const double cu = (u == 0) ? std::sqrt(1.0 / kBlockSize)
+                               : std::sqrt(2.0 / kBlockSize);
+    for (int x = 0; x < kBlockSize; ++x) {
+      const double v = cu * std::cos((2.0 * x + 1.0) * u * std::numbers::pi /
+                                     (2.0 * kBlockSize));
+      tables.basis[u][x] = v;
+      tables.basis_t[x][u] = v;
     }
   }
-};
-
-const DctTables& Tables() {
-  static const DctTables tables;
   return tables;
 }
 
 }  // namespace
 
-Block ForwardDct(const Block& spatial) {
+const DctTables& Tables() {
+  static const DctTables tables = MakeTables();
+  return tables;
+}
+
+Block ForwardDctScalar(const Block& spatial) {
   const auto& t = Tables().basis;
   // Separable: rows then columns.
   Block tmp{};
@@ -55,7 +59,7 @@ Block ForwardDct(const Block& spatial) {
   return out;
 }
 
-Block InverseDct(const Block& freq) {
+Block InverseDctScalar(const Block& freq) {
   const auto& t = Tables().basis;
   Block tmp{};
   for (int u = 0; u < kBlockSize; ++u) {
@@ -78,6 +82,27 @@ Block InverseDct(const Block& freq) {
     }
   }
   return out;
+}
+
+}  // namespace internal
+
+namespace {
+
+inline bool UseDctAccel() {
+  return util::ActiveDispatchLevel() >= util::DispatchLevel::kAvx2 &&
+         internal::DctAccelAvailable();
+}
+
+}  // namespace
+
+Block ForwardDct(const Block& spatial) {
+  if (UseDctAccel()) return internal::ForwardDctAccel(spatial);
+  return internal::ForwardDctScalar(spatial);
+}
+
+Block InverseDct(const Block& freq) {
+  if (UseDctAccel()) return internal::InverseDctAccel(freq);
+  return internal::InverseDctScalar(freq);
 }
 
 Picture FromImage(const media::Image& image) {

@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory_resource>
 #include <vector>
 
 #include "media/image.h"
@@ -14,19 +15,54 @@ inline constexpr int kBlockPixels = kBlockSize * kBlockSize;
 
 using Block = std::array<double, kBlockPixels>;
 
-// Type-II 2-D DCT of an 8x8 block (orthonormal scaling).
+// Type-II 2-D DCT of an 8x8 block (orthonormal scaling). Dispatches to an
+// AVX2 kernel when util::ActiveDispatchLevel() allows; the vector path
+// parallelises across *output* lanes so each coefficient's accumulation
+// order is unchanged and results are bit-identical to the scalar kernel.
 Block ForwardDct(const Block& spatial);
 
-// Inverse (type-III) 2-D DCT.
+// Inverse (type-III) 2-D DCT. Same dispatch and bit-identity contract.
 Block InverseDct(const Block& freq);
+
+namespace internal {
+
+// Shared cosine basis: basis[u][x] = c(u) cos((2x+1) u pi / 16), plus its
+// transpose (basis_t[x][u]) for lane-parallel kernels. One definition so
+// scalar and vector paths fold the exact same coefficients.
+struct DctTables {
+  double basis[kBlockSize][kBlockSize];
+  double basis_t[kBlockSize][kBlockSize];
+};
+const DctTables& Tables();
+
+// Reference kernels (portable C++); the dispatch targets below must match
+// them bit-for-bit on every input.
+Block ForwardDctScalar(const Block& spatial);
+Block InverseDctScalar(const Block& freq);
+
+// AVX2 kernels (x86-64 only). Callable only when DctAccelAvailable().
+bool DctAccelAvailable();
+Block ForwardDctAccel(const Block& spatial);
+Block InverseDctAccel(const Block& freq);
+
+}  // namespace internal
 
 // A planar 8-bit single-channel image with row-major storage, padded as the
 // caller wishes. Thin alias over GrayImage-like storage but with int16
 // headroom for residuals.
+//
+// Storage is pmr so per-frame planes can live in a bump arena (util::Arena)
+// during decode. The usual pmr rules apply: a copy always lands on the
+// default heap resource (safe to keep past the arena), while a *move*
+// carries the arena resource with it — only move-construct arena-backed
+// planes into objects scoped inside the arena's lifetime, and never
+// move-assign across resources (the element-wise fallback silently
+// reallocates from the destination's resource).
 struct Plane {
   int width = 0;
   int height = 0;
-  std::vector<int16_t> samples;  // typically in [0, 255] or residual range
+  // Typically in [0, 255] or residual range.
+  std::pmr::vector<int16_t> samples;
 
   int16_t at(int x, int y) const {
     return samples[static_cast<size_t>(y) * width + x];
@@ -34,12 +70,14 @@ struct Plane {
   void set(int x, int y, int16_t v) {
     samples[static_cast<size_t>(y) * width + x] = v;
   }
-  static Plane Make(int w, int h, int16_t fill = 0) {
-    Plane p;
-    p.width = w;
-    p.height = h;
-    p.samples.assign(static_cast<size_t>(w) * h, fill);
-    return p;
+  // Null `mr` means the default (heap) resource. The vector is *constructed*
+  // on `mr` (assignment would fall back to the member's default resource).
+  static Plane Make(int w, int h, int16_t fill = 0,
+                    std::pmr::memory_resource* mr = nullptr) {
+    return Plane{w, h,
+                 std::pmr::vector<int16_t>(
+                     static_cast<size_t>(w) * h, fill,
+                     mr != nullptr ? mr : std::pmr::get_default_resource())};
   }
 };
 

@@ -1,0 +1,117 @@
+// AVX2 8x8 DCT kernels, bit-identical to the scalar reference.
+//
+// The trick: vectorise across *output* lanes only. Each output coefficient
+// is still a sum of 8 products accumulated in exactly the scalar loop's
+// order — the four doubles in a ymm register are four independent scalar
+// accumulations running side by side. With plain vmulpd/vaddpd (no FMA,
+// which would change rounding) every lane performs the same IEEE ops the
+// scalar kernel does, so the results match bit for bit.
+
+#include "codec/dct.h"
+
+#if defined(__x86_64__)
+
+#include <immintrin.h>
+
+namespace classminer::codec::internal {
+namespace {
+
+// Loads one row of 8 doubles as two ymm registers.
+struct Row8 {
+  __m256d lo;
+  __m256d hi;
+};
+
+__attribute__((target("avx2"))) inline Row8 LoadRow(const double* p) {
+  return {_mm256_loadu_pd(p), _mm256_loadu_pd(p + 4)};
+}
+
+__attribute__((target("avx2"))) inline void StoreRow(double* p, Row8 r) {
+  _mm256_storeu_pd(p, r.lo);
+  _mm256_storeu_pd(p + 4, r.hi);
+}
+
+__attribute__((target("avx2"))) inline Row8 MulAdd(Row8 acc, Row8 a,
+                                                   __m256d b) {
+  // Explicit mul+add (not FMA) to match the scalar kernel's rounding.
+  acc.lo = _mm256_add_pd(acc.lo, _mm256_mul_pd(a.lo, b));
+  acc.hi = _mm256_add_pd(acc.hi, _mm256_mul_pd(a.hi, b));
+  return acc;
+}
+
+}  // namespace
+
+bool DctAccelAvailable() { return true; }
+
+__attribute__((target("avx2"))) Block ForwardDctAccel(const Block& spatial) {
+  const DctTables& t = Tables();
+  // Pass 1 (rows): tmp[y][u] = sum_x spatial[y][x] * basis[u][x]
+  //                          = sum_x spatial[y][x] * basis_t[x][u].
+  // For fixed y the 8 u-lanes accumulate over x = 0..7, scalar order.
+  alignas(32) double tmp[kBlockPixels];
+  for (int y = 0; y < kBlockSize; ++y) {
+    Row8 acc{_mm256_setzero_pd(), _mm256_setzero_pd()};
+    for (int x = 0; x < kBlockSize; ++x) {
+      const __m256d s =
+          _mm256_set1_pd(spatial[static_cast<size_t>(y) * kBlockSize + x]);
+      acc = MulAdd(acc, LoadRow(t.basis_t[x]), s);
+    }
+    StoreRow(&tmp[static_cast<size_t>(y) * kBlockSize], acc);
+  }
+  // Pass 2 (columns): out[v][u] = sum_y tmp[y][u] * basis[v][y].
+  // For fixed v the 8 u-lanes accumulate over y = 0..7, scalar order.
+  Block out{};
+  for (int v = 0; v < kBlockSize; ++v) {
+    Row8 acc{_mm256_setzero_pd(), _mm256_setzero_pd()};
+    for (int y = 0; y < kBlockSize; ++y) {
+      const __m256d b = _mm256_set1_pd(t.basis[v][y]);
+      acc = MulAdd(acc, LoadRow(&tmp[static_cast<size_t>(y) * kBlockSize]), b);
+    }
+    StoreRow(&out[static_cast<size_t>(v) * kBlockSize], acc);
+  }
+  return out;
+}
+
+__attribute__((target("avx2"))) Block InverseDctAccel(const Block& freq) {
+  const DctTables& t = Tables();
+  // Pass 1: tmp[y][u] = sum_v freq[v][u] * basis[v][y].
+  // For fixed y the 8 u-lanes accumulate over v = 0..7, scalar order.
+  alignas(32) double tmp[kBlockPixels];
+  for (int y = 0; y < kBlockSize; ++y) {
+    Row8 acc{_mm256_setzero_pd(), _mm256_setzero_pd()};
+    for (int v = 0; v < kBlockSize; ++v) {
+      const __m256d b = _mm256_set1_pd(t.basis[v][y]);
+      acc = MulAdd(acc, LoadRow(&freq[static_cast<size_t>(v) * kBlockSize]), b);
+    }
+    StoreRow(&tmp[static_cast<size_t>(y) * kBlockSize], acc);
+  }
+  // Pass 2: out[y][x] = sum_u tmp[y][u] * basis[u][x].
+  // For fixed y the 8 x-lanes accumulate over u = 0..7, scalar order.
+  Block out{};
+  for (int y = 0; y < kBlockSize; ++y) {
+    Row8 acc{_mm256_setzero_pd(), _mm256_setzero_pd()};
+    for (int u = 0; u < kBlockSize; ++u) {
+      const __m256d s =
+          _mm256_set1_pd(tmp[static_cast<size_t>(y) * kBlockSize + u]);
+      acc = MulAdd(acc, LoadRow(t.basis[u]), s);
+    }
+    StoreRow(&out[static_cast<size_t>(y) * kBlockSize], acc);
+  }
+  return out;
+}
+
+}  // namespace classminer::codec::internal
+
+#else  // !defined(__x86_64__)
+
+namespace classminer::codec::internal {
+
+// No vector double path off x86-64 (NEON f64 reassociation would not be
+// worth a separate kernel here); the dispatcher keeps the scalar kernels.
+bool DctAccelAvailable() { return false; }
+Block ForwardDctAccel(const Block& spatial) { return ForwardDctScalar(spatial); }
+Block InverseDctAccel(const Block& freq) { return InverseDctScalar(freq); }
+
+}  // namespace classminer::codec::internal
+
+#endif

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "codec/bitstream.h"
 #include "codec/motion.h"
 #include "codec/quant.h"
+#include "util/arena.h"
 #include "util/failpoint.h"
 
 namespace classminer::codec {
@@ -54,21 +56,21 @@ struct PFrameSink {
 
 // Walks a P-frame payload. In full mode reconstructs the picture; in DC
 // mode updates the DC thumbnail with motion-shifted previous DC + residual
-// DC means. Layout must mirror EncodePredicted.
+// DC means. Layout must mirror EncodePredicted. `scratch` (null → heap)
+// backs the transient prediction planes in full mode.
 util::Status DecodePredictedFrame(BitReader* reader, int width, int height,
-                                  int quality, PFrameSink* sink) {
+                                  int quality, PFrameSink* sink,
+                                  std::pmr::memory_resource* scratch =
+                                      nullptr) {
   const int mbw = (width + kMacroblockSize - 1) / kMacroblockSize;
   const int mbh = (height + kMacroblockSize - 1) / kMacroblockSize;
   const int cbw = ((width + 1) / 2);
   const int cbh = ((height + 1) / 2);
 
   const bool full = sink->recon != nullptr;
-  Plane pred_y, pred_cb, pred_cr;
-  if (full) {
-    pred_y = Plane::Make(width, height);
-    pred_cb = Plane::Make(cbw, cbh);
-    pred_cr = Plane::Make(cbw, cbh);
-  }
+  Plane pred_y = full ? Plane::Make(width, height, 0, scratch) : Plane();
+  Plane pred_cb = full ? Plane::Make(cbw, cbh, 0, scratch) : Plane();
+  Plane pred_cr = full ? Plane::Make(cbw, cbh, 0, scratch) : Plane();
 
   QuantizedBlock q;
   for (int my = 0; my < mbh; ++my) {
@@ -171,7 +173,11 @@ util::Status DecodeDcFrame(const CmvFile& file, size_t i,
   const FrameRecord& rec = file.frames[i];
   BitReader reader(rec.payload);
   if (rec.type == FrameType::kIntra) {
-    Plane y_dims = Plane::Make(file.width, file.height);
+    // Dims-only plane: the DC-only intra walk never touches samples, so
+    // skip the width*height allocation entirely.
+    Plane y_dims;
+    y_dims.width = file.width;
+    y_dims.height = file.height;
     std::vector<double> dcs;
     dcs.reserve(static_cast<size_t>(dcw) * dch);
     CLASSMINER_RETURN_IF_ERROR(DecodeIntraPlane(
@@ -199,30 +205,37 @@ util::Status DecodeDcFrame(const CmvFile& file, size_t i,
 
 namespace internal {
 
-util::Status DecodePicture(const FrameRecord& rec, int width, int height,
-                           int quality, const Picture* ref, Picture* out) {
+util::StatusOr<Picture> DecodePicture(const FrameRecord& rec, int width,
+                                      int height, int quality,
+                                      const Picture* ref,
+                                      std::pmr::memory_resource* scratch) {
   const int cw = (width + 1) / 2;
   const int ch = (height + 1) / 2;
   BitReader reader(rec.payload);
-  out->y = Plane::Make(width, height);
-  out->cb = Plane::Make(cw, ch);
-  out->cr = Plane::Make(cw, ch);
+  // Planes are constructed on `scratch` and the picture returned by move,
+  // which preserves the resource (assignment through an existing Picture
+  // would not — see Plane).
+  Picture out{Plane::Make(width, height, 0, scratch),
+              Plane::Make(cw, ch, 0, scratch),
+              Plane::Make(cw, ch, 0, scratch)};
   if (rec.type == FrameType::kIntra) {
     CLASSMINER_RETURN_IF_ERROR(
-        DecodeIntraPlane(&reader, quality, false, &out->y, false, nullptr));
+        DecodeIntraPlane(&reader, quality, false, &out.y, false, nullptr));
     CLASSMINER_RETURN_IF_ERROR(
-        DecodeIntraPlane(&reader, quality, true, &out->cb, false, nullptr));
+        DecodeIntraPlane(&reader, quality, true, &out.cb, false, nullptr));
     CLASSMINER_RETURN_IF_ERROR(
-        DecodeIntraPlane(&reader, quality, true, &out->cr, false, nullptr));
-    return util::Status::Ok();
+        DecodeIntraPlane(&reader, quality, true, &out.cr, false, nullptr));
+    return out;
   }
   if (ref == nullptr) {
     return util::Status::DataLoss("P-frame without a reference picture");
   }
   PFrameSink sink;
-  sink.recon = out;
+  sink.recon = &out;
   sink.ref = ref;
-  return DecodePredictedFrame(&reader, width, height, quality, &sink);
+  CLASSMINER_RETURN_IF_ERROR(
+      DecodePredictedFrame(&reader, width, height, quality, &sink, scratch));
+  return out;
 }
 
 }  // namespace internal
@@ -236,7 +249,14 @@ util::StatusOr<media::Video> DecodeVideo(
   media::Video video(file.name, file.fps);
   video.Reserve(file.frames.size());
 
-  Picture recon;
+  // Double-buffered bump arenas: frame i decodes into arena i % 2 while the
+  // previous reconstruction (the P-frame reference) stays live in the other
+  // one. Resetting an arena only discards the frame from two steps back,
+  // which nothing references any more. The decoded pixels escape into the
+  // video as heap-backed Images, never as arena memory.
+  util::Arena arenas[2];
+  std::optional<Picture> slots[2];
+  const Picture* recon = nullptr;
   for (size_t i = 0; i < file.frames.size(); ++i) {
     if (cancel != nullptr && cancel->cancelled()) {
       return util::Status::Cancelled("video decode cancelled");
@@ -245,12 +265,15 @@ util::StatusOr<media::Video> DecodeVideo(
     if (rec.type != FrameType::kIntra && i == 0) {
       return util::Status::DataLoss("stream starts with P-frame");
     }
-    Picture next;
-    CLASSMINER_RETURN_IF_ERROR(internal::DecodePicture(
+    util::Arena& frame_arena = arenas[i % 2];
+    slots[i % 2].reset();
+    frame_arena.Reset();
+    util::StatusOr<Picture> next = internal::DecodePicture(
         rec, file.width, file.height, file.quality,
-        rec.type == FrameType::kIntra ? nullptr : &recon, &next));
-    recon = std::move(next);
-    video.AppendFrame(ToImage(recon, file.width, file.height));
+        rec.type == FrameType::kIntra ? nullptr : recon, &frame_arena);
+    CLASSMINER_RETURN_IF_ERROR(next.status());
+    recon = &slots[i % 2].emplace(std::move(*next));
+    video.AppendFrame(ToImage(*recon, file.width, file.height));
   }
   return video;
 }

@@ -45,13 +45,21 @@ double Psnr(const media::Image& a, const media::Image& b);
 
 namespace internal {
 
-// Decodes one frame record into *out (full pixel reconstruction). For
-// kIntra frames `ref` is ignored; for kPredicted frames `ref` must hold the
+// Decodes one frame record into a full pixel reconstruction. For kIntra
+// frames `ref` is ignored; for kPredicted frames `ref` must hold the
 // previous reconstruction at the same dimensions. This is the shared
 // per-frame core of DecodeVideo and GopReader, so selective GOP decode is
 // bit-identical to the sequential full decode by construction.
-util::Status DecodePicture(const FrameRecord& rec, int width, int height,
-                           int quality, const Picture* ref, Picture* out);
+//
+// `scratch` (may be null → heap) backs the returned picture's planes and
+// the transient prediction planes. An arena-backed picture is only valid
+// until the arena resets; callers double-buffer two arenas so the previous
+// reconstruction stays live while the next frame decodes (see DecodeVideo).
+util::StatusOr<Picture> DecodePicture(const FrameRecord& rec, int width,
+                                      int height, int quality,
+                                      const Picture* ref,
+                                      std::pmr::memory_resource* scratch =
+                                          nullptr);
 
 }  // namespace internal
 }  // namespace classminer::codec

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "util/cpu.h"
+
 namespace classminer::codec {
 namespace {
 
@@ -12,10 +14,22 @@ int16_t SampleClamped(const Plane& p, int x, int y) {
   return p.at(x, y);
 }
 
+// True when both 16x16 footprints lie fully inside their planes, so no
+// per-sample clamping or partial-row logic is needed.
+bool SadInterior(const Plane& cur, const Plane& ref, int mx, int my, int dx,
+                 int dy) {
+  return mx >= 0 && my >= 0 && mx + kMacroblockSize <= cur.width &&
+         my + kMacroblockSize <= cur.height && mx + dx >= 0 && my + dy >= 0 &&
+         mx + dx + kMacroblockSize <= ref.width &&
+         my + dy + kMacroblockSize <= ref.height;
+}
+
 }  // namespace
 
-int64_t MacroblockSad(const Plane& cur, const Plane& ref, int mx, int my,
-                      int dx, int dy) {
+namespace internal {
+
+int64_t MacroblockSadScalar(const Plane& cur, const Plane& ref, int mx,
+                            int my, int dx, int dy) {
   int64_t sad = 0;
   for (int y = 0; y < kMacroblockSize; ++y) {
     const int cy = my + y;
@@ -28,6 +42,17 @@ int64_t MacroblockSad(const Plane& cur, const Plane& ref, int mx, int my,
     }
   }
   return sad;
+}
+
+}  // namespace internal
+
+int64_t MacroblockSad(const Plane& cur, const Plane& ref, int mx, int my,
+                      int dx, int dy) {
+  if (util::ActiveDispatchLevel() >= util::DispatchLevel::kAvx2 &&
+      internal::SadAccelAvailable() && SadInterior(cur, ref, mx, my, dx, dy)) {
+    return internal::MacroblockSadAccel(cur, ref, mx, my, dx, dy);
+  }
+  return internal::MacroblockSadScalar(cur, ref, mx, my, dx, dy);
 }
 
 MotionVector EstimateMotion(const Plane& cur, const Plane& ref, int mx,

@@ -18,8 +18,27 @@ struct MotionVector {
 
 // Sum of absolute differences between the 16x16 macroblock at (mx, my) in
 // `cur` and the block displaced by (dx, dy) in `ref` (edge-clamped).
+// Interior blocks (both footprints fully in bounds) dispatch to an AVX2
+// kernel when util::ActiveDispatchLevel() allows; the sum is integer, so
+// every path is exactly equal.
 int64_t MacroblockSad(const Plane& cur, const Plane& ref, int mx, int my,
                       int dx, int dy);
+
+namespace internal {
+
+// Reference kernel (portable C++, handles edge clamping and partial
+// blocks).
+int64_t MacroblockSadScalar(const Plane& cur, const Plane& ref, int mx,
+                            int my, int dx, int dy);
+
+// AVX2 kernel (x86-64 only). Callable only when SadAccelAvailable() and
+// only for interior blocks: the 16x16 footprints at (mx, my) in `cur` and
+// (mx + dx, my + dy) in `ref` must lie fully inside their planes.
+bool SadAccelAvailable();
+int64_t MacroblockSadAccel(const Plane& cur, const Plane& ref, int mx,
+                           int my, int dx, int dy);
+
+}  // namespace internal
 
 // Full-search motion estimation over [-range, range]^2 with an early-exit
 // centre bias; returns the vector minimising SAD.

@@ -1,0 +1,63 @@
+// AVX2 16x16 SAD kernel for interior macroblocks.
+//
+// The caller guarantees both footprints are fully in bounds, so each row is
+// sixteen contiguous int16 samples in both planes. Samples are widened to
+// int32 before subtracting (Plane carries residual-range values, so an
+// int16 subtract could wrap), |diff| is accumulated in eight int32 lanes,
+// and the lanes are summed at the end. Integer arithmetic — exactly equal
+// to the scalar kernel in any order.
+
+#include "codec/motion.h"
+
+#if defined(__x86_64__)
+
+#include <immintrin.h>
+
+namespace classminer::codec::internal {
+
+bool SadAccelAvailable() { return true; }
+
+__attribute__((target("avx2"))) int64_t MacroblockSadAccel(
+    const Plane& cur, const Plane& ref, int mx, int my, int dx, int dy) {
+  __m256i acc = _mm256_setzero_si256();
+  for (int y = 0; y < kMacroblockSize; ++y) {
+    const int16_t* c =
+        cur.samples.data() + static_cast<size_t>(my + y) * cur.width + mx;
+    const int16_t* r = ref.samples.data() +
+                       static_cast<size_t>(my + dy + y) * ref.width + mx + dx;
+    const __m128i c_lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(c));
+    const __m128i c_hi =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(c + 8));
+    const __m128i r_lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(r));
+    const __m128i r_hi =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(r + 8));
+    const __m256i d_lo = _mm256_sub_epi32(_mm256_cvtepi16_epi32(c_lo),
+                                          _mm256_cvtepi16_epi32(r_lo));
+    const __m256i d_hi = _mm256_sub_epi32(_mm256_cvtepi16_epi32(c_hi),
+                                          _mm256_cvtepi16_epi32(r_hi));
+    acc = _mm256_add_epi32(acc, _mm256_abs_epi32(d_lo));
+    acc = _mm256_add_epi32(acc, _mm256_abs_epi32(d_hi));
+  }
+  alignas(32) int32_t lane[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lane), acc);
+  int64_t sad = 0;
+  for (int i = 0; i < 8; ++i) sad += lane[i];
+  return sad;
+}
+
+}  // namespace classminer::codec::internal
+
+#else  // !defined(__x86_64__)
+
+namespace classminer::codec::internal {
+
+bool SadAccelAvailable() { return false; }
+
+int64_t MacroblockSadAccel(const Plane& cur, const Plane& ref, int mx, int my,
+                           int dx, int dy) {
+  return MacroblockSadScalar(cur, ref, mx, my, dx, dy);
+}
+
+}  // namespace classminer::codec::internal
+
+#endif

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/pipeline_dag.h"
+#include "util/arena.h"
 #include "util/failpoint.h"
 #include "util/threadpool.h"
 
@@ -193,7 +194,12 @@ util::Status MineVideoInto(const media::Video& video,
   util::StatusSink local_sink;
   const util::ExecutionContext base =
       ctx.status_sink() != nullptr ? ctx : ctx.WithSink(&local_sink);
-  const util::ExecutionContext run_ctx = base.WithMetrics(&result->metrics);
+  // Per-run bump arena for transient feature scratch (frame histogram
+  // tables and the like). Stage results always escape by copy into the
+  // MiningResult, so nothing arena-backed survives this function.
+  util::Arena run_arena;
+  const util::ExecutionContext run_ctx =
+      base.WithMetrics(&result->metrics).WithArena(&run_arena);
 
   OptionalStageStatus optional;
   StageDag dag;

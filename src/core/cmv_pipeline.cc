@@ -9,6 +9,7 @@
 #include "codec/frame_source.h"
 #include "core/pipeline_dag.h"
 #include "shot/rep_frame.h"
+#include "util/arena.h"
 #include "util/threadpool.h"
 
 namespace classminer::core {
@@ -68,8 +69,14 @@ util::StatusOr<MiningResult> MineCmvFileFast(const codec::CmvFile& file,
           ? std::make_unique<util::ThreadPool>(options.thread_count)
           : nullptr;
   util::StatusSink sink;
-  const util::ExecutionContext ctx(pool.get(), &result.metrics,
-                                   options.cancel, &sink);
+  // Per-run bump arena, threaded through the context like the pool: stages
+  // draw transient scratch from it and everything they keep is copied into
+  // `result`, so the arena dies with this call.
+  util::Arena run_arena;
+  const util::ExecutionContext ctx =
+      util::ExecutionContext(pool.get(), &result.metrics, options.cancel,
+                             &sink)
+          .WithArena(&run_arena);
 
   const audio::AudioBuffer track = AudioFromFile(file);
 

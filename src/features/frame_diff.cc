@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory_resource>
 
 #include "features/histogram.h"
+#include "util/arena.h"
 
 namespace classminer::features {
 
@@ -13,8 +15,11 @@ double FrameDifference(const media::Image& a, const media::Image& b) {
   return 1.0 - HistogramIntersection(ha, hb);
 }
 
-std::vector<double> FrameDifferenceSeries(const media::Video& video,
-                                          util::ThreadPool* pool) {
+namespace {
+
+std::vector<double> FrameDifferenceSeriesImpl(const media::Video& video,
+                                              util::ThreadPool* pool,
+                                              std::pmr::memory_resource* mr) {
   std::vector<double> diffs;
   const int n = video.frame_count();
   if (n < 2) return diffs;
@@ -30,8 +35,12 @@ std::vector<double> FrameDifferenceSeries(const media::Video& video,
   }
   // Parallel path: histogram every frame into its own slot, then take the
   // (cheap) intersections serially. Same inputs per histogram as the serial
-  // path, so the resulting series is bit-identical.
-  std::vector<ColorHistogram> hists(static_cast<size_t>(n));
+  // path, so the resulting series is bit-identical. The slot table is the
+  // run's dominant scratch allocation (2 KiB per frame), so it goes into
+  // the run arena when one is supplied.
+  std::pmr::vector<ColorHistogram> hists(
+      static_cast<size_t>(n),
+      mr != nullptr ? mr : std::pmr::get_default_resource());
   util::ParallelFor(
       pool, n,
       [&](int i) {
@@ -45,6 +54,18 @@ std::vector<double> FrameDifferenceSeries(const media::Video& video,
                                     hists[static_cast<size_t>(i)]);
   }
   return diffs;
+}
+
+}  // namespace
+
+std::vector<double> FrameDifferenceSeries(const media::Video& video,
+                                          util::ThreadPool* pool) {
+  return FrameDifferenceSeriesImpl(video, pool, nullptr);
+}
+
+std::vector<double> FrameDifferenceSeries(const media::Video& video,
+                                          const util::ExecutionContext& ctx) {
+  return FrameDifferenceSeriesImpl(video, ctx.pool(), ctx.arena());
 }
 
 double BlockLumaDifference(const media::GrayImage& a,

@@ -5,6 +5,7 @@
 
 #include "media/image.h"
 #include "media/video.h"
+#include "util/exec_context.h"
 #include "util/threadpool.h"
 
 namespace classminer::features {
@@ -22,6 +23,14 @@ double FrameDifference(const media::Image& a, const media::Image& b);
 // the serial one.
 std::vector<double> FrameDifferenceSeries(const media::Video& video,
                                           util::ThreadPool* pool = nullptr);
+
+// Context-routed variant: parallelism comes from ctx.pool() as above, and
+// the transient per-frame histogram table (the dominant scratch allocation,
+// ~2 KiB per frame) is placed in ctx.arena() when the run carries one. The
+// returned series is always heap-backed and bit-identical to the serial
+// path.
+std::vector<double> FrameDifferenceSeries(const media::Video& video,
+                                          const util::ExecutionContext& ctx);
 
 // Block-luma difference: mean absolute difference of 8x8 block means,
 // normalised to [0, 1]. This is the compressed-domain variant driven by

@@ -5,16 +5,65 @@
 #include <cstdint>
 
 #include "media/color.h"
+#include "util/cpu.h"
 
 namespace classminer::features {
 
-// Per-pixel quantisation scales, hoisted out of the hot loop so binning is
-// multiply-only (no per-pixel division).
-constexpr double kHueScale = kHueBins / 360.0;
+namespace internal {
+
+void HistogramBinRangeScalar(const media::Rgb* px, size_t n, int32_t* bins) {
+  for (size_t i = 0; i < n; ++i) {
+    bins[i] = static_cast<int32_t>(HistogramBin(px[i]));
+  }
+}
+
+// Four independent accumulators, term(i) into lane i % 4, combined as
+// (lane0 + lane2) + (lane1 + lane3) — the exact arithmetic the AVX2 kernel
+// performs, so both paths round identically.
+double HistogramIntersectionScalar(std::span<const double> a,
+                                   std::span<const double> b) {
+  const size_t n = std::min(a.size(), b.size());
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc[0] += std::min(a[i + 0], b[i + 0]);
+    acc[1] += std::min(a[i + 1], b[i + 1]);
+    acc[2] += std::min(a[i + 2], b[i + 2]);
+    acc[3] += std::min(a[i + 3], b[i + 3]);
+  }
+  for (; i < n; ++i) acc[i % 4] += std::min(a[i], b[i]);
+  return (acc[0] + acc[2]) + (acc[1] + acc[3]);
+}
+
+double HistogramL1DistanceScalar(std::span<const double> a,
+                                 std::span<const double> b) {
+  const size_t n = std::min(a.size(), b.size());
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc[0] += std::fabs(a[i + 0] - b[i + 0]);
+    acc[1] += std::fabs(a[i + 1] - b[i + 1]);
+    acc[2] += std::fabs(a[i + 2] - b[i + 2]);
+    acc[3] += std::fabs(a[i + 3] - b[i + 3]);
+  }
+  for (; i < n; ++i) acc[i % 4] += std::fabs(a[i] - b[i]);
+  return (acc[0] + acc[2]) + (acc[1] + acc[3]);
+}
+
+}  // namespace internal
+
+namespace {
+
+inline bool UseHistogramAccel() {
+  return util::ActiveDispatchLevel() >= util::DispatchLevel::kAvx2 &&
+         internal::HistogramAccelAvailable();
+}
+
+}  // namespace
 
 int HistogramBin(media::Rgb pixel) {
   const media::Hsv hsv = media::RgbToHsv(pixel);
-  int h = static_cast<int>(hsv.h * kHueScale);
+  int h = static_cast<int>(hsv.h * internal::kHueScale);
   int s = static_cast<int>(hsv.s * kSatBins);
   int v = static_cast<int>(hsv.v * kValBins);
   h = std::min(h, kHueBins - 1);
@@ -27,10 +76,26 @@ ColorHistogram ComputeColorHistogram(const media::Image& image) {
   ColorHistogram hist{};
   if (image.empty()) return hist;
   // Integer bin counts in the pixel loop; one float normalisation pass at
-  // the end (a multiply by the reciprocal, not a per-bin division).
+  // the end (a multiply by the reciprocal, not a per-bin division). Binning
+  // runs in chunks through the dispatched range kernel.
   std::array<uint32_t, kHistogramDims> counts{};
-  for (const media::Rgb& p : image.pixels()) {
-    counts[static_cast<size_t>(HistogramBin(p))] += 1;
+  constexpr size_t kChunk = 512;
+  int32_t bins[kChunk];
+  const bool accel = UseHistogramAccel();
+  const media::Rgb* px = image.pixels().data();
+  size_t remaining = image.pixel_count();
+  while (remaining > 0) {
+    const size_t n = std::min(remaining, kChunk);
+    if (accel) {
+      internal::HistogramBinRangeAccel(px, n, bins);
+    } else {
+      internal::HistogramBinRangeScalar(px, n, bins);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      counts[static_cast<size_t>(bins[i])] += 1;
+    }
+    px += n;
+    remaining -= n;
   }
   const double inv_total = 1.0 / static_cast<double>(image.pixel_count());
   for (size_t i = 0; i < hist.size(); ++i) {
@@ -41,18 +106,14 @@ ColorHistogram ComputeColorHistogram(const media::Image& image) {
 
 double HistogramIntersection(std::span<const double> a,
                              std::span<const double> b) {
-  const size_t n = std::min(a.size(), b.size());
-  double sim = 0.0;
-  for (size_t i = 0; i < n; ++i) sim += std::min(a[i], b[i]);
-  return sim;
+  if (UseHistogramAccel()) return internal::HistogramIntersectionAccel(a, b);
+  return internal::HistogramIntersectionScalar(a, b);
 }
 
 double HistogramL1Distance(std::span<const double> a,
                            std::span<const double> b) {
-  const size_t n = std::min(a.size(), b.size());
-  double d = 0.0;
-  for (size_t i = 0; i < n; ++i) d += std::fabs(a[i] - b[i]);
-  return d;
+  if (UseHistogramAccel()) return internal::HistogramL1DistanceAccel(a, b);
+  return internal::HistogramL1DistanceScalar(a, b);
 }
 
 }  // namespace classminer::features

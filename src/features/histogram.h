@@ -2,6 +2,8 @@
 #define CLASSMINER_FEATURES_HISTOGRAM_H_
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
 #include <span>
 
 #include "media/image.h"
@@ -18,20 +20,52 @@ inline constexpr int kHistogramDims = kHueBins * kSatBins * kValBins;
 using ColorHistogram = std::array<double, kHistogramDims>;
 
 // Computes the normalised HSV histogram of `image`. An empty image yields
-// an all-zero histogram.
+// an all-zero histogram. The pixel-binning loop dispatches to an AVX2
+// kernel (4 pixels per iteration) when util::ActiveDispatchLevel() allows;
+// bin indices are integer and bit-identical across paths.
 ColorHistogram ComputeColorHistogram(const media::Image& image);
 
 // Bin index for a single pixel (exposed for tests).
 int HistogramBin(media::Rgb pixel);
 
 // Histogram intersection similarity: sum_k min(a_k, b_k), in [0, 1] for
-// L1-normalised inputs (Eq. 1, colour term).
+// L1-normalised inputs (Eq. 1, colour term). Both dispatch paths accumulate
+// with the same four-lane contract (see internal below), so scalar and
+// vector results are bit-identical.
 double HistogramIntersection(std::span<const double> a,
                              std::span<const double> b);
 
-// L1 distance between histograms.
+// L1 distance between histograms. Same dispatch/identity contract.
 double HistogramL1Distance(std::span<const double> a,
                            std::span<const double> b);
+
+namespace internal {
+
+// Per-pixel quantisation scale shared by the scalar and vector binning
+// kernels so both fold the exact same constant.
+inline constexpr double kHueScale = kHueBins / 360.0;
+
+// Reduction contract shared by every HistogramIntersection /
+// HistogramL1Distance path: term(i) accumulates into lane i % 4, and the
+// total is (lane0 + lane2) + (lane1 + lane3). The AVX2 kernels are this
+// contract evaluated four lanes at a time, hence bit-identical sums.
+double HistogramIntersectionScalar(std::span<const double> a,
+                                   std::span<const double> b);
+double HistogramL1DistanceScalar(std::span<const double> a,
+                                 std::span<const double> b);
+
+// Writes HistogramBin(px[i]) into bins[i] for i in [0, n).
+void HistogramBinRangeScalar(const media::Rgb* px, size_t n, int32_t* bins);
+
+// AVX2 kernels (x86-64 only). Callable only when HistogramAccelAvailable().
+bool HistogramAccelAvailable();
+void HistogramBinRangeAccel(const media::Rgb* px, size_t n, int32_t* bins);
+double HistogramIntersectionAccel(std::span<const double> a,
+                                  std::span<const double> b);
+double HistogramL1DistanceAccel(std::span<const double> a,
+                                std::span<const double> b);
+
+}  // namespace internal
 
 }  // namespace classminer::features
 

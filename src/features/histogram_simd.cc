@@ -1,0 +1,154 @@
+// AVX2 histogram kernels, bit-identical to the scalar reference.
+//
+// Binning mirrors media::RgbToHsv lane-by-lane: the same IEEE divides,
+// compares and constants, with branch priority reproduced by blend order
+// (grey test last so it wins, then mx==r over mx==g). The one deviation is
+// algebraic, not numeric: fmod(x, 6.0) is exact and |({g-b})/delta| <= 1,
+// so the scalar path's fmod is the identity and the vector path can skip
+// it. Dead-lane NaN/inf from 0/0 divides is blended away before use.
+//
+// The reductions implement the shared four-accumulator contract from
+// histogram.h with one ymm register, so sums round identically.
+
+#include "features/histogram.h"
+
+#if defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace classminer::features::internal {
+namespace {
+
+__attribute__((target("avx2"))) inline __m256d Channel(int a, int b, int c,
+                                                       int d) {
+  return _mm256_cvtepi32_pd(_mm_setr_epi32(a, b, c, d));
+}
+
+}  // namespace
+
+bool HistogramAccelAvailable() { return true; }
+
+__attribute__((target("avx2"))) void HistogramBinRangeAccel(
+    const media::Rgb* px, size_t n, int32_t* bins) {
+  const __m256d k255 = _mm256_set1_pd(255.0);
+  const __m256d kZero = _mm256_setzero_pd();
+  const __m256d kEps = _mm256_set1_pd(1e-12);
+  const __m256d k60 = _mm256_set1_pd(60.0);
+  const __m256d k2 = _mm256_set1_pd(2.0);
+  const __m256d k4 = _mm256_set1_pd(4.0);
+  const __m256d k360 = _mm256_set1_pd(360.0);
+  const __m256d kHue = _mm256_set1_pd(kHueScale);
+  const __m256d kSat = _mm256_set1_pd(static_cast<double>(kSatBins));
+  const __m256d kVal = _mm256_set1_pd(static_cast<double>(kValBins));
+
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const media::Rgb p0 = px[i + 0], p1 = px[i + 1], p2 = px[i + 2],
+                     p3 = px[i + 3];
+    const __m256d r = _mm256_div_pd(Channel(p0.r, p1.r, p2.r, p3.r), k255);
+    const __m256d g = _mm256_div_pd(Channel(p0.g, p1.g, p2.g, p3.g), k255);
+    const __m256d b = _mm256_div_pd(Channel(p0.b, p1.b, p2.b, p3.b), k255);
+
+    const __m256d mx = _mm256_max_pd(_mm256_max_pd(r, g), b);
+    const __m256d mn = _mm256_min_pd(_mm256_min_pd(r, g), b);
+    const __m256d delta = _mm256_sub_pd(mx, mn);
+
+    const __m256d v = mx;
+    const __m256d s = _mm256_blendv_pd(
+        kZero, _mm256_div_pd(delta, mx), _mm256_cmp_pd(mx, kZero, _CMP_GT_OQ));
+
+    // Hue candidates (fmod elided; see header comment).
+    const __m256d hr = _mm256_mul_pd(k60, _mm256_div_pd(_mm256_sub_pd(g, b),
+                                                        delta));
+    const __m256d hg = _mm256_mul_pd(
+        k60, _mm256_add_pd(_mm256_div_pd(_mm256_sub_pd(b, r), delta), k2));
+    const __m256d hb = _mm256_mul_pd(
+        k60, _mm256_add_pd(_mm256_div_pd(_mm256_sub_pd(r, g), delta), k4));
+    __m256d h = hb;
+    h = _mm256_blendv_pd(h, hg, _mm256_cmp_pd(mx, g, _CMP_EQ_OQ));
+    h = _mm256_blendv_pd(h, hr, _mm256_cmp_pd(mx, r, _CMP_EQ_OQ));
+    h = _mm256_blendv_pd(h, kZero, _mm256_cmp_pd(delta, kEps, _CMP_LE_OQ));
+    h = _mm256_blendv_pd(h, _mm256_add_pd(h, k360),
+                         _mm256_cmp_pd(h, kZero, _CMP_LT_OQ));
+
+    // Quantise (truncation, like static_cast<int>) and clamp per axis.
+    __m128i hq = _mm256_cvttpd_epi32(_mm256_mul_pd(h, kHue));
+    __m128i sq = _mm256_cvttpd_epi32(_mm256_mul_pd(s, kSat));
+    __m128i vq = _mm256_cvttpd_epi32(_mm256_mul_pd(v, kVal));
+    hq = _mm_min_epi32(hq, _mm_set1_epi32(kHueBins - 1));
+    sq = _mm_min_epi32(sq, _mm_set1_epi32(kSatBins - 1));
+    vq = _mm_min_epi32(vq, _mm_set1_epi32(kValBins - 1));
+
+    __m128i bin = _mm_add_epi32(
+        _mm_mullo_epi32(_mm_add_epi32(_mm_mullo_epi32(hq, _mm_set1_epi32(
+                                                              kSatBins)),
+                                      sq),
+                        _mm_set1_epi32(kValBins)),
+        vq);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(bins + i), bin);
+  }
+  if (i < n) HistogramBinRangeScalar(px + i, n - i, bins + i);
+}
+
+__attribute__((target("avx2"))) double HistogramIntersectionAccel(
+    std::span<const double> a, std::span<const double> b) {
+  const size_t n = std::min(a.size(), b.size());
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d va = _mm256_loadu_pd(a.data() + i);
+    const __m256d vb = _mm256_loadu_pd(b.data() + i);
+    acc = _mm256_add_pd(acc, _mm256_min_pd(va, vb));
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  for (; i < n; ++i) lane[i % 4] += std::min(a[i], b[i]);
+  return (lane[0] + lane[2]) + (lane[1] + lane[3]);
+}
+
+__attribute__((target("avx2"))) double HistogramL1DistanceAccel(
+    std::span<const double> a, std::span<const double> b) {
+  const size_t n = std::min(a.size(), b.size());
+  const __m256d kAbsMask = _mm256_castsi256_pd(
+      _mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFLL));
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d va = _mm256_loadu_pd(a.data() + i);
+    const __m256d vb = _mm256_loadu_pd(b.data() + i);
+    acc = _mm256_add_pd(acc, _mm256_and_pd(_mm256_sub_pd(va, vb), kAbsMask));
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  for (; i < n; ++i) lane[i % 4] += std::fabs(a[i] - b[i]);
+  return (lane[0] + lane[2]) + (lane[1] + lane[3]);
+}
+
+}  // namespace classminer::features::internal
+
+#else  // !defined(__x86_64__)
+
+namespace classminer::features::internal {
+
+bool HistogramAccelAvailable() { return false; }
+
+void HistogramBinRangeAccel(const media::Rgb* px, size_t n, int32_t* bins) {
+  HistogramBinRangeScalar(px, n, bins);
+}
+
+double HistogramIntersectionAccel(std::span<const double> a,
+                                  std::span<const double> b) {
+  return HistogramIntersectionScalar(a, b);
+}
+
+double HistogramL1DistanceAccel(std::span<const double> a,
+                                std::span<const double> b) {
+  return HistogramL1DistanceScalar(a, b);
+}
+
+}  // namespace classminer::features::internal
+
+#endif

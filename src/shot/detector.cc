@@ -71,7 +71,7 @@ std::vector<Shot> DetectShots(const media::Video& video,
                               ShotDetectionTrace* trace,
                               const util::ExecutionContext& ctx) {
   const std::vector<double> diffs =
-      features::FrameDifferenceSeries(video, ctx.pool());
+      features::FrameDifferenceSeries(video, ctx);
   std::vector<double> thresholds;
   const std::vector<int> cuts = DetectCuts(diffs, options, &thresholds);
   if (trace != nullptr) {

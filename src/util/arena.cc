@@ -1,0 +1,161 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <new>
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CLASSMINER_ARENA_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define CLASSMINER_ARENA_ASAN 1
+#endif
+
+#if defined(CLASSMINER_ARENA_ASAN)
+#include <sanitizer/asan_interface.h>
+#define CLASSMINER_POISON(addr, size) ASAN_POISON_MEMORY_REGION(addr, size)
+#define CLASSMINER_UNPOISON(addr, size) ASAN_UNPOISON_MEMORY_REGION(addr, size)
+#else
+#define CLASSMINER_POISON(addr, size) ((void)0)
+#define CLASSMINER_UNPOISON(addr, size) ((void)0)
+#endif
+
+namespace classminer::util {
+namespace {
+
+// Chunks come from aligned operator new at this alignment; requested
+// alignments above it are honoured by aligning the absolute address.
+constexpr size_t kChunkAlign = 64;
+// Minimum allocation alignment: keeps ASan poison boundaries on shadow
+// granules and every bump at least pointer-aligned.
+constexpr size_t kMinAlign = 8;
+
+size_t AlignUp(size_t n, size_t align) { return (n + align - 1) & ~(align - 1); }
+
+}  // namespace
+
+Arena::Arena(size_t initial_chunk_bytes)
+    : next_chunk_bytes_(std::max<size_t>(initial_chunk_bytes, 256)) {}
+
+Arena::~Arena() {
+  for (Chunk& c : chunks_) {
+    CLASSMINER_UNPOISON(c.base, c.capacity);
+    ::operator delete(c.base, std::align_val_t{kChunkAlign});
+  }
+}
+
+Arena::Arena(Arena&& other) noexcept {
+  const std::lock_guard<std::mutex> lock(other.mutex_);
+  chunks_ = std::move(other.chunks_);
+  current_ = other.current_;
+  next_chunk_bytes_ = other.next_chunk_bytes_;
+  allocated_ = other.allocated_;
+  allocations_ = other.allocations_;
+  other.chunks_.clear();
+  other.current_ = 0;
+  other.allocated_ = 0;
+  other.allocations_ = 0;
+}
+
+Arena& Arena::operator=(Arena&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mutex_, other.mutex_);
+  for (Chunk& c : chunks_) {
+    CLASSMINER_UNPOISON(c.base, c.capacity);
+    ::operator delete(c.base, std::align_val_t{kChunkAlign});
+  }
+  chunks_ = std::move(other.chunks_);
+  current_ = other.current_;
+  next_chunk_bytes_ = other.next_chunk_bytes_;
+  allocated_ = other.allocated_;
+  allocations_ = other.allocations_;
+  other.chunks_.clear();
+  other.current_ = 0;
+  other.allocated_ = 0;
+  other.allocations_ = 0;
+  return *this;
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return AllocateLocked(bytes, align);
+}
+
+void* Arena::AllocateLocked(size_t bytes, size_t align) {
+  if (align == 0 || (align & (align - 1)) != 0) align = alignof(std::max_align_t);
+  align = std::max(align, kMinAlign);
+  if (bytes == 0) bytes = 1;  // distinct non-null pointers, vector-friendly
+  // Try the current chunk, then any later recycled chunk large enough.
+  for (size_t i = current_; i < chunks_.size(); ++i) {
+    Chunk& c = chunks_[i];
+    // Align the absolute address, not the offset: chunk bases are only
+    // kChunkAlign-aligned.
+    const size_t offset =
+        AlignUp(reinterpret_cast<uintptr_t>(c.base) + c.used, align) -
+        reinterpret_cast<uintptr_t>(c.base);
+    if (offset + bytes <= c.capacity) {
+      c.used = offset + bytes;
+      current_ = i;
+      allocated_ += bytes;
+      ++allocations_;
+      uint8_t* p = c.base + offset;
+      CLASSMINER_UNPOISON(p, bytes);
+      return p;
+    }
+    current_ = i;  // exhausted; move on
+  }
+  // Grow: geometric schedule, but oversized requests get an exact chunk.
+  size_t chunk_bytes = next_chunk_bytes_;
+  if (bytes + align > chunk_bytes) {
+    chunk_bytes = bytes + align;
+  } else {
+    next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2, kMaxChunkBytes);
+  }
+  Chunk c;
+  c.base = static_cast<uint8_t*>(
+      ::operator new(chunk_bytes, std::align_val_t{kChunkAlign}));
+  c.capacity = chunk_bytes;
+  CLASSMINER_POISON(c.base, c.capacity);
+  const size_t offset =
+      AlignUp(reinterpret_cast<uintptr_t>(c.base), align) -
+      reinterpret_cast<uintptr_t>(c.base);
+  c.used = offset + bytes;
+  chunks_.push_back(c);
+  current_ = chunks_.size() - 1;
+  allocated_ += bytes;
+  ++allocations_;
+  uint8_t* p = chunks_.back().base + offset;
+  CLASSMINER_UNPOISON(p, bytes);
+  return p;
+}
+
+void Arena::Reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (Chunk& c : chunks_) {
+    c.used = 0;
+    CLASSMINER_POISON(c.base, c.capacity);
+  }
+  current_ = 0;
+  allocated_ = 0;
+  allocations_ = 0;
+}
+
+size_t Arena::bytes_allocated() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return allocated_;
+}
+
+size_t Arena::bytes_reserved() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.capacity;
+  return total;
+}
+
+size_t Arena::allocation_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return allocations_;
+}
+
+}  // namespace classminer::util

@@ -1,0 +1,137 @@
+#include "util/cpu.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_ASIMD
+#define HWCAP_ASIMD (1 << 1)
+#endif
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#endif
+
+namespace classminer::util {
+namespace {
+
+CpuFeatures DetectCpuFeatures() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  f.sse42 = __builtin_cpu_supports("sse4.2") != 0;
+  f.pclmul = __builtin_cpu_supports("pclmul") != 0;
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+#elif defined(__aarch64__) && defined(__linux__)
+  const unsigned long hwcap = getauxval(AT_HWCAP);
+  f.neon = (hwcap & HWCAP_ASIMD) != 0;
+  f.arm_crc32 = (hwcap & HWCAP_CRC32) != 0;
+#elif defined(__aarch64__) && defined(__APPLE__)
+  // Apple silicon baseline: NEON and the CRC32 extension are mandatory.
+  f.neon = true;
+  f.arm_crc32 = true;
+#endif
+  return f;
+}
+
+// -1 = unpinned (resolve from hardware + env); otherwise a DispatchLevel.
+std::atomic<int> g_pinned_level{-1};
+std::atomic<uint64_t> g_generation{0};
+
+bool LevelSupported(const CpuFeatures& f, DispatchLevel level) {
+  switch (level) {
+    case DispatchLevel::kScalar:
+      return true;
+    case DispatchLevel::kSse42:
+      return f.sse42 && f.pclmul;
+    case DispatchLevel::kAvx2:
+      return f.avx2 && f.sse42;
+    case DispatchLevel::kNeon:
+      return f.neon && f.arm_crc32;
+  }
+  return false;
+}
+
+}  // namespace
+
+namespace internal {
+
+bool SimdDisabledByEnv() {
+  const char* v = std::getenv("CLASSMINER_DISABLE_SIMD");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+DispatchLevel ResolveDispatchLevel(const CpuFeatures& features,
+                                   bool simd_disabled) {
+  if (simd_disabled) return DispatchLevel::kScalar;
+  if (LevelSupported(features, DispatchLevel::kAvx2)) {
+    return DispatchLevel::kAvx2;
+  }
+  if (LevelSupported(features, DispatchLevel::kSse42)) {
+    return DispatchLevel::kSse42;
+  }
+  if (LevelSupported(features, DispatchLevel::kNeon)) {
+    return DispatchLevel::kNeon;
+  }
+  return DispatchLevel::kScalar;
+}
+
+}  // namespace internal
+
+const CpuFeatures& CpuInfo() {
+  static const CpuFeatures features = DetectCpuFeatures();
+  return features;
+}
+
+DispatchLevel ActiveDispatchLevel() {
+  const int pinned = g_pinned_level.load(std::memory_order_acquire);
+  if (pinned >= 0) return static_cast<DispatchLevel>(pinned);
+  // Env is read once: the resolved level is cached for the process.
+  static const DispatchLevel resolved =
+      internal::ResolveDispatchLevel(CpuInfo(), internal::SimdDisabledByEnv());
+  return resolved;
+}
+
+const char* DispatchLevelName(DispatchLevel level) {
+  switch (level) {
+    case DispatchLevel::kScalar:
+      return "scalar";
+    case DispatchLevel::kSse42:
+      return "sse4.2";
+    case DispatchLevel::kAvx2:
+      return "avx2";
+    case DispatchLevel::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::vector<DispatchLevel> SupportedDispatchLevels() {
+  std::vector<DispatchLevel> levels{DispatchLevel::kScalar};
+  const CpuFeatures& f = CpuInfo();
+  for (DispatchLevel l :
+       {DispatchLevel::kSse42, DispatchLevel::kAvx2, DispatchLevel::kNeon}) {
+    if (LevelSupported(f, l)) levels.push_back(l);
+  }
+  return levels;
+}
+
+bool SetDispatchLevelForTest(DispatchLevel level) {
+  if (!LevelSupported(CpuInfo(), level)) return false;
+  g_pinned_level.store(static_cast<int>(level), std::memory_order_release);
+  g_generation.fetch_add(1, std::memory_order_acq_rel);
+  return true;
+}
+
+void ClearDispatchLevelForTest() {
+  g_pinned_level.store(-1, std::memory_order_release);
+  g_generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+uint64_t DispatchGeneration() {
+  return g_generation.load(std::memory_order_acquire);
+}
+
+}  // namespace classminer::util

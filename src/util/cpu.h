@@ -1,0 +1,71 @@
+#ifndef CLASSMINER_UTIL_CPU_H_
+#define CLASSMINER_UTIL_CPU_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace classminer::util {
+
+// Instruction-set tiers the hot kernels dispatch over. Levels are ordered:
+// a kernel compiled for level L may assume every feature of the levels
+// below it on the same architecture. kScalar is portable C++ and is the
+// reference implementation every vector path must match exactly.
+enum class DispatchLevel : int {
+  kScalar = 0,
+  kSse42 = 1,  // x86-64: SSE4.2 + PCLMULQDQ (CRC-32 folding)
+  kAvx2 = 2,   // x86-64: AVX2 (DCT / histogram / SAD lanes), implies kSse42
+  kNeon = 3,   // ARMv8: NEON + CRC32 extension
+};
+
+// Raw hardware capabilities, detected once (CPUID on x86-64, ELF hwcaps on
+// Linux/aarch64). Never affected by the env knob or test pins.
+struct CpuFeatures {
+  bool sse42 = false;
+  bool pclmul = false;
+  bool avx2 = false;
+  bool neon = false;
+  bool arm_crc32 = false;
+};
+
+// Cached hardware detection result.
+const CpuFeatures& CpuInfo();
+
+// The dispatch level kernels actually run at: hardware capability, capped
+// by CLASSMINER_DISABLE_SIMD (any non-empty value other than "0" pins
+// kScalar) and by SetDispatchLevelForTest. Cheap (one relaxed atomic load
+// after first resolution).
+DispatchLevel ActiveDispatchLevel();
+
+// Human-readable level name ("scalar", "sse4.2", "avx2", "neon") for bench
+// environment blocks and logs.
+const char* DispatchLevelName(DispatchLevel level);
+
+// Levels this host can actually execute, in ascending order. Always
+// contains kScalar. Tests iterate this to exercise every reachable kernel.
+std::vector<DispatchLevel> SupportedDispatchLevels();
+
+// Pins the active level for tests. Returns false (and pins nothing) if the
+// host cannot execute `level`. Passing kScalar always succeeds. Callers
+// must restore with ClearDispatchLevelForTest(); kernels with cached
+// function pointers notice via DispatchGeneration().
+bool SetDispatchLevelForTest(DispatchLevel level);
+void ClearDispatchLevelForTest();
+
+// Monotonic counter bumped by every test pin/unpin. Kernels that cache a
+// resolved function pointer revalidate it against this generation, so
+// dispatch is chosen once per process in production (where the generation
+// never moves) yet stays correct under test pinning.
+uint64_t DispatchGeneration();
+
+namespace internal {
+// Pure resolution policy, exposed for tests: what level would the given
+// hardware and env knob produce?
+DispatchLevel ResolveDispatchLevel(const CpuFeatures& features,
+                                   bool simd_disabled);
+// True when CLASSMINER_DISABLE_SIMD is set to a non-empty value != "0".
+bool SimdDisabledByEnv();
+}  // namespace internal
+
+}  // namespace classminer::util
+
+#endif  // CLASSMINER_UTIL_CPU_H_

@@ -1,6 +1,9 @@
 #include "util/crc32.h"
 
 #include <array>
+#include <atomic>
+
+#include "util/cpu.h"
 
 namespace classminer::util {
 namespace {
@@ -21,9 +24,54 @@ constexpr std::array<uint32_t, 256> MakeTable() {
 
 constexpr std::array<uint32_t, 256> kTable = MakeTable();
 
+// Slice-by-8: eight tables such that processing 8 input bytes costs 8
+// independent lookups + xors instead of an 8-long dependency chain of
+// byte steps. Table k maps "this byte, k more zero bytes to come".
+struct Slice8Tables {
+  uint32_t t[8][256];
+  constexpr Slice8Tables() : t{} {
+    for (uint32_t i = 0; i < 256; ++i) t[0][i] = kTable[i];
+    for (int k = 1; k < 8; ++k) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        const uint32_t c = t[k - 1][i];
+        t[k][i] = t[0][c & 0xFFu] ^ (c >> 8);
+      }
+    }
+  }
+};
+
+constexpr Slice8Tables kSlice8 = Slice8Tables();
+
+using Crc32Fn = uint32_t (*)(const uint8_t*, size_t, uint32_t);
+
+Crc32Fn SelectCrc32(DispatchLevel level) {
+  if (level != DispatchLevel::kScalar && internal::Crc32AccelAvailable()) {
+    return &internal::Crc32Accel;
+  }
+  return &internal::Crc32Slice8;
+}
+
+// Dispatch is chosen once (single atomic pointer) and only re-resolved when
+// the dispatch generation moves — which happens solely under test pinning.
+std::atomic<Crc32Fn> g_crc32{nullptr};
+std::atomic<uint64_t> g_crc32_gen{~uint64_t{0}};
+
+Crc32Fn ActiveCrc32() {
+  const uint64_t gen = DispatchGeneration();
+  if (g_crc32_gen.load(std::memory_order_acquire) != gen ||
+      g_crc32.load(std::memory_order_relaxed) == nullptr) {
+    g_crc32.store(SelectCrc32(ActiveDispatchLevel()),
+                  std::memory_order_relaxed);
+    g_crc32_gen.store(gen, std::memory_order_release);
+  }
+  return g_crc32.load(std::memory_order_relaxed);
+}
+
 }  // namespace
 
-uint32_t Crc32(const uint8_t* data, size_t size, uint32_t crc) {
+namespace internal {
+
+uint32_t Crc32Reference(const uint8_t* data, size_t size, uint32_t crc) {
   uint32_t c = crc ^ 0xFFFFFFFFu;
   for (size_t i = 0; i < size; ++i) {
     c = kTable[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
@@ -31,8 +79,51 @@ uint32_t Crc32(const uint8_t* data, size_t size, uint32_t crc) {
   return c ^ 0xFFFFFFFFu;
 }
 
+uint32_t Crc32Slice8State(uint32_t state, const uint8_t* data, size_t size) {
+  uint32_t c = state;
+  // Head: byte steps until 8-byte alignment (aligned 64-bit loads below).
+  while (size > 0 && (reinterpret_cast<uintptr_t>(data) & 7u) != 0) {
+    c = kSlice8.t[0][(c ^ *data++) & 0xFFu] ^ (c >> 8);
+    --size;
+  }
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  while (size >= 8) {
+    // One 64-bit word per iteration; the CRC register folds into the low
+    // half, the high half is fresh input (little-endian layout).
+    uint64_t word;
+    __builtin_memcpy(&word, data, 8);
+    word ^= c;
+    c = kSlice8.t[7][word & 0xFFu] ^ kSlice8.t[6][(word >> 8) & 0xFFu] ^
+        kSlice8.t[5][(word >> 16) & 0xFFu] ^
+        kSlice8.t[4][(word >> 24) & 0xFFu] ^
+        kSlice8.t[3][(word >> 32) & 0xFFu] ^
+        kSlice8.t[2][(word >> 40) & 0xFFu] ^
+        kSlice8.t[1][(word >> 48) & 0xFFu] ^ kSlice8.t[0][(word >> 56) & 0xFFu];
+    data += 8;
+    size -= 8;
+  }
+#endif  // little-endian
+  while (size > 0) {
+    c = kSlice8.t[0][(c ^ *data++) & 0xFFu] ^ (c >> 8);
+    --size;
+  }
+  return c;
+}
+
+uint32_t Crc32Slice8(const uint8_t* data, size_t size, uint32_t crc) {
+  return Crc32Slice8State(crc ^ 0xFFFFFFFFu, data, size) ^ 0xFFFFFFFFu;
+}
+
+}  // namespace internal
+
+uint32_t Crc32(const uint8_t* data, size_t size, uint32_t crc) {
+  return ActiveCrc32()(data, size, crc);
+}
+
 uint32_t Crc32(const std::vector<uint8_t>& bytes, uint32_t crc) {
-  return Crc32(bytes.data(), bytes.size(), crc);
+  // Forwards through the same cached pointer — dispatch is chosen once for
+  // both overloads.
+  return ActiveCrc32()(bytes.data(), bytes.size(), crc);
 }
 
 }  // namespace classminer::util

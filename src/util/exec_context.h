@@ -12,6 +12,8 @@
 
 namespace classminer::util {
 
+class Arena;  // util/arena.h
+
 // Cooperative cancellation flag shared between a pipeline run and its
 // caller. Cancellation is checked at stage boundaries (and at the head of
 // context-routed parallel loops); a cancelled run stops scheduling new work
@@ -79,6 +81,12 @@ class ExecutionContext {
       : pool_(pool), metrics_(metrics), cancel_(cancel), sink_(sink) {}
 
   ThreadPool* pool() const { return pool_; }
+  // Per-run bump arena for transient frame planes and feature scratch
+  // (null when the run has none). Borrowed like every other member: owned
+  // by the pipeline entry point and valid for the duration of the run.
+  // Arena allocations are thread-safe, but anything placed in it must not
+  // outlive the run (results must escape by copy to the heap).
+  Arena* arena() const { return arena_; }
   int thread_count() const {
     return pool_ != nullptr ? pool_->thread_count() : 1;
   }
@@ -103,10 +111,19 @@ class ExecutionContext {
 
   // Derived contexts: same pool/cancellation, different observers.
   ExecutionContext WithMetrics(PipelineMetrics* metrics) const {
-    return ExecutionContext(pool_, metrics, cancel_, sink_);
+    ExecutionContext ctx(pool_, metrics, cancel_, sink_);
+    ctx.arena_ = arena_;
+    return ctx;
   }
   ExecutionContext WithSink(StatusSink* sink) const {
-    return ExecutionContext(pool_, metrics_, cancel_, sink);
+    ExecutionContext ctx(pool_, metrics_, cancel_, sink);
+    ctx.arena_ = arena_;
+    return ctx;
+  }
+  ExecutionContext WithArena(Arena* arena) const {
+    ExecutionContext ctx(pool_, metrics_, cancel_, sink_);
+    ctx.arena_ = arena;
+    return ctx;
   }
 
  private:
@@ -114,6 +131,7 @@ class ExecutionContext {
   PipelineMetrics* metrics_ = nullptr;
   CancellationToken* cancel_ = nullptr;
   StatusSink* sink_ = nullptr;
+  Arena* arena_ = nullptr;
 };
 
 // Context-routed ParallelFor: same fixed partitioning as the ThreadPool

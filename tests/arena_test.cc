@@ -1,0 +1,212 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory_resource>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "codec/dct.h"
+
+namespace classminer::util {
+namespace {
+
+bool IsAligned(const void* p, size_t align) {
+  return reinterpret_cast<uintptr_t>(p) % align == 0;
+}
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena;
+  struct Span {
+    uint8_t* p;
+    size_t n;
+  };
+  std::vector<Span> spans;
+  for (size_t align : {size_t{1}, size_t{2}, size_t{8}, size_t{16},
+                       size_t{32}, size_t{64}, size_t{128}}) {
+    for (size_t bytes : {size_t{1}, size_t{3}, size_t{8}, size_t{100},
+                         size_t{4096}}) {
+      void* p = arena.Allocate(bytes, align);
+      ASSERT_NE(p, nullptr);
+      // Absolute-address alignment, not offset-within-chunk alignment.
+      EXPECT_TRUE(IsAligned(p, align)) << "align " << align;
+      spans.push_back({static_cast<uint8_t*>(p), bytes});
+    }
+  }
+  // Writing each span in full must not disturb any other span.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    std::memset(spans[i].p, static_cast<int>(i + 1), spans[i].n);
+  }
+  for (size_t i = 0; i < spans.size(); ++i) {
+    for (size_t j = 0; j < spans[i].n; ++j) {
+      ASSERT_EQ(spans[i].p[j], static_cast<uint8_t>(i + 1))
+          << "span " << i << " byte " << j;
+    }
+  }
+}
+
+TEST(ArenaTest, GrowsAcrossChunks) {
+  Arena arena(/*initial_chunk_bytes=*/256);
+  // Far more than one 256-byte chunk's worth.
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(100);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0xAB, 100);
+  }
+  EXPECT_GE(arena.bytes_allocated(), size_t{100} * 100);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_allocated());
+  EXPECT_EQ(arena.allocation_count(), 100u);
+}
+
+TEST(ArenaTest, OversizedRequestStillSucceeds) {
+  Arena arena(/*initial_chunk_bytes=*/64);
+  const size_t big = Arena::kDefaultChunkBytes * 3;
+  void* p = arena.Allocate(big, 64);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(IsAligned(p, 64));
+  std::memset(p, 0xCD, big);
+}
+
+TEST(ArenaTest, ZeroByteAllocationsReturnUniquePointers) {
+  Arena arena;
+  std::set<void*> seen;
+  for (int i = 0; i < 16; ++i) {
+    void* p = arena.Allocate(0);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate zero-byte pointer";
+  }
+}
+
+TEST(ArenaTest, ResetRecyclesCapacity) {
+  Arena arena;
+  for (int i = 0; i < 32; ++i) arena.Allocate(1000);
+  const size_t reserved = arena.bytes_reserved();
+  EXPECT_GT(reserved, 0u);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.allocation_count(), 0u);
+  // Chunks are kept, not returned to the OS.
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  // The next run reuses the same capacity without growing.
+  for (int i = 0; i < 32; ++i) {
+    void* p = arena.Allocate(1000);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0x5A, 1000);
+  }
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(ArenaTest, MoveTransfersOwnership) {
+  Arena a(/*initial_chunk_bytes=*/512);
+  void* p = a.Allocate(64);
+  std::memset(p, 0x77, 64);
+  const size_t allocated = a.bytes_allocated();
+
+  Arena b(std::move(a));
+  EXPECT_EQ(b.bytes_allocated(), allocated);
+  // The old allocation is still readable through the new owner.
+  for (size_t i = 0; i < 64; ++i) {
+    ASSERT_EQ(static_cast<uint8_t*>(p)[i], 0x77);
+  }
+  void* q = b.Allocate(64);
+  ASSERT_NE(q, nullptr);
+
+  Arena c;
+  c = std::move(b);
+  EXPECT_EQ(c.bytes_allocated(), allocated + 64);
+  ASSERT_NE(c.Allocate(64), nullptr);
+}
+
+TEST(ArenaTest, ConcurrentAllocationsDoNotOverlap) {
+  Arena arena(/*initial_chunk_bytes=*/1024);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::vector<uint8_t*>> ptrs(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&arena, &ptrs, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto* p = static_cast<uint8_t*>(arena.Allocate(16, 16));
+        std::memset(p, t + 1, 16);
+        ptrs[static_cast<size_t>(t)].push_back(p);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(arena.allocation_count(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    for (uint8_t* p : ptrs[static_cast<size_t>(t)]) {
+      for (size_t j = 0; j < 16; ++j) {
+        ASSERT_EQ(p[j], static_cast<uint8_t>(t + 1));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// pmr integration: the semantics Plane / the decoder rely on.
+
+TEST(ArenaPmrTest, VectorDrawsFromArena) {
+  Arena arena;
+  const size_t before = arena.bytes_allocated();
+  std::pmr::vector<int16_t> v(10'000, int16_t{7}, &arena);
+  EXPECT_GT(arena.bytes_allocated(), before);
+  EXPECT_GE(arena.bytes_allocated() - before, 10'000 * sizeof(int16_t));
+  EXPECT_TRUE(v.get_allocator().resource()->is_equal(arena));
+}
+
+TEST(ArenaPmrTest, MoveConstructionKeepsTheArenaResource) {
+  Arena arena;
+  std::pmr::vector<int16_t> v(1000, int16_t{3}, &arena);
+  const int16_t* data = v.data();
+  std::pmr::vector<int16_t> moved(std::move(v));
+  // Move-construction adopts the source allocator: same storage, no copy.
+  EXPECT_EQ(moved.data(), data);
+  EXPECT_TRUE(moved.get_allocator().resource()->is_equal(arena));
+}
+
+TEST(ArenaPmrTest, CopyEscapesToTheDefaultResource) {
+  Arena arena;
+  std::pmr::vector<int16_t> v(1000, int16_t{3}, &arena);
+  // Plain copy-construction uses select_on_container_copy_construction,
+  // which for pmr is the *default* resource — this is what makes copying a
+  // value out of a run safe after the arena resets.
+  std::pmr::vector<int16_t> copy(v);
+  EXPECT_FALSE(copy.get_allocator().resource()->is_equal(arena));
+  EXPECT_TRUE(copy.get_allocator().resource()->is_equal(
+      *std::pmr::get_default_resource()));
+  arena.Reset();
+  for (int16_t x : copy) ASSERT_EQ(x, 3);
+}
+
+TEST(ArenaPmrTest, IsEqualIsPointerIdentity) {
+  Arena a;
+  Arena b;
+  EXPECT_TRUE(a.is_equal(a));
+  EXPECT_FALSE(a.is_equal(b));
+}
+
+TEST(ArenaPmrTest, PlaneMakeUsesTheSuppliedResource) {
+  Arena arena;
+  const size_t before = arena.bytes_allocated();
+  codec::Plane p = codec::Plane::Make(64, 48, 5, &arena);
+  EXPECT_GE(arena.bytes_allocated() - before,
+            size_t{64} * 48 * sizeof(int16_t));
+  EXPECT_EQ(p.samples.size(), size_t{64} * 48);
+  for (int16_t s : p.samples) ASSERT_EQ(s, 5);
+  // Moving the plane keeps arena storage (the decoder's recon handoff).
+  codec::Plane q = std::move(p);
+  EXPECT_TRUE(q.samples.get_allocator().resource()->is_equal(arena));
+  // Default Make stays on the heap.
+  codec::Plane heap = codec::Plane::Make(8, 8);
+  EXPECT_TRUE(heap.samples.get_allocator().resource()->is_equal(
+      *std::pmr::get_default_resource()));
+}
+
+}  // namespace
+}  // namespace classminer::util
