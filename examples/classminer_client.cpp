@@ -5,15 +5,19 @@
 //   classminer-client [--host H] --port N [--user NAME] [--clearance N]
 //                     [--deny ID ...] [--deadline MS] [--retries N]
 //                     [--pipeline D] [--repeat N]
-//                     <mine|browse|skim|verify|repair> [args...]
+//                     <mine|browse|skim|verify|repair|health> [args...]
 //
-// --repeat N issues the same request N times. With --pipeline D the
-// repeats ride one protocol-v2 session with up to D requests in flight at
-// once (responses reassembled from streamed chunks, printed in issue
-// order); without it each repeat is a fresh serial v1 call. kUnavailable
-// answers (admission control, connection capacity) are retried with
-// exponential backoff through util::Retry; every other failure is final
-// and printed to stderr.
+// --repeat N issues the same request N times. With --pipeline D up to D
+// requests ride one protocol-v2 session at once (responses reassembled
+// from streamed chunks, printed in issue order); without it the repeats go
+// out one at a time over the same session.
+//
+// Every call runs through ResilientClient: a connection that dies mid-call
+// (daemon restart, reset, torn frame) is redialed and the call re-offered
+// with its original idempotency key, so the server replays or joins the
+// original execution instead of running it twice — --retries therefore
+// covers dropped connections, not just admission-control kUnavailable.
+// Every other failure is final and printed to stderr.
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,7 +41,7 @@ int Usage() {
       "                         [--deny ID ...] [--deadline MS] "
       "[--retries N]\n"
       "                         [--pipeline D] [--repeat N]\n"
-      "                         <mine|browse|skim|verify|repair> "
+      "                         <mine|browse|skim|verify|repair|health> "
       "[args...]\n");
   return 2;
 }
@@ -47,15 +51,14 @@ int Usage() {
 int main(int argc, char** argv) {
   using namespace classminer;
 
-  std::string host = "127.0.0.1";
-  int port = -1;
-  server::SessionHello hello;
-  hello.user = "client";
-  hello.clearance = 3;
+  server::ResilientClient::Options options;
+  options.hello.user = "client";
+  options.hello.clearance = 3;
   uint32_t deadline_ms = 0;
   int retries = 3;
-  int pipeline = 0;  // 0 = serial v1; >= 1 = pipelined v2 depth
+  int pipeline = 0;  // 0 = one call at a time; >= 1 = pipelined depth
   int repeat = 1;
+  int port = -1;
   std::string command;
   std::vector<std::string> args;
 
@@ -64,15 +67,15 @@ int main(int argc, char** argv) {
     if (!command.empty()) {
       args.push_back(arg);
     } else if (arg == "--host" && i + 1 < argc) {
-      host = argv[++i];
+      options.host = argv[++i];
     } else if (arg == "--port" && i + 1 < argc) {
       port = std::atoi(argv[++i]);
     } else if (arg == "--user" && i + 1 < argc) {
-      hello.user = argv[++i];
+      options.hello.user = argv[++i];
     } else if (arg == "--clearance" && i + 1 < argc) {
-      hello.clearance = std::atoi(argv[++i]);
+      options.hello.clearance = std::atoi(argv[++i]);
     } else if (arg == "--deny" && i + 1 < argc) {
-      hello.denied_nodes.push_back(std::atoi(argv[++i]));
+      options.hello.denied_nodes.push_back(std::atoi(argv[++i]));
     } else if (arg == "--deadline" && i + 1 < argc) {
       deadline_ms = static_cast<uint32_t>(std::atol(argv[++i]));
     } else if (arg == "--retries" && i + 1 < argc) {
@@ -88,19 +91,20 @@ int main(int argc, char** argv) {
     }
   }
   if (port < 0 || command.empty()) return Usage();
+  options.port = port;
   util::StatusOr<server::RequestKind> kind =
       server::ParseRequestKind(command);
   if (!kind.ok() || *kind == server::RequestKind::kHello) return Usage();
 
-  // Admission rejections and capacity refusals are kUnavailable — exactly
-  // the code util::Retry treats as transient — so a loaded daemon sheds
-  // the burst and the client re-offers the request with backoff.
-  util::RetryOptions retry;
-  retry.max_attempts = retries < 1 ? 1 : retries;
-  retry.initial_backoff_ms = 25.0;
-  retry.max_backoff_ms = 1000.0;
+  // Admission rejections, capacity refusals, and dropped connections are
+  // all kUnavailable — the transient code ResilientClient re-offers with
+  // exponential backoff, reconnecting when the transport itself failed.
+  options.retry.max_attempts = retries < 1 ? 1 : retries;
+  options.retry.initial_backoff_ms = 25.0;
+  options.retry.max_backoff_ms = 1000.0;
 
   if (repeat < 1) repeat = 1;
+  server::ResilientClient client(std::move(options));
   const auto make_request = [&] {
     server::Request request;
     request.kind = *kind;
@@ -108,55 +112,41 @@ int main(int argc, char** argv) {
     request.args = args;
     return request;
   };
+  const auto call = [&] { return client.Call(make_request()); };
 
+  // Settle responses in issue order whatever order they finish in. Dirty
+  // verify/repair outcomes still carry their report; print it before the
+  // failing status decides the exit code.
   std::string report;
   util::Status status = util::Status::Ok();
+  const auto settle = [&](util::StatusOr<server::Response> response) {
+    if (!response.ok()) return response.status();
+    report += response->body;
+    return response->ToStatus();
+  };
+
   if (pipeline >= 1) {
-    // One v2 session, up to `pipeline` requests on the wire at once;
-    // reports print in issue order however the server finishes them.
-    status = util::Retry(retry, [&]() -> util::Status {
-      report.clear();
-      util::StatusOr<std::unique_ptr<server::PipelinedClient>> client =
-          server::PipelinedClient::Connect(host, port, hello);
-      if (!client.ok()) return client.status();
-      std::deque<std::future<util::StatusOr<server::Response>>> window;
-      util::Status batch = util::Status::Ok();
-      const auto settle = [&] {
-        util::StatusOr<server::Response> response =
-            std::move(window.front()).get();
+    // Depth-D pipelining: D concurrent calls share the one resilient
+    // session; each call resumes independently if the transport drops.
+    std::deque<std::future<util::StatusOr<server::Response>>> window;
+    for (int n = 0; n < repeat && status.ok(); ++n) {
+      if (static_cast<int>(window.size()) >= pipeline) {
+        status = settle(std::move(window.front()).get());
         window.pop_front();
-        if (!response.ok()) return response.status();
-        report += response->body;
-        return response->ToStatus();
-      };
-      for (int n = 0; n < repeat && batch.ok(); ++n) {
-        if (static_cast<int>(window.size()) >= pipeline) batch = settle();
-        if (batch.ok()) window.push_back((*client)->AsyncCall(make_request()));
       }
-      while (!window.empty()) {
-        const util::Status drained = settle();
-        if (batch.ok()) batch = drained;
+      if (status.ok()) {
+        window.push_back(std::async(std::launch::async, call));
       }
-      return batch;
-    });
+    }
+    while (!window.empty()) {
+      const util::Status drained = settle(std::move(window.front()).get());
+      window.pop_front();
+      if (status.ok()) status = drained;
+    }
   } else {
-    status = util::Retry(retry, [&]() -> util::Status {
-      report.clear();
-      util::StatusOr<server::Client> client =
-          server::Client::Connect(host, port, hello);
-      if (!client.ok()) return client.status();
-      for (int n = 0; n < repeat; ++n) {
-        util::StatusOr<server::Response> response =
-            client->Call(make_request());
-        if (!response.ok()) return response.status();
-        // Dirty verify/repair outcomes still carry their report; print it
-        // before the failing status decides the exit code.
-        report += response->body;
-        const util::Status op = response->ToStatus();
-        if (!op.ok()) return op;
-      }
-      return util::Status::Ok();
-    });
+    for (int n = 0; n < repeat && status.ok(); ++n) {
+      status = settle(call());
+    }
   }
 
   if (!report.empty()) std::printf("%s", report.c_str());

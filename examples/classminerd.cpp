@@ -6,21 +6,35 @@
 //               [--max-conn N] [--media DIR] [--pipeline N]
 //               [--chunk BYTES] [--write-queue BYTES] [--no-cache]
 //               [--cache-bytes N] [--cache-entries N]
+//               [--idle-timeout MS] [--max-errors N]
+//               [--scrub-db PATH] [--scrub-interval MS] [--scrub-yield MS]
+//               [--chaos SITE=SPEC[,SITE=SPEC...]]
 //
 // The bound port is printed to stdout as "listening on H:P" (useful with
 // --port 0, which picks an ephemeral port). SIGTERM/SIGINT stop the daemon
 // gracefully: the listener closes, in-flight requests drain and flush
 // their responses, and the final stats line goes to stderr.
+//
+// --scrub-db / --scrub-interval run the background integrity scrubber: a
+// low-priority thread that periodically verifies the named database and
+// schedules a repair when the audit finds rot (see DESIGN.md).
+//
+// --chaos arms the named fault-injection sites for chaos testing; SPEC is
+// `once`, `always`, `every:N`, or `p:PROB[:SEED]` (e.g.
+// `--chaos server.wire.send.torn=p:0.05:7,server.accept.reset=every:20`).
+// Only for test rigs — armed sites inject real faults into live traffic.
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include <unistd.h>
 
 #include "server/server.h"
+#include "util/failpoint.h"
 
 namespace {
 
@@ -33,8 +47,60 @@ int Usage() {
                "usage: classminerd [--host H] [--port N] [--threads N] "
                "[--queue N] [--max-conn N] [--media DIR] [--pipeline N] "
                "[--chunk BYTES] [--write-queue BYTES] [--no-cache] "
-               "[--cache-bytes N] [--cache-entries N]\n");
+               "[--cache-bytes N] [--cache-entries N] [--idle-timeout MS] "
+               "[--max-errors N] [--scrub-db PATH] [--scrub-interval MS] "
+               "[--scrub-yield MS] [--chaos SITE=SPEC[,...]]\n");
   return 2;
+}
+
+// Parses one `site=spec` chaos entry and arms the site. Returns false on a
+// malformed entry.
+bool ArmChaosEntry(const std::string& entry) {
+  const size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  const std::string site = entry.substr(0, eq);
+  const std::string spec = entry.substr(eq + 1);
+  using Spec = classminer::util::FailPoint::Spec;
+  if (spec == "once") {
+    classminer::util::FailPoint::Arm(site, Spec::Once());
+    return true;
+  }
+  if (spec == "always") {
+    classminer::util::FailPoint::Arm(site, Spec::Always());
+    return true;
+  }
+  if (spec.rfind("every:", 0) == 0) {
+    const int n = std::atoi(spec.c_str() + 6);
+    if (n < 1) return false;
+    classminer::util::FailPoint::Arm(site, Spec::EveryN(n));
+    return true;
+  }
+  if (spec.rfind("p:", 0) == 0) {
+    const std::string rest = spec.substr(2);
+    const size_t colon = rest.find(':');
+    const double p = std::atof(rest.substr(0, colon).c_str());
+    uint64_t seed = 1;
+    if (colon != std::string::npos) {
+      seed = static_cast<uint64_t>(std::atoll(rest.c_str() + colon + 1));
+      if (seed == 0) seed = 1;
+    }
+    if (p <= 0.0 || p > 1.0) return false;
+    classminer::util::FailPoint::Arm(site, Spec::WithProbability(p, seed));
+    return true;
+  }
+  return false;
+}
+
+bool ArmChaos(const std::string& list) {
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string entry = list.substr(start, comma - start);
+    if (!entry.empty() && !ArmChaosEntry(entry)) return false;
+    start = comma + 1;
+  }
+  return true;
 }
 
 }  // namespace
@@ -72,6 +138,21 @@ int main(int argc, char** argv) {
     } else if (arg == "--cache-entries" && i + 1 < argc) {
       options.cache_max_entries =
           static_cast<size_t>(std::atol(argv[++i]));
+    } else if (arg == "--idle-timeout" && i + 1 < argc) {
+      options.idle_timeout_ms = std::atoi(argv[++i]);
+    } else if (arg == "--max-errors" && i + 1 < argc) {
+      options.max_session_errors = std::atoi(argv[++i]);
+    } else if (arg == "--scrub-db" && i + 1 < argc) {
+      options.scrub_db_path = argv[++i];
+    } else if (arg == "--scrub-interval" && i + 1 < argc) {
+      options.scrub_interval_ms = std::atoi(argv[++i]);
+    } else if (arg == "--scrub-yield" && i + 1 < argc) {
+      options.scrub_max_yield_ms = std::atoi(argv[++i]);
+    } else if (arg == "--chaos" && i + 1 < argc) {
+      if (!ArmChaos(argv[++i])) {
+        std::fprintf(stderr, "classminerd: bad --chaos spec\n");
+        return Usage();
+      }
     } else {
       return Usage();
     }
@@ -116,5 +197,20 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.cache_misses),
                static_cast<unsigned long long>(stats.reader_threads),
                static_cast<unsigned long long>(stats.connections_active));
+  std::fprintf(stderr,
+               "classminerd: robustness: %llu idle-closed, %llu protocol "
+               "error(s), %llu budget-closed, %llu duplicate id(s), "
+               "idempotent %llu hit / %llu joined, scrub %llu pass(es) / "
+               "%llu dirty / %llu repaired / %llu repair-failed\n",
+               static_cast<unsigned long long>(stats.idle_closed),
+               static_cast<unsigned long long>(stats.protocol_errors),
+               static_cast<unsigned long long>(stats.error_budget_closed),
+               static_cast<unsigned long long>(stats.duplicate_request_ids),
+               static_cast<unsigned long long>(stats.idempotent_hits),
+               static_cast<unsigned long long>(stats.idempotent_joined),
+               static_cast<unsigned long long>(stats.scrub_passes),
+               static_cast<unsigned long long>(stats.scrub_dirty),
+               static_cast<unsigned long long>(stats.scrub_repairs),
+               static_cast<unsigned long long>(stats.scrub_repair_failures));
   return stats.connections_active == 0 ? 0 : 1;
 }

@@ -35,6 +35,9 @@ fi
 echo "== tier-1: server smoke (daemon + concurrent clients, plain) =="
 scripts/server_smoke.sh build
 
+echo "== tier-1: server chaos (fault injection + reconnecting clients) =="
+scripts/server_chaos.sh build
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== tier-1: ThreadSanitizer (concurrency + parallel pipeline) =="
   cmake -B build-tsan -S . -DCLASSMINER_TSAN=ON >/dev/null
@@ -50,6 +53,11 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   # run under ThreadSanitizer; the smoke fails on any reported race.
   cmake --build build-tsan -j --target classminerd classminer_client classminer_cli >/dev/null
   scripts/server_smoke.sh build-tsan
+
+  echo "== tier-1: server chaos (TSAN) =="
+  # Fault injection under ThreadSanitizer: torn sends, accept resets and
+  # the background scrubber all racing live traffic.
+  scripts/server_chaos.sh build-tsan
 fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then

@@ -2,7 +2,10 @@
 
 #include <sys/socket.h>
 
+#include <cstdio>
+#include <functional>
 #include <mutex>
+#include <random>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -252,6 +255,172 @@ bool PipelinedClient::connected() const {
   if (state_ == nullptr) return false;
   std::lock_guard<std::mutex> lock(state_->mu);
   return state_->fd >= 0 && state_->fail.ok();
+}
+
+// ---------------------------------------------------------------------------
+// ResilientClient
+
+namespace {
+
+// Kinds whose calls are stamped with idempotency keys. Hello is handled by
+// the session layer; health is a liveness probe whose answer must never be
+// a replay of an older one.
+bool WantsIdempotencyKey(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kMine:
+    case RequestKind::kBrowse:
+    case RequestKind::kSkim:
+    case RequestKind::kVerify:
+    case RequestKind::kRepair:
+      return true;
+    case RequestKind::kHello:
+    case RequestKind::kHealth:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+ResilientClient::ResilientClient(Options options)
+    : options_(std::move(options)), nonce_(options_.session_nonce) {
+  if (nonce_ == 0) {
+    std::random_device rd;
+    nonce_ = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    if (nonce_ == 0) nonce_ = 1;
+  }
+}
+
+ResilientClient::~ResilientClient() { Close(); }
+
+std::string ResilientClient::NextIdempotencyKey(const Request& request) {
+  // Canonical request fingerprint: the identity fields the server keys its
+  // result cache on (kind · deadline · args) hashed for brevity. The
+  // nonce+sequence pair already makes the key unique per logical call; the
+  // fingerprint ties it to the request's content for debuggability.
+  std::string canon = RequestKindName(request.kind);
+  canon += '\x1f';
+  canon += std::to_string(request.deadline_ms);
+  for (const std::string& arg : request.args) {
+    canon += '\x1f';
+    canon += arg;
+  }
+  const uint64_t digest = std::hash<std::string>{}(canon);
+  char key[64];
+  std::snprintf(key, sizeof(key), "rc1-%016llx-%llu-%016llx",
+                static_cast<unsigned long long>(nonce_),
+                static_cast<unsigned long long>(
+                    seq_.fetch_add(1, std::memory_order_relaxed)),
+                static_cast<unsigned long long>(digest));
+  return key;
+}
+
+util::StatusOr<std::shared_ptr<PipelinedClient>>
+ResilientClient::EnsureConnected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return util::Status::FailedPrecondition("client closed");
+  if (conn_ != nullptr && conn_->connected()) return conn_;
+  conn_.reset();
+  util::StatusOr<std::unique_ptr<PipelinedClient>> dialed =
+      PipelinedClient::Connect(options_.host, options_.port, options_.hello,
+                               options_.max_frame_bytes);
+  if (!dialed.ok()) return dialed.status();
+  conn_ = std::shared_ptr<PipelinedClient>(std::move(*dialed));
+  ++stats_.dials;
+  return conn_;
+}
+
+void ResilientClient::Invalidate(
+    const std::shared_ptr<PipelinedClient>& conn) {
+  std::shared_ptr<PipelinedClient> dead;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (conn_ == conn) dead = std::move(conn_);
+  }
+  // `dead` (if any) destroys outside the lock: ~PipelinedClient joins the
+  // reader thread, which must not happen under mu_.
+}
+
+util::StatusOr<Response> ResilientClient::Call(Request request) {
+  if (request.idempotency_key.empty() && WantsIdempotencyKey(request.kind)) {
+    request.idempotency_key = NextIdempotencyKey(request);
+  }
+  util::StatusOr<Response> result =
+      util::Status::Unavailable("never attempted");
+  util::RetryOptions retry = options_.retry;
+  retry.on_retry = [this](int, const util::Status&) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.resumed_calls;
+  };
+  const util::Status status = util::Retry(retry, [&]() -> util::Status {
+    util::StatusOr<std::shared_ptr<PipelinedClient>> conn = EnsureConnected();
+    if (!conn.ok()) {
+      // A dial can also die to a torn hello response; same rule as below —
+      // transport damage on a resumable client is a transient condition.
+      if (conn.status().code() == util::StatusCode::kDataLoss) {
+        return util::Status::Unavailable("transport damaged: " +
+                                         conn.status().message());
+      }
+      return conn.status();
+    }
+    result = (*conn)->Call(request);
+    if (!result.ok()) {
+      // Transport-level failure: this session is broken (or the server hung
+      // up on it); drop it so the next attempt redials. A torn frame
+      // surfaces as kDataLoss — for a resumable client that is the same
+      // event as a hangup (the transport is dead either way), so map it to
+      // the transient code the backoff schedule retries.
+      Invalidate(*conn);
+      if (result.status().code() == util::StatusCode::kDataLoss) {
+        return util::Status::Unavailable("transport damaged: " +
+                                         result.status().message());
+      }
+      return result.status();
+    }
+    // kUnavailable in a *response* rides a healthy connection — admission
+    // control shedding load. Back off and re-offer; the server's
+    // idempotency record was released (never executed), so the retry runs
+    // for real.
+    if (result->code == util::StatusCode::kUnavailable) {
+      return result->ToStatus();
+    }
+    return util::Status::Ok();
+  });
+  // A final kUnavailable *response* still reaches the caller whole (body
+  // and message intact); bare statuses mean we never got an answer.
+  if (result.ok()) return result;
+  return status;
+}
+
+util::StatusOr<std::string> ResilientClient::CallForReport(
+    RequestKind kind, std::vector<std::string> args, uint32_t deadline_ms) {
+  Request request;
+  request.kind = kind;
+  request.deadline_ms = deadline_ms;
+  request.args = std::move(args);
+  util::StatusOr<Response> response = Call(std::move(request));
+  if (!response.ok()) return response.status();
+  if (!response->ok()) return response->ToStatus();
+  return std::move(response->body);
+}
+
+void ResilientClient::Close() {
+  std::shared_ptr<PipelinedClient> dead;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    dead = std::move(conn_);
+  }
+}
+
+bool ResilientClient::connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !closed_ && conn_ != nullptr && conn_->connected();
+}
+
+ResilientClient::Stats ResilientClient::StatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 }  // namespace classminer::server

@@ -1,13 +1,17 @@
 #ifndef CLASSMINER_SERVER_CLIENT_H_
 #define CLASSMINER_SERVER_CLIENT_H_
 
+#include <atomic>
+#include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "server/protocol.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace classminer::server {
@@ -102,6 +106,87 @@ class PipelinedClient {
   PipelinedClient() = default;
 
   std::shared_ptr<State> state_;
+};
+
+// Reconnecting, resumable session. Wraps a PipelinedClient and makes one
+// logical call survive a dying transport: when the connection drops
+// mid-call (daemon restart, reset, torn frame) the client redials, repeats
+// the hello handshake, and re-offers the request through util::Retry's
+// backoff schedule.
+//
+// Every stateful request (mine/browse/skim/verify/repair) is stamped with
+// an idempotency key before its first send — a canonical fingerprint of
+// the request (kind · deadline · args) scoped by a per-session nonce and a
+// call sequence number, so resends of the SAME logical call repeat the key
+// while distinct calls never collide. The server records the outcome under
+// that key: a resend that raced the original's completion replays the
+// recorded bytes, one that raced its execution joins the in-flight run.
+// Either way the operation executes at most once — which is what makes
+// retrying a `repair` safe.
+//
+// Thread-safe: concurrent Call()s share the underlying pipelined session
+// (that is how to pipeline through this class — one thread per in-flight
+// call); any of them may trigger the reconnect, the rest fail over onto
+// the fresh session on their own next attempt.
+class ResilientClient {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;
+    SessionHello hello;
+    size_t max_frame_bytes = kMaxFrameBytes;
+    // Backoff schedule for re-offering a call: max_attempts bounds how
+    // many times one logical call touches the wire. kUnavailable — from
+    // the transport OR in a response (admission control) — is the only
+    // code retried.
+    util::RetryOptions retry;
+    // Per-session component of generated idempotency keys. 0 = draw a
+    // random nonce at construction; fix it only when a test needs
+    // predictable keys.
+    uint64_t session_nonce = 0;
+  };
+
+  struct Stats {
+    uint64_t dials = 0;          // successful handshakes (first included)
+    uint64_t resumed_calls = 0;  // attempts re-offered after a backoff
+  };
+
+  explicit ResilientClient(Options options);
+  ~ResilientClient();
+
+  ResilientClient(const ResilientClient&) = delete;
+  ResilientClient& operator=(const ResilientClient&) = delete;
+
+  // One resumable call. Dials lazily (the first call connects), stamps the
+  // idempotency key if the request lacks one, retries kUnavailable with
+  // backoff, reconnecting whenever the transport failed. Non-transient
+  // outcomes — op errors, permission denials — return after one attempt.
+  util::StatusOr<Response> Call(Request request);
+
+  // Convenience matching Client/PipelinedClient.
+  util::StatusOr<std::string> CallForReport(RequestKind kind,
+                                            std::vector<std::string> args,
+                                            uint32_t deadline_ms = 0);
+
+  void Close();
+  bool connected() const;
+  Stats StatsSnapshot() const;
+
+ private:
+  util::StatusOr<std::shared_ptr<PipelinedClient>> EnsureConnected();
+  // Drops `conn` if it is still the current session, so the next attempt
+  // redials instead of re-using a transport known to be broken.
+  void Invalidate(const std::shared_ptr<PipelinedClient>& conn);
+  std::string NextIdempotencyKey(const Request& request);
+
+  Options options_;
+  uint64_t nonce_ = 0;
+  std::atomic<uint64_t> seq_{0};
+
+  mutable std::mutex mu_;
+  std::shared_ptr<PipelinedClient> conn_;  // null until first dial / after drop
+  bool closed_ = false;
+  Stats stats_;
 };
 
 }  // namespace classminer::server

@@ -41,6 +41,8 @@ const char* RequestKindName(RequestKind kind) {
       return "verify";
     case RequestKind::kRepair:
       return "repair";
+    case RequestKind::kHealth:
+      return "health";
   }
   return "unknown";
 }
@@ -91,7 +93,6 @@ util::StatusOr<Request> GetRequestCommon(util::ByteReader* r) {
     if (!arg.ok()) return arg.status();
     request.args.push_back(std::move(*arg));
   }
-  if (r->remaining() > 0) return r->Corrupt("trailing bytes after request");
   return request;
 }
 
@@ -109,13 +110,19 @@ util::StatusOr<std::vector<uint8_t>> Request::Serialize() const {
 util::StatusOr<Request> Request::Parse(const std::vector<uint8_t>& bytes) {
   util::ByteReader r(bytes);
   r.set_section("request");
-  return GetRequestCommon(&r);
+  util::StatusOr<Request> request = GetRequestCommon(&r);
+  if (!request.ok()) return request.status();
+  if (r.remaining() > 0) return r.Corrupt("trailing bytes after request");
+  return request;
 }
 
 util::StatusOr<std::vector<uint8_t>> Request::SerializeTagged() const {
+  CLASSMINER_RETURN_IF_ERROR(
+      util::CheckU32Count(idempotency_key.size(), "idempotency key byte"));
   util::ByteWriter w;
   w.PutU32(request_id);
   CLASSMINER_RETURN_IF_ERROR(PutRequestCommon(&w, *this));
+  w.PutString(idempotency_key);
   if (w.size() > kMaxFrameBytes) {
     return util::Status::InvalidArgument("request exceeds frame size limit");
   }
@@ -131,6 +138,10 @@ util::StatusOr<Request> Request::ParseTagged(
   util::StatusOr<Request> request = GetRequestCommon(&r);
   if (!request.ok()) return request.status();
   request->request_id = *id;
+  util::StatusOr<std::string> key = r.GetString();
+  if (!key.ok()) return key.status();
+  request->idempotency_key = std::move(*key);
+  if (r.remaining() > 0) return r.Corrupt("trailing bytes after request");
   return request;
 }
 

@@ -60,8 +60,12 @@ enum class RequestKind : uint8_t {
   kSkim = 3,
   kVerify = 4,
   kRepair = 5,
+  // Liveness/scrub probe: answered on the reactor thread, bypasses
+  // admission control, requires clearance 0 and no prior hello, so load
+  // balancers can probe a saturated or still-draining daemon.
+  kHealth = 6,
 };
-inline constexpr int kRequestKindCount = 6;
+inline constexpr int kRequestKindCount = 7;
 
 // Stable lowercase name ("mine", "browse", ...).
 const char* RequestKindName(RequestKind kind);
@@ -85,13 +89,20 @@ struct Request {
   // chosen, unique among the session's in-flight requests. Not serialized
   // by the v1 layout.
   uint32_t request_id = 0;
+  // v2 only: opaque retry token. A client that loses its connection mid-
+  // call reconnects and resends the request with the same key; the server
+  // remembers the outcome of every keyed request it executed (and joins
+  // keyed requests still in flight), so the retry observes the original
+  // execution instead of running the work again. Empty = not idempotent.
+  // Not serialized by the v1 layout.
+  std::string idempotency_key;
 
   // v1 body: kind u8 · deadline_ms u32 · arg_count u32 · args.
   util::StatusOr<std::vector<uint8_t>> Serialize() const;
   static util::StatusOr<Request> Parse(const std::vector<uint8_t>& bytes);
 
   // v2 body: request_id u32 · kind u8 · deadline_ms u32 · arg_count u32 ·
-  // args.
+  // args · idempotency_key string.
   util::StatusOr<std::vector<uint8_t>> SerializeTagged() const;
   static util::StatusOr<Request> ParseTagged(
       const std::vector<uint8_t>& bytes);

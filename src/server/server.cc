@@ -11,10 +11,12 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <unordered_set>
 #include <utility>
 
 #include "index/access_control.h"
 #include "server/wire.h"
+#include "util/failpoint.h"
 
 namespace classminer::server {
 namespace {
@@ -30,6 +32,22 @@ util::StatusOr<int> ParseIntArg(const std::string& text,
     return util::Status::InvalidArgument("bad " + what + " '" + text + "'");
   }
   return static_cast<int>(value);
+}
+
+// Steady-clock milliseconds for idle-timeout bookkeeping: monotonic, cheap
+// to stamp from the reactor and cheap to compare from the monitor thread.
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// The magic of an already-encoded frame (first four little-endian bytes).
+uint32_t FrameMagicOf(const std::vector<uint8_t>& frame) {
+  if (frame.size() < 4) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(frame[i]) << (8 * i);
+  return v;
 }
 
 // Derives the cache identity of a request, when it has one. Only mine and
@@ -87,6 +105,9 @@ struct ClassMinerServer::ConnShared {
   std::condition_variable cv;
   size_t queued_bytes = 0;  // reactor's write_queue_bytes, mirrored
   bool dead = false;        // connection closed; stop waiting, drop output
+  // Last wire activity (NowMs), stamped by the reactor on accept, read and
+  // write progress; read by the deadline monitor's idle reaper.
+  std::atomic<int64_t> last_activity_ms{0};
 };
 
 // Reactor-owned per-session state machine.
@@ -125,6 +146,13 @@ struct ClassMinerServer::Connection {
   bool want_write = false;   // current poller write-interest registration
   std::shared_ptr<ConnShared> shared;
 
+  // v2 request_ids currently in flight on this session (registered at
+  // parse, released when the final response is enqueued). A second request
+  // reusing a live id is rejected — chunk reassembly would be ambiguous.
+  std::unordered_set<uint32_t> live_v2_ids;
+  // Inline protocol-error answers charged against max_session_errors.
+  int inline_errors = 0;
+
   Connection(std::vector<uint32_t> magics, size_t max_frame)
       : assembler(std::move(magics), max_frame) {}
 };
@@ -139,6 +167,8 @@ struct ClassMinerServer::TaskCtx {
   bool has_deadline = false;
   std::chrono::steady_clock::time_point deadline;
   std::string lead_key;  // non-empty: this run leads a single-flight entry
+  std::string idem_key;  // non-empty: this run leads an idempotency record
+  bool owns_id = false;  // final response releases the session's live id
   std::shared_ptr<ConnShared> shared;
 };
 
@@ -191,15 +221,18 @@ class ClassMinerServer::Poller {
 #endif
   }
 
-  // Blocks until at least one watched fd is ready; fills `out`.
-  util::Status Wait(std::vector<Ready>* out) {
+  // Blocks until at least one watched fd is ready or `timeout_ms` elapses
+  // (-1 = forever); fills `out` (empty on timeout). The reactor passes a
+  // finite heartbeat so a lost wake-pipe byte delays worker events instead
+  // of stranding them.
+  util::Status Wait(std::vector<Ready>* out, int timeout_ms) {
     out->clear();
 #ifdef __linux__
     if (epfd_ >= 0) {
       epoll_event events[128];
       int n;
       do {
-        n = epoll_wait(epfd_, events, 128, -1);
+        n = epoll_wait(epfd_, events, 128, timeout_ms);
       } while (n < 0 && errno == EINTR);
       if (n < 0) {
         return util::Status::Internal(std::string("epoll_wait: ") +
@@ -231,7 +264,7 @@ class ClassMinerServer::Poller {
     }
     int n;
     do {
-      n = poll(fds.data(), fds.size(), -1);
+      n = poll(fds.data(), fds.size(), timeout_ms);
     } while (n < 0 && errno == EINTR);
     if (n < 0) {
       return util::Status::Internal(std::string("poll: ") +
@@ -288,12 +321,20 @@ ClassMinerServer::ClassMinerServer(ServerOptions options)
       concepts_(index::ConceptHierarchy::MedicalDefault()),
       cache_(ResultCache::Options{
           options_.cache_max_bytes > 0 ? options_.cache_max_bytes : 1,
-          options_.cache_max_entries > 0 ? options_.cache_max_entries : 1}) {
+          options_.cache_max_entries > 0 ? options_.cache_max_entries : 1}),
+      idem_cache_(ResultCache::Options{
+          options_.idem_cache_max_bytes > 0 ? options_.idem_cache_max_bytes
+                                            : 1,
+          options_.idem_cache_max_entries > 0 ? options_.idem_cache_max_entries
+                                              : 1}) {
   if (options_.worker_threads < 1) options_.worker_threads = 1;
   if (options_.max_queue < 0) options_.max_queue = 0;
   if (options_.max_connections < 1) options_.max_connections = 1;
   if (options_.max_pipeline < 1) options_.max_pipeline = 1;
   if (options_.stream_chunk_bytes == 0) options_.stream_chunk_bytes = 1;
+  if (options_.idle_timeout_ms < 0) options_.idle_timeout_ms = 0;
+  if (options_.max_session_errors < 0) options_.max_session_errors = 0;
+  if (options_.scrub_interval_ms < 0) options_.scrub_interval_ms = 0;
 }
 
 ClassMinerServer::~ClassMinerServer() { Stop(); }
@@ -331,6 +372,20 @@ util::Status ClassMinerServer::Start() {
   port_ = *port;
   poller_ = std::move(poller);
   pool_ = std::make_unique<util::ThreadPool>(options_.worker_threads);
+  if (!options_.scrub_db_path.empty() && options_.scrub_interval_ms > 0) {
+    ScrubberOptions scrub;
+    scrub.db_path = options_.scrub_db_path;
+    scrub.interval_ms = options_.scrub_interval_ms;
+    scrub.max_yield_ms = options_.scrub_max_yield_ms;
+    scrub.busy = [this] {
+      return queued_.load(std::memory_order_acquire) > 0 ||
+             busy_workers_.load(std::memory_order_acquire) > 0;
+    };
+    scrub.env.mining = options_.mining;
+    scrub.env.media_dir = options_.media_dir;
+    scrubber_ = std::make_unique<IntegrityScrubber>(std::move(scrub));
+    scrubber_->Start();
+  }
   deadline_thread_ = std::thread([this] { DeadlineLoop(); });
   reactor_thread_ = std::thread([this] { ReactorLoop(); });
   return util::Status::Ok();
@@ -342,6 +397,7 @@ void ClassMinerServer::Stop() {
     // and runs after the first Stop by construction.
     return;
   }
+  if (scrubber_ != nullptr) scrubber_->Stop();
   Wake();
   if (reactor_thread_.joinable()) reactor_thread_.join();
   if (listen_fd_ >= 0) {
@@ -375,11 +431,56 @@ ServerStats ClassMinerServer::StatsSnapshot() const {
   out.cache_hits = cache.hits;
   out.cache_joined = cache.joined;
   out.cache_misses = cache.misses;
+  if (scrubber_ != nullptr) {
+    const ScrubberStats scrub = scrubber_->StatsSnapshot();
+    out.scrub_passes = scrub.passes;
+    out.scrub_dirty = scrub.dirty_found;
+    out.scrub_repairs = scrub.repairs;
+    out.scrub_repair_failures = scrub.repair_failures;
+  }
+  return out;
+}
+
+std::string ClassMinerServer::BuildHealthReport() const {
+  const ServerStats stats = StatsSnapshot();
+  std::string out;
+  out += "classminerd health\n";
+  out += "status: ";
+  out += draining_ ? "draining" : "serving";
+  out += "\n";
+  out += "connections: " + std::to_string(stats.connections_active) + "\n";
+  out += "requests ok: " + std::to_string(stats.requests_ok) + "\n";
+  out += "requests failed: " + std::to_string(stats.requests_failed) + "\n";
+  if (scrubber_ != nullptr && scrubber_->enabled()) {
+    const ScrubberStats scrub = scrubber_->StatsSnapshot();
+    out += "scrub: enabled\n";
+    out += "scrub passes: " + std::to_string(scrub.passes) + "\n";
+    out += "scrub dirty: " + std::to_string(scrub.dirty_found) + "\n";
+    out += "scrub repaired: " + std::to_string(scrub.repairs) + "\n";
+    out += "scrub repair failures: " +
+           std::to_string(scrub.repair_failures) + "\n";
+    if (!scrub.ever_ran) {
+      out += "last scrub: never\n";
+    } else if (scrub.last_clean) {
+      out += "last scrub: clean\n";
+    } else {
+      out += "last scrub: dirty";
+      if (!scrub.last_error.empty()) out += " (" + scrub.last_error + ")";
+      out += "\n";
+    }
+    out += "degraded entries: " + std::to_string(scrub.last_degraded) + "\n";
+  } else {
+    out += "scrub: disabled\n";
+  }
   return out;
 }
 
 void ClassMinerServer::Wake() {
   if (wake_fds_[1] < 0) return;
+  // Chaos site: the wake byte is lost. Worker events then ride the
+  // reactor's heartbeat poll timeout instead of a prompt wake-up — slower,
+  // never stranded.
+  if (!util::FailPoint::Check("server.wake.drop").ok()) return;
   const uint8_t byte = 1;
   ssize_t n;
   do {
@@ -416,7 +517,11 @@ void ClassMinerServer::ReactorLoop() {
   for (;;) {
     if (stopping_.load(std::memory_order_acquire) && !draining_) BeginDrain();
     if (draining_ && conns_.empty()) break;
-    if (!poller_->Wait(&ready).ok()) break;  // unrecoverable multiplexer loss
+    // Finite heartbeat: a dropped wake-pipe byte (chaos, or a full pipe
+    // racing teardown) delays event pickup by at most one beat.
+    if (!poller_->Wait(&ready, 100).ok()) {
+      break;  // unrecoverable multiplexer loss
+    }
     for (const Poller::Ready& r : ready) {
       if (r.tag == 1 && r.readable) {
         uint8_t buf[256];
@@ -481,6 +586,12 @@ void ClassMinerServer::HandleAccept() {
   for (;;) {
     util::StatusOr<int> fd = TryAccept(listen_fd_);
     if (!fd.ok() || *fd < 0) break;
+    // Chaos site: the connection dies the moment it is accepted — the peer
+    // sees its handshake read fail (kUnavailable) and retries.
+    if (!util::FailPoint::Check("server.accept.reset").ok()) {
+      CloseFd(*fd);
+      continue;
+    }
     if (static_cast<int>(conns_.size()) >= options_.max_connections) {
       // The peer's first read (its hello response) reports the rejection.
       // The fresh fd is still blocking, so one synchronous frame is fine.
@@ -507,9 +618,14 @@ void ClassMinerServer::HandleAccept() {
     conn->id = id;
     conn->fd = *fd;
     conn->shared = std::make_shared<ConnShared>();
+    conn->shared->last_activity_ms.store(NowMs(), std::memory_order_relaxed);
     if (!poller_->Add(*fd, id, /*read=*/true, /*write=*/false).ok()) {
       CloseFd(*fd);
       continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(idle_mutex_);
+      idle_watch_.emplace(id, conn->shared);
     }
     conns_.emplace(id, std::move(conn));
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -531,7 +647,7 @@ void ClassMinerServer::HandleReadable(Connection* conn) {
           p.inline_error = true;
           p.error = MakeResponse(
               util::Status::DataLoss("connection closed mid-frame"));
-          conn->pending.push_back(std::move(p));
+          PushInlineError(conn, std::move(p));
         }
         conn->read_closed = true;
         (void)poller_->Mod(conn->fd, conn->id, /*read=*/false,
@@ -543,6 +659,7 @@ void ClassMinerServer::HandleReadable(Connection* conn) {
       break;
     }
     if (*n == 0) break;  // would block; the poller re-arms us
+    conn->shared->last_activity_ms.store(NowMs(), std::memory_order_relaxed);
     const util::Status fed = conn->assembler.Feed(buf, *n);
     FrameAssembler::Frame frame;
     while (conn->assembler.PopFrame(&frame)) {
@@ -562,7 +679,22 @@ void ClassMinerServer::HandleReadable(Connection* conn) {
       } else {
         p.v2 = true;
         util::StatusOr<Request> request = Request::ParseTagged(frame.body);
-        if (request.ok()) {
+        if (request.ok() &&
+            !conn->live_v2_ids.insert(request->request_id).second) {
+          // The tag is still answering an earlier request: a second stream
+          // of chunks under the same id would reassemble ambiguously on the
+          // client. Reject the newcomer; the original keeps its id.
+          {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.duplicate_request_ids;
+          }
+          p.inline_error = true;
+          p.error = MakeResponse(util::Status::InvalidArgument(
+              "duplicate request_id " + std::to_string(request->request_id) +
+              " already in flight on this session"));
+          p.error.request_id = request->request_id;
+        } else if (request.ok()) {
+          p.owns_id = true;
           p.request = std::move(*request);
           std::lock_guard<std::mutex> lock(stats_mutex_);
           ++stats_.requests_received;
@@ -572,8 +704,14 @@ void ClassMinerServer::HandleReadable(Connection* conn) {
           p.error.request_id = PeekRequestId(frame.body);
         }
       }
-      conn->pending.push_back(std::move(p));
+      if (p.inline_error) {
+        PushInlineError(conn, std::move(p));
+        if (conn->read_closed) break;  // error budget spent mid-batch
+      } else {
+        conn->pending.push_back(std::move(p));
+      }
     }
+    if (conn->read_closed) break;
     if (!fed.ok()) {
       // Framing damage: the stream cannot be trusted past this point. A
       // best-effort error response queues behind whatever was already owed,
@@ -581,7 +719,7 @@ void ClassMinerServer::HandleReadable(Connection* conn) {
       PendingRequest p;
       p.inline_error = true;
       p.error = MakeResponse(fed);
-      conn->pending.push_back(std::move(p));
+      PushInlineError(conn, std::move(p));
       conn->read_closed = true;
       (void)poller_->Mod(conn->fd, conn->id, /*read=*/false,
                          conn->want_write);
@@ -590,6 +728,27 @@ void ClassMinerServer::HandleReadable(Connection* conn) {
     if (*n < sizeof(buf)) break;  // likely drained; LT polling re-reports
   }
   TryDispatch(conn);
+}
+
+void ClassMinerServer::PushInlineError(Connection* conn,
+                                       PendingRequest error) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.protocol_errors;
+  }
+  ++conn->inline_errors;
+  conn->pending.push_back(std::move(error));
+  if (options_.max_session_errors > 0 &&
+      conn->inline_errors >= options_.max_session_errors &&
+      !conn->read_closed) {
+    // Error budget spent: a peer that keeps sending damage stops being
+    // read. Every answer already owed (including this one) still flushes,
+    // then the connection closes cleanly instead of wedging half-alive.
+    conn->read_closed = true;
+    (void)poller_->Mod(conn->fd, conn->id, /*read=*/false, conn->want_write);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.error_budget_closed;
+  }
 }
 
 void ClassMinerServer::TryDispatch(Connection* conn) {
@@ -611,11 +770,25 @@ void ClassMinerServer::TryDispatch(Connection* conn) {
 void ClassMinerServer::DispatchRequest(Connection* conn,
                                        PendingRequest&& pending) {
   if (pending.inline_error) {
-    EnqueueFinal(conn, pending.v2, std::move(pending.error), 0);
+    // Inline errors never registered a live id (a duplicate-id rejection
+    // must not free the original's), so nothing is released here.
+    EnqueueFinal(conn, pending.v2, std::move(pending.error), 0,
+                 /*release_id=*/false);
     return;
   }
   const bool v2 = pending.v2;
+  const bool owns_id = pending.owns_id;
   Request& request = pending.request;
+
+  if (request.kind == RequestKind::kHealth) {
+    // Liveness probe: clearance 0, allowed before hello, answered on the
+    // reactor without admission control — a saturated or draining daemon
+    // can still tell a load balancer how it is doing.
+    Response response = MakeResponse(util::Status::Ok(), BuildHealthReport());
+    response.request_id = request.request_id;
+    EnqueueFinal(conn, v2, std::move(response), 0, owns_id);
+    return;
+  }
 
   if (request.kind == RequestKind::kHello) {
     Response response;
@@ -636,14 +809,14 @@ void ClassMinerServer::DispatchRequest(Connection* conn,
       }
     }
     response.request_id = request.request_id;
-    EnqueueFinal(conn, v2, std::move(response), 0);
+    EnqueueFinal(conn, v2, std::move(response), 0, owns_id);
     return;
   }
   if (!conn->authenticated) {
     Response response = MakeResponse(util::Status::FailedPrecondition(
         "session not established; send hello first"));
     response.request_id = request.request_id;
-    EnqueueFinal(conn, v2, std::move(response), 0);
+    EnqueueFinal(conn, v2, std::move(response), 0, owns_id);
     return;
   }
 
@@ -664,8 +837,69 @@ void ClassMinerServer::DispatchRequest(Connection* conn,
         std::to_string(required) + "; session '" + conn->user.name +
         "' has " + std::to_string(conn->user.clearance)));
     response.request_id = request.request_id;
-    EnqueueFinal(conn, v2, std::move(response), 0);
+    EnqueueFinal(conn, v2, std::move(response), 0, owns_id);
     return;
+  }
+
+  // Idempotent resume (v2 sessions): a keyed request whose connection died
+  // mid-call is resent with the same key after a reconnect. Recorded
+  // outcomes replay byte-for-byte; a key still executing is joined — either
+  // way the work runs at most once per key. A key is scoped to the user so
+  // sessions cannot replay each other's outcomes.
+  std::string idem_lead = std::move(pending.idem_lead);
+  if (v2 && idem_lead.empty() && !request.idempotency_key.empty()) {
+    std::string key = std::string("idem\x1f") + conn->user.name + "\x1f" +
+                      request.idempotency_key;
+    CachedResult recorded;
+    const uint64_t conn_id = conn->id;
+    const Request request_copy = request;
+    const ResultCache::Admission admission = idem_cache_.JoinOrLead(
+        key, &recorded,
+        [this, conn_id, v2, owns_id,
+         request_copy](const CachedResult* result) {
+          WorkerEvent event;
+          event.conn_id = conn_id;
+          event.v2 = v2;
+          event.owns_id = owns_id;
+          event.request_id = request_copy.request_id;
+          if (result != nullptr) {
+            event.kind = WorkerEvent::Kind::kFinal;
+            event.response.code = result->code;
+            event.response.message = result->message;
+            event.response.body = result->body;
+            event.response.request_id = request_copy.request_id;
+            CountOutcome(event.response);
+          } else {
+            // The original attempt never executed (admission rejection,
+            // shutdown); this retry runs its own copy.
+            event.kind = WorkerEvent::Kind::kRedispatch;
+            event.request = request_copy;
+          }
+          PostEvent(std::move(event));
+        });
+    if (admission == ResultCache::Admission::kHit) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.idempotent_hits;
+      }
+      Response response;
+      response.code = recorded.code;
+      response.message = std::move(recorded.message);
+      response.body = std::move(recorded.body);
+      response.request_id = request.request_id;
+      CountOutcome(response);
+      EnqueueFinal(conn, v2, std::move(response), 0, owns_id);
+      return;
+    }
+    if (admission == ResultCache::Admission::kJoined) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.idempotent_joined;
+      }
+      ++conn->executing;
+      return;
+    }
+    idem_lead = std::move(key);
   }
 
   // Single-flight result cache: identical concurrent runs collapse onto one
@@ -683,11 +917,19 @@ void ClassMinerServer::DispatchRequest(Connection* conn,
         const Request request_copy = request;
         const ResultCache::Admission admission = cache_.JoinOrLead(
             *key, &cached,
-            [this, conn_id, v2, request_copy](const CachedResult* result) {
+            [this, conn_id, v2, owns_id, idem_lead,
+             request_copy](const CachedResult* result) {
               // Runs on the leader's worker thread when it completes.
+              if (result != nullptr && !idem_lead.empty()) {
+                // The joined result is also this request's recorded
+                // outcome: a keyed retry after reconnect must replay it,
+                // not recompute it.
+                idem_cache_.Complete(idem_lead, *result, /*cacheable=*/true);
+              }
               WorkerEvent event;
               event.conn_id = conn_id;
               event.v2 = v2;
+              event.owns_id = owns_id;
               event.request_id = request_copy.request_id;
               if (result != nullptr) {
                 event.kind = WorkerEvent::Kind::kFinal;
@@ -701,17 +943,21 @@ void ClassMinerServer::DispatchRequest(Connection* conn,
                 // own copy of the request from scratch.
                 event.kind = WorkerEvent::Kind::kRedispatch;
                 event.request = request_copy;
+                event.idem_lead = idem_lead;
               }
               PostEvent(std::move(event));
             });
         if (admission == ResultCache::Admission::kHit) {
+          if (!idem_lead.empty()) {
+            idem_cache_.Complete(idem_lead, cached, /*cacheable=*/true);
+          }
           Response response;
           response.code = cached.code;
           response.message = std::move(cached.message);
           response.body = std::move(cached.body);
           response.request_id = request.request_id;
           CountOutcome(response);
-          EnqueueFinal(conn, v2, std::move(response), 0);
+          EnqueueFinal(conn, v2, std::move(response), 0, owns_id);
           return;
         }
         if (admission == ResultCache::Admission::kJoined) {
@@ -746,11 +992,15 @@ void ClassMinerServer::DispatchRequest(Connection* conn,
       // Waiters joined a flight that will never run; send them back out.
       cache_.Complete(lead_key, CachedResult{}, /*cacheable=*/false);
     }
+    if (!idem_lead.empty()) {
+      // Never executed, so nothing to replay: the retry runs for real.
+      idem_cache_.Complete(idem_lead, CachedResult{}, /*cacheable=*/false);
+    }
     Response response = MakeResponse(util::Status::Unavailable(
         "server queue full (" + std::to_string(queued) +
         " requests waiting); retry"));
     response.request_id = request.request_id;
-    EnqueueFinal(conn, v2, std::move(response), 0);
+    EnqueueFinal(conn, v2, std::move(response), 0, owns_id);
     return;
   }
   {
@@ -767,6 +1017,8 @@ void ClassMinerServer::DispatchRequest(Connection* conn,
   ctx->deadline = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(request.deadline_ms);
   ctx->lead_key = std::move(lead_key);
+  ctx->idem_key = std::move(idem_lead);
+  ctx->owns_id = owns_id;
   ctx->shared = conn->shared;
   ctx->request = std::move(request);
 
@@ -776,8 +1028,13 @@ void ClassMinerServer::DispatchRequest(Connection* conn,
 }
 
 void ClassMinerServer::EnqueueFinal(Connection* conn, bool v2,
-                                    Response response,
-                                    size_t streamed_bytes) {
+                                    Response response, size_t streamed_bytes,
+                                    bool release_id) {
+  if (v2 && release_id) {
+    // The tagged id's lifetime ends with its final answer; the client may
+    // legitimately reuse it for a fresh request after this frame.
+    conn->live_v2_ids.erase(response.request_id);
+  }
   if (!v2) {
     util::StatusOr<std::vector<uint8_t>> bytes = response.Serialize();
     if (!bytes.ok()) bytes = MakeResponse(bytes.status()).Serialize();
@@ -842,8 +1099,21 @@ void ClassMinerServer::FillStreaming(Connection* conn) {
 
 void ClassMinerServer::EnqueueFrameBytes(Connection* conn,
                                          std::vector<uint8_t> frame) {
-  conn->write_queue_bytes += frame.size();
-  conn->write_queue.push_back(std::move(frame));
+  // Fault injection: duplicate a final v2 chunk on the wire, modelling a
+  // retransmit-after-ack. Only FINAL chunks are duplicated — the client
+  // forgets the tag once the final frame lands, so the copy exercises the
+  // unknown-tag drop path; duplicating a middle chunk would instead corrupt
+  // reassembly, which no real transport does under TCP.
+  bool dup = false;
+  if (frame.size() >= 17 && FrameMagicOf(frame) == kResponseMagicV2 &&
+      (frame[16] & 1) != 0) {
+    dup = !util::FailPoint::Check("server.wire.frame.dup").ok();
+  }
+  for (int copies = dup ? 2 : 1; copies > 0; --copies) {
+    std::vector<uint8_t> bytes = copies > 1 ? frame : std::move(frame);
+    conn->write_queue_bytes += bytes.size();
+    conn->write_queue.push_back(std::move(bytes));
+  }
   {
     std::lock_guard<std::mutex> lock(conn->shared->mu);
     conn->shared->queued_bytes = conn->write_queue_bytes;
@@ -873,6 +1143,7 @@ void ClassMinerServer::FlushConn(Connection* conn) {
       return;
     }
     if (*n == 0) break;  // socket buffer full; EPOLLOUT re-arms us
+    conn->shared->last_activity_ms.store(NowMs(), std::memory_order_relaxed);
     conn->write_offset += *n;
     conn->write_queue_bytes -= *n;
     if (conn->write_offset == front.size()) {
@@ -912,6 +1183,10 @@ void ClassMinerServer::CloseConnection(uint64_t id) {
     conn->shared->dead = true;
   }
   conn->shared->cv.notify_all();  // release any op blocked on backpressure
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    idle_watch_.erase(id);
+  }
   conns_.erase(it);
   std::lock_guard<std::mutex> lock(stats_mutex_);
   --stats_.connections_active;
@@ -925,7 +1200,16 @@ void ClassMinerServer::ProcessEvents() {
   }
   for (WorkerEvent& event : batch) {
     auto it = conns_.find(event.conn_id);
-    if (it == conns_.end()) continue;  // session died; drop the output
+    if (it == conns_.end()) {
+      // Session died; drop the output. A redispatch this request was
+      // leading in the idempotency cache must still resolve, or keyed
+      // retries after reconnect would join a flight that never completes.
+      if (!event.idem_lead.empty()) {
+        idem_cache_.Complete(event.idem_lead, CachedResult{},
+                             /*cacheable=*/false);
+      }
+      continue;
+    }
     Connection* conn = it->second.get();
     switch (event.kind) {
       case WorkerEvent::Kind::kChunk: {
@@ -946,7 +1230,7 @@ void ClassMinerServer::ProcessEvents() {
         if (!event.v2) conn->serial_inflight = false;
         event.response.request_id = event.request_id;
         EnqueueFinal(conn, event.v2, std::move(event.response),
-                     event.streamed_bytes);
+                     event.streamed_bytes, event.owns_id);
         TryDispatch(conn);
         break;
       }
@@ -955,17 +1239,43 @@ void ClassMinerServer::ProcessEvents() {
         if (!event.v2) conn->serial_inflight = false;
         if (draining_) {
           // The run this request had joined evaporated during shutdown.
+          if (!event.idem_lead.empty()) {
+            idem_cache_.Complete(event.idem_lead, CachedResult{},
+                                 /*cacheable=*/false);
+          }
           Response response =
               MakeResponse(util::Status::Unavailable("server stopping"));
           response.request_id = event.request_id;
-          EnqueueFinal(conn, event.v2, std::move(response), 0);
+          EnqueueFinal(conn, event.v2, std::move(response), 0,
+                       event.owns_id);
         } else {
           PendingRequest pending;
           pending.v2 = event.v2;
+          pending.owns_id = event.owns_id;
+          pending.idem_lead = std::move(event.idem_lead);
           pending.request = std::move(event.request);
           DispatchRequest(conn, std::move(pending));
         }
         TryDispatch(conn);
+        break;
+      }
+      case WorkerEvent::Kind::kCloseIdle: {
+        // Advisory from the deadline monitor; the reactor re-checks the
+        // authoritative per-connection state before acting, since work may
+        // have arrived between the scan and this event draining.
+        if (options_.idle_timeout_ms <= 0) break;
+        if (conn->executing > 0 || !conn->pending.empty() ||
+            !conn->write_queue.empty() || !conn->streaming.empty()) {
+          break;
+        }
+        const int64_t last =
+            conn->shared->last_activity_ms.load(std::memory_order_relaxed);
+        if (NowMs() - last < options_.idle_timeout_ms) break;
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.idle_closed;
+        }
+        CloseConnection(event.conn_id);
         break;
       }
     }
@@ -977,14 +1287,17 @@ void ClassMinerServer::ProcessEvents() {
 
 void ClassMinerServer::WorkerRun(const std::shared_ptr<TaskCtx>& ctx) {
   queued_.fetch_sub(1, std::memory_order_acq_rel);
+  busy_workers_.fetch_add(1, std::memory_order_acq_rel);
   if (options_.request_started_hook) {
     options_.request_started_hook(ctx->request.kind);
   }
   Response response;
   size_t streamed = 0;
+  bool executed = true;
   if (ctx->has_deadline &&
       std::chrono::steady_clock::now() >= ctx->deadline) {
     // Expired while waiting in the queue: never start the op.
+    executed = false;
     response = MakeResponse(util::Status::DeadlineExceeded(
         "deadline expired before execution"));
     CountOutcome(response);
@@ -1043,10 +1356,29 @@ void ClassMinerServer::WorkerRun(const std::shared_ptr<TaskCtx>& ctx) {
     result.body = response.body;
     cache_.Complete(ctx->lead_key, result, /*cacheable=*/response.ok());
   }
+  if (!ctx->idem_key.empty()) {
+    if (executed) {
+      // Record the outcome — errors included. The op RAN; a keyed retry
+      // must replay what happened, never run the side effects twice
+      // (at-most-once is the whole point for `repair`).
+      CachedResult result;
+      result.code = response.code;
+      result.message = response.message;
+      result.body = response.body;
+      idem_cache_.Complete(ctx->idem_key, result, /*cacheable=*/true);
+    } else {
+      // Expired in the queue before running: nothing happened, so a keyed
+      // retry is entitled to a fresh execution.
+      idem_cache_.Complete(ctx->idem_key, CachedResult{},
+                           /*cacheable=*/false);
+    }
+  }
+  busy_workers_.fetch_sub(1, std::memory_order_acq_rel);
   WorkerEvent event;
   event.kind = WorkerEvent::Kind::kFinal;
   event.conn_id = ctx->conn_id;
   event.v2 = ctx->v2;
+  event.owns_id = ctx->owns_id;
   event.request_id = ctx->request.request_id;
   event.response = std::move(response);
   event.streamed_bytes = streamed;
@@ -1129,6 +1461,9 @@ Response ClassMinerServer::ExecuteRequest(const index::UserCredential& user,
       result = RepairOp(request.args[0], env, nullptr);
       break;
     }
+    case RequestKind::kHealth:
+      return MakeResponse(
+          util::Status::Internal("health handled before dispatch"));
   }
   if (streamed_bytes != nullptr) *streamed_bytes = result.streamed_bytes;
   // Verify/repair carry their report even on a dirty outcome: the body is
@@ -1165,6 +1500,7 @@ void ClassMinerServer::ReleaseDeadline(
 }
 
 void ClassMinerServer::DeadlineLoop() {
+  const bool idle_enabled = options_.idle_timeout_ms > 0;
   std::unique_lock<std::mutex> lock(deadline_mutex_);
   while (!stopping_.load(std::memory_order_acquire) || !deadlines_.empty()) {
     auto next = std::chrono::steady_clock::time_point::max();
@@ -1177,11 +1513,41 @@ void ClassMinerServer::DeadlineLoop() {
         next = entry->deadline;
       }
     }
+    if (idle_enabled && !stopping_.load(std::memory_order_acquire)) {
+      // Idle reaper: flag sessions whose last byte (either direction) is
+      // older than the timeout. Only advisory — the reactor owns the
+      // connection and re-checks before closing, so a request that lands
+      // between scan and close survives. This also covers the slow-loris
+      // shape: a half-sent header keeps a connection forever otherwise.
+      std::vector<uint64_t> expired;
+      {
+        std::lock_guard<std::mutex> guard(idle_mutex_);
+        const int64_t now_ms = NowMs();
+        for (const auto& [id, shared] : idle_watch_) {
+          const int64_t last =
+              shared->last_activity_ms.load(std::memory_order_relaxed);
+          if (now_ms - last >= options_.idle_timeout_ms) {
+            expired.push_back(id);
+          }
+        }
+      }
+      for (uint64_t id : expired) {
+        WorkerEvent event;
+        event.kind = WorkerEvent::Kind::kCloseIdle;
+        event.conn_id = id;
+        PostEvent(std::move(event));
+      }
+    }
     if (stopping_.load(std::memory_order_acquire) && deadlines_.empty()) {
       break;
     }
+    const auto heartbeat = now + std::chrono::milliseconds(100);
     if (next == std::chrono::steady_clock::time_point::max()) {
       deadline_cv_.wait_for(lock, std::chrono::milliseconds(100));
+    } else if (idle_enabled && heartbeat < next) {
+      // With the reaper on, cap the nap so idle scans keep their cadence
+      // even while a long deadline is pending.
+      deadline_cv_.wait_until(lock, heartbeat);
     } else {
       deadline_cv_.wait_until(lock, next);
     }

@@ -20,6 +20,7 @@
 #include "server/ops.h"
 #include "server/protocol.h"
 #include "server/result_cache.h"
+#include "server/scrubber.h"
 #include "util/exec_context.h"
 #include "util/status.h"
 #include "util/threadpool.h"
@@ -92,6 +93,34 @@ struct ServerOptions {
   size_t cache_max_bytes = 64u << 20;
   size_t cache_max_entries = 256;
 
+  // Per-connection idle timeout: a session with nothing in flight and no
+  // wire activity (including a slow-loris peer parked on half a frame
+  // header) for this long is closed by the deadline-monitor thread.
+  // 0 disables the reaper — idle sessions then cost a file descriptor
+  // forever, exactly the pre-timeout daemon.
+  int idle_timeout_ms = 0;
+
+  // Per-session protocol-error budget: after this many inline-answered
+  // protocol errors (unparseable requests, duplicate request_ids) the
+  // session stops being read and closes once its owed responses flush.
+  // A peer that keeps sending damage gets a clean goodbye, not a wedge.
+  int max_session_errors = 8;
+
+  // Idempotent-retry record (v2 sessions): keyed request outcomes are
+  // remembered so a client that reconnects after a dropped connection and
+  // resends the same key observes the original execution instead of
+  // running the work again (at-most-once for repair). Bounded LRU; an
+  // evicted record simply lets the retry re-execute.
+  size_t idem_cache_max_bytes = 16u << 20;
+  size_t idem_cache_max_entries = 1024;
+
+  // Background integrity scrubber: periodically verify `scrub_db_path` and
+  // re-mine-repair it when dirty, yielding to client traffic (see
+  // server/scrubber.h). Disabled unless both are set.
+  std::string scrub_db_path;
+  int scrub_interval_ms = 0;
+  int scrub_max_yield_ms = 2000;
+
   // Base environment for every operation; the per-request cancellation
   // token overrides `mining.cancel`.
   core::MiningOptions mining;
@@ -100,7 +129,9 @@ struct ServerOptions {
   // Clearance a session needs per request kind, indexed by RequestKind.
   // Defaults follow the paper's multilevel model: browsing and skimming are
   // open, mining needs operator clearance, verify/repair are administrative.
-  std::array<int, kRequestKindCount> min_clearance = {0, 1, 0, 0, 2, 3};
+  // health is clearance 0 and additionally answered before the hello
+  // handshake, so an unauthenticated load balancer can probe liveness.
+  std::array<int, kRequestKindCount> min_clearance = {0, 1, 0, 0, 2, 3, 0};
 
   // Test seam: runs on the worker the moment a request begins executing
   // (after admission, before the op). Cache hits and single-flight joiners
@@ -135,6 +166,18 @@ struct ServerStats {
   uint64_t cache_joined = 0;        // attached to an in-flight run
   uint64_t cache_misses = 0;        // led a run (pipeline executions)
   uint64_t write_queue_peak_bytes = 0;
+  // Chaos-hardening counters.
+  uint64_t idle_closed = 0;        // sessions reaped by the idle timeout
+  uint64_t protocol_errors = 0;    // inline protocol-error answers
+  uint64_t error_budget_closed = 0;  // sessions closed for repeat damage
+  uint64_t duplicate_request_ids = 0;  // v2 request_id collisions rejected
+  uint64_t idempotent_hits = 0;    // keyed retries answered from the record
+  uint64_t idempotent_joined = 0;  // keyed retries joined to the original
+  // Scrubber mirror (see server/scrubber.h).
+  uint64_t scrub_passes = 0;
+  uint64_t scrub_dirty = 0;
+  uint64_t scrub_repairs = 0;
+  uint64_t scrub_repair_failures = 0;
 };
 
 class ClassMinerServer {
@@ -172,6 +215,14 @@ class ClassMinerServer {
     Request request;
     bool inline_error = false;
     Response error;  // when inline_error: answered without dispatch
+    // This pending entry registered request.request_id in the session's
+    // live-id set; its final response releases the id. False for v1,
+    // inline errors, and duplicate-id rejections (the duplicate must not
+    // free the original's id).
+    bool owns_id = false;
+    // Idempotency entry this request already leads (carried through a
+    // cache redispatch so the request never re-joins its own entry).
+    std::string idem_lead;
   };
 
   // Worker -> reactor handoff.
@@ -180,6 +231,7 @@ class ClassMinerServer {
       kChunk,       // a streamed report fragment (v2, non-final)
       kFinal,       // the op's response; body is the full report
       kRedispatch,  // single-flight leader failed; run this request anew
+      kCloseIdle,   // deadline monitor: conn_id exceeded the idle timeout
     };
     Kind kind = Kind::kFinal;
     uint64_t conn_id = 0;
@@ -188,6 +240,8 @@ class ClassMinerServer {
     Response response;          // kFinal / kChunk (fragment in body)
     size_t streamed_bytes = 0;  // kFinal: prefix already sent as chunks
     Request request;            // kRedispatch
+    bool owns_id = false;       // kFinal/kRedispatch: mirrors PendingRequest
+    std::string idem_lead;      // kRedispatch: idempotency lead carried over
   };
 
   // One requests-with-deadline record the monitor thread watches.
@@ -203,8 +257,12 @@ class ClassMinerServer {
   void HandleReadable(Connection* conn);
   void TryDispatch(Connection* conn);
   void DispatchRequest(Connection* conn, PendingRequest&& pending);
+  // Queues an inline protocol-error answer, charging the session's error
+  // budget (read side closes once the budget is spent).
+  void PushInlineError(Connection* conn, PendingRequest error);
+  std::string BuildHealthReport() const;
   void EnqueueFinal(Connection* conn, bool v2, Response response,
-                    size_t streamed_bytes);
+                    size_t streamed_bytes, bool release_id = false);
   void EnqueueFrameBytes(Connection* conn, std::vector<uint8_t> frame);
   void FillStreaming(Connection* conn);
   void FlushConn(Connection* conn);
@@ -232,6 +290,8 @@ class ClassMinerServer {
   ServerOptions options_;
   index::ConceptHierarchy concepts_;
   ResultCache cache_;
+  ResultCache idem_cache_;  // keyed request outcomes (reconnect-and-resume)
+  std::unique_ptr<IntegrityScrubber> scrubber_;
 
   int listen_fd_ = -1;
   int port_ = -1;
@@ -241,6 +301,14 @@ class ClassMinerServer {
   std::unique_ptr<Poller> poller_;
   std::unique_ptr<util::ThreadPool> pool_;
   std::atomic<int> queued_{0};  // admitted but not yet executing
+  std::atomic<int> busy_workers_{0};  // requests currently executing
+
+  // Deadline-thread view of per-connection activity for the idle reaper:
+  // conn id -> shared slice holding the last-activity stamp. Reactor
+  // inserts on accept, erases on close; the monitor only reads stamps and
+  // posts kCloseIdle events — the reactor re-checks before closing.
+  std::mutex idle_mutex_;
+  std::unordered_map<uint64_t, std::shared_ptr<ConnShared>> idle_watch_;
 
   // Reactor-thread-only session table (tag 0 = listener, 1 = wake pipe).
   uint64_t next_conn_id_ = 2;

@@ -9,10 +9,13 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "util/crc32.h"
+#include "util/failpoint.h"
 
 namespace classminer::server {
 namespace {
@@ -168,6 +171,14 @@ util::Status RecvAll(int fd, uint8_t* data, size_t size) {
 }
 
 util::StatusOr<size_t> TryRecv(int fd, uint8_t* data, size_t size) {
+  // Chaos site: the reactor observes a connection reset on a healthy peer.
+  // Only the server's readiness loop calls TryRecv, so arming this in a
+  // test process does not perturb the (blocking) client helpers.
+  if (const util::Status injected =
+          util::FailPoint::Check("server.wire.recv.reset");
+      !injected.ok()) {
+    return injected;
+  }
   for (;;) {
     const ssize_t n = recv(fd, data, size, 0);
     if (n > 0) return static_cast<size_t>(n);
@@ -179,9 +190,30 @@ util::StatusOr<size_t> TryRecv(int fd, uint8_t* data, size_t size) {
 }
 
 util::StatusOr<size_t> TrySend(int fd, const uint8_t* data, size_t size) {
+  // Chaos sites, checked in escalating order of damage:
+  //   delay — the frame leaves late (stalled peer / congested link);
+  //   short — the kernel accepts a prefix (exercises the resume loop);
+  //   torn  — a prefix escapes to the wire, then the transport dies:
+  //           the peer sees half a frame followed by FIN (mid-stream
+  //           EPIPE from the writer's point of view).
+  if (!util::FailPoint::Check("server.wire.send.delay").ok()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  if (size > 1 && !util::FailPoint::Check("server.wire.send.short").ok()) {
+    size = std::max<size_t>(1, size / 4);
+  }
+  const bool tear = !util::FailPoint::Check("server.wire.send.torn").ok();
+  if (tear) size = std::max<size_t>(1, size / 2);
   for (;;) {
     const ssize_t n = send(fd, data, size, MSG_NOSIGNAL);
-    if (n >= 0) return static_cast<size_t>(n);
+    if (n >= 0) {
+      if (tear) {
+        return util::Status::Unavailable(
+            "injected torn send: transport reset after " + std::to_string(n) +
+            " of " + std::to_string(size) + " bytes");
+      }
+      return static_cast<size_t>(n);
+    }
     if (errno == EINTR) continue;
     if (WouldBlock(errno)) return static_cast<size_t>(0);
     return Errno("send");

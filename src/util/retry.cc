@@ -39,6 +39,7 @@ Status Retry(const RetryOptions& options, const std::function<Status()>& fn,
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
     }
     backoff_ms *= options.backoff_multiplier;
+    if (options.on_retry) options.on_retry(attempt + 1, status);
   }
   return status;
 }

@@ -30,6 +30,12 @@ struct RetryOptions {
   uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
   // Test seam: invoked instead of std::this_thread::sleep_for when set.
   std::function<void(double ms)> sleeper;
+  // Invoked after the backoff sleep, immediately before each re-attempt
+  // (never before the first attempt), with the 1-based number of the
+  // attempt about to run and the transient status that caused it. Lets a
+  // caller repair state between attempts — e.g. a network client dropping
+  // a dead connection and dialing a fresh one before the retry fires.
+  std::function<void(int attempt, const Status& last)> on_retry;
 };
 
 // Attempt/backoff accounting for metrics and tests.

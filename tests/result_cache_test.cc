@@ -1,0 +1,167 @@
+// server::ResultCache under pressure: LRU eviction racing an in-flight
+// single-flight lead must neither drop joined waiters nor publish into a
+// dead entry. The in-flight ledger and the LRU are separate structures; the
+// tests pin the contract at their boundary.
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "server/result_cache.h"
+
+namespace classminer::server {
+namespace {
+
+CachedResult MakeResult(const std::string& body) {
+  CachedResult result;
+  result.code = util::StatusCode::kOk;
+  result.body = body;
+  return result;
+}
+
+TEST(ResultCacheTest, EvictionPressureNeverDropsJoinedWaiters) {
+  // Room for exactly one stored entry: every insertion evicts the previous
+  // one, so the LRU is churning the whole time the lead is in flight.
+  ResultCache::Options options;
+  options.max_entries = 1;
+  options.max_bytes = 1u << 20;
+  ResultCache cache(options);
+
+  CachedResult out;
+  ASSERT_EQ(cache.JoinOrLead("lead", &out, nullptr),
+            ResultCache::Admission::kLead);
+
+  // Waiters attach to the in-flight lead...
+  constexpr int kWaiters = 8;
+  std::atomic<int> woken{0};
+  std::atomic<int> redispatched{0};
+  for (int i = 0; i < kWaiters; ++i) {
+    const ResultCache::Admission admission =
+        cache.JoinOrLead("lead", &out, [&](const CachedResult* result) {
+          if (result != nullptr && result->body == "the answer") {
+            ++woken;
+          } else {
+            ++redispatched;
+          }
+        });
+    ASSERT_EQ(admission, ResultCache::Admission::kJoined);
+  }
+
+  // ...while eviction churn runs the LRU dry repeatedly. None of this may
+  // disturb the in-flight entry or its waiters.
+  for (int i = 0; i < 64; ++i) {
+    const std::string key = "churn" + std::to_string(i);
+    ASSERT_EQ(cache.JoinOrLead(key, &out, nullptr),
+              ResultCache::Admission::kLead);
+    cache.Complete(key, MakeResult("filler"), /*cacheable=*/true);
+  }
+
+  cache.Complete("lead", MakeResult("the answer"), /*cacheable=*/true);
+  EXPECT_EQ(woken.load(), kWaiters);
+  EXPECT_EQ(redispatched.load(), 0);
+
+  // The completed lead is the most recent entry; it must answer hits even
+  // though everything before it was evicted.
+  CachedResult cached;
+  EXPECT_EQ(cache.JoinOrLead("lead", &cached, nullptr),
+            ResultCache::Admission::kHit);
+  EXPECT_EQ(cached.body, "the answer");
+  EXPECT_GE(cache.stats().evictions, 63u);
+}
+
+TEST(ResultCacheTest, CompletePublishesToWaitersEvenWhenEntryCannotStore) {
+  // An entry larger than the whole cache can never be stored — but the
+  // joined waiters still receive the leader's bytes; only LATER askers
+  // miss. Publishing must not depend on a live LRU slot.
+  ResultCache::Options options;
+  options.max_entries = 4;
+  options.max_bytes = 8;  // any real body overflows instantly
+  ResultCache cache(options);
+
+  CachedResult out;
+  ASSERT_EQ(cache.JoinOrLead("big", &out, nullptr),
+            ResultCache::Admission::kLead);
+  std::string delivered;
+  ASSERT_EQ(cache.JoinOrLead("big", &out,
+                             [&](const CachedResult* result) {
+                               ASSERT_NE(result, nullptr);
+                               delivered = result->body;
+                             }),
+            ResultCache::Admission::kJoined);
+
+  cache.Complete("big", MakeResult("a body far larger than eight bytes"),
+                 /*cacheable=*/true);
+  EXPECT_EQ(delivered, "a body far larger than eight bytes");
+
+  // The oversized entry did not survive as a stored entry (it was evicted
+  // immediately), so the next asker leads again rather than hitting.
+  EXPECT_EQ(cache.JoinOrLead("big", &out, nullptr),
+            ResultCache::Admission::kLead);
+  cache.Complete("big", MakeResult("x"), /*cacheable=*/true);
+}
+
+TEST(ResultCacheTest, ConcurrentChurnAgainstInFlightLeadIsSafe) {
+  // Threaded version of the race: one thread completes the lead while
+  // others churn keys through the LRU and join the lead. Run under TSAN in
+  // tier1, this pins the locking around the inflight/LRU boundary.
+  ResultCache::Options options;
+  options.max_entries = 2;
+  options.max_bytes = 1u << 10;
+  ResultCache cache(options);
+
+  CachedResult out;
+  ASSERT_EQ(cache.JoinOrLead("hot", &out, nullptr),
+            ResultCache::Admission::kLead);
+
+  std::atomic<int> delivered{0};
+  std::atomic<int> redispatch{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < 50; ++i) {
+        const std::string key = "t" + std::to_string(t) + "k" +
+                                std::to_string(i);
+        CachedResult local;
+        if (cache.JoinOrLead(key, &local, nullptr) ==
+            ResultCache::Admission::kLead) {
+          cache.Complete(key, MakeResult("spam"), /*cacheable=*/true);
+        }
+        // Half the iterations also poke the in-flight lead.
+        if (i % 2 == 0) {
+          const ResultCache::Admission a = cache.JoinOrLead(
+              key + "join:hot", &local, nullptr);
+          (void)a;
+          if (a == ResultCache::Admission::kLead) {
+            cache.Complete(key + "join:hot", MakeResult("x"), true);
+          }
+          CachedResult hot;
+          const ResultCache::Admission h = cache.JoinOrLead(
+              "hot", &hot, [&](const CachedResult* result) {
+                if (result != nullptr) {
+                  ++delivered;
+                } else {
+                  ++redispatch;
+                }
+              });
+          if (h == ResultCache::Admission::kHit) ++delivered;
+        }
+      }
+    });
+  }
+  go.store(true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  cache.Complete("hot", MakeResult("hot answer"), /*cacheable=*/true);
+  for (std::thread& t : threads) t.join();
+
+  // Every probe of "hot" resolved exactly one way; nobody was dropped.
+  EXPECT_EQ(redispatch.load(), 0);
+  EXPECT_GT(delivered.load(), 0);
+}
+
+}  // namespace
+}  // namespace classminer::server

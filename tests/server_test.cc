@@ -4,9 +4,11 @@
 // operation layer the CLI prints from.
 
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <fstream>
 #include <future>
@@ -17,13 +19,17 @@
 
 #include "core/cmv_pipeline.h"
 #include "gtest/gtest.h"
+#include "index/database.h"
+#include "index/persist.h"
 #include "server/client.h"
 #include "server/ops.h"
 #include "server/protocol.h"
+#include "server/scrubber.h"
 #include "server/server.h"
 #include "server/wire.h"
 #include "synth/corpus.h"
 #include "util/crc32.h"
+#include "util/failpoint.h"
 #include "util/retry.h"
 
 namespace classminer::server {
@@ -905,6 +911,445 @@ TEST_F(ServerTest, MalformedRequestFrameGetsAnErrorResponse) {
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response->code, StatusCode::kInvalidArgument);
   CloseFd(*fd);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos hardening: idempotency keys, duplicate-tag rejection, idle reaping,
+// error budgets, the health kind, fault-injected transports, the scrubber.
+
+TEST(ProtocolTest, TaggedRequestCarriesIdempotencyKey) {
+  Request request;
+  request.kind = RequestKind::kRepair;
+  request.deadline_ms = 0;
+  request.args = {"library.cmdb"};
+  request.request_id = 42;
+  request.idempotency_key = "rc1-00ff-3-abc";
+  util::StatusOr<std::vector<uint8_t>> bytes = request.SerializeTagged();
+  ASSERT_TRUE(bytes.ok());
+  util::StatusOr<Request> parsed = Request::ParseTagged(*bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->idempotency_key, "rc1-00ff-3-abc");
+  EXPECT_EQ(parsed->request_id, 42u);
+  EXPECT_EQ(parsed->args, request.args);
+
+  // An absent key round-trips as empty, and trailing junk after the key is
+  // still rejected (the strict framing did not move).
+  request.idempotency_key.clear();
+  bytes = request.SerializeTagged();
+  ASSERT_TRUE(bytes.ok());
+  parsed = Request::ParseTagged(*bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->idempotency_key.empty());
+  std::vector<uint8_t> trailing = *bytes;
+  trailing.push_back(0);
+  EXPECT_FALSE(Request::ParseTagged(trailing).ok());
+}
+
+TEST_F(ServerTest, DuplicateInFlightRequestIdIsRejected) {
+  std::promise<void> first_started;
+  std::promise<void> release_first;
+  std::shared_future<void> release(release_first.get_future());
+  std::atomic<int> started{0};
+
+  ServerOptions options;
+  options.worker_threads = 2;
+  options.request_started_hook = [&](RequestKind) {
+    if (started.fetch_add(1) == 0) {
+      first_started.set_value();
+      release.wait();
+    }
+  };
+  StartServer(std::move(options));
+
+  util::StatusOr<int> fd = ConnectTo("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok());
+  SessionHello hello = MakeHello("dup", 3);
+  Request handshake;
+  handshake.kind = RequestKind::kHello;
+  handshake.args = {*hello.Serialize()};
+  handshake.request_id = 1;
+  ASSERT_TRUE(WriteFrame(*fd, kRequestMagicV2, *handshake.SerializeTagged(),
+                         kMaxFrameBytes)
+                  .ok());
+  uint32_t magic = 0;
+  util::StatusOr<std::vector<uint8_t>> frame =
+      ReadFrameAny(*fd, {kResponseMagicV2}, kMaxFrameBytes, &magic);
+  ASSERT_TRUE(frame.ok());
+
+  // Original request under tag 2 is held in the worker...
+  Request verify;
+  verify.kind = RequestKind::kVerify;
+  verify.args = {::testing::TempDir() + "/dup_orig.cmdb"};
+  verify.request_id = 2;
+  ASSERT_TRUE(WriteFrame(*fd, kRequestMagicV2, *verify.SerializeTagged(),
+                         kMaxFrameBytes)
+                  .ok());
+  first_started.get_future().wait();
+
+  // ...so a second request reusing tag 2 is a protocol error, answered
+  // immediately without touching the original.
+  ASSERT_TRUE(WriteFrame(*fd, kRequestMagicV2, *verify.SerializeTagged(),
+                         kMaxFrameBytes)
+                  .ok());
+  frame = ReadFrameAny(*fd, {kResponseMagicV2}, kMaxFrameBytes, &magic);
+  ASSERT_TRUE(frame.ok());
+  util::StatusOr<Response> rejected = Response::ParseChunk(*frame);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->request_id, 2u);
+  EXPECT_EQ(rejected->code, StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected->message.find("duplicate request_id"),
+            std::string::npos);
+
+  // The original still answers once released: the rejection did not free
+  // or corrupt its tag.
+  release_first.set_value();
+  std::string body;
+  for (;;) {
+    frame = ReadFrameAny(*fd, {kResponseMagicV2}, kMaxFrameBytes, &magic);
+    ASSERT_TRUE(frame.ok());
+    util::StatusOr<Response> chunk = Response::ParseChunk(*frame);
+    ASSERT_TRUE(chunk.ok());
+    EXPECT_EQ(chunk->request_id, 2u);
+    body.append(chunk->body);
+    if (chunk->final_chunk) break;
+  }
+  EXPECT_NE(body.find("dup_orig.cmdb"), std::string::npos);
+
+  // Tag 2's lifetime ended with its final answer: reuse is legal now.
+  verify.args = {::testing::TempDir() + "/dup_reuse.cmdb"};
+  ASSERT_TRUE(WriteFrame(*fd, kRequestMagicV2, *verify.SerializeTagged(),
+                         kMaxFrameBytes)
+                  .ok());
+  frame = ReadFrameAny(*fd, {kResponseMagicV2}, kMaxFrameBytes, &magic);
+  ASSERT_TRUE(frame.ok());
+  util::StatusOr<Response> reused = Response::ParseChunk(*frame);
+  ASSERT_TRUE(reused.ok());
+  EXPECT_NE(reused->code, StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(server_->StatsSnapshot().duplicate_request_ids, 1u);
+  CloseFd(*fd);
+}
+
+TEST_F(ServerTest, IdleTimeoutReapsSlowLorisButNotBusySessions) {
+  std::promise<void> started_promise;
+  std::promise<void> release_promise;
+  std::shared_future<void> release(release_promise.get_future());
+  std::atomic<int> started{0};
+
+  ServerOptions options;
+  options.idle_timeout_ms = 150;
+  options.request_started_hook = [&](RequestKind) {
+    if (started.fetch_add(1) == 0) {
+      started_promise.set_value();
+      release.wait();  // holds a request in flight well past the timeout
+    }
+  };
+  StartServer(std::move(options));
+
+  // A session with an executing request is busy, not idle — it must
+  // survive the reaper even though no bytes move while the worker is held.
+  util::StatusOr<Client> busy = Connect(MakeHello("busy", 3));
+  ASSERT_TRUE(busy.ok());
+  util::StatusOr<std::string> report = Status::Internal("never ran");
+  std::thread in_flight([&] {
+    report = busy->CallForReport(
+        RequestKind::kVerify, {::testing::TempDir() + "/not_idle.cmdb"});
+  });
+  started_promise.get_future().wait();
+
+  // The slow loris: three bytes of a frame header, then silence. The
+  // deadline monitor must flag it and the reactor must close it.
+  util::StatusOr<int> loris = ConnectTo("127.0.0.1", server_->port());
+  ASSERT_TRUE(loris.ok());
+  const uint8_t partial[3] = {0x43, 0x4d, 0x51};
+  ASSERT_TRUE(SendAll(*loris, partial, sizeof(partial)).ok());
+  uint8_t byte;
+  ssize_t n;
+  do {
+    n = recv(*loris, &byte, 1, 0);  // blocks until the server closes
+  } while (n < 0 && errno == EINTR);
+  EXPECT_EQ(n, 0);  // EOF: reaped, not answered
+  CloseFd(*loris);
+
+  // The held request was never reaped; it completes normally.
+  release_promise.set_value();
+  in_flight.join();
+  EXPECT_TRUE(report.status().code() == StatusCode::kDataLoss ||
+              report.ok());  // verify on a missing db is kDataLoss
+  const ServerStats stats = server_->StatsSnapshot();
+  EXPECT_GE(stats.idle_closed, 1u);
+}
+
+TEST_F(ServerTest, ErrorBudgetClosesSessionsThatKeepSendingGarbage) {
+  ServerOptions options;
+  options.max_session_errors = 3;
+  StartServer(std::move(options));
+
+  util::StatusOr<int> fd = ConnectTo("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok());
+  // Each junk frame is CRC-valid but unparseable: an inline error answer,
+  // charged against the session's budget.
+  const std::vector<uint8_t> junk = {0x7f, 0x00};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(WriteFrame(*fd, kRequestMagic, junk, kMaxFrameBytes).ok());
+  }
+  // All three owed error responses still flush before the close.
+  for (int i = 0; i < 3; ++i) {
+    util::StatusOr<std::vector<uint8_t>> frame =
+        ReadFrame(*fd, kResponseMagic, kMaxFrameBytes);
+    ASSERT_TRUE(frame.ok()) << "error " << i << ": "
+                            << frame.status().ToString();
+    util::StatusOr<Response> response = Response::Parse(*frame);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->code, StatusCode::kInvalidArgument);
+  }
+  // Past the budget the server hangs up instead of absorbing more abuse.
+  uint8_t byte;
+  ssize_t n;
+  do {
+    n = recv(*fd, &byte, 1, 0);
+  } while (n < 0 && errno == EINTR);
+  EXPECT_EQ(n, 0);
+  const ServerStats stats = server_->StatsSnapshot();
+  EXPECT_EQ(stats.protocol_errors, 3u);
+  EXPECT_EQ(stats.error_budget_closed, 1u);
+  CloseFd(*fd);
+}
+
+TEST_F(ServerTest, HealthAnswersBeforeHelloAtClearanceZero) {
+  StartServer();
+
+  // Health needs no hello and no clearance: it must work on a raw v2
+  // session as the very first frame (that is what a load balancer probe
+  // looks like).
+  util::StatusOr<int> fd = ConnectTo("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok());
+  Request probe;
+  probe.kind = RequestKind::kHealth;
+  probe.request_id = 1;
+  ASSERT_TRUE(WriteFrame(*fd, kRequestMagicV2, *probe.SerializeTagged(),
+                         kMaxFrameBytes)
+                  .ok());
+  uint32_t magic = 0;
+  util::StatusOr<std::vector<uint8_t>> frame =
+      ReadFrameAny(*fd, {kResponseMagicV2}, kMaxFrameBytes, &magic);
+  ASSERT_TRUE(frame.ok());
+  util::StatusOr<Response> response = Response::ParseChunk(*frame);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kOk) << response->message;
+  EXPECT_NE(response->body.find("classminerd health"), std::string::npos);
+  EXPECT_NE(response->body.find("status: serving"), std::string::npos);
+  EXPECT_NE(response->body.find("scrub: disabled"), std::string::npos);
+  CloseFd(*fd);
+
+  // And through an authenticated clearance-0 session, for completeness.
+  util::StatusOr<Client> probe_client = Connect(MakeHello("probe", 0));
+  ASSERT_TRUE(probe_client.ok());
+  util::StatusOr<std::string> body =
+      probe_client->CallForReport(RequestKind::kHealth, {});
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  EXPECT_NE(body->find("status: serving"), std::string::npos);
+}
+
+TEST_F(ServerTest, ResilientClientRunsRepairAtMostOnceAcrossTornSend) {
+  // A degraded database entry with its pristine container next to it.
+  const std::string dir = ::testing::TempDir() + "/torn_repair_media";
+  (void)::mkdir(dir.c_str(), 0755);
+  const std::string name = "torn_repair";
+  synth::VideoScript script = synth::QuickScript(41);
+  script.name = name;
+  const synth::GeneratedVideo g = synth::GenerateVideo(script);
+  const codec::CmvFile container = core::PackGeneratedVideo(g);
+  ASSERT_TRUE(container.SaveToFile(dir + "/" + name + ".cmv").ok());
+  const std::string db_path = dir + "/library.cmdb";
+  {
+    util::StatusOr<core::MiningResult> mined =
+        core::MineCmvFileFast(container, core::MiningOptions());
+    ASSERT_TRUE(mined.ok());
+    index::VideoDatabase db;
+    db.AddVideo(name, std::move(mined->structure), std::move(mined->events),
+                /*degraded=*/true);
+    ASSERT_TRUE(index::SaveDatabase(db, db_path).ok());
+  }
+  ASSERT_FALSE(index::VerifyDatabaseFile(db_path).clean());
+
+  std::atomic<int> repairs_started{0};
+  ServerOptions options;
+  options.media_dir = dir;
+  options.request_started_hook = [&](RequestKind kind) {
+    if (kind == RequestKind::kRepair) ++repairs_started;
+  };
+  StartServer(std::move(options));
+
+  ResilientClient::Options ropts;
+  ropts.port = server_->port();
+  ropts.hello = MakeHello("fixer", 3);
+  ropts.retry.max_attempts = 6;
+  ropts.retry.initial_backoff_ms = 5.0;
+  ropts.retry.max_backoff_ms = 50.0;
+  ropts.session_nonce = 77;
+  ResilientClient client(std::move(ropts));
+
+  // Establish the session first so the torn send hits the repair response,
+  // not the hello.
+  util::StatusOr<Response> health = client.Call([] {
+    Request r;
+    r.kind = RequestKind::kHealth;
+    return r;
+  }());
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+
+  util::FailPoint::Scoped torn("server.wire.send.torn",
+                               util::FailPoint::Spec::Once());
+  Request repair;
+  repair.kind = RequestKind::kRepair;
+  repair.args = {db_path};
+  util::StatusOr<Response> response = client.Call(repair);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->code, StatusCode::kOk) << response->message;
+  EXPECT_NE(response->body.find(db_path), std::string::npos);
+
+  // The side effects ran exactly once: the resumed call replayed the
+  // recorded outcome instead of repairing a second time.
+  EXPECT_EQ(repairs_started.load(), 1);
+  EXPECT_EQ(util::FailPoint::FailureCount("server.wire.send.torn"), 1);
+  EXPECT_TRUE(index::VerifyDatabaseFile(db_path).clean());
+  const ServerStats stats = server_->StatsSnapshot();
+  EXPECT_GE(stats.idempotent_hits + stats.idempotent_joined, 1u);
+  const ResilientClient::Stats cstats = client.StatsSnapshot();
+  EXPECT_EQ(cstats.dials, 2u);          // original session + the redial
+  EXPECT_GE(cstats.resumed_calls, 1u);  // the repair was re-offered
+}
+
+TEST_F(ServerTest, ResilientClientSurvivesAcceptTimeConnectionReset) {
+  StartServer();
+
+  util::FailPoint::Scoped reset("server.accept.reset",
+                                util::FailPoint::Spec::Once());
+  ResilientClient::Options ropts;
+  ropts.port = server_->port();
+  ropts.hello = MakeHello("reconnector", 3);
+  ropts.retry.max_attempts = 6;
+  ropts.retry.initial_backoff_ms = 5.0;
+  ropts.retry.max_backoff_ms = 50.0;
+  ResilientClient client(std::move(ropts));
+
+  // First dial is reset the moment it is accepted; the retry redials.
+  Request probe;
+  probe.kind = RequestKind::kHealth;
+  util::StatusOr<Response> response = client.Call(probe);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->code, StatusCode::kOk);
+  EXPECT_EQ(util::FailPoint::FailureCount("server.accept.reset"), 1);
+  EXPECT_EQ(client.StatsSnapshot().dials, 1u);  // one successful handshake
+  EXPECT_GE(client.StatsSnapshot().resumed_calls, 1u);
+}
+
+TEST(ScrubberTest, RunOnceHealsADegradedDatabase) {
+  const std::string dir = ::testing::TempDir() + "/scrub_media";
+  (void)::mkdir(dir.c_str(), 0755);
+  const std::string name = "scrubbable";
+  synth::VideoScript script = synth::QuickScript(43);
+  script.name = name;
+  const synth::GeneratedVideo g = synth::GenerateVideo(script);
+  const codec::CmvFile container = core::PackGeneratedVideo(g);
+  ASSERT_TRUE(container.SaveToFile(dir + "/" + name + ".cmv").ok());
+  const std::string db_path = dir + "/scrub.cmdb";
+  {
+    util::StatusOr<core::MiningResult> mined =
+        core::MineCmvFileFast(container, core::MiningOptions());
+    ASSERT_TRUE(mined.ok());
+    index::VideoDatabase db;
+    db.AddVideo(name, std::move(mined->structure), std::move(mined->events),
+                /*degraded=*/true);
+    ASSERT_TRUE(index::SaveDatabase(db, db_path).ok());
+  }
+  ASSERT_FALSE(index::VerifyDatabaseFile(db_path).clean());
+
+  ScrubberOptions options;
+  options.db_path = db_path;
+  options.env.media_dir = dir;
+  IntegrityScrubber scrubber(std::move(options));
+  scrubber.RunOnce();
+
+  ScrubberStats stats = scrubber.StatsSnapshot();
+  EXPECT_EQ(stats.passes, 1u);
+  EXPECT_EQ(stats.dirty_found, 1u);
+  EXPECT_EQ(stats.repairs, 1u);
+  EXPECT_EQ(stats.repair_failures, 0u);
+  EXPECT_TRUE(stats.last_clean);
+  EXPECT_TRUE(stats.ever_ran);
+  EXPECT_TRUE(index::VerifyDatabaseFile(db_path).clean());
+
+  // A second pass finds a clean library and repairs nothing.
+  scrubber.RunOnce();
+  stats = scrubber.StatsSnapshot();
+  EXPECT_EQ(stats.passes, 2u);
+  EXPECT_EQ(stats.repairs, 1u);
+  EXPECT_TRUE(stats.last_clean);
+}
+
+TEST_F(ServerTest, BackgroundScrubberHealsWhileServingAndReportsInHealth) {
+  const std::string dir = ::testing::TempDir() + "/bg_scrub_media";
+  (void)::mkdir(dir.c_str(), 0755);
+  const std::string name = "bg_scrub";
+  synth::VideoScript script = synth::QuickScript(47);
+  script.name = name;
+  const synth::GeneratedVideo g = synth::GenerateVideo(script);
+  const codec::CmvFile container = core::PackGeneratedVideo(g);
+  ASSERT_TRUE(container.SaveToFile(dir + "/" + name + ".cmv").ok());
+  const std::string db_path = dir + "/bg.cmdb";
+  {
+    util::StatusOr<core::MiningResult> mined =
+        core::MineCmvFileFast(container, core::MiningOptions());
+    ASSERT_TRUE(mined.ok());
+    index::VideoDatabase db;
+    db.AddVideo(name, std::move(mined->structure), std::move(mined->events),
+                /*degraded=*/true);
+    ASSERT_TRUE(index::SaveDatabase(db, db_path).ok());
+  }
+
+  ServerOptions options;
+  options.media_dir = dir;
+  options.scrub_db_path = db_path;
+  options.scrub_interval_ms = 25;
+  options.scrub_max_yield_ms = 100;
+  StartServer(std::move(options));
+
+  // Client traffic in parallel with the scrub: the daemon keeps serving.
+  util::StatusOr<Client> client = Connect(MakeHello("reader", 3));
+  ASSERT_TRUE(client.ok());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (server_->StatsSnapshot().scrub_repairs < 1) {
+    util::StatusOr<Response> poke = client->Call([] {
+      Request r;
+      r.kind = RequestKind::kHealth;
+      return r;
+    }());
+    ASSERT_TRUE(poke.ok());
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "scrubber never repaired the database";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(index::VerifyDatabaseFile(db_path).clean());
+
+  // Wait for the confirming pass to publish, then health reflects it.
+  while (!server_->StatsSnapshot().scrub_repairs ||
+         server_->StatsSnapshot().scrub_passes < 2) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  util::StatusOr<std::string> body =
+      client->CallForReport(RequestKind::kHealth, {});
+  ASSERT_TRUE(body.ok());
+  EXPECT_NE(body->find("scrub: enabled"), std::string::npos);
+  EXPECT_NE(body->find("last scrub: clean"), std::string::npos);
+  const ServerStats stats = server_->StatsSnapshot();
+  EXPECT_GE(stats.scrub_passes, 1u);
+  EXPECT_EQ(stats.scrub_dirty, 1u);
+  EXPECT_EQ(stats.scrub_repairs, 1u);
+  EXPECT_EQ(stats.scrub_repair_failures, 0u);
 }
 
 }  // namespace
