@@ -1,7 +1,8 @@
 // Micro-benchmarks for the checksummed persistence layer: CRC-32
 // throughput, CMV serialisation with and without per-record checksums
 // (CMV1 vs CMV2), CMDB v3 framed serialise/parse, the salvage scanner on
-// pristine input, and the full atomic two-generation save.
+// pristine input, the full atomic two-generation save, and the sharded
+// append-log upsert against the monolithic whole-file rewrite.
 
 #include <benchmark/benchmark.h>
 
@@ -15,6 +16,7 @@
 #include "features/histogram.h"
 #include "index/database.h"
 #include "index/persist.h"
+#include "index/shard.h"
 #include "media/color.h"
 #include "media/draw.h"
 #include "media/image.h"
@@ -147,6 +149,99 @@ void BM_AtomicSaveDatabase(benchmark::State& state) {
   std::remove(index::DatabaseManifestPath(path).c_str());
 }
 BENCHMARK(BM_AtomicSaveDatabase)->Unit(benchmark::kMicrosecond);
+
+
+// ---------------------------------------------------------------------------
+// Sharded append-log tier: the headline scaling claim. A monolithic upsert
+// rewrites the whole library (O(library)); a sharded upsert appends one
+// framed entry to one shard log and fsyncs it (O(entry)). The arg is the
+// number of entries already in the library — the sharded per-upsert cost
+// must stay flat from 1k to 100k while the monolithic one grows linearly.
+
+index::VideoDatabase TinyDatabase(int videos) {
+  index::VideoDatabase db;
+  for (int v = 0; v < videos; ++v) {
+    structure::ContentStructure cs;
+    shot::Shot s;
+    s.index = 0;
+    s.start_frame = 0;
+    s.end_frame = 29;
+    s.rep_frame = 9;
+    cs.shots.push_back(s);
+    db.AddVideo("bench" + std::to_string(v), std::move(cs), {});
+  }
+  return db;
+}
+
+void RemoveShardedFiles(const std::string& path) {
+  std::remove(path.c_str());
+  for (int k = 0; k < 8; ++k) {
+    const std::string log = index::ShardPath(path, k);
+    std::remove(log.c_str());
+    std::remove(index::ShardBackupPath(path, k).c_str());
+    std::remove((log + ".tmp").c_str());
+  }
+}
+
+void BM_ShardedUpsert(benchmark::State& state) {
+  const int videos = static_cast<int>(state.range(0));
+  const std::string path = "bench_sharded.cmdb";
+  RemoveShardedFiles(path);
+  if (!index::SaveShardedDatabase(TinyDatabase(videos), path, 8).ok()) {
+    state.SkipWithError("sharded save failed");
+    return;
+  }
+  util::StatusOr<std::unique_ptr<index::ShardedDatabase>> db =
+      index::ShardedDatabase::Open(path);
+  if (!db.ok()) {
+    state.SkipWithError("sharded open failed");
+    return;
+  }
+  const index::VideoDatabase one = TinyDatabase(1);
+  for (auto _ : state) {
+    // Re-upserting an existing name is the steady-state update: one framed
+    // append + fsync, regardless of how many entries the library holds.
+    const util::Status st = (*db)->Upsert(
+        one.video(0).name, one.video(0).structure, one.video(0).events,
+        /*degraded=*/false);
+    if (!st.ok()) {
+      state.SkipWithError("upsert failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  db->reset();
+  RemoveShardedFiles(path);
+}
+BENCHMARK(BM_ShardedUpsert)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MonolithicUpsert(benchmark::State& state) {
+  const int videos = static_cast<int>(state.range(0));
+  const std::string path = "bench_mono.cmdb";
+  index::VideoDatabase db = TinyDatabase(videos);
+  for (auto _ : state) {
+    // Updating any entry in the monolithic format means re-serialising and
+    // atomically rewriting every entry.
+    const util::Status st = index::SaveDatabase(db, path);
+    if (!st.ok()) {
+      state.SkipWithError("save failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::remove(path.c_str());
+  std::remove(index::DatabaseBackupPath(path).c_str());
+  std::remove(index::DatabaseManifestPath(path).c_str());
+}
+BENCHMARK(BM_MonolithicUpsert)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace classminer

@@ -7,9 +7,12 @@
 //   classminer skim <in.cmv> [--level N] [--html out.html]
 //                            [--storyboard out.ppm]
 //   classminer browse [--clearance N] [--strict] <in.cmv> [more.cmv ...]
-//   classminer index <db.cmdb> [--strict] [--threads N] <in.cmv ...>
+//   classminer index <db.cmdb> [--strict] [--threads N] [--shards N]
+//                              [--append] <in.cmv ...>
 //   classminer verify <db.cmdb>
 //   classminer repair <db.cmdb> [--media DIR] [--threads N]
+//   classminer compact <db.cmdb> [--shard K] [--force]
+//   classminer failpoints
 //
 // `generate` synthesises one of the five corpus titles (or the quickstart
 // clip when no title is given) and encodes it; every other command decodes
@@ -36,10 +39,12 @@
 #include "codec/decoder.h"
 #include "core/cmv_pipeline.h"
 #include "index/persist.h"
+#include "index/shard.h"
 #include "server/ops.h"
 #include "skim/storyboard.h"
 #include "skim/summary.h"
 #include "synth/corpus.h"
+#include "util/failpoint.h"
 
 namespace {
 
@@ -58,9 +63,12 @@ int Usage() {
       "[--storyboard out.ppm]\n"
       "  classminer browse [--clearance N] [--strict] <in.cmv> "
       "[more.cmv ...]\n"
-      "  classminer index <db.cmdb> [--strict] [--threads N] <in.cmv ...>\n"
+      "  classminer index <db.cmdb> [--strict] [--threads N] [--shards N] "
+      "[--append] <in.cmv ...>\n"
       "  classminer verify <db.cmdb>\n"
-      "  classminer repair <db.cmdb> [--media DIR] [--threads N]\n");
+      "  classminer repair <db.cmdb> [--media DIR] [--threads N]\n"
+      "  classminer compact <db.cmdb> [--shard K] [--force]\n"
+      "  classminer failpoints\n");
   return 2;
 }
 
@@ -336,17 +344,23 @@ int CmdIndex(const std::vector<std::string>& args) {
   const std::string db_path = args[0];
   core::MiningOptions options;
   bool strict = false;
+  bool append = false;
+  int shards = 0;
   std::vector<std::string> paths;
   for (size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--threads" && i + 1 < args.size()) {
       options.thread_count = std::stoi(args[++i]);
     } else if (args[i] == "--strict") {
       strict = true;
+    } else if (args[i] == "--shards" && i + 1 < args.size()) {
+      shards = std::stoi(args[++i]);
+    } else if (args[i] == "--append") {
+      append = true;
     } else {
       paths.push_back(args[i]);
     }
   }
-  if (paths.empty()) return Usage();
+  if (paths.empty() || shards < 0) return Usage();
 
   index::VideoDatabase db;
   for (const std::string& path : paths) {
@@ -357,7 +371,42 @@ int CmdIndex(const std::vector<std::string>& args) {
     db.AddVideo(file.name, std::move(result.structure),
                 std::move(result.events), result.degraded);
   }
-  const util::Status saved = index::SaveDatabase(db, db_path);
+
+  if (append) {
+    // Incremental indexing into an existing sharded library: each mined
+    // video is one O(entry) append (re-indexed names supersede their old
+    // record), never a whole-library rewrite.
+    util::StatusOr<std::unique_ptr<index::ShardedDatabase>> sdb =
+        index::ShardedDatabase::Open(db_path);
+    if (!sdb.ok()) {
+      std::fprintf(stderr, "%s: %s\n", db_path.c_str(),
+                   sdb.status().ToString().c_str());
+      return 1;
+    }
+    for (int i = 0; i < db.video_count(); ++i) {
+      index::VideoEntry entry = db.video(i);
+      const util::Status up =
+          (*sdb)->Upsert(entry.name, std::move(entry.structure),
+                         std::move(entry.events), entry.degraded);
+      if (!up.ok()) {
+        std::fprintf(stderr, "%s: %s\n", db_path.c_str(),
+                     up.ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf("appended %d video(s) into %s: %d total, %llu dead "
+                "record(s)\n",
+                db.video_count(), db_path.c_str(), (*sdb)->live_count(),
+                static_cast<unsigned long long>((*sdb)->dead_records()));
+    return 0;
+  }
+
+  // --shards N writes the hash-partitioned append-log layout; without it
+  // the save keeps whatever layout the path already has (sharded paths stay
+  // sharded, fresh paths get the monolithic format).
+  const util::Status saved =
+      shards > 0 ? index::SaveShardedDatabase(db, db_path, shards)
+                 : index::SaveDatabase(db, db_path);
   if (!saved.ok()) {
     std::fprintf(stderr, "%s: %s\n", db_path.c_str(),
                  saved.ToString().c_str());
@@ -407,6 +456,39 @@ int CmdRepair(const std::vector<std::string>& args) {
   return 0;
 }
 
+int CmdCompact(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  const std::string db_path = args[0];
+  int shard = -1;
+  bool force = false;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--shard" && i + 1 < args.size()) {
+      shard = std::stoi(args[++i]);
+    } else if (args[i] == "--force") {
+      force = true;
+    } else {
+      return Usage();
+    }
+  }
+  const server::OpResult op = server::CompactOp(db_path, shard, force);
+  std::printf("%s", op.report.c_str());
+  if (!op.ok()) {
+    std::fprintf(stderr, "%s\n", op.status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+// Prints the compiled-in fail-point catalogue (same list as
+// `classminerd --failpoints list`), one site per line.
+int CmdFailpoints(const std::vector<std::string>& args) {
+  if (!args.empty()) return Usage();
+  for (const std::string& site : util::FailPoint::KnownSites()) {
+    std::printf("%s\n", site.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -423,5 +505,7 @@ int main(int argc, char** argv) {
   if (cmd == "index") return CmdIndex(args);
   if (cmd == "verify") return CmdVerify(args);
   if (cmd == "repair") return CmdRepair(args);
+  if (cmd == "compact") return CmdCompact(args);
+  if (cmd == "failpoints") return CmdFailpoints(args);
   return Usage();
 }

@@ -8,7 +8,8 @@
 //               [--cache-bytes N] [--cache-entries N]
 //               [--idle-timeout MS] [--max-errors N]
 //               [--scrub-db PATH] [--scrub-interval MS] [--scrub-yield MS]
-//               [--chaos SITE=SPEC[,SITE=SPEC...]]
+//               [--scrub-compact] [--chaos SITE=SPEC[,SITE=SPEC...]]
+//               [--failpoints list]
 //
 // The bound port is printed to stdout as "listening on H:P" (useful with
 // --port 0, which picks an ephemeral port). SIGTERM/SIGINT stop the daemon
@@ -49,7 +50,8 @@ int Usage() {
                "[--chunk BYTES] [--write-queue BYTES] [--no-cache] "
                "[--cache-bytes N] [--cache-entries N] [--idle-timeout MS] "
                "[--max-errors N] [--scrub-db PATH] [--scrub-interval MS] "
-               "[--scrub-yield MS] [--chaos SITE=SPEC[,...]]\n");
+               "[--scrub-yield MS] [--scrub-compact] "
+               "[--chaos SITE=SPEC[,...]] [--failpoints list]\n");
   return 2;
 }
 
@@ -148,6 +150,17 @@ int main(int argc, char** argv) {
       options.scrub_interval_ms = std::atoi(argv[++i]);
     } else if (arg == "--scrub-yield" && i + 1 < argc) {
       options.scrub_max_yield_ms = std::atoi(argv[++i]);
+    } else if (arg == "--scrub-compact") {
+      options.scrub_compact = true;
+    } else if (arg == "--failpoints" && i + 1 < argc) {
+      // `--failpoints list` prints the compiled-in fail-point catalogue —
+      // what chaos rigs may pass to --chaos — and exits.
+      const std::string sub = argv[++i];
+      if (sub != "list") return Usage();
+      for (const std::string& site : util::FailPoint::KnownSites()) {
+        std::printf("%s\n", site.c_str());
+      }
+      return 0;
     } else if (arg == "--chaos" && i + 1 < argc) {
       if (!ArmChaos(argv[++i])) {
         std::fprintf(stderr, "classminerd: bad --chaos spec\n");

@@ -195,4 +195,77 @@ grep -q "scrub.*1 repaired" "$WORK/daemon.err" || {
 }
 echo "library verifies clean after the background repair"
 
+echo "== server chaos: scrubber compacts a sharded library under load =="
+# A sharded append-log library accumulates dead records as entries are
+# re-indexed; with --scrub-compact the daemon's scrubber folds them away
+# while clients keep the workers busy. The health report must show the
+# compaction happened, and the library must verify clean (and actually be
+# compact: a follow-up CLI compact finds nothing to fold).
+"$CLI" index "$WORK/shardlib.cmdb" --shards 4 \
+  "$WORK/media/laparoscopy.cmv" >/dev/null
+for _ in 1 2 3; do
+  "$CLI" index "$WORK/shardlib.cmdb" --append "$WORK/ward_rounds.cmv" \
+    >/dev/null
+done
+"$CLI" verify "$WORK/shardlib.cmdb" >/dev/null || {
+  echo "sharded library should verify clean before compaction" >&2
+  exit 1
+}
+
+start_daemon --port 0 --threads 4 --queue 16 --media "$WORK/media" \
+  --scrub-db "$WORK/shardlib.cmdb" --scrub-interval 200 --scrub-yield 500 \
+  --scrub-compact
+
+for i in 1 2; do
+  (
+    for _ in $(seq 1 20); do
+      "$CLIENT" --port "$PORT" --user "compactload$i" --clearance 3 \
+        --retries 8 mine "$WORK/ward_rounds.cmv" --fast >/dev/null 2>&1 ||
+        true
+    done
+  ) &
+  LOAD_PIDS+=("$!")
+done
+
+COMPACTED=0
+for _ in $(seq 1 300); do
+  if "$CLIENT" --port "$PORT" --user probe --clearance 0 health \
+    >"$WORK/health2.txt" 2>/dev/null &&
+    grep -q "scrub compactions: [1-9]" "$WORK/health2.txt" &&
+    grep -q "last scrub: clean" "$WORK/health2.txt"; then
+    COMPACTED=1
+    break
+  fi
+  sleep 0.2
+done
+if [[ "$COMPACTED" != 1 ]]; then
+  echo "scrubber never compacted the sharded library; last health:" >&2
+  cat "$WORK/health2.txt" >&2 || true
+  cat "$WORK/daemon.err" >&2
+  exit 1
+fi
+echo "health reports a scrub compaction under load"
+for pid in "${LOAD_PIDS[@]}"; do
+  wait "$pid" || true
+done
+LOAD_PIDS=()
+
+stop_daemon
+"$CLI" verify "$WORK/shardlib.cmdb" >/dev/null || {
+  echo "sharded library dirty after scrub compaction" >&2
+  exit 1
+}
+"$CLI" compact "$WORK/shardlib.cmdb" >"$WORK/compact.txt" || {
+  echo "CLI compact failed after scrub compaction" >&2
+  cat "$WORK/compact.txt" >&2
+  exit 1
+}
+grep -q "compacted 0 shard(s), dropped 0 dead record(s)" \
+  "$WORK/compact.txt" || {
+  echo "scrubber left dead records behind:" >&2
+  cat "$WORK/compact.txt" >&2
+  exit 1
+}
+echo "sharded library is clean and fully folded"
+
 echo "server chaos OK"

@@ -80,9 +80,13 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   echo "== tier-1: crash-recovery matrix (ASan) =="
   # Crashes injected at every serial.atomic_write.* site, with and without
   # a prior generation, must leave a reopenable database; torn CMV/CMDB
-  # files must resynchronise; repair must bring verify back to clean.
-  cmake --build build-asan -j --target recovery_test >/dev/null
+  # files must resynchronise; repair must bring verify back to clean. The
+  # sharded tier's matrix adds the index.shard.append.* / index.shard.
+  # compact.* / index.shard.open sites: any injected crash must reopen to a
+  # consistent pre- or post-operation library, never a torn one.
+  cmake --build build-asan -j --target recovery_test shard_test >/dev/null
   ./build-asan/tests/recovery_test
+  ./build-asan/tests/shard_test
 fi
 
 echo "tier-1 OK"

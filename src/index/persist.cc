@@ -1,8 +1,10 @@
 #include "index/persist.h"
 
+#include <cstdio>
 #include <string>
 #include <utility>
 
+#include "index/shard.h"
 #include "util/crc32.h"
 #include "util/failpoint.h"
 #include "util/serial.h"
@@ -332,40 +334,55 @@ util::Status ValidateForSerialize(const VideoDatabase& db) {
   CLASSMINER_RETURN_IF_ERROR(util::CheckU32Count(
       static_cast<size_t>(db.video_count()), "CMDB video"));
   for (int i = 0; i < db.video_count(); ++i) {
-    const VideoEntry& v = db.video(i);
-    const structure::ContentStructure& cs = v.structure;
-    const std::string at = "CMDB videos[" + std::to_string(i) + "]";
-    CLASSMINER_RETURN_IF_ERROR(
-        util::CheckU32Count(v.name.size(), at + " name byte"));
-    CLASSMINER_RETURN_IF_ERROR(
-        util::CheckU32Count(cs.shots.size(), at + " shot"));
-    CLASSMINER_RETURN_IF_ERROR(
-        util::CheckU32Count(cs.groups.size(), at + " group"));
-    for (const structure::Group& g : cs.groups) {
-      CLASSMINER_RETURN_IF_ERROR(
-          util::CheckU32Count(g.clusters.size(), at + " shot cluster"));
-      for (const structure::ShotCluster& c : g.clusters) {
-        CLASSMINER_RETURN_IF_ERROR(util::CheckU32Count(
-            c.shot_indices.size(), at + " cluster shot index"));
-      }
-      CLASSMINER_RETURN_IF_ERROR(
-          util::CheckU32Count(g.rep_shots.size(), at + " rep shot"));
-    }
-    CLASSMINER_RETURN_IF_ERROR(
-        util::CheckU32Count(cs.scenes.size(), at + " scene"));
-    CLASSMINER_RETURN_IF_ERROR(util::CheckU32Count(
-        cs.clustered_scenes.size(), at + " scene cluster"));
-    for (const structure::SceneCluster& c : cs.clustered_scenes) {
-      CLASSMINER_RETURN_IF_ERROR(util::CheckU32Count(
-          c.scene_indices.size(), at + " scene cluster index"));
-    }
-    CLASSMINER_RETURN_IF_ERROR(
-        util::CheckU32Count(v.events.size(), at + " event"));
-    CLASSMINER_RETURN_IF_ERROR(util::CheckU32Count(
-        static_cast<size_t>(SerializedBodySize(v)), at + " entry body byte"));
+    CLASSMINER_RETURN_IF_ERROR(internal::ValidateEntry(
+        db.video(i), "CMDB videos[" + std::to_string(i) + "]"));
   }
   return util::Status::Ok();
 }
+
+namespace internal {
+
+void PutFramedEntry(util::ByteWriter* w, const VideoEntry& v) {
+  PutFramedVideo(w, v);
+}
+
+util::Status GetFramedEntry(util::ByteReader* r, VideoEntry* out) {
+  return GetFramedVideo(r, kVersion, out);
+}
+
+util::Status ValidateEntry(const VideoEntry& v, const std::string& at) {
+  const structure::ContentStructure& cs = v.structure;
+  CLASSMINER_RETURN_IF_ERROR(
+      util::CheckU32Count(v.name.size(), at + " name byte"));
+  CLASSMINER_RETURN_IF_ERROR(
+      util::CheckU32Count(cs.shots.size(), at + " shot"));
+  CLASSMINER_RETURN_IF_ERROR(
+      util::CheckU32Count(cs.groups.size(), at + " group"));
+  for (const structure::Group& g : cs.groups) {
+    CLASSMINER_RETURN_IF_ERROR(
+        util::CheckU32Count(g.clusters.size(), at + " shot cluster"));
+    for (const structure::ShotCluster& c : g.clusters) {
+      CLASSMINER_RETURN_IF_ERROR(util::CheckU32Count(
+          c.shot_indices.size(), at + " cluster shot index"));
+    }
+    CLASSMINER_RETURN_IF_ERROR(
+        util::CheckU32Count(g.rep_shots.size(), at + " rep shot"));
+  }
+  CLASSMINER_RETURN_IF_ERROR(
+      util::CheckU32Count(cs.scenes.size(), at + " scene"));
+  CLASSMINER_RETURN_IF_ERROR(util::CheckU32Count(
+      cs.clustered_scenes.size(), at + " scene cluster"));
+  for (const structure::SceneCluster& c : cs.clustered_scenes) {
+    CLASSMINER_RETURN_IF_ERROR(util::CheckU32Count(
+        c.scene_indices.size(), at + " scene cluster index"));
+  }
+  CLASSMINER_RETURN_IF_ERROR(
+      util::CheckU32Count(v.events.size(), at + " event"));
+  return util::CheckU32Count(static_cast<size_t>(SerializedBodySize(v)),
+                             at + " entry body byte");
+}
+
+}  // namespace internal
 
 std::vector<uint8_t> SerializeDatabase(const VideoDatabase& db) {
   util::ByteWriter w;
@@ -512,6 +529,13 @@ util::StatusOr<DatabaseManifest> LoadManifest(const std::string& path) {
 
 util::Status SaveDatabase(const VideoDatabase& db, const std::string& path) {
   CLASSMINER_RETURN_IF_ERROR(util::FailPoint::Check("index.persist.save"));
+  if (IsShardedDatabasePath(path)) {
+    // A sharded library stays sharded across full rewrites (repair relies
+    // on this): partition the entries over the existing shard count.
+    util::StatusOr<int> shards = ShardedDatabaseShardCount(path);
+    if (!shards.ok()) return shards.status();
+    return SaveShardedDatabase(db, path, *shards);
+  }
   CLASSMINER_RETURN_IF_ERROR(ValidateForSerialize(db));
   const std::vector<uint8_t> bytes = SerializeDatabase(db);
 
@@ -534,6 +558,7 @@ util::Status SaveDatabase(const VideoDatabase& db, const std::string& path) {
 
 util::StatusOr<VideoDatabase> LoadDatabase(const std::string& path) {
   CLASSMINER_RETURN_IF_ERROR(util::FailPoint::Check("index.persist.load"));
+  if (IsShardedDatabasePath(path)) return LoadShardedDatabase(path);
   util::StatusOr<std::vector<uint8_t>> bytes = util::ReadFile(path);
   if (!bytes.ok()) return bytes.status();
   return ParseDatabase(*bytes);
@@ -542,6 +567,9 @@ util::StatusOr<VideoDatabase> LoadDatabase(const std::string& path) {
 util::StatusOr<VideoDatabase> LoadDatabaseSalvage(
     const std::string& path, util::SalvageReport* report) {
   CLASSMINER_RETURN_IF_ERROR(util::FailPoint::Check("index.persist.load"));
+  if (IsShardedDatabasePath(path)) {
+    return LoadShardedDatabaseSalvage(path, report, nullptr, nullptr);
+  }
   util::StatusOr<std::vector<uint8_t>> bytes = util::ReadFile(path);
   if (!bytes.ok()) return bytes.status();
   return ParseDatabaseSalvage(*bytes, report);
@@ -551,6 +579,17 @@ util::StatusOr<OpenResult> OpenDatabaseAnyGeneration(
     const std::string& path, util::SalvageReport* report) {
   util::SalvageReport local;
   if (report == nullptr) report = &local;
+  if (IsShardedDatabasePath(path)) {
+    // Sharded tier: shards fall back / salvage individually inside Open
+    // (read-write, so torn tails are truncated back to the last confirmed
+    // frame); the flags aggregate "any shard fell back / was salvaged".
+    ShardedDatabase::OpenReport shards;
+    util::StatusOr<std::unique_ptr<ShardedDatabase>> sdb =
+        ShardedDatabase::Open(path, report, &shards, /*read_only=*/false);
+    if (!sdb.ok()) return sdb.status();
+    return OpenResult{(*sdb)->Snapshot(), path, shards.any_backup(),
+                      shards.any_salvaged() || shards.any_lost()};
+  }
   const std::string backup = DatabaseBackupPath(path);
 
   util::StatusOr<VideoDatabase> current = LoadDatabase(path);
@@ -588,11 +627,17 @@ util::StatusOr<OpenResult> OpenDatabaseAnyGeneration(
 
 std::string VerifyReport::ToString() const {
   std::string s = loadable ? "loadable" : "unloadable";
+  if (sharded) s += " sharded shards=" + std::to_string(shards);
   s += " videos=" + std::to_string(videos);
   s += " degraded=" + std::to_string(degraded_videos);
   if (manifest_present) {
     s += " generation=" + std::to_string(generation);
-    s += manifest_matches ? " manifest=ok" : " manifest=stale";
+    if (manifest_matches) {
+      s += " manifest=ok";
+    } else {
+      s += " manifest=stale";
+      if (!stale_detail.empty()) s += "(" + stale_detail + ")";
+    }
   } else {
     s += " manifest=absent";
   }
@@ -602,6 +647,10 @@ std::string VerifyReport::ToString() const {
 
 VerifyReport VerifyDatabaseFile(const std::string& path) {
   VerifyReport report;
+  if (IsShardedDatabasePath(path)) {
+    VerifyShardedDatabaseFile(path, &report);
+    return report;
+  }
   util::StatusOr<std::vector<uint8_t>> bytes = util::ReadFile(path);
   if (!bytes.ok()) {
     report.error = bytes.status().message();
@@ -620,8 +669,20 @@ VerifyReport VerifyDatabaseFile(const std::string& path) {
   if (manifest.ok()) {
     report.manifest_present = true;
     report.generation = manifest->generation;
-    report.manifest_matches = manifest->size == bytes->size() &&
-                              manifest->crc == util::Crc32(*bytes);
+    const uint32_t file_crc = util::Crc32(*bytes);
+    report.manifest_matches =
+        manifest->size == bytes->size() && manifest->crc == file_crc;
+    if (!report.manifest_matches) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "manifest generation %llu records size=%llu crc=%08x; "
+                    "file has size=%llu crc=%08x",
+                    static_cast<unsigned long long>(manifest->generation),
+                    static_cast<unsigned long long>(manifest->size),
+                    manifest->crc,
+                    static_cast<unsigned long long>(bytes->size()), file_crc);
+      report.stale_detail = buf;
+    }
   }
   return report;
 }

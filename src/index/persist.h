@@ -7,6 +7,7 @@
 
 #include "index/database.h"
 #include "util/salvage.h"
+#include "util/serial.h"
 #include "util/status.h"
 
 namespace classminer::index {
@@ -30,6 +31,13 @@ namespace classminer::index {
 //                 mismatch means "a save was interrupted", not corruption
 // A crash at any point of SaveDatabase leaves at least one loadable
 // generation; OpenDatabaseAnyGeneration finds it.
+//
+// A database may instead live as a sharded append-log tier (root file
+// carries the "CMSM" shard-manifest magic; entries hash-partitioned across
+// `<path>.shard<k>` logs — see index/shard.h). SaveDatabase, LoadDatabase,
+// LoadDatabaseSalvage, OpenDatabaseAnyGeneration and VerifyDatabaseFile all
+// dispatch on the root magic, so callers (repair, server ops, the scrubber)
+// work unchanged against either layout.
 
 // Serializability guard: every count SerializeDatabase writes behind a u32
 // length prefix (video count, per-entry shot/group/scene/cluster/event
@@ -104,6 +112,13 @@ struct VerifyReport {
   bool manifest_present = false;
   bool manifest_matches = false;  // size + CRC match the file bytes
   uint64_t generation = 0;        // from the manifest, when present
+  bool sharded = false;           // root file is a CMSM shard manifest
+  int shards = 0;                 // shard count, when sharded
+  // When the manifest is stale, names exactly which generation it still
+  // describes versus what is on disk (monolithic: recorded size/CRC against
+  // the file's; sharded: each shard whose log generation disagrees with the
+  // manifest) — so "manifest=stale" is actionable, not just clean()==false.
+  std::string stale_detail;
   std::string error;              // first integrity failure, empty if none
 
   // True when the file is pristine: strictly loadable, no degraded
@@ -116,6 +131,24 @@ struct VerifyReport {
 };
 
 VerifyReport VerifyDatabaseFile(const std::string& path);
+
+namespace internal {
+
+// The v3 entry-frame magic "CMVE". The sharded append-log tier reuses the
+// exact monolithic frame layout for its upsert records.
+inline constexpr uint32_t kEntryFrameMagic = 0x45564d43;
+
+// Serializes one framed v3 entry (magic, body size u32, CRC-32 u32, body).
+void PutFramedEntry(util::ByteWriter* w, const VideoEntry& v);
+// Parses one framed v3 entry at the cursor, verifying the stored CRC-32
+// before touching the body and requiring exact body consumption.
+util::Status GetFramedEntry(util::ByteReader* r, VideoEntry* out);
+// u32-narrowing guard for a single entry (every count PutFramedEntry writes
+// behind a u32 prefix, plus the framed body size itself); `at` labels the
+// entry in error messages.
+util::Status ValidateEntry(const VideoEntry& v, const std::string& at);
+
+}  // namespace internal
 
 }  // namespace classminer::index
 

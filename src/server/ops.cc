@@ -14,6 +14,7 @@
 #include "index/hier_index.h"
 #include "index/persist.h"
 #include "index/repair.h"
+#include "index/shard.h"
 #include "skim/playback.h"
 #include "skim/skimmer.h"
 #include "util/salvage.h"
@@ -274,6 +275,32 @@ OpResult RepairOp(const std::string& db_path, const OpEnv& env,
                          " entr" + (report->failed == 1 ? "y" : "ies") +
                          " left unrepaired");
   (void)diag;  // repair details are part of the report itself
+  return out;
+}
+
+OpResult CompactOp(const std::string& db_path, int shard, bool force) {
+  OpResult out;
+  const util::StatusOr<std::vector<index::ShardedDatabase::CompactionReport>>
+      reports = index::CompactDatabaseFile(db_path, shard, force);
+  if (!reports.ok()) {
+    out.status = {reports.status().code(),
+                  db_path + ": " + reports.status().message()};
+    return out;
+  }
+  uint64_t folded = 0;
+  uint64_t dropped = 0;
+  for (const index::ShardedDatabase::CompactionReport& report : *reports) {
+    Appendf(&out.report, "%s: %s\n", db_path.c_str(),
+            report.ToString().c_str());
+    if (!report.skipped) {
+      ++folded;
+      dropped += report.dead_dropped;
+    }
+  }
+  Appendf(&out.report,
+          "%s: compacted %llu shard(s), dropped %llu dead record(s)\n",
+          db_path.c_str(), static_cast<unsigned long long>(folded),
+          static_cast<unsigned long long>(dropped));
   return out;
 }
 

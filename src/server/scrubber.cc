@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "index/persist.h"
+#include "index/shard.h"
 
 namespace classminer::server {
 
@@ -93,6 +94,29 @@ void IntegrityScrubber::RunOnce() {
                 : (!repair_error.empty() ? repair_error
                                          : "database not clean");
   }
+
+  // With the library clean, fold any dead records out of a sharded
+  // database's append logs. Non-forced compaction skips pristine shards, so
+  // a quiet daemon settles into all-skip passes that cost one parallel log
+  // parse each.
+  bool compacted = false, compact_failed = false;
+  uint64_t dropped = 0;
+  if (options_.compact_logs && clean &&
+      index::IsShardedDatabasePath(options_.db_path)) {
+    const util::StatusOr<
+        std::vector<index::ShardedDatabase::CompactionReport>>
+        folds = index::CompactDatabaseFile(options_.db_path);
+    if (!folds.ok()) {
+      compact_failed = true;
+    } else {
+      for (const index::ShardedDatabase::CompactionReport& fold : *folds) {
+        if (fold.skipped) continue;
+        compacted = true;
+        dropped += fold.dead_dropped;
+      }
+    }
+  }
+
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.passes;
   if (repaired || repair_failed) ++stats_.dirty_found;
@@ -103,6 +127,9 @@ void IntegrityScrubber::RunOnce() {
   stats_.last_degraded = static_cast<uint64_t>(
       report.degraded_videos > 0 ? report.degraded_videos : 0);
   stats_.last_error = std::move(error);
+  if (compacted) ++stats_.compactions;
+  if (compact_failed) ++stats_.compaction_failures;
+  stats_.dead_dropped += dropped;
 }
 
 }  // namespace classminer::server

@@ -38,6 +38,12 @@ struct ScrubberOptions {
   // Load probe: true while client work is queued or executing. Polled
   // between yields; null = never busy.
   std::function<bool()> busy;
+  // Also fold a sharded database's append logs after each pass that left
+  // the file clean: dead records (superseded upserts, tombstones) are the
+  // normal exhaust of the append-only tier, and the scrubber is the
+  // daemon-resident janitor that keeps them from accumulating. Shards with
+  // nothing dead are skipped; monolithic databases ignore this flag.
+  bool compact_logs = false;
   // Environment for the repair re-mine (mining options + media dir).
   OpEnv env;
 };
@@ -53,6 +59,11 @@ struct ScrubberStats {
   bool ever_ran = false;         // at least one pass has completed
   uint64_t last_degraded = 0;    // degraded entries left after the last pass
   std::string last_error;        // first integrity failure of the last pass
+  // Shard-log compaction (only moves when ScrubberOptions::compact_logs is
+  // set and the database is sharded).
+  uint64_t compactions = 0;          // passes that folded at least one shard
+  uint64_t compaction_failures = 0;  // compaction attempts that errored
+  uint64_t dead_dropped = 0;         // dead records reclaimed, lifetime
 };
 
 class IntegrityScrubber {

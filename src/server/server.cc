@@ -377,6 +377,7 @@ util::Status ClassMinerServer::Start() {
     scrub.db_path = options_.scrub_db_path;
     scrub.interval_ms = options_.scrub_interval_ms;
     scrub.max_yield_ms = options_.scrub_max_yield_ms;
+    scrub.compact_logs = options_.scrub_compact;
     scrub.busy = [this] {
       return queued_.load(std::memory_order_acquire) > 0 ||
              busy_workers_.load(std::memory_order_acquire) > 0;
@@ -437,6 +438,8 @@ ServerStats ClassMinerServer::StatsSnapshot() const {
     out.scrub_dirty = scrub.dirty_found;
     out.scrub_repairs = scrub.repairs;
     out.scrub_repair_failures = scrub.repair_failures;
+    out.scrub_compactions = scrub.compactions;
+    out.scrub_dead_dropped = scrub.dead_dropped;
   }
   return out;
 }
@@ -459,6 +462,11 @@ std::string ClassMinerServer::BuildHealthReport() const {
     out += "scrub repaired: " + std::to_string(scrub.repairs) + "\n";
     out += "scrub repair failures: " +
            std::to_string(scrub.repair_failures) + "\n";
+    if (options_.scrub_compact) {
+      out += "scrub compactions: " + std::to_string(scrub.compactions) + "\n";
+      out += "scrub dead records dropped: " +
+             std::to_string(scrub.dead_dropped) + "\n";
+    }
     if (!scrub.ever_ran) {
       out += "last scrub: never\n";
     } else if (scrub.last_clean) {

@@ -120,6 +120,9 @@ struct ServerOptions {
   std::string scrub_db_path;
   int scrub_interval_ms = 0;
   int scrub_max_yield_ms = 2000;
+  // Fold dead records out of a sharded scrub database after clean passes
+  // (ScrubberOptions::compact_logs).
+  bool scrub_compact = false;
 
   // Base environment for every operation; the per-request cancellation
   // token overrides `mining.cancel`.
@@ -178,6 +181,8 @@ struct ServerStats {
   uint64_t scrub_dirty = 0;
   uint64_t scrub_repairs = 0;
   uint64_t scrub_repair_failures = 0;
+  uint64_t scrub_compactions = 0;
+  uint64_t scrub_dead_dropped = 0;
 };
 
 class ClassMinerServer {

@@ -1,5 +1,6 @@
 #include "util/failpoint.h"
 
+#include <iterator>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
@@ -29,6 +30,39 @@ Registry& GetRegistry() {
 // Fast-path gate: number of armed sites. Check() bails on zero with one
 // relaxed load, so unarmed builds never touch the registry mutex.
 std::atomic<int> g_armed_count{0};
+
+// Every site name passed to FailPoint::Check anywhere in the library,
+// sorted. The registry only tracks armed sites, so this static catalogue is
+// what lets chaos rigs discover what they can arm.
+constexpr const char* kKnownSites[] = {
+    "codec.container.parse",
+    "codec.decode_video",
+    "codec.gop_reader.decode_gop",
+    "core.stage.audio",
+    "core.stage.cues",
+    "core.stage.events",
+    "index.persist.load",
+    "index.persist.save",
+    "index.shard.append.fsync",
+    "index.shard.append.write",
+    "index.shard.compact.fsync",
+    "index.shard.compact.manifest",
+    "index.shard.compact.rename",
+    "index.shard.compact.write",
+    "index.shard.open",
+    "serial.atomic_write.fsync",
+    "serial.atomic_write.rename",
+    "serial.atomic_write.tmp_write",
+    "serial.read_file",
+    "serial.write_file",
+    "server.accept.reset",
+    "server.wake.drop",
+    "server.wire.frame.dup",
+    "server.wire.recv.reset",
+    "server.wire.send.delay",
+    "server.wire.send.short",
+    "server.wire.send.torn",
+};
 
 }  // namespace
 
@@ -62,6 +96,11 @@ void FailPoint::DisarmAll() {
 
 bool FailPoint::AnyArmed() {
   return g_armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+std::vector<std::string> FailPoint::KnownSites() {
+  return std::vector<std::string>(std::begin(kKnownSites),
+                                  std::end(kKnownSites));
 }
 
 Status FailPoint::Check(std::string_view site) {

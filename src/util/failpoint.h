@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/status.h"
 
@@ -86,6 +87,13 @@ class FailPoint {
   // True when at least one site is armed (the fast-path gate, exposed for
   // tests).
   static bool AnyArmed();
+
+  // The compiled-in catalogue of every fail-point site name in the binary
+  // (armed or not), sorted and duplicate-free. Chaos rigs enumerate this
+  // (`classminerd --failpoints list`, `classminer failpoints`) instead of
+  // hardcoding site names that drift out of date. Adding a Check() call to
+  // production code means adding its site here.
+  static std::vector<std::string> KnownSites();
 
   // RAII arming for tests: disarms the site (only this one) on scope exit.
   class Scoped {

@@ -43,6 +43,27 @@ TEST_F(FailPointTest, UnarmedSiteIsOk) {
   EXPECT_EQ(FailPoint::FailureCount("nobody.armed.this"), 0);
 }
 
+TEST_F(FailPointTest, KnownSitesCatalogueIsSortedUniqueAndComplete) {
+  const std::vector<std::string> sites = FailPoint::KnownSites();
+  ASSERT_FALSE(sites.empty());
+  // Sorted and duplicate-free, so chaos rigs can diff catalogues between
+  // builds and binary-search for a site.
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+  EXPECT_EQ(std::adjacent_find(sites.begin(), sites.end()), sites.end());
+  // Spot-check the long-standing sites and the sharded-database tier's
+  // append/compaction/open sites.
+  for (const char* expected :
+       {"serial.read_file", "serial.atomic_write.rename", "index.persist.save",
+        "index.shard.append.write", "index.shard.append.fsync",
+        "index.shard.compact.write", "index.shard.compact.fsync",
+        "index.shard.compact.rename", "index.shard.compact.manifest",
+        "index.shard.open", "server.wire.send.torn"}) {
+    EXPECT_TRUE(std::binary_search(sites.begin(), sites.end(),
+                                   std::string(expected)))
+        << expected << " missing from FailPoint::KnownSites()";
+  }
+}
+
 TEST_F(FailPointTest, OnceFiresExactlyOnce) {
   FailPoint::Arm("test.site", FailPoint::Spec::Once(StatusCode::kDataLoss));
   EXPECT_TRUE(FailPoint::AnyArmed());

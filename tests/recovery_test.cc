@@ -194,6 +194,36 @@ TEST_F(RecoveryTest, InterruptedManifestWriteIsAdvisoryNotFatal) {
   EXPECT_EQ(opened->db.video_count(), 2);
 }
 
+TEST_F(RecoveryTest, StaleManifestDiagnosticsNameTheRecordedGeneration) {
+  const std::string path = FreshDbPath("stale_manifest_detail");
+  ASSERT_TRUE(index::SaveDatabase(MakeDatabase(1), path).ok());
+  FailPoint::Arm("serial.atomic_write.tmp_write",
+                 FailPoint::Spec::EveryN(2, StatusCode::kDataLoss));
+  EXPECT_FALSE(index::SaveDatabase(MakeDatabase(2), path).ok());
+  FailPoint::DisarmAll();
+
+  // The report says more than "stale": it names the generation the manifest
+  // still describes and the size/CRC actually on disk, so an operator can
+  // tell a harmless lagging manifest from a truncated data file.
+  const index::VerifyReport verify = index::VerifyDatabaseFile(path);
+  EXPECT_FALSE(verify.manifest_matches);
+  ASSERT_FALSE(verify.stale_detail.empty());
+  EXPECT_NE(verify.stale_detail.find("manifest generation"),
+            std::string::npos)
+      << verify.stale_detail;
+  EXPECT_NE(verify.stale_detail.find("file has"), std::string::npos)
+      << verify.stale_detail;
+  EXPECT_NE(verify.ToString().find("manifest=stale(" + verify.stale_detail),
+            std::string::npos)
+      << verify.ToString();
+
+  // A clean save clears the diagnostic entirely.
+  ASSERT_TRUE(index::SaveDatabase(MakeDatabase(2), path).ok());
+  const index::VerifyReport healed = index::VerifyDatabaseFile(path);
+  EXPECT_TRUE(healed.clean()) << healed.ToString();
+  EXPECT_TRUE(healed.stale_detail.empty());
+}
+
 // ---------------------------------------------------------------------------
 // Fallback chain of OpenDatabaseAnyGeneration.
 
